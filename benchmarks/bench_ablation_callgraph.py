@@ -1,0 +1,62 @@
+"""Ablation: PyCG-style call-graph pre-filtering (Section 5.1).
+
+The call graph marks definitely-accessed attributes so DD never probes
+them.  Disabling it must not change the optimized program (the oracle is
+the correctness mechanism) but must inflate the number of oracle calls —
+"these attributes can safely be excluded from the DD process, which
+speeds up the debloating phase".
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import render_table
+from repro.core.execution import run_once
+from repro.core.oracle import OracleSpec
+
+APPS = ("dna-visualization", "markdown", "lightgbm")
+
+
+def test_ablation_callgraph(benchmark, ws, artifact_sink):
+    def run() -> list[dict]:
+        rows = []
+        for app in APPS:
+            with_cg = ws.trim(app)
+            without_cg = ws.trim(app, config=ws.variant_config(use_call_graph=False))
+            rows.append(
+                {
+                    "app": app,
+                    "calls_with": with_cg.oracle_calls,
+                    "calls_without": without_cg.oracle_calls,
+                    "with_report": with_cg,
+                    "without_report": without_cg,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    artifact_sink(
+        "ablation_callgraph",
+        render_table(
+            ["app", "oracle calls (with PyCG)", "oracle calls (without)", "inflation"],
+            [
+                (
+                    r["app"],
+                    r["calls_with"],
+                    r["calls_without"],
+                    f"{r['calls_without'] / max(r['calls_with'], 1):.1f}x",
+                )
+                for r in rows
+            ],
+        ),
+    )
+
+    for row in rows:
+        app = row["app"]
+        # same observable behaviour either way
+        spec = OracleSpec.from_bundle(ws.bundle(app))
+        case = spec.cases[0]
+        a = run_once(row["with_report"].output, case.event, case.context)
+        b = run_once(row["without_report"].output, case.event, case.context)
+        assert a.observable() == b.observable(), app
+        # the call graph prunes the search
+        assert row["calls_without"] > row["calls_with"], app

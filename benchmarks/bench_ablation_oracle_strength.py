@@ -1,0 +1,80 @@
+"""Ablation: oracle strength vs debloating aggressiveness and safety.
+
+λ-trim "relies on the oracle as a high-level specification and assumes
+that users will provide a strong enough set of test cases" (Section 5.4).
+This bench quantifies the tradeoff: with fewer oracle cases DD removes
+*more* (cheaper cold starts) but differential fuzzing finds divergences;
+adding cases (the Section 5.4 fuzz-and-rerun loop) restores safety at a
+small cost in removals.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.tables import render_table
+from repro.core.fuzzer import OracleFuzzer
+from repro.core.oracle import OracleSpec
+from repro.core.pipeline import LambdaTrim, TrimConfig
+from repro.workloads.apps import build_app
+
+CONFIG = TrimConfig(max_oracle_calls_per_module=300)
+
+
+def test_ablation_oracle_strength(benchmark, artifact_sink, tmp_path):
+    def run() -> list[dict]:
+        rows = []
+        base = build_app("dna-visualization", tmp_path / "base")
+        full_spec = OracleSpec.from_bundle(base)
+
+        variants = {
+            "1 case": [full_spec.cases[0].to_dict()],
+            f"{len(full_spec)} cases (shipped)": [
+                case.to_dict() for case in full_spec
+            ],
+        }
+        # the hardened oracle: shipped cases + the rare-branch input the
+        # Section 5.4 fuzzing loop discovers
+        hardened = [case.to_dict() for case in full_spec]
+        hardened.append(
+            {"name": "hardened", "event": {"sequence": "ACGT", "mode": "interactive"}}
+        )
+        variants[f"{len(hardened)} cases (fuzz-hardened)"] = hardened
+
+        for label, cases in variants.items():
+            bundle = build_app("dna-visualization", tmp_path / label.replace(" ", "-"))
+            bundle.oracle_path.write_text(json.dumps(cases))
+            report = LambdaTrim(CONFIG).run(
+                bundle, tmp_path / (label.replace(" ", "-") + "-out")
+            )
+            findings = OracleFuzzer(bundle, report.output).fuzz(budget_per_case=12)
+            rows.append(
+                {
+                    "oracle": label,
+                    "removed": report.attributes_removed,
+                    "oracle_calls": report.oracle_calls,
+                    "divergences": len(findings.findings),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    artifact_sink(
+        "ablation_oracle_strength",
+        render_table(
+            ["oracle", "attributes removed", "oracle calls", "fuzz divergences"],
+            [
+                (r["oracle"], r["removed"], r["oracle_calls"], r["divergences"])
+                for r in rows
+            ],
+        ),
+    )
+
+    weak, shipped, hardened = rows
+    # a weaker oracle never removes less
+    assert weak["removed"] >= shipped["removed"]
+    # the shipped oracle misses the rare branch; hardening fixes it
+    assert shipped["divergences"] > 0
+    assert hardened["divergences"] == 0
+    # hardening costs a few attributes (the rare branch's dependencies)
+    assert hardened["removed"] <= shipped["removed"]

@@ -1,0 +1,31 @@
+"""Figure 1: cold/warm phase breakdown for the resnet application.
+
+Regenerates the lifecycle split of Figure 1 — unbilled instance init +
+image transmission, billed Function Initialization + Execution — and
+checks the paper's headline claims: initialization is a large share of the
+cold-start E2E and of the bill.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import fig1_breakdown
+from repro.analysis.tables import render_fig1
+
+
+def test_fig01_breakdown(benchmark, ws, artifact_sink):
+    breakdown = benchmark.pedantic(
+        lambda: fig1_breakdown(ws, app="resnet"), rounds=1, iterations=1
+    )
+    artifact_sink("fig01_breakdown", render_fig1(breakdown))
+
+    # Paper: Function Initialization is up to ~29% of cold E2E and a large
+    # fraction of the bill for resnet-class applications.
+    assert breakdown["init_share_of_e2e"] > 0.25
+    assert breakdown["init_share_of_billed"] > 0.4
+    # a cold start pays initialization + platform prep on top of the
+    # (execution-dominated) warm latency
+    extra = breakdown["cold_e2e_s"] - breakdown["warm_e2e_s"]
+    assert extra > breakdown["function_init_s"] * 0.9
+    # billed phases: init + exec; unbilled: instance init + transmission
+    assert breakdown["function_init_s"] > 0
+    assert breakdown["image_transmission_s"] >= 0

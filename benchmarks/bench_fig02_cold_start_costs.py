@@ -1,0 +1,38 @@
+"""Figure 2: billed duration and monetary cost of cold starts per app.
+
+The paper's findings: initialization often exceeds execution in the billed
+duration (median share ~54%), with spacy and tensorflow above 90%, and
+the share is higher for the larger applications.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.analysis.experiments import fig2_cold_start_costs
+from repro.analysis.tables import render_fig2
+
+
+def test_fig02_cold_start_costs(benchmark, ws, artifact_sink):
+    rows = benchmark.pedantic(
+        lambda: fig2_cold_start_costs(ws), rounds=1, iterations=1
+    )
+    artifact_sink("fig02_cold_start_costs", render_fig2(rows))
+
+    by_app = {r["app"]: r for r in rows}
+    shares = [r["import_share"] for r in rows]
+
+    # "the worst offenders (spacy and tensorflow) spend >90% of their
+    # billed duration on initialization"
+    assert by_app["spacy"]["import_share"] > 0.9
+    assert by_app["tensorflow"]["import_share"] > 0.9
+    # "the median share for initialization tasks is 53.75%" — with Table 1
+    # exec times (many near-zero) the emulated shares skew higher; the
+    # claim that holds is "often greater than the execution time"
+    assert statistics.median(shares) > 0.5
+    assert sum(1 for s in shares if s > 0.5) > len(shares) / 2
+    # larger applications skew higher (resnet/huggingface > 50%)
+    assert by_app["resnet"]["import_share"] > 0.5
+    assert by_app["huggingface"]["import_share"] > 0.5
+    # every application costs something per 100K cold invocations
+    assert all(r["cost_per_100k"] > 0 for r in rows)

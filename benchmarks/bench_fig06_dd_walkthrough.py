@@ -1,0 +1,21 @@
+"""Figure 6: the DD walkthrough on the simplified torch attribute set."""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import fig6_dd_walkthrough
+from repro.analysis.tables import render_fig6_trace
+
+
+def test_fig06_dd_walkthrough(benchmark, artifact_sink):
+    outcome = benchmark(fig6_dd_walkthrough)
+    artifact_sink("fig06_dd_walkthrough", render_fig6_trace(outcome))
+
+    # the four needed attributes survive; SGD and MSELoss are removed
+    assert set(outcome.minimal) == {"tensor", "add", "view", "Linear"}
+    # the walkthrough is a real search: several granularity levels appear
+    levels = {step.granularity for step in outcome.trace}
+    assert len(levels) >= 3
+    # the cache skips already-tested configurations (paper step 10 note)
+    assert all(
+        not step.cached or step.step > 1 for step in outcome.trace
+    )

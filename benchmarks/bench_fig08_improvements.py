@@ -1,0 +1,47 @@
+"""Figure 8: λ-trim's E2E latency, memory, and cost improvements per app.
+
+The headline result.  Paper shape to preserve: average ~1.2x E2E speedup
+with a maximum of ~2x (resnet); average ~10% memory improvement with a
+maximum of ~42% (skimage); average ~20% cost reduction with many
+applications cut by far more; ffmpeg and image-resize barely improve
+(executable-wrapper libraries).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.analysis.experiments import fig8_improvements
+from repro.analysis.tables import render_fig8
+
+
+def test_fig08_improvements(benchmark, ws, artifact_sink):
+    results = benchmark.pedantic(lambda: fig8_improvements(ws), rounds=1, iterations=1)
+    artifact_sink("fig08_improvements", render_fig8(results))
+
+    by_app = {r.app: r for r in results}
+    assert len(results) == 21
+
+    # correctness: trimming never makes anything slower or bigger
+    for result in results:
+        assert result.e2e_speedup >= 0.99
+        assert result.memory_improvement >= -1.0
+        assert result.cost_improvement >= -1.0
+
+    # resnet is the E2E headline: ~2x speedup
+    assert by_app["resnet"].e2e_speedup > 1.7
+    assert max(r.e2e_speedup for r in results) == by_app["resnet"].e2e_speedup
+
+    # skimage's memory/cost numbers are the paper's showpieces
+    assert by_app["skimage"].memory_improvement > 35.0
+    assert by_app["skimage"].cost_improvement > 35.0
+
+    # the executable wrappers barely improve
+    assert by_app["ffmpeg"].e2e_speedup < 1.05
+    assert by_app["image-resize"].cost_improvement < 10.0
+
+    # population averages land in the paper's band
+    mean_speedup = statistics.fmean(r.e2e_speedup for r in results)
+    mean_cost = statistics.fmean(r.cost_improvement for r in results)
+    assert 1.05 < mean_speedup < 1.6
+    assert 10.0 < mean_cost < 50.0

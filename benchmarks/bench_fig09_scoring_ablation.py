@@ -1,0 +1,43 @@
+"""Figure 9: profiler scoring-method ablation (time/memory/combined/random).
+
+Paper finding: "the combined scoring method constantly outperforms the
+other three methods" on the representative dna-visualization / lightgbm /
+spacy trio.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.analysis.experiments import REPRESENTATIVE_APPS, fig9_scoring_ablation
+from repro.analysis.tables import render_fig9
+
+
+def test_fig09_scoring_ablation(benchmark, ws, artifact_sink):
+    rows = benchmark.pedantic(
+        lambda: fig9_scoring_ablation(ws), rounds=1, iterations=1
+    )
+    artifact_sink("fig09_scoring_ablation", render_fig9(rows))
+
+    assert {r["app"] for r in rows} == set(REPRESENTATIVE_APPS)
+
+    for app in REPRESENTATIVE_APPS:
+        app_rows = {r["method"]: r for r in rows if r["app"] == app}
+        combined = app_rows["combined"]["cost_improvement"]
+        # combined is never (meaningfully) beaten on cost
+        for method in ("time", "memory", "random"):
+            assert combined >= app_rows[method]["cost_improvement"] - 2.0, (
+                f"{app}: combined ({combined:.1f}%) lost to {method} "
+                f"({app_rows[method]['cost_improvement']:.1f}%)"
+            )
+
+    # and on average it strictly wins
+    mean_by_method = {
+        method: statistics.fmean(
+            r["cost_improvement"] for r in rows if r["method"] == method
+        )
+        for method in ("time", "memory", "combined", "random")
+    }
+    assert mean_by_method["combined"] >= max(
+        v for k, v in mean_by_method.items() if k != "combined"
+    ) - 1e-9

@@ -1,0 +1,33 @@
+"""Figure 10: improvement as a function of K (modules to debloat).
+
+Paper finding: "improvements as the number of modules to debloat grows up
+until K = 20 from which point onwards there is a plateau"; memory, E2E,
+and cost follow the same growth pattern.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import REPRESENTATIVE_APPS, fig10_varying_k
+from repro.analysis.tables import render_fig10
+
+KS = (1, 5, 10, 15, 20, 30, 40, 50)
+
+
+def test_fig10_varying_k(benchmark, ws, artifact_sink):
+    rows = benchmark.pedantic(
+        lambda: fig10_varying_k(ws, ks=KS), rounds=1, iterations=1
+    )
+    artifact_sink("fig10_varying_k", render_fig10(rows))
+
+    for app in REPRESENTATIVE_APPS:
+        series = sorted(
+            (r for r in rows if r["app"] == app), key=lambda r: r["k"]
+        )
+        cost = [r["cost_improvement"] for r in series]
+        # growth: K=20 must beat K=1 (more modules, more removal)
+        assert cost[KS.index(20)] >= cost[KS.index(1)] - 1e-9
+        # plateau: K=50 adds (almost) nothing over K=20
+        assert abs(cost[KS.index(50)] - cost[KS.index(20)]) < 3.0
+        # monotone-ish growth: no K should do worse than the previous by much
+        for earlier, later in zip(cost, cost[1:]):
+            assert later >= earlier - 3.0

@@ -1,0 +1,23 @@
+"""Figure 11: λ-trim's impact on warm-start E2E latency.
+
+Paper finding: "the difference is less than 1 second, or 10%, for all
+applications" — debloated behaviour is identical once warm.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import fig11_warm_starts
+from repro.analysis.tables import render_fig11
+
+
+def test_fig11_warm_starts(benchmark, ws, artifact_sink):
+    rows = benchmark.pedantic(lambda: fig11_warm_starts(ws), rounds=1, iterations=1)
+    artifact_sink("fig11_warm_starts", render_fig11(rows))
+
+    assert len(rows) == 21
+    for row in rows:
+        delta_s = abs(row["original_e2e_s"] - row["trimmed_e2e_s"])
+        assert delta_s < 1.0, f"{row['app']}: warm delta {delta_s:.3f}s"
+        assert abs(row["impact_pct"]) < 10.0, (
+            f"{row['app']}: warm impact {row['impact_pct']:.1f}%"
+        )

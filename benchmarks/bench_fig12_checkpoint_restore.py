@@ -1,0 +1,42 @@
+"""Figure 12: initialization time — original vs C/R vs λ-trim vs C/R+λ-trim.
+
+Paper shape: for small applications (<0.2 s init) λ-trim outperforms all
+variants and C/R is *worse* than the baseline (the ~0.1 s CRIU restore
+floor); for large applications pure C/R beats pure λ-trim — lightgbm
+being the exception — and the techniques are complementary (C/R+λ-trim
+restores from a smaller checkpoint).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import fig12_checkpoint_restore
+from repro.analysis.tables import render_fig12
+
+
+def test_fig12_checkpoint_restore(benchmark, ws, artifact_sink):
+    rows = benchmark.pedantic(
+        lambda: fig12_checkpoint_restore(ws), rounds=1, iterations=1
+    )
+    artifact_sink("fig12_checkpoint_restore", render_fig12(rows))
+
+    by_app = {r["app"]: r for r in rows}
+
+    # small apps: C/R worse than the baseline, λ-trim the best variant
+    for app in ("markdown", "igraph"):
+        row = by_app[app]
+        assert row["cr_init_s"] > row["original_init_s"], app
+        assert row["trim_init_s"] <= row["original_init_s"], app
+
+    # large apps: pure C/R beats pure λ-trim (resnet, huggingface, spacy)
+    for app in ("huggingface", "spacy", "tensorflow"):
+        row = by_app[app]
+        assert row["cr_init_s"] < row["trim_init_s"], app
+
+    # lightgbm is the paper's exception: debloating wins even at its size
+    lgb = by_app["lightgbm"]
+    assert lgb["trim_init_s"] < lgb["cr_init_s"]
+
+    # complementarity: C/R + λ-trim restores from a smaller checkpoint
+    for row in rows:
+        assert row["cr_trim_init_s"] <= row["cr_init_s"] + 1e-9
+        assert row["ckpt_trim_mb"] <= row["ckpt_mb"] + 1e-9

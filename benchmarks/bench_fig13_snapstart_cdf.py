@@ -1,0 +1,30 @@
+"""Figure 13: CDF of SnapStart cost share over total cost (Azure trace).
+
+Paper finding: "even with a keep-alive duration much longer than common
+practice, SnapStart doubles the cost of the majority of the applications"
+— the median function spends >60% of its budget on C/R support, mostly
+caching.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import fig13_snapstart_cdf
+from repro.analysis.tables import render_fig13
+
+
+def test_fig13_snapstart_cdf(benchmark, artifact_sink):
+    cdf = benchmark.pedantic(
+        lambda: fig13_snapstart_cdf(n_functions=400), rounds=1, iterations=1
+    )
+    artifact_sink("fig13_snapstart_cdf", render_fig13(cdf))
+
+    for minutes, shares in cdf.items():
+        n = len(shares)
+        median = shares[n // 2]
+        # the median function spends the majority of its budget on C/R
+        assert median > 0.5, f"keep-alive {minutes}min: median {median:.0%}"
+        # but the hottest functions amortize it away (a low tail exists)
+        assert shares[0] < 0.3
+
+    # longer keep-alive -> fewer restores -> (weakly) lower shares
+    assert sum(cdf[100]) <= sum(cdf[1]) + 1e-6

@@ -1,0 +1,75 @@
+"""Micro-benchmarks for the hot paths of the λ-trim machinery.
+
+These are conventional pytest-benchmark timings (many iterations) of the
+operations the DD loop executes thousands of times per application:
+decomposition, source rebuilding, oracle probes, DD itself, and the
+platform emulator's invocation path.
+"""
+
+from __future__ import annotations
+
+from repro.core.ast_transform import rebuild_source
+from repro.core.dd import ddmin_keep
+from repro.core.granularity import decompose_module
+from repro.core.oracle import OracleRunner
+from repro.platform import LambdaEmulator
+from repro.workloads.catalog import library_spec
+from repro.workloads.synthlib import render_module
+
+
+def _numpy_source() -> str:
+    spec = library_spec("numpy")
+    return render_module(spec, spec.module(""))
+
+
+def test_decompose_numpy_root(benchmark):
+    """Parsing + decomposing a 537-attribute module (per DD run)."""
+    source = _numpy_source()
+    decomposition = benchmark(lambda: decompose_module(source))
+    assert decomposition.attribute_count == 537
+
+
+def test_rebuild_numpy_root(benchmark):
+    """Rebuilding the module with half its attributes (per oracle call)."""
+    decomposition = decompose_module(_numpy_source())
+    half = decomposition.components[::2]
+    source = benchmark(lambda: rebuild_source(decomposition, half))
+    assert source
+
+
+def test_dd_search_64_components(benchmark):
+    """A full DD minimization over 64 components with 6 needed."""
+    needed = {3, 17, 31, 32, 49, 60}
+
+    outcome = benchmark(
+        lambda: ddmin_keep(list(range(64)), lambda c: needed.issubset(set(c)))
+    )
+    assert set(outcome.minimal) == needed
+
+
+def test_oracle_probe_toy_app(benchmark, toy_session_app):
+    """One oracle probe: cold-import the app and compare observables."""
+    runner = OracleRunner(toy_session_app)
+    result = benchmark(lambda: runner.check(toy_session_app))
+    assert result.passed
+
+
+def test_emulator_warm_invocation(benchmark, toy_session_app):
+    """Warm-start invocation throughput on the emulator."""
+    emulator = LambdaEmulator()
+    emulator.deploy(toy_session_app, name="bench")
+    event = {"x": [1.0, 2.0], "y": [3.0, 4.0]}
+    emulator.invoke("bench", event)  # warm it
+
+    record = benchmark(lambda: emulator.invoke("bench", event))
+    assert not record.is_cold
+
+
+def test_emulator_cold_invocation(benchmark, toy_session_app):
+    """Forced cold-start invocation cost (instance load each time)."""
+    emulator = LambdaEmulator()
+    emulator.deploy(toy_session_app, name="cold")
+    event = {"x": [1.0], "y": [2.0]}
+
+    record = benchmark(lambda: emulator.invoke("cold", event, force_cold=True))
+    assert record.is_cold

@@ -1,0 +1,49 @@
+"""Sensitivity sweep: λ-trim's value as a function of keep-alive policy.
+
+Cold starts are where debloating pays (Section 2.1: the keep-alive window
+decides how often initialization lands on the bill).  This sweep prices a
+matched 24-hour trace for lightgbm under keep-alives from 1 to 60
+minutes: the shorter the keep-alive, the more cold starts, the larger
+λ-trim's relative saving.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.sweeps import keep_alive_sweep
+from repro.analysis.tables import render_table
+
+APP = "lightgbm"
+
+
+def test_sweep_keep_alive(benchmark, ws, artifact_sink):
+    rows = benchmark.pedantic(
+        lambda: keep_alive_sweep(ws, APP), rounds=1, iterations=1
+    )
+    artifact_sink(
+        "sweep_keep_alive",
+        render_table(
+            ["keep-alive (min)", "cold starts/day", "warm starts/day",
+             "original ($/day)", "λ-trim ($/day)", "saving"],
+            [
+                (
+                    r["keep_alive_min"],
+                    r["cold_starts"],
+                    r["warm_starts"],
+                    f"{r['cost_original']:.3e}",
+                    f"{r['cost_trimmed']:.3e}",
+                    f"{r['saving_pct']:.1f}%",
+                )
+                for r in rows
+            ],
+        ),
+    )
+
+    # longer keep-alive => never more cold starts
+    colds = [r["cold_starts"] for r in rows]
+    assert colds == sorted(colds, reverse=True)
+    # λ-trim always saves, and saves the most at the shortest keep-alive
+    assert all(r["saving_pct"] >= 0 for r in rows)
+    assert rows[0]["saving_pct"] >= rows[-1]["saving_pct"] - 1e-9
+    # with any cold starts at all the saving is real
+    assert rows[0]["cold_starts"] > 0
+    assert rows[0]["saving_pct"] > 5.0

@@ -1,0 +1,26 @@
+"""Table 1: the 21 benchmarked applications and their measured latencies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import table1_applications
+from repro.analysis.tables import render_table1
+
+
+def test_table1_applications(benchmark, ws, artifact_sink):
+    rows = benchmark.pedantic(lambda: table1_applications(ws), rounds=1, iterations=1)
+    artifact_sink("table1_applications", render_table1(rows))
+
+    assert len(rows) == 21
+    for row in rows:
+        # measured import/E2E should land near the paper's Table 1 values
+        assert row["import_s"] == pytest.approx(
+            row["paper_import_s"], rel=0.25, abs=0.05
+        )
+        assert row["e2e_s"] == pytest.approx(row["paper_e2e_s"], rel=0.25, abs=0.3)
+    # resnet and huggingface are the heavyweight initializers
+    by_app = {r["app"]: r for r in rows}
+    heaviest = sorted(rows, key=lambda r: -r["import_s"])[:2]
+    assert {r["app"] for r in heaviest} == {"resnet", "huggingface"}
+    assert by_app["ffmpeg"]["import_s"] < 0.1

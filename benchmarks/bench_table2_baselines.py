@@ -1,0 +1,35 @@
+"""Table 2: λ-trim vs FaaSLight vs Vulture on the FaaSLight app set.
+
+Shape to preserve: λ-trim has greater memory improvements in general (its
+fine-grained ``from import`` handling); both λ-trim and FaaSLight far
+outperform Vulture, whose application-only view yields ~0-3%.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.analysis.experiments import FAASLIGHT_APPS, table2_baselines
+from repro.analysis.tables import render_table2
+
+
+def test_table2_baselines(benchmark, ws, artifact_sink):
+    rows = benchmark.pedantic(lambda: table2_baselines(ws), rounds=1, iterations=1)
+    artifact_sink("table2_baselines", render_table2(rows))
+
+    assert [r["app"] for r in rows] == list(FAASLIGHT_APPS)
+
+    lt_memory = [r["lambda_trim_memory"] for r in rows]
+    fl_memory = [r["faaslight_memory"] for r in rows]
+    lt_import = [r["lambda_trim_import"] for r in rows]
+    vulture_import = [r["vulture_import"] for r in rows]
+
+    # improvements are negative percentages; λ-trim's memory wins on average
+    assert statistics.fmean(lt_memory) < statistics.fmean(fl_memory)
+    # both real debloaters beat Vulture on import time
+    assert statistics.fmean(lt_import) < statistics.fmean(vulture_import)
+    # Vulture's effect is tiny (|x| < 5%)
+    assert all(abs(v) < 5.0 for v in vulture_import)
+    # λ-trim's import reduction is substantial for lightgbm (Table 2: -54.8%)
+    by_app = {r["app"]: r for r in rows}
+    assert by_app["lightgbm"]["lambda_trim_import"] < -40.0

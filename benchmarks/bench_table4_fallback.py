@@ -1,0 +1,41 @@
+"""Table 4: E2E latencies when triggering the fallback mechanism.
+
+Paper findings (Section 8.7): the setup overhead is ~50 ms; a cold
+fallback's start latency dominates, roughly doubling the E2E of a cold
+λ-trim invocation and contributing >90% of the latency of a warm one.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import table4_fallback
+from repro.analysis.tables import render_table4
+
+
+def test_table4_fallback(benchmark, ws, artifact_sink):
+    rows = benchmark.pedantic(lambda: table4_fallback(ws), rounds=1, iterations=1)
+    artifact_sink("table4_fallback", render_table4(rows))
+
+    assert {r["app"] for r in rows} == {
+        "dna-visualization",
+        "lightgbm",
+        "spacy",
+        "huggingface",
+    }
+    for row in rows:
+        app = row["app"]
+        # λ-trim without errors is at least as fast as the original
+        assert row["trim_cold_s"] <= row["original_cold_s"] * 1.05, app
+
+        # cold fallback ~doubles the E2E of a cold λ-trim invocation
+        assert row["fallback_cold_cold_s"] > 1.5 * row["trim_cold_s"], app
+
+        # a cold fallback dominates a warm λ-trim function's latency
+        cold_fb_share = (
+            row["fallback_warm_cold_s"] - row["trim_warm_s"]
+        ) / row["fallback_warm_cold_s"]
+        assert cold_fb_share > 0.8, app
+
+        # warm+warm is the cheapest failure mode but still pays the ~50 ms
+        # setup plus a second (warm) invocation
+        assert row["fallback_warm_warm_s"] > 0.05, app
+        assert row["fallback_warm_warm_s"] < row["fallback_warm_cold_s"], app

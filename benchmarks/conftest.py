@@ -1,0 +1,45 @@
+"""Shared fixtures for the benchmark harness.
+
+One :class:`~repro.analysis.workspace.Workspace` is shared across the whole
+benchmark session so λ-trim runs once per (app, config); every bench file
+regenerates its table/figure from that shared state, prints it, and writes
+it under ``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.workspace import Workspace
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def ws(tmp_path_factory):
+    return Workspace(tmp_path_factory.mktemp("bench-ws"))
+
+
+@pytest.fixture(scope="session")
+def artifact_sink():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def sink(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        print(f"\n=== {name} ===\n{text}")
+
+    return sink
+
+
+def pytest_collection_modifyitems(items):
+    """Run benches in file order so cheap artifacts land first."""
+    items.sort(key=lambda item: str(item.fspath))
+
+
+@pytest.fixture(scope="session")
+def toy_session_app(tmp_path_factory):
+    from repro.workloads.toy import build_toy_torch_app
+
+    return build_toy_torch_app(tmp_path_factory.mktemp("bench-toy") / "toy")

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Continuous debloating across deployments (Section 9 future work).
+
+Simulates the lifecycle of a real serverless application:
+
+1. initial λ-trim, persisting the trim log;
+2. a fuzzing campaign that discovers an untested code path (Section 5.4);
+3. an oracle extension from the findings;
+4. a *seeded* re-run that adopts everything the new oracle doesn't touch
+   from the log — most modules re-verify in a single oracle call;
+5. a handler update (new feature) and one more seeded re-run.
+
+Run:
+    python examples/continuous_debloating.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import TrimConfig
+from repro.core.fuzzer import OracleFuzzer
+from repro.core.incremental import IncrementalTrim, TrimLog, seeded_statistics
+from repro.core.oracle import OracleSpec
+from repro.core.pipeline import LambdaTrim
+from repro.workloads.apps import build_app
+
+APP = "dna-visualization"
+CONFIG = TrimConfig(max_oracle_calls_per_module=300)
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="continuous-"))
+    bundle = build_app(APP, workdir / APP)
+    log_path = workdir / "trim-log.json"
+
+    # -- 1. initial debloating ------------------------------------------------
+    first = LambdaTrim(CONFIG).run(bundle, workdir / "v1")
+    TrimLog.from_report(first).save(log_path)
+    print(f"v1: {first.attributes_removed} attributes removed "
+          f"({first.oracle_calls} oracle calls)")
+
+    # -- 2./3. fuzz and extend the oracle ---------------------------------------
+    findings = OracleFuzzer(bundle, first.output).fuzz(budget_per_case=15)
+    print(f"fuzz: {findings.executed} mutants, "
+          f"{len(findings.findings)} divergence(s) found")
+    spec = OracleSpec.from_bundle(bundle)
+    for case in findings.suggested_cases():
+        spec.add_case(case)
+        print(f"  oracle extended with event {case.event}")
+    spec.save(bundle.oracle_path)
+
+    # -- 4. seeded re-run against the extended oracle ------------------------------
+    trimmer = IncrementalTrim(CONFIG, log=TrimLog.load(log_path))
+    second = trimmer.run(bundle, workdir / "v2")
+    trimmer.updated_log(second).save(log_path)
+    stats = seeded_statistics(second)
+    print(f"v2: {stats['adopted']} module(s) adopted from the log, "
+          f"{stats['searched']} re-searched "
+          f"({second.oracle_calls} oracle calls vs {first.oracle_calls} initially)")
+
+    verify = OracleFuzzer(bundle, second.output, spec=spec).fuzz(budget_per_case=15)
+    print(f"re-fuzz: {'clean' if verify.clean else 'still diverging!'}")
+
+    # -- 5. the handler grows a feature; re-run stays cheap -------------------------
+    handler = bundle.handler_source().replace(
+        'print(f"visualised {len(sequence)} bases")',
+        'print(f"visualised {len(sequence)} bases")\n'
+        "    _ = squiggle.transform(sequence[::-1])  # new: reverse strand",
+    )
+    bundle.handler_path.write_text(handler)
+    trimmer = IncrementalTrim(CONFIG, log=TrimLog.load(log_path))
+    third = trimmer.run(bundle, workdir / "v3")
+    stats = seeded_statistics(third)
+    print(f"v3 (after handler update): {stats['adopted']} adopted, "
+          f"{stats['searched']} re-searched "
+          f"({third.oracle_calls} oracle calls)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""The fallback safety net in action (Section 5.4, Table 4).
+
+Debloats an application whose handler has a rarely-taken code path that
+the oracle never exercised, sends an input down that path, and shows the
+fallback wrapper catching the ``AttributeError`` and recovering via the
+original function — plus the oracle-extension workflow that makes the
+failure permanent-proof.
+
+Run:
+    python examples/fallback_safety_net.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import LambdaEmulator, LambdaTrim, TrimConfig
+from repro.core.fallback import FallbackWrapper
+from repro.core.oracle import OracleCase, OracleSpec
+from repro.workloads.apps import build_app
+
+APP = "dna-visualization"
+NORMAL_EVENT = {"sequence": "ACGTACGT"}
+RARE_EVENT = {"sequence": "ACGT", "mode": "interactive"}  # not in the oracle!
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="fallback-demo-"))
+    bundle = build_app(APP, workdir / APP)
+
+    print(f"debloating {APP} against its shipped oracle "
+          f"({len(OracleSpec.from_bundle(bundle))} cases)...")
+    report = LambdaTrim(TrimConfig(max_oracle_calls_per_module=600)).run(
+        bundle, workdir / f"{APP}-trimmed"
+    )
+    print(report.summary())
+
+    emulator = LambdaEmulator()
+    emulator.deploy(report.output, name="primary")
+    emulator.deploy(bundle, name="original-fallback")
+
+    wrapper = FallbackWrapper(
+        primary=lambda event, context: emulator.invoke("primary", event, context),
+        original=lambda event, context: emulator.invoke(
+            "original-fallback", event, context
+        ),
+    )
+
+    # Normal operation: the wrapper is transparent.
+    outcome = wrapper.invoke(NORMAL_EVENT, None)
+    print(f"\nnormal event   -> fallback used: {outcome.used_fallback}, "
+          f"value: {outcome.value}")
+
+    # The rare path touches an attribute DD removed: the wrapper recovers.
+    outcome = wrapper.invoke(RARE_EVENT, None)
+    print(f"rare event     -> fallback used: {outcome.used_fallback}, "
+          f"value: {outcome.value}")
+    print(f"notification   -> {outcome.notification}")
+
+    # Section 5.4's remedy: add the failing input to the oracle and re-run.
+    spec = OracleSpec.from_bundle(bundle)
+    spec.add_case(OracleCase("interactive-mode", RARE_EVENT))
+    spec.save(bundle.oracle_path)
+    report2 = LambdaTrim(TrimConfig(max_oracle_calls_per_module=600)).run(
+        bundle, workdir / f"{APP}-retrimmed"
+    )
+
+    emulator.deploy(report2.output, name="retrimmed")
+    record = emulator.invoke("retrimmed", RARE_EVENT)
+    print(f"\nafter extending the oracle and re-running λ-trim:")
+    print(f"rare event     -> ok: {record.ok}, value: {record.value} "
+          f"(no fallback needed)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""repro — a full reproduction of λ-trim (ASPLOS 2025).
+
+λ-trim optimizes Python serverless applications with cost-driven
+debloating: a static analyzer finds imported modules, a profiler ranks
+them by marginal monetary cost under the serverless pricing model, and a
+delta-debugging debloater removes redundant attributes while an oracle
+guarantees output equivalence.
+
+Quickstart::
+
+    from pathlib import Path
+    from repro import AppBundle, LambdaTrim, LambdaEmulator
+    from repro.workloads.toy import build_toy_torch_app
+
+    bundle = build_toy_torch_app(Path("/tmp/toy"))
+    report = LambdaTrim().run(bundle, Path("/tmp/toy-trimmed"))
+    print(report.summary())
+
+    emulator = LambdaEmulator()
+    emulator.deploy(report.output)
+    record = emulator.invoke(bundle.name, {"x": [1.0, 2.0], "y": [3.0, 4.0]})
+    print(record.report_line())
+
+Subpackages
+-----------
+
+``repro.core``
+    The λ-trim pipeline (Figure 3) and its machinery.
+``repro.platform``
+    The serverless platform emulator (deploy/invoke/bill).
+``repro.pricing``
+    Eq. 1 pricing models and SnapStart pricing.
+``repro.workloads``
+    Synthetic library generator and the 21 Table 1 applications.
+``repro.checkpoint``
+    CRIU-style checkpoint/restore simulator.
+``repro.traces``
+    Azure-style trace generation and trace-driven cost simulation.
+``repro.baselines``
+    FaaSLight- and Vulture-style comparators.
+``repro.analysis``
+    Experiment drivers and renderers for every table and figure.
+"""
+
+from repro.bundle import AppBundle, BundleManifest
+from repro.core import DebloatReport, LambdaTrim, TrimConfig
+from repro.errors import ReproError
+from repro.platform import LambdaEmulator
+from repro.vm import Meter, metered
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AppBundle",
+    "BundleManifest",
+    "DebloatReport",
+    "LambdaTrim",
+    "TrimConfig",
+    "LambdaEmulator",
+    "Meter",
+    "metered",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,39 @@
+"""Experiment drivers and renderers for every table and figure.
+
+Each ``figN_*`` / ``tableN_*`` function in :mod:`repro.analysis.experiments`
+regenerates one artifact of the paper's evaluation (Section 8);
+:mod:`repro.analysis.tables` renders the results as aligned text tables so
+benchmark runs print the same rows/series the paper reports.
+:mod:`repro.analysis.report` collects everything into one markdown
+document; :mod:`repro.analysis.validation` quantifies calibration drift
+against the paper's numbers.
+"""
+
+from repro.analysis.measure import (
+    ColdStartStats,
+    WarmStartStats,
+    measure_cold,
+    measure_warm,
+)
+from repro.analysis.report import generate_report, write_report
+from repro.analysis.sweeps import keep_alive_sweep
+from repro.analysis.validation import (
+    CalibrationRow,
+    validate_table1,
+    validate_table2,
+)
+from repro.analysis.workspace import Workspace
+
+__all__ = [
+    "ColdStartStats",
+    "WarmStartStats",
+    "measure_cold",
+    "measure_warm",
+    "generate_report",
+    "write_report",
+    "keep_alive_sweep",
+    "CalibrationRow",
+    "validate_table1",
+    "validate_table2",
+    "Workspace",
+]

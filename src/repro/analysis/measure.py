@@ -1,0 +1,134 @@
+"""Measurement helpers: the paper's Section 2.2.2 methodology.
+
+Cold starts are forced by updating the function between invocations (the
+paper's description-field trick); metrics come from the emulator's
+execution log.  Monetary cost is reported for 100K invocations at the AWS
+unit price, with memory configured to the measured peak footprint
+(128 MB floor).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from repro.bundle import AppBundle
+from repro.core.oracle import OracleSpec
+from repro.platform import LambdaEmulator
+from repro.pricing import AwsLambdaPricing, billable_memory_mb
+
+__all__ = [
+    "COST_INVOCATIONS",
+    "ColdStartStats",
+    "WarmStartStats",
+    "measure_cold",
+    "measure_warm",
+]
+
+COST_INVOCATIONS = 100_000  # Figure 2 prices cold starts per 100K invocations
+
+
+@dataclass(frozen=True)
+class ColdStartStats:
+    """Averaged cold-start metrics for one application."""
+
+    app: str
+    import_s: float
+    exec_s: float
+    e2e_s: float
+    billed_s: float
+    instance_init_s: float
+    transmission_s: float
+    memory_mb: float
+    configured_mb: int
+    cost_per_100k: float
+    invocations: int
+
+    @property
+    def import_share(self) -> float:
+        """Fraction of billed duration spent in Function Initialization."""
+        return self.import_s / self.billed_s if self.billed_s else 0.0
+
+
+@dataclass(frozen=True)
+class WarmStartStats:
+    """Averaged warm-start metrics for one application."""
+
+    app: str
+    exec_s: float
+    e2e_s: float
+    invocations: int
+
+
+def _oracle_events(bundle: AppBundle) -> list:
+    spec = OracleSpec.from_bundle(bundle)
+    return [(case.event, case.context) for case in spec.cases]
+
+
+def measure_cold(
+    bundle: AppBundle,
+    *,
+    invocations: int = 3,
+    emulator: LambdaEmulator | None = None,
+) -> ColdStartStats:
+    """Force *invocations* cold starts and average the log records."""
+    emu = emulator if emulator is not None else LambdaEmulator()
+    emu.deploy(bundle)
+    events = _oracle_events(bundle)
+
+    records = []
+    for i in range(invocations):
+        event, context = events[i % len(events)]
+        record = emu.invoke(bundle.name, event, context, force_cold=True)
+        if not record.ok:
+            raise RuntimeError(
+                f"{bundle.name} failed during measurement: {record.error_type}"
+            )
+        records.append(record)
+
+    peak_mb = max(r.peak_memory_mb for r in records)
+    configured = billable_memory_mb(peak_mb)
+    billed = statistics.fmean(r.billed_duration_s for r in records)
+    pricing = AwsLambdaPricing()
+    cost = pricing.cost_for_invocations(billed, configured, COST_INVOCATIONS)
+
+    return ColdStartStats(
+        app=bundle.name,
+        import_s=statistics.fmean(r.init_duration_s for r in records),
+        exec_s=statistics.fmean(r.exec_duration_s for r in records),
+        e2e_s=statistics.fmean(r.e2e_s for r in records),
+        billed_s=billed,
+        instance_init_s=statistics.fmean(r.instance_init_s for r in records),
+        transmission_s=statistics.fmean(r.transmission_s for r in records),
+        memory_mb=peak_mb,
+        configured_mb=configured,
+        cost_per_100k=cost,
+        invocations=invocations,
+    )
+
+
+def measure_warm(
+    bundle: AppBundle,
+    *,
+    invocations: int = 3,
+    emulator: LambdaEmulator | None = None,
+) -> WarmStartStats:
+    """One cold start, then *invocations* warm starts; averages the warm ones."""
+    emu = emulator if emulator is not None else LambdaEmulator()
+    emu.deploy(bundle)
+    events = _oracle_events(bundle)
+
+    emu.invoke(bundle.name, events[0][0], events[0][1])  # warm the instance
+    records = []
+    for i in range(invocations):
+        event, context = events[i % len(events)]
+        record = emu.invoke(bundle.name, event, context)
+        assert not record.is_cold, "warm measurement hit a cold start"
+        records.append(record)
+
+    return WarmStartStats(
+        app=bundle.name,
+        exec_s=statistics.fmean(r.exec_duration_s for r in records),
+        e2e_s=statistics.fmean(r.e2e_s for r in records),
+        invocations=invocations,
+    )

@@ -1,0 +1,78 @@
+"""Sensitivity sweeps beyond the paper's fixed settings.
+
+The paper evaluates at AWS-like defaults (Section 2.1's keep-alive
+discussion, a 15-minute assumption in Figure 14).  These sweeps vary the
+platform knobs to show *when* λ-trim matters:
+
+* :func:`keep_alive_sweep` — cold-start frequency falls as keep-alive
+  grows, so λ-trim's initialization savings are amortised away for warm
+  traffic; the sweep quantifies the crossover for a real application
+  trace.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.measure import measure_cold
+from repro.analysis.workspace import Workspace
+from repro.pricing import AwsLambdaPricing, billable_memory_mb
+from repro.traces import AzureTraceGenerator, TraceSimulator, match_function
+
+__all__ = ["keep_alive_sweep"]
+
+DEFAULT_KEEP_ALIVES_MIN = (1, 5, 15, 30, 60)
+
+
+def keep_alive_sweep(
+    ws: Workspace,
+    app: str,
+    *,
+    keep_alives_min: tuple[int, ...] = DEFAULT_KEEP_ALIVES_MIN,
+    n_functions: int = 300,
+    seed: int = 2025,
+) -> list[dict]:
+    """Daily cost of original vs λ-trim across keep-alive policies.
+
+    The application is matched to its nearest Azure-style trace function
+    and priced over 24 hours: cold starts bill initialization, warm starts
+    don't.  Shorter keep-alives mean more cold starts and therefore more
+    initialization on the bill — the regime where debloating pays.
+    """
+    generator = AzureTraceGenerator(seed=seed)
+    traces = generator.generate(n_functions)
+
+    original = measure_cold(ws.bundle(app), invocations=2)
+    trimmed = measure_cold(ws.trimmed_bundle(app), invocations=2)
+    trace = match_function(
+        traces, memory_mb=original.memory_mb, duration_s=original.exec_s
+    )
+    pricing = AwsLambdaPricing()
+
+    rows: list[dict] = []
+    for minutes in keep_alives_min:
+        simulator = TraceSimulator(keep_alive_s=minutes * 60, pricing=pricing)
+        counts = simulator.start_counts(
+            list(trace.timestamps), duration_s=max(original.exec_s, 0.001)
+        )
+
+        def daily_cost(stats) -> float:
+            memory = billable_memory_mb(stats.memory_mb)
+            warm = pricing.invocation_cost(stats.exec_s, memory) * counts.warm
+            cold = (
+                pricing.invocation_cost(stats.exec_s + stats.import_s, memory)
+                * counts.cold
+            )
+            return warm + cold
+
+        before = daily_cost(original)
+        after = daily_cost(trimmed)
+        rows.append(
+            {
+                "keep_alive_min": minutes,
+                "cold_starts": counts.cold,
+                "warm_starts": counts.warm,
+                "cost_original": before,
+                "cost_trimmed": after,
+                "saving_pct": (before - after) / before * 100 if before else 0.0,
+            }
+        )
+    return rows

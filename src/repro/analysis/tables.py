@@ -1,0 +1,308 @@
+"""Text renderers: print each experiment as the paper's rows/series."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.analysis.experiments import AppImprovement
+from repro.core.dd import DDOutcome
+
+__all__ = [
+    "render_table",
+    "render_fig1",
+    "render_table1",
+    "render_fig2",
+    "render_fig6_trace",
+    "render_fig8",
+    "render_table2",
+    "render_fig9",
+    "render_table3",
+    "render_fig10",
+    "render_fig11",
+    "render_fig12",
+    "render_fig13",
+    "render_fig14",
+    "render_table4",
+]
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render an aligned text table."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in materialized:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_fig1(breakdown: dict) -> str:
+    return render_table(
+        ["phase", "seconds", "billed"],
+        [
+            ("instance init", f"{breakdown['instance_init_s']:.2f}", "no"),
+            ("image transmission", f"{breakdown['image_transmission_s']:.2f}", "no"),
+            ("function initialization", f"{breakdown['function_init_s']:.2f}", "yes"),
+            ("function execution", f"{breakdown['function_exec_s']:.2f}", "yes"),
+            ("cold E2E", f"{breakdown['cold_e2e_s']:.2f}", "-"),
+            ("warm E2E", f"{breakdown['warm_e2e_s']:.2f}", "-"),
+        ],
+    ) + (
+        f"\ninit share: {breakdown['init_share_of_e2e']:.0%} of E2E, "
+        f"{breakdown['init_share_of_billed']:.0%} of billed duration"
+    )
+
+
+def render_table1(rows: list[dict]) -> str:
+    return render_table(
+        ["application", "modules", "size(MB)", "import(s)", "exec(s)", "e2e(s)",
+         "paper import/exec/e2e"],
+        [
+            (
+                r["app"],
+                r["modules"],
+                f"{r['size_mb']:.1f}",
+                f"{r['import_s']:.2f}",
+                f"{r['exec_s']:.2f}",
+                f"{r['e2e_s']:.2f}",
+                f"{r['paper_import_s']:.2f}/{r['paper_exec_s']:.2f}/{r['paper_e2e_s']:.2f}",
+            )
+            for r in rows
+        ],
+    )
+
+
+def render_fig2(rows: list[dict]) -> str:
+    return render_table(
+        ["application", "import(s)", "exec(s)", "import share", "mem(MB)",
+         "cost/100K($)"],
+        [
+            (
+                r["app"],
+                f"{r['import_s']:.2f}",
+                f"{r['exec_s']:.2f}",
+                f"{r['import_share']:.1%}",
+                r["configured_mb"],
+                f"{r['cost_per_100k']:.3f}",
+            )
+            for r in rows
+        ],
+    )
+
+
+def render_fig6_trace(outcome: DDOutcome) -> str:
+    lines = [
+        f"DD walkthrough: {outcome.oracle_calls} oracle calls, "
+        f"{outcome.cache_hits} cache hits, minimal = {outcome.minimal}"
+    ]
+    for step in outcome.trace:
+        verdict = "PASS" if step.passed else "FAIL"
+        cached = " (cached)" if step.cached else ""
+        lines.append(
+            f"  step {step.step:2d} n={step.granularity:<2d} {step.kind:<10s} "
+            f"{verdict}{cached}  {{{', '.join(map(str, step.tested))}}}"
+        )
+    return "\n".join(lines)
+
+
+def render_fig8(results: list[AppImprovement]) -> str:
+    table = render_table(
+        ["application", "e2e orig(s)", "e2e trim(s)", "speedup",
+         "mem orig(MB)", "mem trim(MB)", "mem impr", "cost impr"],
+        [
+            (
+                r.app,
+                f"{r.original.e2e_s:.2f}",
+                f"{r.trimmed.e2e_s:.2f}",
+                f"{r.e2e_speedup:.2f}x",
+                f"{r.original.memory_mb:.0f}",
+                f"{r.trimmed.memory_mb:.0f}",
+                f"{r.memory_improvement:.1f}%",
+                f"{r.cost_improvement:.1f}%",
+            )
+            for r in results
+        ],
+    )
+    if results:
+        avg_speed = sum(r.e2e_speedup for r in results) / len(results)
+        avg_mem = sum(r.memory_improvement for r in results) / len(results)
+        avg_cost = sum(r.cost_improvement for r in results) / len(results)
+        table += (
+            f"\naverage: {avg_speed:.2f}x e2e speedup, {avg_mem:.1f}% memory, "
+            f"{avg_cost:.1f}% cost"
+        )
+    return table
+
+
+def render_table2(rows: list[dict]) -> str:
+    return render_table(
+        ["application", "mem λ-trim", "mem FaaSLight", "import λ-trim",
+         "import FaaSLight", "import Vulture", "e2e λ-trim", "e2e FaaSLight"],
+        [
+            (
+                r["app"],
+                f"{r['lambda_trim_memory']:.2f}%",
+                f"{r['faaslight_memory']:.2f}%",
+                f"{r['lambda_trim_import']:.2f}%",
+                f"{r['faaslight_import']:.2f}%",
+                f"{r['vulture_import']:.2f}%",
+                f"{r['lambda_trim_e2e']:.2f}%",
+                f"{r['faaslight_e2e']:.2f}%",
+            )
+            for r in rows
+        ],
+    )
+
+
+def render_fig9(rows: list[dict]) -> str:
+    return render_table(
+        ["application", "method", "cost impr", "mem impr", "e2e impr"],
+        [
+            (
+                r["app"],
+                r["method"],
+                f"{r['cost_improvement']:.1f}%",
+                f"{r['memory_improvement']:.1f}%",
+                f"{r['e2e_improvement']:.1f}%",
+            )
+            for r in rows
+        ],
+    )
+
+
+def render_table3(rows: list[dict]) -> str:
+    return render_table(
+        ["application", "debloat time(s)", "oracle calls", "example module",
+         "attrs removed/pre", "ckpt post/pre (MB)"],
+        [
+            (
+                r["app"],
+                f"{r['debloat_time_s']:.0f}",
+                r["oracle_calls"],
+                r["example_module"],
+                f"{r['attrs_removed']}/{r['attrs_before']}",
+                f"{r['ckpt_post_mb']:.0f}/{r['ckpt_pre_mb']:.0f}",
+            )
+            for r in rows
+        ],
+    )
+
+
+def render_fig10(rows: list[dict]) -> str:
+    return render_table(
+        ["application", "K", "mem impr", "e2e impr", "cost impr"],
+        [
+            (
+                r["app"],
+                r["k"],
+                f"{r['memory_improvement']:.1f}%",
+                f"{r['e2e_improvement']:.1f}%",
+                f"{r['cost_improvement']:.1f}%",
+            )
+            for r in rows
+        ],
+    )
+
+
+def render_fig11(rows: list[dict]) -> str:
+    return render_table(
+        ["application", "warm e2e orig(s)", "warm e2e trim(s)", "impact"],
+        [
+            (
+                r["app"],
+                f"{r['original_e2e_s']:.3f}",
+                f"{r['trimmed_e2e_s']:.3f}",
+                f"{r['impact_pct']:+.2f}%",
+            )
+            for r in rows
+        ],
+    )
+
+
+def render_fig12(rows: list[dict]) -> str:
+    return render_table(
+        ["application", "original(s)", "C/R(s)", "λ-trim(s)", "C/R+λ-trim(s)",
+         "ckpt pre/post (MB)"],
+        [
+            (
+                r["app"],
+                f"{r['original_init_s']:.2f}",
+                f"{r['cr_init_s']:.2f}",
+                f"{r['trim_init_s']:.2f}",
+                f"{r['cr_trim_init_s']:.2f}",
+                f"{r['ckpt_mb']:.0f}/{r['ckpt_trim_mb']:.0f}",
+            )
+            for r in rows
+        ],
+    )
+
+
+def render_fig13(cdf: dict[int, list[float]]) -> str:
+    lines = []
+    for minutes, shares in sorted(cdf.items()):
+        n = len(shares)
+        median = shares[n // 2] if shares else 0.0
+        deciles = [shares[min(int(q * n), n - 1)] for q in
+                   (0.1, 0.25, 0.5, 0.75, 0.9)] if shares else []
+        lines.append(
+            f"keep-alive {minutes:3d} min: median SnapStart share "
+            f"{median:.0%}; p10/p25/p50/p75/p90 = "
+            + "/".join(f"{d:.0%}" for d in deciles)
+        )
+    return "\n".join(lines)
+
+
+def render_fig14(rows: list[dict]) -> str:
+    return render_table(
+        ["application", "trace fn", "invocations",
+         "orig invocation($)", "orig cache+restore($)",
+         "trim invocation($)", "trim cache+restore($)", "total saving"],
+        [
+            (
+                r["app"],
+                r["trace_fn"],
+                r["invocations"],
+                f"{r['original']['invocation']:.2e}",
+                f"{r['original']['cache_restore']:.2e}",
+                f"{r['trimmed']['invocation']:.2e}",
+                f"{r['trimmed']['cache_restore']:.2e}",
+                _total_saving(r),
+            )
+            for r in rows
+        ],
+    )
+
+
+def _total_saving(row: dict) -> str:
+    before = row["original"]["invocation"] + row["original"]["cache_restore"]
+    after = row["trimmed"]["invocation"] + row["trimmed"]["cache_restore"]
+    if before <= 0:
+        return "0.0%"
+    return f"{(before - after) / before * 100:.1f}%"
+
+
+def render_table4(rows: list[dict]) -> str:
+    return render_table(
+        ["application", "orig cold", "orig warm", "λ-trim cold", "λ-trim warm",
+         "fb cold+warm", "fb cold+cold", "fb warm+warm", "fb warm+cold"],
+        [
+            (
+                r["app"],
+                f"{r['original_cold_s']:.2f}",
+                f"{r['original_warm_s']:.2f}",
+                f"{r['trim_cold_s']:.2f}",
+                f"{r['trim_warm_s']:.2f}",
+                f"{r['fallback_cold_warm_s']:.2f}",
+                f"{r['fallback_cold_cold_s']:.2f}",
+                f"{r['fallback_warm_warm_s']:.2f}",
+                f"{r['fallback_warm_cold_s']:.2f}",
+            )
+            for r in rows
+        ],
+    )

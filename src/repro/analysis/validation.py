@@ -1,0 +1,108 @@
+"""Calibration validation: how close is the reproduction to the paper?
+
+:func:`validate_table1` measures every application cold and compares it
+to its Table 1 reference row; :func:`validate_table2` compares λ-trim's
+measured improvements to the paper's reported Table 2 percentages.  Both
+return per-row deviations so drift introduced by workload or emulator
+changes is visible as a number, not a vibe.  The slow test suite and the
+report generator consume these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.measure import measure_cold
+from repro.analysis.workspace import Workspace
+from repro.workloads.apps import APP_NAMES, app_definition
+
+__all__ = [
+    "CalibrationRow",
+    "validate_table1",
+    "validate_table2",
+    "PAPER_TABLE2_LAMBDA_TRIM",
+]
+
+# Table 2's λ-trim columns: (import-time improvement %, memory improvement %).
+PAPER_TABLE2_LAMBDA_TRIM = {
+    "huggingface": (10.21, 2.11),
+    "image-resize": (1.82, 2.96),
+    "lightgbm": (54.81, 38.44),
+    "lxml": (41.58, 0.21),
+    "scikit": (19.60, 9.8),
+    "skimage": (42.41, 42.05),
+    "tensorflow": (15.58, 9.01),
+    "wine": (13.73, 11.43),
+}
+
+
+@dataclass(frozen=True)
+class CalibrationRow:
+    """One measured-vs-reference comparison."""
+
+    app: str
+    metric: str
+    reference: float
+    measured: float
+
+    @property
+    def absolute_error(self) -> float:
+        return abs(self.measured - self.reference)
+
+    @property
+    def relative_error(self) -> float:
+        if self.reference == 0:
+            return 0.0 if self.measured == 0 else float("inf")
+        return self.absolute_error / abs(self.reference)
+
+    def within(self, *, rel: float, abs_: float = 0.0) -> bool:
+        return self.absolute_error <= abs_ or self.relative_error <= rel
+
+    def describe(self) -> str:
+        return (
+            f"{self.app}/{self.metric}: paper {self.reference:.2f}, "
+            f"measured {self.measured:.2f} "
+            f"({self.relative_error * 100:.0f}% off)"
+        )
+
+
+def validate_table1(
+    ws: Workspace, apps: tuple[str, ...] | None = None
+) -> list[CalibrationRow]:
+    """Measured cold-start latencies vs every Table 1 reference row."""
+    rows: list[CalibrationRow] = []
+    for app in apps or APP_NAMES:
+        reference = app_definition(app).paper
+        stats = measure_cold(ws.bundle(app), invocations=2)
+        rows.append(CalibrationRow(app, "import_s", reference.import_s, stats.import_s))
+        rows.append(CalibrationRow(app, "exec_s", reference.exec_s, stats.exec_s))
+        rows.append(CalibrationRow(app, "e2e_s", reference.e2e_s, stats.e2e_s))
+    return rows
+
+
+def validate_table2(
+    ws: Workspace, apps: tuple[str, ...] | None = None
+) -> list[CalibrationRow]:
+    """Measured λ-trim improvements vs the paper's Table 2 percentages."""
+    rows: list[CalibrationRow] = []
+    for app in apps or tuple(PAPER_TABLE2_LAMBDA_TRIM):
+        paper_import, paper_memory = PAPER_TABLE2_LAMBDA_TRIM[app]
+        original = measure_cold(ws.bundle(app), invocations=2)
+        trimmed = measure_cold(ws.trimmed_bundle(app), invocations=2)
+        measured_import = (
+            (original.import_s - trimmed.import_s) / original.import_s * 100
+            if original.import_s
+            else 0.0
+        )
+        measured_memory = (
+            (original.memory_mb - trimmed.memory_mb) / original.memory_mb * 100
+            if original.memory_mb
+            else 0.0
+        )
+        rows.append(
+            CalibrationRow(app, "import_improvement_pct", paper_import, measured_import)
+        )
+        rows.append(
+            CalibrationRow(app, "memory_improvement_pct", paper_memory, measured_memory)
+        )
+    return rows

@@ -1,0 +1,12 @@
+"""Comparator baselines for Table 2: FaaSLight and Vulture analogues."""
+
+from repro.baselines.faaslight import FaasLight, FaasLightReport
+from repro.baselines.vulture import VultureReport, find_dead_names, vulture_trim
+
+__all__ = [
+    "FaasLight",
+    "FaasLightReport",
+    "VultureReport",
+    "find_dead_names",
+    "vulture_trim",
+]

@@ -1,0 +1,187 @@
+"""Application bundles: the deployment unit flowing through λ-trim.
+
+A bundle mirrors the container image the paper uploads to AWS Lambda::
+
+    appdir/
+        handler.py         # init code + ``def handler(event, context)``
+        oracle.json        # the oracle specification (Section 5)
+        site-packages/     # the application's third-party dependencies
+        manifest.json      # name, handler entry point, image size, …
+
+λ-trim consumes a bundle, rewrites modules inside its ``site-packages``,
+and emits an optimized bundle that deploys unchanged — matching the paper's
+"its output is an optimized serverless application".
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import DeploymentError
+
+__all__ = ["AppBundle", "BundleManifest"]
+
+MANIFEST_NAME = "manifest.json"
+HANDLER_NAME = "handler.py"
+ORACLE_NAME = "oracle.json"
+SITE_PACKAGES = "site-packages"
+
+
+@dataclass
+class BundleManifest:
+    """Metadata describing a deployable application bundle."""
+
+    name: str
+    handler_module: str = "handler"
+    handler_function: str = "handler"
+    image_size_mb: float = 0.0
+    external_modules: list[str] = field(default_factory=list)
+    description: str = ""
+    # Unbilled platform preparation time (instance init + image
+    # transmission).  ``None`` lets the emulator derive it from the image
+    # size; apps pin it to their measured Table 1 residual.
+    platform_overhead_s: float | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "handler_module": self.handler_module,
+            "handler_function": self.handler_function,
+            "image_size_mb": self.image_size_mb,
+            "external_modules": list(self.external_modules),
+            "description": self.description,
+            "platform_overhead_s": self.platform_overhead_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BundleManifest":
+        try:
+            name = data["name"]
+        except KeyError as exc:
+            raise DeploymentError("manifest missing required field 'name'") from exc
+        return cls(
+            name=name,
+            handler_module=data.get("handler_module", "handler"),
+            handler_function=data.get("handler_function", "handler"),
+            image_size_mb=float(data.get("image_size_mb", 0.0)),
+            external_modules=list(data.get("external_modules", [])),
+            description=data.get("description", ""),
+            platform_overhead_s=(
+                float(data["platform_overhead_s"])
+                if data.get("platform_overhead_s") is not None
+                else None
+            ),
+        )
+
+
+class AppBundle:
+    """A serverless application rooted at a directory on disk."""
+
+    def __init__(self, root: Path | str):
+        self.root = Path(root)
+        if not self.root.is_dir():
+            raise DeploymentError(f"bundle root does not exist: {self.root}")
+        self._manifest: BundleManifest | None = None
+
+    # -- layout ---------------------------------------------------------------
+
+    @property
+    def handler_path(self) -> Path:
+        return self.root / HANDLER_NAME
+
+    @property
+    def oracle_path(self) -> Path:
+        return self.root / ORACLE_NAME
+
+    @property
+    def site_packages(self) -> Path:
+        return self.root / SITE_PACKAGES
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / MANIFEST_NAME
+
+    @property
+    def manifest(self) -> BundleManifest:
+        if self._manifest is None:
+            if self.manifest_path.exists():
+                data = json.loads(self.manifest_path.read_text(encoding="utf-8"))
+                self._manifest = BundleManifest.from_dict(data)
+            else:
+                self._manifest = BundleManifest(name=self.root.name)
+        return self._manifest
+
+    @property
+    def name(self) -> str:
+        return self.manifest.name
+
+    def handler_source(self) -> str:
+        if not self.handler_path.exists():
+            raise DeploymentError(f"bundle has no {HANDLER_NAME}: {self.root}")
+        return self.handler_path.read_text(encoding="utf-8")
+
+    def write_manifest(self, manifest: BundleManifest) -> None:
+        self.manifest_path.write_text(
+            json.dumps(manifest.to_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+        self._manifest = manifest
+
+    # -- module files ----------------------------------------------------------
+
+    def module_file(self, dotted: str) -> Path:
+        """Path of the file defining module *dotted* inside site-packages.
+
+        Packages resolve to their ``__init__.py``; plain modules to
+        ``<name>.py``.
+        """
+        base = self.site_packages / Path(*dotted.split("."))
+        package_init = base / "__init__.py"
+        if package_init.exists():
+            return package_init
+        module_py = base.with_suffix(".py")
+        if module_py.exists():
+            return module_py
+        raise DeploymentError(f"module {dotted!r} not found under {self.site_packages}")
+
+    def has_module(self, dotted: str) -> bool:
+        try:
+            self.module_file(dotted)
+        except DeploymentError:
+            return False
+        return True
+
+    def installed_packages(self) -> list[str]:
+        """Top-level importable names available in site-packages."""
+        if not self.site_packages.is_dir():
+            return []
+        names: list[str] = []
+        for entry in sorted(self.site_packages.iterdir()):
+            if entry.is_dir() and (entry / "__init__.py").exists():
+                names.append(entry.name)
+            elif entry.suffix == ".py":
+                names.append(entry.stem)
+        return names
+
+    def code_size_mb(self) -> float:
+        """Total on-disk size of the bundle's code in MB."""
+        total = 0
+        for path in self.root.rglob("*"):
+            if path.is_file():
+                total += path.stat().st_size
+        return total / (1024 * 1024)
+
+    # -- cloning ----------------------------------------------------------------
+
+    def clone(self, destination: Path | str) -> "AppBundle":
+        """Copy the bundle to *destination* (for original-vs-trimmed variants)."""
+        destination = Path(destination)
+        if destination.exists():
+            raise DeploymentError(f"clone destination already exists: {destination}")
+        shutil.copytree(self.root, destination)
+        return AppBundle(destination)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AppBundle({self.name!r} at {self.root})"

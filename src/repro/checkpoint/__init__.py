@@ -1,0 +1,5 @@
+"""Checkpoint/restore substrate (the CRIU stand-in of Section 8.6)."""
+
+from repro.checkpoint.criu import Checkpoint, CriuSimulator
+
+__all__ = ["Checkpoint", "CriuSimulator"]

@@ -1,0 +1,304 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``trim``      run the λ-trim pipeline on an application bundle
+``analyze``   static analysis + profiler ranking (no debloating)
+``measure``   cold/warm-start metrics on the platform emulator
+``invoke``    deploy a bundle and invoke it once
+``oracle``    check a candidate bundle against a reference's oracle
+``fuzz``      differential-fuzz an optimized bundle; optionally extend
+              the oracle with the findings (Section 5.4)
+``tune``      recommend a memory configuration (AWS-power-tuning-style)
+``report``    regenerate the full evaluation report (every artifact)
+``build-app`` materialise one of the 21 Table 1 benchmark applications
+``apps``      list the benchmark applications
+
+``trim --log FILE`` enables continuous debloating (Section 9): the run is
+seeded by the previous run's kept sets and the log is updated in place.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro import __version__
+from repro.analysis.measure import measure_cold, measure_warm
+from repro.bundle import AppBundle
+from repro.core.cost_model import ScoringMethod, rank_modules
+from repro.core.oracle import OracleRunner
+from repro.core.pipeline import LambdaTrim, TrimConfig
+from repro.errors import ReproError
+from repro.platform import LambdaEmulator
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="lambda-trim: cost-driven debloating for serverless Python",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    trim = commands.add_parser("trim", help="debloat an application bundle")
+    trim.add_argument("bundle", type=Path, help="application bundle directory")
+    trim.add_argument("-o", "--output", type=Path, required=True,
+                      help="directory for the optimized bundle")
+    trim.add_argument("--k", type=int, default=20,
+                      help="number of top modules to debloat (default 20)")
+    trim.add_argument("--scoring", choices=[m.value for m in ScoringMethod],
+                      default="combined", help="profiler scoring method")
+    trim.add_argument("--granularity", choices=["attribute", "statement"],
+                      default="attribute", help="DD granularity (Section 6.1)")
+    trim.add_argument("--budget", type=int, default=None,
+                      help="max oracle calls per module (default unbounded)")
+    trim.add_argument("--no-call-graph", action="store_true",
+                      help="disable PyCG-style pre-filtering (ablation)")
+    trim.add_argument("--seed", type=int, default=0, help="random-scoring seed")
+    trim.add_argument("--log", type=Path, default=None,
+                      help="trim log from a previous run (continuous "
+                           "debloating); updated in place after the run")
+
+    analyze = commands.add_parser("analyze", help="static analysis + profiling")
+    analyze.add_argument("bundle", type=Path)
+    analyze.add_argument("--top", type=int, default=20,
+                         help="show the top-N modules by marginal cost")
+
+    measure = commands.add_parser("measure", help="cold/warm metrics")
+    measure.add_argument("bundle", type=Path)
+    measure.add_argument("--invocations", type=int, default=3)
+
+    invoke = commands.add_parser("invoke", help="deploy and invoke once")
+    invoke.add_argument("bundle", type=Path)
+    invoke.add_argument("--event", type=str, default=None,
+                        help="JSON event (default: first oracle case)")
+    invoke.add_argument("--warm", action="store_true",
+                        help="invoke twice and report the warm start")
+
+    oracle = commands.add_parser("oracle", help="oracle equivalence check")
+    oracle.add_argument("reference", type=Path, help="reference (pristine) bundle")
+    oracle.add_argument("candidate", type=Path, help="candidate (optimized) bundle")
+
+    fuzz = commands.add_parser(
+        "fuzz", help="differential-fuzz an optimized bundle (Section 5.4)"
+    )
+    fuzz.add_argument("reference", type=Path, help="reference (pristine) bundle")
+    fuzz.add_argument("candidate", type=Path, help="candidate (optimized) bundle")
+    fuzz.add_argument("--budget", type=int, default=20,
+                      help="mutants per oracle case (default 20)")
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument("--extend-oracle", action="store_true",
+                      help="append findings to the reference's oracle.json")
+
+    tune = commands.add_parser(
+        "tune", help="recommend a memory configuration (power tuning)"
+    )
+    tune.add_argument("bundle", type=Path)
+    tune.add_argument("--strategy", choices=["cost", "speed", "balanced"],
+                      default="balanced")
+
+    build = commands.add_parser("build-app", help="materialise a benchmark app")
+    build.add_argument("name", help="Table 1 application name")
+    build.add_argument("directory", type=Path, help="target directory")
+
+    commands.add_parser("apps", help="list the 21 benchmark applications")
+
+    report = commands.add_parser(
+        "report", help="regenerate the full evaluation report (all artifacts)"
+    )
+    report.add_argument("-o", "--output", type=Path, default=Path("report.md"))
+    report.add_argument("--quick", action="store_true",
+                        help="cheap artifacts only (no app sweeps)")
+    return parser
+
+
+def _cmd_trim(args: argparse.Namespace) -> int:
+    config = TrimConfig(
+        k=args.k,
+        scoring=ScoringMethod(args.scoring),
+        seed=args.seed,
+        use_call_graph=not args.no_call_graph,
+        max_oracle_calls_per_module=args.budget,
+        granularity=args.granularity,
+    )
+    bundle = AppBundle(args.bundle)
+    if args.log is not None:
+        from repro.core.incremental import IncrementalTrim, TrimLog
+
+        log = TrimLog.load(args.log) if args.log.exists() else None
+        trimmer = IncrementalTrim(config, log=log)
+        report = trimmer.run(bundle, args.output)
+        trimmer.updated_log(report).save(args.log)
+        seeded = sum(1 for r in report.module_results if r.seeded)
+        print(f"continuous debloating: {seeded} module(s) adopted from the log")
+    else:
+        report = LambdaTrim(config).run(bundle, args.output)
+    print(report.summary())
+    print(f"optimized bundle written to {report.output_root}")
+    return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.core.fuzzer import OracleFuzzer
+    from repro.core.oracle import OracleSpec
+
+    reference = AppBundle(args.reference)
+    candidate = AppBundle(args.candidate)
+    fuzzer = OracleFuzzer(reference, candidate, seed=args.seed)
+    report = fuzzer.fuzz(budget_per_case=args.budget)
+    print(f"executed {report.executed} mutants: "
+          f"{len(report.findings)} divergence(s)")
+    for finding in report.findings:
+        marker = " [would trigger fallback]" if finding.triggers_fallback else ""
+        print(f"  event {json.dumps(finding.event)}{marker}")
+    if report.findings and args.extend_oracle:
+        spec = OracleSpec.from_bundle(reference)
+        for case in report.suggested_cases():
+            spec.add_case(case)
+        spec.save(reference.oracle_path)
+        print(f"oracle extended with {len(report.suggested_cases())} case(s); "
+              "re-run `repro trim` to harden the bundle")
+    return 0 if report.clean else 1
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    bundle = AppBundle(args.bundle)
+    trim = LambdaTrim()
+    external, graph = trim.analyze(bundle)
+    print(f"external modules: {', '.join(external) or '(none)'}")
+
+    report = trim.profile(bundle, external)
+    print(f"initialization: {report.total_time_s:.3f}s, "
+          f"{report.total_memory_mb:.1f}MB over {len(report)} modules\n")
+    print(f"{'module':40s} {'t(s)':>8s} {'m(MB)':>8s} {'marginal cost':>14s}")
+    for profile in rank_modules(report, k=args.top):
+        print(f"{profile.module:40s} {profile.import_time_s:8.3f} "
+              f"{profile.memory_mb:8.2f} {report.marginal_cost(profile):14.4f}")
+    return 0
+
+
+def _cmd_measure(args: argparse.Namespace) -> int:
+    bundle = AppBundle(args.bundle)
+    cold = measure_cold(bundle, invocations=args.invocations)
+    warm = measure_warm(bundle, invocations=args.invocations)
+    print(f"cold start ({args.invocations} forced): "
+          f"e2e {cold.e2e_s:.3f}s, init {cold.import_s:.3f}s, "
+          f"exec {cold.exec_s:.3f}s, peak {cold.memory_mb:.1f}MB")
+    print(f"billing: {cold.configured_mb}MB configured, "
+          f"{cold.billed_s * 1000:.0f}ms billed, "
+          f"${cold.cost_per_100k:.4f} per 100K invocations")
+    print(f"warm start: e2e {warm.e2e_s:.3f}s")
+    return 0
+
+
+def _cmd_invoke(args: argparse.Namespace) -> int:
+    bundle = AppBundle(args.bundle)
+    if args.event is not None:
+        event = json.loads(args.event)
+    else:
+        from repro.core.oracle import OracleSpec
+
+        event = OracleSpec.from_bundle(bundle).cases[0].event
+    emulator = LambdaEmulator()
+    emulator.deploy(bundle)
+    record = emulator.invoke(bundle.name, event)
+    if args.warm:
+        record = emulator.invoke(bundle.name, event)
+    print(record.report_line())
+    print(f"value: {json.dumps(record.value)}")
+    return 0 if record.ok else 1
+
+
+def _cmd_oracle(args: argparse.Namespace) -> int:
+    runner = OracleRunner(AppBundle(args.reference))
+    result = runner.check(AppBundle(args.candidate))
+    for outcome in result.outcomes:
+        print(outcome.describe())
+    print("PASS" if result.passed else "FAIL")
+    return 0 if result.passed else 1
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.platform.tuning import recommend_memory
+
+    bundle = AppBundle(args.bundle)
+    stats = measure_cold(bundle, invocations=2)
+    recommendation = recommend_memory(
+        init_time_s=stats.import_s,
+        exec_time_s=stats.exec_s,
+        footprint_mb=stats.memory_mb,
+        strategy=args.strategy,
+    )
+    print(f"measured: init {stats.import_s:.3f}s, exec {stats.exec_s:.3f}s, "
+          f"peak {stats.memory_mb:.1f}MB")
+    for configured, cost, duration in recommendation.sweep:
+        marker = " <-- recommended" if configured == recommendation.configured_mb else ""
+        print(f"  {configured:6d} MB: ${cost:.3e}/invocation, "
+              f"{duration * 1000:7.0f} ms{marker}")
+    print(recommendation.describe())
+    return 0
+
+
+def _cmd_build_app(args: argparse.Namespace) -> int:
+    from repro.workloads.apps import build_app
+
+    bundle = build_app(args.name, args.directory)
+    print(f"built {bundle.name} at {bundle.root}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import FULL_SECTIONS, QUICK_SECTIONS, write_report
+
+    sections = QUICK_SECTIONS if args.quick else FULL_SECTIONS
+    path = write_report(args.output, sections=sections)
+    print(f"report with {len(sections)} artifact(s) written to {path}")
+    return 0
+
+
+def _cmd_apps(_: argparse.Namespace) -> int:
+    from repro.workloads.apps import APP_NAMES, app_definition
+
+    for name in APP_NAMES:
+        definition = app_definition(name)
+        print(f"{name:20s} [{definition.source:11s}] {definition.description}")
+    return 0
+
+
+_HANDLERS = {
+    "trim": _cmd_trim,
+    "analyze": _cmd_analyze,
+    "measure": _cmd_measure,
+    "invoke": _cmd_invoke,
+    "oracle": _cmd_oracle,
+    "fuzz": _cmd_fuzz,
+    "tune": _cmd_tune,
+    "build-app": _cmd_build_app,
+    "apps": _cmd_apps,
+    "report": _cmd_report,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _HANDLERS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # stdout was closed early (e.g. piped into `head`): exit quietly.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""The lambda-trim core: static analysis, profiling, and DD-based debloating.
+
+The public pipeline entry point is :class:`repro.core.pipeline.LambdaTrim`;
+the submodules implement the three architecture boxes of Figure 3 plus the
+shared machinery (DD algorithm, attribute granularity, AST rewriting,
+oracles, fallback wrapper).
+"""
+
+from repro.core.dd import DDOutcome, DDTraceStep, DeltaDebugger, ddmin_keep
+from repro.core.granularity import AttributeComponent, ModuleDecomposition, decompose_module
+from repro.core.static_analyzer import ImportedModule, StaticAnalysis, analyze_source
+from repro.core.oracle import OracleCase, OracleResult, OracleSpec
+from repro.core.cost_model import (
+    ModuleProfile,
+    ScoringMethod,
+    marginal_monetary_cost,
+    rank_modules,
+)
+from repro.core.pipeline import DebloatReport, LambdaTrim, TrimConfig
+from repro.core.fallback import FallbackOutcome, FallbackWrapper
+from repro.core.fuzzer import FuzzReport, OracleFuzzer
+from repro.core.incremental import IncrementalTrim, TrimLog
+from repro.core.guided import NecessityModel, guided_minimize
+
+__all__ = [
+    "DDOutcome",
+    "DDTraceStep",
+    "DeltaDebugger",
+    "ddmin_keep",
+    "AttributeComponent",
+    "ModuleDecomposition",
+    "decompose_module",
+    "ImportedModule",
+    "StaticAnalysis",
+    "analyze_source",
+    "OracleCase",
+    "OracleResult",
+    "OracleSpec",
+    "ModuleProfile",
+    "ScoringMethod",
+    "marginal_monetary_cost",
+    "rank_modules",
+    "DebloatReport",
+    "LambdaTrim",
+    "TrimConfig",
+    "FallbackOutcome",
+    "FallbackWrapper",
+    "FuzzReport",
+    "OracleFuzzer",
+    "IncrementalTrim",
+    "TrimLog",
+    "NecessityModel",
+    "guided_minimize",
+]

@@ -1,0 +1,45 @@
+"""Child process entry point for the subprocess oracle runner.
+
+Usage (spawned by :mod:`repro.core.subprocess_runner`)::
+
+    python -m repro.core._oracle_child <bundle-root>
+
+The (event, context) payload arrives as JSON on stdin; the full execution
+result — observables plus metering — is printed as one JSON object on
+stdout, prefixed by a sentinel so the handler's own prints cannot be
+confused with the protocol.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+SENTINEL = "@@LAMBDA_TRIM_RESULT@@"
+
+
+def main() -> int:
+    from repro.bundle import AppBundle
+    from repro.core.execution import run_once
+
+    if len(sys.argv) != 2:
+        print(f"usage: {sys.argv[0]} <bundle-root>", file=sys.stderr)
+        return 2
+
+    payload = json.loads(sys.stdin.read())
+    bundle = AppBundle(sys.argv[1])
+    result = run_once(bundle, payload.get("event"), payload.get("context"))
+
+    output = {
+        "observable": result.observable(),
+        "init_time_s": result.init_time_s,
+        "exec_time_s": result.exec_time_s,
+        "init_memory_mb": result.init_memory_mb,
+        "peak_memory_mb": result.peak_memory_mb,
+    }
+    print(SENTINEL + json.dumps(output))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

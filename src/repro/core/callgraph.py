@@ -1,0 +1,188 @@
+"""Conservative call-graph / attribute-access analysis (PyCG replacement).
+
+λ-trim uses PyCG to learn which module attributes the application
+*definitely* accesses; those can safely be excluded from the DD search
+(Section 5.1).  This module reimplements that capability with a
+conservative AST analysis:
+
+* every ``from m import a`` binding that is actually *used* marks ``a`` as
+  an accessed attribute of ``m``;
+* every attribute chain rooted at an imported module (``torch.nn.Linear``)
+  marks each link as accessed on its owner (``nn`` on ``torch``,
+  ``Linear`` on ``torch.nn``);
+* simple aliases (``t = torch.nn``) are resolved to their module paths with
+  a small fixpoint, so later ``t.Linear`` accesses attribute the right
+  module;
+* ``getattr(mod, "name")`` with a constant string is recognised;
+* star imports poison their module: every attribute is treated as used.
+
+Being conservative only ever *protects more* attributes from removal, which
+is safe — DD plus the oracle remain the correctness mechanism; the call
+graph is purely an accelerator that shrinks the search space.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.core.static_analyzer import StaticAnalysis, analyze_source
+from repro.errors import AnalysisError
+
+__all__ = [
+    "CallGraph",
+    "build_call_graph",
+    "build_call_graph_from_analysis",
+    "build_bundle_call_graph",
+]
+
+_MAX_ALIAS_PASSES = 10
+
+
+@dataclass
+class CallGraph:
+    """Attributes each module path is definitely observed to access."""
+
+    accessed: dict[str, set[str]] = field(default_factory=dict)
+    star_modules: set[str] = field(default_factory=set)
+
+    def accessed_attributes(self, module: str) -> set[str]:
+        """Attribute names of *module* the application definitely uses."""
+        return set(self.accessed.get(module, set()))
+
+    def protects_everything(self, module: str) -> bool:
+        """True when a star import forces the whole module to be kept."""
+        return module in self.star_modules
+
+    def merge(self, other: "CallGraph") -> None:
+        """Fold another graph's facts into this one (multi-file apps)."""
+        for module, attrs in other.accessed.items():
+            self.accessed.setdefault(module, set()).update(attrs)
+        self.star_modules.update(other.star_modules)
+
+    def _mark(self, module: str, attribute: str) -> None:
+        self.accessed.setdefault(module, set()).add(attribute)
+
+
+def build_call_graph(source: str, *, filename: str = "<application>") -> CallGraph:
+    """Analyze application *source* and return its attribute-access graph."""
+    analysis = analyze_source(source, filename=filename)
+    return build_call_graph_from_analysis(source, analysis, filename=filename)
+
+
+def build_call_graph_from_analysis(
+    source: str, analysis: StaticAnalysis, *, filename: str = "<application>"
+) -> CallGraph:
+    """Build the graph reusing an existing static-analysis pass."""
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        raise AnalysisError(f"cannot parse {filename}: {exc}") from exc
+
+    graph = CallGraph()
+    bindings: dict[str, str] = {}
+    from_bindings: dict[str, tuple[str, str]] = {}
+
+    for imp in analysis.imports:
+        if imp.binding == "*":
+            graph.star_modules.add(imp.module)
+            continue
+        bindings[imp.binding] = imp.target
+        if imp.is_from:
+            from_bindings[imp.binding] = (imp.module, imp.target.rsplit(".", 1)[1])
+
+    _collect_aliases(tree, bindings)
+    _collect_accesses(tree, bindings, from_bindings, graph)
+    return graph
+
+
+def build_bundle_call_graph(bundle) -> CallGraph:
+    """Whole-program graph: handler plus every library file in the bundle.
+
+    PyCG analyzes the entire program, so attributes one library accesses on
+    another (squiggle using numpy) are protected too.  The graph reflects
+    the bundle's *current* files: once the debloater removes a re-export,
+    recomputing the graph releases the attributes only that re-export
+    needed.  Backup files left by an in-flight DD run are skipped.
+    """
+    graph = build_call_graph(
+        bundle.handler_source(), filename=str(bundle.handler_path)
+    )
+    site = bundle.site_packages
+    if site.is_dir():
+        for path in sorted(site.rglob("*.py")):
+            source = path.read_text(encoding="utf-8")
+            graph.merge(build_call_graph(source, filename=str(path)))
+    return graph
+
+
+def _collect_aliases(tree: ast.Module, bindings: dict[str, str]) -> None:
+    """Fixpoint over simple ``name = <attribute chain>`` aliases."""
+    assignments: list[tuple[str, ast.expr]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                assignments.append((target.id, node.value))
+
+    for _ in range(_MAX_ALIAS_PASSES):
+        changed = False
+        for name, value in assignments:
+            path = _resolve_chain(value, bindings)
+            if path is not None and bindings.get(name) != path:
+                bindings[name] = path
+                changed = True
+        if not changed:
+            break
+
+
+def _collect_accesses(
+    tree: ast.Module,
+    bindings: dict[str, str],
+    from_bindings: dict[str, tuple[str, str]],
+    graph: CallGraph,
+) -> None:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Attribute):
+            base = _resolve_chain(node.value, bindings)
+            if base is not None:
+                graph._mark(base, node.attr)
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            hit = from_bindings.get(node.id)
+            if hit is not None:
+                module, attribute = hit
+                graph._mark(module, attribute)
+        elif isinstance(node, ast.Call):
+            literal = _constant_getattr(node, bindings)
+            if literal is not None:
+                module, attribute = literal
+                graph._mark(module, attribute)
+
+
+def _resolve_chain(node: ast.expr, bindings: dict[str, str]) -> str | None:
+    """Dotted path of a pure ``Name(.attr)*`` chain rooted at a binding."""
+    if isinstance(node, ast.Name):
+        return bindings.get(node.id)
+    if isinstance(node, ast.Attribute):
+        base = _resolve_chain(node.value, bindings)
+        if base is None:
+            return None
+        return f"{base}.{node.attr}"
+    return None
+
+
+def _constant_getattr(
+    node: ast.Call, bindings: dict[str, str]
+) -> tuple[str, str] | None:
+    """Recognise ``getattr(<module chain>, "literal")`` accesses."""
+    if not (isinstance(node.func, ast.Name) and node.func.id == "getattr"):
+        return None
+    if len(node.args) < 2:
+        return None
+    target, name = node.args[0], node.args[1]
+    if not (isinstance(name, ast.Constant) and isinstance(name.value, str)):
+        return None
+    base = _resolve_chain(target, bindings)
+    if base is None:
+        return None
+    return base, name.value

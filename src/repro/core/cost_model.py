@@ -1,0 +1,146 @@
+"""Marginal monetary cost and module ranking (Section 5.2, Eq. 2).
+
+The profiler measures each imported module's marginal import time ``t`` and
+memory footprint ``m`` (inclusive of its submodules).  With ``T`` and ``M``
+the totals over all imported modules, the *marginal monetary cost* of a
+module is::
+
+    TM - (T - t)(M - m)                                        (Eq. 2)
+
+i.e. how much of the duration x memory product (the billable quantity of
+Eq. 1) disappears if the module and everything it alone pulls in vanish.
+
+Four scoring methods are provided for the Figure 9 ablation: ``time``,
+``memory``, ``combined`` (Eq. 2), and ``random``.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import AnalysisError
+
+__all__ = [
+    "ModuleProfile",
+    "ProfileReport",
+    "ScoringMethod",
+    "marginal_monetary_cost",
+    "score_module",
+    "rank_modules",
+]
+
+
+def marginal_monetary_cost(t: float, m: float, T: float, M: float) -> float:
+    """Eq. 2: the billable-product reduction from removing one module."""
+    if t < 0 or m < 0:
+        raise AnalysisError(f"negative marginal measurements: t={t}, m={m}")
+    return T * M - (T - t) * (M - m)
+
+
+@dataclass(frozen=True)
+class ModuleProfile:
+    """Marginal measurements for one imported module.
+
+    ``import_time_s`` and ``memory_mb`` are *inclusive*: they cover the
+    module body and every submodule whose first import it triggered
+    ("modules and all their submodules").  The exclusive fields isolate the
+    module's own body.
+    """
+
+    module: str
+    import_time_s: float
+    memory_mb: float
+    exclusive_time_s: float = 0.0
+    exclusive_memory_mb: float = 0.0
+    depth: int = 0
+
+    @property
+    def top_level(self) -> str:
+        return self.module.split(".")[0]
+
+
+@dataclass
+class ProfileReport:
+    """Profiles for every module an application's initialization imported."""
+
+    profiles: list[ModuleProfile] = field(default_factory=list)
+    total_time_s: float = 0.0  # T: the whole Function Initialization time
+    total_memory_mb: float = 0.0  # M: the whole initialization footprint
+
+    def __post_init__(self) -> None:
+        self._by_module = {p.module: p for p in self.profiles}
+
+    def __iter__(self):
+        return iter(self.profiles)
+
+    def __len__(self) -> int:
+        return len(self.profiles)
+
+    def get(self, module: str) -> ModuleProfile | None:
+        return self._by_module.get(module)
+
+    def modules(self) -> list[str]:
+        return [p.module for p in self.profiles]
+
+    def marginal_cost(self, profile: ModuleProfile) -> float:
+        return marginal_monetary_cost(
+            profile.import_time_s,
+            profile.memory_mb,
+            self.total_time_s,
+            self.total_memory_mb,
+        )
+
+
+class ScoringMethod(str, enum.Enum):
+    """Module-ranking strategies ablated in Section 8.2 / Figure 9."""
+
+    TIME = "time"
+    MEMORY = "memory"
+    COMBINED = "combined"
+    RANDOM = "random"
+
+
+def score_module(
+    profile: ModuleProfile,
+    method: ScoringMethod,
+    report: ProfileReport,
+    rng: random.Random | None = None,
+) -> float:
+    """Score one module under *method* (higher = more worth debloating)."""
+    if method is ScoringMethod.TIME:
+        return profile.import_time_s
+    if method is ScoringMethod.MEMORY:
+        return profile.memory_mb
+    if method is ScoringMethod.COMBINED:
+        return report.marginal_cost(profile)
+    if method is ScoringMethod.RANDOM:
+        if rng is None:
+            raise AnalysisError("random scoring requires an RNG")
+        return rng.random()
+    raise AnalysisError(f"unknown scoring method: {method!r}")
+
+
+def rank_modules(
+    report: ProfileReport,
+    *,
+    method: ScoringMethod = ScoringMethod.COMBINED,
+    k: int | None = None,
+    seed: int = 0,
+) -> list[ModuleProfile]:
+    """Top-K module ranking under a scoring method (Section 5.2).
+
+    Ties break by module name for determinism.  ``k=None`` returns the full
+    ranking.
+    """
+    if k is not None and k < 0:
+        raise AnalysisError(f"k must be non-negative, got {k}")
+    rng = random.Random(seed)
+    scored = [
+        (score_module(profile, method, report, rng), profile)
+        for profile in report.profiles
+    ]
+    scored.sort(key=lambda pair: (-pair[0], pair[1].module))
+    ranked = [profile for _, profile in scored]
+    return ranked if k is None else ranked[:k]

@@ -1,0 +1,233 @@
+"""The generic Delta Debugging algorithm (Algorithm 1 of the paper).
+
+Given a list of program components ``A`` and an oracle ``O`` that returns
+``True`` when the program assembled from a candidate subset still behaves
+correctly, DD finds a *1-minimal* subset: removing any single remaining
+component makes the oracle fail.
+
+The divide-and-conquer loop follows Algorithm 1 exactly:
+
+1. split the candidate ``A`` into ``n`` partitions;
+2. if some partition ``a_i`` alone passes the oracle, recurse on it with
+   ``n = 2`` ("reduce to subset");
+3. else if some complement ``A \\ a_i`` passes, recurse on it with
+   ``n = n - 1`` ("reduce to complement");
+4. else double the granularity (``n = 2n``) until ``n`` exceeds ``|A|``.
+
+Every tested configuration is cached (as in the paper's Figure 6, where
+already-tested ``n = 2`` sets are skipped), and an optional trace records
+each step for visualisation and testing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generic, Hashable, Sequence, TypeVar
+
+__all__ = ["DeltaDebugger", "DDOutcome", "DDTraceStep", "ddmin_keep", "split_partitions"]
+
+T = TypeVar("T", bound=Hashable)
+
+OracleFn = Callable[[Sequence[T]], bool]
+
+
+def split_partitions(items: Sequence[T], n: int) -> list[list[T]]:
+    """Split *items* into *n* contiguous partitions of near-equal size.
+
+    The first ``len(items) % n`` partitions get one extra element, matching
+    the canonical ddmin partitioning.  Requires ``1 <= n <= len(items)``.
+    """
+    if n < 1:
+        raise ValueError(f"partition count must be >= 1, got {n}")
+    if n > len(items):
+        raise ValueError(f"cannot split {len(items)} items into {n} partitions")
+    base, extra = divmod(len(items), n)
+    partitions: list[list[T]] = []
+    start = 0
+    for i in range(n):
+        size = base + (1 if i < extra else 0)
+        partitions.append(list(items[start : start + size]))
+        start += size
+    return partitions
+
+
+@dataclass(frozen=True)
+class DDTraceStep:
+    """One oracle query in the DD search, for walkthroughs (Figure 6)."""
+
+    step: int
+    granularity: int
+    kind: str  # "subset" | "complement" | "initial"
+    tested: tuple[T, ...]
+    passed: bool
+    cached: bool = False
+
+
+@dataclass
+class DDOutcome(Generic[T]):
+    """Result of a DD minimization run."""
+
+    minimal: list[T]
+    oracle_calls: int
+    cache_hits: int
+    iterations: int
+    trace: list[DDTraceStep] = field(default_factory=list)
+
+    @property
+    def removed_count(self) -> int | None:
+        """Set by callers that know the original size; None until then."""
+        return getattr(self, "_removed_count", None)
+
+
+class DeltaDebugger(Generic[T]):
+    """Algorithm 1: DD-based program minimization with configuration caching.
+
+    Parameters
+    ----------
+    oracle:
+        Callable receiving the candidate *kept* component sequence and
+        returning ``True`` when the resulting program is still correct.
+    record_trace:
+        Record every oracle query as a :class:`DDTraceStep`.
+    max_oracle_calls:
+        Abort the search (returning the best candidate so far) after this
+        many oracle invocations; ``None`` means unbounded.
+    check_initial:
+        Verify the full component set passes the oracle before minimizing
+        (a failing baseline means the oracle spec itself is broken).
+    """
+
+    def __init__(
+        self,
+        oracle: OracleFn,
+        *,
+        record_trace: bool = False,
+        max_oracle_calls: int | None = None,
+        check_initial: bool = True,
+    ) -> None:
+        self._oracle = oracle
+        self._record_trace = record_trace
+        self._max_oracle_calls = max_oracle_calls
+        self._check_initial = check_initial
+        self._cache: dict[frozenset[T], bool] = {}
+        self._calls = 0
+        self._cache_hits = 0
+        self._trace: list[DDTraceStep] = []
+        self._step = 0
+
+    # -- oracle plumbing ----------------------------------------------------
+
+    def _query(self, candidate: Sequence[T], granularity: int, kind: str) -> bool:
+        key = frozenset(candidate)
+        cached = key in self._cache
+        if cached:
+            self._cache_hits += 1
+            result = self._cache[key]
+        else:
+            if (
+                self._max_oracle_calls is not None
+                and self._calls >= self._max_oracle_calls
+            ):
+                raise _OracleBudgetExhausted()
+            self._calls += 1
+            result = bool(self._oracle(candidate))
+            self._cache[key] = result
+        if self._record_trace:
+            self._step += 1
+            self._trace.append(
+                DDTraceStep(
+                    step=self._step,
+                    granularity=granularity,
+                    kind=kind,
+                    tested=tuple(candidate),
+                    passed=result,
+                    cached=cached,
+                )
+            )
+        return result
+
+    # -- the algorithm -------------------------------------------------------
+
+    def minimize(self, components: Sequence[T]) -> DDOutcome[T]:
+        """Run Algorithm 1 over *components*; returns the 1-minimal subset."""
+        candidate = list(components)
+        iterations = 0
+
+        try:
+            if self._check_initial and not self._query(candidate, 1, "initial"):
+                raise ValueError(
+                    "oracle rejects the full component set; the baseline "
+                    "program does not satisfy the specification"
+                )
+
+            # An empty program that still passes is trivially minimal and
+            # common in debloating (no redundant attribute is needed).
+            if candidate and self._query([], len(candidate), "subset"):
+                candidate = []
+
+            n = 2
+            while len(candidate) >= 2:
+                iterations += 1
+                n = min(n, len(candidate))
+                partitions = split_partitions(candidate, n)
+
+                reduced = False
+                # Step 1: try each partition alone (lines 4-6 of Algorithm 1).
+                for part in partitions:
+                    if self._query(part, n, "subset"):
+                        candidate = part
+                        n = 2
+                        reduced = True
+                        break
+
+                # Step 2: try each complement (lines 7-8).
+                if not reduced and n > 2:
+                    for i in range(n):
+                        complement = [
+                            item
+                            for j, part in enumerate(partitions)
+                            for item in part
+                            if j != i
+                        ]
+                        if self._query(complement, n, "complement"):
+                            candidate = complement
+                            n = max(n - 1, 2)
+                            reduced = True
+                            break
+
+                # Step 3: increase granularity or stop (lines 9-12).
+                if not reduced:
+                    if n >= len(candidate):
+                        break
+                    n = min(2 * n, len(candidate))
+        except _OracleBudgetExhausted:
+            pass
+
+        outcome = DDOutcome(
+            minimal=candidate,
+            oracle_calls=self._calls,
+            cache_hits=self._cache_hits,
+            iterations=iterations,
+            trace=list(self._trace),
+        )
+        return outcome
+
+
+class _OracleBudgetExhausted(Exception):
+    """Internal: raised when ``max_oracle_calls`` is hit mid-search."""
+
+
+def ddmin_keep(
+    components: Sequence[T],
+    oracle: OracleFn,
+    *,
+    record_trace: bool = False,
+    max_oracle_calls: int | None = None,
+) -> DDOutcome[T]:
+    """Convenience wrapper: minimize *components* under *oracle*."""
+    debugger = DeltaDebugger(
+        oracle,
+        record_trace=record_trace,
+        max_oracle_calls=max_oracle_calls,
+    )
+    return debugger.minimize(components)

@@ -1,0 +1,258 @@
+"""The DD-based module debloater (Sections 5.3 and 6.3).
+
+For each module the profiler selects, the debloater:
+
+1. loads the module's file and decomposes it into attribute components
+   (Section 6.1);
+2. backs the file up "so that it can be retrieved in every iteration of
+   DD";
+3. builds the set of potentially redundant attributes — everything except
+   the attributes in the call-graph output and the magic attributes;
+4. runs DD: each query rewrites the file with the candidate attribute set
+   (a single AST traversal) and re-runs the oracle.
+
+The winning configuration is left on disk; a
+:class:`ModuleDebloatResult` records the attribute counts before/after
+(Table 3), the oracle statistics, and the virtual time the DD search spent
+executing oracle probes (Table 3's debloating time).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.bundle import AppBundle
+from repro.core.ast_transform import rebuild_source
+from repro.core.dd import DDTraceStep, DeltaDebugger
+from repro.core.granularity import (
+    GRANULARITY_ATTRIBUTE,
+    AttributeComponent,
+    decompose_module,
+)
+from repro.core.oracle import OracleRunner
+from repro.errors import DebloatError
+
+__all__ = ["ModuleDebloatResult", "ModuleDebloater", "restore_module"]
+
+BACKUP_SUFFIX = ".lambdatrim.orig"
+
+
+@dataclass
+class ModuleDebloatResult:
+    """Outcome of debloating a single module."""
+
+    module: str
+    file: Path
+    attributes_before: int
+    attributes_after: int
+    protected: list[str] = field(default_factory=list)
+    removed: list[str] = field(default_factory=list)
+    kept: list[str] = field(default_factory=list)
+    oracle_calls: int = 0
+    cache_hits: int = 0
+    dd_iterations: int = 0
+    debloat_time_s: float = 0.0  # virtual seconds of oracle execution
+    wall_time_s: float = 0.0
+    skipped_reason: str | None = None
+    seeded: bool = False  # adopted a previous run's kept set (Section 9)
+    trace: list[DDTraceStep] = field(default_factory=list)
+
+    @property
+    def removed_count(self) -> int:
+        return len(self.removed)
+
+    @property
+    def skipped(self) -> bool:
+        return self.skipped_reason is not None
+
+    def summary(self) -> str:
+        if self.skipped:
+            return f"{self.module}: skipped ({self.skipped_reason})"
+        return (
+            f"{self.module}: {self.attributes_after}/{self.attributes_before} "
+            f"attributes kept, {self.oracle_calls} oracle calls"
+        )
+
+
+def backup_path(file: Path) -> Path:
+    return file.with_name(file.name + BACKUP_SUFFIX)
+
+
+def restore_module(file: Path) -> bool:
+    """Restore a module from its λ-trim backup; True if a backup existed."""
+    backup = backup_path(file)
+    if not backup.exists():
+        return False
+    file.write_text(backup.read_text(encoding="utf-8"), encoding="utf-8")
+    backup.unlink()
+    return True
+
+
+class ModuleDebloater:
+    """Runs attribute-level DD over modules of a working bundle.
+
+    Parameters
+    ----------
+    bundle:
+        The *working* bundle whose files are rewritten in place.  Callers
+        clone the pristine bundle first (see
+        :class:`repro.core.pipeline.LambdaTrim`).
+    runner:
+        Oracle runner whose expected outputs came from the pristine bundle.
+    record_trace:
+        Keep the full DD trace per module (Figure 6 walkthroughs).
+    max_oracle_calls_per_module:
+        Budget for each module's DD search; the best candidate found within
+        the budget is kept.
+    """
+
+    def __init__(
+        self,
+        bundle: AppBundle,
+        runner: OracleRunner,
+        *,
+        record_trace: bool = False,
+        max_oracle_calls_per_module: int | None = None,
+        granularity: str = GRANULARITY_ATTRIBUTE,
+    ):
+        self.bundle = bundle
+        self.runner = runner
+        self._record_trace = record_trace
+        self._max_calls = max_oracle_calls_per_module
+        self._granularity = granularity
+
+    def debloat_module(
+        self,
+        dotted: str,
+        protected: set[str] | frozenset[str] = frozenset(),
+        *,
+        extra_protected: Callable[[AttributeComponent], bool] | None = None,
+        seed_keep: list[str] | None = None,
+    ) -> ModuleDebloatResult:
+        """Debloat one module, leaving the minimized file on disk.
+
+        ``extra_protected`` lets the caller pin additional components by
+        inspection — the pipeline uses it to protect from-import aliases
+        whose origin attribute the call graph marks as accessed (e.g.
+        keep ``from torch.nn import Linear`` because the application uses
+        ``torch.nn.Linear``).
+
+        ``seed_keep`` drives continuous debloating (Section 9): names kept
+        by a previous run.  If the seeded configuration still satisfies
+        the oracle it is adopted after one probe; otherwise the seeded
+        components are ordered first so the new DD search converges fast.
+        """
+        file = self.bundle.module_file(dotted)
+        original_source = file.read_text(encoding="utf-8")
+        decomposition = decompose_module(
+            original_source, filename=str(file), granularity=self._granularity
+        )
+
+        removable = decomposition.removable(set(protected))
+        if extra_protected is not None:
+            removable = [c for c in removable if not extra_protected(c)]
+        pinned = [c for c in decomposition.components if c not in set(removable)]
+
+        if not removable:
+            return ModuleDebloatResult(
+                module=dotted,
+                file=file,
+                attributes_before=decomposition.attribute_count,
+                attributes_after=decomposition.attribute_count,
+                protected=sorted(protected),
+                kept=[c.name for c in decomposition.components],
+                skipped_reason="no removable attributes",
+            )
+
+        # Step 2: back up the original file for per-iteration retrieval.
+        backup = backup_path(file)
+        backup.write_text(original_source, encoding="utf-8")
+
+        virtual_before = self.runner.meter.time_s
+        wall_before = time.perf_counter()
+
+        def oracle(candidate: Sequence[AttributeComponent]) -> bool:
+            kept_components = pinned + list(candidate)
+            source = rebuild_source(decomposition, kept_components)
+            file.write_text(source, encoding="utf-8")
+            return self.runner.check(self.bundle).passed
+
+        if seed_keep is not None:
+            seed_set = set(seed_keep)
+            seed_components = [c for c in removable if c.name in seed_set]
+            if len(seed_components) < len(removable) and oracle(seed_components):
+                # The previous minimal still passes: adopt it directly.
+                final_keep = pinned + seed_components
+                file.write_text(
+                    rebuild_source(decomposition, final_keep), encoding="utf-8"
+                )
+                backup.unlink()
+                return ModuleDebloatResult(
+                    module=dotted,
+                    file=file,
+                    attributes_before=decomposition.attribute_count,
+                    attributes_after=len(final_keep),
+                    protected=sorted(protected),
+                    removed=sorted(
+                        c.name
+                        for c in decomposition.components
+                        if c not in set(final_keep)
+                    ),
+                    kept=sorted(c.name for c in final_keep),
+                    oracle_calls=1,
+                    debloat_time_s=self.runner.meter.time_s - virtual_before,
+                    wall_time_s=time.perf_counter() - wall_before,
+                    seeded=True,
+                )
+            # Seed rejected (oracle extended / handler changed): restore the
+            # original and re-search with seeded components ordered first.
+            file.write_text(original_source, encoding="utf-8")
+            removable = seed_components + [
+                c for c in removable if c.name not in seed_set
+            ]
+
+        try:
+            debugger = DeltaDebugger(
+                oracle,
+                record_trace=self._record_trace,
+                max_oracle_calls=self._max_calls,
+            )
+            outcome = debugger.minimize(removable)
+        except ValueError as exc:
+            # The full set failed: the working bundle no longer matches the
+            # oracle (e.g. a previous module broke it).  Restore and report.
+            file.write_text(original_source, encoding="utf-8")
+            backup.unlink()
+            raise DebloatError(f"oracle rejects unmodified {dotted}: {exc}") from exc
+        except BaseException:
+            file.write_text(original_source, encoding="utf-8")
+            backup.unlink()
+            raise
+
+        # Materialize the winning configuration.
+        final_keep = pinned + list(outcome.minimal)
+        file.write_text(rebuild_source(decomposition, final_keep), encoding="utf-8")
+        backup.unlink()
+
+        kept_names = sorted(c.name for c in final_keep)
+        removed_names = sorted(
+            c.name for c in decomposition.components if c not in set(final_keep)
+        )
+        return ModuleDebloatResult(
+            module=dotted,
+            file=file,
+            attributes_before=decomposition.attribute_count,
+            attributes_after=len(final_keep),
+            protected=sorted(protected),
+            removed=removed_names,
+            kept=kept_names,
+            oracle_calls=outcome.oracle_calls,
+            cache_hits=outcome.cache_hits,
+            dd_iterations=outcome.iterations,
+            debloat_time_s=self.runner.meter.time_s - virtual_before,
+            wall_time_s=time.perf_counter() - wall_before,
+            trace=outcome.trace,
+        )

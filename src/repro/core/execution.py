@@ -1,0 +1,260 @@
+"""Isolated execution of application bundles (module isolation, Section 7).
+
+The paper spawns a fresh process for each profiling/DD run so Python's
+module cache cannot leak state between measurements.  This module provides
+the same guarantee in-process — the default, fast path — by snapshotting
+``sys.modules``/``sys.path`` around each load and evicting every module the
+load introduced.  Evicted module objects stay alive while a
+:class:`LoadedApp` references them, which is exactly how a warm serverless
+instance behaves: the initialized state persists, invisible to other
+instances.
+
+A subprocess runner with identical semantics lives in
+:mod:`repro.core.subprocess_runner` for callers that want real OS-level
+isolation (the paper's faithful mode).
+"""
+
+from __future__ import annotations
+
+import importlib
+import io
+import sys
+import traceback
+from contextlib import contextmanager, redirect_stdout
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.bundle import AppBundle
+from repro.errors import InvocationError
+from repro.vm import Meter, metered
+
+__all__ = ["ExecutionResult", "InvocationOutput", "LoadedApp", "run_once"]
+
+
+@dataclass
+class InvocationOutput:
+    """Observable effects of a single handler invocation."""
+
+    value: Any
+    stdout: str
+    exec_time_s: float
+    error: str | None = None
+    error_type: str | None = None
+    external_calls: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def observable(self) -> dict:
+        """What the oracle compares: return value, stdout, and the
+        intercepted external-service calls (Section 5.3)."""
+        return {
+            "value": self.value,
+            "stdout": self.stdout,
+            "error_type": self.error_type,
+            "external": [
+                [call.service, call.payload] for call in self.external_calls
+            ],
+        }
+
+
+@dataclass
+class ExecutionResult:
+    """Full cold-start execution: initialization plus one invocation."""
+
+    init_time_s: float
+    init_memory_mb: float
+    peak_memory_mb: float
+    invocation: InvocationOutput | None
+    init_error: str | None = None
+    init_error_type: str | None = None
+    init_external_calls: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.init_error is None and (
+            self.invocation is not None and self.invocation.ok
+        )
+
+    @property
+    def exec_time_s(self) -> float:
+        return self.invocation.exec_time_s if self.invocation else 0.0
+
+    def observable(self) -> dict:
+        """What the oracle compares across original/debloated runs."""
+        if self.init_error is not None:
+            return {"init_error_type": self.init_error_type}
+        assert self.invocation is not None
+        observed = self.invocation.observable()
+        observed["init_external"] = list(self.init_external_calls)
+        return observed
+
+
+@contextmanager
+def isolated_imports(paths: list[str]) -> Iterator[dict[str, Any]]:
+    """Import-isolation scope: fresh module cache for *paths*.
+
+    Yields a dict that, on exit, holds every module the scope introduced
+    (the scope's private module cache).  Pre-existing modules — the stdlib,
+    ``repro`` itself — are untouched.
+    """
+    before = set(sys.modules)
+    saved_path = list(sys.path)
+    sys.path[:0] = paths
+    importlib.invalidate_caches()
+    introduced: dict[str, Any] = {}
+    try:
+        yield introduced
+    finally:
+        for name in list(sys.modules):
+            if name not in before:
+                introduced[name] = sys.modules.pop(name)
+        sys.path[:] = saved_path
+
+
+class LoadedApp:
+    """A loaded function instance: initialized state plus a callable handler.
+
+    Mirrors a warm serverless instance.  ``load()`` performs Function
+    Initialization (imports, init code) under the instance meter;
+    ``invoke()`` runs the handler on an event.  The instance keeps its
+    imported modules privately so concurrent instances never share state.
+    """
+
+    def __init__(self, bundle: AppBundle, *, meter: Meter | None = None):
+        self.bundle = bundle
+        self.meter = meter if meter is not None else Meter(f"app:{bundle.name}")
+        self._modules: dict[str, Any] = {}
+        self._handler = None
+        self._loaded = False
+        self.init_error: str | None = None
+        self.init_error_type: str | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def loaded(self) -> bool:
+        return self._loaded and self.init_error is None
+
+    @property
+    def init_time_s(self) -> float:
+        return self._init_time_s if self._loaded else 0.0
+
+    @property
+    def init_memory_mb(self) -> float:
+        return self._init_memory_mb if self._loaded else 0.0
+
+    @property
+    def peak_memory_mb(self) -> float:
+        return self.meter.peak_mb
+
+    def _paths(self) -> list[str]:
+        return [str(self.bundle.site_packages), str(self.bundle.root)]
+
+    def load(self) -> None:
+        """Run Function Initialization: import the handler module."""
+        if self._loaded:
+            raise InvocationError("instance already initialized")
+        manifest = self.bundle.manifest
+        stdout = io.StringIO()
+        with isolated_imports(self._paths()) as introduced:
+            with metered(self.meter):
+                try:
+                    with redirect_stdout(stdout):
+                        module = importlib.import_module(manifest.handler_module)
+                    self._handler = getattr(module, manifest.handler_function)
+                except BaseException as exc:  # import errors must not kill the host
+                    self.init_error = "".join(
+                        traceback.format_exception_only(type(exc), exc)
+                    ).strip()
+                    self.init_error_type = type(exc).__name__
+        self._modules = introduced
+        self._init_time_s = self.meter.time_s
+        self._init_memory_mb = self.meter.live_mb
+        self.init_stdout = stdout.getvalue()
+        self.init_external_calls = [
+            [call.service, call.payload] for call in self.meter.external_calls
+        ]
+        self._loaded = True
+
+    def invoke(self, event: Any, context: Any = None) -> InvocationOutput:
+        """Invoke the handler on *event* (a warm start once loaded)."""
+        if not self._loaded:
+            raise InvocationError("instance not initialized; call load() first")
+        if self.init_error is not None:
+            raise InvocationError(f"instance failed to initialize: {self.init_error}")
+
+        before = self.meter.time_s
+        external_before = len(self.meter.external_calls)
+        stdout = io.StringIO()
+        error: str | None = None
+        error_type: str | None = None
+        value: Any = None
+
+        # Re-expose the instance's private modules so lazy imports inside the
+        # handler resolve against this instance's state.
+        overlap = {
+            name: sys.modules[name] for name in self._modules if name in sys.modules
+        }
+        sys.modules.update(self._modules)
+        saved_path = list(sys.path)
+        sys.path[:0] = self._paths()
+        try:
+            with metered(self.meter):
+                try:
+                    with redirect_stdout(stdout):
+                        value = self._handler(event, context if context is not None else {})
+                except BaseException as exc:
+                    error = "".join(
+                        traceback.format_exception_only(type(exc), exc)
+                    ).strip()
+                    error_type = type(exc).__name__
+        finally:
+            for name in self._modules:
+                if name in overlap:
+                    sys.modules[name] = overlap[name]
+                else:
+                    sys.modules.pop(name, None)
+            sys.path[:] = saved_path
+
+        return InvocationOutput(
+            value=value,
+            stdout=stdout.getvalue(),
+            exec_time_s=self.meter.time_s - before,
+            error=error,
+            error_type=error_type,
+            external_calls=list(self.meter.external_calls[external_before:]),
+        )
+
+    def close(self) -> None:
+        """Tear the instance down, releasing its initialized state."""
+        self._modules.clear()
+        self._handler = None
+
+
+def run_once(bundle: AppBundle, event: Any, context: Any = None) -> ExecutionResult:
+    """Cold start + single invocation + teardown (one oracle probe)."""
+    app = LoadedApp(bundle)
+    app.load()
+    if app.init_error is not None:
+        result = ExecutionResult(
+            init_time_s=app.init_time_s,
+            init_memory_mb=app.init_memory_mb,
+            peak_memory_mb=app.peak_memory_mb,
+            invocation=None,
+            init_error=app.init_error,
+            init_error_type=app.init_error_type,
+        )
+        app.close()
+        return result
+    invocation = app.invoke(event, context)
+    result = ExecutionResult(
+        init_time_s=app.init_time_s,
+        init_memory_mb=app.init_memory_mb,
+        peak_memory_mb=app.peak_memory_mb,
+        invocation=invocation,
+        init_external_calls=app.init_external_calls,
+    )
+    app.close()
+    return result

@@ -1,0 +1,230 @@
+"""Oracle fuzzing: strengthening the specification (Section 5.4).
+
+"One common and relatively robust approach is running a fuzzer against
+the optimized program.  If the fuzzer finds a failing input, then the
+user can add the input to the oracle set and rerun A-TRIM."
+
+:class:`OracleFuzzer` mutates the oracle's events and executes both the
+reference and the optimized bundle on each mutant, reporting any
+behavioural divergence.  Mutations are grey-box: besides generic
+type-aware mutations (numeric nudges, string edits, list resizing, key
+deletion), the fuzzer mines the handler source for the event keys it
+reads — ``event["k"]`` / ``event.get("k")`` — and the constants those
+keys are compared against, so rarely-taken branches like
+``event.get("mode") == "interactive"`` are reachable deterministically.
+
+Everything is seeded; findings convert directly into
+:class:`~repro.core.oracle.OracleCase` objects for the re-run workflow.
+"""
+
+from __future__ import annotations
+
+import ast
+import copy
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.bundle import AppBundle
+from repro.core.execution import run_once
+from repro.core.oracle import OracleCase, OracleSpec
+
+__all__ = ["FuzzFinding", "FuzzReport", "OracleFuzzer", "mine_event_schema"]
+
+
+@dataclass(frozen=True)
+class FuzzFinding:
+    """One input on which the optimized bundle diverges from the original."""
+
+    event: Any
+    context: Any
+    expected: dict
+    actual: dict
+
+    @property
+    def triggers_fallback(self) -> bool:
+        """Would this input trip the AttributeError safety net?"""
+        return self.actual.get("error_type") in ("AttributeError", "NameError") or (
+            self.actual.get("init_error_type") in ("AttributeError", "NameError")
+        )
+
+    def as_oracle_case(self, name: str) -> OracleCase:
+        return OracleCase(name=name, event=self.event, context=self.context)
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of a fuzzing campaign."""
+
+    executed: int
+    findings: list[FuzzFinding] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def suggested_cases(self) -> list[OracleCase]:
+        """Deduplicated oracle cases covering every finding."""
+        cases: list[OracleCase] = []
+        seen: set[str] = set()
+        for i, finding in enumerate(self.findings):
+            key = repr(finding.event)
+            if key not in seen:
+                seen.add(key)
+                cases.append(finding.as_oracle_case(f"fuzz-{i}"))
+        return cases
+
+
+def mine_event_schema(handler_source: str) -> dict[str, list[Any]]:
+    """Event keys the handler reads, with the constants they're compared to.
+
+    ``event["k"]`` and ``event.get("k")`` contribute keys; comparisons and
+    ``event.get("k", default)`` contribute interesting values.
+    """
+    tree = ast.parse(handler_source)
+    schema: dict[str, list[Any]] = {}
+
+    def is_event_name(node: ast.expr) -> bool:
+        return isinstance(node, ast.Name) and node.id == "event"
+
+    def key_of(node: ast.expr) -> str | None:
+        if (
+            isinstance(node, ast.Subscript)
+            and is_event_name(node.value)
+            and isinstance(node.slice, ast.Constant)
+            and isinstance(node.slice.value, str)
+        ):
+            return node.slice.value
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "get"
+            and is_event_name(node.func.value)
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            return node.args[0].value
+        return None
+
+    for node in ast.walk(tree):
+        key = key_of(node)
+        if key is not None:
+            schema.setdefault(key, [])
+            if isinstance(node, ast.Call) and len(node.args) > 1:
+                default = node.args[1]
+                if isinstance(default, ast.Constant):
+                    schema[key].append(default.value)
+        if isinstance(node, ast.Compare):
+            left_key = key_of(node.left)
+            if left_key is not None:
+                for comparator in node.comparators:
+                    if isinstance(comparator, ast.Constant):
+                        schema.setdefault(left_key, []).append(comparator.value)
+        if isinstance(node, ast.If):
+            # `if event.get("flag"):` — truthy probe
+            test_key = key_of(node.test)
+            if test_key is not None:
+                schema.setdefault(test_key, []).append(True)
+    return schema
+
+
+class OracleFuzzer:
+    """Differential fuzzing of an optimized bundle against its original."""
+
+    def __init__(
+        self,
+        reference: AppBundle,
+        candidate: AppBundle,
+        *,
+        spec: OracleSpec | None = None,
+        seed: int = 0,
+    ):
+        self.reference = reference
+        self.candidate = candidate
+        self.spec = spec if spec is not None else OracleSpec.from_bundle(reference)
+        self._rng = random.Random(seed)
+        self._schema = mine_event_schema(reference.handler_source())
+
+    # -- mutations -----------------------------------------------------------
+
+    def _mutate_value(self, value: Any) -> Any:
+        rng = self._rng
+        if isinstance(value, bool):
+            return not value
+        if isinstance(value, int):
+            return value + rng.choice((-1, 1, 100, -100))
+        if isinstance(value, float):
+            return value * rng.choice((0.0, -1.0, 2.0)) + rng.choice((0.0, 1e-3))
+        if isinstance(value, str):
+            choice = rng.randrange(3)
+            if choice == 0:
+                return ""
+            if choice == 1:
+                return value + "!"
+            return value * 2
+        if isinstance(value, list):
+            if value and rng.random() < 0.5:
+                return value[:-1]
+            return value + value[:1] if value else [0]
+        if isinstance(value, dict):
+            mutated = dict(value)
+            if mutated and rng.random() < 0.5:
+                mutated.pop(rng.choice(sorted(mutated)))
+            else:
+                mutated[f"fuzz_{rng.randrange(10)}"] = rng.randrange(100)
+            return mutated
+        return value
+
+    def _mutants(self, event: Any, budget: int) -> list[Any]:
+        """Deterministic mutants of one oracle event."""
+        mutants: list[Any] = []
+
+        # Grey-box first: set each mined key to each mined value.
+        if isinstance(event, dict):
+            for key in sorted(self._schema):
+                for value in self._schema[key] or [True]:
+                    mutant = copy.deepcopy(event)
+                    mutant[key] = value
+                    mutants.append(mutant)
+                mutant = copy.deepcopy(event)
+                mutant.pop(key, None)
+                mutants.append(mutant)
+
+        # Then generic type-aware mutations.
+        while len(mutants) < budget:
+            if isinstance(event, dict) and event:
+                mutant = copy.deepcopy(event)
+                key = self._rng.choice(sorted(mutant))
+                mutant[key] = self._mutate_value(mutant[key])
+                mutants.append(mutant)
+            else:
+                mutants.append(self._mutate_value(copy.deepcopy(event)))
+        return mutants[:budget]
+
+    # -- campaign ----------------------------------------------------------------
+
+    def fuzz(self, *, budget_per_case: int = 20) -> FuzzReport:
+        """Run the campaign; every divergence becomes a finding."""
+        findings: list[FuzzFinding] = []
+        executed = 0
+        seen: set[str] = set()
+        for case in self.spec:
+            for mutant in self._mutants(case.event, budget_per_case):
+                key = repr(mutant)
+                if key in seen:
+                    continue
+                seen.add(key)
+                executed += 1
+                expected = run_once(self.reference, mutant, case.context).observable()
+                actual = run_once(self.candidate, mutant, case.context).observable()
+                if expected != actual:
+                    findings.append(
+                        FuzzFinding(
+                            event=mutant,
+                            context=case.context,
+                            expected=expected,
+                            actual=actual,
+                        )
+                    )
+        return FuzzReport(executed=executed, findings=findings)

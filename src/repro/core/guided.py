@@ -1,0 +1,166 @@
+"""Learning-guided delta debugging (the paper's [25] acceleration path).
+
+"Prior work has also demonstrated the promise of learning techniques to
+choose the attribute set that is the most probable to pass the oracle
+test" (Section 8.3, citing Heo et al., CCS'18).
+
+:class:`GuidedDeltaDebugger` augments Algorithm 1 with an online necessity
+model.  Every oracle probe is a labelled observation: a *passing* probe
+proves every excluded component unnecessary-in-context, while a *failing*
+probe weakly implicates the excluded components.  The model keeps simple
+Beta-style counts per component and, before partitioning, reorders the
+candidate so likely-needed components cluster at the front.
+
+Why that helps: DD partitions contiguously, so when the needed components
+cluster in one partition, a subset probe hits early and the candidate
+halves immediately; scattered needed components force granularity
+doubling.  The reordering converts the scattered case into the clustered
+one as evidence accumulates.  Results are unchanged (1-minimality is
+oracle-driven); only the number of probes drops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generic, Hashable, Sequence, TypeVar
+
+from repro.core.dd import DDOutcome, DeltaDebugger
+
+__all__ = ["NecessityModel", "GuidedDeltaDebugger", "guided_minimize"]
+
+T = TypeVar("T", bound=Hashable)
+
+
+@dataclass
+class NecessityModel(Generic[T]):
+    """Online per-component estimate of P(component is needed).
+
+    ``exonerated`` counts probes that *passed without* the component
+    (strong evidence it is unnecessary); ``implicated`` counts probes
+    that *failed without* it (weak evidence it may be needed).
+    """
+
+    exonerated: dict[T, int] = field(default_factory=dict)
+    implicated: dict[T, int] = field(default_factory=dict)
+
+    def observe(self, excluded: Sequence[T], passed: bool) -> None:
+        counter = self.exonerated if passed else self.implicated
+        for component in excluded:
+            counter[component] = counter.get(component, 0) + 1
+
+    def necessity(self, component: T) -> float:
+        """Posterior-ish score in (0, 1); 0.5 when nothing is known."""
+        exonerated = self.exonerated.get(component, 0)
+        implicated = self.implicated.get(component, 0)
+        # passing-without is decisive, failing-without only suggestive
+        return (1 + implicated) / (2 + implicated + 4 * exonerated)
+
+    def order(self, components: Sequence[T]) -> list[T]:
+        """Components sorted most-likely-needed first (stable)."""
+        indexed = list(enumerate(components))
+        indexed.sort(key=lambda pair: (-self.necessity(pair[1]), pair[0]))
+        return [component for _, component in indexed]
+
+
+class GuidedDeltaDebugger(DeltaDebugger[T]):
+    """Algorithm 1 with necessity-model-guided candidate ordering."""
+
+    def __init__(
+        self,
+        oracle: Callable[[Sequence[T]], bool],
+        *,
+        record_trace: bool = False,
+        max_oracle_calls: int | None = None,
+        check_initial: bool = True,
+    ) -> None:
+        self.model: NecessityModel[T] = NecessityModel()
+        self._all_components: set[T] = set()
+
+        def observing_oracle(candidate: Sequence[T]) -> bool:
+            passed = oracle(candidate)
+            excluded = self._all_components - set(candidate)
+            self.model.observe(list(excluded), passed)
+            return passed
+
+        super().__init__(
+            observing_oracle,
+            record_trace=record_trace,
+            max_oracle_calls=max_oracle_calls,
+            check_initial=check_initial,
+        )
+
+    def minimize(self, components: Sequence[T]) -> DDOutcome[T]:
+        self._all_components = set(components)
+        return super().minimize(components)
+
+
+def guided_minimize(
+    components: Sequence[T],
+    oracle: Callable[[Sequence[T]], bool],
+    *,
+    max_oracle_calls: int | None = None,
+    reorder_rounds: int = 3,
+    model: NecessityModel[T] | None = None,
+) -> DDOutcome[T]:
+    """Minimize with periodic necessity-guided reordering.
+
+    Runs guided DD in rounds: each round executes Algorithm 1 with a
+    budget; between rounds the surviving candidate is reordered by the
+    learned necessity scores, clustering likely-needed components so the
+    next round's contiguous partitions align with them.  Totals are
+    accumulated across rounds (the configuration cache persists within a
+    round only; cross-round repeats are new probes, counted honestly).
+
+    The big win is **transfer** (the Chisel-style setting): pass a *warm*
+    ``model`` trained on a previous, similar program — e.g. the last
+    deployment of the same application, or the same library in a sibling
+    function.  A warm model clusters the likely-needed components up
+    front, so the very first subset probes hit and DD converges in a
+    fraction of the calls.  Cold-started models rarely help: failing
+    probes implicate every excluded component equally, so there is no
+    signal until something passes.
+    """
+    if model is None:
+        model = NecessityModel()
+    all_components = set(components)
+    # a warm model reorders the initial candidate before any probe runs
+    candidate_order = model.order(components)
+
+    def observing_oracle(candidate: Sequence[T]) -> bool:
+        passed = oracle(candidate)
+        model.observe(list(all_components - set(candidate)), passed)
+        return passed
+
+    candidate = list(candidate_order)
+    total_calls = 0
+    total_hits = 0
+    total_iterations = 0
+    per_round_budget = (
+        None if max_oracle_calls is None else max(max_oracle_calls // reorder_rounds, 8)
+    )
+
+    outcome: DDOutcome[T] | None = None
+    for round_index in range(reorder_rounds):
+        debugger = DeltaDebugger(
+            observing_oracle,
+            max_oracle_calls=per_round_budget,
+            check_initial=(round_index == 0),
+        )
+        outcome = debugger.minimize(candidate)
+        total_calls += outcome.oracle_calls
+        total_hits += outcome.cache_hits
+        total_iterations += outcome.iterations
+        if len(outcome.minimal) <= 1:
+            break
+        reordered = model.order(outcome.minimal)
+        if reordered == list(outcome.minimal):
+            break  # converged: no new ordering information
+        candidate = reordered
+
+    assert outcome is not None
+    return DDOutcome(
+        minimal=outcome.minimal,
+        oracle_calls=total_calls,
+        cache_hits=total_hits,
+        iterations=total_iterations,
+    )

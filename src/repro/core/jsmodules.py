@@ -1,0 +1,223 @@
+"""ES-module decomposition: the Section 6.1 generalizability claim.
+
+"JS offers a similar import model as Python; one can import specific
+exports from another module, similar to the from import statement of
+Python.  Thus, DD can be adjusted in a straightforward way to JS modules."
+
+This module demonstrates that adjustment: a small parser decomposes an
+ES module's top level into attribute components — named imports
+(individually removable, like Python's ``from … import``), default and
+namespace imports, function/class/const declarations — and a rebuilder
+materialises any kept subset.  The generic DD algorithm then minimizes JS
+modules exactly as it minimizes Python ones; only the decompose/rebuild
+pair is language-specific.
+
+The parser covers the common top-level forms (statement-per-line or
+brace-balanced blocks); exotic syntax (re-exports with strings, top-level
+await expressions, decorators) is conservatively pinned, mirroring the
+Python decomposer's treatment of unrecognised statements.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import DebloatError
+
+__all__ = [
+    "JsComponent",
+    "JsModuleDecomposition",
+    "decompose_js_module",
+    "rebuild_js_source",
+]
+
+_NAMED_IMPORT = re.compile(
+    r"^import\s*\{(?P<names>[^}]*)\}\s*from\s*(?P<module>['\"][^'\"]+['\"])\s*;?\s*$"
+)
+_DEFAULT_IMPORT = re.compile(
+    r"^import\s+(?P<name>[A-Za-z_$][\w$]*)\s+from\s*(?P<module>['\"][^'\"]+['\"])\s*;?\s*$"
+)
+_NAMESPACE_IMPORT = re.compile(
+    r"^import\s*\*\s*as\s+(?P<name>[A-Za-z_$][\w$]*)\s+from\s*"
+    r"(?P<module>['\"][^'\"]+['\"])\s*;?\s*$"
+)
+_BARE_IMPORT = re.compile(r"^import\s*(?P<module>['\"][^'\"]+['\"])\s*;?\s*$")
+_DECLARATION = re.compile(
+    r"^(?P<export>export\s+)?(?P<kind>function|class|const|let|var)\s+"
+    r"(?P<name>[A-Za-z_$][\w$]*)"
+)
+
+
+@dataclass(frozen=True)
+class JsComponent:
+    """One removable binding of an ES module's top level."""
+
+    stmt_index: int
+    alias_index: int
+    name: str
+    kind: str  # named-import | default-import | namespace-import | declaration
+    source_module: str = ""
+
+    @property
+    def key(self) -> str:
+        return f"{self.name}@{self.stmt_index}.{self.alias_index}"
+
+
+@dataclass
+class JsModuleDecomposition:
+    """An ES module split into statements and removable components."""
+
+    source: str
+    statements: list[str]
+    components: list[JsComponent] = field(default_factory=list)
+
+    @property
+    def attribute_names(self) -> list[str]:
+        return [c.name for c in self.components]
+
+    def removable(self, protected: set[str]) -> list[JsComponent]:
+        return [c for c in self.components if c.name not in protected]
+
+
+def _split_statements(source: str) -> list[str]:
+    """Split a module into top-level statements by brace/paren balance.
+
+    Line comments survive inside the statement they follow; a statement
+    ends when braces/brackets/parens are balanced and the line does not
+    continue an unfinished construct.
+    """
+    statements: list[str] = []
+    buffer: list[str] = []
+    depth = 0
+    for line in source.splitlines():
+        stripped = _strip_line_comment(line)
+        buffer.append(line)
+        depth += stripped.count("{") + stripped.count("(") + stripped.count("[")
+        depth -= stripped.count("}") + stripped.count(")") + stripped.count("]")
+        if depth < 0:
+            raise DebloatError("unbalanced braces in ES module")
+        if depth == 0 and (stripped.strip() or len(buffer) == 1):
+            statements.append("\n".join(buffer))
+            buffer = []
+    if depth != 0:
+        raise DebloatError("unterminated block at end of ES module")
+    if buffer:
+        statements.append("\n".join(buffer))
+    return statements
+
+
+def _strip_line_comment(line: str) -> str:
+    # good enough for generated/test fixtures: ignores // inside strings
+    index = line.find("//")
+    return line if index < 0 else line[:index]
+
+
+def _import_alias_name(alias: str) -> str:
+    """The local binding of one name in ``import { a as b }``."""
+    parts = alias.strip().split()
+    if len(parts) == 3 and parts[1] == "as":
+        return parts[2]
+    return parts[0] if parts else ""
+
+
+def decompose_js_module(source: str) -> JsModuleDecomposition:
+    """Decompose an ES module's top level into attribute components."""
+    statements = _split_statements(source)
+    components: list[JsComponent] = []
+
+    for index, statement in enumerate(statements):
+        head = statement.strip()
+        if not head or head.startswith("//") or head.startswith("/*"):
+            continue  # pinned
+
+        named = _NAMED_IMPORT.match(head)
+        if named:
+            aliases = [a for a in named.group("names").split(",") if a.strip()]
+            for alias_index, alias in enumerate(aliases):
+                components.append(
+                    JsComponent(
+                        stmt_index=index,
+                        alias_index=alias_index,
+                        name=_import_alias_name(alias),
+                        kind="named-import",
+                        source_module=named.group("module").strip("'\""),
+                    )
+                )
+            continue
+
+        for pattern, kind in (
+            (_DEFAULT_IMPORT, "default-import"),
+            (_NAMESPACE_IMPORT, "namespace-import"),
+        ):
+            match = pattern.match(head)
+            if match:
+                components.append(
+                    JsComponent(
+                        stmt_index=index,
+                        alias_index=0,
+                        name=match.group("name"),
+                        kind=kind,
+                        source_module=match.group("module").strip("'\""),
+                    )
+                )
+                break
+        else:
+            if _BARE_IMPORT.match(head):
+                continue  # side-effect import: pinned (like Python's pinned)
+            declaration = _DECLARATION.match(head)
+            if declaration:
+                components.append(
+                    JsComponent(
+                        stmt_index=index,
+                        alias_index=0,
+                        name=declaration.group("name"),
+                        kind="declaration",
+                    )
+                )
+            # everything else (export lists, expressions) stays pinned
+
+    return JsModuleDecomposition(
+        source=source, statements=statements, components=components
+    )
+
+
+def rebuild_js_source(
+    decomposition: JsModuleDecomposition, keep: list[JsComponent]
+) -> str:
+    """Source of the module with only *keep* (plus pinned statements)."""
+    kept = set(keep)
+    kept_by_statement: dict[int, set[int]] = {}
+    removable_by_statement: dict[int, set[int]] = {}
+    for component in decomposition.components:
+        removable_by_statement.setdefault(component.stmt_index, set()).add(
+            component.alias_index
+        )
+        if component in kept:
+            kept_by_statement.setdefault(component.stmt_index, set()).add(
+                component.alias_index
+            )
+
+    chunks: list[str] = []
+    for index, statement in enumerate(decomposition.statements):
+        removable = removable_by_statement.get(index)
+        if removable is None:
+            chunks.append(statement)
+            continue
+        kept_aliases = kept_by_statement.get(index, set())
+        if not kept_aliases:
+            continue  # whole statement removed
+        if kept_aliases == removable:
+            chunks.append(statement)
+            continue
+        # partial named-import: rebuild the brace list
+        named = _NAMED_IMPORT.match(statement.strip())
+        if named is None:  # pragma: no cover - only named imports are partial
+            chunks.append(statement)
+            continue
+        aliases = [a.strip() for a in named.group("names").split(",") if a.strip()]
+        surviving = [a for i, a in enumerate(aliases) if i in kept_aliases]
+        chunks.append(
+            f"import {{ {', '.join(surviving)} }} from {named.group('module')};"
+        )
+    return "\n".join(chunks) + ("\n" if chunks else "")

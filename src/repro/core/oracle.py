@@ -1,0 +1,210 @@
+"""Oracle specifications and equivalence checking (Sections 4 and 5.3).
+
+λ-trim's correctness contract is the *oracle specification*: a set of
+(event, context) test cases for which the debloated program must produce
+the same output as the original.  "In most cases, just ensuring the
+matching of standard output is sufficient" — we compare the handler's
+return value, its standard output, and (when the run fails) the error
+type, so removing a needed attribute is always detected.
+
+:class:`OracleRunner` captures the expected observables by running the
+pristine bundle once per case, then answers DD queries by re-running a
+candidate bundle and comparing.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.bundle import AppBundle
+from repro.core.execution import run_once
+from repro.errors import OracleError
+from repro.vm import Meter, metered
+
+__all__ = ["OracleCase", "OracleSpec", "OracleResult", "OracleRunner", "CaseOutcome"]
+
+
+@dataclass(frozen=True)
+class OracleCase:
+    """One test case: an event payload and an invocation context."""
+
+    name: str
+    event: Any
+    context: Any = None
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "event": self.event, "context": self.context}
+
+    @classmethod
+    def from_dict(cls, data: dict, *, index: int = 0) -> "OracleCase":
+        if "event" not in data:
+            raise OracleError(f"oracle case {index} missing 'event'")
+        return cls(
+            name=data.get("name", f"case-{index}"),
+            event=data["event"],
+            context=data.get("context"),
+        )
+
+
+@dataclass
+class OracleSpec:
+    """The full oracle: the cases the debloated program must preserve."""
+
+    cases: list[OracleCase] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.cases:
+            raise OracleError("oracle specification must contain at least one case")
+        names = [case.name for case in self.cases]
+        if len(set(names)) != len(names):
+            raise OracleError(f"duplicate oracle case names: {names}")
+
+    def __len__(self) -> int:
+        return len(self.cases)
+
+    def __iter__(self):
+        return iter(self.cases)
+
+    def add_case(self, case: OracleCase) -> None:
+        """Extend the oracle (the fuzz-then-rerun workflow of Section 5.4)."""
+        if any(existing.name == case.name for existing in self.cases):
+            raise OracleError(f"duplicate oracle case name: {case.name}")
+        self.cases.append(case)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps([case.to_dict() for case in self.cases], indent=2)
+
+    def save(self, path: Path | str) -> None:
+        Path(path).write_text(self.to_json() + "\n", encoding="utf-8")
+
+    @classmethod
+    def from_json(cls, text: str) -> "OracleSpec":
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise OracleError(f"oracle specification is not valid JSON: {exc}") from exc
+        if not isinstance(raw, list):
+            raise OracleError("oracle specification must be a JSON list of cases")
+        return cls(
+            cases=[OracleCase.from_dict(item, index=i) for i, item in enumerate(raw)]
+        )
+
+    @classmethod
+    def load(cls, path: Path | str) -> "OracleSpec":
+        path = Path(path)
+        if not path.exists():
+            raise OracleError(f"oracle specification not found: {path}")
+        return cls.from_json(path.read_text(encoding="utf-8"))
+
+    @classmethod
+    def from_bundle(cls, bundle: AppBundle) -> "OracleSpec":
+        return cls.load(bundle.oracle_path)
+
+
+@dataclass
+class CaseOutcome:
+    """Comparison result for a single oracle case."""
+
+    case: str
+    passed: bool
+    expected: dict | None = None
+    actual: dict | None = None
+
+    def describe(self) -> str:
+        if self.passed:
+            return f"{self.case}: ok"
+        return f"{self.case}: expected {self.expected!r}, got {self.actual!r}"
+
+
+@dataclass
+class OracleResult:
+    """Aggregate verdict over every oracle case."""
+
+    outcomes: list[CaseOutcome]
+
+    @property
+    def passed(self) -> bool:
+        return all(outcome.passed for outcome in self.outcomes)
+
+    @property
+    def failures(self) -> list[CaseOutcome]:
+        return [outcome for outcome in self.outcomes if not outcome.passed]
+
+    def __bool__(self) -> bool:
+        return self.passed
+
+
+RunFn = Callable[[AppBundle, Any, Any], dict]
+
+
+def _default_run(bundle: AppBundle, event: Any, context: Any) -> dict:
+    return run_once(bundle, event, context).observable()
+
+
+class OracleRunner:
+    """Answers "does this candidate bundle still satisfy the oracle?".
+
+    Parameters
+    ----------
+    reference:
+        The pristine bundle whose behaviour defines correctness.
+    spec:
+        Oracle cases; defaults to the bundle's ``oracle.json``.
+    run:
+        Strategy producing a run's observable dict — the in-process
+        executor by default, a subprocess executor for OS-level isolation.
+    fail_fast:
+        Stop at the first failing case (the common DD configuration).
+    """
+
+    def __init__(
+        self,
+        reference: AppBundle,
+        spec: OracleSpec | None = None,
+        *,
+        run: RunFn = _default_run,
+        fail_fast: bool = True,
+    ):
+        self.spec = spec if spec is not None else OracleSpec.from_bundle(reference)
+        self._run = run
+        self._fail_fast = fail_fast
+        self.checks_performed = 0
+        # Accumulates the virtual time spent executing oracle probes — the
+        # quantity behind Table 3's per-application debloating time.
+        self.meter = Meter("oracle")
+        self._expected: dict[str, dict] = {}
+        with metered(self.meter):
+            for case in self.spec:
+                observable = self._run(reference, case.event, case.context)
+                if observable.get("error_type") or observable.get("init_error_type"):
+                    raise OracleError(
+                        f"reference bundle fails oracle case {case.name!r}: {observable}"
+                    )
+                self._expected[case.name] = observable
+
+    @property
+    def expected(self) -> dict[str, dict]:
+        return dict(self._expected)
+
+    def check(self, candidate: AppBundle) -> OracleResult:
+        """Run every case against *candidate* and compare observables."""
+        self.checks_performed += 1
+        outcomes: list[CaseOutcome] = []
+        with metered(self.meter):
+            for case in self.spec:
+                actual = self._run(candidate, case.event, case.context)
+                expected = self._expected[case.name]
+                passed = actual == expected
+                outcomes.append(
+                    CaseOutcome(
+                        case=case.name, passed=passed, expected=expected, actual=actual
+                    )
+                )
+                if not passed and self._fail_fast:
+                    break
+        return OracleResult(outcomes=outcomes)

@@ -1,0 +1,283 @@
+"""Intra-module parallel delta debugging (Section 9 future work).
+
+"First, we will parallelize DD both intra-(multiple sets of attributes of
+the same module in parallel) and inter-(multiple modules in parallel)
+modules."
+
+This module implements the *intra* direction:
+
+* :class:`BatchDeltaDebugger` restates Algorithm 1 so that each phase's
+  probes — the ``n`` subsets, then the ``n`` complements — are evaluated
+  as one batch.  The search is semantically identical to the sequential
+  algorithm (the first passing probe *in index order* wins), but a batch
+  may evaluate probes the sequential algorithm would have skipped: extra
+  oracle calls traded for wall-clock time.
+
+* :class:`ParallelModuleDebloater` supplies the batch oracle: ``workers``
+  clones of the working bundle, each probe rewriting its own clone's
+  module file and executing in a **separate OS process** (the in-process
+  executor shares an interpreter, so real parallelism needs real
+  processes).
+
+Inter-module parallelism is intentionally left out, as the paper notes it
+"requires very meticulous handling of module dependencies".
+"""
+
+from __future__ import annotations
+
+import queue
+import shutil
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Callable, Generic, Sequence, TypeVar
+
+from repro.bundle import AppBundle
+from repro.core.ast_transform import rebuild_source
+from repro.core.dd import DDOutcome, split_partitions
+from repro.core.granularity import GRANULARITY_ATTRIBUTE, decompose_module
+from repro.core.debloater import ModuleDebloatResult
+from repro.core.oracle import OracleSpec
+from repro.core.subprocess_runner import run_in_subprocess
+from repro.errors import DebloatError, OracleError
+
+__all__ = ["BatchDeltaDebugger", "ParallelModuleDebloater"]
+
+T = TypeVar("T")
+
+BatchOracleFn = Callable[[list[list[T]]], list[bool]]
+
+
+class BatchDeltaDebugger(Generic[T]):
+    """Algorithm 1 with per-phase batch evaluation."""
+
+    def __init__(
+        self,
+        batch_oracle: BatchOracleFn,
+        *,
+        max_oracle_calls: int | None = None,
+    ):
+        self._batch_oracle = batch_oracle
+        self._max_calls = max_oracle_calls
+        self._cache: dict[frozenset, bool] = {}
+        self.oracle_calls = 0
+        self.cache_hits = 0
+        self.batches = 0
+
+    def _query_batch(self, candidates: list[list[T]]) -> list[bool]:
+        """Evaluate candidates, consulting the cache; preserves order."""
+        fresh: list[list[T]] = []
+        fresh_keys: list[frozenset] = []
+        seen_in_batch: set[frozenset] = set()
+        for candidate in candidates:
+            key = frozenset(candidate)
+            if key in self._cache:
+                self.cache_hits += 1
+            elif key not in seen_in_batch:
+                fresh.append(candidate)
+                fresh_keys.append(key)
+                seen_in_batch.add(key)
+
+        if fresh:
+            if (
+                self._max_calls is not None
+                and self.oracle_calls + len(fresh) > self._max_calls
+            ):
+                raise _BudgetExhausted()
+            self.batches += 1
+            self.oracle_calls += len(fresh)
+            results = self._batch_oracle(fresh)
+            if len(results) != len(fresh):
+                raise DebloatError(
+                    "batch oracle returned a result count mismatch"
+                )
+            for key, passed in zip(fresh_keys, results):
+                self._cache[key] = bool(passed)
+
+        return [self._cache[frozenset(c)] for c in candidates]
+
+    def minimize(self, components: Sequence[T]) -> DDOutcome[T]:
+        candidate = list(components)
+        iterations = 0
+        try:
+            initial = self._query_batch([candidate])[0]
+            if not initial:
+                raise ValueError(
+                    "oracle rejects the full component set; the baseline "
+                    "program does not satisfy the specification"
+                )
+            if candidate and self._query_batch([[]])[0]:
+                candidate = []
+
+            n = 2
+            while len(candidate) >= 2:
+                iterations += 1
+                n = min(n, len(candidate))
+                partitions = split_partitions(candidate, n)
+
+                verdicts = self._query_batch([list(p) for p in partitions])
+                winner = next(
+                    (i for i, passed in enumerate(verdicts) if passed), None
+                )
+                if winner is not None:
+                    candidate = partitions[winner]
+                    n = 2
+                    continue
+
+                if n > 2:
+                    complements = [
+                        [
+                            item
+                            for j, part in enumerate(partitions)
+                            for item in part
+                            if j != i
+                        ]
+                        for i in range(n)
+                    ]
+                    verdicts = self._query_batch(complements)
+                    winner = next(
+                        (i for i, passed in enumerate(verdicts) if passed), None
+                    )
+                    if winner is not None:
+                        candidate = complements[winner]
+                        n = max(n - 1, 2)
+                        continue
+
+                if n >= len(candidate):
+                    break
+                n = min(2 * n, len(candidate))
+        except _BudgetExhausted:
+            pass
+
+        return DDOutcome(
+            minimal=candidate,
+            oracle_calls=self.oracle_calls,
+            cache_hits=self.cache_hits,
+            iterations=iterations,
+        )
+
+
+class _BudgetExhausted(Exception):
+    """Internal: the oracle-call budget was hit mid-search."""
+
+
+class ParallelModuleDebloater:
+    """Debloats one module at a time with parallel subprocess probes.
+
+    Parameters
+    ----------
+    working:
+        The bundle whose files the winning configuration lands in.
+    reference:
+        The pristine bundle defining expected outputs.
+    workers:
+        Concurrent probes (= worker bundle clones = OS processes in flight).
+    """
+
+    def __init__(
+        self,
+        working: AppBundle,
+        reference: AppBundle,
+        *,
+        spec: OracleSpec | None = None,
+        workers: int = 4,
+        granularity: str = GRANULARITY_ATTRIBUTE,
+        max_oracle_calls_per_module: int | None = None,
+    ):
+        if workers < 1:
+            raise DebloatError(f"need at least one worker, got {workers}")
+        self.working = working
+        self.workers = workers
+        self._granularity = granularity
+        self._max_calls = max_oracle_calls_per_module
+        self.spec = spec if spec is not None else OracleSpec.from_bundle(reference)
+
+        self._expected: dict[str, dict] = {}
+        for case in self.spec:
+            result = run_in_subprocess(reference, case.event, case.context)
+            observable = result["observable"]
+            if observable.get("error_type") or observable.get("init_error_type"):
+                raise OracleError(
+                    f"reference bundle fails oracle case {case.name!r}"
+                )
+            self._expected[case.name] = observable
+
+    # -- probe machinery --------------------------------------------------
+
+    def _probe(self, worker: AppBundle, module: str, source: str) -> bool:
+        """One candidate: rewrite the worker's module file and run all cases."""
+        worker.module_file(module).write_text(source, encoding="utf-8")
+        for case in self.spec:
+            result = run_in_subprocess(worker, case.event, case.context)
+            if result["observable"] != self._expected[case.name]:
+                return False
+        return True
+
+    def debloat_module(
+        self, dotted: str, protected: set[str] | frozenset[str] = frozenset()
+    ) -> ModuleDebloatResult:
+        file = self.working.module_file(dotted)
+        original_source = file.read_text(encoding="utf-8")
+        decomposition = decompose_module(
+            original_source, filename=str(file), granularity=self._granularity
+        )
+        removable = decomposition.removable(set(protected))
+        pinned = [c for c in decomposition.components if c not in set(removable)]
+        if not removable:
+            return ModuleDebloatResult(
+                module=dotted,
+                file=file,
+                attributes_before=decomposition.attribute_count,
+                attributes_after=decomposition.attribute_count,
+                protected=sorted(protected),
+                kept=[c.name for c in decomposition.components],
+                skipped_reason="no removable attributes",
+            )
+
+        wall_before = time.perf_counter()
+        # One clone of the current working state per worker slot.
+        clone_root = self.working.root.parent / f".parallel-{self.working.name}"
+        shutil.rmtree(clone_root, ignore_errors=True)
+        slots: queue.Queue[AppBundle] = queue.Queue()
+        for i in range(self.workers):
+            slots.put(self.working.clone(clone_root / f"worker-{i}"))
+
+        def evaluate_one(candidate: list) -> bool:
+            source = rebuild_source(decomposition, pinned + list(candidate))
+            worker = slots.get()
+            try:
+                return self._probe(worker, dotted, source)
+            finally:
+                slots.put(worker)
+
+        def batch_oracle(candidates: list[list]) -> list[bool]:
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                return list(pool.map(evaluate_one, candidates))
+
+        try:
+            debugger = BatchDeltaDebugger(
+                batch_oracle, max_oracle_calls=self._max_calls
+            )
+            outcome = debugger.minimize(removable)
+        except ValueError as exc:
+            raise DebloatError(f"oracle rejects unmodified {dotted}: {exc}") from exc
+        finally:
+            shutil.rmtree(clone_root, ignore_errors=True)
+
+        final_keep = pinned + list(outcome.minimal)
+        file.write_text(rebuild_source(decomposition, final_keep), encoding="utf-8")
+        return ModuleDebloatResult(
+            module=dotted,
+            file=file,
+            attributes_before=decomposition.attribute_count,
+            attributes_after=len(final_keep),
+            protected=sorted(protected),
+            removed=sorted(
+                c.name for c in decomposition.components if c not in set(final_keep)
+            ),
+            kept=sorted(c.name for c in final_keep),
+            oracle_calls=outcome.oracle_calls,
+            cache_hits=outcome.cache_hits,
+            dd_iterations=outcome.iterations,
+            wall_time_s=time.perf_counter() - wall_before,
+        )

@@ -1,0 +1,222 @@
+"""The serverless cost profiler: patched import machinery (Section 5.2, 7).
+
+"All four values (t, m, T, and M) are measured by patching Python's import
+machinery.  In particular, we modify Python's module loader by inserting
+time and memory measurements before each module execution."
+
+:class:`ImportTimer` is a meta-path finder that delegates spec resolution
+to the regular finders and wraps each returned loader so that executing a
+module body is bracketed by meter snapshots.  Nested imports are tracked on
+a stack, giving every module both an *inclusive* marginal cost (its body
+plus everything it alone pulled in — the paper's "modules and all their
+submodules") and an *exclusive* cost (its body only).
+
+Profiling happens under module isolation (Section 7): a fresh import scope
+per profile run so the interpreter's module cache never hides a module's
+cost.
+"""
+
+from __future__ import annotations
+
+import importlib
+import importlib.machinery
+import sys
+from dataclasses import dataclass
+
+from repro.bundle import AppBundle
+from repro.core.cost_model import ModuleProfile, ProfileReport
+from repro.core.execution import isolated_imports
+from repro.errors import AnalysisError
+from repro.vm import Meter, metered
+
+__all__ = ["ImportTimer", "profile_bundle", "profile_modules"]
+
+
+@dataclass
+class _Frame:
+    """Bookkeeping for one module currently executing its body."""
+
+    module: str
+    start_time_s: float
+    start_mb: float
+    child_time_s: float = 0.0
+    child_mb: float = 0.0
+    depth: int = 0
+
+
+class _TimingLoader:
+    """Delegating loader that meters ``exec_module``."""
+
+    def __init__(self, inner, timer: "ImportTimer", fullname: str):
+        self._inner = inner
+        self._timer = timer
+        self._fullname = fullname
+
+    def create_module(self, spec):
+        return self._inner.create_module(spec)
+
+    def exec_module(self, module):
+        self._timer._begin(self._fullname)
+        try:
+            self._inner.exec_module(module)
+        finally:
+            self._timer._end(self._fullname)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class ImportTimer:
+    """Meta-path hook recording per-module marginal time and memory.
+
+    Use as a context manager around the imports to measure::
+
+        meter = Meter("profile")
+        with metered(meter), ImportTimer(meter) as timer:
+            importlib.import_module("handler")
+        profiles = timer.profiles()
+    """
+
+    def __init__(self, meter: Meter):
+        self._meter = meter
+        self._stack: list[_Frame] = []
+        self._records: dict[str, ModuleProfile] = {}
+        self._order: list[str] = []
+        self._installed = False
+
+    # -- meta-path protocol --------------------------------------------------
+
+    def find_spec(self, fullname, path=None, target=None):
+        for finder in sys.meta_path:
+            if finder is self:
+                continue
+            find = getattr(finder, "find_spec", None)
+            if find is None:
+                continue
+            spec = find(fullname, path, target)
+            if spec is not None:
+                break
+        else:
+            return None
+        if spec.loader is None or not hasattr(spec.loader, "exec_module"):
+            return spec
+        spec.loader = _TimingLoader(spec.loader, self, fullname)
+        return spec
+
+    # -- installation ----------------------------------------------------------
+
+    def __enter__(self) -> "ImportTimer":
+        if self._installed:
+            raise AnalysisError("ImportTimer is already installed")
+        sys.meta_path.insert(0, self)
+        self._installed = True
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._installed:
+            sys.meta_path.remove(self)
+            self._installed = False
+
+    # -- measurement -------------------------------------------------------------
+
+    def _begin(self, fullname: str) -> None:
+        self._stack.append(
+            _Frame(
+                module=fullname,
+                start_time_s=self._meter.time_s,
+                start_mb=self._meter.live_mb,
+                depth=len(self._stack),
+            )
+        )
+
+    def _end(self, fullname: str) -> None:
+        frame = self._stack.pop()
+        if frame.module != fullname:  # pragma: no cover - defensive
+            raise AnalysisError(
+                f"import stack corruption: expected {frame.module}, got {fullname}"
+            )
+        inclusive_time = self._meter.time_s - frame.start_time_s
+        inclusive_mb = self._meter.live_mb - frame.start_mb
+        profile = ModuleProfile(
+            module=fullname,
+            import_time_s=inclusive_time,
+            memory_mb=max(inclusive_mb, 0.0),
+            exclusive_time_s=max(inclusive_time - frame.child_time_s, 0.0),
+            exclusive_memory_mb=max(inclusive_mb - frame.child_mb, 0.0),
+            depth=frame.depth,
+        )
+        if fullname not in self._records:
+            self._order.append(fullname)
+        self._records[fullname] = profile
+        if self._stack:
+            parent = self._stack[-1]
+            parent.child_time_s += inclusive_time
+            parent.child_mb += inclusive_mb
+
+    def profiles(self) -> list[ModuleProfile]:
+        """Profiles in first-execution order."""
+        return [self._records[name] for name in self._order]
+
+
+def _is_profiled(module: str, include: tuple[str, ...] | None) -> bool:
+    if include is None:
+        return True
+    return any(module == root or module.startswith(root + ".") for root in include)
+
+
+def profile_bundle(
+    bundle: AppBundle,
+    *,
+    restrict_to: list[str] | None = None,
+) -> ProfileReport:
+    """Profile an application's Function Initialization imports.
+
+    Imports the bundle's handler module in an isolated scope with the
+    timing hook installed, then reports the marginal cost of every module
+    the initialization executed.  ``restrict_to`` limits the report to the
+    given top-level packages (typically the static analyzer's external
+    module list); the totals T and M always cover the whole initialization.
+    """
+    meter = Meter(f"profile:{bundle.name}")
+    include = tuple(restrict_to) if restrict_to is not None else None
+
+    paths = [str(bundle.site_packages), str(bundle.root)]
+    with isolated_imports(paths):
+        with metered(meter), ImportTimer(meter) as timer:
+            try:
+                importlib.import_module(bundle.manifest.handler_module)
+            except Exception as exc:
+                raise AnalysisError(
+                    f"cannot profile {bundle.name}: initialization failed: {exc}"
+                ) from exc
+
+    profiles = [
+        profile for profile in timer.profiles() if _is_profiled(profile.module, include)
+    ]
+    return ProfileReport(
+        profiles=profiles,
+        total_time_s=meter.time_s,
+        total_memory_mb=meter.live_mb,
+    )
+
+
+def profile_modules(bundle: AppBundle, modules: list[str]) -> ProfileReport:
+    """Profile specific modules by importing them directly, in order.
+
+    A lower-level alternative to :func:`profile_bundle` for measuring a
+    module list outside any application (used by tests and the examples).
+    """
+    meter = Meter(f"profile-modules:{bundle.name}")
+    paths = [str(bundle.site_packages), str(bundle.root)]
+    with isolated_imports(paths):
+        with metered(meter), ImportTimer(meter) as timer:
+            for name in modules:
+                importlib.import_module(name)
+
+    wanted = set(modules)
+    profiles = [p for p in timer.profiles() if p.module in wanted]
+    return ProfileReport(
+        profiles=profiles,
+        total_time_s=meter.time_s,
+        total_memory_mb=meter.live_mb,
+    )

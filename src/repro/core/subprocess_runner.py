@@ -1,0 +1,78 @@
+"""Subprocess oracle execution: the paper's faithful isolation mode.
+
+Section 7: "A-TRIM imports modules in isolation.  Specifically, a new
+process is spawned in both the static analysis and the profiling phase.
+A new process is also spawned for each run of DD."
+
+The in-process executor (:mod:`repro.core.execution`) provides equivalent
+isolation by evicting modules between runs and is ~100x faster, so it is
+the default.  This module offers real OS-level process isolation for
+callers that want it — each oracle probe launches a fresh interpreter,
+imports the bundle there, and ships the observables back as JSON.
+
+Use with the oracle runner::
+
+    runner = OracleRunner(bundle, run=subprocess_run)
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from typing import Any
+
+from repro.bundle import AppBundle
+from repro.core._oracle_child import SENTINEL
+from repro.errors import OracleError, OracleTimeout
+from repro.vm import exec_cost
+
+__all__ = ["subprocess_run", "run_in_subprocess"]
+
+DEFAULT_TIMEOUT_S = 60.0
+
+
+def run_in_subprocess(
+    bundle: AppBundle,
+    event: Any,
+    context: Any = None,
+    *,
+    timeout_s: float = DEFAULT_TIMEOUT_S,
+) -> dict:
+    """Execute one cold start in a fresh interpreter; returns the child's
+    full result dict (observable + metering fields)."""
+    payload = json.dumps({"event": event, "context": context})
+    try:
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.core._oracle_child", str(bundle.root)],
+            input=payload,
+            capture_output=True,
+            text=True,
+            timeout=timeout_s,
+        )
+    except subprocess.TimeoutExpired as exc:
+        raise OracleTimeout(
+            f"oracle probe for {bundle.name} exceeded {timeout_s}s"
+        ) from exc
+
+    for line in completed.stdout.splitlines():
+        if line.startswith(SENTINEL):
+            return json.loads(line[len(SENTINEL):])
+    raise OracleError(
+        f"oracle child for {bundle.name} produced no result "
+        f"(exit {completed.returncode}): {completed.stderr.strip()[:500]}"
+    )
+
+
+def subprocess_run(bundle: AppBundle, event: Any, context: Any = None) -> dict:
+    """``RunFn``-shaped adapter for :class:`~repro.core.oracle.OracleRunner`.
+
+    Charges the child's measured virtual time to the caller's active
+    meters so debloat-time accounting works identically to the in-process
+    runner.
+    """
+    result = run_in_subprocess(bundle, event, context)
+    virtual = result.get("init_time_s", 0.0) + result.get("exec_time_s", 0.0)
+    if virtual:
+        exec_cost(f"subprocess:{bundle.name}", time_s=virtual)
+    return result["observable"]

@@ -1,0 +1,33 @@
+"""Serverless platform emulator (the AWS Lambda substitute).
+
+Implements the lifecycle of Figure 1 over a virtual clock: unbilled
+platform preparation (instance init + image transmission), billed Function
+Initialization, and billed Function Execution — with warm instances kept
+alive for a configurable period, forced cold starts via function updates
+(the paper's methodology), REPORT-style execution logs, Eq. 1 billing, and
+an optional SnapStart mode backed by the checkpoint/restore simulator.
+"""
+
+from repro.platform.clock import VirtualClock
+from repro.platform.emulator import DeployedFunction, LambdaEmulator
+from repro.platform.instance import FunctionInstance
+from repro.platform.logs import ExecutionLog, InvocationRecord, StartType
+from repro.platform.billing import BillingLedger
+from repro.platform.replay import ReplayResult, TraceReplayer
+from repro.platform.tuning import CpuScalingModel, MemoryRecommendation, recommend_memory
+
+__all__ = [
+    "VirtualClock",
+    "LambdaEmulator",
+    "DeployedFunction",
+    "FunctionInstance",
+    "ExecutionLog",
+    "InvocationRecord",
+    "StartType",
+    "BillingLedger",
+    "ReplayResult",
+    "TraceReplayer",
+    "CpuScalingModel",
+    "MemoryRecommendation",
+    "recommend_memory",
+]

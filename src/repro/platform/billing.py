@@ -1,0 +1,56 @@
+"""Billing ledger: aggregates per-invocation and SnapStart charges."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["BillingLedger", "FunctionBill"]
+
+
+@dataclass
+class FunctionBill:
+    """Cumulative charges for one deployed function."""
+
+    function: str
+    invocation_cost: float = 0.0
+    snapstart_restore_cost: float = 0.0
+    snapstart_cache_cost: float = 0.0
+    invocations: int = 0
+    cold_starts: int = 0
+
+    @property
+    def snapstart_cost(self) -> float:
+        return self.snapstart_restore_cost + self.snapstart_cache_cost
+
+    @property
+    def total(self) -> float:
+        return self.invocation_cost + self.snapstart_cost
+
+
+@dataclass
+class BillingLedger:
+    """Account book across every function the emulator runs."""
+
+    bills: dict[str, FunctionBill] = field(default_factory=dict)
+
+    def bill_for(self, function: str) -> FunctionBill:
+        if function not in self.bills:
+            self.bills[function] = FunctionBill(function=function)
+        return self.bills[function]
+
+    def charge_invocation(self, function: str, cost: float, *, cold: bool) -> None:
+        bill = self.bill_for(function)
+        bill.invocation_cost += cost
+        bill.invocations += 1
+        if cold:
+            bill.cold_starts += 1
+
+    def charge_snapstart_restore(self, function: str, cost: float) -> None:
+        self.bill_for(function).snapstart_restore_cost += cost
+
+    def charge_snapstart_cache(self, function: str, cost: float) -> None:
+        self.bill_for(function).snapstart_cache_cost += cost
+
+    @property
+    def total(self) -> float:
+        return sum(bill.total for bill in self.bills.values())

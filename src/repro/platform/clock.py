@@ -1,0 +1,38 @@
+"""The emulator's virtual clock.
+
+Virtual seconds are calibrated 1:1 with the paper's wall-clock seconds;
+advancing the clock is free, which is what makes 100-cold-start experiment
+sweeps run in milliseconds.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PlatformError
+
+__all__ = ["VirtualClock"]
+
+
+class VirtualClock:
+    """A monotonically advancing virtual time source (seconds)."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new now."""
+        if seconds < 0:
+            raise PlatformError(f"cannot advance clock by {seconds}")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Jump to an absolute time (no-op when already past it)."""
+        if timestamp > self._now:
+            self._now = timestamp
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualClock(t={self._now:.3f}s)"

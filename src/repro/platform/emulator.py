@@ -1,0 +1,317 @@
+"""The serverless platform emulator: deploy, invoke, bill (Section 2.1).
+
+:class:`LambdaEmulator` implements the lifecycle the paper measures on AWS
+Lambda:
+
+* **cold start** — unbilled platform preparation (instance init + image
+  transmission, pinned per-application to the Table 1 residual or derived
+  from the image size), then billed Function Initialization (really
+  importing the handler module under the instance meter), then billed
+  Function Execution;
+* **warm start** — an idle instance within its keep-alive window serves
+  the request with only routing delay plus execution;
+* **forced cold starts** — :meth:`update_function` discards warm
+  instances, the paper's trick of editing the function description;
+* **billing** — Eq. 1 with the provider's granularity, memory configured
+  to the measured footprint (128 MB floor);
+* **SnapStart** — cold starts restore from a checkpoint instead of
+  re-initializing; restore time comes from the C/R simulator and restore/
+  cache fees from :class:`~repro.pricing.snapstart.SnapStartPricing`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.bundle import AppBundle
+from repro.checkpoint import Checkpoint, CriuSimulator
+from repro.errors import FunctionNotFound, PlatformError
+from repro.platform.billing import BillingLedger
+from repro.platform.clock import VirtualClock
+from repro.platform.instance import FunctionInstance
+from repro.platform.logs import ExecutionLog, InvocationRecord, StartType
+from repro.platform.tuning import CpuScalingModel
+from repro.pricing import AwsLambdaPricing, PricingModel, SnapStartPricing
+
+__all__ = ["LambdaEmulator", "DeployedFunction"]
+
+DEFAULT_KEEP_ALIVE_S = 15 * 60  # GCP-style; AWS allows up to ~45-60 min
+DEFAULT_INSTANCE_INIT_S = 0.25
+DEFAULT_TRANSMISSION_MB_PER_S = 170.0  # Figure 1: 742 MB in ~4.4 s
+DEFAULT_ROUTING_S = 0.04
+
+
+@dataclass
+class DeployedFunction:
+    """A function registered with the emulator."""
+
+    name: str
+    bundle: AppBundle
+    memory_mb: int | None = None  # None = configure to measured footprint
+    snapstart: bool = False
+    instances: list[FunctionInstance] = field(default_factory=list)
+    snapshot: Checkpoint | None = None
+    snapstart_enabled_at: float = 0.0
+    generation: int = 0  # bumped by update_function to force cold starts
+
+    def warm_instance(self, now: float, keep_alive_s: float) -> FunctionInstance | None:
+        for instance in self.instances:
+            if instance.is_warm(now, keep_alive_s):
+                return instance
+        return None
+
+    def discard_instances(self) -> None:
+        for instance in self.instances:
+            instance.shutdown()
+        self.instances.clear()
+
+
+class LambdaEmulator:
+    """A deterministic, virtual-clock serverless platform."""
+
+    def __init__(
+        self,
+        *,
+        pricing: PricingModel | None = None,
+        keep_alive_s: float = DEFAULT_KEEP_ALIVE_S,
+        clock: VirtualClock | None = None,
+        instance_init_s: float = DEFAULT_INSTANCE_INIT_S,
+        transmission_mb_per_s: float = DEFAULT_TRANSMISSION_MB_PER_S,
+        routing_s: float = DEFAULT_ROUTING_S,
+        snapstart_pricing: SnapStartPricing | None = None,
+        criu: CriuSimulator | None = None,
+        cpu_scaling: CpuScalingModel | None = None,
+    ):
+        self.pricing = pricing if pricing is not None else AwsLambdaPricing()
+        self.keep_alive_s = keep_alive_s
+        self.clock = clock if clock is not None else VirtualClock()
+        self.instance_init_s = instance_init_s
+        self.transmission_mb_per_s = transmission_mb_per_s
+        self.routing_s = routing_s
+        self.snapstart_pricing = (
+            snapstart_pricing if snapstart_pricing is not None else SnapStartPricing()
+        )
+        self.criu = criu if criu is not None else CriuSimulator()
+        # Optional AWS-style CPU scaling: execution slows down below the
+        # full-vCPU memory point (see repro.platform.tuning).  Off by
+        # default so calibrated Table 1 durations are unchanged.
+        self.cpu_scaling = cpu_scaling
+        self.log = ExecutionLog()
+        self.ledger = BillingLedger()
+        self._functions: dict[str, DeployedFunction] = {}
+        self._request_ids = itertools.count(1)
+
+    # -- deployment ----------------------------------------------------------
+
+    def deploy(
+        self,
+        bundle: AppBundle,
+        *,
+        name: str | None = None,
+        memory_mb: int | None = None,
+        snapstart: bool = False,
+    ) -> DeployedFunction:
+        """Register a bundle; ``memory_mb=None`` bills the measured peak."""
+        function_name = name if name is not None else bundle.name
+        if function_name in self._functions:
+            raise PlatformError(f"function already deployed: {function_name}")
+        function = DeployedFunction(
+            name=function_name,
+            bundle=bundle,
+            memory_mb=memory_mb,
+            snapstart=snapstart,
+            snapstart_enabled_at=self.clock.now(),
+        )
+        self._functions[function_name] = function
+        return function
+
+    def function(self, name: str) -> DeployedFunction:
+        try:
+            return self._functions[name]
+        except KeyError:
+            raise FunctionNotFound(f"no such function: {name}") from None
+
+    def update_function(self, name: str) -> None:
+        """Update function metadata, discarding warm instances.
+
+        This is the paper's methodology for forcing 100 cold starts:
+        "we update the function description field after each invocation".
+        """
+        function = self.function(name)
+        function.generation += 1
+        function.discard_instances()
+        if function.snapstart:
+            function.snapshot = None  # a new version re-snapshots
+
+    # -- invocation -----------------------------------------------------------
+
+    def platform_overhead_s(self, function: DeployedFunction) -> tuple[float, float]:
+        """(instance init, image transmission) — the unbilled phases."""
+        manifest = function.bundle.manifest
+        if manifest.platform_overhead_s is not None:
+            total = manifest.platform_overhead_s
+            instance_init = min(self.instance_init_s, total / 2)
+            return instance_init, total - instance_init
+        transmission = manifest.image_size_mb / self.transmission_mb_per_s
+        return self.instance_init_s, transmission
+
+    def invoke(
+        self,
+        name: str,
+        event: Any,
+        context: Any = None,
+        *,
+        force_cold: bool = False,
+    ) -> InvocationRecord:
+        """Invoke a function; cold or warm depending on instance state."""
+        function = self.function(name)
+        if force_cold:
+            self.update_function(name)
+
+        now = self.clock.now()
+        self.clock.advance(self.routing_s)
+        instance = function.warm_instance(now, self.keep_alive_s)
+
+        if instance is not None:
+            record = self._run(function, instance, event, context, StartType.WARM, 0, 0, 0, 0)
+        else:
+            record = self._cold_start(function, event, context)
+        self.log.append(record)
+        self.ledger.charge_invocation(name, record.cost_usd, cold=record.is_cold)
+        return record
+
+    def _cold_start(
+        self, function: DeployedFunction, event: Any, context: Any
+    ) -> InvocationRecord:
+        instance_init_s, transmission_s = self.platform_overhead_s(function)
+        self.clock.advance(instance_init_s + transmission_s)
+
+        instance = FunctionInstance(
+            function.name, function.bundle, created_at=self.clock.now()
+        )
+        init_s = instance.initialize()  # the real import happens here
+
+        restore_s = 0.0
+        if function.snapstart:
+            # Restore from the snapshot instead of paying initialization:
+            # the measured init happens off the books (snapshot creation).
+            if function.snapshot is None:
+                function.snapshot = self.criu.checkpoint(
+                    function.name,
+                    memory_mb=instance.init_memory_mb,
+                    image_size_mb=function.bundle.manifest.image_size_mb,
+                    init_time_s=init_s,
+                )
+            restore_s = self.criu.restore_time_s(function.snapshot)
+            restore_cost = self.snapstart_pricing.restore_cost(
+                function.snapshot.size_mb
+            )
+            self.ledger.charge_snapstart_restore(function.name, restore_cost)
+            self.clock.advance(restore_s)
+            billed_init_s = 0.0
+        else:
+            self.clock.advance(init_s)
+            billed_init_s = init_s
+
+        function.instances.append(instance)
+        return self._run(
+            function,
+            instance,
+            event,
+            context,
+            StartType.COLD,
+            instance_init_s,
+            transmission_s,
+            billed_init_s,
+            restore_s,
+        )
+
+    def _run(
+        self,
+        function: DeployedFunction,
+        instance: FunctionInstance,
+        event: Any,
+        context: Any,
+        start_type: StartType,
+        instance_init_s: float,
+        transmission_s: float,
+        billed_init_s: float,
+        restore_s: float,
+    ) -> InvocationRecord:
+        output = instance.invoke(event, context, at=self.clock.now())
+
+        configured = (
+            function.memory_mb
+            if function.memory_mb is not None
+            else max(int(instance.peak_memory_mb + 0.999), 1)
+        )
+        exec_s = output.exec_time_s
+        if self.cpu_scaling is not None:
+            exec_s *= self.cpu_scaling.duration_factor(
+                self.pricing.clamp_memory_mb(configured), instance.peak_memory_mb
+            )
+        self.clock.advance(exec_s)
+
+        billed_duration = billed_init_s + exec_s
+        cost = self.pricing.invocation_cost(billed_duration, configured)
+
+        return InvocationRecord(
+            request_id=f"req-{next(self._request_ids):06d}",
+            function=function.name,
+            start_type=start_type,
+            timestamp=self.clock.now(),
+            value=output.value,
+            instance_id=instance.instance_id,
+            instance_init_s=instance_init_s,
+            transmission_s=transmission_s,
+            init_duration_s=billed_init_s,
+            restore_duration_s=restore_s,
+            exec_duration_s=exec_s,
+            routing_s=self.routing_s,
+            billed_duration_s=self.pricing.billed_duration_s(billed_duration),
+            memory_config_mb=self.pricing.clamp_memory_mb(configured),
+            peak_memory_mb=instance.peak_memory_mb,
+            cost_usd=cost,
+            error_type=output.error_type,
+        )
+
+    def deploy_with_fallback(
+        self,
+        trimmed: AppBundle,
+        original: AppBundle,
+        *,
+        name: str | None = None,
+    ):
+        """Deploy a debloated bundle with its safety net (Section 5.4).
+
+        The original function is deployed as an independent instance
+        (``<name>--fallback``); the returned
+        :class:`~repro.core.fallback.FallbackWrapper` invokes the trimmed
+        function and, on an AttributeError-class failure, re-invokes the
+        original and reports the failing input.
+        """
+        from repro.core.fallback import FallbackWrapper
+
+        primary_name = name if name is not None else trimmed.name
+        fallback_name = f"{primary_name}--fallback"
+        self.deploy(trimmed, name=primary_name)
+        self.deploy(original, name=fallback_name)
+        return FallbackWrapper(
+            primary=lambda event, context: self.invoke(primary_name, event, context),
+            original=lambda event, context: self.invoke(fallback_name, event, context),
+        )
+
+    # -- SnapStart accounting ----------------------------------------------------
+
+    def settle_snapstart_cache(self, name: str) -> float:
+        """Charge cache storage from enablement (or last settle) to now."""
+        function = self.function(name)
+        if not function.snapstart or function.snapshot is None:
+            return 0.0
+        duration = self.clock.now() - function.snapstart_enabled_at
+        cost = self.snapstart_pricing.cache_cost(function.snapshot.size_mb, duration)
+        self.ledger.charge_snapstart_cache(name, cost)
+        function.snapstart_enabled_at = self.clock.now()
+        return cost

@@ -1,0 +1,76 @@
+"""Function instances: warm state living between invocations."""
+
+from __future__ import annotations
+
+from repro.bundle import AppBundle
+from repro.core.execution import InvocationOutput, LoadedApp
+from repro.errors import InvocationError
+
+__all__ = ["FunctionInstance"]
+
+
+class FunctionInstance:
+    """One VM/container running one copy of a function.
+
+    Wraps a :class:`LoadedApp` with the lifecycle metadata the emulator
+    needs: creation time, last-use time (for keep-alive), and a busy flag
+    (an instance serves one request at a time, so bursts force new cold
+    starts).
+    """
+
+    _counter = 0
+
+    def __init__(self, function: str, bundle: AppBundle, created_at: float):
+        FunctionInstance._counter += 1
+        self.instance_id = f"{function}-i{FunctionInstance._counter:05d}"
+        self.function = function
+        self.app = LoadedApp(bundle)
+        self.created_at = created_at
+        self.last_used_at = created_at
+        self.busy = False
+        self.invocations = 0
+
+    def initialize(self) -> float:
+        """Run Function Initialization; returns the billed init duration."""
+        self.app.load()
+        if self.app.init_error is not None:
+            raise InvocationError(
+                f"{self.function} failed to initialize: {self.app.init_error}"
+            )
+        return self.app.init_time_s
+
+    @property
+    def init_time_s(self) -> float:
+        return self.app.init_time_s
+
+    @property
+    def init_memory_mb(self) -> float:
+        return self.app.init_memory_mb
+
+    @property
+    def peak_memory_mb(self) -> float:
+        return self.app.peak_memory_mb
+
+    def is_warm(self, now: float, keep_alive_s: float) -> bool:
+        """Can this instance still serve a warm start at time *now*?"""
+        return (
+            self.app.loaded
+            and not self.busy
+            and now - self.last_used_at <= keep_alive_s
+        )
+
+    def invoke(self, event, context, *, at: float) -> InvocationOutput:
+        self.busy = True
+        try:
+            output = self.app.invoke(event, context)
+        finally:
+            self.busy = False
+        self.last_used_at = at
+        self.invocations += 1
+        return output
+
+    def shutdown(self) -> None:
+        self.app.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FunctionInstance({self.instance_id}, used {self.invocations}x)"

@@ -1,0 +1,152 @@
+"""Execution logs: the emulator's equivalent of AWS REPORT lines.
+
+The paper "performs 100 invocations and collects metrics from the AWS
+Lambda execution log", querying per-invocation start type, init duration,
+billed duration, and memory.  :class:`InvocationRecord` carries exactly
+those fields (plus the unbilled phase breakdown of Figure 1), and
+:class:`ExecutionLog` provides the query surface the analysis layer uses.
+"""
+
+from __future__ import annotations
+
+import enum
+import statistics
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["StartType", "InvocationRecord", "ExecutionLog"]
+
+
+class StartType(str, enum.Enum):
+    """Whether an invocation paid initialization (cold) or reused state."""
+
+    COLD = "cold"
+    WARM = "warm"
+
+
+@dataclass(frozen=True)
+class InvocationRecord:
+    """One invocation's full accounting (an AWS REPORT line, enriched).
+
+    Durations are virtual seconds.  ``instance_init_s`` and
+    ``transmission_s`` are the unbilled platform phases of Figure 1 (zero
+    on warm starts); ``init_duration_s`` is the billed Function
+    Initialization; ``restore_duration_s`` replaces it under SnapStart.
+    """
+
+    request_id: str
+    function: str
+    start_type: StartType
+    timestamp: float
+    value: Any
+    instance_id: str
+    instance_init_s: float = 0.0
+    transmission_s: float = 0.0
+    init_duration_s: float = 0.0
+    restore_duration_s: float = 0.0
+    exec_duration_s: float = 0.0
+    routing_s: float = 0.0
+    billed_duration_s: float = 0.0
+    memory_config_mb: int = 128
+    peak_memory_mb: float = 0.0
+    cost_usd: float = 0.0
+    error_type: str | None = None
+
+    @property
+    def e2e_s(self) -> float:
+        """End-to-end latency: request to response (Section 2.2.2)."""
+        return (
+            self.routing_s
+            + self.instance_init_s
+            + self.transmission_s
+            + self.init_duration_s
+            + self.restore_duration_s
+            + self.exec_duration_s
+        )
+
+    @property
+    def is_cold(self) -> bool:
+        return self.start_type is StartType.COLD
+
+    @property
+    def ok(self) -> bool:
+        return self.error_type is None
+
+    def report_line(self) -> str:
+        """Render like an AWS Lambda REPORT log line."""
+        return (
+            f"REPORT RequestId: {self.request_id}\t"
+            f"Duration: {self.exec_duration_s * 1000:.2f} ms\t"
+            f"Billed Duration: {self.billed_duration_s * 1000:.0f} ms\t"
+            f"Memory Size: {self.memory_config_mb} MB\t"
+            f"Max Memory Used: {self.peak_memory_mb:.0f} MB\t"
+            + (
+                f"Init Duration: {self.init_duration_s * 1000:.2f} ms"
+                if self.is_cold
+                else ""
+            )
+        )
+
+
+@dataclass
+class ExecutionLog:
+    """Append-only store of invocation records with analysis helpers."""
+
+    records: list[InvocationRecord] = field(default_factory=list)
+
+    def append(self, record: InvocationRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[InvocationRecord]:
+        return iter(self.records)
+
+    def for_function(self, name: str) -> list[InvocationRecord]:
+        return [r for r in self.records if r.function == name]
+
+    def cold_starts(self, function: str | None = None) -> list[InvocationRecord]:
+        return [
+            r
+            for r in self.records
+            if r.is_cold and (function is None or r.function == function)
+        ]
+
+    def warm_starts(self, function: str | None = None) -> list[InvocationRecord]:
+        return [
+            r
+            for r in self.records
+            if not r.is_cold and (function is None or r.function == function)
+        ]
+
+    def total_cost(self, function: str | None = None) -> float:
+        return sum(
+            r.cost_usd
+            for r in self.records
+            if function is None or r.function == function
+        )
+
+    def mean_e2e_s(self, function: str | None = None) -> float:
+        values = [
+            r.e2e_s
+            for r in self.records
+            if function is None or r.function == function
+        ]
+        return statistics.fmean(values) if values else 0.0
+
+    def mean_billed_s(self, function: str | None = None) -> float:
+        values = [
+            r.billed_duration_s
+            for r in self.records
+            if function is None or r.function == function
+        ]
+        return statistics.fmean(values) if values else 0.0
+
+    def peak_memory_mb(self, function: str | None = None) -> float:
+        values = [
+            r.peak_memory_mb
+            for r in self.records
+            if function is None or r.function == function
+        ]
+        return max(values) if values else 0.0

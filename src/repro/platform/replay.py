@@ -1,0 +1,151 @@
+"""Trace replay on the emulator: bursty arrivals against real instances.
+
+The analytic :class:`~repro.traces.simulator.TraceSimulator` prices traces
+without executing anything.  :class:`TraceReplayer` instead replays an
+arrival sequence against the *real* emulator — every invocation actually
+imports and runs the application — so bursty workloads exercise true
+instance semantics: a request arriving while all warm instances are busy
+spills onto a new instance and pays a full cold start (Section 2.1's
+"part of a burst that exceeds the capacity of the currently deployed
+instances").
+
+Requests overlap in trace time, but the emulator executes them one at a
+time; the replayer therefore keeps its own trace-time bookkeeping (per-
+instance busy-until and last-served times) instead of the global virtual
+clock, which only ever moves forward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import PlatformError
+from repro.platform.emulator import DeployedFunction, LambdaEmulator
+from repro.platform.instance import FunctionInstance
+from repro.platform.logs import InvocationRecord, StartType
+
+__all__ = ["ReplayResult", "ReplayedRequest", "TraceReplayer"]
+
+
+@dataclass(frozen=True)
+class ReplayedRequest:
+    """One arrival's outcome in trace time."""
+
+    arrival: float
+    completion: float
+    record: InvocationRecord
+
+    @property
+    def is_cold(self) -> bool:
+        return self.record.is_cold
+
+    @property
+    def e2e_s(self) -> float:
+        return self.completion - self.arrival
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of replaying one arrival sequence."""
+
+    requests: list[ReplayedRequest] = field(default_factory=list)
+
+    @property
+    def cold_starts(self) -> int:
+        return sum(1 for r in self.requests if r.is_cold)
+
+    @property
+    def warm_starts(self) -> int:
+        return len(self.requests) - self.cold_starts
+
+    @property
+    def total_cost(self) -> float:
+        return sum(r.record.cost_usd for r in self.requests)
+
+    @property
+    def peak_concurrency(self) -> int:
+        """Maximum number of simultaneously in-flight requests."""
+        edges: list[tuple[float, int]] = []
+        for request in self.requests:
+            edges.append((request.arrival, 1))
+            edges.append((request.completion, -1))
+        edges.sort()
+        peak = current = 0
+        for _, delta in edges:
+            current += delta
+            peak = max(peak, current)
+        return peak
+
+
+class TraceReplayer:
+    """Replays timestamped arrivals against a deployed function."""
+
+    def __init__(self, emulator: LambdaEmulator):
+        self.emulator = emulator
+        # trace-time bookkeeping, independent of the global virtual clock
+        self._busy_until: dict[str, float] = {}
+        self._last_served: dict[str, float] = {}
+
+    def replay(
+        self,
+        function_name: str,
+        arrivals: list[float],
+        event: Any,
+        context: Any = None,
+    ) -> ReplayResult:
+        if sorted(arrivals) != list(arrivals):
+            raise PlatformError("arrivals must be sorted")
+        function = self.emulator.function(function_name)
+
+        result = ReplayResult()
+        for arrival in arrivals:
+            instance = self._free_warm_instance(function, arrival)
+            if instance is not None:
+                record = self._serve_warm(function, instance, event, context)
+            else:
+                record = self.emulator._cold_start(function, event, context)
+                self.emulator.log.append(record)
+                self.emulator.ledger.charge_invocation(
+                    function_name, record.cost_usd, cold=True
+                )
+            completion = arrival + record.e2e_s
+            self._busy_until[record.instance_id] = completion
+            self._last_served[record.instance_id] = completion
+            result.requests.append(
+                ReplayedRequest(
+                    arrival=arrival, completion=completion, record=record
+                )
+            )
+        return result
+
+    def _free_warm_instance(
+        self, function: DeployedFunction, arrival: float
+    ) -> FunctionInstance | None:
+        keep_alive = self.emulator.keep_alive_s
+        for instance in function.instances:
+            if not instance.app.loaded:
+                continue
+            if self._busy_until.get(instance.instance_id, 0.0) > arrival:
+                continue  # still serving an earlier overlapping request
+            idle_for = arrival - self._last_served.get(
+                instance.instance_id, arrival
+            )
+            if idle_for <= keep_alive:
+                return instance
+        return None
+
+    def _serve_warm(
+        self,
+        function: DeployedFunction,
+        instance: FunctionInstance,
+        event: Any,
+        context: Any,
+    ) -> InvocationRecord:
+        emulator = self.emulator
+        record = emulator._run(
+            function, instance, event, context, StartType.WARM, 0, 0, 0, 0
+        )
+        emulator.log.append(record)
+        emulator.ledger.charge_invocation(function.name, record.cost_usd, cold=False)
+        return record

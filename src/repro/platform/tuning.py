@@ -1,0 +1,149 @@
+"""Memory power tuning (the paper's [9]: AWS Lambda Power Tuning).
+
+Section 2.1: "Configuring the memory too large is a waste of resources
+and money.  Configuring it too small would result in memory swapping …
+the billed duration would significantly increase in this case, hurting
+both latency and cost.  As a result, the optimal configuration should be
+above the application's peak memory footprint."
+
+Two pieces implement that guidance:
+
+* :class:`CpuScalingModel` — AWS allocates CPU proportionally to
+  configured memory ("additional vCPUs assigned at designated memory
+  allocation breakpoints"), so CPU-bound execution slows down below the
+  full-vCPU point and a too-small configuration inflates billed duration.
+  Configurations below the application's footprint additionally pay a
+  swapping penalty.
+* :func:`recommend_memory` — sweeps candidate configurations through the
+  cost model and picks per strategy, mirroring the real Power Tuning
+  tool's modes: ``cost`` (cheapest), ``speed`` (fastest), ``balanced``
+  (cheapest within a latency tolerance of the fastest).  Under linear CPU
+  scaling the memory x duration product is flat between the floor and the
+  full-vCPU point, which is why a *strategy* is needed at all: cost
+  optimisation pushes to the footprint floor, latency optimisation to the
+  full-vCPU point, and the interesting answers live between them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PricingError
+from repro.pricing import AwsLambdaPricing, PricingModel, billable_memory_mb
+
+__all__ = ["CpuScalingModel", "MemoryRecommendation", "recommend_memory"]
+
+# AWS grants a full vCPU at 1769 MB; below that, CPU share scales linearly.
+FULL_VCPU_MB = 1769
+
+
+@dataclass(frozen=True)
+class CpuScalingModel:
+    """Execution-duration scaling as a function of configured memory.
+
+    ``duration_factor(configured)`` multiplies the base (full-vCPU)
+    execution duration.  Above ``full_vcpu_mb`` the factor is 1.0 (the
+    function is single-threaded; extra vCPUs do not help); below it, the
+    factor grows as the CPU share shrinks, capped at ``max_slowdown``.
+    Below the application's memory footprint a swapping penalty applies.
+    """
+
+    full_vcpu_mb: int = FULL_VCPU_MB
+    max_slowdown: float = 8.0
+    swap_penalty: float = 4.0
+
+    def duration_factor(self, configured_mb: int, footprint_mb: float = 0.0) -> float:
+        if configured_mb <= 0:
+            raise PricingError(f"invalid memory configuration: {configured_mb}")
+        factor = max(self.full_vcpu_mb / configured_mb, 1.0)
+        factor = min(factor, self.max_slowdown)
+        if configured_mb < footprint_mb:
+            factor *= self.swap_penalty
+        return factor
+
+
+@dataclass(frozen=True)
+class MemoryRecommendation:
+    """Result of a power-tuning sweep."""
+
+    configured_mb: int
+    cost_per_invocation: float
+    billed_duration_s: float
+    strategy: str
+    sweep: tuple[tuple[int, float, float], ...]  # (mb, cost, duration_s)
+
+    def describe(self) -> str:
+        return (
+            f"configure {self.configured_mb} MB ({self.strategy}): "
+            f"${self.cost_per_invocation:.3e} per invocation "
+            f"({self.billed_duration_s * 1000:.0f} ms billed)"
+        )
+
+
+# AWS Lambda Power Tuning's default candidate ladder, extended to 10 GB.
+DEFAULT_CANDIDATES = (
+    128, 256, 512, 1024, 1536, 1769, 2048, 3072, 4096, 5120, 10_240,
+)
+
+
+VALID_STRATEGIES = ("cost", "speed", "balanced")
+
+
+def recommend_memory(
+    *,
+    init_time_s: float,
+    exec_time_s: float,
+    footprint_mb: float,
+    strategy: str = "balanced",
+    balanced_tolerance: float = 0.15,
+    pricing: PricingModel | None = None,
+    scaling: CpuScalingModel | None = None,
+    candidates: tuple[int, ...] = DEFAULT_CANDIDATES,
+    include_init: bool = True,
+) -> MemoryRecommendation:
+    """Sweep memory configurations and pick per strategy.
+
+    ``init_time_s``/``exec_time_s`` are the full-vCPU durations (what the
+    emulator measures); ``footprint_mb`` is the measured peak.  Candidates
+    below the footprint are skipped ("the optimal configuration should be
+    above the application's peak memory footprint").  Strategies:
+
+    * ``cost`` — cheapest per invocation;
+    * ``speed`` — lowest duration (cheapest among ties);
+    * ``balanced`` — cheapest whose duration is within
+      ``balanced_tolerance`` of the fastest.
+    """
+    if not candidates:
+        raise PricingError("need at least one candidate configuration")
+    if strategy not in VALID_STRATEGIES:
+        raise PricingError(f"unknown strategy {strategy!r}; use {VALID_STRATEGIES}")
+    pricing = pricing if pricing is not None else AwsLambdaPricing()
+    scaling = scaling if scaling is not None else CpuScalingModel()
+
+    floor = billable_memory_mb(footprint_mb)
+    viable = sorted({max(c, floor) for c in candidates if c >= floor} | {floor})
+
+    base_duration = exec_time_s + (init_time_s if include_init else 0.0)
+    sweep: list[tuple[int, float, float]] = []
+    for configured in viable:
+        factor = scaling.duration_factor(configured, footprint_mb)
+        duration = base_duration * factor
+        cost = pricing.invocation_cost(duration, configured)
+        sweep.append((configured, cost, duration))
+
+    if strategy == "cost":
+        chosen = min(sweep, key=lambda row: (row[1], row[0]))
+    elif strategy == "speed":
+        chosen = min(sweep, key=lambda row: (row[2], row[1], row[0]))
+    else:
+        fastest = min(row[2] for row in sweep)
+        within = [row for row in sweep if row[2] <= fastest * (1 + balanced_tolerance)]
+        chosen = min(within, key=lambda row: (row[1], row[0]))
+
+    return MemoryRecommendation(
+        configured_mb=chosen[0],
+        cost_per_invocation=chosen[1],
+        billed_duration_s=pricing.billed_duration_s(chosen[2]),
+        strategy=strategy,
+        sweep=tuple(sweep),
+    )

@@ -1,0 +1,30 @@
+"""Serverless pricing models (Section 2.1, Eq. 1) and SnapStart pricing.
+
+The paper's cost metric is::
+
+    C = Configured Memory x Billed Duration x Unit Price      (Eq. 1)
+
+with provider-specific billing granularity (AWS 1 ms, GCP 100 ms, Azure 1 s)
+and a 128 MB minimum billable memory on AWS Lambda.
+"""
+
+from repro.pricing.models import (
+    AWS_GB_SECOND_PRICE,
+    AwsLambdaPricing,
+    AzureFunctionsPricing,
+    GcpCloudRunPricing,
+    PricingModel,
+    billable_memory_mb,
+)
+from repro.pricing.snapstart import SnapStartBill, SnapStartPricing
+
+__all__ = [
+    "AWS_GB_SECOND_PRICE",
+    "AwsLambdaPricing",
+    "AzureFunctionsPricing",
+    "GcpCloudRunPricing",
+    "PricingModel",
+    "billable_memory_mb",
+    "SnapStartBill",
+    "SnapStartPricing",
+]

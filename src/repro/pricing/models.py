@@ -1,0 +1,159 @@
+"""Provider pricing models implementing Eq. 1 of the paper.
+
+All models share the same shape: the billed duration is the raw duration
+rounded up to the provider's billing granularity, the billable memory is the
+configured memory clamped to the provider's floor, and the cost is their
+product times a per-GB-second unit price (plus an optional per-request fee).
+
+The AWS unit price is the one the paper uses for its measurement study:
+``$0.0000162109`` per GB-second (Section 2.2.2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import PricingError
+
+__all__ = [
+    "AWS_GB_SECOND_PRICE",
+    "AWS_MIN_MEMORY_MB",
+    "AWS_MAX_MEMORY_MB",
+    "PricingModel",
+    "AwsLambdaPricing",
+    "GcpCloudRunPricing",
+    "AzureFunctionsPricing",
+    "billable_memory_mb",
+]
+
+AWS_GB_SECOND_PRICE = 0.0000162109
+AWS_MIN_MEMORY_MB = 128
+AWS_MAX_MEMORY_MB = 10_240
+
+MB_PER_GB = 1024.0
+
+
+def billable_memory_mb(
+    measured_mb: float,
+    *,
+    floor_mb: int = AWS_MIN_MEMORY_MB,
+    ceiling_mb: int = AWS_MAX_MEMORY_MB,
+) -> int:
+    """Memory configuration implied by a measured footprint (Section 2.2.2).
+
+    The paper configures functions to their measured peak footprint, clamped
+    to the provider's 128 MB floor ("applications requiring less are billed
+    as if they are using this minimum threshold").
+    """
+    if measured_mb < 0:
+        raise PricingError(f"negative memory footprint: {measured_mb}")
+    configured = max(int(math.ceil(measured_mb)), floor_mb)
+    if configured > ceiling_mb:
+        raise PricingError(
+            f"footprint {measured_mb:.0f} MB exceeds provider maximum {ceiling_mb} MB"
+        )
+    return configured
+
+
+@dataclass(frozen=True)
+class PricingModel:
+    """A provider's duration x memory pricing rule.
+
+    Attributes
+    ----------
+    name:
+        Human-readable provider name.
+    gb_second_price:
+        USD per GB-second of billed duration.
+    billing_granularity_s:
+        Billed duration is rounded *up* to a multiple of this.
+    min_memory_mb / max_memory_mb:
+        Configurable memory range; billing clamps to the minimum.
+    request_price:
+        Flat per-invocation fee (USD).  The paper's cost figures use the
+        GB-second component only, so this defaults to zero in experiments.
+    """
+
+    name: str
+    gb_second_price: float
+    billing_granularity_s: float
+    min_memory_mb: int
+    max_memory_mb: int
+    request_price: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.gb_second_price < 0 or self.request_price < 0:
+            raise PricingError("prices must be non-negative")
+        if self.billing_granularity_s <= 0:
+            raise PricingError("billing granularity must be positive")
+        if not 0 < self.min_memory_mb <= self.max_memory_mb:
+            raise PricingError("invalid memory configuration range")
+
+    def billed_duration_s(self, duration_s: float) -> float:
+        """Round a raw duration up to the provider's billing granularity."""
+        if duration_s < 0:
+            raise PricingError(f"negative duration: {duration_s}")
+        if duration_s == 0:
+            return 0.0
+        ticks = math.ceil(round(duration_s / self.billing_granularity_s, 9))
+        return ticks * self.billing_granularity_s
+
+    def clamp_memory_mb(self, configured_mb: float) -> int:
+        """Clamp a configuration to the provider's valid range."""
+        configured = int(math.ceil(configured_mb))
+        if configured > self.max_memory_mb:
+            raise PricingError(
+                f"{configured} MB exceeds {self.name} maximum {self.max_memory_mb} MB"
+            )
+        return max(configured, self.min_memory_mb)
+
+    def invocation_cost(self, duration_s: float, configured_mb: float) -> float:
+        """Eq. 1: configured memory x billed duration x unit price."""
+        billed = self.billed_duration_s(duration_s)
+        memory_gb = self.clamp_memory_mb(configured_mb) / MB_PER_GB
+        return memory_gb * billed * self.gb_second_price + self.request_price
+
+    def cost_for_invocations(
+        self, duration_s: float, configured_mb: float, invocations: int
+    ) -> float:
+        """Total cost of *invocations* identical requests (e.g. 100K in Fig. 2)."""
+        if invocations < 0:
+            raise PricingError(f"negative invocation count: {invocations}")
+        return self.invocation_cost(duration_s, configured_mb) * invocations
+
+
+def AwsLambdaPricing(request_price: float = 0.0) -> PricingModel:
+    """AWS Lambda: 1 ms granularity, 128 MB - 10 GB (Section 2.1)."""
+    return PricingModel(
+        name="aws-lambda",
+        gb_second_price=AWS_GB_SECOND_PRICE,
+        billing_granularity_s=0.001,
+        min_memory_mb=AWS_MIN_MEMORY_MB,
+        max_memory_mb=AWS_MAX_MEMORY_MB,
+        request_price=request_price,
+    )
+
+
+def GcpCloudRunPricing(request_price: float = 0.0) -> PricingModel:
+    """GCP Cloud Run functions: rounds billed duration up to 100 ms."""
+    return PricingModel(
+        name="gcp-cloud-run",
+        gb_second_price=0.0000165,
+        billing_granularity_s=0.1,
+        min_memory_mb=128,
+        max_memory_mb=32_768,
+        request_price=request_price,
+    )
+
+
+def AzureFunctionsPricing(request_price: float = 0.0) -> PricingModel:
+    """Azure Functions consumption plan: rounds up to 1 s, 1.5 GB budget."""
+    return PricingModel(
+        name="azure-functions",
+        gb_second_price=0.000016,
+        billing_granularity_s=1.0,
+        min_memory_mb=128,
+        max_memory_mb=1_536,
+        request_price=request_price,
+    )

@@ -1,0 +1,74 @@
+"""AWS SnapStart pricing (Section 8.6, Figures 13 and 14).
+
+SnapStart bills two extra components on top of normal invocation cost:
+
+* **Cache** — keeping the encrypted snapshot warm in the snapshot cache,
+  billed per GB of snapshot per second for the entire time the version is
+  published (the "storage costs quantified in units of GB-seconds" of the
+  paper).
+* **Restore** — every cold start that restores from the snapshot pays a
+  per-GB-restored fee.
+
+The constants default to AWS's published SnapStart prices at the time of the
+paper's writing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PricingError
+
+__all__ = ["SnapStartPricing", "SnapStartBill"]
+
+# Published AWS SnapStart prices (us-east-1): cache per GB-second of
+# snapshot storage, restore per GB restored per cold start.
+AWS_SNAPSTART_CACHE_GB_SECOND_PRICE = 0.0000015046
+AWS_SNAPSTART_RESTORE_GB_PRICE = 0.0001397998
+
+
+@dataclass(frozen=True)
+class SnapStartBill:
+    """Breakdown of SnapStart charges over a simulated period."""
+
+    cache_cost: float
+    restore_cost: float
+
+    @property
+    def total(self) -> float:
+        return self.cache_cost + self.restore_cost
+
+
+@dataclass(frozen=True)
+class SnapStartPricing:
+    """Pricing rule for C/R snapshots (cache storage + per-restore fees)."""
+
+    cache_gb_second_price: float = AWS_SNAPSTART_CACHE_GB_SECOND_PRICE
+    restore_gb_price: float = AWS_SNAPSTART_RESTORE_GB_PRICE
+
+    def __post_init__(self) -> None:
+        if self.cache_gb_second_price < 0 or self.restore_gb_price < 0:
+            raise PricingError("SnapStart prices must be non-negative")
+
+    def cache_cost(self, snapshot_mb: float, duration_s: float) -> float:
+        """Cost of keeping a *snapshot_mb* snapshot cached for *duration_s*."""
+        if snapshot_mb < 0 or duration_s < 0:
+            raise PricingError("snapshot size and duration must be non-negative")
+        return (snapshot_mb / 1024.0) * duration_s * self.cache_gb_second_price
+
+    def restore_cost(self, snapshot_mb: float, restores: int = 1) -> float:
+        """Cost of restoring a snapshot *restores* times (one per cold start)."""
+        if snapshot_mb < 0:
+            raise PricingError("snapshot size must be non-negative")
+        if restores < 0:
+            raise PricingError("restore count must be non-negative")
+        return (snapshot_mb / 1024.0) * self.restore_gb_price * restores
+
+    def bill(
+        self, snapshot_mb: float, cached_duration_s: float, restores: int
+    ) -> SnapStartBill:
+        """Full SnapStart bill for a simulated window (Figure 13/14 input)."""
+        return SnapStartBill(
+            cache_cost=self.cache_cost(snapshot_mb, cached_duration_s),
+            restore_cost=self.restore_cost(snapshot_mb, restores),
+        )

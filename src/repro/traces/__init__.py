@@ -1,0 +1,23 @@
+"""Azure Functions trace substrate (Figures 13 and 14).
+
+The paper simulates SnapStart costs over Microsoft's Azure Functions
+trace [Shahrad et al., ATC'20].  That dataset is not redistributable, so
+:mod:`repro.traces.azure` generates a synthetic trace with the same
+statistical shape (rare/periodic/bursty/steady invocation classes,
+lognormal memory and duration marginals), and
+:mod:`repro.traces.simulator` replays any timestamp series against a
+keep-alive policy to produce cold/warm counts and the Eq. 1 + SnapStart
+cost breakdown.
+"""
+
+from repro.traces.azure import AzureTraceGenerator, FunctionTrace
+from repro.traces.simulator import CostBreakdown, TraceSimulator
+from repro.traces.matching import match_function
+
+__all__ = [
+    "AzureTraceGenerator",
+    "FunctionTrace",
+    "CostBreakdown",
+    "TraceSimulator",
+    "match_function",
+]

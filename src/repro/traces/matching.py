@@ -1,0 +1,44 @@
+"""Application-to-trace matching (Section 8.6, Figure 14).
+
+"We take each of the applications in Table 1 and find the most similar
+function in the entirety of the Azure trace.  Similarity is quantified as
+the L2 norm of memory and duration."
+
+Memory and duration live on different scales, so both axes are normalised
+by the trace population's standard deviation before taking the norm —
+without this the MB axis would dominate completely.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+
+from repro.errors import TraceError
+from repro.traces.azure import FunctionTrace
+
+__all__ = ["match_function"]
+
+
+def match_function(
+    traces: list[FunctionTrace],
+    *,
+    memory_mb: float,
+    duration_s: float,
+) -> FunctionTrace:
+    """The trace function closest to (memory, duration) in scaled L2 norm."""
+    if not traces:
+        raise TraceError("cannot match against an empty trace population")
+    if len(traces) == 1:
+        return traces[0]
+
+    mem_sigma = statistics.pstdev([t.memory_mb for t in traces]) or 1.0
+    dur_sigma = statistics.pstdev([t.duration_s for t in traces]) or 1.0
+
+    def distance(trace: FunctionTrace) -> float:
+        return math.hypot(
+            (trace.memory_mb - memory_mb) / mem_sigma,
+            (trace.duration_s - duration_s) / dur_sigma,
+        )
+
+    return min(traces, key=lambda t: (distance(t), t.function_id))

@@ -1,0 +1,142 @@
+"""Trace-driven cold/warm and cost simulation (Figures 13 and 14).
+
+:class:`TraceSimulator` replays an invocation timestamp series against a
+keep-alive policy using an instance-pool sweep (concurrent requests spill
+onto new instances, i.e. bursts cause extra cold starts), then prices the
+run under Eq. 1 plus SnapStart's restore and cache fees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.checkpoint import CriuSimulator
+from repro.errors import TraceError
+from repro.pricing import AwsLambdaPricing, PricingModel, SnapStartPricing
+from repro.traces.azure import FunctionTrace
+
+__all__ = ["CostBreakdown", "StartCounts", "TraceSimulator"]
+
+
+@dataclass(frozen=True)
+class StartCounts:
+    cold: int
+    warm: int
+
+    @property
+    def total(self) -> int:
+        return self.cold + self.warm
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Cost components of one simulated function over the window."""
+
+    invocation: float
+    snapstart_restore: float
+    snapstart_cache: float
+    cold_starts: int
+    warm_starts: int
+
+    @property
+    def snapstart(self) -> float:
+        return self.snapstart_restore + self.snapstart_cache
+
+    @property
+    def total(self) -> float:
+        return self.invocation + self.snapstart
+
+    @property
+    def snapstart_share(self) -> float:
+        """SnapStart cost over total cost — the Figure 13 x-axis."""
+        total = self.total
+        return self.snapstart / total if total > 0 else 0.0
+
+
+class TraceSimulator:
+    """Prices invocation traces under keep-alive + SnapStart policies."""
+
+    def __init__(
+        self,
+        *,
+        keep_alive_s: float = 15 * 60,
+        pricing: PricingModel | None = None,
+        snapstart_pricing: SnapStartPricing | None = None,
+        criu: CriuSimulator | None = None,
+    ):
+        if keep_alive_s < 0:
+            raise TraceError(f"keep-alive must be non-negative: {keep_alive_s}")
+        self.keep_alive_s = keep_alive_s
+        self.pricing = pricing if pricing is not None else AwsLambdaPricing()
+        self.snapstart_pricing = (
+            snapstart_pricing if snapstart_pricing is not None else SnapStartPricing()
+        )
+        self.criu = criu if criu is not None else CriuSimulator()
+
+    def start_counts(
+        self, timestamps: tuple[float, ...] | list[float], duration_s: float
+    ) -> StartCounts:
+        """Cold/warm split via an instance-pool sweep.
+
+        An instance can serve a request if it is idle at the arrival time
+        and was last used within the keep-alive window; otherwise a new
+        instance cold-starts.  ``duration_s`` is the per-request busy time.
+        """
+        instances: list[float] = []  # each entry: time the instance frees up
+        cold = 0
+        for arrival in timestamps:
+            best_index = -1
+            best_free_at = -1.0
+            for i, free_at in enumerate(instances):
+                idle_for = arrival - free_at
+                if 0 <= idle_for <= self.keep_alive_s and free_at > best_free_at:
+                    best_index, best_free_at = i, free_at
+            if best_index < 0:
+                cold += 1
+                instances.append(arrival + duration_s)
+            else:
+                instances[best_index] = arrival + duration_s
+        return StartCounts(cold=cold, warm=len(timestamps) - cold)
+
+    def simulate(
+        self,
+        trace: FunctionTrace,
+        *,
+        window_s: float,
+        init_time_s: float = 0.0,
+        snapstart: bool = True,
+        image_size_mb: float = 0.0,
+        memory_mb: float | None = None,
+        duration_s: float | None = None,
+    ) -> CostBreakdown:
+        """Price one function's trace over a window.
+
+        With ``snapstart`` the cold starts restore (restore fee, no billed
+        init) and the snapshot accrues cache cost for the whole window;
+        without it cold starts pay billed initialization instead.
+        """
+        memory = memory_mb if memory_mb is not None else trace.memory_mb
+        duration = duration_s if duration_s is not None else trace.duration_s
+        counts = self.start_counts(trace.timestamps, duration)
+
+        warm_cost = self.pricing.invocation_cost(duration, memory) * counts.warm
+        if snapstart:
+            cold_cost = self.pricing.invocation_cost(duration, memory) * counts.cold
+            snapshot_mb = self.criu.checkpoint_size_mb(memory, image_size_mb)
+            restore = self.snapstart_pricing.restore_cost(snapshot_mb, counts.cold)
+            cache = self.snapstart_pricing.cache_cost(snapshot_mb, window_s)
+        else:
+            cold_cost = (
+                self.pricing.invocation_cost(duration + init_time_s, memory)
+                * counts.cold
+            )
+            restore = 0.0
+            cache = 0.0
+
+        return CostBreakdown(
+            invocation=warm_cost + cold_cost,
+            snapstart_restore=restore,
+            snapstart_cache=cache,
+            cold_starts=counts.cold,
+            warm_starts=counts.warm,
+        )

@@ -1,0 +1,36 @@
+"""Benchmark workloads: synthetic libraries and the 21 paper applications.
+
+The paper evaluates λ-trim on 21 real serverless applications built on
+heavyweight PyPI libraries (Table 1).  This package generates *synthetic*
+equivalents: real importable package trees whose modules charge calibrated
+virtual import-time and memory costs (via :mod:`repro.vm`) and expose
+attribute surfaces sized to the paper's Table 3 counts.  The debloater
+rewrites these files exactly as it would rewrite torch or transformers.
+"""
+
+from repro.workloads.apps import APP_NAMES, AppDefinition, app_definition, build_app
+from repro.workloads.catalog import LIBRARY_NAMES, SubPlan, library_spec, standard_library
+from repro.workloads.synthlib import (
+    AttributeSpec,
+    LibrarySpec,
+    ModuleSpec,
+    generate_library,
+)
+from repro.workloads.toy import build_toy_torch_app, toy_torch_spec
+
+__all__ = [
+    "APP_NAMES",
+    "AppDefinition",
+    "app_definition",
+    "build_app",
+    "LIBRARY_NAMES",
+    "SubPlan",
+    "library_spec",
+    "standard_library",
+    "AttributeSpec",
+    "LibrarySpec",
+    "ModuleSpec",
+    "generate_library",
+    "build_toy_torch_app",
+    "toy_torch_spec",
+]

@@ -1,0 +1,934 @@
+"""The 21 benchmark applications of Table 1.
+
+Each :class:`AppDefinition` mirrors one row of the paper's benchmark set
+(8 from FaaSLight, 7 from RainbowCake, 6 from PyPI): the synthetic
+libraries it depends on (with per-application calibration overrides), a
+hand-written handler in the init-code + ``handler(event, context)`` shape
+of Figure 4, an oracle specification, and the Table 1 reference numbers
+(image size, import/exec/E2E latency) used to pin the unbilled platform
+overhead.
+
+:func:`build_app` materialises an application as a deployable
+:class:`~repro.bundle.AppBundle` on disk.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.bundle import AppBundle, BundleManifest
+from repro.errors import WorkloadError
+from repro.workloads.catalog import library_spec
+from repro.workloads.synthlib import generate_library
+
+# Keep the synthetic-library runtime in the parent interpreter's module
+# cache so isolated import scopes never evict and re-create it.
+import repro.workloads.synthapi  # noqa: F401
+
+__all__ = ["PaperRow", "AppDefinition", "APP_NAMES", "app_definition", "build_app"]
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """Table 1 reference numbers for one application."""
+
+    size_mb: float
+    import_s: float
+    exec_s: float
+    e2e_s: float
+
+    @property
+    def overhead_s(self) -> float:
+        """Unbilled platform time: the E2E residual (min 100 ms)."""
+        return max(self.e2e_s - self.import_s - self.exec_s, 0.1)
+
+
+@dataclass(frozen=True)
+class AppDefinition:
+    """One benchmark application, ready to materialise as a bundle."""
+
+    name: str
+    source: str  # FaaSLight | RainbowCake | PyPI
+    description: str
+    libraries: tuple[tuple[str, dict], ...]
+    handler_source: str
+    oracle: tuple[dict, ...]
+    paper: PaperRow
+
+    @property
+    def external_top_level(self) -> list[str]:
+        return [f"synth_{lib}" for lib, _ in self.libraries]
+
+
+def build_app(name: str, root: Path | str) -> AppBundle:
+    """Materialise application *name* under directory *root*."""
+    definition = app_definition(name)
+    root = Path(root)
+    if root.exists() and any(root.iterdir()):
+        raise WorkloadError(f"app target directory not empty: {root}")
+    site = root / "site-packages"
+    site.mkdir(parents=True, exist_ok=True)
+
+    for lib, overrides in definition.libraries:
+        generate_library(library_spec(lib, **overrides), site)
+
+    (root / "handler.py").write_text(definition.handler_source, encoding="utf-8")
+    (root / "oracle.json").write_text(
+        json.dumps(list(definition.oracle), indent=2) + "\n", encoding="utf-8"
+    )
+    bundle = AppBundle(root)
+    bundle.write_manifest(
+        BundleManifest(
+            name=definition.name,
+            image_size_mb=definition.paper.size_mb,
+            external_modules=definition.external_top_level,
+            description=definition.description,
+            platform_overhead_s=definition.paper.overhead_s,
+        )
+    )
+    return bundle
+
+
+# ---------------------------------------------------------------------------
+# Application definitions.
+# ---------------------------------------------------------------------------
+
+_DEFINITIONS: dict[str, AppDefinition] = {}
+
+
+def _define(definition: AppDefinition) -> None:
+    if definition.name in _DEFINITIONS:
+        raise WorkloadError(f"duplicate app definition: {definition.name}")
+    _DEFINITIONS[definition.name] = definition
+
+
+def app_definition(name: str) -> AppDefinition:
+    """Look up one of the 21 Table 1 application definitions by name."""
+    try:
+        return _DEFINITIONS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown application {name!r}; known: {sorted(_DEFINITIONS)}"
+        ) from None
+
+
+# -- FaaSLight applications ---------------------------------------------------
+
+_define(
+    AppDefinition(
+        name="huggingface",
+        source="FaaSLight",
+        description="BERT text classification with torch + transformers",
+        libraries=(
+            (
+                "torch",
+                dict(
+                    import_time_s=3.4,
+                    memory_mb=150.0,
+                    kept_time_frac=0.93,
+                    kept_mem_frac=0.985,
+                ),
+            ),
+            ("transformers", dict(import_time_s=2.1, memory_mb=90.0)),
+        ),
+        handler_source='''\
+"""Sentiment classification with a pretrained transformer (FaaSLight)."""
+import synth_torch as torch
+import synth_transformers as transformers
+
+_log = transformers.logging
+_backends = torch.backends
+_device = torch.device("cpu")
+_pipe = transformers.pipeline
+_tok_base = transformers.tokenization_utils.PreTrainedTokenizer
+tokenizer = transformers.AutoTokenizer("bert-base-uncased")
+model = transformers.AutoModel("bert-base-uncased")
+head = torch.nn.Linear(768, 2)
+weights = torch.load("head.pt")
+_grad = torch.autograd.grad
+
+
+def handler(event, context):
+    text = event["text"]
+    if event.get("generate"):
+        generator = getattr(transformers, "model_" + "0042")
+        return {"generated": generator % 10**6}
+    encoded = tokenizer(text)
+    batch = torch.cat((torch.zeros(1, 768), torch.from_numpy(encoded)))
+    tensor_in = torch.tensor(batch)
+    logits = model(tensor_in)
+    scores = head(logits)
+    gate = torch.sigmoid(scores)
+    probs = torch.softmax(torch.cat((scores, gate)))
+    label = "positive" if probs % 2 == 0 else "negative"
+    print(f"classified {len(text)} chars")
+    return {"label": label, "score": probs % 1000}
+''',
+        oracle=(
+            {"name": "short", "event": {"text": "i love serverless computing"}},
+            {"name": "long", "event": {"text": "cold starts make me sad " * 4}},
+        ),
+        paper=PaperRow(799.38, 5.52, 0.86, 10.12),
+    )
+)
+
+_define(
+    AppDefinition(
+        name="image-resize",
+        source="FaaSLight",
+        description="S3-triggered thumbnail generation with wand/ImageMagick",
+        libraries=(("boto3", {}), ("wand", {})),
+        handler_source='''\
+"""Resize an uploaded image and store the thumbnail back to S3."""
+import synth_boto3 as boto3
+import synth_wand
+from synth_wand import image
+
+session = boto3.Session(region_name="us-east-1")
+s3 = session.client("s3")
+bucket = boto3.resource("s3")
+_cfg = boto3.session.Config(retries=3)
+_default = boto3.DEFAULT_SESSION
+_api = synth_wand.api
+_magick = synth_wand.version("ImageMagick")
+
+
+def handler(event, context):
+    key = event["key"]
+    img = image.Image(blob=key)
+    thumbnail = img.resize(event["width"], event["height"])
+    upload = boto3.client("s3")
+    print(f"resized {key}")
+    return {"key": key + "-thumb", "etag": thumbnail % 10**6, "client": upload % 100}
+''',
+        oracle=(
+            {"name": "small", "event": {"key": "cat.png", "width": 128, "height": 128}},
+            {"name": "large", "event": {"key": "dog.jpg", "width": 512, "height": 384}},
+        ),
+        paper=PaperRow(102.05, 0.42, 0.95, 1.88),
+    )
+)
+
+_define(
+    AppDefinition(
+        name="lightgbm",
+        source="FaaSLight",
+        description="Gradient-boosted tree inference",
+        libraries=(
+            ("lightgbm", {}),
+            (
+                "numpy",
+                dict(
+                    import_time_s=0.15,
+                    memory_mb=9.0,
+                    kept_time_frac=0.58,
+                    kept_mem_frac=0.7,
+                ),
+            ),
+        ),
+        handler_source='''\
+"""Score feature vectors against a pretrained LightGBM model."""
+import synth_numpy as np
+import synth_lightgbm as lgb
+
+_basic = lgb.basic
+_err = np.errstate
+booster = lgb.Booster(model_file="model.txt")
+
+
+def handler(event, context):
+    features = np.array(event["features"], dtype=np.float32)
+    if event.get("explain"):
+        plot = getattr(lgb, "gbm_" + "0005")
+        return {"importance": plot % 10**6}
+    dataset = lgb.Dataset(features)
+    model = lgb.train({"objective": "binary"}, dataset)
+    prediction = booster.predict(features)
+    print("scored 1 row")
+    return {"prediction": prediction % 2, "model": model % 10**6}
+''',
+        oracle=(
+            {"name": "row1", "event": {"features": [0.1, 0.5, 0.9]}},
+            {"name": "row2", "event": {"features": [1.0, 2.0, 3.0, 4.0]}},
+        ),
+        paper=PaperRow(120.22, 0.57, 0.04, 1.14),
+    )
+)
+
+_define(
+    AppDefinition(
+        name="lxml",
+        source="FaaSLight",
+        description="Fetch a page and extract elements with XPath",
+        libraries=(("requests", {}), ("lxml", {})),
+        handler_source='''\
+"""Scrape a page: fetch with requests, parse and query with lxml."""
+import synth_requests as requests
+import synth_lxml as lxml
+
+_css = lxml.cssselect
+_models = requests.models
+http = requests.Session()
+xpath = lxml.etree.XPath("//a/@href")
+_parser = lxml.parse
+
+
+def handler(event, context):
+    page = requests.get(event["url"])
+    posted = requests.post(event["url"], data=page)
+    document = lxml.html.document_fromstring(page)
+    fragment = lxml.etree.fromstring(posted)
+    links = xpath(document, fragment)
+    serialized = lxml.etree.tostring(document)
+    print(f"parsed {event['url']}")
+    return {"links": links % 50, "bytes": serialized % 10**5}
+''',
+        oracle=(
+            {"name": "example", "event": {"url": "https://example.com"}},
+            {"name": "news", "event": {"url": "https://news.site/index.html"}},
+        ),
+        paper=PaperRow(58.01, 0.24, 0.39, 1.12),
+    )
+)
+
+_define(
+    AppDefinition(
+        name="scikit",
+        source="FaaSLight",
+        description="Random-forest inference with scikit-learn",
+        libraries=(("sklearn", {}), ("joblib", {})),
+        handler_source='''\
+"""Classify a feature vector with a random forest (scikit-learn)."""
+import synth_sklearn as sklearn
+import synth_joblib as joblib
+
+_base = sklearn.base
+_hash = joblib.hashing
+_data = sklearn.fetch_dataset("iris")
+_clone = sklearn.clone_estimator
+model = sklearn.ensemble.RandomForestClassifier(n_estimators=10)
+fallback_model = sklearn.linear_model.LogisticRegression()
+scaler = sklearn.preprocessing.StandardScaler()
+_memory = joblib.Memory(".cache")
+_pool = joblib.Parallel(n_jobs=2)
+_loaded = joblib.load("model.pkl")
+_saved = joblib.dump(_loaded, "model.pkl")
+_task = joblib.delayed(_loaded)
+
+
+def handler(event, context):
+    scaled = scaler.fit_transform(event["features"])
+    prediction = model(scaled)
+    print("predicted class")
+    return {"class": prediction % 3}
+''',
+        oracle=(
+            {"name": "iris", "event": {"features": [5.1, 3.5, 1.4, 0.2]}},
+            {"name": "wine", "event": {"features": [13.0, 2.3, 2.4]}},
+        ),
+        paper=PaperRow(177.01, 0.30, 0.01, 1.93),
+    )
+)
+
+_define(
+    AppDefinition(
+        name="skimage",
+        source="FaaSLight",
+        description="Image filtering pipeline with scikit-image",
+        libraries=(("skimage", {}),),
+        handler_source='''\
+"""Blur-and-resize an image with scikit-image filters."""
+import synth_skimage as skimage
+
+_util = skimage.util
+
+
+def handler(event, context):
+    raw = skimage.io.imread(event["path"])
+    as_float = skimage.img_as_float(raw)
+    blurred = skimage.filters.gaussian(as_float, sigma=event.get("sigma", 1.0))
+    resized = skimage.transform.resize(blurred, (64, 64))
+    stored = skimage.io.imsave(event["path"] + ".out", resized)
+    print(f"processed {event['path']}")
+    return {"output": stored % 10**6}
+''',
+        oracle=(
+            {"name": "photo", "event": {"path": "photo.png", "sigma": 2.0}},
+            {"name": "scan", "event": {"path": "scan.tif"}},
+        ),
+        paper=PaperRow(155.37, 1.87, 0.10, 2.76),
+    )
+)
+
+_define(
+    AppDefinition(
+        name="tensorflow",
+        source="FaaSLight",
+        description="Keras model inference with TensorFlow",
+        libraries=(
+            ("tensorflow", {}),
+            (
+                "numpy",
+                dict(
+                    import_time_s=0.15,
+                    memory_mb=9.0,
+                    kept_time_frac=0.5,
+                    kept_mem_frac=0.55,
+                ),
+            ),
+        ),
+        handler_source='''\
+"""Run a Keras model forward pass (TensorFlow)."""
+import synth_numpy as np
+import synth_tensorflow as tf
+
+_compat = tf.compat
+_one = tf.constant(1.0)
+_state = tf.Variable(0.0)
+_traced = tf.function(lambda: 0)
+model = tf.keras.Model(inputs=tf.keras.Input(shape=4), outputs=2)
+
+
+def handler(event, context):
+    batch = np.asarray(event["batch"], dtype=np.float32)
+    tensor = tf.convert_to_tensor(batch)
+    logits = model(tensor)
+    hidden = tf.nn.relu(logits)
+    activated = tf.nn.softmax(hidden)
+    print("inference done")
+    return {"logits": logits % 10**6, "probs": activated % 10**6}
+''',
+        oracle=(
+            {"name": "b1", "event": {"batch": [[0.0, 1.0, 2.0, 3.0]]}},
+            {"name": "b2", "event": {"batch": [[4.0, 5.0, 6.0, 7.0], [1.0, 1.0, 1.0, 1.0]]}},
+        ),
+        paper=PaperRow(586.13, 4.53, 0.04, 5.33),
+    )
+)
+
+_define(
+    AppDefinition(
+        name="wine",
+        source="FaaSLight",
+        description="Wine-quality analytics over numpy/pandas/sklearn/boto3",
+        libraries=(
+            (
+                "numpy",
+                dict(
+                    import_time_s=0.40,
+                    memory_mb=12.0,
+                    kept_time_frac=0.72,
+                    kept_mem_frac=0.78,
+                ),
+            ),
+            ("pandas", dict(import_time_s=0.70, memory_mb=28.0, kept_time_frac=0.88, kept_mem_frac=0.92)),
+            ("sklearn", dict(import_time_s=0.40, memory_mb=30.0, kept_time_frac=0.93, kept_mem_frac=0.95)),
+            ("joblib", dict(import_time_s=0.22, memory_mb=5.0, kept_time_frac=0.86, kept_mem_frac=0.88)),
+            ("boto3", dict(import_time_s=0.24, memory_mb=8.0, kept_time_frac=0.97, kept_mem_frac=0.98)),
+        ),
+        handler_source='''\
+"""Wine-quality scoring: the numpy-wide workload of Table 3.
+
+Calls ``np.stats_suite`` — the statistics entry point whose implementation
+fans out across ~470 numpy attributes, which is why λ-trim can only remove
+~33 numpy attributes here versus ~500 for dna-visualization.
+"""
+import synth_numpy as np
+import synth_pandas as pd
+import synth_sklearn as sklearn
+import synth_boto3 as boto3
+
+_err = np.errstate
+_opts = pd.options
+_np_bridge = pd.to_numpy
+frame = pd.DataFrame({"quality": [5, 6, 7]})
+labels = pd.Series((5, 6, 7))
+model = sklearn.ensemble.RandomForestClassifier(n_estimators=50)
+scaler = sklearn.preprocessing.StandardScaler()
+session = boto3.Session(region_name="us-east-1")
+s3 = boto3.client("s3")
+
+
+def handler(event, context):
+    rows = pd.read_csv(event["dataset"])
+    extra = pd.io.read_parquet(event["dataset"] + ".parquet")
+    table = pd.DataFrame(rows)
+    joined = pd.merge(table, pd.concat((rows, extra)))
+    summary = table.describe()
+    features = np.asarray((summary, joined), dtype=np.float32)
+    scaled = scaler.fit_transform(features)
+    stats = np.stats_suite(event["dataset"], scaled)
+    prediction = model(stats)
+    print(f"analysed {event['dataset']}")
+    return {"stats": stats % 10**6, "quality": prediction % 10}
+''',
+        oracle=(
+            {"name": "red", "event": {"dataset": "winequality-red.csv"}},
+            {"name": "white", "event": {"dataset": "winequality-white.csv"}},
+        ),
+        paper=PaperRow(271.01, 1.96, 0.29, 2.81),
+    )
+)
+
+# -- RainbowCake applications --------------------------------------------------
+
+_define(
+    AppDefinition(
+        name="dna-visualization",
+        source="RainbowCake",
+        description="DNA sequence visualisation with squiggle (uses numpy transitively)",
+        libraries=(
+            ("squiggle", {}),
+            (
+                "numpy",
+                dict(
+                    import_time_s=0.12,
+                    memory_mb=9.0,
+                    kept_time_frac=0.55,
+                    kept_mem_frac=0.72,
+                ),
+            ),
+        ),
+        handler_source='''\
+"""Visualise a DNA sequence (squiggle imports numpy internally)."""
+import synth_squiggle as squiggle
+
+_themes = squiggle.themes
+
+
+def handler(event, context):
+    sequence = event["sequence"]
+    if event.get("mode") == "interactive":
+        renderer = getattr(squiggle, "viz_" + "0003")
+        return {"figure": renderer % 10**6, "interactive": True}
+    points = squiggle.transform(sequence)
+    figure = squiggle.visualize(sequence, points)
+    print(f"visualised {len(sequence)} bases")
+    return {"figure": figure % 10**6}
+''',
+        oracle=(
+            {"name": "short", "event": {"sequence": "ACGTACGT"}},
+            {"name": "long", "event": {"sequence": "ACGT" * 16}},
+        ),
+        paper=PaperRow(57.01, 0.18, 0.02, 0.72),
+    )
+)
+
+_define(
+    AppDefinition(
+        name="ffmpeg",
+        source="RainbowCake",
+        description="Video transcoding via the ffmpeg executable wrapper",
+        libraries=(("ffmpeg", {}),),
+        handler_source='''\
+"""Transcode a clip: the wrapper shells out, so imports are cheap."""
+import synth_ffmpeg as ffmpeg
+
+_nodes = ffmpeg.nodes
+
+
+def handler(event, context):
+    stream = ffmpeg.input(event["src"])
+    out = ffmpeg.output(stream, event["dst"], vcodec="h264")
+    result = ffmpeg.run(out)
+    meta = ffmpeg.probe(event["dst"])
+    print(f"transcoded {event['src']}")
+    return {"status": result % 2, "duration": meta % 3600}
+''',
+        oracle=(
+            {"name": "clip", "event": {"src": "in.mov", "dst": "out.mp4"}},
+        ),
+        paper=PaperRow(297.00, 0.06, 2.50, 3.07),
+    )
+)
+
+_define(
+    AppDefinition(
+        name="igraph",
+        source="RainbowCake",
+        description="Graph analytics with python-igraph",
+        libraries=(("igraph", {}),),
+        handler_source='''\
+"""PageRank over a small graph."""
+import synth_igraph as igraph
+
+_layouts = igraph.layouts
+
+
+def handler(event, context):
+    graph = igraph.Graph(directed=True)
+    graph.add_vertices(event["vertices"])
+    graph.add_edges(tuple(tuple(e) for e in event["edges"]))
+    ranks = graph.pagerank()
+    print(f"ranked {event['vertices']} vertices")
+    return {"pagerank": ranks % 10**6}
+''',
+        oracle=(
+            {
+                "name": "triangle",
+                "event": {"vertices": 3, "edges": [[0, 1], [1, 2], [2, 0]]},
+            },
+        ),
+        paper=PaperRow(40.00, 0.09, 0.01, 0.59),
+    )
+)
+
+_define(
+    AppDefinition(
+        name="markdown",
+        source="RainbowCake",
+        description="Markdown to HTML rendering",
+        libraries=(("markdown", {}),),
+        handler_source='''\
+"""Render markdown to HTML."""
+import synth_markdown as markdown
+
+_ser = markdown.serializers
+renderer = markdown.Markdown(extensions=("tables",))
+
+
+def handler(event, context):
+    html = markdown.markdown(event["text"])
+    rich = renderer.convert(event["text"])
+    print("rendered")
+    return {"html": html % 10**6, "rich": rich % 10**6}
+''',
+        oracle=(
+            {"name": "heading", "event": {"text": "# Hello\\n*world*"}},
+            {"name": "list", "event": {"text": "- a\\n- b\\n- c"}},
+        ),
+        paper=PaperRow(32.21, 0.04, 0.03, 0.54),
+    )
+)
+
+_define(
+    AppDefinition(
+        name="resnet",
+        source="RainbowCake",
+        description="ResNet image classification with torch + PIL",
+        libraries=(
+            (
+                "numpy",
+                dict(
+                    import_time_s=0.15,
+                    memory_mb=9.0,
+                    kept_time_frac=0.5,
+                    kept_mem_frac=0.55,
+                ),
+            ),
+            ("torch", {}),
+            ("PIL", {}),
+        ),
+        handler_source='''\
+"""Classify an image with a ResNet-style torch model (Figure 1's app)."""
+import synth_numpy as np
+import synth_torch as torch
+from synth_PIL import Image
+
+_backends = torch.backends
+model = torch.nn.Sequential(
+    torch.nn.Conv2d(3, 64, 7),
+    torch.nn.BatchNorm2d(64),
+    torch.nn.ReLU(),
+    torch.nn.MaxPool2d(2),
+    torch.nn.Flatten(),
+    torch.nn.Linear(512, 1000),
+)
+weights = torch.load("resnet50.pth")
+
+
+def handler(event, context):
+    pixels = Image.open(event["image"])
+    resized = Image.new("RGB", pixels, (224, 224))
+    array = np.asarray(resized, dtype=np.float32)
+    tensor = torch.from_numpy(array)
+    logits = model(tensor)
+    best = np.argmax(logits)
+    print(f"classified {event['image']}")
+    return {"class_id": best % 1000, "logit": logits % 10**6}
+''',
+        oracle=(
+            {"name": "cat", "event": {"image": "cat.jpg"}},
+            {"name": "dog", "event": {"image": "dog.jpg"}},
+        ),
+        paper=PaperRow(742.56, 6.30, 5.30, 11.71),
+    )
+)
+
+_define(
+    AppDefinition(
+        name="textblob",
+        source="RainbowCake",
+        description="Sentiment analysis with TextBlob (nltk underneath)",
+        libraries=(("textblob", {}), ("nltk", {})),
+        handler_source='''\
+"""Tag and score a sentence with TextBlob."""
+import synth_textblob as textblob
+
+_base = textblob.base
+
+
+def handler(event, context):
+    analysis = textblob.analyze(event["text"])
+    blob = textblob.TextBlob(event["text"])
+    sentiment = blob.sentiment()
+    print("analysed")
+    return {"analysis": analysis % 10**6, "polarity": sentiment % 200 - 100}
+''',
+        oracle=(
+            {"name": "happy", "event": {"text": "what a wonderful day"}},
+            {"name": "sad", "event": {"text": "this is terrible news"}},
+        ),
+        paper=PaperRow(104.00, 0.42, 0.38, 1.28),
+    )
+)
+
+# -- PyPI applications ----------------------------------------------------------
+
+_define(
+    AppDefinition(
+        name="chdb-olap",
+        source="PyPI",
+        description="Embedded OLAP queries with chdb",
+        libraries=(("chdb", {}),),
+        handler_source='''\
+"""Run an analytical SQL query with the embedded chdb engine."""
+import synth_chdb as chdb
+
+_engine = chdb.engine
+conn = chdb.connect(":memory:")
+
+
+def handler(event, context):
+    result = chdb.query(event["sql"], "CSV")
+    print("query done")
+    return {"rows": result % 10**4}
+''',
+        oracle=(
+            {"name": "count", "event": {"sql": "SELECT count() FROM numbers(10)"}},
+            {"name": "agg", "event": {"sql": "SELECT sum(n) FROM t GROUP BY k"}},
+        ),
+        paper=PaperRow(293.64, 1.01, 0.08, 1.77),
+    )
+)
+
+_define(
+    AppDefinition(
+        name="epub-pdf",
+        source="PyPI",
+        description="Document conversion: reportlab/pptx/docx, upload via boto3",
+        libraries=(
+            ("reportlab", {}),
+            ("pptx", {}),
+            ("docx", {}),
+            ("boto3", {}),
+        ),
+        handler_source='''\
+"""Convert a document bundle to PDF/PPTX/DOCX and upload."""
+import synth_reportlab as reportlab
+import synth_pptx as pptx
+import synth_docx as docx
+import synth_boto3 as boto3
+
+_fonts = reportlab.fonts
+canvas = reportlab.pdfgen.Canvas("out.pdf")
+s3 = boto3.client("s3")
+
+
+def handler(event, context):
+    pdf = canvas.drawString(10, 10, event["title"])
+    deck = pptx.Presentation(event["title"]).save()
+    doc = docx.Document()
+    body = doc.add_paragraph(event["title"])
+    print(f"converted {event['title']}")
+    return {"pdf": pdf % 10**6, "pptx": deck % 10**6, "docx": body % 10**6}
+''',
+        oracle=(
+            {"name": "report", "event": {"title": "Quarterly Report"}},
+            {"name": "book", "event": {"title": "My EPUB Book"}},
+        ),
+        paper=PaperRow(143.68, 0.62, 1.43, 2.54),
+    )
+)
+
+_define(
+    AppDefinition(
+        name="jsym",
+        source="PyPI",
+        description="Symbolic integration with sympy",
+        libraries=(("sympy", {}),),
+        handler_source='''\
+"""Integrate and simplify a symbolic expression."""
+import synth_sympy as sympy
+
+_assume = sympy.assumptions
+x = sympy.Symbol("x")
+
+
+def handler(event, context):
+    expr = sympy.sin(x) if event["fn"] == "sin" else sympy.cos(x)
+    integral = sympy.integrate(expr, x)
+    simplified = sympy.simplify(integral)
+    print(f"integrated {event['fn']}")
+    return {"integral": integral % 10**6, "simplified": simplified % 10**6}
+''',
+        oracle=(
+            {"name": "sin", "event": {"fn": "sin"}},
+            {"name": "cos", "event": {"fn": "cos"}},
+        ),
+        paper=PaperRow(83.01, 0.56, 0.31, 1.36),
+    )
+)
+
+_define(
+    AppDefinition(
+        name="pandas",
+        source="PyPI",
+        description="DataFrame aggregation with pandas",
+        libraries=(
+            (
+                "numpy",
+                dict(
+                    import_time_s=0.15,
+                    memory_mb=9.0,
+                    kept_time_frac=0.62,
+                    kept_mem_frac=0.72,
+                ),
+            ),
+            ("pandas", {}),
+        ),
+        handler_source='''\
+"""Aggregate a CSV with pandas."""
+import synth_numpy as np
+import synth_pandas as pd
+
+_opts = pd.options
+
+
+def handler(event, context):
+    rows = pd.read_csv(event["path"])
+    frame = pd.DataFrame(rows)
+    grouped = frame.groupby(event["key"])
+    mean = frame.mean()
+    print(f"aggregated {event['path']}")
+    return {"groups": grouped % 10**4, "mean": mean % 10**6}
+''',
+        oracle=(
+            {"name": "sales", "event": {"path": "sales.csv", "key": "region"}},
+            {"name": "users", "event": {"path": "users.csv", "key": "country"}},
+        ),
+        paper=PaperRow(114.27, 0.67, 0.01, 1.19),
+    )
+)
+
+_define(
+    AppDefinition(
+        name="qiskit-nature",
+        source="PyPI",
+        description="Electronic-structure simulation with qiskit-nature",
+        libraries=(("qiskit_nature", {}), ("qiskit", {})),
+        handler_source='''\
+"""Solve a small electronic-structure problem."""
+import synth_qiskit_nature as nature
+
+_settings = nature.settings
+driver = nature.drivers.PySCFDriver(atom="H 0 0 0; H 0 0 0.735")
+
+
+def handler(event, context):
+    problem = nature.ElectronicStructureProblem(driver, basis=event["basis"])
+    energy = problem(event["basis"])
+    ansatz = nature.build_ansatz(event["basis"])
+    print(f"solved in basis {event['basis']}")
+    return {"energy": energy % 10**6, "ansatz": ansatz % 10**6}
+''',
+        oracle=(
+            {"name": "sto3g", "event": {"basis": "sto3g"}},
+            {"name": "631g", "event": {"basis": "631g"}},
+        ),
+        paper=PaperRow(281.15, 1.96, 0.49, 3.05),
+    )
+)
+
+_define(
+    AppDefinition(
+        name="shapely-numpy",
+        source="PyPI",
+        description="Geometric buffering with shapely",
+        libraries=(
+            (
+                "numpy",
+                dict(
+                    import_time_s=0.12,
+                    memory_mb=9.0,
+                    kept_time_frac=0.62,
+                    kept_mem_frac=0.72,
+                ),
+            ),
+            ("shapely", {}),
+        ),
+        handler_source='''\
+"""Buffer points and merge the shapes."""
+import synth_numpy as np
+import synth_shapely as shapely
+
+_speedups = shapely.speedups
+
+
+def handler(event, context):
+    coords = np.array(event["points"])
+    points = tuple(shapely.Point(x, y) for x, y in event["points"])
+    buffered = tuple(p.buffer(event["radius"]) for p in points)
+    merged = shapely.ops.unary_union(buffered)
+    print(f"merged {len(points)} buffers")
+    return {"union": merged % 10**6, "coords": coords % 10**6}
+''',
+        oracle=(
+            {
+                "name": "pair",
+                "event": {"points": [[0.0, 0.0], [1.0, 1.0]], "radius": 0.5},
+            },
+        ),
+        paper=PaperRow(58.42, 0.20, 0.01, 0.71),
+    )
+)
+
+_define(
+    AppDefinition(
+        name="spacy",
+        source="PyPI",
+        description="Named-entity extraction with spaCy (loads a language model)",
+        libraries=(("spacy", {}), ("boto3", {})),
+        handler_source='''\
+"""Extract entities: the language-model load dominates initialization."""
+import synth_spacy as spacy
+import synth_boto3 as boto3
+
+_registry = spacy.registry
+nlp = spacy.load("en_core_web_sm")
+s3 = boto3.client("s3")
+
+
+def handler(event, context):
+    if event.get("match_rules"):
+        matcher = getattr(spacy, "nlp_" + "0007")
+        return {"matches": matcher % 10**4}
+    doc = spacy.tokens.Doc(nlp, event["text"])
+    entities = doc(event["text"])
+    print("extracted entities")
+    return {"entities": entities % 10**4}
+''',
+        oracle=(
+            {"name": "sentence", "event": {"text": "Apple is buying a startup"}},
+            {"name": "paragraph", "event": {"text": "Berlin and Paris signed a deal"}},
+        ),
+        paper=PaperRow(202.00, 2.06, 0.02, 2.60),
+    )
+)
+
+APP_NAMES: tuple[str, ...] = tuple(sorted(_DEFINITIONS))
+
+# Table 1 has 21 applications; keep the registry honest.
+assert len(APP_NAMES) == 21, f"expected 21 applications, got {len(APP_NAMES)}"

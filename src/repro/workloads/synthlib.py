@@ -1,0 +1,332 @@
+"""Synthetic library specification and code generator.
+
+A :class:`LibrarySpec` describes a package tree — modules, their virtual
+import costs, and their attribute surfaces — and :func:`generate_library`
+materialises it as real ``.py`` files under a ``site-packages`` directory.
+Generated modules import :mod:`repro.workloads.synthapi` under the magic
+binding ``__synthapi__`` (pinned: DD never offers magic names for removal)
+and build each attribute through its factories, so every attribute carries
+calibrated import-time/memory cost and deterministic behaviour.
+
+Attribute kinds map to the granularity classes of Section 6.1:
+
+``func`` / ``klass`` / ``value`` / ``chain``
+    simple assignments (one component each); ``chain`` additionally
+    references other attributes *at import time*, creating hidden
+    dependencies only DD can discover.
+``deffn``
+    a literal ``def`` whose body references its ``uses`` dependencies at
+    *call* time.
+``submodules``
+    ``from pkg import sub1, sub2`` — importing (and paying for) child
+    modules; each alias is independently removable.
+``reexport``
+    ``from pkg.sub import A, B`` — the paper's ``from … import`` case where
+    attribute granularity beats statement granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import WorkloadError
+
+__all__ = [
+    "AttributeSpec",
+    "ModuleSpec",
+    "LibrarySpec",
+    "func",
+    "klass",
+    "value",
+    "chain",
+    "deffn",
+    "submodules",
+    "reexport",
+    "extimport",
+    "extfrom",
+    "generate_library",
+]
+
+SUPPORT_IMPORT = "import repro.workloads.synthapi as __synthapi__"
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """One attribute (or import statement) of a synthetic module."""
+
+    kind: str
+    name: str = ""
+    init_time_s: float = 0.0
+    init_memory_mb: float = 0.0
+    call_time_s: float = 0.0
+    call_memory_mb: float = 0.0
+    external: bool = False
+    methods: tuple[str, ...] = ()
+    uses: tuple[str, ...] = ()
+    source_module: str = ""  # for reexport/extfrom: source module path
+    names: tuple[str, ...] = ()  # for submodules / reexport / ext imports
+
+
+def func(
+    name: str,
+    *,
+    time_s: float = 0.0,
+    memory_mb: float = 0.0,
+    call_time_s: float = 0.0,
+    call_memory_mb: float = 0.0,
+    external: bool = False,
+) -> AttributeSpec:
+    """A callable attribute built by ``synth_function``."""
+    return AttributeSpec(
+        kind="func",
+        name=name,
+        init_time_s=time_s,
+        init_memory_mb=memory_mb,
+        call_time_s=call_time_s,
+        call_memory_mb=call_memory_mb,
+        external=external,
+    )
+
+
+def klass(
+    name: str,
+    *,
+    time_s: float = 0.0,
+    memory_mb: float = 0.0,
+    call_time_s: float = 0.0,
+    methods: tuple[str, ...] = (),
+) -> AttributeSpec:
+    """A class attribute built by ``synth_class``."""
+    return AttributeSpec(
+        kind="klass",
+        name=name,
+        init_time_s=time_s,
+        init_memory_mb=memory_mb,
+        call_time_s=call_time_s,
+        methods=methods,
+    )
+
+
+def value(
+    name: str, *, time_s: float = 0.0, memory_mb: float = 0.0
+) -> AttributeSpec:
+    """A data attribute (tables/constants) built by ``synth_value``."""
+    return AttributeSpec(
+        kind="value", name=name, init_time_s=time_s, init_memory_mb=memory_mb
+    )
+
+
+def chain(
+    name: str,
+    uses: tuple[str, ...],
+    *,
+    time_s: float = 0.0,
+    memory_mb: float = 0.0,
+) -> AttributeSpec:
+    """A value attribute with *import-time* dependencies on other attributes."""
+    if not uses:
+        raise WorkloadError(f"chain attribute {name!r} needs at least one dependency")
+    return AttributeSpec(
+        kind="chain",
+        name=name,
+        init_time_s=time_s,
+        init_memory_mb=memory_mb,
+        uses=tuple(uses),
+    )
+
+
+def deffn(
+    name: str,
+    *,
+    uses: tuple[str, ...] = (),
+    call_time_s: float = 0.0,
+) -> AttributeSpec:
+    """A literal ``def`` attribute with *call-time* dependencies."""
+    return AttributeSpec(kind="deffn", name=name, uses=tuple(uses), call_time_s=call_time_s)
+
+
+def submodules(*names: str) -> AttributeSpec:
+    """``from <pkg> import a, b`` — import child modules into the namespace."""
+    if not names:
+        raise WorkloadError("submodules() needs at least one name")
+    return AttributeSpec(kind="submodules", names=tuple(names))
+
+
+def reexport(source_module: str, *names: str) -> AttributeSpec:
+    """``from <lib>.<source_module> import a, b`` re-exports."""
+    if not names:
+        raise WorkloadError("reexport() needs at least one name")
+    return AttributeSpec(kind="reexport", source_module=source_module, names=tuple(names))
+
+
+@dataclass(frozen=True)
+class ModuleSpec:
+    """One module of a synthetic library.
+
+    ``name`` is the library-relative dotted path; ``""`` denotes the
+    package root (``<lib>/__init__.py``).
+    """
+
+    name: str
+    body_time_s: float = 0.0
+    body_memory_mb: float = 0.0
+    attributes: tuple[AttributeSpec, ...] = ()
+
+
+@dataclass(frozen=True)
+class LibrarySpec:
+    """A complete synthetic library: its modules plus declared disk size."""
+
+    name: str
+    modules: tuple[ModuleSpec, ...]
+    disk_size_mb: float = 0.0
+
+    def __post_init__(self) -> None:
+        names = [m.name for m in self.modules]
+        if len(set(names)) != len(names):
+            raise WorkloadError(f"duplicate module names in {self.name}: {names}")
+        if "" not in names:
+            raise WorkloadError(f"library {self.name} has no root module spec")
+
+    def module(self, name: str) -> ModuleSpec:
+        for module in self.modules:
+            if module.name == name:
+                return module
+        raise WorkloadError(f"{self.name} has no module {name!r}")
+
+    def full_name(self, relative: str) -> str:
+        return self.name if not relative else f"{self.name}.{relative}"
+
+    def attribute_count(self, relative: str = "") -> int:
+        """Removable attribute components of one module (Table 3's counts)."""
+        count = 0
+        for attribute in self.module(relative).attributes:
+            if attribute.kind in ("submodules", "reexport", "extimport", "extfrom"):
+                count += len(attribute.names)
+            else:
+                count += 1
+        return count
+
+
+# -- code generation -----------------------------------------------------------
+
+
+def _emit_attribute(spec: AttributeSpec, module_full: str, lib: str) -> list[str]:
+    if spec.kind == "func":
+        return [
+            f"{spec.name} = __synthapi__.synth_function(__name__, {spec.name!r}, "
+            f"init_time_s={spec.init_time_s!r}, init_memory_mb={spec.init_memory_mb!r}, "
+            f"call_time_s={spec.call_time_s!r}, call_memory_mb={spec.call_memory_mb!r}, "
+            f"external={spec.external!r})"
+        ]
+    if spec.kind == "klass":
+        return [
+            f"{spec.name} = __synthapi__.synth_class(__name__, {spec.name!r}, "
+            f"init_time_s={spec.init_time_s!r}, init_memory_mb={spec.init_memory_mb!r}, "
+            f"call_time_s={spec.call_time_s!r}, methods={spec.methods!r})"
+        ]
+    if spec.kind == "value":
+        return [
+            f"{spec.name} = __synthapi__.synth_value(__name__, {spec.name!r}, "
+            f"init_time_s={spec.init_time_s!r}, init_memory_mb={spec.init_memory_mb!r})"
+        ]
+    if spec.kind == "chain":
+        deps = ", ".join(spec.uses) + ("," if len(spec.uses) == 1 else "")
+        return [
+            f"{spec.name} = __synthapi__.synth_value(__name__, {spec.name!r}, "
+            f"init_time_s={spec.init_time_s!r}, init_memory_mb={spec.init_memory_mb!r}, "
+            f"value=__synthapi__.stable_token({module_full + '.' + spec.name!r}, ({deps})))"
+        ]
+    if spec.kind == "deffn":
+        qualname = f"{module_full}.{spec.name}"
+        lines = [f"def {spec.name}(*args, **kwargs):"]
+        if spec.call_time_s:
+            lines.append(
+                f"    __synthapi__.exec_cost({qualname!r}, time_s={spec.call_time_s!r})"
+            )
+        if spec.uses:
+            deps = ", ".join(spec.uses) + ("," if len(spec.uses) == 1 else "")
+            lines.append(f"    _deps = ({deps})")
+        else:
+            lines.append("    _deps = ()")
+        lines.append(
+            f"    return __synthapi__.stable_token({qualname!r}, _deps, args, kwargs)"
+        )
+        return lines
+    if spec.kind == "submodules":
+        return [f"from {module_full} import {', '.join(spec.names)}"]
+    if spec.kind == "reexport":
+        source = f"{lib}.{spec.source_module}" if spec.source_module else lib
+        return [f"from {source} import {', '.join(spec.names)}"]
+    if spec.kind == "extimport":
+        return [f"import {', '.join(spec.names)}"]
+    if spec.kind == "extfrom":
+        return [f"from {spec.source_module} import {', '.join(spec.names)}"]
+    raise WorkloadError(f"unknown attribute kind: {spec.kind!r}")
+
+
+def render_module(library: LibrarySpec, module: ModuleSpec) -> str:
+    """Source text of one synthetic module."""
+    full = library.full_name(module.name)
+    lines = [
+        f'"""Synthetic module {full} (generated by repro.workloads.synthlib)."""',
+        SUPPORT_IMPORT,
+        f"__synthapi__.module_cost(__name__, time_s={module.body_time_s!r}, "
+        f"memory_mb={module.body_memory_mb!r})",
+    ]
+    for attribute in module.attributes:
+        lines.extend(_emit_attribute(attribute, full, library.name))
+    return "\n".join(lines) + "\n"
+
+
+def extimport(*names: str) -> AttributeSpec:
+    """``import other_lib`` — a cross-library dependency import."""
+    if not names:
+        raise WorkloadError("extimport() needs at least one name")
+    return AttributeSpec(kind="extimport", names=tuple(names))
+
+
+def extfrom(source_module: str, *names: str) -> AttributeSpec:
+    """``from other_lib.sub import a, b`` — cross-library re-exports."""
+    if not names:
+        raise WorkloadError("extfrom() needs at least one name")
+    return AttributeSpec(kind="extfrom", source_module=source_module, names=tuple(names))
+
+
+def generate_library(library: LibrarySpec, site_packages: Path | str) -> list[Path]:
+    """Write *library* as an importable package tree; returns written files."""
+    site_packages = Path(site_packages)
+    site_packages.mkdir(parents=True, exist_ok=True)
+
+    packages = {""}  # the root is always a package
+    module_names = {m.name for m in library.modules}
+    for name in module_names:
+        if "." in name:
+            parent = name.rsplit(".", 1)[0]
+            packages.add(parent)
+        # any module that has children must be a package
+    for name in module_names:
+        for other in module_names:
+            if other != name and other.startswith(name + "."):
+                packages.add(name)
+
+    missing_parents = {
+        p for p in packages if p not in module_names and p != ""
+    }
+    if missing_parents:
+        raise WorkloadError(
+            f"{library.name}: parent modules missing specs: {sorted(missing_parents)}"
+        )
+
+    written: list[Path] = []
+    for module in library.modules:
+        relative = Path(*module.name.split(".")) if module.name else Path()
+        if module.name in packages:
+            file = site_packages / library.name / relative / "__init__.py"
+        else:
+            file = site_packages / library.name / relative.with_suffix(".py")
+        file.parent.mkdir(parents=True, exist_ok=True)
+        file.write_text(render_module(library, module), encoding="utf-8")
+        written.append(file)
+    return written

@@ -1,0 +1,107 @@
+"""The paper's running example: a simplified torch (Section 6.2).
+
+Builds exactly the library of Figures 5-7: a root module exposing
+``tensor``, ``add``, ``view``, re-exporting ``Linear`` and ``MSELoss``
+from ``torch.nn`` and ``SGD`` from ``torch.optim``, plus the sample
+application of Figure 5 that uses four of the six attributes.  DD should
+remove ``SGD`` and ``MSELoss`` and skip the ``optim`` import entirely
+(Figure 7b).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.bundle import AppBundle, BundleManifest
+from repro.workloads.synthlib import (
+    LibrarySpec,
+    ModuleSpec,
+    func,
+    generate_library,
+    klass,
+    reexport,
+)
+
+__all__ = ["toy_torch_spec", "build_toy_torch_app", "TOY_ATTRIBUTES"]
+
+TOY_ATTRIBUTES = ("tensor", "add", "view", "Linear", "MSELoss", "SGD")
+
+
+def toy_torch_spec() -> LibrarySpec:
+    """The simplified torch library of Figure 7a."""
+    return LibrarySpec(
+        name="torch",
+        disk_size_mb=10.0,
+        modules=(
+            ModuleSpec(
+                name="",
+                body_time_s=0.10,
+                body_memory_mb=4.0,
+                attributes=(
+                    reexport("nn", "Linear", "MSELoss"),
+                    reexport("optim", "SGD"),
+                    klass("tensor", time_s=0.02, memory_mb=1.0),
+                    func("add", time_s=0.01, memory_mb=0.5),
+                    func("view", time_s=0.01, memory_mb=0.5),
+                ),
+            ),
+            ModuleSpec(
+                name="nn",
+                body_time_s=0.15,
+                body_memory_mb=6.0,
+                attributes=(
+                    klass("Linear", time_s=0.03, memory_mb=2.0, call_time_s=0.01),
+                    klass("MSELoss", time_s=0.20, memory_mb=8.0),
+                ),
+            ),
+            ModuleSpec(
+                name="optim",
+                body_time_s=0.25,
+                body_memory_mb=10.0,
+                attributes=(klass("SGD", time_s=0.05, memory_mb=3.0),),
+            ),
+        ),
+    )
+
+
+_HANDLER = '''\
+"""The sample application of Figure 5."""
+import torch
+
+model = torch.nn.Linear(2, 1)
+
+
+def handler(event, context):
+    x = torch.tensor(event["x"])
+    y = torch.tensor(event["y"])
+    z = torch.view(torch.add(x, y), 2, 1)
+    print(model(z))
+    return {"prediction": model(z) % 10**6}
+'''
+
+_ORACLE = [
+    {"name": "case-1", "event": {"x": [1.0, 2.0], "y": [3.0, 4.0]}},
+    {"name": "case-2", "event": {"x": [0.5, 0.5], "y": [1.5, 2.5]}},
+]
+
+
+def build_toy_torch_app(root: Path | str) -> AppBundle:
+    """Materialise the Figure 5 application under *root*."""
+    root = Path(root)
+    site = root / "site-packages"
+    site.mkdir(parents=True, exist_ok=True)
+    generate_library(toy_torch_spec(), site)
+    (root / "handler.py").write_text(_HANDLER, encoding="utf-8")
+    (root / "oracle.json").write_text(json.dumps(_ORACLE, indent=2), encoding="utf-8")
+    bundle = AppBundle(root)
+    bundle.write_manifest(
+        BundleManifest(
+            name="toy-torch",
+            image_size_mb=10.0,
+            external_modules=["torch"],
+            description="Figure 5 running example on the simplified torch",
+            platform_overhead_s=0.2,
+        )
+    )
+    return bundle

@@ -1,0 +1,146 @@
+"""Tests for the per-artifact experiment drivers.
+
+Expensive sweeps run on a small app subset; the benchmarks exercise the
+full populations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import (
+    FALLBACK_APPS,
+    fig1_breakdown,
+    fig2_cold_start_costs,
+    fig6_dd_walkthrough,
+    fig8_improvements,
+    fig9_scoring_ablation,
+    fig10_varying_k,
+    fig11_warm_starts,
+    fig12_checkpoint_restore,
+    fig13_snapstart_cdf,
+    fig14_amortized_costs,
+    table1_applications,
+    table2_baselines,
+    table3_debloating,
+    table4_fallback,
+)
+from repro.analysis.workspace import Workspace
+from repro.core.cost_model import ScoringMethod
+
+SMALL = ("dna-visualization", "markdown")
+
+
+@pytest.fixture(scope="module")
+def ws(tmp_path_factory):
+    return Workspace(tmp_path_factory.mktemp("exp-ws"))
+
+
+class TestCheapDrivers:
+    def test_fig6_walkthrough_matches_paper(self):
+        outcome = fig6_dd_walkthrough()
+        assert set(outcome.minimal) == {"tensor", "add", "view", "Linear"}
+        assert outcome.trace  # the Figure 6 visualisation data
+
+    def test_fig13_cdf_shapes(self):
+        cdf = fig13_snapstart_cdf(n_functions=80, keep_alive_minutes=(1, 15, 100))
+        assert set(cdf) == {1, 15, 100}
+        for shares in cdf.values():
+            assert shares == sorted(shares)
+            assert all(0 <= s <= 1 for s in shares)
+        # the paper: even generous keep-alives leave the median above 60%
+        median_100 = cdf[100][len(cdf[100]) // 2]
+        assert median_100 > 0.6
+        # shorter keep-alive -> more restores -> shares shift right
+        assert sum(cdf[1]) >= sum(cdf[100]) - 1e-6
+
+
+class TestAppDrivers:
+    def test_fig1_breakdown(self, ws):
+        breakdown = fig1_breakdown(ws, app="dna-visualization")
+        assert breakdown["cold_e2e_s"] > breakdown["warm_e2e_s"]
+        assert 0 < breakdown["init_share_of_billed"] < 1
+
+    def test_table1_rows(self, ws):
+        rows = table1_applications(ws, apps=SMALL)
+        assert [r["app"] for r in rows] == list(SMALL)
+        for row in rows:
+            assert row["import_s"] == pytest.approx(row["paper_import_s"], rel=0.2)
+
+    def test_fig2_costs(self, ws):
+        rows = fig2_cold_start_costs(ws, apps=SMALL)
+        for row in rows:
+            assert row["cost_per_100k"] > 0
+            assert 0 < row["import_share"] < 1
+
+    def test_fig8_improvements(self, ws):
+        results = fig8_improvements(ws, apps=SMALL)
+        for result in results:
+            assert result.e2e_speedup >= 1.0
+            assert result.memory_improvement > 0
+
+    def test_fig9_scoring(self, ws):
+        rows = fig9_scoring_ablation(
+            ws,
+            apps=("dna-visualization",),
+            methods=(ScoringMethod.COMBINED, ScoringMethod.RANDOM),
+            random_seeds=(1,),
+        )
+        combined = next(r for r in rows if r["method"] == "combined")
+        rand = next(r for r in rows if r["method"] == "random")
+        assert combined["cost_improvement"] >= rand["cost_improvement"] - 1e-9
+
+    def test_fig10_varying_k(self, ws):
+        rows = fig10_varying_k(ws, apps=("dna-visualization",), ks=(1, 20))
+        k1 = next(r for r in rows if r["k"] == 1)
+        k20 = next(r for r in rows if r["k"] == 20)
+        assert k20["cost_improvement"] >= k1["cost_improvement"] - 1e-9
+
+    def test_fig11_warm_impact_is_negligible(self, ws):
+        rows = fig11_warm_starts(ws, apps=SMALL)
+        for row in rows:
+            assert abs(row["impact_pct"]) < 10.0  # "less than 10%"
+
+    def test_fig12_variants(self, ws):
+        rows = fig12_checkpoint_restore(ws, apps=("markdown",))
+        row = rows[0]
+        # small app (<0.2 s init): C/R is worse than a plain cold start,
+        # λ-trim is the best variant (Figure 12)
+        assert row["cr_init_s"] > row["original_init_s"]
+        assert row["trim_init_s"] < row["original_init_s"]
+        assert row["ckpt_trim_mb"] < row["ckpt_mb"]
+
+    def test_table2_baseline_comparison(self, ws):
+        rows = table2_baselines(ws, apps=("lightgbm",))
+        row = rows[0]
+        # improvements are reported as negative percentages
+        assert row["lambda_trim_import"] < 0
+        assert row["lambda_trim_memory"] <= row["faaslight_memory"] + 1e-9
+        assert row["vulture_import"] > row["lambda_trim_import"]
+
+    def test_table3_rows(self, ws):
+        rows = table3_debloating(ws, apps=("dna-visualization",))
+        row = rows[0]
+        assert row["example_module"] == "synth_numpy"
+        assert row["attrs_removed"] > 400
+        assert row["ckpt_post_mb"] < row["ckpt_pre_mb"]
+
+    def test_fig14_amortized(self, ws):
+        rows = fig14_amortized_costs(ws, apps=SMALL, n_functions=50)
+        for row in rows:
+            assert row["original"]["cache_restore"] > 0
+            total_orig = sum(row["original"].values())
+            total_trim = sum(row["trimmed"].values())
+            assert total_trim <= total_orig + 1e-12
+
+    def test_table4_fallback(self, ws):
+        rows = table4_fallback(ws, apps=("dna-visualization",))
+        row = rows[0]
+        # triggering the fallback costs more than a plain invocation...
+        assert row["fallback_warm_warm_s"] > row["trim_warm_s"]
+        # ...and a cold fallback dominates everything (Section 8.7)
+        assert row["fallback_warm_cold_s"] > row["fallback_warm_warm_s"]
+        assert row["fallback_cold_cold_s"] > row["trim_cold_s"]
+        assert set(FALLBACK_APPS) == {
+            "dna-visualization", "lightgbm", "spacy", "huggingface",
+        }

@@ -1,0 +1,55 @@
+"""Tests for the measurement helpers (Section 2.2.2 methodology)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import measure_cold, measure_warm
+from repro.analysis.measure import COST_INVOCATIONS
+from repro.pricing import AwsLambdaPricing
+
+
+class TestMeasureCold:
+    def test_forces_cold_starts(self, toy_app):
+        stats = measure_cold(toy_app, invocations=3)
+        assert stats.invocations == 3
+        assert stats.import_s == pytest.approx(0.82, abs=0.01)
+        assert stats.e2e_s > stats.import_s
+
+    def test_cost_is_for_100k_invocations(self, toy_app):
+        stats = measure_cold(toy_app, invocations=2)
+        single = AwsLambdaPricing().invocation_cost(
+            stats.billed_s, stats.configured_mb
+        )
+        assert stats.cost_per_100k == pytest.approx(single * COST_INVOCATIONS, rel=1e-3)
+
+    def test_memory_floor_applied(self, toy_app):
+        stats = measure_cold(toy_app, invocations=1)
+        assert stats.memory_mb == pytest.approx(35.0, abs=0.5)
+        assert stats.configured_mb == 128
+
+    def test_import_share(self, toy_app):
+        stats = measure_cold(toy_app, invocations=1)
+        assert stats.import_share == pytest.approx(
+            stats.import_s / (stats.import_s + stats.exec_s), rel=0.01
+        )
+
+    def test_broken_bundle_raises(self, toy_app, tmp_path):
+        broken = toy_app.clone(tmp_path / "broken")
+        broken.handler_path.write_text("def handler(e, c):\n    raise ValueError\n")
+        with pytest.raises(RuntimeError):
+            measure_cold(broken, invocations=1)
+
+
+class TestMeasureWarm:
+    def test_only_warm_invocations_counted(self, toy_app):
+        stats = measure_warm(toy_app, invocations=3)
+        assert stats.invocations == 3
+        # warm E2E excludes all initialization
+        assert stats.e2e_s < 0.2
+        assert stats.exec_s > 0
+
+    def test_warm_much_faster_than_cold(self, toy_app):
+        cold = measure_cold(toy_app, invocations=1)
+        warm = measure_warm(toy_app, invocations=1)
+        assert warm.e2e_s < cold.e2e_s / 3

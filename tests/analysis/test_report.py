@@ -1,0 +1,53 @@
+"""Tests for the one-shot evaluation report generator."""
+
+from __future__ import annotations
+
+from repro.analysis.report import (
+    FULL_SECTIONS,
+    QUICK_SECTIONS,
+    generate_report,
+    write_report,
+)
+from repro.analysis.workspace import Workspace
+
+
+class TestReportSections:
+    def test_full_sections_cover_every_artifact(self):
+        headings = [section[0] for section in FULL_SECTIONS]
+        for artifact in (
+            "Figure 1", "Table 1", "Figure 2", "Figure 6", "Figure 8",
+            "Table 2", "Figure 9", "Table 3", "Figure 10", "Figure 11",
+            "Figure 12", "Figure 13", "Figure 14", "Table 4",
+        ):
+            assert any(h.startswith(artifact) for h in headings), artifact
+
+    def test_quick_sections_are_a_subset(self):
+        assert set(QUICK_SECTIONS) <= set(FULL_SECTIONS)
+        assert QUICK_SECTIONS  # never empty
+
+
+class TestGeneration:
+    def test_quick_report_renders(self):
+        text = generate_report(sections=QUICK_SECTIONS)
+        assert text.startswith("# λ-trim reproduction")
+        assert "## Figure 6" in text
+        assert "## Figure 13" in text
+        assert "regenerated in" in text
+
+    def test_selected_app_section(self, tmp_path):
+        from repro.analysis import experiments, tables
+
+        section = (
+            "Figure 1 — cold/warm breakdown (markdown app)",
+            lambda ws: experiments.fig1_breakdown(ws, app="markdown"),
+            tables.render_fig1,
+            True,
+        )
+        ws = Workspace(tmp_path)
+        text = generate_report(ws, sections=(section,))
+        assert "cold E2E" in text
+
+    def test_write_report(self, tmp_path):
+        path = write_report(tmp_path / "out.md", sections=QUICK_SECTIONS)
+        assert path.exists()
+        assert path.read_text().startswith("# λ-trim")

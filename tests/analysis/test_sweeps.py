@@ -1,0 +1,34 @@
+"""Tests for the sensitivity sweeps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sweeps import keep_alive_sweep
+from repro.analysis.workspace import Workspace
+
+
+@pytest.fixture(scope="module")
+def ws(tmp_path_factory):
+    return Workspace(tmp_path_factory.mktemp("sweep-ws"))
+
+
+class TestKeepAliveSweep:
+    def test_rows_cover_requested_policies(self, ws):
+        rows = keep_alive_sweep(ws, "markdown", keep_alives_min=(1, 15))
+        assert [r["keep_alive_min"] for r in rows] == [1, 15]
+
+    def test_cold_starts_monotone_in_keep_alive(self, ws):
+        rows = keep_alive_sweep(ws, "markdown", keep_alives_min=(1, 5, 60))
+        colds = [r["cold_starts"] for r in rows]
+        assert colds == sorted(colds, reverse=True)
+
+    def test_invocations_conserved(self, ws):
+        rows = keep_alive_sweep(ws, "markdown", keep_alives_min=(1, 60))
+        totals = {r["cold_starts"] + r["warm_starts"] for r in rows}
+        assert len(totals) == 1  # same trace either way
+
+    def test_trim_never_costs_more(self, ws):
+        rows = keep_alive_sweep(ws, "dna-visualization", keep_alives_min=(1, 15))
+        for row in rows:
+            assert row["cost_trimmed"] <= row["cost_original"] + 1e-18

@@ -1,0 +1,46 @@
+"""Tests for the text table renderers."""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import fig6_dd_walkthrough
+from repro.analysis.tables import (
+    render_fig6_trace,
+    render_fig13,
+    render_table,
+)
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["a", "long-header"], [("x", 1), ("yyyy", 22)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        # all rows padded to the same width
+        assert len(set(map(len, lines))) == 1
+
+    def test_empty_rows(self):
+        text = render_table(["col"], [])
+        assert "col" in text
+        assert len(text.splitlines()) == 2
+
+    def test_cells_stringified(self):
+        text = render_table(["n"], [(3.14159,), (None,)])
+        assert "3.14159" in text
+        assert "None" in text
+
+
+class TestArtifactRenderers:
+    def test_fig6_trace_rendering(self):
+        outcome = fig6_dd_walkthrough()
+        text = render_fig6_trace(outcome)
+        assert "oracle calls" in text
+        assert "PASS" in text and "FAIL" in text
+        # every step rendered
+        assert len(text.splitlines()) == len(outcome.trace) + 1
+
+    def test_fig13_rendering(self):
+        text = render_fig13({15: [0.1, 0.5, 0.9], 1: [0.2, 0.6, 0.95]})
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("keep-alive   1 min")
+        assert "median SnapStart share" in lines[0]

@@ -1,0 +1,62 @@
+"""Tests for calibration validation against the paper's tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.validation import (
+    PAPER_TABLE2_LAMBDA_TRIM,
+    CalibrationRow,
+    validate_table1,
+    validate_table2,
+)
+from repro.analysis.workspace import Workspace
+
+
+@pytest.fixture(scope="module")
+def ws(tmp_path_factory):
+    return Workspace(tmp_path_factory.mktemp("calib-ws"))
+
+
+class TestCalibrationRow:
+    def test_errors(self):
+        row = CalibrationRow("a", "m", reference=2.0, measured=2.2)
+        assert row.absolute_error == pytest.approx(0.2)
+        assert row.relative_error == pytest.approx(0.1)
+        assert row.within(rel=0.15)
+        assert not row.within(rel=0.05)
+        assert row.within(rel=0.0, abs_=0.25)
+
+    def test_zero_reference(self):
+        assert CalibrationRow("a", "m", 0.0, 0.0).relative_error == 0.0
+        assert CalibrationRow("a", "m", 0.0, 1.0).relative_error == float("inf")
+
+
+class TestTable1Calibration:
+    def test_small_apps_within_band(self, ws):
+        rows = validate_table1(ws, apps=("markdown", "igraph", "dna-visualization"))
+        for row in rows:
+            assert row.within(rel=0.25, abs_=0.05), row.describe()
+
+
+@pytest.mark.slow
+class TestFullCalibration:
+    def test_all_21_apps_within_table1_band(self, ws):
+        failures = [
+            row.describe()
+            for row in validate_table1(ws)
+            if not row.within(rel=0.25, abs_=0.3)
+        ]
+        assert not failures, failures
+
+    def test_table2_improvements_within_band(self, ws):
+        """λ-trim's measured Table 2 improvements track the paper within
+        12 percentage points (wine, the loosest row, is documented in
+        EXPERIMENTS.md)."""
+        for row in validate_table2(ws):
+            tolerance = 14.0 if row.app == "wine" else 12.0
+            assert row.absolute_error <= tolerance, row.describe()
+        assert set(PAPER_TABLE2_LAMBDA_TRIM) == {
+            "huggingface", "image-resize", "lightgbm", "lxml",
+            "scikit", "skimage", "tensorflow", "wine",
+        }

@@ -1,0 +1,61 @@
+"""Tests for the Vulture-style dead-code baseline (Table 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import find_dead_names, vulture_trim
+from repro.core.execution import run_once
+from repro.core.oracle import OracleRunner
+
+
+class TestFindDeadNames:
+    def test_unused_import_is_dead(self):
+        dead = find_dead_names("import os\nimport json\nprint(json.dumps({}))\n")
+        assert dead == ["os"]
+
+    def test_used_names_are_live(self):
+        assert find_dead_names("import os\nos.getcwd()\n") == []
+
+    def test_handler_is_never_dead(self):
+        source = "def handler(event, context):\n    return 1\n"
+        assert find_dead_names(source) == []
+
+    def test_unread_assignment_is_dead(self):
+        source = "_cache = {}\nx = 1\nprint(x)\n"
+        assert find_dead_names(source) == ["_cache"]
+
+    def test_attribute_chain_keeps_root_alive(self):
+        source = "import torch\nmodel = torch.nn.Linear(1, 1)\nprint(model)\n"
+        assert "torch" not in find_dead_names(source)
+
+
+class TestVultureTrim:
+    def test_output_passes_oracle(self, toy_app, tmp_path):
+        report = vulture_trim(toy_app, tmp_path / "v")
+        assert OracleRunner(toy_app).check(report.output).passed
+
+    def test_only_handler_is_rewritten(self, toy_app, tmp_path):
+        report = vulture_trim(toy_app, tmp_path / "v")
+        # library internals untouched — Vulture can't see inside torch
+        assert report.output.module_file("torch").read_text() == toy_app.module_file(
+            "torch"
+        ).read_text()
+
+    def test_tiny_effect_on_clean_handlers(self, toy_app, tmp_path):
+        """Table 2: Vulture improves import time by ~1-3% at best."""
+        report = vulture_trim(toy_app, tmp_path / "v")
+        event = {"x": [1.0], "y": [2.0]}
+        before = run_once(toy_app, event).init_time_s
+        after = run_once(report.output, event).init_time_s
+        assert after == pytest.approx(before, rel=0.05)
+
+    def test_removes_dead_handler_import(self, toy_app, tmp_path):
+        seeded = toy_app.clone(tmp_path / "seeded")
+        seeded.handler_path.write_text(
+            "import torch.optim as _optim_unused\n" + seeded.handler_source()
+        )
+        report = vulture_trim(seeded, tmp_path / "v")
+        assert report.dead_names == ["_optim_unused"]
+        assert "_optim_unused" not in report.output.handler_source()
+        assert OracleRunner(toy_app).check(report.output).passed

@@ -1,0 +1,62 @@
+"""Tests for the CRIU-style checkpoint/restore simulator (Section 8.6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checkpoint import Checkpoint, CriuSimulator
+from repro.errors import CheckpointError
+
+
+class TestCheckpointSizing:
+    def test_size_grows_with_memory_and_image(self):
+        criu = CriuSimulator()
+        small = criu.checkpoint_size_mb(10, 50)
+        bigger_heap = criu.checkpoint_size_mb(100, 50)
+        bigger_image = criu.checkpoint_size_mb(10, 700)
+        assert bigger_heap > small
+        assert bigger_image > small
+
+    def test_debloating_shrinks_checkpoints_moderately(self):
+        """Table 3: "debloating always reduces the size of the checkpoint
+        and does so by an average of 11%" — the process image dilutes the
+        heap savings."""
+        criu = CriuSimulator()
+        pre = criu.checkpoint_size_mb(80, 742)  # resnet-like
+        post = criu.checkpoint_size_mb(34, 742)
+        reduction = (pre - post) / pre
+        assert 0.05 < reduction < 0.35
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(CheckpointError):
+            CriuSimulator().checkpoint_size_mb(-1, 0)
+        with pytest.raises(CheckpointError):
+            Checkpoint(function="f", size_mb=-1, init_time_saved_s=0)
+
+
+class TestRestoreTiming:
+    def test_fixed_overhead_floor(self):
+        """CRIU's fork + /proc replay costs ~0.1 s even for tiny images —
+        why C/R is *worse* than a plain cold start for small apps."""
+        criu = CriuSimulator()
+        ckpt = criu.checkpoint("tiny", memory_mb=1, image_size_mb=1)
+        assert criu.restore_time_s(ckpt) >= criu.restore_fixed_s
+
+    def test_restore_grows_slower_than_init(self):
+        """Figure 12: pure C/R overtakes pure λ-trim on large apps."""
+        criu = CriuSimulator()
+        heavy = criu.checkpoint(
+            "resnet", memory_mb=80, image_size_mb=742, init_time_s=6.3
+        )
+        assert criu.restore_time_s(heavy) < heavy.init_time_saved_s
+
+    def test_small_app_cr_worse_than_init(self):
+        criu = CriuSimulator()
+        tiny = criu.checkpoint("dna", memory_mb=11, image_size_mb=57, init_time_s=0.06)
+        assert criu.restore_time_s(tiny) > tiny.init_time_saved_s
+
+    def test_trim_shrinks_restore_time(self):
+        criu = CriuSimulator()
+        pre = criu.checkpoint("app", memory_mb=80, image_size_mb=700)
+        post = criu.checkpoint("app", memory_mb=34, image_size_mb=700)
+        assert criu.restore_time_s(post) < criu.restore_time_s(pre)

@@ -1,0 +1,24 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.toy import build_toy_torch_app
+
+
+@pytest.fixture()
+def toy_app(tmp_path):
+    """The paper's Figure 5 running example, freshly materialised."""
+    return build_toy_torch_app(tmp_path / "toy")
+
+
+@pytest.fixture(scope="session")
+def session_tmp(tmp_path_factory):
+    return tmp_path_factory.mktemp("repro-session")
+
+
+@pytest.fixture(scope="session")
+def toy_app_session(tmp_path_factory):
+    """Session-scoped toy bundle for read-only tests."""
+    return build_toy_torch_app(tmp_path_factory.mktemp("toy-session") / "toy")

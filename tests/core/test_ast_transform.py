@@ -1,0 +1,179 @@
+"""Tests for AST-based module rebuilding (Section 6.3, Figure 7)."""
+
+from __future__ import annotations
+
+import ast
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.ast_transform import rebuild_source, rebuild_tree, removed_components
+from repro.core.granularity import decompose_module
+
+FIGURE_7A = """\
+from torch.nn import Linear, MSELoss
+from torch.optim import SGD
+
+class tensor():
+    def __init__(self):
+        pass
+
+def add(t1, t2):
+    return t1
+
+def view(t, dim1, dim2):
+    return t
+"""
+
+
+def _keep_named(decomposition, *names):
+    wanted = set(names)
+    return [c for c in decomposition.components if c.name in wanted]
+
+
+class TestRebuild:
+    def test_figure7_debloating(self):
+        """Keeping tensor/add/view/Linear drops MSELoss and all of optim."""
+        decomposition = decompose_module(FIGURE_7A)
+        keep = _keep_named(decomposition, "tensor", "add", "view", "Linear")
+        source = rebuild_source(decomposition, keep)
+        assert "from torch.nn import Linear" in source
+        assert "MSELoss" not in source
+        assert "torch.optim" not in source  # the whole import disappears
+        assert "class tensor" in source
+        ast.parse(source)  # output must stay valid Python
+
+    def test_keep_everything_is_semantically_identical(self):
+        decomposition = decompose_module(FIGURE_7A)
+        source = rebuild_source(decomposition, decomposition.components)
+        assert ast.dump(ast.parse(source)) == ast.dump(ast.parse(FIGURE_7A))
+
+    def test_keep_everything_preserves_source_verbatim(self):
+        """The fast path copies untouched statements from the original."""
+        original = "x = 1  # calibrated constant\ny = 2\n"
+        decomposition = decompose_module(original)
+        source = rebuild_source(decomposition, decomposition.components)
+        assert "# calibrated constant" in source
+
+    def test_keep_nothing_drops_all_components(self):
+        decomposition = decompose_module("a = 1\nb = 2\n")
+        assert rebuild_source(decomposition, []) == ""
+
+    def test_pinned_statements_always_survive(self):
+        source = '"""doc"""\nprint("side effect")\na = 1\n'
+        decomposition = decompose_module(source)
+        rebuilt = rebuild_source(decomposition, [])
+        assert "doc" in rebuilt
+        assert "side effect" in rebuilt
+        assert "a = 1" not in rebuilt
+
+    def test_partial_from_import_keeps_selected_aliases(self):
+        decomposition = decompose_module("from m import a, b, c\n")
+        keep = _keep_named(decomposition, "a", "c")
+        rebuilt = rebuild_source(decomposition, keep)
+        assert rebuilt == "from m import a, c\n"
+
+    def test_partial_plain_import(self):
+        decomposition = decompose_module("import os, sys, json\n")
+        keep = _keep_named(decomposition, "sys")
+        assert rebuild_source(decomposition, keep) == "import sys\n"
+
+    def test_magic_alias_survives_when_siblings_removed(self):
+        decomposition = decompose_module("from m import __version__, helper\n")
+        rebuilt = rebuild_source(decomposition, [])
+        assert rebuilt == "from m import __version__\n"
+
+    def test_multiline_statement_kept_verbatim(self):
+        source = "CONFIG = {\n    'a': 1,\n    'b': 2,\n}\nx = 1\n"
+        decomposition = decompose_module(source)
+        keep = _keep_named(decomposition, "CONFIG")
+        rebuilt = rebuild_source(decomposition, keep)
+        assert "'b': 2," in rebuilt
+        assert "x = 1" not in rebuilt
+
+    def test_decorated_function_kept_with_decorator(self):
+        source = "@staticmethod\ndef f():\n    pass\n"
+        decomposition = decompose_module(source)
+        rebuilt = rebuild_source(decomposition, decomposition.components)
+        assert rebuilt.startswith("@staticmethod")
+
+    def test_rebuild_tree_matches_rebuild_source(self):
+        decomposition = decompose_module(FIGURE_7A)
+        keep = _keep_named(decomposition, "tensor", "Linear")
+        tree = rebuild_tree(decomposition, keep)
+        assert ast.dump(ast.parse(rebuild_source(decomposition, keep))) == ast.dump(
+            ast.parse(ast.unparse(tree) + "\n") if tree.body else ast.parse("")
+        )
+
+    def test_removed_components_helper(self):
+        decomposition = decompose_module("a = 1\nb = 2\nc = 3\n")
+        keep = _keep_named(decomposition, "b")
+        removed = removed_components(decomposition, keep)
+        assert [c.name for c in removed] == ["a", "c"]
+
+
+@given(
+    st.sets(
+        st.sampled_from(["alpha", "beta", "gamma", "delta", "omega"]), max_size=5
+    )
+)
+def test_rebuild_keeps_exactly_the_requested_attributes(kept_names):
+    """Property: the rebuilt module binds exactly pinned + kept names."""
+    names = ["alpha", "beta", "gamma", "delta", "omega"]
+    source = "\n".join(f"{n} = {i}" for i, n in enumerate(names)) + "\n"
+    decomposition = decompose_module(source)
+    keep = [c for c in decomposition.components if c.name in kept_names]
+    rebuilt = rebuild_source(decomposition, keep)
+    namespace: dict = {}
+    exec(rebuilt, namespace)  # noqa: S102 - controlled test input
+    bound = {k for k in namespace if not k.startswith("__")}
+    assert bound == kept_names
+
+
+# -- generated-module roundtrip properties ---------------------------------
+
+_MODULE_STATEMENTS = st.lists(
+    st.sampled_from(
+        [
+            ("import", "import os"),
+            ("import", "import json as j"),
+            ("from", "from collections import OrderedDict, defaultdict"),
+            ("from", "from textwrap import dedent"),
+            ("def", "def helper(x):\n    return x"),
+            ("class", "class Widget:\n    pass"),
+            ("assign", "LIMIT = 42"),
+            ("assign", "NAMES = ['a', 'b']"),
+            ("pinned", '"""module docstring"""'),
+            ("pinned", "try:\n    import fast_path\nexcept ImportError:\n    fast_path = None"),
+        ]
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+@given(_MODULE_STATEMENTS, st.data())
+def test_generated_module_roundtrip(statements, data):
+    """Property: for any module shape, rebuilding with a random kept subset
+    yields valid Python whose removable components are exactly the kept
+    ones, and keeping everything is semantically identity."""
+    source = "\n".join(stmt for _, stmt in statements) + "\n"
+    decomposition = decompose_module(source)
+
+    # keeping everything reproduces the same component list
+    full = rebuild_source(decomposition, decomposition.components)
+    assert decompose_module(full).attribute_names == decomposition.attribute_names
+
+    keep = data.draw(
+        st.sets(st.sampled_from(decomposition.components))
+        if decomposition.components
+        else st.just(set())
+    )
+    rebuilt = rebuild_source(decomposition, list(keep))
+    tree = ast.parse(rebuilt)  # always valid Python
+    rebuilt_names = decompose_module(rebuilt).attribute_names
+    assert sorted(rebuilt_names) == sorted(c.name for c in keep)
+    # pinned statements survive any removal
+    pinned_count = len(decomposition.pinned_statements)
+    surviving_pinned = len(decompose_module(rebuilt).pinned_statements)
+    assert surviving_pinned == pinned_count

@@ -1,0 +1,76 @@
+"""Tests for the conservative call-graph analyzer (PyCG replacement)."""
+
+from __future__ import annotations
+
+from repro.core.callgraph import build_bundle_call_graph, build_call_graph
+
+
+class TestAttributeAccess:
+    def test_chained_attribute_marks_each_link(self):
+        graph = build_call_graph("import torch\nx = torch.nn.Linear(2, 1)\n")
+        assert "nn" in graph.accessed_attributes("torch")
+        assert "Linear" in graph.accessed_attributes("torch.nn")
+
+    def test_used_from_import_is_marked(self):
+        graph = build_call_graph("from torch.nn import Linear\nm = Linear(2, 1)\n")
+        assert "Linear" in graph.accessed_attributes("torch.nn")
+
+    def test_unused_from_import_is_not_marked(self):
+        """The key debloating opportunity: imported but never used."""
+        graph = build_call_graph("from torch.nn import Linear, MSELoss\nm = Linear(1)\n")
+        assert "MSELoss" not in graph.accessed_attributes("torch.nn")
+
+    def test_alias_resolution(self):
+        source = "import torch\nnn = torch.nn\nlayer = nn.Conv2d(1, 2, 3)\n"
+        graph = build_call_graph(source)
+        assert "Conv2d" in graph.accessed_attributes("torch.nn")
+
+    def test_import_alias(self):
+        graph = build_call_graph("import numpy as np\nnp.zeros(3)\n")
+        assert "zeros" in graph.accessed_attributes("numpy")
+
+    def test_constant_getattr_is_recognised(self):
+        graph = build_call_graph('import m\nf = getattr(m, "helper")\n')
+        assert "helper" in graph.accessed_attributes("m")
+
+    def test_dynamic_getattr_is_invisible(self):
+        """Non-constant getattr cannot be analysed — DD is the safety net."""
+        graph = build_call_graph('import m\nf = getattr(m, "hel" + "per")\n')
+        assert "helper" not in graph.accessed_attributes("m")
+
+    def test_star_import_poisons_module(self):
+        graph = build_call_graph("from big import *\n")
+        assert graph.protects_everything("big")
+
+    def test_access_inside_function_bodies(self):
+        source = (
+            "import torch\n"
+            "def handler(event, context):\n"
+            "    return torch.sigmoid(event)\n"
+        )
+        graph = build_call_graph(source)
+        assert "sigmoid" in graph.accessed_attributes("torch")
+
+    def test_transitive_alias_chain(self):
+        source = "import a\nb = a.x\nc = b.y\nc.z\n"
+        graph = build_call_graph(source)
+        assert "z" in graph.accessed_attributes("a.x.y")
+
+    def test_merge_combines_graphs(self):
+        g1 = build_call_graph("import m\nm.a\n")
+        g2 = build_call_graph("import m\nm.b\nfrom q import *\n")
+        g1.merge(g2)
+        assert g1.accessed_attributes("m") == {"a", "b"}
+        assert g1.protects_everything("q")
+
+
+class TestBundleGraph:
+    def test_library_internal_usage_is_protected(self, toy_app):
+        """torch/__init__ re-exports from torch.nn; the handler uses torch.nn
+        via the re-exported Linear, so nn's Linear must be protected."""
+        graph = build_bundle_call_graph(toy_app)
+        # handler accesses torch.nn.Linear through the attribute chain
+        assert "nn" in graph.accessed_attributes("torch")
+        assert "Linear" in graph.accessed_attributes("torch.nn")
+        # nothing marks SGD as used anywhere in the program
+        assert "SGD" not in graph.accessed_attributes("torch")

@@ -1,0 +1,138 @@
+"""Tests for marginal monetary cost (Eq. 2) and module ranking."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.cost_model import (
+    ModuleProfile,
+    ProfileReport,
+    ScoringMethod,
+    marginal_monetary_cost,
+    rank_modules,
+    score_module,
+)
+from repro.errors import AnalysisError
+
+
+def _profile(name, t, m):
+    return ModuleProfile(module=name, import_time_s=t, memory_mb=m)
+
+
+def _report(*profiles):
+    return ProfileReport(
+        profiles=list(profiles),
+        total_time_s=sum(p.import_time_s for p in profiles),
+        total_memory_mb=sum(p.memory_mb for p in profiles),
+    )
+
+
+class TestEquation2:
+    def test_removing_everything_recovers_full_product(self):
+        assert marginal_monetary_cost(2.0, 10.0, 2.0, 10.0) == pytest.approx(20.0)
+
+    def test_removing_nothing_is_free(self):
+        assert marginal_monetary_cost(0.0, 0.0, 5.0, 100.0) == 0.0
+
+    def test_paper_pathology_time_only_module(self):
+        """A slow but memory-free module scores lower than a balanced one."""
+        T, M = 10.0, 100.0
+        slow_no_mem = marginal_monetary_cost(5.0, 0.0, T, M)
+        balanced = marginal_monetary_cost(3.0, 40.0, T, M)
+        assert balanced > slow_no_mem
+
+    def test_negative_marginals_rejected(self):
+        with pytest.raises(AnalysisError):
+            marginal_monetary_cost(-1.0, 0.0, 1.0, 1.0)
+
+    @given(
+        st.floats(min_value=0, max_value=100),
+        st.floats(min_value=0, max_value=1000),
+        st.floats(min_value=0, max_value=100),
+        st.floats(min_value=0, max_value=1000),
+    )
+    def test_bounded_by_full_product(self, t, m, extra_t, extra_m):
+        T, M = t + extra_t, m + extra_m
+        cost = marginal_monetary_cost(t, m, T, M)
+        assert cost <= T * M + 1e-9
+        assert cost >= 0.0 or (t == 0 or m == 0)  # cross terms can't go negative here
+
+    @given(
+        st.floats(min_value=0.01, max_value=10),
+        st.floats(min_value=0.01, max_value=10),
+        st.floats(min_value=0.01, max_value=100),
+        st.floats(min_value=0.01, max_value=100),
+    )
+    def test_monotone_in_time(self, t1, dt, m, extra):
+        """More marginal time can only increase marginal monetary cost."""
+        T = t1 + dt + extra
+        M = m + extra
+        low = marginal_monetary_cost(t1, m, T, M)
+        high = marginal_monetary_cost(t1 + dt, m, T, M)
+        assert high >= low - 1e-9
+
+
+class TestRanking:
+    def test_combined_ranks_by_eq2(self):
+        report = _report(
+            _profile("slow_no_mem", 5.0, 0.1),
+            _profile("balanced", 3.0, 40.0),
+            _profile("tiny", 0.1, 0.1),
+        )
+        ranked = rank_modules(report, method=ScoringMethod.COMBINED)
+        assert ranked[0].module == "balanced"
+        assert ranked[-1].module == "tiny"
+
+    def test_time_method(self):
+        report = _report(_profile("a", 5.0, 0.0), _profile("b", 1.0, 99.0))
+        assert rank_modules(report, method=ScoringMethod.TIME)[0].module == "a"
+
+    def test_memory_method(self):
+        report = _report(_profile("a", 5.0, 0.0), _profile("b", 1.0, 99.0))
+        assert rank_modules(report, method=ScoringMethod.MEMORY)[0].module == "b"
+
+    def test_random_is_seed_deterministic(self):
+        report = _report(*[_profile(f"m{i}", i, i) for i in range(10)])
+        one = rank_modules(report, method=ScoringMethod.RANDOM, seed=7)
+        two = rank_modules(report, method=ScoringMethod.RANDOM, seed=7)
+        other = rank_modules(report, method=ScoringMethod.RANDOM, seed=8)
+        assert [p.module for p in one] == [p.module for p in two]
+        assert [p.module for p in one] != [p.module for p in other]
+
+    def test_top_k_truncation(self):
+        report = _report(*[_profile(f"m{i}", i, i) for i in range(10)])
+        assert len(rank_modules(report, k=3)) == 3
+        assert len(rank_modules(report, k=None)) == 10
+        assert rank_modules(report, k=0) == []
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(AnalysisError):
+            rank_modules(_report(_profile("a", 1, 1)), k=-1)
+
+    def test_ties_break_by_name(self):
+        report = _report(_profile("zeta", 1.0, 1.0), _profile("alpha", 1.0, 1.0))
+        ranked = rank_modules(report, method=ScoringMethod.TIME)
+        assert [p.module for p in ranked] == ["alpha", "zeta"]
+
+    def test_random_requires_rng(self):
+        report = _report(_profile("a", 1, 1))
+        with pytest.raises(AnalysisError):
+            score_module(report.profiles[0], ScoringMethod.RANDOM, report, None)
+
+
+class TestProfileReport:
+    def test_lookup(self):
+        report = _report(_profile("a", 1, 2))
+        assert report.get("a").memory_mb == 2
+        assert report.get("missing") is None
+
+    def test_marginal_cost_uses_totals(self):
+        report = ProfileReport(
+            profiles=[_profile("a", 1.0, 10.0)],
+            total_time_s=4.0,
+            total_memory_mb=40.0,
+        )
+        expected = 4.0 * 40.0 - 3.0 * 30.0
+        assert report.marginal_cost(report.profiles[0]) == pytest.approx(expected)

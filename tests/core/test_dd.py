@@ -1,0 +1,140 @@
+"""Tests for the Delta Debugging algorithm (Algorithm 1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dd import DeltaDebugger, ddmin_keep, split_partitions
+
+
+class TestSplitPartitions:
+    def test_even_split(self):
+        assert split_partitions([1, 2, 3, 4], 2) == [[1, 2], [3, 4]]
+
+    def test_uneven_split_front_loads_extras(self):
+        assert split_partitions([1, 2, 3, 4, 5], 2) == [[1, 2, 3], [4, 5]]
+
+    def test_singleton_partitions(self):
+        assert split_partitions([1, 2, 3], 3) == [[1], [2], [3]]
+
+    def test_single_partition(self):
+        assert split_partitions([1, 2, 3], 1) == [[1, 2, 3]]
+
+    def test_rejects_zero_partitions(self):
+        with pytest.raises(ValueError):
+            split_partitions([1], 0)
+
+    def test_rejects_more_partitions_than_items(self):
+        with pytest.raises(ValueError):
+            split_partitions([1, 2], 3)
+
+    @given(st.lists(st.integers(), min_size=1, max_size=50), st.data())
+    def test_partition_invariants(self, items, data):
+        n = data.draw(st.integers(min_value=1, max_value=len(items)))
+        parts = split_partitions(items, n)
+        assert len(parts) == n
+        assert [x for part in parts for x in part] == items
+        sizes = [len(p) for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestDeltaDebugger:
+    def test_paper_example_removes_sgd_and_mseloss(self):
+        """The Figure 6 walkthrough: 4 of 6 torch attributes are needed."""
+        needed = {"tensor", "add", "view", "Linear"}
+        outcome = ddmin_keep(
+            ["tensor", "add", "view", "Linear", "SGD", "MSELoss"],
+            lambda cand: needed.issubset(set(cand)),
+        )
+        assert set(outcome.minimal) == needed
+
+    def test_nothing_needed_minimizes_to_empty(self):
+        outcome = ddmin_keep(list(range(20)), lambda cand: True)
+        assert outcome.minimal == []
+        assert outcome.oracle_calls <= 3  # initial + empty probe
+
+    def test_everything_needed_keeps_everything(self):
+        components = list(range(8))
+        outcome = ddmin_keep(
+            components, lambda cand: set(cand) == set(components)
+        )
+        assert sorted(outcome.minimal) == components
+
+    def test_single_needed_component(self):
+        outcome = ddmin_keep(list(range(16)), lambda cand: 7 in cand)
+        assert outcome.minimal == [7]
+
+    def test_result_is_one_minimal(self):
+        """Removing any single component from the result must fail."""
+        needed = {1, 4, 9}
+        oracle = lambda cand: needed.issubset(set(cand))
+        outcome = ddmin_keep(list(range(12)), oracle)
+        assert oracle(outcome.minimal)
+        for drop in outcome.minimal:
+            reduced = [c for c in outcome.minimal if c != drop]
+            assert not oracle(reduced)
+
+    def test_rejects_failing_baseline(self):
+        with pytest.raises(ValueError):
+            ddmin_keep([1, 2, 3], lambda cand: False)
+
+    def test_cache_prevents_duplicate_oracle_calls(self):
+        seen: list[frozenset] = []
+
+        def oracle(cand):
+            key = frozenset(cand)
+            assert key not in seen, f"oracle re-queried {sorted(key)}"
+            seen.append(key)
+            return {0, 5}.issubset(set(cand))
+
+        ddmin_keep(list(range(10)), oracle)
+
+    def test_trace_records_every_query(self):
+        outcome = ddmin_keep(
+            list(range(6)), lambda cand: 0 in cand, record_trace=True
+        )
+        assert outcome.trace
+        assert outcome.trace[0].kind == "initial"
+        assert all(step.step == i + 1 for i, step in enumerate(outcome.trace))
+        # fresh queries in the trace correspond to distinct oracle calls
+        fresh = [s for s in outcome.trace if not s.cached]
+        assert len(fresh) == outcome.oracle_calls
+
+    def test_oracle_budget_stops_search(self):
+        calls = 0
+
+        def oracle(cand):
+            nonlocal calls
+            calls += 1
+            return {0, 9}.issubset(set(cand))
+
+        outcome = ddmin_keep(list(range(32)), oracle, max_oracle_calls=5)
+        assert calls <= 5
+        # partial result still satisfies the oracle (never commits a failure)
+        assert {0, 9}.issubset(set(outcome.minimal))
+
+    def test_check_initial_can_be_disabled(self):
+        debugger = DeltaDebugger(lambda cand: len(cand) == 0, check_initial=False)
+        outcome = debugger.minimize([1, 2, 3])
+        assert outcome.minimal == []
+
+    def test_preserves_component_order(self):
+        needed = {2, 5, 11}
+        outcome = ddmin_keep(list(range(16)), lambda c: needed.issubset(set(c)))
+        assert outcome.minimal == sorted(outcome.minimal)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=40),
+        st.sets(st.integers(min_value=0, max_value=39)),
+    )
+    def test_finds_exact_needed_set_for_monotone_oracles(self, size, needed_raw):
+        """For subset-monotone oracles DD must find exactly the needed set."""
+        components = list(range(size))
+        needed = {n for n in needed_raw if n < size}
+        outcome = ddmin_keep(
+            components, lambda cand: needed.issubset(set(cand))
+        )
+        assert set(outcome.minimal) == needed

@@ -1,0 +1,127 @@
+"""Tests for the per-module DD debloater (Sections 5.3, 6.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.debloater import ModuleDebloater, backup_path, restore_module
+from repro.core.oracle import OracleRunner
+from repro.errors import DebloatError
+
+
+@pytest.fixture()
+def working(toy_app, tmp_path):
+    return toy_app.clone(tmp_path / "working")
+
+
+@pytest.fixture()
+def runner(toy_app):
+    return OracleRunner(toy_app)
+
+
+class TestModuleDebloat:
+    def test_debloats_toy_torch_root(self, working, runner):
+        debloater = ModuleDebloater(working, runner)
+        result = debloater.debloat_module("torch")
+        assert not result.skipped
+        # Without call-graph guidance either torch.nn re-export alias is a
+        # valid 1-minimal survivor (each triggers the nn import); SGD and
+        # exactly one of Linear/MSELoss must go.
+        assert "SGD" in result.removed
+        assert len(set(result.removed) & {"Linear", "MSELoss"}) == 1
+        assert result.attributes_before == 6
+        assert result.attributes_after == 4
+        source = working.module_file("torch").read_text()
+        assert "SGD" not in source
+        assert "torch.optim" not in source
+        assert runner.check(working).passed
+
+    def test_oracle_still_passes_after_debloat(self, working, runner):
+        ModuleDebloater(working, runner).debloat_module("torch")
+        assert runner.check(working).passed
+
+    def test_protected_attributes_survive(self, working, runner):
+        debloater = ModuleDebloater(working, runner)
+        result = debloater.debloat_module("torch", protected={"SGD"})
+        assert "SGD" in result.protected
+        assert "SGD" not in result.removed
+        assert "from torch.optim import SGD" in working.module_file("torch").read_text()
+
+    def test_all_protected_skips_module(self, working, runner):
+        debloater = ModuleDebloater(working, runner)
+        result = debloater.debloat_module(
+            "torch", protected={"tensor", "add", "view", "Linear", "MSELoss", "SGD"}
+        )
+        assert result.skipped
+        assert result.oracle_calls == 0
+
+    def test_backup_removed_after_success(self, working, runner):
+        ModuleDebloater(working, runner).debloat_module("torch")
+        assert not backup_path(working.module_file("torch")).exists()
+
+    def test_file_restored_when_dd_raises(self, working, runner, monkeypatch):
+        original = working.module_file("torch").read_text()
+        debloater = ModuleDebloater(working, runner)
+
+        calls = 0
+
+        def exploding_check(bundle):
+            nonlocal calls
+            calls += 1
+            if calls > 2:
+                raise RuntimeError("infrastructure failure")
+            return runner.__class__.check(runner, bundle)
+
+        monkeypatch.setattr(runner, "check", exploding_check)
+        with pytest.raises(RuntimeError):
+            debloater.debloat_module("torch")
+        assert working.module_file("torch").read_text() == original
+        assert not backup_path(working.module_file("torch")).exists()
+
+    def test_broken_working_bundle_raises_debloat_error(self, working, runner):
+        working.handler_path.write_text("def handler(e, c):\n    return 'wrong'\n")
+        with pytest.raises(DebloatError):
+            ModuleDebloater(working, runner).debloat_module("torch")
+
+    def test_debloat_time_accumulates_virtual_seconds(self, working, runner):
+        result = ModuleDebloater(working, runner).debloat_module("torch")
+        # every oracle call re-imports the app (~0.5+s virtual each)
+        assert result.debloat_time_s > result.oracle_calls * 0.3
+
+    def test_trace_recording(self, working, runner):
+        debloater = ModuleDebloater(working, runner, record_trace=True)
+        result = debloater.debloat_module("torch")
+        assert result.trace
+        fresh = [s for s in result.trace if not s.cached]
+        assert len(fresh) == result.oracle_calls
+
+    def test_oracle_budget_respected(self, working, runner):
+        debloater = ModuleDebloater(working, runner, max_oracle_calls_per_module=2)
+        result = debloater.debloat_module("torch")
+        assert result.oracle_calls <= 2
+        assert runner.check(working).passed  # never commits a failing config
+
+    def test_submodule_debloating(self, working, runner):
+        """After debloating the root, the torch.nn class that is no longer
+        re-exported (nor used by the handler) becomes removable."""
+        debloater = ModuleDebloater(working, runner)
+        root_result = debloater.debloat_module("torch")
+        surviving = set(root_result.kept) & {"Linear", "MSELoss"}
+        result = debloater.debloat_module("torch.nn", protected={"Linear"})
+        removable_class = {"Linear", "MSELoss"} - surviving - {"Linear"}
+        assert set(result.removed) >= removable_class
+        assert runner.check(working).passed
+
+
+class TestRestoreModule:
+    def test_restore_round_trip(self, working):
+        file = working.module_file("torch")
+        original = file.read_text()
+        backup_path(file).write_text(original)
+        file.write_text("corrupted = True\n")
+        assert restore_module(file)
+        assert file.read_text() == original
+        assert not backup_path(file).exists()
+
+    def test_restore_without_backup_is_noop(self, working):
+        assert not restore_module(working.module_file("torch"))

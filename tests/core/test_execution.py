@@ -1,0 +1,139 @@
+"""Tests for isolated bundle execution (module isolation, Section 7)."""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.core.execution import LoadedApp, isolated_imports, run_once
+from repro.errors import InvocationError
+
+
+class TestIsolatedImports:
+    def test_new_modules_are_evicted(self, toy_app):
+        with isolated_imports([str(toy_app.site_packages), str(toy_app.root)]):
+            import handler  # noqa: F401
+
+            assert "handler" in sys.modules
+            assert "torch" in sys.modules
+        assert "handler" not in sys.modules
+        assert "torch" not in sys.modules
+
+    def test_preexisting_modules_survive(self, toy_app):
+        import json  # ensure present
+
+        with isolated_imports([str(toy_app.root)]):
+            pass
+        assert "json" in sys.modules
+
+    def test_sys_path_restored(self, toy_app):
+        before = list(sys.path)
+        with isolated_imports([str(toy_app.root)]):
+            assert sys.path[0] == str(toy_app.root)
+        assert sys.path == before
+
+    def test_introduced_modules_are_reported(self, toy_app):
+        with isolated_imports(
+            [str(toy_app.site_packages), str(toy_app.root)]
+        ) as introduced:
+            import handler  # noqa: F401
+        assert "handler" in introduced
+        assert "torch.nn" in introduced
+
+
+class TestLoadedApp:
+    def test_cold_load_measures_init(self, toy_app):
+        app = LoadedApp(toy_app)
+        app.load()
+        assert app.loaded
+        # toy torch: body 0.10 + nn 0.15 + optim 0.25 + attrs
+        assert app.init_time_s == pytest.approx(0.82, abs=0.01)
+        assert app.init_memory_mb == pytest.approx(35.0, abs=0.5)
+        app.close()
+
+    def test_warm_invocations_share_state(self, toy_app):
+        app = LoadedApp(toy_app)
+        app.load()
+        out1 = app.invoke({"x": [1.0, 2.0], "y": [3.0, 4.0]})
+        out2 = app.invoke({"x": [1.0, 2.0], "y": [3.0, 4.0]})
+        assert out1.ok and out2.ok
+        assert out1.value == out2.value
+        app.close()
+
+    def test_two_instances_are_independent(self, toy_app):
+        a, b = LoadedApp(toy_app), LoadedApp(toy_app)
+        a.load()
+        b.load()
+        assert a.invoke({"x": [1.0], "y": [2.0]}).value == b.invoke(
+            {"x": [1.0], "y": [2.0]}
+        ).value
+        assert a.meter is not b.meter
+        a.close()
+        b.close()
+
+    def test_stdout_is_captured(self, toy_app):
+        app = LoadedApp(toy_app)
+        app.load()
+        out = app.invoke({"x": [1.0, 2.0], "y": [3.0, 4.0]})
+        assert out.stdout  # Figure 5's handler prints the prediction
+        app.close()
+
+    def test_invoke_before_load_raises(self, toy_app):
+        with pytest.raises(InvocationError):
+            LoadedApp(toy_app).invoke({})
+
+    def test_double_load_raises(self, toy_app):
+        app = LoadedApp(toy_app)
+        app.load()
+        with pytest.raises(InvocationError):
+            app.load()
+        app.close()
+
+    def test_handler_error_is_captured_not_raised(self, toy_app):
+        app = LoadedApp(toy_app)
+        app.load()
+        out = app.invoke({"wrong": "shape"})
+        assert not out.ok
+        assert out.error_type == "KeyError"
+        app.close()
+
+    def test_broken_init_reports_error(self, tmp_path, toy_app):
+        broken = toy_app.clone(tmp_path / "broken")
+        broken.handler_path.write_text("import does_not_exist\n")
+        app = LoadedApp(broken)
+        app.load()
+        assert not app.loaded
+        assert app.init_error_type == "ModuleNotFoundError"
+        with pytest.raises(InvocationError):
+            app.invoke({})
+
+
+class TestRunOnce:
+    def test_full_cold_execution(self, toy_app):
+        result = run_once(toy_app, {"x": [1.0, 2.0], "y": [3.0, 4.0]})
+        assert result.ok
+        assert result.init_time_s > 0
+        assert result.exec_time_s >= 0
+        assert isinstance(result.invocation.value["prediction"], int)
+
+    def test_observable_includes_stdout_value_and_side_effects(self, toy_app):
+        result = run_once(toy_app, {"x": [1.0], "y": [2.0]})
+        observable = result.observable()
+        assert set(observable) == {
+            "value", "stdout", "error_type", "external", "init_external",
+        }
+        assert observable["error_type"] is None
+        assert observable["external"] == []  # the toy app calls no services
+
+    def test_determinism_across_runs(self, toy_app):
+        a = run_once(toy_app, {"x": [1.0], "y": [2.0]})
+        b = run_once(toy_app, {"x": [1.0], "y": [2.0]})
+        assert a.observable() == b.observable()
+
+    def test_init_error_observable(self, tmp_path, toy_app):
+        broken = toy_app.clone(tmp_path / "broken2")
+        broken.handler_path.write_text("raise RuntimeError('nope')\n")
+        result = run_once(broken, {})
+        assert not result.ok
+        assert result.observable() == {"init_error_type": "RuntimeError"}

@@ -1,0 +1,124 @@
+"""Tests for the external-call interceptor (Section 5.3).
+
+"Serverless state and side effects are comprised of external calls to
+remote services... validating these types of functions involves
+intercepting such operations and checking for equivalence."
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bundle import AppBundle, BundleManifest
+from repro.core.execution import run_once
+from repro.core.oracle import OracleRunner
+from repro.vm import Meter, external_call, metered
+from repro.workloads.synthapi import synth_function
+from repro.workloads.synthlib import LibrarySpec, ModuleSpec, func, generate_library
+
+
+class TestVmChannel:
+    def test_external_calls_recorded_on_active_meters(self):
+        meter = Meter()
+        with metered(meter):
+            external_call("s3", "put(bucket, key)")
+        assert len(meter.external_calls) == 1
+        assert meter.external_calls[0].service == "s3"
+
+    def test_external_synth_function_records(self):
+        fn = synth_function("synth_svc", "upload", external=True)
+        meter = Meter()
+        with metered(meter):
+            fn("bucket", key="photo.png")
+        assert len(meter.external_calls) == 1
+        assert meter.external_calls[0].service == "synth_svc.upload"
+        assert "photo.png" in meter.external_calls[0].payload
+
+    def test_non_external_function_records_nothing(self):
+        fn = synth_function("synth_math", "add")
+        meter = Meter()
+        with metered(meter):
+            fn(1, 2)
+        assert meter.external_calls == []
+
+    def test_payload_is_deterministic(self):
+        fn = synth_function("synth_svc", "upload", external=True)
+        payloads = []
+        for _ in range(2):
+            meter = Meter()
+            with metered(meter):
+                fn("bucket", key="k")
+            payloads.append(meter.external_calls[0].payload)
+        assert payloads[0] == payloads[1]
+
+
+@pytest.fixture()
+def external_app(tmp_path):
+    """An app whose only *behavioural* difference is an external call.
+
+    ``notify`` uploads a heartbeat during initialization but contributes
+    nothing to the handler's output — exactly the kind of side effect a
+    stdout-only oracle would let DD remove.
+    """
+    spec = LibrarySpec(
+        name="synth_svc",
+        modules=(
+            ModuleSpec(
+                name="",
+                body_time_s=0.05,
+                attributes=(
+                    func("notify", time_s=0.2, memory_mb=4.0, external=True),
+                    func("compute"),
+                ),
+            ),
+        ),
+    )
+    root = tmp_path / "app"
+    (root / "site-packages").mkdir(parents=True)
+    generate_library(spec, root / "site-packages")
+    (root / "handler.py").write_text(
+        "import synth_svc\n"
+        "_heartbeat = synth_svc.notify('init')\n"
+        "def handler(event, context):\n"
+        "    return {'result': synth_svc.compute(event['x']) % 10**6}\n"
+    )
+    (root / "oracle.json").write_text(json.dumps([{"event": {"x": 1}}]))
+    bundle = AppBundle(root)
+    bundle.write_manifest(BundleManifest(name="external-app", image_size_mb=1))
+    return bundle
+
+
+class TestOracleEquivalence:
+    def test_external_calls_appear_in_observables(self, external_app):
+        result = run_once(external_app, {"x": 1})
+        assert result.ok
+        assert any(
+            "synth_svc.notify" in call[0] for call in result.observable()["init_external"]
+        )
+
+    def test_dropping_an_external_call_fails_the_oracle(
+        self, external_app, tmp_path
+    ):
+        """Removing the init-time notify changes neither stdout nor the
+        return value — only the interceptor catches it."""
+        runner = OracleRunner(external_app)
+        mutated = external_app.clone(tmp_path / "mutated")
+        handler = mutated.handler_source().replace(
+            "_heartbeat = synth_svc.notify('init')\n", ""
+        )
+        mutated.handler_path.write_text(handler)
+        result = runner.check(mutated)
+        assert not result.passed
+
+    def test_dd_keeps_attributes_needed_only_for_side_effects(
+        self, external_app, tmp_path
+    ):
+        """λ-trim must keep ``notify`` even though no output depends on it."""
+        from repro.core.pipeline import LambdaTrim
+
+        report = LambdaTrim().run(external_app, tmp_path / "trimmed")
+        source = report.output.module_file("synth_svc").read_text()
+        assert "notify" in source
+        assert OracleRunner(external_app).check(report.output).passed

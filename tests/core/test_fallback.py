@@ -1,0 +1,84 @@
+"""Tests for the fallback wrapper (Section 5.4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.execution import InvocationOutput
+from repro.core.fallback import SETUP_OVERHEAD_S, FallbackWrapper
+from repro.vm import Meter, metered
+
+
+def _ok(value):
+    return lambda e, c: InvocationOutput(value=value, stdout="", exec_time_s=0.01)
+
+
+def _fails(error_type):
+    return lambda e, c: InvocationOutput(
+        value=None,
+        stdout="",
+        exec_time_s=0.0,
+        error="boom",
+        error_type=error_type,
+    )
+
+
+class TestFallbackWrapper:
+    def test_passthrough_on_success(self):
+        wrapper = FallbackWrapper(_ok("primary"), _ok("original"))
+        outcome = wrapper.invoke({}, None)
+        assert outcome.value == "primary"
+        assert not outcome.used_fallback
+        assert outcome.notification is None
+        assert wrapper.fallbacks_triggered == 0
+
+    @pytest.mark.parametrize("error", ["AttributeError", "NameError", "ImportError"])
+    def test_trigger_errors_invoke_original(self, error):
+        wrapper = FallbackWrapper(_fails(error), _ok("recovered"))
+        outcome = wrapper.invoke({"bad": True}, None)
+        assert outcome.used_fallback
+        assert outcome.value == "recovered"
+        assert error in outcome.notification
+
+    def test_non_trigger_errors_pass_through(self):
+        """Application bugs (KeyError etc.) are NOT λ-trim's fault; the
+        wrapper must not mask them by re-running the original."""
+        wrapper = FallbackWrapper(_fails("KeyError"), _ok("recovered"))
+        outcome = wrapper.invoke({}, None)
+        assert not outcome.used_fallback
+        assert outcome.output.error_type == "KeyError"
+
+    def test_setup_overhead_charged_on_trigger(self):
+        wrapper = FallbackWrapper(_fails("AttributeError"), _ok("x"))
+        meter = Meter()
+        with metered(meter):
+            wrapper.invoke({}, None)
+        setup_events = meter.events_for("fallback:setup")
+        assert len(setup_events) == 1
+        assert setup_events[0].time_s == pytest.approx(SETUP_OVERHEAD_S)
+
+    def test_no_overhead_during_normal_operation(self):
+        wrapper = FallbackWrapper(_ok("fine"), _ok("x"))
+        meter = Meter()
+        with metered(meter):
+            wrapper.invoke({}, None)
+        assert meter.events_for("fallback:setup") == []
+
+    def test_counter_accumulates(self):
+        wrapper = FallbackWrapper(_fails("NameError"), _ok("x"))
+        wrapper.invoke({}, None)
+        wrapper.invoke({}, None)
+        assert wrapper.fallbacks_triggered == 2
+
+    def test_callable_alias(self):
+        wrapper = FallbackWrapper(_ok("v"), _ok("w"))
+        assert wrapper({}, None).value == "v"
+
+    def test_custom_setup_overhead(self):
+        wrapper = FallbackWrapper(
+            _fails("AttributeError"), _ok("x"), setup_overhead_s=0.2
+        )
+        meter = Meter()
+        with metered(meter):
+            wrapper.invoke({}, None)
+        assert meter.time_s == pytest.approx(0.2)

@@ -1,0 +1,110 @@
+"""Tests for the oracle fuzzer (Section 5.4's hardening workflow)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fuzzer import OracleFuzzer, mine_event_schema
+from repro.core.incremental import IncrementalTrim, TrimLog
+from repro.core.oracle import OracleSpec
+from repro.core.pipeline import LambdaTrim, TrimConfig
+from repro.workloads.apps import build_app
+
+
+class TestMineEventSchema:
+    def test_subscript_keys(self):
+        schema = mine_event_schema("def handler(event, context):\n    return event['x']\n")
+        assert "x" in schema
+
+    def test_get_with_default(self):
+        schema = mine_event_schema(
+            "def handler(event, context):\n    return event.get('n', 3)\n"
+        )
+        assert schema["n"] == [3]
+
+    def test_comparison_constants_mined(self):
+        source = (
+            "def handler(event, context):\n"
+            "    if event.get('mode') == 'interactive':\n"
+            "        return 1\n"
+            "    return 0\n"
+        )
+        schema = mine_event_schema(source)
+        assert "interactive" in schema["mode"]
+
+    def test_truthy_branch_mined(self):
+        source = (
+            "def handler(event, context):\n"
+            "    if event.get('explain'):\n"
+            "        return 1\n"
+            "    return 0\n"
+        )
+        schema = mine_event_schema(source)
+        assert True in schema["explain"]
+
+    def test_non_event_names_ignored(self):
+        schema = mine_event_schema(
+            "def handler(event, context):\n    return context['x']\n"
+        )
+        assert schema == {}
+
+
+class TestFuzzCampaign:
+    def test_identical_bundles_fuzz_clean(self, toy_app_session, tmp_path):
+        clone = toy_app_session.clone(tmp_path / "clone")
+        report = OracleFuzzer(toy_app_session, clone).fuzz(budget_per_case=10)
+        assert report.clean
+        assert report.executed > 0
+
+    def test_finds_the_untested_branch(self, tmp_path):
+        """dna-visualization's 'interactive' branch is not in the oracle;
+        λ-trim removes the attribute it needs; the fuzzer must find it."""
+        bundle = build_app("dna-visualization", tmp_path / "dna")
+        trimmed = LambdaTrim(TrimConfig(max_oracle_calls_per_module=300)).run(
+            bundle, tmp_path / "trim"
+        )
+        report = OracleFuzzer(bundle, trimmed.output).fuzz(budget_per_case=15)
+        assert not report.clean
+        assert any(f.triggers_fallback for f in report.findings)
+        assert any(
+            f.event.get("mode") == "interactive" for f in report.findings
+        )
+
+    def test_fuzz_then_retrim_converges(self, tmp_path):
+        """The full Section 5.4 loop: fuzz -> extend oracle -> re-run λ-trim
+        (seeded) -> fuzz again -> clean."""
+        bundle = build_app("dna-visualization", tmp_path / "dna2")
+        first = LambdaTrim(TrimConfig(max_oracle_calls_per_module=300)).run(
+            bundle, tmp_path / "trim1"
+        )
+        report = OracleFuzzer(bundle, first.output).fuzz(budget_per_case=15)
+        assert not report.clean
+
+        spec = OracleSpec.from_bundle(bundle)
+        for case in report.suggested_cases():
+            spec.add_case(case)
+        spec.save(bundle.oracle_path)
+
+        second = IncrementalTrim(
+            TrimConfig(max_oracle_calls_per_module=300),
+            log=TrimLog.from_report(first),
+        ).run(bundle, tmp_path / "trim2")
+        rerun = OracleFuzzer(bundle, second.output, spec=spec).fuzz(
+            budget_per_case=15
+        )
+        assert rerun.clean
+
+    def test_deterministic_given_seed(self, toy_app_session, tmp_path):
+        clone = toy_app_session.clone(tmp_path / "c2")
+        a = OracleFuzzer(toy_app_session, clone, seed=7).fuzz(budget_per_case=8)
+        b = OracleFuzzer(toy_app_session, clone, seed=7).fuzz(budget_per_case=8)
+        assert a.executed == b.executed
+
+    def test_suggested_cases_dedupe(self, tmp_path):
+        bundle = build_app("dna-visualization", tmp_path / "dna3")
+        trimmed = LambdaTrim(TrimConfig(max_oracle_calls_per_module=300)).run(
+            bundle, tmp_path / "trim3"
+        )
+        report = OracleFuzzer(bundle, trimmed.output).fuzz(budget_per_case=15)
+        events = [repr(c.event) for c in report.suggested_cases()]
+        assert len(events) == len(set(events))

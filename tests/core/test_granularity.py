@@ -1,0 +1,208 @@
+"""Tests for attribute-granularity decomposition (Section 6.1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.granularity import (
+    KIND_ASSIGN,
+    KIND_CLASS,
+    KIND_DEF,
+    KIND_FROM_IMPORT,
+    KIND_IMPORT,
+    decompose_module,
+    is_magic_name,
+)
+from repro.errors import DebloatError
+
+SAMPLE = '''\
+"""Docstring is pinned."""
+import os
+import numpy as np, sys
+from torch.nn import Linear, MSELoss
+from torch import optim as opt
+
+__version__ = "1.0"
+
+def helper(x):
+    return x
+
+class Model:
+    pass
+
+TABLE = {"a": 1}
+a, b = 1, 2
+x += 1 if False else 0
+'''
+
+
+class TestDecomposition:
+    def test_component_names_and_kinds(self):
+        decomposition = decompose_module(SAMPLE.replace("x += 1 if False else 0", ""))
+        by_name = {c.name: c.kind for c in decomposition.components}
+        assert by_name == {
+            "os": KIND_IMPORT,
+            "np": KIND_IMPORT,
+            "sys": KIND_IMPORT,
+            "Linear": KIND_FROM_IMPORT,
+            "MSELoss": KIND_FROM_IMPORT,
+            "opt": KIND_FROM_IMPORT,
+            "helper": KIND_DEF,
+            "Model": KIND_CLASS,
+            "TABLE": KIND_ASSIGN,
+        }
+
+    def test_from_import_names_are_separate_components(self):
+        decomposition = decompose_module("from m import a, b, c\n")
+        assert decomposition.attribute_count == 3
+        indices = {c.alias_index for c in decomposition.components}
+        assert indices == {0, 1, 2}
+
+    def test_docstring_is_pinned(self):
+        decomposition = decompose_module('"""doc"""\nx = 1\n')
+        assert decomposition.pinned_statements == [0]
+
+    def test_magic_assignments_are_pinned(self):
+        decomposition = decompose_module("__all__ = ['a']\n__version__ = '1'\nx = 1\n")
+        assert decomposition.attribute_names == ["x"]
+
+    def test_magic_import_aliases_are_excluded(self):
+        decomposition = decompose_module("import json as __codec__\nimport os\n")
+        assert decomposition.attribute_names == ["os"]
+
+    def test_dunder_def_is_pinned(self):
+        decomposition = decompose_module("def __getattr__(name):\n    return 1\n")
+        assert decomposition.attribute_count == 0
+
+    def test_star_import_is_pinned(self):
+        decomposition = decompose_module("from m import *\nfrom n import a\n")
+        assert decomposition.attribute_names == ["a"]
+
+    def test_tuple_assignment_is_pinned(self):
+        decomposition = decompose_module("a, b = 1, 2\n")
+        assert decomposition.attribute_count == 0
+
+    def test_augmented_assignment_is_pinned(self):
+        decomposition = decompose_module("x = 1\nx += 1\n")
+        assert decomposition.attribute_names == ["x"]
+
+    def test_annotated_assignment_with_value(self):
+        decomposition = decompose_module("x: int = 1\ny: int\n")
+        assert decomposition.attribute_names == ["x"]  # bare annotation binds nothing
+
+    def test_dotted_import_binds_top_package(self):
+        decomposition = decompose_module("import torch.nn.functional\n")
+        assert decomposition.attribute_names == ["torch"]
+
+    def test_aliased_dotted_import_binds_alias(self):
+        decomposition = decompose_module("import torch.nn as nn\n")
+        assert decomposition.attribute_names == ["nn"]
+
+    def test_relative_from_import_is_removable(self):
+        decomposition = decompose_module("from . import sub1, sub2\n")
+        assert decomposition.attribute_names == ["sub1", "sub2"]
+
+    def test_try_block_is_pinned(self):
+        source = "try:\n    import fast\nexcept ImportError:\n    fast = None\n"
+        decomposition = decompose_module(source)
+        assert decomposition.attribute_count == 0
+        assert decomposition.pinned_statements == [0]
+
+    def test_syntax_error_raises_debloat_error(self):
+        with pytest.raises(DebloatError):
+            decompose_module("def broken(:\n")
+
+    def test_removable_excludes_protected(self):
+        decomposition = decompose_module("a = 1\nb = 2\nc = 3\n")
+        removable = decomposition.removable({"b"})
+        assert [c.name for c in removable] == ["a", "c"]
+
+    def test_components_named(self):
+        decomposition = decompose_module("a = 1\nb = 2\n")
+        assert [c.name for c in decomposition.components_named("b")] == ["b"]
+
+    def test_duplicate_names_stay_distinct_components(self):
+        decomposition = decompose_module("x = 1\nx = 2\n")
+        assert decomposition.attribute_count == 2
+        keys = {c.key for c in decomposition.components}
+        assert len(keys) == 2
+
+
+class TestMagicNames:
+    @pytest.mark.parametrize("name", ["__all__", "__version__", "__init__"])
+    def test_magic(self, name):
+        assert is_magic_name(name)
+
+    @pytest.mark.parametrize("name", ["_private", "public", "__half", "half__"])
+    def test_not_magic(self, name):
+        assert not is_magic_name(name)
+
+
+@given(
+    st.lists(
+        st.sampled_from(["alpha", "beta", "gamma", "delta", "epsilon"]),
+        min_size=1,
+        max_size=5,
+        unique=True,
+    )
+)
+def test_assignment_decomposition_roundtrip(names):
+    """Every simple assignment becomes exactly one component, in order."""
+    source = "\n".join(f"{name} = {i}" for i, name in enumerate(names)) + "\n"
+    decomposition = decompose_module(source)
+    assert decomposition.attribute_names == names
+    assert all(c.kind == KIND_ASSIGN for c in decomposition.components)
+
+
+class TestStatementGranularity:
+    def test_multi_alias_import_collapses(self):
+        from repro.core.granularity import WHOLE_STATEMENT
+
+        decomposition = decompose_module(
+            "from m import a, b, c\n", granularity="statement"
+        )
+        assert decomposition.attribute_count == 1
+        component = decomposition.components[0]
+        assert component.alias_index == WHOLE_STATEMENT
+        assert component.name == "a+b+c"
+
+    def test_single_alias_import_unchanged(self):
+        decomposition = decompose_module("from m import a\n", granularity="statement")
+        assert decomposition.attribute_names == ["a"]
+        assert decomposition.components[0].alias_index == 0
+
+    def test_defs_and_assigns_identical_across_granularities(self):
+        source = "def f():\n    pass\n\nclass C:\n    pass\n\nx = 1\n"
+        attribute = decompose_module(source, granularity="attribute")
+        statement = decompose_module(source, granularity="statement")
+        assert attribute.attribute_names == statement.attribute_names
+
+    def test_unknown_granularity_rejected(self):
+        with pytest.raises(DebloatError):
+            decompose_module("x = 1\n", granularity="token")
+
+
+class TestStatementGranularityRebuild:
+    def test_all_or_none_semantics(self):
+        from repro.core.ast_transform import rebuild_source
+
+        decomposition = decompose_module(
+            "from m import a, b\nx = 1\n", granularity="statement"
+        )
+        whole = decomposition.components[0]
+        kept_all = rebuild_source(decomposition, decomposition.components)
+        assert "from m import a, b" in kept_all
+        removed = rebuild_source(decomposition, [c for c in decomposition.components if c is not whole])
+        assert "from m import" not in removed
+        assert "x = 1" in removed
+
+    def test_magic_aliases_survive_whole_statement_removal(self):
+        from repro.core.ast_transform import rebuild_source
+
+        decomposition = decompose_module(
+            "from m import __version__, a, b\n", granularity="statement"
+        )
+        rebuilt = rebuild_source(decomposition, [])
+        assert rebuilt == "from m import __version__\n"

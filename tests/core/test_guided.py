@@ -1,0 +1,97 @@
+"""Tests for learning-guided DD (the paper's cited acceleration [25])."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dd import ddmin_keep
+from repro.core.guided import GuidedDeltaDebugger, NecessityModel, guided_minimize
+
+SCATTERED = set(range(0, 120, 17))  # 8 needed components spread far apart
+
+
+def _oracle(needed):
+    return lambda candidate: needed.issubset(set(candidate))
+
+
+class TestNecessityModel:
+    def test_unknown_components_score_half(self):
+        assert NecessityModel().necessity("x") == pytest.approx(0.5, abs=0.2)
+
+    def test_exoneration_drops_score(self):
+        model = NecessityModel()
+        model.observe(["a"], passed=True)
+        model.observe(["b"], passed=False)
+        assert model.necessity("a") < model.necessity("b")
+
+    def test_passing_evidence_outweighs_failing(self):
+        """A pass without a component is decisive; a fail only suggestive."""
+        model = NecessityModel()
+        model.observe(["x"], passed=True)
+        model.observe(["x"], passed=False)
+        assert model.necessity("x") < 0.5
+
+    def test_order_is_stable_for_ties(self):
+        model = NecessityModel()
+        assert model.order([3, 1, 2]) == [3, 1, 2]
+
+    def test_order_clusters_needed_first(self):
+        model = NecessityModel()
+        model.observe(["cold1", "cold2"], passed=True)
+        model.observe(["hot"], passed=False)
+        assert model.order(["cold1", "hot", "cold2"])[0] == "hot"
+
+
+class TestGuidedMinimize:
+    def test_same_result_as_plain_dd(self):
+        plain = ddmin_keep(list(range(40)), _oracle({5, 25}))
+        guided = guided_minimize(list(range(40)), _oracle({5, 25}))
+        assert set(guided.minimal) == set(plain.minimal) == {5, 25}
+
+    def test_transfer_slashes_oracle_calls(self):
+        """The Chisel-style setting: a model warmed on a previous run of a
+        similar program converges in a fraction of the probes."""
+        plain = ddmin_keep(list(range(120)), _oracle(SCATTERED))
+
+        warm = NecessityModel()
+        warm.observe(
+            [c for c in range(120) if c not in SCATTERED], passed=True
+        )
+        transferred = guided_minimize(
+            list(range(120)), _oracle(SCATTERED), model=warm
+        )
+        assert set(transferred.minimal) == SCATTERED
+        assert transferred.oracle_calls < plain.oracle_calls / 3
+
+    def test_imperfect_prior_still_converges_correctly(self):
+        """A stale prior (trained on a different needed set) must not
+        change the result — only the probe count."""
+        stale = NecessityModel()
+        stale.observe([c for c in range(40) if c not in {0, 1}], passed=True)
+        outcome = guided_minimize(list(range(40)), _oracle({30, 35}), model=stale)
+        assert set(outcome.minimal) == {30, 35}
+
+    def test_budget_respected_per_round(self):
+        calls = 0
+
+        def counting_oracle(candidate):
+            nonlocal calls
+            calls += 1
+            return {0, 99}.issubset(set(candidate))
+
+        guided_minimize(
+            list(range(100)), counting_oracle, max_oracle_calls=60
+        )
+        # rounds each get a slice of the budget; small overshoot allowed
+        assert calls <= 90
+
+
+class TestGuidedDebugger:
+    def test_observes_while_searching(self):
+        debugger = GuidedDeltaDebugger(_oracle({2}))
+        outcome = debugger.minimize(list(range(8)))
+        assert outcome.minimal == [2]
+        # everything else was exonerated by the passing probes
+        assert all(
+            debugger.model.necessity(c) < 0.5 for c in range(8) if c != 2
+        )

@@ -1,0 +1,135 @@
+"""Tests for ES-module decomposition (Section 6.1 generalizability)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dd import ddmin_keep
+from repro.core.jsmodules import (
+    decompose_js_module,
+    rebuild_js_source,
+)
+from repro.errors import DebloatError
+
+SAMPLE = """\
+// a typical serverless JS handler's dependency module
+import fs from 'fs';
+import { createClient, BatchWriter, Metrics } from 'aws-sdk';
+import * as utils from './utils';
+import './polyfill';
+
+export function handler(event) {
+  return createClient(event);
+}
+
+function helper(x) {
+  return x + 1;
+}
+
+export const VERSION = '1.0';
+const TABLE = {
+  a: 1,
+  b: 2,
+};
+"""
+
+
+class TestDecomposition:
+    def test_component_names(self):
+        decomposition = decompose_js_module(SAMPLE)
+        assert decomposition.attribute_names == [
+            "fs",
+            "createClient",
+            "BatchWriter",
+            "Metrics",
+            "utils",
+            "handler",
+            "helper",
+            "VERSION",
+            "TABLE",
+        ]
+
+    def test_named_import_aliases_are_separate(self):
+        decomposition = decompose_js_module(
+            "import { a, b as c, d } from 'mod';\n"
+        )
+        assert decomposition.attribute_names == ["a", "c", "d"]
+        assert all(comp.source_module == "mod" for comp in decomposition.components)
+
+    def test_side_effect_import_is_pinned(self):
+        decomposition = decompose_js_module("import './polyfill';\nconst x = 1;\n")
+        assert decomposition.attribute_names == ["x"]
+
+    def test_multiline_blocks_are_one_statement(self):
+        decomposition = decompose_js_module(SAMPLE)
+        table = next(c for c in decomposition.components if c.name == "TABLE")
+        assert "b: 2" in decomposition.statements[table.stmt_index]
+
+    def test_unbalanced_braces_rejected(self):
+        with pytest.raises(DebloatError):
+            decompose_js_module("function broken() {\n")
+
+    def test_comments_do_not_confuse_balancing(self):
+        source = "const x = 1; // closing } in a comment\nconst y = 2;\n"
+        decomposition = decompose_js_module(source)
+        assert decomposition.attribute_names == ["x", "y"]
+
+
+class TestRebuild:
+    def test_partial_named_import(self):
+        decomposition = decompose_js_module(
+            "import { a, b, c } from 'mod';\n"
+        )
+        keep = [c for c in decomposition.components if c.name in ("a", "c")]
+        rebuilt = rebuild_js_source(decomposition, keep)
+        assert rebuilt == "import { a, c } from 'mod';\n"
+
+    def test_whole_import_disappears(self):
+        decomposition = decompose_js_module(
+            "import { a } from 'mod';\nconst keepme = 1;\n"
+        )
+        keep = [c for c in decomposition.components if c.name == "keepme"]
+        rebuilt = rebuild_js_source(decomposition, keep)
+        assert "mod" not in rebuilt
+        assert "keepme" in rebuilt
+
+    def test_pinned_statements_survive(self):
+        decomposition = decompose_js_module(
+            "import './polyfill';\nconst x = 1;\n"
+        )
+        rebuilt = rebuild_js_source(decomposition, [])
+        assert "./polyfill" in rebuilt
+        assert "const x" not in rebuilt
+
+    def test_keep_everything_is_identity_modulo_imports(self):
+        decomposition = decompose_js_module(SAMPLE)
+        rebuilt = rebuild_js_source(decomposition, decomposition.components)
+        assert decompose_js_module(rebuilt).attribute_names == (
+            decomposition.attribute_names
+        )
+
+
+class TestDdOnJs:
+    def test_dd_minimizes_a_js_module(self):
+        """The paper's claim: DD adjusts to JS with only the decompose/
+        rebuild pair changing.  The handler needs createClient, utils and
+        helper; everything else is redundant."""
+        decomposition = decompose_js_module(SAMPLE)
+        protected = {"handler"}  # the entry point is always kept
+        needed = {"createClient", "utils", "helper"}
+
+        def oracle(candidate) -> bool:
+            kept_names = {c.name for c in candidate}
+            return needed.issubset(kept_names)
+
+        outcome = ddmin_keep(decomposition.removable(protected), oracle)
+        assert {c.name for c in outcome.minimal} == needed
+        # rebuild with the winner plus the protected handler
+        pinned = [c for c in decomposition.components if c.name in protected]
+        keep = list(outcome.minimal) + pinned
+        rebuilt = rebuild_js_source(decomposition, keep)
+        assert "createClient" in rebuilt
+        assert "BatchWriter" not in rebuilt
+        assert "Metrics" not in rebuilt
+        assert "import fs" not in rebuilt
+        assert "VERSION" not in rebuilt

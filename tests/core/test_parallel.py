@@ -1,0 +1,107 @@
+"""Tests for intra-module parallel DD (Section 9 future work)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dd import ddmin_keep
+from repro.core.execution import run_once
+from repro.core.oracle import OracleRunner
+from repro.core.parallel import BatchDeltaDebugger, ParallelModuleDebloater
+from repro.errors import DebloatError
+
+EVENT = {"x": [1.0, 2.0], "y": [3.0, 4.0]}
+
+
+def _batchify(oracle):
+    """Turn a scalar oracle into a batch oracle for the tests."""
+
+    def batch(candidates):
+        return [oracle(c) for c in candidates]
+
+    return batch
+
+
+class TestBatchDeltaDebugger:
+    def test_matches_sequential_result(self):
+        needed = {2, 7, 13, 21}
+        oracle = lambda cand: needed.issubset(set(cand))
+        sequential = ddmin_keep(list(range(24)), oracle)
+        batch = BatchDeltaDebugger(_batchify(oracle)).minimize(list(range(24)))
+        assert set(batch.minimal) == set(sequential.minimal) == needed
+
+    def test_first_passing_probe_wins_deterministically(self):
+        """Even when several probes of a batch pass, index order decides."""
+        # non-monotone oracle: the full set and any half passes
+        oracle = lambda cand: len(cand) in (6, 12) and 0 in cand or len(cand) == 12
+        a = BatchDeltaDebugger(_batchify(oracle)).minimize(list(range(12)))
+        b = BatchDeltaDebugger(_batchify(oracle)).minimize(list(range(12)))
+        assert a.minimal == b.minimal
+        assert a.oracle_calls == b.oracle_calls
+
+    def test_cache_dedupes_within_and_across_batches(self):
+        evaluated: list[frozenset] = []
+
+        def oracle(cand):
+            key = frozenset(cand)
+            assert key not in evaluated
+            evaluated.append(key)
+            return {0}.issubset(set(cand))
+
+        BatchDeltaDebugger(_batchify(oracle)).minimize(list(range(10)))
+
+    def test_rejects_failing_baseline(self):
+        with pytest.raises(ValueError):
+            BatchDeltaDebugger(_batchify(lambda c: False)).minimize([1, 2])
+
+    def test_budget_stops_search_safely(self):
+        needed = {0, 15}
+        oracle = lambda cand: needed.issubset(set(cand))
+        debugger = BatchDeltaDebugger(_batchify(oracle), max_oracle_calls=4)
+        outcome = debugger.minimize(list(range(16)))
+        assert outcome.oracle_calls <= 8  # at most one extra batch
+        assert needed.issubset(set(outcome.minimal))
+
+    def test_mismatched_batch_result_rejected(self):
+        debugger = BatchDeltaDebugger(lambda candidates: [True, True])
+        with pytest.raises(DebloatError):
+            debugger.minimize([1, 2, 3, 4])
+
+
+class TestParallelModuleDebloater:
+    @pytest.fixture()
+    def working(self, toy_app_session, tmp_path):
+        return toy_app_session.clone(tmp_path / "working")
+
+    def test_parallel_debloat_matches_sequential(
+        self, toy_app_session, working, tmp_path
+    ):
+        debloater = ParallelModuleDebloater(
+            working, toy_app_session, workers=3
+        )
+        result = debloater.debloat_module("torch")
+        assert "SGD" in result.removed
+        assert len(set(result.removed) & {"Linear", "MSELoss"}) == 1
+        # the modified working bundle still satisfies the oracle
+        runner = OracleRunner(toy_app_session)
+        assert runner.check(working).passed
+        behaviour = run_once(working, EVENT)
+        assert behaviour.ok
+
+    def test_all_protected_skips(self, toy_app_session, working):
+        debloater = ParallelModuleDebloater(working, toy_app_session, workers=2)
+        result = debloater.debloat_module(
+            "torch",
+            protected={"tensor", "add", "view", "Linear", "MSELoss", "SGD"},
+        )
+        assert result.skipped
+
+    def test_invalid_worker_count(self, toy_app_session, working):
+        with pytest.raises(DebloatError):
+            ParallelModuleDebloater(working, toy_app_session, workers=0)
+
+    def test_worker_clones_cleaned_up(self, toy_app_session, working):
+        debloater = ParallelModuleDebloater(working, toy_app_session, workers=2)
+        debloater.debloat_module("torch.optim")
+        leftovers = list(working.root.parent.glob(".parallel-*"))
+        assert leftovers == []

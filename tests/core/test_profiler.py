@@ -1,0 +1,83 @@
+"""Tests for the import-machinery profiler (Sections 5.2 and 7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.profiler import profile_bundle, profile_modules
+
+
+class TestProfileBundle:
+    def test_profiles_every_initialization_import(self, toy_app):
+        report = profile_bundle(toy_app)
+        modules = set(report.modules())
+        assert {"torch", "torch.nn", "torch.optim", "handler"} <= modules
+
+    def test_marginal_times_match_declared_costs(self, toy_app):
+        report = profile_bundle(toy_app)
+        nn = report.get("torch.nn")
+        # nn body 0.15 + Linear 0.03 + MSELoss 0.20
+        assert nn.import_time_s == pytest.approx(0.38, abs=1e-6)
+        optim = report.get("torch.optim")
+        assert optim.import_time_s == pytest.approx(0.30, abs=1e-6)
+
+    def test_inclusive_covers_submodules(self, toy_app):
+        """torch's marginal cost includes nn and optim ("and all their
+        submodules"), its exclusive cost only its own body."""
+        report = profile_bundle(toy_app)
+        torch = report.get("torch")
+        assert torch.import_time_s == pytest.approx(0.82, abs=1e-6)
+        assert torch.exclusive_time_s == pytest.approx(0.82 - 0.38 - 0.30, abs=1e-6)
+
+    def test_totals_cover_whole_initialization(self, toy_app):
+        report = profile_bundle(toy_app)
+        assert report.total_time_s == pytest.approx(0.82, abs=1e-6)
+        assert report.total_memory_mb == pytest.approx(35.0, abs=0.1)
+
+    def test_restrict_to_filters_report(self, toy_app):
+        report = profile_bundle(toy_app, restrict_to=["torch"])
+        assert all(p.module.split(".")[0] == "torch" for p in report)
+        # totals still cover everything
+        assert report.total_time_s == pytest.approx(0.82, abs=1e-6)
+
+    def test_depth_reflects_import_nesting(self, toy_app):
+        report = profile_bundle(toy_app)
+        assert report.get("handler").depth == 0
+        assert report.get("torch").depth == 1
+        assert report.get("torch.nn").depth == 2
+
+
+class TestModuleIsolation:
+    def test_repeated_profiling_is_stable(self, toy_app):
+        """Without isolation the second run would see cached modules and
+        measure ~zero marginal cost (the Section 7 bug)."""
+        first = profile_bundle(toy_app)
+        second = profile_bundle(toy_app)
+        assert first.get("torch").import_time_s == pytest.approx(
+            second.get("torch").import_time_s
+        )
+        assert second.get("torch").import_time_s > 0.5
+
+    def test_profiling_leaves_no_modules_behind(self, toy_app):
+        import sys
+
+        profile_bundle(toy_app)
+        assert "torch" not in sys.modules
+        assert "handler" not in sys.modules
+
+
+class TestProfileModules:
+    def test_explicit_module_list(self, toy_app):
+        report = profile_modules(toy_app, ["torch.nn", "torch.optim"])
+        assert set(report.modules()) == {"torch.nn", "torch.optim"}
+
+    def test_first_import_carries_shared_dependency(self, toy_app):
+        """Importing torch.nn first executes the torch package body; the
+        marginal cost attribution follows import order."""
+        report = profile_modules(toy_app, ["torch.nn", "torch"])
+        nn = report.get("torch.nn")
+        torch = report.get("torch")
+        # torch package __init__ runs as part of importing torch.nn, so
+        # the torch entry records the *root* execution, which includes
+        # everything (happened during the nn import).
+        assert nn.import_time_s <= torch.import_time_s + 1e-9

@@ -1,0 +1,83 @@
+"""Tests for the import-discovery static analyzer (Section 5.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.static_analyzer import analyze_source
+from repro.errors import AnalysisError
+
+
+class TestImportDiscovery:
+    def test_plain_import(self):
+        analysis = analyze_source("import torch\n")
+        assert [i.module for i in analysis.imports] == ["torch"]
+        assert analysis.bindings() == {"torch": "torch"}
+
+    def test_dotted_import_binds_top_level(self):
+        analysis = analyze_source("import torch.nn.functional\n")
+        imp = analysis.imports[0]
+        assert imp.module == "torch.nn.functional"
+        assert imp.binding == "torch"
+        assert imp.target == "torch"
+
+    def test_aliased_import(self):
+        analysis = analyze_source("import numpy as np\n")
+        assert analysis.bindings() == {"np": "numpy"}
+
+    def test_from_import_records_target_path(self):
+        analysis = analyze_source("from torch.nn import Linear as L\n")
+        imp = analysis.imports[0]
+        assert imp.binding == "L"
+        assert imp.target == "torch.nn.Linear"
+        assert imp.is_from
+
+    def test_nested_function_imports_are_found(self):
+        source = "def handler(event, context):\n    import lazy_lib\n    return 1\n"
+        analysis = analyze_source(source)
+        assert [i.module for i in analysis.imports] == ["lazy_lib"]
+
+    def test_relative_imports_are_skipped(self):
+        analysis = analyze_source("from . import sibling\nfrom ..pkg import x\n")
+        assert analysis.imports == []
+
+    def test_star_import_recorded_specially(self):
+        analysis = analyze_source("from helpers import *\n")
+        assert analysis.imports[0].binding == "*"
+
+    def test_later_binding_shadows_earlier(self):
+        analysis = analyze_source("import json as x\nimport os as x\n")
+        assert analysis.bindings()["x"] == "os"
+
+    def test_syntax_error(self):
+        with pytest.raises(AnalysisError):
+            analyze_source("import (\n")
+
+
+class TestExternalFiltering:
+    SOURCE = (
+        "import os\nimport json\nimport synth_torch\n"
+        "from synth_numpy import array\nimport my_local_helper\n"
+    )
+
+    def test_stdlib_excluded(self):
+        analysis = analyze_source(self.SOURCE)
+        modules = analysis.external_modules(local_modules={"my_local_helper"})
+        assert modules == ["synth_numpy", "synth_torch"]
+
+    def test_local_modules_excluded(self):
+        analysis = analyze_source(self.SOURCE)
+        assert "my_local_helper" in {
+            m for m in analysis.external_modules()
+        }  # not filtered without the hint
+        assert "my_local_helper" not in analysis.external_modules(
+            local_modules={"my_local_helper"}
+        )
+
+    def test_repro_itself_excluded(self):
+        analysis = analyze_source("import repro.vm\nimport synth_x\n")
+        assert analysis.external_modules() == ["synth_x"]
+
+    def test_top_level_aggregation(self):
+        analysis = analyze_source("import a.b\nimport a.c\nimport d\n")
+        assert analysis.external_top_level() == ["a", "d"]

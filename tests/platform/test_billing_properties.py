@@ -1,0 +1,105 @@
+"""Property-based tests for the emulator's billing invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.platform import LambdaEmulator
+from repro.platform.billing import BillingLedger
+from repro.pricing import AwsLambdaPricing
+
+EVENT = {"x": [1.0, 2.0], "y": [3.0, 4.0]}
+
+
+class TestLedgerInvariants:
+    @given(
+        st.lists(
+            st.tuples(st.floats(min_value=0, max_value=1), st.booleans()),
+            max_size=30,
+        )
+    )
+    def test_totals_are_sums(self, charges):
+        ledger = BillingLedger()
+        for cost, cold in charges:
+            ledger.charge_invocation("f", cost, cold=cold)
+        bill = ledger.bill_for("f")
+        assert bill.invocations == len(charges)
+        assert bill.cold_starts == sum(1 for _, cold in charges if cold)
+        assert bill.invocation_cost == pytest.approx(
+            sum(cost for cost, _ in charges)
+        )
+        assert ledger.total == pytest.approx(bill.total)
+
+    def test_functions_are_isolated(self):
+        ledger = BillingLedger()
+        ledger.charge_invocation("a", 1.0, cold=True)
+        ledger.charge_snapstart_cache("b", 0.5)
+        assert ledger.bill_for("a").total == pytest.approx(1.0)
+        assert ledger.bill_for("b").total == pytest.approx(0.5)
+        assert ledger.bill_for("b").snapstart_cost == pytest.approx(0.5)
+
+
+class TestEmulatorBillingInvariants:
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(pattern=st.lists(st.booleans(), min_size=1, max_size=8))
+    def test_log_cost_equals_recomputed_eq1(self, pattern, toy_app_session):
+        """Every record's cost must equal Eq. 1 applied to its own fields."""
+        emulator = LambdaEmulator()
+        emulator.deploy(toy_app_session, name="fn")
+        pricing = AwsLambdaPricing()
+        for force_cold in pattern:
+            record = emulator.invoke("fn", EVENT, force_cold=force_cold)
+            recomputed = pricing.invocation_cost(
+                record.init_duration_s + record.exec_duration_s,
+                record.memory_config_mb,
+            )
+            assert record.cost_usd == pytest.approx(recomputed)
+            # the 1 ms rounding guard forgives float fuzz below 1 ns
+            assert record.billed_duration_s >= record.exec_duration_s - 1e-9
+
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(gaps=st.lists(st.floats(min_value=1, max_value=3600), max_size=6))
+    def test_cold_iff_keep_alive_expired(self, gaps, toy_app_session):
+        emulator = LambdaEmulator(keep_alive_s=600)
+        emulator.deploy(toy_app_session, name="fn")
+        emulator.invoke("fn", EVENT)
+        for gap in gaps:
+            emulator.clock.advance(gap)
+            record = emulator.invoke("fn", EVENT)
+            assert record.is_cold == (gap > 600)
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(n=st.integers(min_value=1, max_value=5))
+    def test_ledger_matches_log(self, n, toy_app_session):
+        emulator = LambdaEmulator()
+        emulator.deploy(toy_app_session, name="fn")
+        for _ in range(n):
+            emulator.invoke("fn", EVENT, force_cold=True)
+        bill = emulator.ledger.bill_for("fn")
+        assert bill.invocations == n == len(emulator.log.for_function("fn"))
+        assert bill.invocation_cost == pytest.approx(
+            emulator.log.total_cost("fn")
+        )
+
+    def test_clock_monotone_through_mixed_traffic(self, toy_app_session):
+        emulator = LambdaEmulator()
+        emulator.deploy(toy_app_session, name="fn")
+        stamps = []
+        for force_cold in (True, False, True, False):
+            record = emulator.invoke("fn", EVENT, force_cold=force_cold)
+            stamps.append(record.timestamp)
+        assert stamps == sorted(stamps)

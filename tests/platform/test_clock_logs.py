@@ -1,0 +1,97 @@
+"""Tests for the virtual clock and execution logs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.platform import VirtualClock
+from repro.platform.logs import ExecutionLog, InvocationRecord, StartType
+
+
+class TestVirtualClock:
+    def test_advance(self):
+        clock = VirtualClock()
+        assert clock.now() == 0.0
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now() == 2.0
+
+    def test_advance_to(self):
+        clock = VirtualClock(start=10.0)
+        clock.advance_to(20.0)
+        assert clock.now() == 20.0
+        clock.advance_to(5.0)  # no going back
+        assert clock.now() == 20.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(PlatformError):
+            VirtualClock().advance(-1)
+
+
+def _record(**overrides) -> InvocationRecord:
+    defaults = dict(
+        request_id="req-1",
+        function="f",
+        start_type=StartType.COLD,
+        timestamp=0.0,
+        value=None,
+        instance_id="i-1",
+        instance_init_s=0.2,
+        transmission_s=0.3,
+        init_duration_s=1.0,
+        exec_duration_s=0.5,
+        routing_s=0.04,
+        billed_duration_s=1.5,
+        memory_config_mb=128,
+        peak_memory_mb=40.0,
+        cost_usd=1e-6,
+    )
+    defaults.update(overrides)
+    return InvocationRecord(**defaults)
+
+
+class TestInvocationRecord:
+    def test_e2e_sums_all_phases(self):
+        record = _record()
+        assert record.e2e_s == pytest.approx(0.04 + 0.2 + 0.3 + 1.0 + 0.5)
+
+    def test_warm_record_has_no_platform_phases(self):
+        record = _record(
+            start_type=StartType.WARM,
+            instance_init_s=0.0,
+            transmission_s=0.0,
+            init_duration_s=0.0,
+        )
+        assert record.e2e_s == pytest.approx(0.54)
+        assert not record.is_cold
+
+    def test_ok_reflects_error(self):
+        assert _record().ok
+        assert not _record(error_type="KeyError").ok
+
+
+class TestExecutionLog:
+    def test_filters(self):
+        log = ExecutionLog()
+        log.append(_record(function="a"))
+        log.append(_record(function="a", start_type=StartType.WARM))
+        log.append(_record(function="b"))
+        assert len(log.for_function("a")) == 2
+        assert len(log.cold_starts()) == 2
+        assert len(log.cold_starts("a")) == 1
+        assert len(log.warm_starts("a")) == 1
+
+    def test_aggregates(self):
+        log = ExecutionLog()
+        log.append(_record(cost_usd=1.0, peak_memory_mb=10))
+        log.append(_record(cost_usd=2.0, peak_memory_mb=30))
+        assert log.total_cost() == pytest.approx(3.0)
+        assert log.peak_memory_mb() == 30
+        assert log.mean_billed_s() == pytest.approx(1.5)
+
+    def test_empty_aggregates(self):
+        log = ExecutionLog()
+        assert log.total_cost() == 0.0
+        assert log.mean_e2e_s() == 0.0
+        assert log.peak_memory_mb() == 0.0

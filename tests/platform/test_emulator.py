@@ -1,0 +1,279 @@
+"""Tests for the serverless platform emulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FunctionNotFound, PlatformError
+from repro.platform import LambdaEmulator, StartType
+from repro.pricing import AwsLambdaPricing
+
+EVENT = {"x": [1.0, 2.0], "y": [3.0, 4.0]}
+
+
+@pytest.fixture()
+def emulator(toy_app):
+    emu = LambdaEmulator()
+    emu.deploy(toy_app)
+    return emu
+
+
+class TestColdWarmLifecycle:
+    def test_first_invocation_is_cold(self, emulator):
+        record = emulator.invoke("toy-torch", EVENT)
+        assert record.start_type is StartType.COLD
+        assert record.init_duration_s > 0
+        assert record.instance_init_s > 0 or record.transmission_s > 0
+
+    def test_second_invocation_is_warm(self, emulator):
+        emulator.invoke("toy-torch", EVENT)
+        record = emulator.invoke("toy-torch", EVENT)
+        assert record.start_type is StartType.WARM
+        assert record.init_duration_s == 0.0
+        assert record.e2e_s < 0.2
+
+    def test_warm_and_cold_return_same_value(self, emulator):
+        cold = emulator.invoke("toy-torch", EVENT)
+        warm = emulator.invoke("toy-torch", EVENT)
+        assert cold.value == warm.value
+
+    def test_keep_alive_expiry_forces_cold(self, emulator):
+        emulator.invoke("toy-torch", EVENT)
+        emulator.clock.advance(emulator.keep_alive_s + 1)
+        record = emulator.invoke("toy-torch", EVENT)
+        assert record.is_cold
+
+    def test_within_keep_alive_stays_warm(self, emulator):
+        emulator.invoke("toy-torch", EVENT)
+        emulator.clock.advance(emulator.keep_alive_s * 0.5)
+        assert not emulator.invoke("toy-torch", EVENT).is_cold
+
+    def test_update_function_discards_instances(self, emulator):
+        """The paper's methodology for forcing 100 cold starts."""
+        emulator.invoke("toy-torch", EVENT)
+        emulator.update_function("toy-torch")
+        assert emulator.invoke("toy-torch", EVENT).is_cold
+
+    def test_force_cold_flag(self, emulator):
+        emulator.invoke("toy-torch", EVENT)
+        assert emulator.invoke("toy-torch", EVENT, force_cold=True).is_cold
+
+    def test_pinned_platform_overhead(self, emulator, toy_app):
+        record = emulator.invoke("toy-torch", EVENT)
+        total = record.instance_init_s + record.transmission_s
+        assert total == pytest.approx(toy_app.manifest.platform_overhead_s)
+
+
+class TestBilling:
+    def test_billed_duration_covers_init_and_exec(self, emulator):
+        record = emulator.invoke("toy-torch", EVENT)
+        raw = record.init_duration_s + record.exec_duration_s
+        assert record.billed_duration_s == pytest.approx(
+            AwsLambdaPricing().billed_duration_s(raw)
+        )
+
+    def test_memory_configured_to_peak_with_floor(self, emulator):
+        record = emulator.invoke("toy-torch", EVENT)
+        assert record.memory_config_mb == 128  # toy app peaks at 35 MB
+        assert record.peak_memory_mb == pytest.approx(35.0, abs=0.5)
+
+    def test_explicit_memory_configuration(self, toy_app):
+        emu = LambdaEmulator()
+        emu.deploy(toy_app, name="big", memory_mb=1024)
+        record = emu.invoke("big", EVENT)
+        assert record.memory_config_mb == 1024
+
+    def test_ledger_accumulates(self, emulator):
+        emulator.invoke("toy-torch", EVENT)
+        emulator.invoke("toy-torch", EVENT)
+        bill = emulator.ledger.bill_for("toy-torch")
+        assert bill.invocations == 2
+        assert bill.cold_starts == 1
+        assert bill.invocation_cost == pytest.approx(
+            emulator.log.total_cost("toy-torch")
+        )
+
+    def test_warm_cheaper_than_cold(self, emulator):
+        cold = emulator.invoke("toy-torch", EVENT)
+        warm = emulator.invoke("toy-torch", EVENT)
+        assert warm.cost_usd < cold.cost_usd
+
+
+class TestLogs:
+    def test_report_line_format(self, emulator):
+        record = emulator.invoke("toy-torch", EVENT)
+        line = record.report_line()
+        assert "REPORT RequestId:" in line
+        assert "Billed Duration:" in line
+        assert "Init Duration:" in line
+
+    def test_log_query_helpers(self, emulator):
+        emulator.invoke("toy-torch", EVENT)
+        emulator.invoke("toy-torch", EVENT)
+        assert len(emulator.log.cold_starts("toy-torch")) == 1
+        assert len(emulator.log.warm_starts("toy-torch")) == 1
+        assert emulator.log.mean_e2e_s("toy-torch") > 0
+
+
+class TestDeployment:
+    def test_unknown_function(self, emulator):
+        with pytest.raises(FunctionNotFound):
+            emulator.invoke("ghost", EVENT)
+
+    def test_duplicate_deploy_rejected(self, emulator, toy_app):
+        with pytest.raises(PlatformError):
+            emulator.deploy(toy_app)
+
+    def test_named_deploy(self, toy_app):
+        emu = LambdaEmulator()
+        emu.deploy(toy_app, name="alias")
+        assert emu.invoke("alias", EVENT).ok
+
+    def test_concurrent_functions_do_not_share_instances(self, toy_app, tmp_path):
+        emu = LambdaEmulator()
+        emu.deploy(toy_app, name="a")
+        emu.deploy(toy_app.clone(tmp_path / "b-bundle"), name="b")
+        emu.invoke("a", EVENT)
+        assert emu.invoke("b", EVENT).is_cold
+
+
+class TestSnapStart:
+    def test_restore_replaces_billed_init(self, toy_app):
+        emu = LambdaEmulator()
+        emu.deploy(toy_app, name="snap", snapstart=True)
+        record = emu.invoke("snap", EVENT, force_cold=True)
+        assert record.is_cold
+        assert record.init_duration_s == 0.0
+        assert record.restore_duration_s > 0
+        assert record.ok
+
+    def test_restore_fees_accrue(self, toy_app):
+        emu = LambdaEmulator()
+        emu.deploy(toy_app, name="snap", snapstart=True)
+        emu.invoke("snap", EVENT, force_cold=True)
+        emu.invoke("snap", EVENT, force_cold=True)
+        bill = emu.ledger.bill_for("snap")
+        assert bill.snapstart_restore_cost > 0
+
+    def test_cache_cost_settlement(self, toy_app):
+        emu = LambdaEmulator()
+        emu.deploy(toy_app, name="snap", snapstart=True)
+        emu.invoke("snap", EVENT)
+        emu.clock.advance(3600)
+        cost = emu.settle_snapstart_cache("snap")
+        assert cost > 0
+        # settling again immediately charges (almost) nothing more
+        assert emu.settle_snapstart_cache("snap") == pytest.approx(0.0, abs=1e-9)
+
+    def test_non_snapstart_function_settles_zero(self, emulator):
+        emulator.invoke("toy-torch", EVENT)
+        assert emulator.settle_snapstart_cache("toy-torch") == 0.0
+
+    def test_snapstart_faster_than_plain_cold_for_heavy_init(self, toy_app):
+        emu = LambdaEmulator()
+        emu.deploy(toy_app, name="plain")
+        emu.deploy(toy_app, name="snap", snapstart=True)
+        plain = emu.invoke("plain", EVENT, force_cold=True)
+        snap = emu.invoke("snap", EVENT, force_cold=True)
+        assert snap.restore_duration_s < plain.init_duration_s
+
+
+class TestDeployWithFallback:
+    def test_normal_operation_is_transparent(self, toy_app, tmp_path):
+        from repro.core.pipeline import LambdaTrim
+
+        report = LambdaTrim().run(toy_app, tmp_path / "trimmed")
+        emu = LambdaEmulator()
+        wrapper = emu.deploy_with_fallback(report.output, toy_app)
+        outcome = wrapper.invoke(EVENT, None)
+        assert not outcome.used_fallback
+        assert outcome.value["prediction"] == emu.invoke(
+            "toy-torch--fallback", EVENT
+        ).value["prediction"]
+
+    def test_trigger_recovers_via_original(self, toy_app, tmp_path):
+        from repro.core.pipeline import LambdaTrim
+
+        report = LambdaTrim().run(toy_app, tmp_path / "trimmed2")
+        # force a failure: the trimmed handler reaches a removed attribute
+        handler = report.output.handler_source().replace(
+            "def handler(event, context):",
+            "def handler(event, context):\n"
+            "    if event.get('train'):\n"
+            "        return {'opt': getattr(torch, 'SG' + 'D')(model) % 10}",
+        )
+        report.output.handler_path.write_text(handler)
+        original = toy_app.clone(tmp_path / "orig-with-branch")
+        original.handler_path.write_text(handler)
+
+        emu = LambdaEmulator()
+        wrapper = emu.deploy_with_fallback(report.output, original, name="fb")
+        outcome = wrapper.invoke({"x": [1.0], "y": [2.0], "train": True}, None)
+        assert outcome.used_fallback
+        assert "opt" in outcome.value
+        # both functions now hold warm instances
+        assert len(emu.log.cold_starts("fb")) == 1
+        assert len(emu.log.cold_starts("fb--fallback")) == 1
+
+
+class TestCpuScaling:
+    def test_disabled_by_default(self, emulator):
+        record = emulator.invoke("toy-torch", EVENT)
+        assert record.exec_duration_s == pytest.approx(0.02, abs=0.005)
+
+    def test_small_memory_slows_execution(self, toy_app):
+        from repro.platform import CpuScalingModel
+
+        emu = LambdaEmulator(cpu_scaling=CpuScalingModel())
+        emu.deploy(toy_app, name="slow", memory_mb=221)  # 1/8th of a vCPU
+        record = emu.invoke("slow", EVENT)
+        assert record.exec_duration_s == pytest.approx(0.16, rel=0.05)
+
+    def test_full_vcpu_unaffected(self, toy_app):
+        from repro.platform import CpuScalingModel
+
+        emu = LambdaEmulator(cpu_scaling=CpuScalingModel())
+        emu.deploy(toy_app, name="fast", memory_mb=1769)
+        record = emu.invoke("fast", EVENT)
+        assert record.exec_duration_s == pytest.approx(0.02, abs=0.005)
+
+    def test_scaling_inflates_bill(self, toy_app, tmp_path):
+        from repro.platform import CpuScalingModel
+
+        emu = LambdaEmulator(cpu_scaling=CpuScalingModel())
+        emu.deploy(toy_app, name="tiny", memory_mb=221)
+        emu.deploy(toy_app.clone(tmp_path / "b"), name="big", memory_mb=1769)
+        # warm both so only execution is billed
+        emu.invoke("tiny", EVENT)
+        emu.invoke("big", EVENT)
+        tiny = emu.invoke("tiny", EVENT)
+        big = emu.invoke("big", EVENT)
+        # 8x slower at 1/8th the memory: billed GB-seconds equal, so the
+        # 1ms-rounded costs land within one granularity notch
+        assert tiny.billed_duration_s > big.billed_duration_s
+        assert tiny.cost_usd == pytest.approx(big.cost_usd, rel=0.15)
+
+
+class TestFailedInvocations:
+    def test_handler_errors_are_billed(self, emulator):
+        """AWS bills failed requests: the duration ran, the memory was
+        provisioned (Section 2.1's "you only pay for what you use" cuts
+        both ways)."""
+        record = emulator.invoke("toy-torch", {"wrong": "shape"})
+        assert not record.ok
+        assert record.error_type == "KeyError"
+        assert record.cost_usd > 0
+        assert record.billed_duration_s >= record.init_duration_s
+
+    def test_failed_invocation_keeps_instance_warm(self, emulator):
+        """A handler exception does not tear the instance down."""
+        emulator.invoke("toy-torch", {"wrong": "shape"})
+        record = emulator.invoke("toy-torch", EVENT)
+        assert not record.is_cold
+        assert record.ok
+
+    def test_errors_visible_in_log(self, emulator):
+        emulator.invoke("toy-torch", {"wrong": "shape"})
+        emulator.invoke("toy-torch", EVENT)
+        errored = [r for r in emulator.log.for_function("toy-torch") if not r.ok]
+        assert len(errored) == 1

@@ -1,0 +1,139 @@
+"""Tests for memory power tuning (the paper's [9])."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import PricingError
+from repro.platform.tuning import (
+    CpuScalingModel,
+    recommend_memory,
+)
+
+
+class TestCpuScaling:
+    def test_full_vcpu_is_baseline(self):
+        model = CpuScalingModel()
+        assert model.duration_factor(1769) == 1.0
+        assert model.duration_factor(4096) == 1.0  # extra vCPUs don't help
+
+    def test_smaller_memory_is_slower(self):
+        model = CpuScalingModel()
+        assert model.duration_factor(886) == pytest.approx(2.0, rel=0.01)
+        assert model.duration_factor(128) == model.max_slowdown  # capped
+
+    def test_swapping_penalty_below_footprint(self):
+        model = CpuScalingModel()
+        fits = model.duration_factor(512, footprint_mb=400)
+        swaps = model.duration_factor(512, footprint_mb=600)
+        assert swaps == pytest.approx(fits * model.swap_penalty)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(PricingError):
+            CpuScalingModel().duration_factor(0)
+
+    @given(st.integers(min_value=128, max_value=10_240))
+    def test_factor_bounds(self, configured):
+        factor = CpuScalingModel().duration_factor(configured)
+        assert 1.0 <= factor <= CpuScalingModel().max_slowdown
+
+
+class TestRecommendMemory:
+    def test_speed_strategy_picks_full_vcpu(self):
+        """For a CPU-bound function the fastest config is the full-vCPU
+        point — paying for memory buys CPU (the power-tuning intuition)."""
+        recommendation = recommend_memory(
+            init_time_s=0.0, exec_time_s=5.0, footprint_mb=100.0,
+            strategy="speed",
+        )
+        assert recommendation.configured_mb == 1769
+
+    def test_cost_strategy_stays_at_floor(self):
+        """Under linear CPU scaling the memory x duration product never
+        decreases with memory, so pure cost optimisation sits on the
+        footprint floor."""
+        recommendation = recommend_memory(
+            init_time_s=0.0, exec_time_s=5.0, footprint_mb=100.0,
+            strategy="cost",
+        )
+        assert recommendation.configured_mb == 128
+
+    def test_balanced_strategy_is_between(self):
+        cost = recommend_memory(
+            init_time_s=0.0, exec_time_s=5.0, footprint_mb=100.0,
+            strategy="cost",
+        )
+        speed = recommend_memory(
+            init_time_s=0.0, exec_time_s=5.0, footprint_mb=100.0,
+            strategy="speed",
+        )
+        balanced = recommend_memory(
+            init_time_s=0.0, exec_time_s=5.0, footprint_mb=100.0,
+            strategy="balanced",
+        )
+        assert cost.configured_mb <= balanced.configured_mb <= speed.configured_mb
+        # within tolerance of the fastest, cheaper than (or equal to) it
+        assert balanced.cost_per_invocation <= speed.cost_per_invocation + 1e-18
+
+    def test_io_bound_function_stays_at_floor(self):
+        """Sub-ms IO-bound execution can't amortise bigger memory bills."""
+        recommendation = recommend_memory(
+            init_time_s=0.0,
+            exec_time_s=0.001,
+            footprint_mb=10.0,
+            strategy="balanced",
+            scaling=CpuScalingModel(max_slowdown=1.0),  # IO-bound
+        )
+        assert recommendation.configured_mb == 128
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(PricingError):
+            recommend_memory(
+                init_time_s=0, exec_time_s=1, footprint_mb=1, strategy="yolo"
+            )
+
+    def test_never_below_footprint(self):
+        """"The optimal configuration should be above the application's
+        peak memory footprint" (Section 2.1)."""
+        recommendation = recommend_memory(
+            init_time_s=0.1, exec_time_s=0.1, footprint_mb=700.0
+        )
+        assert recommendation.configured_mb >= 700
+
+    def test_sweep_reports_every_viable_candidate(self):
+        recommendation = recommend_memory(
+            init_time_s=0.1, exec_time_s=0.5, footprint_mb=100.0, strategy="cost"
+        )
+        configs = [c for c, _, _ in recommendation.sweep]
+        assert configs == sorted(configs)
+        assert all(c >= 128 for c in configs)
+        best = min(recommendation.sweep, key=lambda row: row[1])
+        assert recommendation.cost_per_invocation == pytest.approx(best[1])
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(PricingError):
+            recommend_memory(
+                init_time_s=0, exec_time_s=1, footprint_mb=1, candidates=()
+            )
+
+    def test_describe(self):
+        recommendation = recommend_memory(
+            init_time_s=0.1, exec_time_s=0.5, footprint_mb=100.0
+        )
+        assert "MB" in recommendation.describe()
+
+    def test_trimmed_app_recommendation_is_cheaper(self):
+        """λ-trim's smaller init and footprint translate directly into a
+        cheaper optimal configuration under every strategy."""
+        for strategy in ("cost", "speed", "balanced"):
+            original = recommend_memory(
+                init_time_s=1.87, exec_time_s=0.10, footprint_mb=41.0,
+                strategy=strategy,
+            )
+            trimmed = recommend_memory(
+                init_time_s=0.99, exec_time_s=0.10, footprint_mb=21.0,
+                strategy=strategy,
+            )
+            assert trimmed.cost_per_invocation < original.cost_per_invocation

@@ -1,0 +1,109 @@
+"""Tests for Eq. 1 pricing models."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import PricingError
+from repro.pricing import (
+    AWS_GB_SECOND_PRICE,
+    AwsLambdaPricing,
+    AzureFunctionsPricing,
+    GcpCloudRunPricing,
+    billable_memory_mb,
+)
+
+
+class TestBillableMemory:
+    def test_floor_at_128(self):
+        """"Applications requiring less are billed as if they are using
+        this minimum threshold" (Section 8.1)."""
+        assert billable_memory_mb(10.0) == 128
+        assert billable_memory_mb(0.0) == 128
+
+    def test_rounds_up_above_floor(self):
+        assert billable_memory_mb(200.3) == 201
+
+    def test_negative_rejected(self):
+        with pytest.raises(PricingError):
+            billable_memory_mb(-1.0)
+
+    def test_above_maximum_rejected(self):
+        with pytest.raises(PricingError):
+            billable_memory_mb(20_000.0)
+
+
+class TestBillingGranularity:
+    def test_aws_bills_in_1ms_increments(self):
+        aws = AwsLambdaPricing()
+        assert aws.billed_duration_s(0.582) == pytest.approx(0.582, abs=1e-9)
+        assert aws.billed_duration_s(0.5821) == pytest.approx(0.583)
+
+    def test_gcp_rounds_up_to_100ms(self):
+        gcp = GcpCloudRunPricing()
+        assert gcp.billed_duration_s(0.41) == pytest.approx(0.5)
+        assert gcp.billed_duration_s(0.4) == pytest.approx(0.4)
+
+    def test_azure_rounds_up_to_1s(self):
+        azure = AzureFunctionsPricing()
+        assert azure.billed_duration_s(0.001) == pytest.approx(1.0)
+        assert azure.billed_duration_s(2.5) == pytest.approx(3.0)
+
+    def test_zero_duration_bills_zero(self):
+        assert AwsLambdaPricing().billed_duration_s(0.0) == 0.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(PricingError):
+            AwsLambdaPricing().billed_duration_s(-0.1)
+
+
+class TestEquation1:
+    def test_paper_unit_price(self):
+        """Section 2.2.2: $0.0000162109 per GB-second, 1 GB for 1 s."""
+        aws = AwsLambdaPricing()
+        assert aws.invocation_cost(1.0, 1024) == pytest.approx(AWS_GB_SECOND_PRICE)
+
+    def test_cost_scales_with_memory(self):
+        aws = AwsLambdaPricing()
+        assert aws.invocation_cost(1.0, 2048) == pytest.approx(
+            2 * aws.invocation_cost(1.0, 1024)
+        )
+
+    def test_memory_clamped_to_floor(self):
+        aws = AwsLambdaPricing()
+        assert aws.invocation_cost(1.0, 10) == aws.invocation_cost(1.0, 128)
+
+    def test_memory_above_max_rejected(self):
+        with pytest.raises(PricingError):
+            AwsLambdaPricing().invocation_cost(1.0, 20_000)
+
+    def test_100k_invocations(self):
+        aws = AwsLambdaPricing()
+        single = aws.invocation_cost(0.582, 128)
+        assert aws.cost_for_invocations(0.582, 128, 100_000) == pytest.approx(
+            single * 100_000
+        )
+
+    def test_request_price_added_per_invocation(self):
+        aws = AwsLambdaPricing(request_price=2e-7)
+        base = AwsLambdaPricing().invocation_cost(1.0, 128)
+        assert aws.invocation_cost(1.0, 128) == pytest.approx(base + 2e-7)
+
+    @given(
+        st.floats(min_value=0, max_value=900),
+        st.floats(min_value=0, max_value=900),
+        st.integers(min_value=128, max_value=10_240),
+    )
+    def test_cost_monotone_in_duration(self, d1, d2, mem):
+        aws = AwsLambdaPricing()
+        lo, hi = sorted((d1, d2))
+        assert aws.invocation_cost(lo, mem) <= aws.invocation_cost(hi, mem) + 1e-12
+
+    @given(st.floats(min_value=0.001, max_value=900))
+    def test_billed_duration_never_below_raw(self, duration):
+        for pricing in (AwsLambdaPricing(), GcpCloudRunPricing(), AzureFunctionsPricing()):
+            billed = pricing.billed_duration_s(duration)
+            assert billed >= duration - 1e-9
+            assert billed - duration < pricing.billing_granularity_s

@@ -1,0 +1,44 @@
+"""Tests for SnapStart pricing (Section 8.6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PricingError
+from repro.pricing import SnapStartPricing
+
+
+class TestSnapStartPricing:
+    def test_cache_cost_scales_with_size_and_time(self):
+        pricing = SnapStartPricing()
+        base = pricing.cache_cost(1024, 3600)
+        assert pricing.cache_cost(2048, 3600) == pytest.approx(2 * base)
+        assert pricing.cache_cost(1024, 7200) == pytest.approx(2 * base)
+
+    def test_restore_cost_per_cold_start(self):
+        pricing = SnapStartPricing()
+        one = pricing.restore_cost(1024, restores=1)
+        assert pricing.restore_cost(1024, restores=5) == pytest.approx(5 * one)
+        assert pricing.restore_cost(1024, restores=0) == 0.0
+
+    def test_bill_combines_components(self):
+        pricing = SnapStartPricing()
+        bill = pricing.bill(512, cached_duration_s=86_400, restores=10)
+        assert bill.total == pytest.approx(bill.cache_cost + bill.restore_cost)
+        assert bill.cache_cost > 0 and bill.restore_cost > 0
+
+    def test_cache_dominates_for_idle_functions(self):
+        """The Figure 13 observation: for rarely-invoked functions the
+        cache cost dwarfs everything ("mostly on caching costs")."""
+        pricing = SnapStartPricing()
+        bill = pricing.bill(150, cached_duration_s=86_400, restores=3)
+        assert bill.cache_cost > 5 * bill.restore_cost
+
+    def test_negative_inputs_rejected(self):
+        pricing = SnapStartPricing()
+        with pytest.raises(PricingError):
+            pricing.cache_cost(-1, 10)
+        with pytest.raises(PricingError):
+            pricing.restore_cost(10, restores=-1)
+        with pytest.raises(PricingError):
+            SnapStartPricing(cache_gb_second_price=-1)

@@ -1,0 +1,88 @@
+"""Tests for application bundles."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bundle import AppBundle, BundleManifest
+from repro.errors import DeploymentError
+
+
+class TestManifest:
+    def test_round_trip(self):
+        manifest = BundleManifest(
+            name="app",
+            image_size_mb=120.5,
+            external_modules=["synth_torch"],
+            platform_overhead_s=0.42,
+        )
+        assert BundleManifest.from_dict(manifest.to_dict()) == manifest
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(DeploymentError):
+            BundleManifest.from_dict({})
+
+    def test_defaults(self):
+        manifest = BundleManifest.from_dict({"name": "x"})
+        assert manifest.handler_module == "handler"
+        assert manifest.handler_function == "handler"
+        assert manifest.platform_overhead_s is None
+
+
+class TestAppBundle:
+    def test_missing_root_rejected(self, tmp_path):
+        with pytest.raises(DeploymentError):
+            AppBundle(tmp_path / "nope")
+
+    def test_manifest_defaults_to_directory_name(self, tmp_path):
+        root = tmp_path / "myapp"
+        root.mkdir()
+        assert AppBundle(root).name == "myapp"
+
+    def test_manifest_loaded_from_disk(self, tmp_path):
+        root = tmp_path / "app"
+        root.mkdir()
+        (root / "manifest.json").write_text(json.dumps({"name": "renamed"}))
+        assert AppBundle(root).name == "renamed"
+
+    def test_module_file_resolution(self, toy_app):
+        assert toy_app.module_file("torch").name == "__init__.py"
+        # nn has no children of its own, so it is a plain module file
+        assert toy_app.module_file("torch.nn").name == "nn.py"
+        assert toy_app.has_module("torch.optim")
+        assert not toy_app.has_module("missing")
+        with pytest.raises(DeploymentError):
+            toy_app.module_file("missing")
+
+    def test_plain_module_resolution(self, toy_app):
+        extra = toy_app.site_packages / "flat.py"
+        extra.write_text("x = 1\n")
+        assert toy_app.module_file("flat") == extra
+
+    def test_installed_packages(self, toy_app):
+        assert toy_app.installed_packages() == ["torch"]
+
+    def test_handler_source(self, toy_app):
+        assert "def handler(event, context):" in toy_app.handler_source()
+
+    def test_missing_handler(self, tmp_path):
+        root = tmp_path / "empty"
+        root.mkdir()
+        with pytest.raises(DeploymentError):
+            AppBundle(root).handler_source()
+
+    def test_clone_is_deep(self, toy_app, tmp_path):
+        clone = toy_app.clone(tmp_path / "copy")
+        clone.module_file("torch").write_text("mutated = True\n")
+        assert "mutated" not in toy_app.module_file("torch").read_text()
+
+    def test_clone_refuses_existing_target(self, toy_app, tmp_path):
+        target = tmp_path / "exists"
+        target.mkdir()
+        with pytest.raises(DeploymentError):
+            toy_app.clone(target)
+
+    def test_code_size_positive(self, toy_app):
+        assert toy_app.code_size_mb() > 0

@@ -1,0 +1,111 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTrimCommand:
+    def test_trim_and_oracle(self, toy_app, tmp_path, capsys):
+        out = tmp_path / "trimmed"
+        assert main(["trim", str(toy_app.root), "-o", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "attributes removed" in stdout
+        assert out.exists()
+
+        assert main(["oracle", str(toy_app.root), str(out)]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_trim_statement_granularity(self, toy_app, tmp_path, capsys):
+        out = tmp_path / "stmt"
+        code = main(
+            ["trim", str(toy_app.root), "-o", str(out), "--granularity", "statement"]
+        )
+        assert code == 0
+        source = (out / "site-packages" / "torch" / "__init__.py").read_text()
+        assert "MSELoss" in source  # statement granularity keeps the pair
+
+    def test_oracle_detects_divergence(self, toy_app, tmp_path, capsys):
+        broken = toy_app.clone(tmp_path / "broken")
+        broken.handler_path.write_text(
+            broken.handler_source().replace("% 10**6", "% 3")
+        )
+        assert main(["oracle", str(toy_app.root), str(broken.root)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+
+class TestInspectionCommands:
+    def test_analyze(self, toy_app, capsys):
+        assert main(["analyze", str(toy_app.root)]) == 0
+        stdout = capsys.readouterr().out
+        assert "torch" in stdout
+        assert "marginal cost" in stdout
+
+    def test_measure(self, toy_app, capsys):
+        assert main(["measure", str(toy_app.root), "--invocations", "1"]) == 0
+        stdout = capsys.readouterr().out
+        assert "cold start" in stdout
+        assert "per 100K invocations" in stdout
+
+    def test_invoke_default_event(self, toy_app, capsys):
+        assert main(["invoke", str(toy_app.root)]) == 0
+        stdout = capsys.readouterr().out
+        assert "REPORT RequestId" in stdout
+        assert "prediction" in stdout
+
+    def test_invoke_custom_event(self, toy_app, capsys):
+        event = json.dumps({"x": [9.0], "y": [1.0]})
+        assert main(["invoke", str(toy_app.root), "--event", event]) == 0
+
+    def test_invoke_warm(self, toy_app, capsys):
+        assert main(["invoke", str(toy_app.root), "--warm"]) == 0
+        assert "Init Duration" not in capsys.readouterr().out
+
+
+class TestWorkloadCommands:
+    def test_apps_listing(self, capsys):
+        assert main(["apps"]) == 0
+        stdout = capsys.readouterr().out
+        assert stdout.count("\n") == 21
+        assert "resnet" in stdout
+
+    def test_build_app(self, tmp_path, capsys):
+        assert main(["build-app", "markdown", str(tmp_path / "md")]) == 0
+        assert (tmp_path / "md" / "handler.py").exists()
+
+    def test_unknown_app_is_reported(self, tmp_path, capsys):
+        assert main(["build-app", "nope", str(tmp_path / "x")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+
+
+class TestFuzzCommand:
+    def test_clean_fuzz_exits_zero(self, toy_app, tmp_path, capsys):
+        clone = toy_app.clone(tmp_path / "clone")
+        code = main(["fuzz", str(toy_app.root), str(clone.root), "--budget", "6"])
+        assert code == 0
+        assert "0 divergence" in capsys.readouterr().out
+
+    def test_continuous_trim_log_round_trip(self, toy_app, tmp_path, capsys):
+        log = tmp_path / "log.json"
+        assert main(["trim", str(toy_app.root), "-o", str(tmp_path / "t1"),
+                     "--log", str(log)]) == 0
+        assert log.exists()
+        assert main(["trim", str(toy_app.root), "-o", str(tmp_path / "t2"),
+                     "--log", str(log)]) == 0
+        stdout = capsys.readouterr().out
+        assert "adopted from the log" in stdout

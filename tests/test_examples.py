@@ -1,0 +1,49 @@
+"""Smoke tests: every shipped example runs to completion.
+
+Examples are the first thing a new user executes; a release where one of
+them crashes is broken regardless of the test suite.  Each example runs
+in a subprocess with a generous timeout (they exercise full pipelines).
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).parent.parent / "examples").glob("*.py"),
+    key=lambda p: p.name,
+)
+
+
+def _run(script: Path, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "dd_walkthrough.py",
+        "optimize_benchmark_app.py",
+        "snapstart_economics.py",
+        "fallback_safety_net.py",
+        "continuous_debloating.py",
+    } <= names
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(script):
+    args = ("markdown",) if script.name == "optimize_benchmark_app.py" else ()
+    completed = _run(script, *args)
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip()  # every example narrates its run

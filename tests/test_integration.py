@@ -1,0 +1,104 @@
+"""Cross-subsystem integration tests: the full λ-trim story end to end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import LambdaEmulator, LambdaTrim, TrimConfig
+from repro.core.fallback import FallbackWrapper
+from repro.core.oracle import OracleCase, OracleRunner, OracleSpec
+from repro.workloads.apps import build_app
+
+
+@pytest.fixture(scope="module")
+def dna(tmp_path_factory):
+    root = tmp_path_factory.mktemp("integration")
+    bundle = build_app("dna-visualization", root / "app")
+    report = LambdaTrim(TrimConfig(max_oracle_calls_per_module=300)).run(
+        bundle, root / "app-trimmed"
+    )
+    return bundle, report
+
+
+class TestTrimDeployInvoke:
+    def test_trimmed_app_deploys_and_matches(self, dna):
+        bundle, report = dna
+        emulator = LambdaEmulator()
+        emulator.deploy(bundle, name="orig")
+        emulator.deploy(report.output, name="trim")
+        event = {"sequence": "ACGTACGT"}
+        original = emulator.invoke("orig", event)
+        trimmed = emulator.invoke("trim", event)
+        assert original.value == trimmed.value
+        assert trimmed.init_duration_s < original.init_duration_s
+        assert trimmed.cost_usd < original.cost_usd
+
+    def test_transitive_numpy_was_debloated(self, dna):
+        _, report = dna
+        numpy_result = report.result_for("synth_numpy")
+        assert numpy_result is not None
+        assert numpy_result.removed_count > 400
+
+    def test_trimmed_warm_starts_unaffected(self, dna):
+        bundle, report = dna
+        emulator = LambdaEmulator()
+        emulator.deploy(bundle, name="orig")
+        emulator.deploy(report.output, name="trim")
+        event = {"sequence": "ACGT"}
+        emulator.invoke("orig", event)
+        emulator.invoke("trim", event)
+        warm_orig = emulator.invoke("orig", event)
+        warm_trim = emulator.invoke("trim", event)
+        assert warm_trim.e2e_s == pytest.approx(warm_orig.e2e_s, rel=0.05)
+
+
+class TestFallbackRoundTrip:
+    def test_rare_input_recovers_and_oracle_extension_fixes_it(
+        self, dna, tmp_path
+    ):
+        bundle, report = dna
+        rare_event = {"sequence": "ACGT", "mode": "interactive"}
+
+        emulator = LambdaEmulator()
+        emulator.deploy(report.output, name="primary")
+        emulator.deploy(bundle, name="original")
+
+        wrapper = FallbackWrapper(
+            primary=lambda e, c: emulator.invoke("primary", e, c),
+            original=lambda e, c: emulator.invoke("original", e, c),
+        )
+        outcome = wrapper.invoke(rare_event, None)
+        assert outcome.used_fallback
+        assert outcome.value["interactive"] is True
+
+        # extend the oracle with the failing input and re-run λ-trim
+        extended = bundle.clone(tmp_path / "extended")
+        spec = OracleSpec.from_bundle(extended)
+        spec.add_case(OracleCase("rare", rare_event))
+        spec.save(extended.oracle_path)
+        report2 = LambdaTrim(TrimConfig(max_oracle_calls_per_module=300)).run(
+            extended, tmp_path / "retrimmed"
+        )
+        runner = OracleRunner(extended, spec)
+        assert runner.check(report2.output).passed
+
+        emulator.deploy(report2.output, name="retrimmed")
+        record = emulator.invoke("retrimmed", rare_event)
+        assert record.ok
+        assert record.value == outcome.value
+
+
+class TestBaselineAgreement:
+    def test_all_optimizers_preserve_behaviour(self, dna, tmp_path):
+        """λ-trim, FaaSLight, and Vulture outputs all satisfy the oracle."""
+        from repro.baselines import FaasLight, vulture_trim
+
+        bundle, report = dna
+        runner = OracleRunner(bundle)
+        candidates = {
+            "lambda-trim": report.output,
+            "faaslight": FaasLight().run(bundle, tmp_path / "fl").output,
+            "vulture": vulture_trim(bundle, tmp_path / "v").output,
+        }
+        for name, candidate in candidates.items():
+            assert runner.check(candidate).passed, name

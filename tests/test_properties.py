@@ -1,0 +1,161 @@
+"""Property-based end-to-end tests: pipeline invariants on random apps.
+
+Hypothesis generates random synthetic libraries (attribute mix, hidden
+import-time chains, submodule re-exports, costs) and random handlers using
+a subset of the API, then runs the full λ-trim pipeline.  Whatever the
+shape, four invariants must hold:
+
+1. the optimized bundle satisfies the oracle (behaviour preserved);
+2. initialization time and memory never increase;
+3. every attribute the handler references survives;
+4. the run is deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bundle import AppBundle, BundleManifest
+from repro.core.execution import run_once
+from repro.core.oracle import OracleRunner
+from repro.core.pipeline import LambdaTrim, TrimConfig
+from repro.workloads.synthlib import (
+    LibrarySpec,
+    ModuleSpec,
+    chain,
+    deffn,
+    func,
+    generate_library,
+    klass,
+    reexport,
+    value,
+)
+
+NAMES = [f"attr_{i:02d}" for i in range(12)]
+
+
+@st.composite
+def library_layouts(draw):
+    """A random library: attribute kinds, costs, deps, and a used subset."""
+    n = draw(st.integers(min_value=3, max_value=10))
+    kinds = draw(
+        st.lists(
+            st.sampled_from(["func", "klass", "value", "deffn", "chain"]),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    attributes = []
+    for i, kind in enumerate(kinds):
+        name = NAMES[i]
+        cost = dict(
+            time_s=draw(st.floats(min_value=0.0, max_value=0.1)),
+            memory_mb=draw(st.floats(min_value=0.0, max_value=5.0)),
+        )
+        prior = [a.name for a in attributes if a.kind in ("func", "klass", "value")]
+        if kind == "func":
+            attributes.append(func(name, **cost))
+        elif kind == "klass":
+            attributes.append(klass(name, **cost))
+        elif kind == "value":
+            attributes.append(value(name, **cost))
+        elif kind == "deffn" and prior:
+            deps = tuple(draw(st.sets(st.sampled_from(prior), max_size=2)))
+            attributes.append(deffn(name, uses=deps))
+        elif kind == "chain" and prior:
+            deps = tuple(draw(st.sets(st.sampled_from(prior), min_size=1, max_size=2)))
+            attributes.append(chain(name, deps, **cost))
+        else:
+            attributes.append(value(name, **cost))
+
+    with_sub = draw(st.booleans())
+    modules = [
+        ModuleSpec(
+            name="",
+            body_time_s=draw(st.floats(min_value=0.01, max_value=0.2)),
+            body_memory_mb=draw(st.floats(min_value=0.5, max_value=10.0)),
+            attributes=tuple(attributes)
+            + ((reexport("sub", "Extra"),) if with_sub else ()),
+        )
+    ]
+    if with_sub:
+        modules.append(
+            ModuleSpec(
+                name="sub",
+                body_time_s=draw(st.floats(min_value=0.01, max_value=0.3)),
+                body_memory_mb=draw(st.floats(min_value=0.5, max_value=12.0)),
+                attributes=(klass("Extra"),),
+            )
+        )
+
+    callables = [a.name for a in attributes if a.kind in ("func", "klass", "deffn")]
+    used = draw(
+        st.sets(st.sampled_from(callables), min_size=1, max_size=len(callables))
+        if callables
+        else st.just(set())
+    )
+    return LibrarySpec(name="synth_rand", modules=tuple(modules)), sorted(used)
+
+
+def _build_app(tmp_path, spec: LibrarySpec, used: list[str]) -> AppBundle:
+    root = tmp_path / "app"
+    (root / "site-packages").mkdir(parents=True)
+    generate_library(spec, root / "site-packages")
+    calls = "\n".join(
+        f"    out.append(rand.{name}(event['x']) % 10**6)" for name in used
+    )
+    (root / "handler.py").write_text(
+        "import synth_rand as rand\n\n"
+        "def handler(event, context):\n"
+        "    out = []\n"
+        f"{calls}\n"
+        "    return {'out': out}\n"
+    )
+    (root / "oracle.json").write_text(json.dumps([{"event": {"x": 7}}]))
+    bundle = AppBundle(root)
+    bundle.write_manifest(BundleManifest(name="rand-app", image_size_mb=5.0))
+    return bundle
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(layout=library_layouts())
+def test_pipeline_invariants_on_random_apps(layout, tmp_path_factory):
+    spec, used = layout
+    tmp_path = tmp_path_factory.mktemp("prop")
+    bundle = _build_app(tmp_path, spec, used)
+
+    before = run_once(bundle, {"x": 7})
+    assert before.ok, before.init_error or before.invocation.error
+
+    report = LambdaTrim(TrimConfig(max_oracle_calls_per_module=250)).run(
+        bundle, tmp_path / "trimmed"
+    )
+    after = run_once(report.output, {"x": 7})
+
+    # 1. behaviour preserved
+    assert after.observable() == before.observable()
+    assert OracleRunner(bundle).check(report.output).passed
+
+    # 2. costs never increase
+    assert after.init_time_s <= before.init_time_s + 1e-9
+    assert after.init_memory_mb <= before.init_memory_mb + 1e-9
+
+    # 3. used attributes survive in the rewritten module
+    source = report.output.module_file("synth_rand").read_text()
+    for name in used:
+        assert name in source, f"used attribute {name} was removed"
+
+    # 4. determinism
+    rerun = LambdaTrim(TrimConfig(max_oracle_calls_per_module=250)).run(
+        bundle, tmp_path / "trimmed-again"
+    )
+    assert [r.kept for r in rerun.module_results] == [
+        r.kept for r in report.module_results
+    ]

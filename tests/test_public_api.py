@@ -1,0 +1,57 @@
+"""The public API surface: every advertised name imports and resolves."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+PACKAGES = (
+    "repro",
+    "repro.core",
+    "repro.platform",
+    "repro.pricing",
+    "repro.workloads",
+    "repro.traces",
+    "repro.baselines",
+    "repro.checkpoint",
+    "repro.analysis",
+)
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_exports_resolve(package):
+    module = importlib.import_module(package)
+    assert module.__all__, f"{package} advertises no API"
+    for name in module.__all__:
+        assert getattr(module, name, None) is not None, f"{package}.{name}"
+
+
+def test_top_level_convenience_imports():
+    import repro
+
+    assert repro.LambdaTrim and repro.LambdaEmulator and repro.AppBundle
+    assert repro.__version__ == "1.0.0"
+
+
+def test_every_public_callable_has_a_docstring():
+    for package in PACKAGES:
+        module = importlib.import_module(package)
+        for name in module.__all__:
+            obj = getattr(module, name)
+            if callable(obj):
+                assert obj.__doc__, f"{package}.{name} lacks a docstring"
+
+
+def test_cli_entry_point_importable():
+    from repro.cli import build_parser, main  # noqa: F401
+
+    parser = build_parser()
+    commands = {
+        action.dest
+        for action in parser._subparsers._group_actions[0]._get_subactions()
+    }
+    assert {
+        "trim", "analyze", "measure", "invoke", "oracle",
+        "fuzz", "tune", "build-app", "apps", "report",
+    } <= commands

@@ -1,0 +1,144 @@
+"""Tests for the virtual metering substrate."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import vm
+from repro.errors import MeterError
+
+
+class TestMemoryLedger:
+    def test_allocate_and_free(self):
+        ledger = vm.MemoryLedger()
+        ledger.allocate("a", 10.0)
+        ledger.allocate("b", 5.0)
+        assert ledger.live_mb == 15.0
+        assert ledger.peak_mb == 15.0
+        assert ledger.free("a") == 10.0
+        assert ledger.live_mb == 5.0
+        assert ledger.peak_mb == 15.0  # peak is a high watermark
+
+    def test_same_label_accumulates(self):
+        ledger = vm.MemoryLedger()
+        ledger.allocate("x", 3.0)
+        ledger.allocate("x", 4.0)
+        assert ledger.allocated("x") == 7.0
+
+    def test_free_unknown_label_is_zero(self):
+        assert vm.MemoryLedger().free("nope") == 0.0
+
+    def test_zero_allocation_is_noop(self):
+        ledger = vm.MemoryLedger()
+        ledger.allocate("x", 0.0)
+        assert ledger.labels == ()
+
+    def test_negative_allocation_rejected(self):
+        with pytest.raises(MeterError):
+            vm.MemoryLedger().allocate("x", -1.0)
+
+    @given(st.lists(st.floats(min_value=0, max_value=100), max_size=30))
+    def test_peak_never_below_live(self, sizes):
+        ledger = vm.MemoryLedger()
+        for i, size in enumerate(sizes):
+            ledger.allocate(f"l{i}", size)
+            assert ledger.peak_mb >= ledger.live_mb
+            assert ledger.live_mb == pytest.approx(
+                sum(sizes[: i + 1]), rel=1e-9, abs=1e-9
+            )
+
+
+class TestMeterScopes:
+    def test_charges_reach_all_active_meters(self):
+        outer, inner = vm.Meter("outer"), vm.Meter("inner")
+        with vm.metered(outer):
+            with vm.metered(inner):
+                vm.exec_cost("work", time_s=1.5, memory_mb=2.0)
+        assert outer.time_s == 1.5
+        assert inner.time_s == 1.5
+        assert outer.live_mb == 2.0
+
+    def test_charges_outside_scope_hit_global_meter(self):
+        fresh = vm.reset_global_meter()
+        vm.module_cost("stray", time_s=0.1)
+        assert fresh.time_s == pytest.approx(0.1)
+
+    def test_unbalanced_pop_raises(self):
+        meter = vm.Meter()
+        with pytest.raises(MeterError):
+            vm.pop_meter(meter)
+
+    def test_current_meter(self):
+        assert vm.current_meter() is None or vm.current_meter().name
+        meter = vm.Meter("top")
+        with vm.metered(meter):
+            assert vm.current_meter() is meter
+
+    def test_scope_cleans_up_after_exception(self):
+        meter = vm.Meter()
+        with pytest.raises(RuntimeError):
+            with vm.metered(meter):
+                raise RuntimeError("boom")
+        assert meter not in vm.active_meters()
+
+
+class TestChargeApi:
+    def test_module_cost_categorised_as_import(self):
+        meter = vm.Meter()
+        with vm.metered(meter):
+            vm.module_cost("m", time_s=0.2, memory_mb=1.0)
+            vm.exec_cost("handler", time_s=0.3)
+        assert meter.time_in_category(vm.CATEGORY_IMPORT) == pytest.approx(0.2)
+        assert meter.time_in_category(vm.CATEGORY_EXEC) == pytest.approx(0.3)
+
+    def test_attribute_cost_label_includes_attribute(self):
+        meter = vm.Meter()
+        with vm.metered(meter):
+            vm.attribute_cost("mod", "attr", time_s=0.1)
+        assert meter.events[0].label == "mod.attr"
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(MeterError):
+            vm.ChargeEvent(label="x", category="exec", time_s=-1)
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(MeterError):
+            vm.ChargeEvent(label="x", category="wat")
+
+    def test_free_cost_releases_allocation(self):
+        meter = vm.Meter()
+        with vm.metered(meter):
+            vm.exec_cost("blob", memory_mb=8.0)
+            vm.free_cost("blob")
+        assert meter.live_mb == 0.0
+        assert meter.peak_mb == 8.0
+
+    def test_snapshot_is_immutable_view(self):
+        meter = vm.Meter()
+        with vm.metered(meter):
+            vm.exec_cost("a", time_s=1.0, memory_mb=2.0)
+        snap = meter.snapshot()
+        with vm.metered(meter):
+            vm.exec_cost("b", time_s=1.0)
+        assert snap.time_s == 1.0
+        assert snap.event_count == 1
+        assert meter.time_s == 2.0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=10),
+                st.floats(min_value=0, max_value=10),
+            ),
+            max_size=25,
+        )
+    )
+    def test_meter_totals_are_sums(self, charges):
+        meter = vm.Meter()
+        with vm.metered(meter):
+            for i, (t, m) in enumerate(charges):
+                vm.exec_cost(f"c{i}", time_s=t, memory_mb=m)
+        assert meter.time_s == pytest.approx(sum(t for t, _ in charges))
+        assert meter.live_mb == pytest.approx(sum(m for _, m in charges))

@@ -1,0 +1,102 @@
+"""Tests for the synthetic Azure-style trace generator."""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.errors import TraceError
+from repro.traces import AzureTraceGenerator
+from repro.traces.azure import DAY_S, FunctionTrace
+
+
+class TestGeneration:
+    def test_deterministic_for_same_seed(self):
+        a = AzureTraceGenerator(seed=1).generate(20)
+        b = AzureTraceGenerator(seed=1).generate(20)
+        assert [t.timestamps for t in a] == [t.timestamps for t in b]
+
+    def test_different_seeds_differ(self):
+        a = AzureTraceGenerator(seed=1).generate(20)
+        b = AzureTraceGenerator(seed=2).generate(20)
+        assert [t.timestamps for t in a] != [t.timestamps for t in b]
+
+    def test_timestamps_sorted_and_in_window(self):
+        for trace in AzureTraceGenerator(seed=3).generate(50):
+            assert list(trace.timestamps) == sorted(trace.timestamps)
+            assert all(0 <= t <= DAY_S for t in trace.timestamps)
+            assert trace.invocations >= 1
+
+    def test_population_mixes_patterns(self):
+        traces = AzureTraceGenerator(seed=7).generate(200)
+        patterns = {t.pattern for t in traces}
+        assert patterns == {"rare", "periodic", "bursty", "steady"}
+
+    def test_invocation_rates_span_orders_of_magnitude(self):
+        """Shahrad'20: most functions rare, a head extremely hot."""
+        traces = AzureTraceGenerator(seed=11).generate(300)
+        counts = sorted(t.invocations for t in traces)
+        assert counts[0] <= 10
+        assert counts[-1] >= 1000
+        assert statistics.median(counts) < counts[-1] / 20
+
+    def test_memory_and_duration_marginals(self):
+        traces = AzureTraceGenerator(seed=13).generate(300)
+        memories = [t.memory_mb for t in traces]
+        durations = [t.duration_s for t in traces]
+        assert 128 <= min(memories)
+        assert statistics.median(memories) == pytest.approx(170, rel=0.5)
+        assert statistics.median(durations) == pytest.approx(1.0, rel=0.6)
+
+    def test_periodic_functions_have_regular_gaps(self):
+        generator = AzureTraceGenerator(seed=5)
+        periodic = [
+            t for t in generator.generate(200) if t.pattern == "periodic"
+        ][0]
+        gaps = [
+            b - a
+            for a, b in zip(periodic.timestamps, periodic.timestamps[1:])
+        ]
+        assert statistics.pstdev(gaps) < statistics.fmean(gaps) * 0.2
+
+    def test_invalid_inputs(self):
+        with pytest.raises(TraceError):
+            AzureTraceGenerator(duration_s=0)
+        with pytest.raises(TraceError):
+            AzureTraceGenerator().generate(0)
+        with pytest.raises(TraceError):
+            FunctionTrace(
+                function_id="x",
+                pattern="rare",
+                memory_mb=128,
+                duration_s=1,
+                timestamps=(2.0, 1.0),
+            )
+
+
+class TestDiurnalCycle:
+    def test_steady_functions_show_day_night_contrast(self):
+        """Aggregate steady traffic must vary across the day (Shahrad'20's
+        diurnal pattern): the busiest 4-hour window carries well over its
+        uniform share of invocations."""
+        generator = AzureTraceGenerator(seed=21)
+        steady = [t for t in generator.generate(400) if t.pattern == "steady"]
+        assert steady
+        # per-function contrast: compare each function's own peak window
+        # against its own trough window (phases differ per function)
+        contrasts = []
+        for trace in steady:
+            if trace.invocations < 200:
+                continue
+            buckets = [0] * 6  # 4-hour bins
+            for ts in trace.timestamps:
+                buckets[min(int(ts // (4 * 3600)), 5)] += 1
+            contrasts.append(max(buckets) / max(min(buckets), 1))
+        assert contrasts
+        assert statistics.median(contrasts) > 1.3
+
+    def test_diurnal_cycle_is_deterministic(self):
+        a = AzureTraceGenerator(seed=33).generate_function(5)
+        b = AzureTraceGenerator(seed=33).generate_function(5)
+        assert a.timestamps == b.timestamps

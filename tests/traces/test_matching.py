@@ -1,0 +1,51 @@
+"""Tests for L2 application-to-trace matching (Figure 14)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TraceError
+from repro.traces import AzureTraceGenerator, match_function
+from repro.traces.azure import FunctionTrace
+
+
+def _fn(fid, memory, duration):
+    return FunctionTrace(
+        function_id=fid,
+        pattern="rare",
+        memory_mb=memory,
+        duration_s=duration,
+        timestamps=(0.0,),
+    )
+
+
+class TestMatching:
+    def test_exact_match_wins(self):
+        traces = [_fn("a", 128, 1.0), _fn("b", 512, 5.0), _fn("c", 2048, 0.1)]
+        assert match_function(traces, memory_mb=512, duration_s=5.0).function_id == "b"
+
+    def test_normalisation_prevents_memory_domination(self):
+        """Without per-axis scaling, MB distances would swamp seconds."""
+        traces = [
+            _fn("near-mem-far-dur", 300, 100.0),
+            _fn("far-mem-near-dur", 400, 1.0),
+        ]
+        match = match_function(traces, memory_mb=310, duration_s=1.0)
+        assert match.function_id == "far-mem-near-dur"
+
+    def test_deterministic_tie_break(self):
+        traces = [_fn("b", 100, 1.0), _fn("a", 100, 1.0)]
+        assert match_function(traces, memory_mb=100, duration_s=1.0).function_id == "a"
+
+    def test_single_candidate(self):
+        only = _fn("solo", 1, 1)
+        assert match_function([only], memory_mb=9999, duration_s=9999) is only
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(TraceError):
+            match_function([], memory_mb=1, duration_s=1)
+
+    def test_matches_within_generated_population(self):
+        traces = AzureTraceGenerator(seed=9).generate(100)
+        match = match_function(traces, memory_mb=245.0, duration_s=0.86)
+        assert match in traces

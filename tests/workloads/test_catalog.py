@@ -1,0 +1,212 @@
+"""Tests for the calibrated library catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.execution import isolated_imports
+from repro.errors import WorkloadError
+from repro.vm import Meter, metered
+from repro.workloads.catalog import (
+    LIBRARY_NAMES,
+    SubPlan,
+    library_spec,
+    standard_library,
+)
+from repro.workloads.synthlib import generate_library
+
+# Table 3's representative-module attribute counts.
+TABLE3_COUNTS = {
+    "numpy": 537,
+    "torch": 1414,
+    "transformers": 3300,
+    "sympy": 938,
+    "nltk": 560,
+    "igraph": 185,
+    "shapely": 176,
+    "pandas": 141,
+    "tensorflow": 355,
+    "lightgbm": 45,
+    "markdown": 28,
+    "chdb": 32,
+    "pptx": 38,
+    "ffmpeg": 46,
+    "qiskit": 49,
+    "joblib": 50,
+    "spacy": 60,
+    "skimage": 18,
+}
+
+
+class TestCatalog:
+    @pytest.mark.parametrize("name", LIBRARY_NAMES)
+    def test_every_builder_constructs(self, name):
+        spec = library_spec(name)
+        assert spec.name == f"synth_{name}"
+        assert spec.attribute_count() > 0
+
+    @pytest.mark.parametrize("name,expected", sorted(TABLE3_COUNTS.items()))
+    def test_table3_attribute_counts(self, name, expected):
+        assert library_spec(name).attribute_count() == expected
+
+    def test_wand_image_submodule_count(self):
+        """Table 3's image-resize representative is wand.image (91 attrs)."""
+        assert library_spec("wand").attribute_count("image") == 91
+
+    def test_lxml_html_submodule_count(self):
+        assert library_spec("lxml").attribute_count("html") == 84
+
+    def test_unknown_library_rejected(self):
+        with pytest.raises(WorkloadError):
+            library_spec("left-pad")
+
+    def test_budget_overrides_scale_costs(self, tmp_path):
+        spec = library_spec("markdown", import_time_s=1.0, memory_mb=50.0)
+        generate_library(spec, tmp_path)
+        meter = Meter()
+        with isolated_imports([str(tmp_path)]):
+            with metered(meter):
+                import synth_markdown  # noqa: F401
+        assert meter.time_s == pytest.approx(1.0, rel=0.01)
+        assert meter.live_mb == pytest.approx(50.0, rel=0.01)
+
+    def test_import_charges_full_budget(self, tmp_path):
+        """Importing the whole library charges ~its declared budget."""
+        spec = library_spec("lightgbm")
+        generate_library(spec, tmp_path)
+        meter = Meter()
+        with isolated_imports([str(tmp_path)]):
+            with metered(meter):
+                import synth_lightgbm  # noqa: F401
+        assert meter.time_s == pytest.approx(0.42, rel=0.02)
+
+    def test_numpy_wide_api_exists(self, tmp_path):
+        generate_library(library_spec("numpy"), tmp_path)
+        with isolated_imports([str(tmp_path)]):
+            import synth_numpy
+
+            assert callable(synth_numpy.stats_suite)
+            # its dependencies span the bulk attribute range
+            assert isinstance(synth_numpy.stats_suite("x"), int)
+
+
+class TestStandardLibrary:
+    def test_root_attr_target_too_small_rejected(self):
+        with pytest.raises(WorkloadError):
+            standard_library(
+                "synth_x",
+                disk_size_mb=1,
+                import_time_s=1,
+                memory_mb=1,
+                kept_time_frac=0.5,
+                kept_mem_frac=0.5,
+                root_attr_target=2,
+                api_funcs=("a", "b", "c"),
+            )
+
+    def test_invalid_fracs_rejected(self):
+        with pytest.raises(WorkloadError):
+            standard_library(
+                "synth_x",
+                disk_size_mb=1,
+                import_time_s=1,
+                memory_mb=1,
+                kept_time_frac=1.5,
+                kept_mem_frac=0.5,
+                root_attr_target=10,
+            )
+
+    def test_subplan_validation(self):
+        with pytest.raises(WorkloadError):
+            SubPlan("s", used=False, via="reexport")  # needs names
+        with pytest.raises(WorkloadError):
+            SubPlan("s", used=False, via="teleport")
+        with pytest.raises(WorkloadError):
+            SubPlan("s", used=False, reexport_names=("Ghost",))  # not in attrs
+
+    def test_wide_api_bounds_checked(self):
+        with pytest.raises(WorkloadError):
+            standard_library(
+                "synth_x",
+                disk_size_mb=1,
+                import_time_s=1,
+                memory_mb=1,
+                kept_time_frac=0.5,
+                kept_mem_frac=0.5,
+                root_attr_target=10,
+                wide_api=("wide", 50),
+            )
+
+    def test_kept_plus_removed_equals_budget(self, tmp_path):
+        """Generation conserves the cost budget exactly."""
+        spec = standard_library(
+            "synth_budget",
+            disk_size_mb=1,
+            import_time_s=2.0,
+            memory_mb=20.0,
+            kept_time_frac=0.3,
+            kept_mem_frac=0.7,
+            root_attr_target=40,
+            api_funcs=("go",),
+            subs=(
+                SubPlan("used_sub", used=True, attrs=("Thing",)),
+                SubPlan(
+                    "unused_sub",
+                    used=False,
+                    attrs=("Other",),
+                    via="reexport",
+                    reexport_names=("Other",),
+                ),
+            ),
+        )
+        generate_library(spec, tmp_path)
+        meter = Meter()
+        with isolated_imports([str(tmp_path)]):
+            with metered(meter):
+                import synth_budget  # noqa: F401
+        assert meter.time_s == pytest.approx(2.0, rel=0.01)
+        assert meter.live_mb == pytest.approx(20.0, rel=0.01)
+
+
+@pytest.mark.slow
+class TestBudgetConservation:
+    """Generation conserves every library's declared cost budget exactly."""
+
+    @pytest.mark.parametrize("name", LIBRARY_NAMES)
+    def test_full_import_charges_declared_budget(self, name, tmp_path):
+        spec = library_spec(name)
+        generate_library(spec, tmp_path)
+        # cross-library dependencies must be present to import
+        deps = {
+            "sklearn": ["joblib"],
+            "squiggle": ["numpy"],
+            "textblob": ["nltk"],
+            "pandas": ["numpy"],
+            "qiskit_nature": ["qiskit"],
+        }
+        for dep in deps.get(name, []):
+            generate_library(library_spec(dep), tmp_path)
+
+        declared_time = _declared(spec, "time")
+        declared_mem = _declared(spec, "memory")
+        meter = Meter()
+        with isolated_imports([str(tmp_path)]):
+            with metered(meter):
+                __import__(spec.name)
+        # dependencies charge their own budgets on top of this library's
+        dep_time = sum(_declared(library_spec(d), "time") for d in deps.get(name, []))
+        dep_mem = sum(_declared(library_spec(d), "memory") for d in deps.get(name, []))
+        assert meter.time_s == pytest.approx(declared_time + dep_time, rel=0.02)
+        assert meter.live_mb == pytest.approx(declared_mem + dep_mem, rel=0.02)
+
+
+def _declared(spec, axis: str) -> float:
+    total = 0.0
+    for module in spec.modules:
+        if axis == "time":
+            total += module.body_time_s
+            total += sum(a.init_time_s for a in module.attributes)
+        else:
+            total += module.body_memory_mb
+            total += sum(a.init_memory_mb for a in module.attributes)
+    return total

@@ -1,0 +1,132 @@
+"""Tests for the synthetic-library runtime helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.vm import Meter, metered
+from repro.workloads.synthapi import (
+    SynthInstance,
+    stable_token,
+    synth_class,
+    synth_function,
+    synth_value,
+)
+
+JSON_VALUES = st.recursive(
+    st.none() | st.booleans() | st.integers() | st.text(max_size=10),
+    lambda children: st.lists(children, max_size=3)
+    | st.dictionaries(st.text(max_size=5), children, max_size=3),
+    max_leaves=8,
+)
+
+
+class TestStableToken:
+    def test_deterministic(self):
+        assert stable_token("a", [1, 2]) == stable_token("a", [1, 2])
+
+    def test_sensitive_to_inputs(self):
+        assert stable_token("a", 1) != stable_token("a", 2)
+        assert stable_token("a", 1) != stable_token("b", 1)
+
+    def test_48_bit_range(self):
+        token = stable_token("anything")
+        assert 0 <= token < 2**48
+
+    def test_callables_encode_by_qualname_not_identity(self):
+        """Function addresses vary between runs; tokens must not."""
+        fn_a = synth_function("m", "f")
+        fn_b = synth_function("m", "f")
+        assert stable_token("ctx", fn_a) == stable_token("ctx", fn_b)
+
+    def test_dict_ordering_is_canonical(self):
+        assert stable_token({"a": 1, "b": 2}) == stable_token({"b": 2, "a": 1})
+
+    @given(JSON_VALUES)
+    def test_any_json_value_is_hashable_input(self, value):
+        assert stable_token(value) == stable_token(value)
+
+
+class TestSynthFunction:
+    def test_charges_import_cost_at_creation(self):
+        meter = Meter()
+        with metered(meter):
+            synth_function("m", "f", init_time_s=0.5, init_memory_mb=2.0)
+        assert meter.time_s == pytest.approx(0.5)
+        assert meter.live_mb == pytest.approx(2.0)
+
+    def test_charges_exec_cost_at_call(self):
+        fn = synth_function("m", "f", call_time_s=0.3, call_memory_mb=1.0)
+        meter = Meter()
+        with metered(meter):
+            fn(1)
+        assert meter.time_s == pytest.approx(0.3)
+        assert meter.live_mb == pytest.approx(1.0)
+
+    def test_results_depend_on_arguments(self):
+        fn = synth_function("m", "f")
+        assert fn(1) != fn(2)
+        assert fn(1, flag=True) != fn(1)
+        assert fn(1) == fn(1)
+
+    def test_metadata(self):
+        fn = synth_function("synth_mod", "compute")
+        assert fn.__name__ == "compute"
+        assert fn.__qualname__ == "synth_mod.compute"
+
+
+class TestSynthClass:
+    def test_instances_are_deterministic(self):
+        cls = synth_class("m", "Model")
+        assert cls(1, a=2) == cls(1, a=2)
+        assert cls(1) != cls(2)
+
+    def test_call_charges_exec(self):
+        cls = synth_class("m", "Model", call_time_s=0.2)
+        instance = cls("weights")
+        meter = Meter()
+        with metered(meter):
+            instance(42)
+        assert meter.time_s == pytest.approx(0.2)
+
+    def test_generated_methods_charge_too(self):
+        cls = synth_class("m", "Image", call_time_s=0.1, methods=("resize",))
+        meter = Meter()
+        with metered(meter):
+            cls("blob").resize(64, 64)
+        assert meter.time_s == pytest.approx(0.1)
+
+    def test_methods_are_deterministic_and_distinct(self):
+        cls = synth_class("m", "Doc", methods=("words", "tags"))
+        doc = cls("text")
+        assert doc.words() == cls("text").words()
+        assert doc.words() != doc.tags()
+
+    def test_mod_and_int_coercion(self):
+        cls = synth_class("m", "Result")
+        instance = cls(5)
+        assert instance % 100 == int(instance) % 100
+        assert 0 <= instance % 100 < 100
+
+    def test_instances_usable_as_hash_keys(self):
+        cls = synth_class("m", "Key")
+        assert {cls(1): "v"}[cls(1)] == "v"
+
+    def test_subclass_of_synth_instance(self):
+        cls = synth_class("m", "Thing")
+        assert issubclass(cls, SynthInstance)
+        assert cls.__module__ == "m"
+
+
+class TestSynthValue:
+    def test_default_token(self):
+        meter = Meter()
+        with metered(meter):
+            token = synth_value("m", "TABLE", init_memory_mb=4.0)
+        assert isinstance(token, int)
+        assert meter.live_mb == pytest.approx(4.0)
+
+    def test_explicit_value_passthrough(self):
+        assert synth_value("m", "CONST", value="hello") == "hello"

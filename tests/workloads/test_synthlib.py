@@ -1,0 +1,203 @@
+"""Tests for the synthetic library generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.execution import isolated_imports
+from repro.errors import WorkloadError
+from repro.vm import Meter, metered
+from repro.workloads.synthlib import (
+    LibrarySpec,
+    ModuleSpec,
+    chain,
+    deffn,
+    extfrom,
+    extimport,
+    func,
+    generate_library,
+    klass,
+    reexport,
+    render_module,
+    submodules,
+    value,
+)
+
+
+def _simple_spec(**kwargs) -> LibrarySpec:
+    return LibrarySpec(
+        name="synth_demo",
+        modules=(
+            ModuleSpec(
+                name="",
+                body_time_s=0.1,
+                body_memory_mb=2.0,
+                attributes=(
+                    func("run", time_s=0.01, call_time_s=0.5),
+                    klass("Engine", time_s=0.02, memory_mb=1.0, methods=("start",)),
+                    value("TABLE", memory_mb=3.0),
+                    submodules("ext"),
+                ),
+            ),
+            ModuleSpec(name="ext", body_time_s=0.05, attributes=(klass("Plug"),)),
+        ),
+        **kwargs,
+    )
+
+
+class TestSpecValidation:
+    def test_requires_root_module(self):
+        with pytest.raises(WorkloadError):
+            LibrarySpec(name="x", modules=(ModuleSpec(name="sub"),))
+
+    def test_duplicate_modules_rejected(self):
+        with pytest.raises(WorkloadError):
+            LibrarySpec(name="x", modules=(ModuleSpec(name=""), ModuleSpec(name="")))
+
+    def test_missing_parent_module_rejected(self, tmp_path):
+        spec = LibrarySpec(
+            name="x", modules=(ModuleSpec(name=""), ModuleSpec(name="a.b"))
+        )
+        with pytest.raises(WorkloadError):
+            generate_library(spec, tmp_path)
+
+    def test_attribute_count_counts_aliases(self):
+        spec = LibrarySpec(
+            name="x",
+            modules=(
+                ModuleSpec(
+                    name="",
+                    attributes=(
+                        func("f"),
+                        reexport("sub", "A", "B"),
+                        submodules("sub"),
+                    ),
+                ),
+                ModuleSpec(name="sub", attributes=(klass("A"), klass("B"))),
+            ),
+        )
+        assert spec.attribute_count() == 4
+
+    def test_chain_requires_dependencies(self):
+        with pytest.raises(WorkloadError):
+            chain("x", ())
+
+    def test_ext_helpers_require_names(self):
+        with pytest.raises(WorkloadError):
+            extimport()
+        with pytest.raises(WorkloadError):
+            extfrom("m")
+
+
+class TestGeneration:
+    def test_generated_tree_is_importable(self, tmp_path):
+        generate_library(_simple_spec(), tmp_path)
+        meter = Meter()
+        with isolated_imports([str(tmp_path)]):
+            with metered(meter):
+                import synth_demo  # noqa: F401
+
+                assert synth_demo.TABLE
+                assert synth_demo.Engine(1).start() == synth_demo.Engine(1).start()
+        assert meter.time_s == pytest.approx(0.1 + 0.01 + 0.02 + 0.05)
+        assert meter.live_mb == pytest.approx(2.0 + 1.0 + 3.0)
+
+    def test_call_costs_charge_exec(self, tmp_path):
+        generate_library(_simple_spec(), tmp_path)
+        with isolated_imports([str(tmp_path)]):
+            import synth_demo
+
+            meter = Meter()
+            with metered(meter):
+                synth_demo.run(42)
+            assert meter.time_s == pytest.approx(0.5)
+
+    def test_determinism_across_fresh_imports(self, tmp_path):
+        generate_library(_simple_spec(), tmp_path)
+        values = []
+        for _ in range(2):
+            with isolated_imports([str(tmp_path)]):
+                import synth_demo
+
+                values.append(synth_demo.run(1, key="x"))
+        assert values[0] == values[1]
+
+    def test_support_import_uses_magic_binding(self, tmp_path):
+        files = generate_library(_simple_spec(), tmp_path)
+        root = next(f for f in files if f.parent.name == "synth_demo")
+        assert "import repro.workloads.synthapi as __synthapi__" in root.read_text()
+
+    def test_deffn_dependencies_fail_when_removed(self, tmp_path):
+        spec = LibrarySpec(
+            name="synth_dep",
+            modules=(
+                ModuleSpec(
+                    name="",
+                    attributes=(
+                        value("base"),
+                        deffn("top", uses=("base",)),
+                    ),
+                ),
+            ),
+        )
+        generate_library(spec, tmp_path)
+        with isolated_imports([str(tmp_path)]):
+            import synth_dep
+
+            assert isinstance(synth_dep.top(1), int)
+        # simulate DD removing "base" but keeping "top"
+        root = tmp_path / "synth_dep" / "__init__.py"
+        lines = [
+            line for line in root.read_text().splitlines() if "'base'" not in line
+        ]
+        root.write_text("\n".join(lines) + "\n")
+        with isolated_imports([str(tmp_path)]):
+            import synth_dep
+
+            with pytest.raises(NameError):
+                synth_dep.top(1)
+
+    def test_chain_dependencies_fail_at_import(self, tmp_path):
+        spec = LibrarySpec(
+            name="synth_chain",
+            modules=(
+                ModuleSpec(
+                    name="",
+                    attributes=(value("base"), chain("derived", ("base",))),
+                ),
+            ),
+        )
+        generate_library(spec, tmp_path)
+        root = tmp_path / "synth_chain" / "__init__.py"
+        lines = [
+            line for line in root.read_text().splitlines() if "'base'" not in line
+        ]
+        root.write_text("\n".join(lines) + "\n")
+        with isolated_imports([str(tmp_path)]):
+            with pytest.raises(NameError):
+                import synth_chain  # noqa: F401
+
+    def test_render_module_unknown_kind(self):
+        from repro.workloads.synthlib import AttributeSpec
+
+        bad = ModuleSpec(name="", attributes=(AttributeSpec(kind="wat", name="x"),))
+        spec = LibrarySpec(name="b", modules=(bad,))
+        with pytest.raises(WorkloadError):
+            render_module(spec, bad)
+
+    def test_nested_packages(self, tmp_path):
+        spec = LibrarySpec(
+            name="synth_deep",
+            modules=(
+                ModuleSpec(name="", attributes=(submodules("a"),)),
+                ModuleSpec(name="a", attributes=(submodules("b"),)),
+                ModuleSpec(name="a.b", attributes=(klass("Leaf"),)),
+            ),
+        )
+        generate_library(spec, tmp_path)
+        assert (tmp_path / "synth_deep" / "a" / "__init__.py").exists()
+        assert (tmp_path / "synth_deep" / "a" / "b.py").exists()
+        with isolated_imports([str(tmp_path)]):
+            import synth_deep
+
+            assert synth_deep.a.b.Leaf

@@ -1,0 +1,35 @@
+"""Tests for the Figure 5/7 running example."""
+
+from __future__ import annotations
+
+from repro.core.execution import run_once
+from repro.workloads.toy import TOY_ATTRIBUTES, build_toy_torch_app, toy_torch_spec
+
+
+class TestToySpec:
+    def test_six_root_attributes(self):
+        """Figure 6 runs DD over exactly six attributes."""
+        spec = toy_torch_spec()
+        assert spec.attribute_count() == 6
+
+    def test_attribute_names_match_paper(self):
+        spec = toy_torch_spec()
+        names = set()
+        for attribute in spec.module("").attributes:
+            names.update(attribute.names or (attribute.name,))
+        assert names == set(TOY_ATTRIBUTES)
+
+
+class TestToyApp:
+    def test_figure5_application_runs(self, toy_app):
+        result = run_once(toy_app, {"x": [1.0, 2.0], "y": [3.0, 4.0]})
+        assert result.ok
+        # the handler prints the model output (Figure 5 line 10)
+        assert result.invocation.stdout.strip().isdigit()
+
+    def test_uses_four_of_six_attributes(self, toy_app):
+        source = toy_app.handler_source()
+        for used in ("tensor", "add", "view", "Linear"):
+            assert used in source
+        for unused in ("SGD", "MSELoss"):
+            assert unused not in source
