@@ -1,0 +1,89 @@
+"""Observability overhead on the DD hot path.
+
+The instrumentation contract (docs/observability.md) is that with the
+default :class:`~repro.obs.NullRecorder` installed, the tracing hooks cost
+less than 2% of DD search wall-clock.  ``test_null_recorder_overhead``
+enforces that bound by timing the same 64-component search through
+``DeltaDebugger.minimize`` (instrumented entry point, null recorder) and
+``DeltaDebugger._minimize`` (the raw algorithm, i.e. the instrumentation
+calls removed), taking the min over many samples to shed scheduler noise.
+
+The remaining benchmarks record absolute timings under the null and the
+in-memory recorder for the pytest-benchmark artifact.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.dd import DeltaDebugger
+from repro.obs import InMemoryRecorder, NullRecorder, use_recorder
+
+NEEDED = {3, 17, 31, 32, 49, 60}
+COMPONENTS = list(range(64))
+
+# min-of-SAMPLES timing, RUNS_PER_SAMPLE fresh searches per sample
+SAMPLES = 25
+RUNS_PER_SAMPLE = 10
+MAX_OVERHEAD = 0.02
+
+
+def _oracle(candidate) -> bool:
+    return NEEDED.issubset(set(candidate))
+
+
+def _run_instrumented() -> None:
+    DeltaDebugger(_oracle).minimize(COMPONENTS)
+
+
+def _run_raw() -> None:
+    DeltaDebugger(_oracle)._minimize(COMPONENTS)
+
+
+def _best_sample(run) -> float:
+    best = float("inf")
+    for _ in range(SAMPLES):
+        start = time.perf_counter()
+        for _ in range(RUNS_PER_SAMPLE):
+            run()
+        best = min(best, time.perf_counter() - start)
+    return best / RUNS_PER_SAMPLE
+
+
+def test_null_recorder_overhead():
+    """Instrumented minimize() vs the raw algorithm: <2% under NullRecorder."""
+    with use_recorder(NullRecorder()):
+        # warm both paths (bytecode, caches) before timing
+        _run_instrumented()
+        _run_raw()
+        instrumented = _best_sample(_run_instrumented)
+        raw = _best_sample(_run_raw)
+
+    overhead = instrumented / raw - 1.0
+    print(
+        f"\nnull-recorder overhead: raw {raw * 1e6:.1f}us, "
+        f"instrumented {instrumented * 1e6:.1f}us, overhead {overhead * 100:+.2f}%"
+    )
+    assert overhead < MAX_OVERHEAD, (
+        f"null-recorder instrumentation overhead {overhead:.2%} exceeds "
+        f"{MAX_OVERHEAD:.0%} (raw {raw * 1e6:.1f}us, "
+        f"instrumented {instrumented * 1e6:.1f}us)"
+    )
+
+
+def test_dd_search_null_recorder(benchmark):
+    """DD search throughput with instrumentation disabled (the default)."""
+    with use_recorder(NullRecorder()):
+        outcome = benchmark(
+            lambda: DeltaDebugger(_oracle).minimize(COMPONENTS)
+        )
+    assert set(outcome.minimal) == NEEDED
+
+
+def test_dd_search_active_recorder(benchmark):
+    """DD search throughput while an InMemoryRecorder captures everything."""
+    with use_recorder(InMemoryRecorder()):
+        outcome = benchmark(
+            lambda: DeltaDebugger(_oracle).minimize(COMPONENTS)
+        )
+    assert set(outcome.minimal) == NEEDED

@@ -69,7 +69,7 @@ def main() -> None:
 
     emulator.deploy(report2.output, name="retrimmed")
     record = emulator.invoke("retrimmed", RARE_EVENT)
-    print(f"\nafter extending the oracle and re-running λ-trim:")
+    print("\nafter extending the oracle and re-running λ-trim:")
     print(f"rare event     -> ok: {record.ok}, value: {record.value} "
           f"(no fallback needed)")
 

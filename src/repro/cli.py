@@ -11,6 +11,8 @@ Commands
 ``fuzz``      differential-fuzz an optimized bundle; optionally extend
               the oracle with the findings (Section 5.4)
 ``tune``      recommend a memory configuration (AWS-power-tuning-style)
+``trace``     run the pipeline under a recorder and print the span tree
+``metrics``   render counters/gauges from a JSON-lines telemetry export
 ``report``    regenerate the full evaluation report (every artifact)
 ``build-app`` materialise one of the 21 Table 1 benchmark applications
 ``apps``      list the benchmark applications
@@ -102,6 +104,32 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("bundle", type=Path)
     tune.add_argument("--strategy", choices=["cost", "speed", "balanced"],
                       default="balanced")
+
+    trace = commands.add_parser(
+        "trace", help="run the λ-trim pipeline with tracing and print the span tree"
+    )
+    trace.add_argument("bundle", type=Path, help="application bundle directory")
+    trace.add_argument("-o", "--output", type=Path, default=None,
+                       help="write the telemetry as JSON-lines to this file")
+    trace.add_argument("--trim-output", type=Path, default=None,
+                       help="directory for the optimized bundle "
+                            "(default: a temporary directory)")
+    trace.add_argument("--k", type=int, default=20,
+                       help="number of top modules to debloat (default 20)")
+    trace.add_argument("--granularity", choices=["attribute", "statement"],
+                       default="attribute", help="DD granularity (Section 6.1)")
+    trace.add_argument("--budget", type=int, default=None,
+                       help="max oracle calls per module (default unbounded)")
+    trace.add_argument("--metrics", action="store_true",
+                       help="also print the counters/gauges table")
+
+    metrics = commands.add_parser(
+        "metrics", help="render metrics from a JSON-lines telemetry export"
+    )
+    metrics.add_argument("file", type=Path, help="JSON-lines file from "
+                         "`repro trace -o` or the benchmark suite")
+    metrics.add_argument("--json", action="store_true",
+                         help="emit a single JSON object instead of a table")
 
     build = commands.add_parser("build-app", help="materialise a benchmark app")
     build.add_argument("name", help="Table 1 application name")
@@ -245,6 +273,59 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.obs import (
+        InMemoryRecorder,
+        render_metrics,
+        render_tree,
+        use_recorder,
+        write_jsonl,
+    )
+
+    bundle = AppBundle(args.bundle)
+    config = TrimConfig(
+        k=args.k,
+        granularity=args.granularity,
+        max_oracle_calls_per_module=args.budget,
+    )
+    trim_output = (
+        args.trim_output
+        if args.trim_output is not None
+        else Path(tempfile.mkdtemp(prefix="repro-trace-")) / "trimmed"
+    )
+    recorder = InMemoryRecorder()
+    with use_recorder(recorder):
+        report = LambdaTrim(config).run(bundle, trim_output)
+
+    print(render_tree(recorder))
+    if args.metrics:
+        print()
+        print(render_metrics(recorder))
+    if args.output is not None:
+        path = write_jsonl(recorder, args.output)
+        print(f"\ntelemetry written to {path}")
+    print(f"optimized bundle written to {report.output_root}")
+    return 0 if report.verify_passed else 1
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.obs import load_jsonl, render_metrics
+
+    try:
+        dump = load_jsonl(args.file)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read {args.file}: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(dump.metrics, indent=2, sort_keys=True))
+    else:
+        print(render_metrics(dump))
+        print(f"\n{len(dump.spans)} span(s), {len(dump.events)} event(s)")
+    return 0
+
+
 def _cmd_build_app(args: argparse.Namespace) -> int:
     from repro.workloads.apps import build_app
 
@@ -279,6 +360,8 @@ _HANDLERS = {
     "oracle": _cmd_oracle,
     "fuzz": _cmd_fuzz,
     "tune": _cmd_tune,
+    "trace": _cmd_trace,
+    "metrics": _cmd_metrics,
     "build-app": _cmd_build_app,
     "apps": _cmd_apps,
     "report": _cmd_report,

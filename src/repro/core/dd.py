@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Generic, Hashable, Sequence, TypeVar
 
+from repro.obs import get_recorder
+
 __all__ = ["DeltaDebugger", "DDOutcome", "DDTraceStep", "ddmin_keep", "split_partitions"]
 
 T = TypeVar("T", bound=Hashable)
@@ -72,6 +74,18 @@ class DDOutcome(Generic[T]):
     cache_hits: int
     iterations: int
     trace: list[DDTraceStep] = field(default_factory=list)
+    cache_misses: int = 0
+
+    @property
+    def cache_lookups(self) -> int:
+        """Total configuration-cache queries (hits + misses)."""
+        return self.cache_hits + self.cache_misses
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of cache lookups served without an oracle run."""
+        lookups = self.cache_lookups
+        return self.cache_hits / lookups if lookups else 0.0
 
     @property
     def removed_count(self) -> int | None:
@@ -115,6 +129,28 @@ class DeltaDebugger(Generic[T]):
         self._trace: list[DDTraceStep] = []
         self._step = 0
 
+    # -- public statistics ---------------------------------------------------
+
+    @property
+    def oracle_calls(self) -> int:
+        """Oracle invocations so far (cache hits excluded)."""
+        return self._calls
+
+    @property
+    def cache_hits(self) -> int:
+        """Configuration-cache lookups answered without an oracle run."""
+        return self._cache_hits
+
+    @property
+    def cache_misses(self) -> int:
+        """Configuration-cache lookups that required an oracle run."""
+        return self._calls
+
+    @property
+    def cache_size(self) -> int:
+        """Distinct configurations tested (and remembered) so far."""
+        return len(self._cache)
+
     # -- oracle plumbing ----------------------------------------------------
 
     def _query(self, candidate: Sequence[T], granularity: int, kind: str) -> bool:
@@ -150,6 +186,25 @@ class DeltaDebugger(Generic[T]):
 
     def minimize(self, components: Sequence[T]) -> DDOutcome[T]:
         """Run Algorithm 1 over *components*; returns the 1-minimal subset."""
+        recorder = get_recorder()
+        if not recorder.enabled:
+            return self._minimize(components)
+        calls_before, hits_before = self._calls, self._cache_hits
+        with recorder.span("dd.minimize", components=len(components)) as span:
+            outcome = self._minimize(components)
+            if span is not None:
+                span.set_attr("minimal", len(outcome.minimal))
+                span.set_attr("oracle_calls", outcome.oracle_calls)
+            recorder.counter_add("dd.minimize_runs")
+            recorder.counter_add("dd.oracle_calls", self._calls - calls_before)
+            recorder.counter_add("dd.cache_hits", self._cache_hits - hits_before)
+            recorder.counter_add("dd.cache_misses", self._calls - calls_before)
+            recorder.counter_add(
+                "dd.components_removed", len(components) - len(outcome.minimal)
+            )
+        return outcome
+
+    def _minimize(self, components: Sequence[T]) -> DDOutcome[T]:
         candidate = list(components)
         iterations = 0
 
@@ -209,6 +264,7 @@ class DeltaDebugger(Generic[T]):
             cache_hits=self._cache_hits,
             iterations=iterations,
             trace=list(self._trace),
+            cache_misses=self._calls,
         )
         return outcome
 

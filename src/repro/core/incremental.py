@@ -26,7 +26,6 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.bundle import AppBundle
-from repro.core.debloater import ModuleDebloatResult
 from repro.core.pipeline import DebloatReport, LambdaTrim, TrimConfig
 from repro.errors import DebloatError
 

@@ -22,6 +22,7 @@ from typing import Any, Callable
 from repro.bundle import AppBundle
 from repro.core.execution import run_once
 from repro.errors import OracleError
+from repro.obs import get_recorder
 from repro.vm import Meter, metered
 
 __all__ = ["OracleCase", "OracleSpec", "OracleResult", "OracleRunner", "CaseOutcome"]
@@ -194,17 +195,39 @@ class OracleRunner:
     def check(self, candidate: AppBundle) -> OracleResult:
         """Run every case against *candidate* and compare observables."""
         self.checks_performed += 1
+        recorder = get_recorder()
         outcomes: list[CaseOutcome] = []
-        with metered(self.meter):
-            for case in self.spec:
-                actual = self._run(candidate, case.event, case.context)
-                expected = self._expected[case.name]
-                passed = actual == expected
-                outcomes.append(
-                    CaseOutcome(
-                        case=case.name, passed=passed, expected=expected, actual=actual
+        with recorder.span("oracle.check", cases=len(self.spec)) as span:
+            with metered(self.meter):
+                for case in self.spec:
+                    virtual_before = self.meter.time_s
+                    actual = self._run(candidate, case.event, case.context)
+                    expected = self._expected[case.name]
+                    passed = actual == expected
+                    outcomes.append(
+                        CaseOutcome(
+                            case=case.name,
+                            passed=passed,
+                            expected=expected,
+                            actual=actual,
+                        )
                     )
-                )
-                if not passed and self._fail_fast:
-                    break
-        return OracleResult(outcomes=outcomes)
+                    if recorder.enabled:
+                        recorder.event(
+                            "oracle.case",
+                            {
+                                "case": case.name,
+                                "passed": passed,
+                                "virtual_s": self.meter.time_s - virtual_before,
+                            },
+                        )
+                        recorder.counter_add(
+                            "oracle.cases_passed" if passed else "oracle.cases_failed"
+                        )
+                    if not passed and self._fail_fast:
+                        break
+            result = OracleResult(outcomes=outcomes)
+            if span is not None:
+                span.set_attr("passed", result.passed)
+            recorder.counter_add("oracle.checks")
+        return result

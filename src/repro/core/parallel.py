@@ -29,7 +29,6 @@ import queue
 import shutil
 import time
 from concurrent.futures import ThreadPoolExecutor
-from pathlib import Path
 from typing import Callable, Generic, Sequence, TypeVar
 
 from repro.bundle import AppBundle
@@ -40,6 +39,7 @@ from repro.core.debloater import ModuleDebloatResult
 from repro.core.oracle import OracleSpec
 from repro.core.subprocess_runner import run_in_subprocess
 from repro.errors import DebloatError, OracleError
+from repro.obs import get_recorder
 
 __all__ = ["BatchDeltaDebugger", "ParallelModuleDebloater"]
 
@@ -64,6 +64,16 @@ class BatchDeltaDebugger(Generic[T]):
         self.cache_hits = 0
         self.batches = 0
 
+    @property
+    def cache_misses(self) -> int:
+        """Cache lookups that went to the batch oracle (== oracle calls)."""
+        return self.oracle_calls
+
+    @property
+    def cache_size(self) -> int:
+        """Distinct configurations tested (and remembered) so far."""
+        return len(self._cache)
+
     def _query_batch(self, candidates: list[list[T]]) -> list[bool]:
         """Evaluate candidates, consulting the cache; preserves order."""
         fresh: list[list[T]] = []
@@ -86,7 +96,11 @@ class BatchDeltaDebugger(Generic[T]):
                 raise _BudgetExhausted()
             self.batches += 1
             self.oracle_calls += len(fresh)
-            results = self._batch_oracle(fresh)
+            recorder = get_recorder()
+            with recorder.span("dd.batch", probes=len(fresh)):
+                results = self._batch_oracle(fresh)
+            recorder.counter_add("batch_dd.batches")
+            recorder.counter_add("batch_dd.probes", len(fresh))
             if len(results) != len(fresh):
                 raise DebloatError(
                     "batch oracle returned a result count mismatch"
@@ -97,6 +111,25 @@ class BatchDeltaDebugger(Generic[T]):
         return [self._cache[frozenset(c)] for c in candidates]
 
     def minimize(self, components: Sequence[T]) -> DDOutcome[T]:
+        recorder = get_recorder()
+        if not recorder.enabled:
+            return self._minimize(components)
+        calls_before, hits_before = self.oracle_calls, self.cache_hits
+        with recorder.span("batch_dd.minimize", components=len(components)) as span:
+            outcome = self._minimize(components)
+            if span is not None:
+                span.set_attr("minimal", len(outcome.minimal))
+                span.set_attr("oracle_calls", outcome.oracle_calls)
+            recorder.counter_add("dd.minimize_runs")
+            recorder.counter_add("dd.oracle_calls", self.oracle_calls - calls_before)
+            recorder.counter_add("dd.cache_hits", self.cache_hits - hits_before)
+            recorder.counter_add("dd.cache_misses", self.oracle_calls - calls_before)
+            recorder.counter_add(
+                "dd.components_removed", len(components) - len(outcome.minimal)
+            )
+        return outcome
+
+    def _minimize(self, components: Sequence[T]) -> DDOutcome[T]:
         candidate = list(components)
         iterations = 0
         try:
@@ -154,6 +187,7 @@ class BatchDeltaDebugger(Generic[T]):
             oracle_calls=self.oracle_calls,
             cache_hits=self.cache_hits,
             iterations=iterations,
+            cache_misses=self.oracle_calls,
         )
 
 
@@ -258,7 +292,12 @@ class ParallelModuleDebloater:
             debugger = BatchDeltaDebugger(
                 batch_oracle, max_oracle_calls=self._max_calls
             )
-            outcome = debugger.minimize(removable)
+            with get_recorder().span(
+                "debloat", label=dotted, workers=self.workers
+            ) as span:
+                outcome = debugger.minimize(removable)
+                if span is not None:
+                    span.set_attr("batches", debugger.batches)
         except ValueError as exc:
             raise DebloatError(f"oracle rejects unmodified {dotted}: {exc}") from exc
         finally:

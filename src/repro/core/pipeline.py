@@ -30,6 +30,7 @@ from repro.core.oracle import OracleRunner, OracleSpec
 from repro.core.profiler import profile_bundle
 from repro.core.static_analyzer import analyze_source
 from repro.errors import DebloatError
+from repro.obs import get_recorder
 
 __all__ = ["TrimConfig", "DebloatReport", "LambdaTrim"]
 
@@ -73,6 +74,9 @@ class DebloatReport:
     ranked_modules: list[str]
     module_results: list[ModuleDebloatResult] = field(default_factory=list)
     wall_time_s: float = 0.0
+    # Post-debloat oracle verdict on the final output bundle; None when the
+    # verification stage did not run (e.g. reports built by hand in tests).
+    verify_passed: bool | None = None
 
     @property
     def output(self) -> AppBundle:
@@ -113,6 +117,10 @@ class DebloatReport:
             f"  oracle calls: {self.oracle_calls}",
             f"  debloat time (virtual): {self.debloat_time_s:.1f}s",
         ]
+        if self.verify_passed is not None:
+            lines.append(
+                f"  verification: {'passed' if self.verify_passed else 'FAILED'}"
+            )
         for result in self.module_results:
             lines.append(f"    {result.summary()}")
         return "\n".join(lines)
@@ -176,67 +184,68 @@ class LambdaTrim:
         """
         wall_start = time.perf_counter()
         output_dir = Path(output_dir)
+        recorder = get_recorder()
 
-        external, graph = self.analyze(bundle)
-        report = self.profile(bundle, external)
-        selected = self.select_modules(bundle, report)
+        with recorder.span("pipeline.run", label=bundle.name, k=self.config.k):
+            with recorder.span("analyze") as span:
+                external, graph = self.analyze(bundle)
+                if span is not None:
+                    span.set_attr("external_modules", len(external))
 
-        working = bundle.clone(output_dir)
-        spec = OracleSpec.from_bundle(bundle)
-        runner = OracleRunner(bundle, spec)
-        debloater = ModuleDebloater(
-            working,
-            runner,
-            record_trace=self.config.record_trace,
-            max_oracle_calls_per_module=self.config.max_oracle_calls_per_module,
-            granularity=self.config.granularity,
-        )
+            with recorder.span("profile") as span:
+                report = self.profile(bundle, external)
+                if span is not None:
+                    span.set_attr("modules_profiled", len(report))
+                    span.set_attr("init_virtual_s", round(report.total_time_s, 6))
 
-        results: list[ModuleDebloatResult] = []
-        for module in selected:
-            # Recompute the whole-program graph against the *current* state
-            # of the working bundle: attributes that were only referenced by
-            # an already-removed re-export are now free to go.
-            if self.config.use_call_graph:
-                graph = build_bundle_call_graph(working)
-            protected = self._protected_attributes(graph, module)
-            if protected is None:
-                # Star import: every attribute may be used; skip the module.
-                results.append(
-                    ModuleDebloatResult(
-                        module=module,
-                        file=working.module_file(module),
-                        attributes_before=0,
-                        attributes_after=0,
-                        skipped_reason="star-imported: all attributes protected",
-                    )
-                )
-                continue
-            current_graph = graph
+            with recorder.span("rank") as span:
+                selected = self.select_modules(bundle, report)
+                if span is not None:
+                    span.set_attr("selected", len(selected))
+            recorder.counter_add("pipeline.modules_selected", len(selected))
 
-            def reexport_protected(component) -> bool:
-                # Keep ``from m import a`` when the program definitely
-                # accesses attribute ``a`` of module ``m`` (PyCG guidance).
-                if not component.source or not self.config.use_call_graph:
-                    return False
-                return component.name in current_graph.accessed_attributes(
-                    component.source
-                )
-
-            results.append(
-                debloater.debloat_module(
-                    module,
-                    protected,
-                    extra_protected=reexport_protected,
-                    seed_keep=seeds.get(module) if seeds else None,
-                )
+            working = bundle.clone(output_dir)
+            spec = OracleSpec.from_bundle(bundle)
+            runner = OracleRunner(bundle, spec)
+            debloater = ModuleDebloater(
+                working,
+                runner,
+                record_trace=self.config.record_trace,
+                max_oracle_calls_per_module=self.config.max_oracle_calls_per_module,
+                granularity=self.config.granularity,
             )
 
-        # Image size barely changes (only __init__ files shrink); keep the
-        # declared size so unbilled transmission modelling stays comparable.
-        manifest = working.manifest
-        manifest.external_modules = external
-        working.write_manifest(manifest)
+            results: list[ModuleDebloatResult] = []
+            for module in selected:
+                with recorder.span("debloat", label=module) as span:
+                    outcome, graph = self._debloat_one(
+                        working, debloater, graph, module, seeds
+                    )
+                    if span is not None:
+                        span.set_attr("removed", outcome.removed_count)
+                        span.set_attr("oracle_calls", outcome.oracle_calls)
+                        if outcome.skipped:
+                            span.set_attr("skipped", outcome.skipped_reason)
+                results.append(outcome)
+            recorder.counter_add("pipeline.modules_debloated", len(results))
+            recorder.counter_add(
+                "pipeline.attributes_removed",
+                sum(r.removed_count for r in results),
+            )
+
+            # Image size barely changes (only __init__ files shrink); keep the
+            # declared size so unbilled transmission modelling stays comparable.
+            manifest = working.manifest
+            manifest.external_modules = external
+            working.write_manifest(manifest)
+
+            # Final safety check: the bundle we are about to hand out must
+            # still satisfy the full oracle (DD validated each module in
+            # isolation; this validates their composition).
+            with recorder.span("verify", cases=len(spec)) as span:
+                verify_passed = runner.check(working).passed
+                if span is not None:
+                    span.set_attr("passed", verify_passed)
 
         return DebloatReport(
             app=bundle.name,
@@ -246,6 +255,55 @@ class LambdaTrim:
             ranked_modules=selected,
             module_results=results,
             wall_time_s=time.perf_counter() - wall_start,
+            verify_passed=verify_passed,
+        )
+
+    def _debloat_one(
+        self,
+        working: AppBundle,
+        debloater: ModuleDebloater,
+        graph: CallGraph,
+        module: str,
+        seeds: dict[str, list[str]] | None,
+    ) -> tuple[ModuleDebloatResult, CallGraph]:
+        """Debloat one selected module against the current working bundle."""
+        # Recompute the whole-program graph against the *current* state
+        # of the working bundle: attributes that were only referenced by
+        # an already-removed re-export are now free to go.
+        if self.config.use_call_graph:
+            graph = build_bundle_call_graph(working)
+        protected = self._protected_attributes(graph, module)
+        if protected is None:
+            # Star import: every attribute may be used; skip the module.
+            return (
+                ModuleDebloatResult(
+                    module=module,
+                    file=working.module_file(module),
+                    attributes_before=0,
+                    attributes_after=0,
+                    skipped_reason="star-imported: all attributes protected",
+                ),
+                graph,
+            )
+        current_graph = graph
+
+        def reexport_protected(component) -> bool:
+            # Keep ``from m import a`` when the program definitely
+            # accesses attribute ``a`` of module ``m`` (PyCG guidance).
+            if not component.source or not self.config.use_call_graph:
+                return False
+            return component.name in current_graph.accessed_attributes(
+                component.source
+            )
+
+        return (
+            debloater.debloat_module(
+                module,
+                protected,
+                extra_protected=reexport_protected,
+                seed_keep=seeds.get(module) if seeds else None,
+            ),
+            graph,
         )
 
     def _protected_attributes(self, graph: CallGraph, module: str) -> set[str] | None:

@@ -1,0 +1,54 @@
+"""repro.obs — zero-dependency tracing and metrics for the λ-trim pipeline.
+
+λ-trim is measurement-driven end to end: the profiler ranks modules by
+marginal monetary cost, DD's efficiency is judged in oracle queries, and
+the emulator bills virtual milliseconds.  This package gives all of those
+numbers one structured home:
+
+* **Spans** time the pipeline stages (``analyze → profile → rank →
+  debloat(per-module) → verify``) and nest into a trace tree;
+* **Counters/Gauges** aggregate oracle calls, DD cache hits/misses,
+  cold/warm starts, and billed milliseconds in a thread-safe
+  :class:`Registry`;
+* **Events** re-emit the emulator's per-invocation REPORT accounting as
+  structured records;
+* the **JSON-lines exporter** and **tree renderer** feed the ``repro
+  trace`` / ``repro metrics`` CLI and the CI benchmark-smoke artifact.
+
+Instrumentation is opt-out: the process-global recorder defaults to a
+:class:`NullRecorder` whose calls are no-ops, so the hot DD loop pays
+nothing unless a tool installs an :class:`InMemoryRecorder` via
+:func:`set_recorder` / :func:`use_recorder`.
+"""
+
+from repro.obs.export import TelemetryDump, dump_lines, load_jsonl, write_jsonl
+from repro.obs.recorder import (
+    InMemoryRecorder,
+    NullRecorder,
+    get_recorder,
+    set_recorder,
+    use_recorder,
+)
+from repro.obs.registry import Counter, Gauge, Registry
+from repro.obs.render import dump_from_recorder, render_metrics, render_tree
+from repro.obs.span import Span, SpanEvent
+
+__all__ = [
+    "Span",
+    "SpanEvent",
+    "Counter",
+    "Gauge",
+    "Registry",
+    "NullRecorder",
+    "InMemoryRecorder",
+    "get_recorder",
+    "set_recorder",
+    "use_recorder",
+    "TelemetryDump",
+    "dump_lines",
+    "write_jsonl",
+    "load_jsonl",
+    "render_tree",
+    "render_metrics",
+    "dump_from_recorder",
+]

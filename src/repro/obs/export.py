@@ -1,0 +1,116 @@
+"""JSON-lines export/import of a recorder's telemetry.
+
+One record per line, discriminated by ``"type"``:
+
+* ``{"type": "span", "name": ..., "span_id": ..., "parent_id": ...,
+  "start_s": ..., "end_s": ..., "thread": ..., "status": ..., "attrs": {}}``
+* ``{"type": "event", "name": ..., "time_s": ..., "parent_id": ...,
+  "attrs": {}}``
+* ``{"type": "counter", "name": ..., "value": ...}``
+* ``{"type": "gauge", "name": ..., "value": ...}``
+* ``{"type": "meta", ...}`` — one header line with the schema version.
+
+The format round-trips: :func:`load_jsonl` reconstructs the same spans
+(ids, parentage) and metric values, which is what the CI benchmark-smoke
+artifact and the ``repro metrics`` command consume.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.obs.recorder import InMemoryRecorder
+from repro.obs.span import Span, SpanEvent
+
+__all__ = ["TelemetryDump", "dump_lines", "write_jsonl", "load_jsonl"]
+
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class TelemetryDump:
+    """A recorder's telemetry, decoupled from the live recorder."""
+
+    spans: list[Span] = field(default_factory=list)
+    events: list[SpanEvent] = field(default_factory=list)
+    counters: dict[str, float] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def metrics(self) -> dict[str, float]:
+        values = dict(self.counters)
+        values.update(self.gauges)
+        return values
+
+    def span_children(self) -> dict[int | None, list[Span]]:
+        """Parent span id -> children, in start order."""
+        children: dict[int | None, list[Span]] = {}
+        for span in sorted(self.spans, key=lambda s: (s.start_s, s.span_id)):
+            children.setdefault(span.parent_id, []).append(span)
+        return children
+
+    def roots(self) -> list[Span]:
+        known = {span.span_id for span in self.spans}
+        return [
+            span
+            for span in sorted(self.spans, key=lambda s: (s.start_s, s.span_id))
+            if span.parent_id is None or span.parent_id not in known
+        ]
+
+
+def dump_lines(recorder: InMemoryRecorder) -> Iterable[str]:
+    """Serialize *recorder* as JSON-lines strings (no trailing newlines)."""
+    yield json.dumps({"type": "meta", "schema": SCHEMA_VERSION, "format": "repro-obs"})
+    for span in recorder.spans:
+        yield json.dumps(span.to_dict())
+    for event in recorder.events:
+        yield json.dumps(event.to_dict())
+    for counter in recorder.registry.counters():
+        yield json.dumps(counter.to_dict())
+    for gauge in recorder.registry.gauges():
+        yield json.dumps(gauge.to_dict())
+
+
+def write_jsonl(recorder: InMemoryRecorder, path: Path | str) -> Path:
+    """Write the recorder's telemetry to *path*; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        for line in dump_lines(recorder):
+            handle.write(line + "\n")
+    return path
+
+
+def load_jsonl(source: Path | str | Iterable[str]) -> TelemetryDump:
+    """Parse a JSON-lines export back into a :class:`TelemetryDump`.
+
+    *source* may be a file path or any iterable of lines.  Unknown record
+    types are ignored so newer exports stay readable by older code.
+    """
+    if isinstance(source, (str, Path)):
+        lines: Iterable[str] = Path(source).read_text(encoding="utf-8").splitlines()
+    else:
+        lines = source
+
+    dump = TelemetryDump()
+    for index, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"line {index + 1} is not valid JSON: {exc}") from exc
+        kind = record.get("type")
+        if kind == "span":
+            dump.spans.append(Span.from_dict(record))
+        elif kind == "event":
+            dump.events.append(SpanEvent.from_dict(record))
+        elif kind == "counter":
+            dump.counters[record["name"]] = float(record["value"])
+        elif kind == "gauge":
+            dump.gauges[record["name"]] = float(record["value"])
+    return dump

@@ -1,0 +1,105 @@
+"""Human-readable rendering: the span tree and the metrics table.
+
+``render_tree`` draws the trace the way ``repro trace`` prints it::
+
+    pipeline.run [toy-torch] 1.234s
+    ├─ analyze 0.012s
+    ├─ profile 0.480s
+    ├─ rank 0.001s
+    ├─ debloat [torch] 0.510s (oracle_calls=12)
+    └─ verify 0.090s (passed=True)
+
+Durations are wall-clock (``perf_counter`` deltas); selected attributes
+are appended in ``key=value`` form so the tree doubles as a compact run
+summary.
+"""
+
+from __future__ import annotations
+
+from repro.obs.export import TelemetryDump
+from repro.obs.recorder import InMemoryRecorder
+from repro.obs.span import Span
+
+__all__ = ["render_tree", "render_metrics", "dump_from_recorder"]
+
+
+def dump_from_recorder(recorder: InMemoryRecorder) -> TelemetryDump:
+    """Snapshot a live recorder into a :class:`TelemetryDump`."""
+    counters = {c.name: c.value for c in recorder.registry.counters()}
+    gauges = {g.name: g.value for g in recorder.registry.gauges()}
+    return TelemetryDump(
+        spans=recorder.spans,
+        events=recorder.events,
+        counters=counters,
+        gauges=gauges,
+    )
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _span_line(span: Span) -> str:
+    parts = [span.name]
+    label = span.attrs.get("label")
+    if label:
+        parts.append(f"[{label}]")
+    parts.append(f"{span.duration_s:.3f}s")
+    if span.status != "ok":
+        parts.append(f"!{span.status}")
+    extras = [
+        f"{key}={_format_value(value)}"
+        for key, value in sorted(span.attrs.items())
+        if key not in ("label",)
+    ]
+    if extras:
+        parts.append("(" + ", ".join(extras) + ")")
+    return " ".join(parts)
+
+
+def render_tree(source: TelemetryDump | InMemoryRecorder) -> str:
+    """Render the span forest as an indented tree, one span per line."""
+    if isinstance(source, InMemoryRecorder):
+        source = dump_from_recorder(source)
+    dump = source
+    if not dump.spans:
+        return "(no spans recorded)"
+    children = dump.span_children()
+
+    lines: list[str] = []
+
+    def emit(span: Span, prefix: str, is_last: bool, is_root: bool) -> None:
+        if is_root:
+            lines.append(_span_line(span))
+            child_prefix = ""
+        else:
+            connector = "└─ " if is_last else "├─ "
+            lines.append(prefix + connector + _span_line(span))
+            child_prefix = prefix + ("   " if is_last else "│  ")
+        kids = children.get(span.span_id, [])
+        for i, kid in enumerate(kids):
+            emit(kid, child_prefix, i == len(kids) - 1, False)
+
+    for root in dump.roots():
+        emit(root, "", True, True)
+    return "\n".join(lines)
+
+
+def render_metrics(source: TelemetryDump | InMemoryRecorder) -> str:
+    """Render counters and gauges as an aligned two-column table."""
+    if isinstance(source, InMemoryRecorder):
+        source = dump_from_recorder(source)
+    dump = source
+    rows: list[tuple[str, str, str]] = []
+    for name in sorted(dump.counters):
+        rows.append(("counter", name, _format_value(dump.counters[name])))
+    for name in sorted(dump.gauges):
+        rows.append(("gauge", name, _format_value(dump.gauges[name])))
+    if not rows:
+        return "(no metrics recorded)"
+    width = max(len(name) for _, name, _ in rows)
+    return "\n".join(
+        f"{kind:7s} {name:{width}s} {value:>12s}" for kind, name, value in rows
+    )

@@ -1,0 +1,116 @@
+"""The tracing primitive: a named, timed, hierarchical span.
+
+A :class:`Span` covers one unit of work — a pipeline stage, one module's
+DD search, a batch of parallel oracle probes.  Spans nest: the recorder
+maintains a per-thread stack, so a span started while another is open
+becomes its child, and the finished trace reconstructs the call tree of
+the run (``analyze → profile → rank → debloat(module) → verify``).
+
+Spans are plain data.  All lifecycle management (ids, parenting, clocks)
+lives in the recorder so the primitive stays trivially serializable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Span", "SpanEvent"]
+
+
+@dataclass
+class Span:
+    """One timed unit of work in the trace tree.
+
+    ``start_s``/``end_s`` are ``time.perf_counter()`` readings; only
+    differences between them are meaningful.  ``parent_id`` is ``None``
+    for root spans.  ``status`` is ``"ok"`` unless the instrumented block
+    raised, in which case it is ``"error"`` and ``attrs["error_type"]``
+    names the exception class.
+    """
+
+    name: str
+    span_id: int
+    parent_id: int | None = None
+    start_s: float = 0.0
+    end_s: float | None = None
+    thread: str = ""
+    status: str = "ok"
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        """Elapsed seconds; 0.0 while the span is still open."""
+        if self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    @property
+    def finished(self) -> bool:
+        return self.end_s is not None
+
+    def set_attr(self, key: str, value: Any) -> None:
+        self.attrs[key] = value
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "thread": self.thread,
+            "status": self.status,
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Span":
+        return cls(
+            name=data["name"],
+            span_id=data["span_id"],
+            parent_id=data.get("parent_id"),
+            start_s=data.get("start_s", 0.0),
+            end_s=data.get("end_s"),
+            thread=data.get("thread", ""),
+            status=data.get("status", "ok"),
+            attrs=dict(data.get("attrs", {})),
+        )
+
+
+@dataclass
+class SpanEvent:
+    """A point-in-time structured record (e.g. one emulator REPORT line).
+
+    Events are zero-duration observations attached to the trace: they
+    carry a timestamp, an optional parent span, and a free-form attribute
+    dict.  The emulator re-emits every invocation's REPORT accounting as
+    one of these.
+    """
+
+    name: str
+    time_s: float
+    parent_id: int | None = None
+    thread: str = ""
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": "event",
+            "name": self.name,
+            "time_s": self.time_s,
+            "parent_id": self.parent_id,
+            "thread": self.thread,
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SpanEvent":
+        return cls(
+            name=data["name"],
+            time_s=data.get("time_s", 0.0),
+            parent_id=data.get("parent_id"),
+            thread=data.get("thread", ""),
+            attrs=dict(data.get("attrs", {})),
+        )

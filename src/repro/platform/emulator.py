@@ -28,6 +28,7 @@ from typing import Any
 from repro.bundle import AppBundle
 from repro.checkpoint import Checkpoint, CriuSimulator
 from repro.errors import FunctionNotFound, PlatformError
+from repro.obs import get_recorder
 from repro.platform.billing import BillingLedger
 from repro.platform.clock import VirtualClock
 from repro.platform.instance import FunctionInstance
@@ -180,7 +181,42 @@ class LambdaEmulator:
             record = self._cold_start(function, event, context)
         self.log.append(record)
         self.ledger.charge_invocation(name, record.cost_usd, cold=record.is_cold)
+        self._emit_telemetry(record)
         return record
+
+    def _emit_telemetry(self, record: InvocationRecord) -> None:
+        """Re-emit the REPORT accounting as structured observability data."""
+        recorder = get_recorder()
+        recorder.counter_add("emulator.invocations")
+        recorder.counter_add(
+            "emulator.cold_starts" if record.is_cold else "emulator.warm_starts"
+        )
+        recorder.counter_add(
+            "emulator.billed_ms", record.billed_duration_s * 1000.0
+        )
+        recorder.counter_add("emulator.cost_usd", record.cost_usd)
+        if record.error_type is not None:
+            recorder.counter_add("emulator.errors")
+        recorder.gauge_max("emulator.peak_memory_mb", record.peak_memory_mb)
+        if recorder.enabled:
+            recorder.event(
+                "emulator.report",
+                {
+                    "request_id": record.request_id,
+                    "function": record.function,
+                    "start_type": record.start_type.value,
+                    "instance_init_s": record.instance_init_s,
+                    "transmission_s": record.transmission_s,
+                    "init_duration_s": record.init_duration_s,
+                    "restore_duration_s": record.restore_duration_s,
+                    "exec_duration_s": record.exec_duration_s,
+                    "billed_duration_s": record.billed_duration_s,
+                    "memory_config_mb": record.memory_config_mb,
+                    "peak_memory_mb": record.peak_memory_mb,
+                    "cost_usd": record.cost_usd,
+                    "error_type": record.error_type,
+                },
+            )
 
     def _cold_start(
         self, function: DeployedFunction, event: Any, context: Any

@@ -15,7 +15,7 @@ overhead.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 
 from repro.bundle import AppBundle, BundleManifest

@@ -23,7 +23,7 @@ torch 1414, transformers 3300, sympy 938, nltk 560, …).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import WorkloadError
 from repro.workloads.synthlib import (

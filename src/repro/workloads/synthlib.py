@@ -27,7 +27,7 @@ Attribute kinds map to the granularity classes of Section 6.1:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 
 from repro.errors import WorkloadError

@@ -170,7 +170,7 @@ def test_generated_module_roundtrip(statements, data):
         else st.just(set())
     )
     rebuilt = rebuild_source(decomposition, list(keep))
-    tree = ast.parse(rebuilt)  # always valid Python
+    ast.parse(rebuilt)  # always valid Python
     rebuilt_names = decompose_module(rebuilt).attribute_names
     assert sorted(rebuilt_names) == sorted(c.name for c in keep)
     # pinned statements survive any removal

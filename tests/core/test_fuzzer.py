@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core.fuzzer import OracleFuzzer, mine_event_schema
 from repro.core.incremental import IncrementalTrim, TrimLog
 from repro.core.oracle import OracleSpec

@@ -1,0 +1,113 @@
+"""JSON-lines round-trip: spans, events, metrics, and tree reconstruction."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    InMemoryRecorder,
+    dump_lines,
+    load_jsonl,
+    render_metrics,
+    render_tree,
+    write_jsonl,
+)
+from repro.obs.render import dump_from_recorder
+
+
+@pytest.fixture()
+def populated_recorder():
+    recorder = InMemoryRecorder()
+    with recorder.span("pipeline.run", label="toy"):
+        with recorder.span("analyze"):
+            pass
+        with recorder.span("debloat", label="torch"):
+            recorder.event("oracle.case", {"case": "case-0", "passed": True})
+        recorder.counter_add("dd.oracle_calls", 12)
+        recorder.gauge_set("emulator.peak_memory_mb", 48.5)
+    return recorder
+
+
+class TestRoundTrip:
+    def test_every_line_is_valid_json(self, populated_recorder):
+        for line in dump_lines(populated_recorder):
+            record = json.loads(line)
+            assert "type" in record
+
+    def test_file_round_trip_preserves_spans(self, populated_recorder, tmp_path):
+        path = write_jsonl(populated_recorder, tmp_path / "obs.jsonl")
+        dump = load_jsonl(path)
+
+        original = {s.span_id: s for s in populated_recorder.spans}
+        restored = {s.span_id: s for s in dump.spans}
+        assert restored.keys() == original.keys()
+        for span_id, span in restored.items():
+            assert span.name == original[span_id].name
+            assert span.parent_id == original[span_id].parent_id
+            assert span.attrs == original[span_id].attrs
+            assert span.start_s == original[span_id].start_s
+            assert span.end_s == original[span_id].end_s
+
+    def test_round_trip_reconstructs_identical_tree(self, populated_recorder, tmp_path):
+        path = write_jsonl(populated_recorder, tmp_path / "obs.jsonl")
+        assert render_tree(load_jsonl(path)) == render_tree(populated_recorder)
+
+    def test_round_trip_preserves_metrics_and_events(
+        self, populated_recorder, tmp_path
+    ):
+        path = write_jsonl(populated_recorder, tmp_path / "obs.jsonl")
+        dump = load_jsonl(path)
+        assert dump.counters == {"dd.oracle_calls": 12.0}
+        assert dump.gauges == {"emulator.peak_memory_mb": 48.5}
+        (event,) = dump.events
+        assert event.name == "oracle.case"
+        assert event.attrs == {"case": "case-0", "passed": True}
+        assert render_metrics(dump) == render_metrics(populated_recorder)
+
+    def test_load_accepts_iterable_of_lines(self, populated_recorder):
+        dump = load_jsonl(list(dump_lines(populated_recorder)))
+        assert len(dump.spans) == len(populated_recorder.spans)
+
+    def test_blank_lines_and_unknown_types_tolerated(self):
+        lines = [
+            "",
+            json.dumps({"type": "meta", "schema": 99}),
+            json.dumps({"type": "wibble", "name": "future-record"}),
+            json.dumps({"type": "counter", "name": "c", "value": 3}),
+        ]
+        dump = load_jsonl(lines)
+        assert dump.counters == {"c": 3.0}
+
+    def test_invalid_json_raises_with_line_number(self):
+        with pytest.raises(ValueError, match="line 2"):
+            load_jsonl([json.dumps({"type": "counter", "name": "c", "value": 1}),
+                        "{not json"])
+
+
+class TestDumpViews:
+    def test_roots_and_children(self, populated_recorder):
+        dump = dump_from_recorder(populated_recorder)
+        (root,) = dump.roots()
+        assert root.name == "pipeline.run"
+        children = dump.span_children()[root.span_id]
+        assert [c.name for c in children] == ["analyze", "debloat"]
+
+    def test_orphan_parent_treated_as_root(self):
+        # a span whose parent was never exported still renders
+        lines = [
+            json.dumps(
+                {
+                    "type": "span",
+                    "name": "orphan",
+                    "span_id": 7,
+                    "parent_id": 99,
+                    "start_s": 0.0,
+                    "end_s": 1.0,
+                }
+            )
+        ]
+        dump = load_jsonl(lines)
+        assert [s.name for s in dump.roots()] == ["orphan"]
+        assert "orphan" in render_tree(dump)

@@ -1,0 +1,167 @@
+"""Span nesting/ordering and thread-safe metric aggregation."""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.obs import InMemoryRecorder, Registry
+from repro.obs.render import render_tree
+
+
+class TestSpanNesting:
+    def test_nested_spans_record_parent_child(self):
+        recorder = InMemoryRecorder()
+        with recorder.span("root") as root:
+            with recorder.span("child") as child:
+                with recorder.span("grandchild") as grandchild:
+                    pass
+        assert root.parent_id is None
+        assert child.parent_id == root.span_id
+        assert grandchild.parent_id == child.span_id
+
+    def test_siblings_share_parent_and_keep_order(self):
+        recorder = InMemoryRecorder()
+        with recorder.span("root") as root:
+            with recorder.span("first"):
+                pass
+            with recorder.span("second"):
+                pass
+        spans = recorder.spans
+        names = [s.name for s in spans]
+        # finished in completion order: children seal before the root
+        assert names == ["first", "second", "root"]
+        first, second = spans[0], spans[1]
+        assert first.parent_id == second.parent_id == root.span_id
+        assert first.start_s <= second.start_s
+
+    def test_current_span_tracks_the_stack(self):
+        recorder = InMemoryRecorder()
+        assert recorder.current_span() is None
+        with recorder.span("outer") as outer:
+            assert recorder.current_span() is outer
+            with recorder.span("inner") as inner:
+                assert recorder.current_span() is inner
+            assert recorder.current_span() is outer
+        assert recorder.current_span() is None
+
+    def test_span_timing_is_monotonic(self):
+        recorder = InMemoryRecorder()
+        with recorder.span("timed") as span:
+            pass
+        assert span.finished
+        assert span.end_s >= span.start_s
+        assert span.duration_s >= 0.0
+
+    def test_exception_marks_span_as_error(self):
+        recorder = InMemoryRecorder()
+        with pytest.raises(RuntimeError):
+            with recorder.span("boom"):
+                raise RuntimeError("probe failed")
+        (span,) = recorder.spans
+        assert span.status == "error"
+        assert span.attrs["error_type"] == "RuntimeError"
+        assert span.finished  # the span is sealed even on the error path
+
+    def test_spans_on_other_threads_do_not_inherit_foreign_parents(self):
+        recorder = InMemoryRecorder()
+        with recorder.span("main-root"):
+            def worker():
+                with recorder.span("worker-span"):
+                    pass
+
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        worker_span = next(s for s in recorder.spans if s.name == "worker-span")
+        assert worker_span.parent_id is None
+
+    def test_explicit_parent_id_crosses_threads(self):
+        recorder = InMemoryRecorder()
+        with recorder.span("batch") as batch:
+            def worker():
+                with recorder.span("probe", parent_id=batch.span_id):
+                    pass
+
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        probe = next(s for s in recorder.spans if s.name == "probe")
+        assert probe.parent_id == batch.span_id
+
+    def test_render_tree_draws_the_hierarchy(self):
+        recorder = InMemoryRecorder()
+        with recorder.span("pipeline.run"):
+            with recorder.span("analyze"):
+                pass
+            with recorder.span("debloat", label="torch"):
+                pass
+        tree = render_tree(recorder)
+        lines = tree.splitlines()
+        assert lines[0].startswith("pipeline.run")
+        assert "├─ analyze" in lines[1]
+        assert "└─ debloat [torch]" in lines[2]
+
+
+class TestRegistry:
+    def test_counter_accumulates(self):
+        registry = Registry()
+        registry.counter("calls").add()
+        registry.counter("calls").add(4)
+        assert registry.counter("calls").value == 5
+
+    def test_counter_rejects_negative(self):
+        registry = Registry()
+        with pytest.raises(ValueError):
+            registry.counter("calls").add(-1)
+
+    def test_gauge_set_and_max(self):
+        registry = Registry()
+        registry.gauge("mem").set(10.0)
+        registry.gauge("mem").record_max(5.0)
+        assert registry.gauge("mem").value == 10.0
+        registry.gauge("mem").record_max(12.0)
+        assert registry.gauge("mem").value == 12.0
+
+    def test_name_collision_across_kinds_rejected(self):
+        registry = Registry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_snapshot_merges_counters_and_gauges(self):
+        registry = Registry()
+        registry.counter("a").add(2)
+        registry.gauge("b").set(7.0)
+        assert registry.snapshot() == {"a": 2.0, "b": 7.0}
+        assert len(registry) == 2
+
+    def test_concurrent_counter_adds_do_not_lose_updates(self):
+        registry = Registry()
+        counter = registry.counter("hits")
+        workers, per_worker = 8, 2500
+
+        def hammer():
+            for _ in range(per_worker):
+                counter.add()
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            for _ in range(workers):
+                pool.submit(hammer)
+        assert counter.value == workers * per_worker
+
+    def test_concurrent_lazy_creation_yields_one_instrument(self):
+        registry = Registry()
+        seen = set()
+
+        def create():
+            seen.add(id(registry.counter("shared")))
+            registry.counter("shared").add()
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            for _ in range(64):
+                pool.submit(create)
+        assert len(seen) == 1
+        assert registry.counter("shared").value == 64

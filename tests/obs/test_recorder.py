@@ -1,0 +1,87 @@
+"""Null-recorder no-op behaviour and global recorder management."""
+
+from __future__ import annotations
+
+from repro.obs import (
+    InMemoryRecorder,
+    NullRecorder,
+    get_recorder,
+    set_recorder,
+    use_recorder,
+)
+from repro.obs.recorder import _NULL_SPAN
+
+
+class TestNullRecorder:
+    def test_is_disabled(self):
+        assert NullRecorder().enabled is False
+
+    def test_span_yields_none_and_is_shared(self):
+        recorder = NullRecorder()
+        cm_a = recorder.span("anything", attr=1)
+        cm_b = recorder.span("else")
+        assert cm_a is cm_b is _NULL_SPAN  # one reusable no-op context
+        with cm_a as span:
+            assert span is None
+
+    def test_all_write_apis_are_noops(self):
+        recorder = NullRecorder()
+        recorder.counter_add("c", 5)
+        recorder.gauge_set("g", 1.0)
+        recorder.gauge_max("g", 2.0)
+        recorder.event("e", {"k": "v"})
+        assert recorder.current_span() is None
+
+    def test_null_span_swallows_nothing(self):
+        # the null context manager must propagate exceptions untouched
+        recorder = NullRecorder()
+        try:
+            with recorder.span("x"):
+                raise KeyError("boom")
+        except KeyError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("exception was swallowed")
+
+
+class TestGlobalRecorder:
+    def test_default_is_null(self):
+        assert isinstance(get_recorder(), NullRecorder)
+        assert get_recorder().enabled is False
+
+    def test_set_recorder_returns_previous(self):
+        previous = get_recorder()
+        mine = InMemoryRecorder()
+        try:
+            old = set_recorder(mine)
+            assert old is previous
+            assert get_recorder() is mine
+        finally:
+            set_recorder(previous)
+
+    def test_set_none_restores_null(self):
+        previous = get_recorder()
+        try:
+            set_recorder(InMemoryRecorder())
+            set_recorder(None)
+            assert isinstance(get_recorder(), NullRecorder)
+            assert not get_recorder().enabled
+        finally:
+            set_recorder(previous)
+
+    def test_use_recorder_restores_on_exit(self):
+        before = get_recorder()
+        mine = InMemoryRecorder()
+        with use_recorder(mine) as active:
+            assert active is mine
+            assert get_recorder() is mine
+        assert get_recorder() is before
+
+    def test_use_recorder_restores_on_error(self):
+        before = get_recorder()
+        try:
+            with use_recorder(InMemoryRecorder()):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert get_recorder() is before

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.core.execution import run_once
-from repro.workloads.toy import TOY_ATTRIBUTES, build_toy_torch_app, toy_torch_spec
+from repro.workloads.toy import TOY_ATTRIBUTES, toy_torch_spec
 
 
 class TestToySpec:
