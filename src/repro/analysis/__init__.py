@@ -9,6 +9,7 @@ document; :mod:`repro.analysis.validation` quantifies calibration drift
 against the paper's numbers.
 """
 
+from repro.analysis.dashboard import render_comparison, render_dashboard, sparkline
 from repro.analysis.measure import (
     ColdStartStats,
     WarmStartStats,
@@ -25,6 +26,9 @@ from repro.analysis.validation import (
 from repro.analysis.workspace import Workspace
 
 __all__ = [
+    "render_dashboard",
+    "render_comparison",
+    "sparkline",
     "ColdStartStats",
     "WarmStartStats",
     "measure_cold",

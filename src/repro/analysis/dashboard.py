@@ -1,0 +1,191 @@
+"""The ``repro dashboard`` renderer: fleet telemetry as text.
+
+Turns a saved :class:`~repro.platform.telemetry.FleetReport` into the
+operator's view of a run — run-level totals, per-window sparkline charts
+of the headline series (cold-start rate, e2e p95, cost), a per-function
+table, and the SLO scoreboard — and, given a *baseline* export, a
+before/after-debloat comparison so a λ-trim regression or win reads as a
+delta table instead of two walls of numbers.
+
+Everything here is pure string rendering over exports; nothing imports
+the emulator, so dashboards can be drawn from CI artifacts long after the
+run that produced them.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import render_table
+from repro.platform.slo import FLEET, metric_value
+from repro.platform.telemetry import FleetReport, WindowRollup
+
+__all__ = ["sparkline", "render_dashboard", "render_comparison"]
+
+_BARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: list[float]) -> str:
+    """Render a series as a unicode bar-per-value chart (min→max scaled)."""
+    if not values:
+        return ""
+    low = min(values)
+    high = max(values)
+    if high <= low:
+        return _BARS[0] * len(values)
+    scale = (len(_BARS) - 1) / (high - low)
+    return "".join(_BARS[int((v - low) * scale)] for v in values)
+
+
+def _pct(value: float) -> str:
+    return f"{value * 100:.1f}%"
+
+
+def _usd(value: float) -> str:
+    return f"${value:.4g}"
+
+
+def _seconds(value: float) -> str:
+    return f"{value * 1000:.0f}ms" if value < 1.0 else f"{value:.2f}s"
+
+
+#: The headline per-window series charted for the fleet.
+_CHARTS = (
+    ("cold-start rate", "cold_start_rate", _pct),
+    ("e2e p95", "e2e_p95", _seconds),
+    ("cost / window", "cost_usd", _usd),
+)
+
+
+def _totals_row(name: str, total: WindowRollup) -> list[str]:
+    return [
+        name,
+        str(total.invocations),
+        _pct(total.cold_start_rate),
+        _seconds(total.e2e.p50),
+        _seconds(total.e2e.p95),
+        _seconds(total.e2e.p99),
+        _pct(total.error_rate),
+        _usd(total.cost_usd),
+    ]
+
+
+def _overall(report: FleetReport, function: str) -> WindowRollup | None:
+    if not any(w.function == function for w in report.windows):
+        return None
+    return report.overall(function)
+
+
+def render_dashboard(report: FleetReport, *, function: str = FLEET) -> str:
+    """One export's fleet view: totals, sparklines, functions, SLOs."""
+    total = _overall(report, function)
+    if total is None:
+        return "(no telemetry windows recorded)"
+    scope = "fleet" if function == FLEET else function
+    windows = report.rollups(function)
+    lines = [
+        f"fleet telemetry — {scope}: {total.invocations} invocations over "
+        f"{len(windows)} x {report.window_s:.0f}s windows "
+        f"(virtual {windows[0].start_s:.0f}s..{windows[-1].end_s:.0f}s)",
+        "",
+    ]
+
+    summary = render_table(
+        ["scope", "invocations", "cold%", "e2e p50", "e2e p95", "e2e p99",
+         "err%", "cost"],
+        [_totals_row(scope, total)]
+        + [
+            _totals_row(name, report.overall(name))
+            for name in (report.functions() if function == FLEET else [])
+        ],
+    )
+    lines.append(summary)
+    lines.append("")
+
+    label_width = max(len("concurrency peak"), *(len(label) for label, _, _ in _CHARTS))
+    for label, metric, fmt in _CHARTS:
+        values = [metric_value(w, metric) for w in windows]
+        lines.append(
+            f"{label.ljust(label_width)}  {sparkline(values)}  "
+            f"min {fmt(min(values))}  max {fmt(max(values))}"
+        )
+    lines.append(
+        f"{'concurrency peak'.ljust(label_width)}  "
+        f"{sparkline([float(w.concurrency_peak) for w in windows])}  "
+        f"high-water {total.concurrency_peak}"
+    )
+    lines.append("")
+    lines.append(_render_slos(report))
+    return "\n".join(lines)
+
+
+def _render_slos(report: FleetReport) -> str:
+    if not report.slos:
+        return "SLOs: none configured"
+    breaches_by_rule: dict[str, int] = {}
+    for breach in report.breaches:
+        breaches_by_rule[breach.rule] = breaches_by_rule.get(breach.rule, 0) + 1
+    rows = []
+    for rule in report.slos:
+        count = breaches_by_rule.get(rule.name, 0)
+        status = f"BREACHED x{count}" if count else "ok"
+        scope = "fleet" if rule.function == FLEET else rule.function
+        rows.append(
+            [rule.name, scope, rule.metric, f"{rule.threshold:.4g}", status]
+        )
+    table = render_table(["slo", "scope", "metric", "threshold", "status"], rows)
+    worst = sorted(
+        report.breaches, key=lambda b: b.excess_ratio, reverse=True
+    )[:3]
+    details = "\n".join("  " + breach.describe() for breach in worst)
+    return table + ("\n" + details if details else "")
+
+
+#: (label, metric, formatter, lower-is-better) rows of the comparison table.
+_COMPARISON_ROWS = (
+    ("invocations", "invocations", lambda v: f"{v:.0f}"),
+    ("cold-start rate", "cold_start_rate", _pct),
+    ("e2e p50", "e2e_p50", _seconds),
+    ("e2e p95", "e2e_p95", _seconds),
+    ("e2e p99", "e2e_p99", _seconds),
+    ("cold e2e p99", "cold_e2e_p99", _seconds),
+    ("error rate", "error_rate", _pct),
+    ("cost / 1k invocations", "cost_per_1k", _usd),
+    ("total cost", "cost_usd", _usd),
+)
+
+
+def render_comparison(
+    baseline: FleetReport,
+    candidate: FleetReport,
+    *,
+    function: str = FLEET,
+    baseline_label: str = "before",
+    candidate_label: str = "after",
+) -> str:
+    """Before/after-debloat deltas plus both SLO scoreboards."""
+    before = _overall(baseline, function)
+    after = _overall(candidate, function)
+    if before is None or after is None:
+        return "(one of the exports has no telemetry windows)"
+
+    rows = []
+    for label, metric, fmt in _COMPARISON_ROWS:
+        b = metric_value(before, metric)
+        a = metric_value(after, metric)
+        if b > 0:
+            delta = f"{(a - b) / b * 100:+.1f}%"
+        else:
+            delta = "n/a" if a == 0 else "new"
+        rows.append([label, fmt(b), fmt(a), delta])
+    lines = [
+        render_table(
+            ["metric", baseline_label, candidate_label, "delta"], rows
+        ),
+        "",
+        f"SLOs ({baseline_label}): {len(baseline.breaches)} breach(es); "
+        f"({candidate_label}): {len(candidate.breaches)} breach(es)",
+    ]
+    for name, rep in ((baseline_label, baseline), (candidate_label, candidate)):
+        worst = sorted(rep.breaches, key=lambda b: b.excess_ratio, reverse=True)
+        for breach in worst[:3]:
+            lines.append(f"  [{name}] {breach.describe()}")
+    return "\n".join(lines)

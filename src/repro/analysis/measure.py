@@ -9,7 +9,6 @@ unit price, with memory configured to the measured peak footprint
 
 from __future__ import annotations
 
-import statistics
 from dataclasses import dataclass
 
 from repro.bundle import AppBundle
@@ -76,7 +75,6 @@ def measure_cold(
     emu.deploy(bundle)
     events = _oracle_events(bundle)
 
-    records = []
     for i in range(invocations):
         event, context = events[i % len(events)]
         record = emu.invoke(bundle.name, event, context, force_cold=True)
@@ -84,23 +82,33 @@ def measure_cold(
             raise RuntimeError(
                 f"{bundle.name} failed during measurement: {record.error_type}"
             )
-        records.append(record)
 
-    peak_mb = max(r.peak_memory_mb for r in records)
-    configured = billable_memory_mb(peak_mb)
-    billed = statistics.fmean(r.billed_duration_s for r in records)
+    # Aggregate straight off the execution log, the paper's methodology:
+    # "collects metrics from the AWS Lambda execution log".
+    stats = emu.log.query().where(function=bundle.name).cold().aggregate(
+        import_s="mean:init_duration_s",
+        exec_s="mean:exec_duration_s",
+        e2e_s="mean:e2e_s",
+        billed_s="mean:billed_duration_s",
+        instance_init_s="mean:instance_init_s",
+        transmission_s="mean:transmission_s",
+        peak_mb="max:peak_memory_mb",
+    )
+    configured = billable_memory_mb(stats["peak_mb"])
     pricing = AwsLambdaPricing()
-    cost = pricing.cost_for_invocations(billed, configured, COST_INVOCATIONS)
+    cost = pricing.cost_for_invocations(
+        stats["billed_s"], configured, COST_INVOCATIONS
+    )
 
     return ColdStartStats(
         app=bundle.name,
-        import_s=statistics.fmean(r.init_duration_s for r in records),
-        exec_s=statistics.fmean(r.exec_duration_s for r in records),
-        e2e_s=statistics.fmean(r.e2e_s for r in records),
-        billed_s=billed,
-        instance_init_s=statistics.fmean(r.instance_init_s for r in records),
-        transmission_s=statistics.fmean(r.transmission_s for r in records),
-        memory_mb=peak_mb,
+        import_s=stats["import_s"],
+        exec_s=stats["exec_s"],
+        e2e_s=stats["e2e_s"],
+        billed_s=stats["billed_s"],
+        instance_init_s=stats["instance_init_s"],
+        transmission_s=stats["transmission_s"],
+        memory_mb=stats["peak_mb"],
         configured_mb=configured,
         cost_per_100k=cost,
         invocations=invocations,
@@ -119,16 +127,17 @@ def measure_warm(
     events = _oracle_events(bundle)
 
     emu.invoke(bundle.name, events[0][0], events[0][1])  # warm the instance
-    records = []
     for i in range(invocations):
         event, context = events[i % len(events)]
         record = emu.invoke(bundle.name, event, context)
         assert not record.is_cold, "warm measurement hit a cold start"
-        records.append(record)
 
+    stats = emu.log.query().where(function=bundle.name).warm().aggregate(
+        exec_s="mean:exec_duration_s", e2e_s="mean:e2e_s"
+    )
     return WarmStartStats(
         app=bundle.name,
-        exec_s=statistics.fmean(r.exec_duration_s for r in records),
-        e2e_s=statistics.fmean(r.e2e_s for r in records),
+        exec_s=stats["exec_s"],
+        e2e_s=stats["e2e_s"],
         invocations=invocations,
     )

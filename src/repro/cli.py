@@ -13,6 +13,7 @@ Commands
 ``tune``      recommend a memory configuration (AWS-power-tuning-style)
 ``trace``     run the pipeline under a recorder and print the span tree
 ``metrics``   render counters/gauges from a JSON-lines telemetry export
+``dashboard`` render a fleet-telemetry export (optionally vs. a baseline)
 ``report``    regenerate the full evaluation report (every artifact)
 ``build-app`` materialise one of the 21 Table 1 benchmark applications
 ``apps``      list the benchmark applications
@@ -122,6 +123,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="max oracle calls per module (default unbounded)")
     trace.add_argument("--metrics", action="store_true",
                        help="also print the counters/gauges table")
+    trace.add_argument("--json", action="store_true",
+                       help="emit one JSON object (spans, events, metrics) "
+                            "instead of the rendered tree")
 
     metrics = commands.add_parser(
         "metrics", help="render metrics from a JSON-lines telemetry export"
@@ -130,6 +134,19 @@ def build_parser() -> argparse.ArgumentParser:
                          "`repro trace -o` or the benchmark suite")
     metrics.add_argument("--json", action="store_true",
                          help="emit a single JSON object instead of a table")
+
+    dashboard = commands.add_parser(
+        "dashboard", help="render a fleet-telemetry export (tables + sparklines)"
+    )
+    dashboard.add_argument("export", type=Path,
+                           help="telemetry export from TelemetrySink.save()")
+    dashboard.add_argument("--baseline", type=Path, default=None,
+                           help="earlier export to compare against "
+                                "(before/after-debloat view)")
+    dashboard.add_argument("--function", default=None,
+                           help="scope to one function (default: fleet-wide)")
+    dashboard.add_argument("--json", action="store_true",
+                           help="emit the run-level summary as JSON")
 
     build = commands.add_parser("build-app", help="materialise a benchmark app")
     build.add_argument("name", help="Table 1 application name")
@@ -299,12 +316,26 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     with use_recorder(recorder):
         report = LambdaTrim(config).run(bundle, trim_output)
 
+    if args.output is not None:
+        path = write_jsonl(recorder, args.output)
+    if args.json:
+        from repro.obs import dump_from_recorder
+
+        dump = dump_from_recorder(recorder)
+        print(json.dumps({
+            "verify_passed": report.verify_passed,
+            "output_root": str(report.output_root),
+            "spans": [span.to_dict() for span in dump.spans],
+            "events": [event.to_dict() for event in dump.events],
+            "counters": dump.counters,
+            "gauges": dump.gauges,
+        }, sort_keys=True))
+        return 0 if report.verify_passed else 1
     print(render_tree(recorder))
     if args.metrics:
         print()
         print(render_metrics(recorder))
     if args.output is not None:
-        path = write_jsonl(recorder, args.output)
         print(f"\ntelemetry written to {path}")
     print(f"optimized bundle written to {report.output_root}")
     return 0 if report.verify_passed else 1
@@ -324,6 +355,64 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         print(render_metrics(dump))
         print(f"\n{len(dump.spans)} span(s), {len(dump.events)} event(s)")
     return 0
+
+
+def _summarize_export(report) -> dict:
+    from repro.platform.slo import FLEET
+    from repro.platform.slo import metric_value as slo_metric
+
+    summary: dict = {
+        "invocations": report.invocations,
+        "window_s": report.window_s,
+        "windows": len(report.rollups(FLEET)),
+        "functions": report.functions(),
+        "breaches": [breach.to_dict() for breach in report.breaches],
+    }
+    if report.rollups(FLEET):
+        total = report.overall(FLEET)
+        summary["overall"] = {
+            metric: slo_metric(total, metric)
+            for metric in (
+                "cold_start_rate", "error_rate", "cost_usd", "cost_per_1k",
+                "concurrency_peak", "e2e_p50", "e2e_p95", "e2e_p99",
+                "cold_e2e_p99",
+            )
+        }
+    return summary
+
+
+def _cmd_dashboard(args: argparse.Namespace) -> int:
+    from repro.analysis.dashboard import render_comparison, render_dashboard
+    from repro.platform.slo import FLEET
+    from repro.platform.telemetry import FleetReport
+
+    try:
+        report = FleetReport.load(args.export)
+        baseline = (
+            FleetReport.load(args.baseline) if args.baseline is not None else None
+        )
+    except (OSError, KeyError, ValueError) as exc:
+        print(f"error: cannot read telemetry export: {exc}", file=sys.stderr)
+        return 2
+    function = args.function if args.function is not None else FLEET
+
+    if args.json:
+        summary = _summarize_export(report)
+        if baseline is not None:
+            summary = {
+                "baseline": _summarize_export(baseline),
+                "candidate": summary,
+            }
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(render_dashboard(report, function=function))
+        if baseline is not None:
+            print()
+            print("== comparison vs. baseline ==")
+            print(render_comparison(baseline, report, function=function))
+    # Breaches in the (candidate) export are the alarm: non-zero exit makes
+    # `repro dashboard` usable as a CI regression gate.
+    return 1 if report.breaches else 0
 
 
 def _cmd_build_app(args: argparse.Namespace) -> int:
@@ -362,6 +451,7 @@ _HANDLERS = {
     "tune": _cmd_tune,
     "trace": _cmd_trace,
     "metrics": _cmd_metrics,
+    "dashboard": _cmd_dashboard,
     "build-app": _cmd_build_app,
     "apps": _cmd_apps,
     "report": _cmd_report,

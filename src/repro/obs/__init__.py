@@ -22,6 +22,7 @@ nothing unless a tool installs an :class:`InMemoryRecorder` via
 """
 
 from repro.obs.export import TelemetryDump, dump_lines, load_jsonl, write_jsonl
+from repro.obs.histogram import LogLinearHistogram
 from repro.obs.recorder import (
     InMemoryRecorder,
     NullRecorder,
@@ -38,6 +39,7 @@ __all__ = [
     "SpanEvent",
     "Counter",
     "Gauge",
+    "LogLinearHistogram",
     "Registry",
     "NullRecorder",
     "InMemoryRecorder",

@@ -11,9 +11,11 @@ an optional SnapStart mode backed by the checkpoint/restore simulator.
 from repro.platform.clock import VirtualClock
 from repro.platform.emulator import DeployedFunction, LambdaEmulator
 from repro.platform.instance import FunctionInstance
-from repro.platform.logs import ExecutionLog, InvocationRecord, StartType
+from repro.platform.logs import ExecutionLog, InvocationRecord, LogQuery, StartType
 from repro.platform.billing import BillingLedger
 from repro.platform.replay import ReplayResult, TraceReplayer
+from repro.platform.slo import FLEET, SloBreach, SloPolicy, SloRule
+from repro.platform.telemetry import FleetReport, TelemetrySink, WindowRollup
 from repro.platform.tuning import CpuScalingModel, MemoryRecommendation, recommend_memory
 
 __all__ = [
@@ -23,10 +25,18 @@ __all__ = [
     "FunctionInstance",
     "ExecutionLog",
     "InvocationRecord",
+    "LogQuery",
     "StartType",
     "BillingLedger",
     "ReplayResult",
     "TraceReplayer",
+    "FLEET",
+    "SloRule",
+    "SloBreach",
+    "SloPolicy",
+    "TelemetrySink",
+    "WindowRollup",
+    "FleetReport",
     "CpuScalingModel",
     "MemoryRecommendation",
     "recommend_memory",

@@ -33,6 +33,7 @@ from repro.platform.billing import BillingLedger
 from repro.platform.clock import VirtualClock
 from repro.platform.instance import FunctionInstance
 from repro.platform.logs import ExecutionLog, InvocationRecord, StartType
+from repro.platform.telemetry import TelemetrySink
 from repro.platform.tuning import CpuScalingModel
 from repro.pricing import AwsLambdaPricing, PricingModel, SnapStartPricing
 
@@ -84,6 +85,7 @@ class LambdaEmulator:
         snapstart_pricing: SnapStartPricing | None = None,
         criu: CriuSimulator | None = None,
         cpu_scaling: CpuScalingModel | None = None,
+        telemetry: TelemetrySink | None = None,
     ):
         self.pricing = pricing if pricing is not None else AwsLambdaPricing()
         self.keep_alive_s = keep_alive_s
@@ -99,6 +101,9 @@ class LambdaEmulator:
         # full-vCPU memory point (see repro.platform.tuning).  Off by
         # default so calibrated Table 1 durations are unchanged.
         self.cpu_scaling = cpu_scaling
+        # Optional fleet-telemetry sink: every invocation record is also
+        # folded into virtual-time windowed rollups (repro.platform.telemetry).
+        self.telemetry = telemetry
         self.log = ExecutionLog()
         self.ledger = BillingLedger()
         self._functions: dict[str, DeployedFunction] = {}
@@ -181,6 +186,8 @@ class LambdaEmulator:
             record = self._cold_start(function, event, context)
         self.log.append(record)
         self.ledger.charge_invocation(name, record.cost_usd, cold=record.is_cold)
+        if self.telemetry is not None:
+            self.telemetry.observe(record)
         self._emit_telemetry(record)
         return record
 

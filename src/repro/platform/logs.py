@@ -5,16 +5,33 @@ Lambda execution log", querying per-invocation start type, init duration,
 billed duration, and memory.  :class:`InvocationRecord` carries exactly
 those fields (plus the unbilled phase breakdown of Figure 1), and
 :class:`ExecutionLog` provides the query surface the analysis layer uses.
+
+:class:`LogQuery` is the CloudWatch-Logs-Insights-style half of that
+surface: a lazy filter / group-by / aggregate builder over REPORT fields
+(``log.query().cold().group_by("function").aggregate(p95="p95:e2e_s")``),
+with aggregation specs named the way an Insights query names them
+(``count``, ``sum:field``, ``mean:field``, ``min:``/``max:``,
+``pNN:field``).  Logs also round-trip through JSON lines so a saved run
+can be re-queried offline.
 """
 
 from __future__ import annotations
 
 import enum
+import json
+import math
 import statistics
-from dataclasses import dataclass, field
-from typing import Any, Iterator
+from dataclasses import dataclass, field, fields as dataclass_fields
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator
 
-__all__ = ["StartType", "InvocationRecord", "ExecutionLog"]
+__all__ = [
+    "StartType",
+    "InvocationRecord",
+    "ExecutionLog",
+    "LogQuery",
+    "GroupedLogQuery",
+]
 
 
 class StartType(str, enum.Enum):
@@ -87,6 +104,191 @@ class InvocationRecord:
             )
         )
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe dict (``value`` must itself be JSON-serializable)."""
+        return {
+            "request_id": self.request_id,
+            "function": self.function,
+            "start_type": self.start_type.value,
+            "timestamp": self.timestamp,
+            "value": self.value,
+            "instance_id": self.instance_id,
+            "instance_init_s": self.instance_init_s,
+            "transmission_s": self.transmission_s,
+            "init_duration_s": self.init_duration_s,
+            "restore_duration_s": self.restore_duration_s,
+            "exec_duration_s": self.exec_duration_s,
+            "routing_s": self.routing_s,
+            "billed_duration_s": self.billed_duration_s,
+            "memory_config_mb": self.memory_config_mb,
+            "peak_memory_mb": self.peak_memory_mb,
+            "cost_usd": self.cost_usd,
+            "error_type": self.error_type,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "InvocationRecord":
+        known = {f.name for f in dataclass_fields(cls)}
+        payload = {k: v for k, v in data.items() if k in known}
+        payload["start_type"] = StartType(payload["start_type"])
+        return cls(**payload)
+
+
+def _percentile(values: list[float], q: float) -> float:
+    """Exact order statistic at rank ``floor(q * (n - 1))`` — the same
+    convention :class:`~repro.obs.histogram.LogLinearHistogram` sketches."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    return ordered[int(math.floor(q * (len(ordered) - 1)))]
+
+
+def _parse_aggregate(spec: str) -> Callable[[list[InvocationRecord]], float]:
+    """Compile an Insights-style spec (``count``, ``sum:cost_usd``,
+    ``mean:e2e_s``, ``p99:e2e_s``...) into an aggregator function."""
+    if spec == "count":
+        return lambda records: float(len(records))
+    op, _, field_name = spec.partition(":")
+    if not field_name:
+        raise ValueError(
+            f"aggregate spec {spec!r} needs a field, e.g. '{op or 'sum'}:cost_usd'"
+        )
+
+    def values(records: list[InvocationRecord]) -> list[float]:
+        return [float(getattr(r, field_name)) for r in records]
+
+    if op == "sum":
+        return lambda records: sum(values(records))
+    if op == "mean":
+        return lambda records: statistics.fmean(values(records)) if records else 0.0
+    if op == "min":
+        return lambda records: min(values(records), default=0.0)
+    if op == "max":
+        return lambda records: max(values(records), default=0.0)
+    if op.startswith("p"):
+        try:
+            q = float(op[1:]) / 100.0
+        except ValueError:
+            q = -1.0
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"bad percentile in aggregate spec {spec!r}")
+        return lambda records: _percentile(values(records), q)
+    raise ValueError(
+        f"unknown aggregate op {op!r} (count, sum, mean, min, max, pNN)"
+    )
+
+
+class LogQuery:
+    """A lazy, chainable filter / group-by / aggregate over REPORT records.
+
+    Chaining copies the predicate list, never the records, so building up
+    a query is cheap; records are only touched by the terminal calls
+    (:meth:`records`, :meth:`count`, :meth:`aggregate`).
+    """
+
+    def __init__(
+        self,
+        records: Iterable[InvocationRecord],
+        predicates: tuple[Callable[[InvocationRecord], bool], ...] = (),
+    ):
+        self._records = records
+        self._predicates = predicates
+
+    def _extend(self, predicate: Callable[[InvocationRecord], bool]) -> "LogQuery":
+        return LogQuery(self._records, self._predicates + (predicate,))
+
+    # -- filters -----------------------------------------------------------
+
+    def filter(self, predicate: Callable[[InvocationRecord], bool]) -> "LogQuery":
+        return self._extend(predicate)
+
+    def where(self, **equals: Any) -> "LogQuery":
+        """Keep records whose fields equal the given values
+        (``where(function="api", start_type=StartType.COLD)``)."""
+        items = tuple(equals.items())
+        return self._extend(
+            lambda r: all(getattr(r, name) == value for name, value in items)
+        )
+
+    def cold(self) -> "LogQuery":
+        return self._extend(lambda r: r.is_cold)
+
+    def warm(self) -> "LogQuery":
+        return self._extend(lambda r: not r.is_cold)
+
+    def ok(self) -> "LogQuery":
+        return self._extend(lambda r: r.error_type is None)
+
+    def failed(self) -> "LogQuery":
+        return self._extend(lambda r: r.error_type is not None)
+
+    def between(
+        self, start: float | None = None, end: float | None = None
+    ) -> "LogQuery":
+        """Keep records with ``start <= timestamp < end`` (virtual time)."""
+        return self._extend(
+            lambda r: (start is None or r.timestamp >= start)
+            and (end is None or r.timestamp < end)
+        )
+
+    # -- terminals ---------------------------------------------------------
+
+    def records(self) -> list[InvocationRecord]:
+        return [
+            r
+            for r in self._records
+            if all(predicate(r) for predicate in self._predicates)
+        ]
+
+    def count(self) -> int:
+        return len(self.records())
+
+    def values(self, field_name: str) -> list[float]:
+        return [float(getattr(r, field_name)) for r in self.records()]
+
+    def aggregate(
+        self, **aggs: str | Callable[[list[InvocationRecord]], float]
+    ) -> dict[str, float]:
+        """Compute named aggregates over the matching records."""
+        matched = self.records()
+        result = {}
+        for name, spec in aggs.items():
+            fn = spec if callable(spec) else _parse_aggregate(spec)
+            result[name] = fn(matched)
+        return result
+
+    def group_by(
+        self, key: str | Callable[[InvocationRecord], Any]
+    ) -> "GroupedLogQuery":
+        """Partition matching records by a field name or key function."""
+        fn = key if callable(key) else (lambda r, _name=key: getattr(r, _name))
+        groups: dict[Any, list[InvocationRecord]] = {}
+        for record in self.records():
+            groups.setdefault(fn(record), []).append(record)
+        return GroupedLogQuery(groups)
+
+
+class GroupedLogQuery:
+    """The result of :meth:`LogQuery.group_by`: per-group aggregation."""
+
+    def __init__(self, groups: dict[Any, list[InvocationRecord]]):
+        self.groups = groups
+
+    def aggregate(
+        self, **aggs: str | Callable[[list[InvocationRecord]], float]
+    ) -> dict[Any, dict[str, float]]:
+        result = {}
+        for key in sorted(self.groups, key=str):
+            query = LogQuery(self.groups[key])
+            result[key] = query.aggregate(**aggs)
+        return result
+
+    def __len__(self) -> int:
+        return len(self.groups)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(sorted(self.groups, key=str))
+
 
 @dataclass
 class ExecutionLog:
@@ -96,6 +298,35 @@ class ExecutionLog:
 
     def append(self, record: InvocationRecord) -> None:
         self.records.append(record)
+
+    def query(self) -> LogQuery:
+        """Start a log-insights-style query over the stored records."""
+        return LogQuery(self.records)
+
+    def write_jsonl(self, path: Path | str) -> Path:
+        """Persist the log as one JSON object per line."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8") as handle:
+            for record in self.records:
+                handle.write(json.dumps(record.to_dict()) + "\n")
+        return path
+
+    @classmethod
+    def load_jsonl(cls, path: Path | str) -> "ExecutionLog":
+        """Reconstruct a log saved by :meth:`write_jsonl`."""
+        log = cls()
+        for index, line in enumerate(
+            Path(path).read_text(encoding="utf-8").splitlines()
+        ):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                log.append(InvocationRecord.from_dict(json.loads(line)))
+            except (json.JSONDecodeError, KeyError, ValueError) as exc:
+                raise ValueError(f"line {index + 1}: bad record: {exc}") from exc
+        return log
 
     def __len__(self) -> int:
         return len(self.records)

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.errors import PlatformError
+from repro.obs import get_recorder
 from repro.platform.emulator import DeployedFunction, LambdaEmulator
 from repro.platform.instance import FunctionInstance
 from repro.platform.logs import InvocationRecord, StartType
@@ -97,26 +98,44 @@ class TraceReplayer:
         if sorted(arrivals) != list(arrivals):
             raise PlatformError("arrivals must be sorted")
         function = self.emulator.function(function_name)
+        recorder = get_recorder()
 
         result = ReplayResult()
-        for arrival in arrivals:
-            instance = self._free_warm_instance(function, arrival)
-            if instance is not None:
-                record = self._serve_warm(function, instance, event, context)
-            else:
-                record = self.emulator._cold_start(function, event, context)
-                self.emulator.log.append(record)
-                self.emulator.ledger.charge_invocation(
-                    function_name, record.cost_usd, cold=True
+        with recorder.span(
+            "replay.run", label=function_name, arrivals=len(arrivals)
+        ) as span:
+            for arrival in arrivals:
+                instance = self._free_warm_instance(function, arrival)
+                if instance is not None:
+                    record = self._serve_warm(function, instance, event, context)
+                else:
+                    record = self.emulator._cold_start(function, event, context)
+                    self.emulator.log.append(record)
+                    self.emulator.ledger.charge_invocation(
+                        function_name, record.cost_usd, cold=True
+                    )
+                if self.emulator.telemetry is not None:
+                    # Trace-time accounting, not the forward-only virtual
+                    # clock: windows and concurrency follow the arrivals.
+                    self.emulator.telemetry.observe(record, arrival=arrival)
+                completion = arrival + record.e2e_s
+                self._busy_until[record.instance_id] = completion
+                self._last_served[record.instance_id] = completion
+                result.requests.append(
+                    ReplayedRequest(
+                        arrival=arrival, completion=completion, record=record
+                    )
                 )
-            completion = arrival + record.e2e_s
-            self._busy_until[record.instance_id] = completion
-            self._last_served[record.instance_id] = completion
-            result.requests.append(
-                ReplayedRequest(
-                    arrival=arrival, completion=completion, record=record
-                )
-            )
+            recorder.counter_add("replay.requests", len(result.requests))
+            recorder.counter_add("replay.cold_starts", result.cold_starts)
+            recorder.counter_add("replay.warm_starts", result.warm_starts)
+            recorder.counter_add("replay.cost_usd", result.total_cost)
+            recorder.gauge_max("replay.peak_concurrency", result.peak_concurrency)
+            if span is not None:
+                span.set_attr("cold_starts", result.cold_starts)
+                span.set_attr("warm_starts", result.warm_starts)
+                span.set_attr("peak_concurrency", result.peak_concurrency)
+                span.set_attr("cost_usd", round(result.total_cost, 9))
         return result
 
     def _free_warm_instance(

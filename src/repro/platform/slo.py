@@ -1,0 +1,221 @@
+"""Declarative SLO rules and breach detection over telemetry windows.
+
+SLAM (CLOUD'22) argues serverless optimization should be driven by
+SLO-level percentiles rather than means; λ-trim's whole premise is that
+debloating moves the *cold-start tail*.  This module turns that into an
+operational check: an :class:`SloRule` names a windowed metric (e.g.
+``cold_e2e_p99`` or ``cost_per_1k``) and an upper bound, and
+:class:`SloPolicy` evaluates every rule against every finalized
+:class:`~repro.platform.telemetry.WindowRollup`.  A debloat regression
+then surfaces as a *breach alarm* — an :class:`SloBreach` plus a
+``slo.breach`` observability event — instead of a diff someone has to
+eyeball.
+
+All supported metrics are "lower is better", so a rule breaches when the
+windowed value exceeds its threshold.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import PlatformError
+
+__all__ = ["SloRule", "SloBreach", "SloPolicy", "FLEET"]
+
+#: Pseudo-function name for fleet-wide (cross-function) windows.
+FLEET = "*"
+
+#: Scalar rollup attributes a rule may target directly.
+_SCALAR_METRICS = frozenset({
+    "invocations",
+    "cold_starts",
+    "warm_starts",
+    "errors",
+    "cost_usd",
+    "billed_s_sum",
+    "concurrency_peak",
+    "cold_start_rate",
+    "error_rate",
+    "cost_per_1k",
+    "mean_e2e_s",
+})
+
+#: ``<histogram>_p<percentile>`` metrics, e.g. ``cold_e2e_p99``.
+_PERCENTILE_RE = re.compile(
+    r"^(?P<hist>e2e|cold_e2e|billed)_p(?P<pct>50|90|95|99|999)$"
+)
+
+_PCT_TO_Q = {"50": 0.50, "90": 0.90, "95": 0.95, "99": 0.99, "999": 0.999}
+
+
+def metric_value(rollup: Any, metric: str) -> float:
+    """Extract *metric* from a window rollup; raises on unknown names."""
+    if metric in _SCALAR_METRICS:
+        return float(getattr(rollup, metric))
+    match = _PERCENTILE_RE.match(metric)
+    if match is None:
+        raise PlatformError(
+            f"unknown SLO metric {metric!r} (scalars: "
+            f"{', '.join(sorted(_SCALAR_METRICS))}; percentiles: "
+            f"e2e_pNN, cold_e2e_pNN, billed_pNN for NN in 50/90/95/99/999)"
+        )
+    histogram = getattr(rollup, match.group("hist"))
+    return histogram.quantile(_PCT_TO_Q[match.group("pct")])
+
+
+@dataclass(frozen=True)
+class SloRule:
+    """One service-level objective: ``metric <= threshold`` per window.
+
+    ``function`` scopes the rule to one function's windows or, with the
+    default :data:`FLEET`, to the fleet-wide rollup.  Windows with fewer
+    than ``min_invocations`` records are skipped so a single stray cold
+    start in an idle window cannot page anyone.
+    """
+
+    name: str
+    metric: str
+    threshold: float
+    function: str = FLEET
+    min_invocations: int = 1
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.threshold < 0:
+            raise PlatformError(
+                f"SLO {self.name!r}: threshold must be non-negative, "
+                f"got {self.threshold}"
+            )
+        if self.min_invocations < 1:
+            raise PlatformError(
+                f"SLO {self.name!r}: min_invocations must be >= 1"
+            )
+        # Validate the metric name eagerly: a typo should fail at rule
+        # construction, not silently never alarm.
+        if self.metric not in _SCALAR_METRICS and not _PERCENTILE_RE.match(
+            self.metric
+        ):
+            metric_value(object(), self.metric)  # raises with the full message
+
+    def applies_to(self, rollup: Any) -> bool:
+        return (
+            rollup.function == self.function
+            and rollup.invocations >= self.min_invocations
+        )
+
+    def evaluate(self, rollup: Any) -> "SloBreach | None":
+        """Check one window; returns a breach or ``None`` (green)."""
+        if not self.applies_to(rollup):
+            return None
+        value = metric_value(rollup, self.metric)
+        if value <= self.threshold:
+            return None
+        return SloBreach(
+            rule=self.name,
+            metric=self.metric,
+            function=rollup.function,
+            window_start_s=rollup.start_s,
+            window_end_s=rollup.end_s,
+            value=value,
+            threshold=self.threshold,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "metric": self.metric,
+            "threshold": self.threshold,
+            "function": self.function,
+            "min_invocations": self.min_invocations,
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SloRule":
+        return cls(
+            name=data["name"],
+            metric=data["metric"],
+            threshold=float(data["threshold"]),
+            function=data.get("function", FLEET),
+            min_invocations=int(data.get("min_invocations", 1)),
+            description=data.get("description", ""),
+        )
+
+
+@dataclass(frozen=True)
+class SloBreach:
+    """One rule exceeding its threshold in one window."""
+
+    rule: str
+    metric: str
+    function: str
+    window_start_s: float
+    window_end_s: float
+    value: float
+    threshold: float
+
+    @property
+    def excess_ratio(self) -> float:
+        """How far over the line: ``value / threshold`` (inf at zero)."""
+        if self.threshold == 0:
+            return float("inf")
+        return self.value / self.threshold
+
+    def describe(self) -> str:
+        scope = "fleet" if self.function == FLEET else self.function
+        return (
+            f"BREACH {self.rule} [{scope}] window "
+            f"{self.window_start_s:.0f}-{self.window_end_s:.0f}s: "
+            f"{self.metric} = {self.value:.4g} > {self.threshold:.4g}"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "metric": self.metric,
+            "function": self.function,
+            "window_start_s": self.window_start_s,
+            "window_end_s": self.window_end_s,
+            "value": self.value,
+            "threshold": self.threshold,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SloBreach":
+        return cls(
+            rule=data["rule"],
+            metric=data["metric"],
+            function=data["function"],
+            window_start_s=float(data["window_start_s"]),
+            window_end_s=float(data["window_end_s"]),
+            value=float(data["value"]),
+            threshold=float(data["threshold"]),
+        )
+
+
+@dataclass
+class SloPolicy:
+    """A named set of rules evaluated together against each window."""
+
+    rules: list[SloRule] = field(default_factory=list)
+
+    def add(self, rule: SloRule) -> "SloPolicy":
+        self.rules.append(rule)
+        return self
+
+    def evaluate_window(self, rollup: Any) -> list[SloBreach]:
+        breaches = []
+        for rule in self.rules:
+            breach = rule.evaluate(rollup)
+            if breach is not None:
+                breaches.append(breach)
+        return breaches
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __iter__(self):
+        return iter(self.rules)

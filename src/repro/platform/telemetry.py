@@ -1,0 +1,437 @@
+"""Fleet telemetry: windowed rollups of invocations over virtual time.
+
+The paper evaluates λ-trim by querying per-invocation AWS REPORT lines;
+this module is the aggregate view of that stream under load.  A
+:class:`TelemetrySink` receives every
+:class:`~repro.platform.logs.InvocationRecord` the emulator, the trace
+replayer, or the analytic trace simulator produces and folds it into
+**tumbling windows over the virtual clock** — one
+:class:`WindowRollup` per (function, window) plus a fleet-wide rollup per
+window under the pseudo-function ``"*"``.
+
+Each rollup carries cold-start rate, error rate, cost, a concurrency
+high-water mark, and mergeable :class:`~repro.obs.histogram.
+LogLinearHistogram` sketches of e2e / cold-e2e / billed durations, so
+p50/p95/p99 queries are O(buckets) regardless of invocation volume.
+Because the sketches merge, tumbling windows compose into sliding windows
+(:meth:`TelemetrySink.sliding`) and whole-run summaries
+(:meth:`FleetReport.overall`) without re-reading any records.
+
+Declarative SLO rules (:mod:`repro.platform.slo`) are evaluated once per
+finalized window; breaches are recorded as ``slo.breach`` observability
+events and surface in the :class:`FleetReport` that ``repro dashboard``
+renders.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.errors import PlatformError
+from repro.obs import get_recorder
+from repro.obs.histogram import LogLinearHistogram
+from repro.platform.logs import InvocationRecord
+from repro.platform.slo import FLEET, SloBreach, SloPolicy, SloRule, metric_value
+
+__all__ = ["WindowRollup", "TelemetrySink", "FleetReport", "FLEET"]
+
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class WindowRollup:
+    """Aggregate of one function's invocations in one virtual-time window.
+
+    ``function`` is ``"*"`` for the fleet-wide rollup.  Histograms hold
+    seconds; ``concurrency_peak`` is the high-water mark of in-flight
+    requests observed at arrival instants within the window.
+    """
+
+    function: str
+    start_s: float
+    end_s: float
+    invocations: int = 0
+    cold_starts: int = 0
+    warm_starts: int = 0
+    errors: int = 0
+    cost_usd: float = 0.0
+    billed_s_sum: float = 0.0
+    concurrency_peak: int = 0
+    e2e: LogLinearHistogram = field(default_factory=LogLinearHistogram)
+    cold_e2e: LogLinearHistogram = field(default_factory=LogLinearHistogram)
+    billed: LogLinearHistogram = field(default_factory=LogLinearHistogram)
+
+    # -- accumulation ------------------------------------------------------
+
+    def observe(self, record: InvocationRecord) -> None:
+        self.invocations += 1
+        if record.is_cold:
+            self.cold_starts += 1
+            self.cold_e2e.record(record.e2e_s)
+        else:
+            self.warm_starts += 1
+        if record.error_type is not None:
+            self.errors += 1
+        self.cost_usd += record.cost_usd
+        self.billed_s_sum += record.billed_duration_s
+        self.e2e.record(record.e2e_s)
+        self.billed.record(record.billed_duration_s)
+
+    def merge(self, other: "WindowRollup") -> None:
+        """Fold *other* into this rollup (sliding windows, run totals)."""
+        if other.function != self.function:
+            raise PlatformError(
+                f"cannot merge rollups for different functions: "
+                f"{self.function!r} vs {other.function!r}"
+            )
+        self.start_s = min(self.start_s, other.start_s)
+        self.end_s = max(self.end_s, other.end_s)
+        self.invocations += other.invocations
+        self.cold_starts += other.cold_starts
+        self.warm_starts += other.warm_starts
+        self.errors += other.errors
+        self.cost_usd += other.cost_usd
+        self.billed_s_sum += other.billed_s_sum
+        # Peaks in disjoint windows do not overlap, so the merged HWM is
+        # the max, not the sum.
+        self.concurrency_peak = max(self.concurrency_peak, other.concurrency_peak)
+        self.e2e.merge(other.e2e)
+        self.cold_e2e.merge(other.cold_e2e)
+        self.billed.merge(other.billed)
+
+    # -- derived metrics ---------------------------------------------------
+
+    @property
+    def cold_start_rate(self) -> float:
+        return self.cold_starts / self.invocations if self.invocations else 0.0
+
+    @property
+    def error_rate(self) -> float:
+        return self.errors / self.invocations if self.invocations else 0.0
+
+    @property
+    def cost_per_1k(self) -> float:
+        """USD per 1000 invocations at this window's mix."""
+        if not self.invocations:
+            return 0.0
+        return self.cost_usd * 1000.0 / self.invocations
+
+    @property
+    def mean_e2e_s(self) -> float:
+        return self.e2e.mean
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "function": self.function,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "invocations": self.invocations,
+            "cold_starts": self.cold_starts,
+            "warm_starts": self.warm_starts,
+            "errors": self.errors,
+            "cost_usd": self.cost_usd,
+            "billed_s_sum": self.billed_s_sum,
+            "concurrency_peak": self.concurrency_peak,
+            "e2e": self.e2e.to_dict(),
+            "cold_e2e": self.cold_e2e.to_dict(),
+            "billed": self.billed.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "WindowRollup":
+        return cls(
+            function=data["function"],
+            start_s=float(data["start_s"]),
+            end_s=float(data["end_s"]),
+            invocations=int(data["invocations"]),
+            cold_starts=int(data["cold_starts"]),
+            warm_starts=int(data["warm_starts"]),
+            errors=int(data["errors"]),
+            cost_usd=float(data["cost_usd"]),
+            billed_s_sum=float(data["billed_s_sum"]),
+            concurrency_peak=int(data["concurrency_peak"]),
+            e2e=LogLinearHistogram.from_dict(data["e2e"]),
+            cold_e2e=LogLinearHistogram.from_dict(data["cold_e2e"]),
+            billed=LogLinearHistogram.from_dict(data["billed"]),
+        )
+
+
+#: Pending records are folded into rollups once this many accumulate, so
+#: buffered memory stays bounded no matter how long a run streams.
+DRAIN_THRESHOLD = 50_000
+
+
+class TelemetrySink:
+    """Aggregator of invocation records over the virtual clock.
+
+    Windows tumble every ``window_s`` virtual seconds, keyed by the
+    *arrival* time of each request (``record.timestamp - record.e2e_s``
+    unless the publisher supplies trace-time arrivals, as the replayer
+    does).  Publishers are expected to deliver records in non-decreasing
+    arrival order — true of the emulator (the virtual clock only moves
+    forward) and of :class:`~repro.platform.replay.TraceReplayer`
+    (arrivals are validated sorted); mild disorder only softens the
+    concurrency high-water mark, never the counts or histograms.
+
+    **Hot-path contract.**  ``observe`` is an O(1) buffer append — the
+    statsd/CloudWatch-agent design — so attaching a sink costs the
+    emulator's invocation path well under the 3% budget that
+    ``benchmarks/bench_telemetry_overhead.py`` enforces.  Aggregation
+    (windowing, histogram inserts, the concurrency heap) runs when the
+    buffer hits :data:`DRAIN_THRESHOLD` or on the first query/finalize,
+    whichever comes first; every query method drains first, so results
+    are always exact and orderings identical to eager aggregation.
+    """
+
+    def __init__(
+        self,
+        *,
+        window_s: float = 60.0,
+        subbuckets: int = 64,
+        slos: Iterable[SloRule] | SloPolicy = (),
+    ):
+        if window_s <= 0:
+            raise PlatformError(f"window must be positive: {window_s}")
+        self.window_s = float(window_s)
+        self.subbuckets = subbuckets
+        self.policy = slos if isinstance(slos, SloPolicy) else SloPolicy(list(slos))
+        self.breaches: list[SloBreach] = []
+        self._windows: dict[tuple[str, int], WindowRollup] = {}
+        self._evaluated: set[tuple[str, int]] = set()
+        # In-flight completion-time heaps for the concurrency HWM.
+        self._in_flight: dict[str, list[float]] = {}
+        # Hot-path buffer: (record, explicit arrival or None) pairs.
+        self._pending: list[tuple[InvocationRecord, float | None]] = []
+
+    # -- ingestion ---------------------------------------------------------
+
+    def observe(
+        self, record: InvocationRecord, *, arrival: float | None = None
+    ) -> None:
+        """Buffer one invocation for its (function, window) and fleet rollups.
+
+        *arrival* defaults to ``record.timestamp - record.e2e_s`` — the
+        emulator stamps records at completion.  Replay-style publishers
+        pass their own trace-time arrivals instead.  The append is the
+        whole hot-path cost; aggregation is deferred (see class docstring).
+        """
+        self._pending.append((record, arrival))
+        if len(self._pending) >= DRAIN_THRESHOLD:
+            self._drain()
+
+    def _drain(self) -> None:
+        """Fold every buffered record into its rollups, in publish order."""
+        if not self._pending:
+            return
+        pending, self._pending = self._pending, []
+        for record, arrival in pending:
+            self._ingest(record, arrival)
+
+    def _ingest(self, record: InvocationRecord, arrival: float | None) -> None:
+        if arrival is None:
+            arrival = record.timestamp - record.e2e_s
+        completion = arrival + record.e2e_s
+        for name in (record.function, FLEET):
+            rollup = self._rollup(name, arrival)
+            rollup.observe(record)
+            depth = self._track_concurrency(name, arrival, completion)
+            rollup.concurrency_peak = max(rollup.concurrency_peak, depth)
+
+    def _rollup(self, function: str, arrival: float) -> WindowRollup:
+        index = int(arrival // self.window_s)
+        key = (function, index)
+        rollup = self._windows.get(key)
+        if rollup is None:
+            rollup = self._windows[key] = WindowRollup(
+                function=function,
+                start_s=index * self.window_s,
+                end_s=(index + 1) * self.window_s,
+                e2e=LogLinearHistogram(subbuckets=self.subbuckets),
+                cold_e2e=LogLinearHistogram(subbuckets=self.subbuckets),
+                billed=LogLinearHistogram(subbuckets=self.subbuckets),
+            )
+        return rollup
+
+    def _track_concurrency(
+        self, function: str, arrival: float, completion: float
+    ) -> int:
+        heap = self._in_flight.setdefault(function, [])
+        while heap and heap[0] <= arrival:
+            heapq.heappop(heap)
+        heapq.heappush(heap, completion)
+        return len(heap)
+
+    # -- SLO evaluation ----------------------------------------------------
+
+    def finalize(self) -> list[SloBreach]:
+        """Evaluate SLO rules on every not-yet-evaluated window.
+
+        Idempotent: each window is judged exactly once, so streaming
+        callers can finalize repeatedly as virtual time advances.  Every
+        breach is also re-emitted as a ``slo.breach`` observability event
+        and counted under ``telemetry.slo_breaches``.
+        """
+        self._drain()
+        recorder = get_recorder()
+        fresh: list[SloBreach] = []
+        for key in sorted(self._windows, key=lambda k: (k[1], k[0])):
+            if key in self._evaluated:
+                continue
+            self._evaluated.add(key)
+            rollup = self._windows[key]
+            recorder.counter_add("telemetry.windows_evaluated")
+            for breach in self.policy.evaluate_window(rollup):
+                fresh.append(breach)
+                recorder.counter_add("telemetry.slo_breaches")
+                recorder.event("slo.breach", breach.to_dict())
+        self.breaches.extend(fresh)
+        return fresh
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def invocations(self) -> int:
+        self._drain()
+        return sum(
+            r.invocations for (name, _), r in self._windows.items() if name == FLEET
+        )
+
+    def functions(self) -> list[str]:
+        self._drain()
+        return sorted({name for name, _ in self._windows if name != FLEET})
+
+    def rollups(self, function: str = FLEET) -> list[WindowRollup]:
+        """Finalized tumbling windows for *function*, in time order."""
+        self._drain()
+        return [
+            self._windows[key]
+            for key in sorted(self._windows, key=lambda k: k[1])
+            if key[0] == function
+        ]
+
+    def sliding(
+        self, function: str = FLEET, *, width: int = 2
+    ) -> list[WindowRollup]:
+        """Sliding windows of *width* tumbling windows, stepping by one.
+
+        Implemented by merging the underlying sketches — no records are
+        re-read, which is the point of mergeable histograms.
+        """
+        if width < 1:
+            raise PlatformError(f"sliding width must be >= 1: {width}")
+        tumbling = self.rollups(function)
+        merged: list[WindowRollup] = []
+        for i in range(len(tumbling)):
+            window = WindowRollup.from_dict(tumbling[i].to_dict())  # deep copy
+            for other in tumbling[i + 1 : i + width]:
+                window.merge(other)
+            merged.append(window)
+        return merged
+
+    # -- export ------------------------------------------------------------
+
+    def report(self) -> "FleetReport":
+        """Finalize outstanding windows and snapshot the full fleet view."""
+        self.finalize()
+        return FleetReport(
+            window_s=self.window_s,
+            windows=[
+                self._windows[key]
+                for key in sorted(self._windows, key=lambda k: (k[1], k[0]))
+            ],
+            breaches=list(self.breaches),
+            slos=list(self.policy.rules),
+        )
+
+    def save(self, path: Path | str) -> Path:
+        return self.report().save(path)
+
+
+@dataclass
+class FleetReport:
+    """A sink's exported state, decoupled from the live sink.
+
+    This is what ``repro dashboard`` loads: tumbling windows (per function
+    and fleet-wide), the SLO rules that were active, and every breach.
+    """
+
+    window_s: float
+    windows: list[WindowRollup] = field(default_factory=list)
+    breaches: list[SloBreach] = field(default_factory=list)
+    slos: list[SloRule] = field(default_factory=list)
+
+    def functions(self) -> list[str]:
+        return sorted({w.function for w in self.windows if w.function != FLEET})
+
+    def rollups(self, function: str = FLEET) -> list[WindowRollup]:
+        return sorted(
+            (w for w in self.windows if w.function == function),
+            key=lambda w: w.start_s,
+        )
+
+    def overall(self, function: str = FLEET) -> WindowRollup:
+        """All of *function*'s windows merged into one run-level rollup."""
+        windows = self.rollups(function)
+        if not windows:
+            raise PlatformError(f"no telemetry recorded for {function!r}")
+        total = WindowRollup.from_dict(windows[0].to_dict())
+        for window in windows[1:]:
+            total.merge(window)
+        return total
+
+    def series(
+        self, metric: str, function: str = FLEET
+    ) -> list[tuple[float, float]]:
+        """(window start, metric value) per window — sparkline fodder."""
+        return [
+            (w.start_s, metric_value(w, metric)) for w in self.rollups(function)
+        ]
+
+    @property
+    def invocations(self) -> int:
+        return sum(w.invocations for w in self.windows if w.function == FLEET)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": SCHEMA_VERSION,
+            "kind": "repro-telemetry",
+            "window_s": self.window_s,
+            "windows": [w.to_dict() for w in self.windows],
+            "breaches": [b.to_dict() for b in self.breaches],
+            "slos": [rule.to_dict() for rule in self.slos],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FleetReport":
+        if data.get("kind") != "repro-telemetry":
+            raise PlatformError(
+                "not a telemetry export (expected kind='repro-telemetry')"
+            )
+        return cls(
+            window_s=float(data["window_s"]),
+            windows=[WindowRollup.from_dict(w) for w in data.get("windows", [])],
+            breaches=[SloBreach.from_dict(b) for b in data.get("breaches", [])],
+            slos=[SloRule.from_dict(r) for r in data.get("slos", [])],
+        )
+
+    def save(self, path: Path | str) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(self.to_dict(), sort_keys=True) + "\n", encoding="utf-8"
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: Path | str) -> "FleetReport":
+        try:
+            data = json.loads(Path(path).read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise PlatformError(f"{path} is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)

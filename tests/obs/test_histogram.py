@@ -1,0 +1,234 @@
+"""LogLinearHistogram: exactness of counts, the documented relative-error
+bound on quantiles, and mergeability.
+
+The bound under test is the one the module docstring promises: a value in
+tier ``[2^t, 2^(t+1))`` lands in a linear sub-bucket of width ``2^t / m``
+and quantiles return bucket midpoints, so every estimate is within
+``1 / (2 m)`` *relative* error of the exact order statistic at rank
+``floor(q * (n - 1))``.  Hypothesis drives uniform, lognormal-heavy-tailed
+and adversarial bimodal samples through it; a deterministic test checks
+agreement with :func:`statistics.quantiles` at the same positions.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+import statistics
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.histogram import STANDARD_QUANTILES, LogLinearHistogram
+
+
+def exact_quantile(values: list[float], q: float) -> float:
+    """The order statistic at the histogram's documented rank convention."""
+    return sorted(values)[math.floor(q * (len(values) - 1))]
+
+
+def assert_within_bound(histogram: LogLinearHistogram, values: list[float]) -> None:
+    for q in STANDARD_QUANTILES:
+        truth = exact_quantile(values, q)
+        estimate = histogram.quantile(q)
+        tolerance = histogram.relative_error * truth + 1e-12
+        if truth < histogram.min_trackable:
+            # Sub-min_trackable values live in the zero bucket and are
+            # reported as 0.0 — absolute error up to min_trackable.
+            tolerance = histogram.min_trackable
+        assert abs(estimate - truth) <= tolerance, (
+            f"q={q}: estimate {estimate} vs exact {truth} "
+            f"(bound {histogram.relative_error:.4%})"
+        )
+
+
+# -- strategies --------------------------------------------------------------
+
+uniform_values = st.floats(
+    min_value=1e-6, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+# Heavy tail: e^x for x in [-25, 25] spans ~22 orders of magnitude.
+heavy_tailed_values = st.floats(
+    min_value=-25.0, max_value=25.0, allow_nan=False, allow_infinity=False
+).map(math.exp)
+# Adversarial: bimodal mass near the bottom and top of the trackable range,
+# so quantile ranks straddle huge empty gaps between occupied tiers.
+adversarial_values = st.one_of(
+    st.floats(min_value=1e-8, max_value=1e-6),
+    st.floats(min_value=1e6, max_value=1e12),
+)
+
+
+class TestRelativeErrorBound:
+    @given(st.lists(uniform_values, min_size=1, max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_uniform_samples(self, values):
+        histogram = LogLinearHistogram()
+        for value in values:
+            histogram.record(value)
+        assert_within_bound(histogram, values)
+
+    @given(st.lists(heavy_tailed_values, min_size=1, max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_heavy_tailed_samples(self, values):
+        histogram = LogLinearHistogram()
+        for value in values:
+            histogram.record(value)
+        assert_within_bound(histogram, values)
+
+    @given(st.lists(adversarial_values, min_size=2, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_adversarial_bimodal_samples(self, values):
+        histogram = LogLinearHistogram()
+        for value in values:
+            histogram.record(value)
+        assert_within_bound(histogram, values)
+
+    @given(
+        st.lists(heavy_tailed_values, min_size=1, max_size=200),
+        st.sampled_from([4, 16, 64, 256]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bound_scales_with_resolution(self, values, subbuckets):
+        histogram = LogLinearHistogram(subbuckets=subbuckets)
+        for value in values:
+            histogram.record(value)
+        assert histogram.relative_error == 1.0 / (2.0 * subbuckets)
+        assert_within_bound(histogram, values)
+
+    def test_against_statistics_quantiles(self):
+        """Agreement with the stdlib on a seeded lognormal sample.
+
+        ``statistics.quantiles(..., n=1000, method="inclusive")`` puts cut
+        point ``i`` at position ``i * (n - 1) / 1000``; for our q values
+        that position is ``q * (n - 1)``, so the stdlib's interpolated
+        answer lies between the order statistics bracketing the
+        histogram's rank.  The estimate must land in that same bracket,
+        widened by the documented relative error.
+        """
+        rng = random.Random(7)
+        data = [rng.lognormvariate(0.0, 2.0) for _ in range(5000)]
+        histogram = LogLinearHistogram()
+        for value in data:
+            histogram.record(value)
+        ordered = sorted(data)
+        cuts = statistics.quantiles(data, n=1000, method="inclusive")
+        alpha = histogram.relative_error
+        for q in STANDARD_QUANTILES:
+            reference = cuts[int(round(q * 1000)) - 1]
+            k = math.floor(q * (len(ordered) - 1))
+            lo = ordered[k]
+            hi = ordered[min(k + 1, len(ordered) - 1)]
+            assert lo <= reference <= hi  # sanity: brackets agree
+            estimate = histogram.quantile(q)
+            assert lo * (1 - alpha) - 1e-12 <= estimate <= hi * (1 + alpha) + 1e-12
+
+
+class TestMerge:
+    @given(
+        st.lists(heavy_tailed_values, min_size=1, max_size=150),
+        st.lists(heavy_tailed_values, min_size=1, max_size=150),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_merge_equals_single_histogram(self, left, right):
+        """Recording everything in one sketch and merging two halves must
+        produce identical buckets — the property sliding windows rely on."""
+        combined = LogLinearHistogram()
+        for value in left + right:
+            combined.record(value)
+        a = LogLinearHistogram()
+        for value in left:
+            a.record(value)
+        b = LogLinearHistogram()
+        for value in right:
+            b.record(value)
+        a.merge(b)
+        assert a.count == combined.count
+        assert a.min == combined.min
+        assert a.max == combined.max
+        assert a.sum == pytest.approx(combined.sum)
+        assert dict(a.buckets()) == dict(combined.buckets())
+        for q in STANDARD_QUANTILES:
+            assert a.quantile(q) == combined.quantile(q)
+
+    def test_merge_rejects_resolution_mismatch(self):
+        a = LogLinearHistogram(subbuckets=64)
+        b = LogLinearHistogram(subbuckets=32)
+        with pytest.raises(ValueError, match="different resolutions"):
+            a.merge(b)
+
+
+class TestBasics:
+    def test_empty_histogram(self):
+        histogram = LogLinearHistogram()
+        assert histogram.count == 0
+        assert len(histogram) == 0
+        assert histogram.quantile(0.5) == 0.0
+        assert histogram.mean == 0.0
+        assert histogram.min == 0.0 and histogram.max == 0.0
+
+    def test_zero_bucket(self):
+        histogram = LogLinearHistogram()
+        for _ in range(9):
+            histogram.record(0.0)
+        histogram.record(10.0)
+        assert histogram.p50 == 0.0
+        assert histogram.quantile(1.0) == 10.0
+        assert histogram.min == 0.0 and histogram.max == 10.0
+
+    def test_weighted_record(self):
+        histogram = LogLinearHistogram()
+        histogram.record(1.0, count=99)
+        histogram.record(100.0)
+        assert histogram.count == 100
+        assert histogram.p50 == pytest.approx(1.0, rel=histogram.relative_error)
+        assert histogram.quantile(1.0) == 100.0
+
+    def test_single_value_quantiles_clamped_to_range(self):
+        histogram = LogLinearHistogram()
+        histogram.record(3.7)
+        for q in STANDARD_QUANTILES:
+            assert histogram.quantile(q) == 3.7
+
+    def test_rejects_bad_inputs(self):
+        histogram = LogLinearHistogram()
+        with pytest.raises(ValueError):
+            histogram.record(-1.0)
+        with pytest.raises(ValueError):
+            histogram.record(math.inf)
+        with pytest.raises(ValueError):
+            histogram.record(math.nan)
+        with pytest.raises(ValueError):
+            histogram.record(1.0, count=0)
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+        with pytest.raises(ValueError):
+            LogLinearHistogram(subbuckets=0)
+        with pytest.raises(ValueError):
+            LogLinearHistogram(min_trackable=0.0)
+
+    def test_summary_keys(self):
+        histogram = LogLinearHistogram()
+        histogram.record(1.0)
+        summary = histogram.summary()
+        assert set(summary) == {
+            "count", "mean", "max", "p50", "p90", "p95", "p99", "p99_9"
+        }
+        assert summary["count"] == 1.0
+
+    @given(st.lists(heavy_tailed_values, min_size=1, max_size=150))
+    @settings(max_examples=40, deadline=None)
+    def test_serialization_round_trip(self, values):
+        histogram = LogLinearHistogram()
+        for value in values:
+            histogram.record(value)
+        payload = json.loads(json.dumps(histogram.to_dict()))  # JSON-safe
+        restored = LogLinearHistogram.from_dict(payload)
+        assert restored.count == histogram.count
+        assert restored.min == histogram.min
+        assert restored.max == histogram.max
+        assert dict(restored.buckets()) == dict(histogram.buckets())
+        for q in STANDARD_QUANTILES:
+            assert restored.quantile(q) == histogram.quantile(q)

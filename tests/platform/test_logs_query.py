@@ -1,0 +1,213 @@
+"""ExecutionLog query surface, e2e phase accounting, JSONL round-trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.platform.logs import (
+    ExecutionLog,
+    InvocationRecord,
+    LogQuery,
+    StartType,
+)
+
+
+def make_record(
+    request_id: str,
+    *,
+    function: str = "api",
+    start_type: StartType = StartType.WARM,
+    timestamp: float = 0.0,
+    error_type: str | None = None,
+    **overrides,
+) -> InvocationRecord:
+    return InvocationRecord(
+        request_id=request_id,
+        function=function,
+        start_type=start_type,
+        timestamp=timestamp,
+        value={"ok": True},
+        instance_id=f"{function}-i0",
+        error_type=error_type,
+        **overrides,
+    )
+
+
+@pytest.fixture()
+def log() -> ExecutionLog:
+    log = ExecutionLog()
+    log.append(make_record(
+        "r1", function="api", start_type=StartType.COLD, timestamp=1.0,
+        init_duration_s=0.8, exec_duration_s=0.2, cost_usd=3e-6,
+        billed_duration_s=1.0,
+    ))
+    log.append(make_record(
+        "r2", function="api", timestamp=5.0, exec_duration_s=0.2,
+        cost_usd=1e-6, billed_duration_s=0.2,
+    ))
+    log.append(make_record(
+        "r3", function="api", timestamp=9.0, exec_duration_s=0.4,
+        cost_usd=2e-6, billed_duration_s=0.4, error_type="ValueError",
+    ))
+    log.append(make_record(
+        "r4", function="etl", start_type=StartType.COLD, timestamp=20.0,
+        init_duration_s=2.0, exec_duration_s=1.0, cost_usd=9e-6,
+        billed_duration_s=3.0,
+    ))
+    return log
+
+
+class TestLogQuery:
+    def test_cold_warm_filters(self, log):
+        assert {r.request_id for r in log.query().cold().records()} == {"r1", "r4"}
+        assert {r.request_id for r in log.query().warm().records()} == {"r2", "r3"}
+
+    def test_where_and_chaining(self, log):
+        assert log.query().where(function="api").count() == 3
+        assert log.query().where(function="api").cold().count() == 1
+        assert log.query().where(
+            function="api", start_type=StartType.WARM
+        ).count() == 2
+        assert log.query().where(function="missing").count() == 0
+
+    def test_ok_failed(self, log):
+        assert log.query().failed().count() == 1
+        assert log.query().failed().records()[0].error_type == "ValueError"
+        assert log.query().ok().count() == 3
+
+    def test_between_is_half_open(self, log):
+        assert log.query().between(1.0, 9.0).count() == 2  # r3 at 9.0 excluded
+        assert log.query().between(start=5.0).count() == 3
+        assert log.query().between(end=5.0).count() == 1
+
+    def test_chaining_is_immutable(self, log):
+        base = log.query().where(function="api")
+        cold = base.cold()
+        assert isinstance(cold, LogQuery)
+        assert cold is not base
+        assert base.count() == 3  # narrowing `cold` did not mutate `base`
+        assert cold.count() == 1
+
+    def test_filter_with_callable(self, log):
+        slow = log.query().filter(lambda r: r.exec_duration_s > 0.3)
+        assert {r.request_id for r in slow.records()} == {"r3", "r4"}
+
+    def test_values(self, log):
+        assert log.query().where(function="api").values("cost_usd") == [
+            3e-6, 1e-6, 2e-6,
+        ]
+
+    def test_aggregate_specs(self, log):
+        stats = log.query().aggregate(
+            n="count",
+            cost="sum:cost_usd",
+            mean_exec="mean:exec_duration_s",
+            fastest="min:exec_duration_s",
+            slowest="max:exec_duration_s",
+            p50="p50:exec_duration_s",
+        )
+        assert stats["n"] == 4.0
+        assert stats["cost"] == pytest.approx(15e-6)
+        assert stats["mean_exec"] == pytest.approx(0.45)
+        assert stats["fastest"] == 0.2
+        assert stats["slowest"] == 1.0
+        # rank floor(0.5 * 3) = 1 of sorted [0.2, 0.2, 0.4, 1.0]
+        assert stats["p50"] == 0.2
+
+    def test_aggregate_with_callable(self, log):
+        stats = log.query().aggregate(
+            span=lambda records: max(r.timestamp for r in records)
+            - min(r.timestamp for r in records)
+        )
+        assert stats["span"] == 19.0
+
+    def test_aggregate_on_empty_match(self, log):
+        stats = log.query().where(function="missing").aggregate(
+            n="count", mean="mean:e2e_s", low="min:e2e_s", p99="p99:e2e_s"
+        )
+        assert stats == {"n": 0.0, "mean": 0.0, "low": 0.0, "p99": 0.0}
+
+    def test_bad_aggregate_specs(self, log):
+        with pytest.raises(ValueError, match="needs a field"):
+            log.query().aggregate(x="sum")
+        with pytest.raises(ValueError, match="unknown aggregate op"):
+            log.query().aggregate(x="median:e2e_s")
+        with pytest.raises(ValueError, match="bad percentile"):
+            log.query().aggregate(x="p200:e2e_s")
+
+    def test_group_by_field(self, log):
+        grouped = log.query().group_by("function")
+        assert list(grouped) == ["api", "etl"]
+        assert len(grouped) == 2
+        stats = grouped.aggregate(n="count", cost="sum:cost_usd")
+        assert stats["api"]["n"] == 3.0
+        assert stats["etl"]["cost"] == pytest.approx(9e-6)
+
+    def test_group_by_callable(self, log):
+        grouped = log.query().group_by(lambda r: r.is_cold)
+        stats = grouped.aggregate(n="count")
+        assert stats[True]["n"] == 2.0
+        assert stats[False]["n"] == 2.0
+
+
+class TestPhaseAccounting:
+    """e2e_s must be the sum of exactly the phases each start type pays."""
+
+    def test_cold_start_pays_every_phase(self):
+        record = make_record(
+            "c", start_type=StartType.COLD, routing_s=0.04,
+            instance_init_s=0.25, transmission_s=0.06,
+            init_duration_s=0.82, exec_duration_s=0.1,
+        )
+        assert record.e2e_s == pytest.approx(0.04 + 0.25 + 0.06 + 0.82 + 0.1)
+        assert record.is_cold
+
+    def test_warm_start_pays_routing_and_exec_only(self):
+        record = make_record("w", routing_s=0.04, exec_duration_s=0.1)
+        assert record.e2e_s == pytest.approx(0.14)
+        assert not record.is_cold
+
+    def test_snapstart_restores_instead_of_initializing(self):
+        record = make_record(
+            "s", start_type=StartType.COLD, routing_s=0.04,
+            instance_init_s=0.25, transmission_s=0.06,
+            restore_duration_s=0.3, exec_duration_s=0.1,
+        )
+        assert record.init_duration_s == 0.0
+        assert record.e2e_s == pytest.approx(0.04 + 0.25 + 0.06 + 0.3 + 0.1)
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip_preserves_records(self, log, tmp_path):
+        path = log.write_jsonl(tmp_path / "run" / "log.jsonl")
+        restored = ExecutionLog.load_jsonl(path)
+        assert len(restored) == len(log)
+        # Frozen dataclasses compare by value; enums must be re-hydrated.
+        assert restored.records == log.records
+        assert all(
+            isinstance(r.start_type, StartType) for r in restored.records
+        )
+
+    def test_round_trip_queries_agree(self, log, tmp_path):
+        path = log.write_jsonl(tmp_path / "log.jsonl")
+        restored = ExecutionLog.load_jsonl(path)
+        aggs = dict(n="count", cost="sum:cost_usd", p95="p95:e2e_s")
+        assert restored.query().aggregate(**aggs) == log.query().aggregate(**aggs)
+
+    def test_from_dict_ignores_unknown_keys(self):
+        record = make_record("r1")
+        payload = record.to_dict() | {"some_future_field": 123}
+        assert InvocationRecord.from_dict(payload) == record
+
+    def test_load_rejects_bad_lines(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"request_id": "x"}\n', encoding="utf-8")
+        with pytest.raises(ValueError, match="line 1"):
+            ExecutionLog.load_jsonl(path)
+
+    def test_load_skips_blank_lines(self, log, tmp_path):
+        path = log.write_jsonl(tmp_path / "log.jsonl")
+        path.write_text(
+            path.read_text(encoding="utf-8") + "\n\n", encoding="utf-8"
+        )
+        assert len(ExecutionLog.load_jsonl(path)) == len(log)

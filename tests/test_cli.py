@@ -109,3 +109,37 @@ class TestFuzzCommand:
                      "--log", str(log)]) == 0
         stdout = capsys.readouterr().out
         assert "adopted from the log" in stdout
+
+
+class TestObservabilityCommands:
+    def test_trace_json(self, toy_app, tmp_path, capsys):
+        code = main(["trace", str(toy_app.root),
+                     "--trim-output", str(tmp_path / "trimmed"), "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["verify_passed"] is True
+        assert payload["spans"], "trace --json must include pipeline spans"
+        assert any(s["name"] == "pipeline.run" for s in payload["spans"])
+        assert "counters" in payload and "gauges" in payload
+
+    def test_dashboard_renders_saved_export(self, tmp_path, capsys):
+        from repro.platform import TelemetrySink
+        from repro.platform.logs import InvocationRecord, StartType
+
+        sink = TelemetrySink(window_s=60.0)
+        sink.observe(InvocationRecord(
+            request_id="r1", function="api", start_type=StartType.WARM,
+            timestamp=1.0, value=None, instance_id="i0",
+            exec_duration_s=0.1, billed_duration_s=0.1, cost_usd=1e-6,
+        ))
+        export = sink.save(tmp_path / "export.json")
+        assert main(["dashboard", str(export)]) == 0
+        stdout = capsys.readouterr().out
+        assert "fleet telemetry" in stdout
+        assert "SLOs: none configured" in stdout
+
+    def test_dashboard_rejects_bad_export(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}", encoding="utf-8")
+        assert main(["dashboard", str(bad)]) == 2
+        assert "not a telemetry export" in capsys.readouterr().err
