@@ -1,0 +1,136 @@
+"""Chaos smoke: a seeded fault replay that must heal itself, every run.
+
+CI's benchmark-smoke job replays an Azure-style arrival trace against the
+emulator under a seeded :class:`~repro.platform.faults.FaultPlan`
+(throttles + instance crashes) while the deployed function runs a
+deliberately broken trim behind a
+:class:`~repro.core.fallback.FallbackManager`.  The run must end with
+
+* zero lost invocations (retries + dead letters account for everything),
+* the circuit breaker open and the primary un-trimmed,
+* a billing ledger that reconciles float-identically against the log,
+* and — because every random draw is seeded and time is virtual — a
+  **byte-identical telemetry export on a second run**.
+
+The fleet export is written to ``benchmarks/results/chaos_dashboard.json``
+(rendered view alongside it) and uploaded as a CI artifact, so every smoke
+run leaves a chaos dashboard behind
+(``lambda-trim dashboard benchmarks/results/chaos_dashboard.json``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.dashboard import render_dashboard
+from repro.bundle import AppBundle
+from repro.core.fallback import SlidingWindowBreaker
+from repro.platform import (
+    FaultPlan,
+    FaultRates,
+    LambdaEmulator,
+    RetryPolicy,
+    SloRule,
+    TelemetrySink,
+    TraceReplayer,
+)
+from repro.traces.azure import AzureTraceGenerator
+from repro.workloads.toy import build_toy_torch_app
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+EVENT = {"x": [1.0, 2.0], "y": [3.0, 4.0]}
+NAME = "chaos-app"
+
+
+def _broken_clone(bundle: AppBundle, destination: Path) -> AppBundle:
+    """Clone the toy app and delete ``torch.view`` — a bad trim that makes
+    every invocation raise the AttributeError the safety net catches."""
+    clone = bundle.clone(destination)
+    torch_init = clone.root / "site-packages" / "torch" / "__init__.py"
+    kept = [
+        line
+        for line in torch_init.read_text(encoding="utf-8").splitlines(
+            keepends=True
+        )
+        if not line.startswith("view =")
+    ]
+    torch_init.write_text("".join(kept), encoding="utf-8")
+    return clone
+
+
+def _smoke_trace() -> list[float]:
+    """A deterministic Azure-style arrival series, a few hundred requests."""
+    for trace in AzureTraceGenerator(seed=11).generate(20):
+        if 200 <= trace.invocations <= 1500:
+            return list(trace.timestamps)
+    raise AssertionError("no suitably sized trace in the population")
+
+
+def _run_chaos(root: Path):
+    original = build_toy_torch_app(root / "toy")
+    broken = _broken_clone(original, root / "broken")
+
+    sink = TelemetrySink(
+        window_s=3600.0,
+        slos=[
+            SloRule(name="error-budget", metric="error_rate", threshold=0.02)
+        ],
+    )
+    emulator = LambdaEmulator(
+        telemetry=sink,
+        faults=FaultPlan(
+            seed=23,
+            default=FaultRates(throttle=0.05, exec_crash=0.02),
+            per_function={f"{NAME}--fallback": FaultRates()},
+        ),
+    )
+    manager = emulator.deploy_managed(
+        broken,
+        original,
+        name=NAME,
+        breaker=SlidingWindowBreaker(threshold=5, window_s=86400.0),
+    )
+    result = TraceReplayer(emulator).replay(
+        NAME,
+        _smoke_trace(),
+        EVENT,
+        retry=RetryPolicy(max_attempts=6, base_delay_s=0.5, seed=5),
+        fallback=manager,
+    )
+    sink.set_meta("fallback", manager.to_dict())
+    sink.finalize()
+    return emulator, sink, manager, result
+
+
+def test_chaos_smoke(tmp_path_factory, artifact_sink):
+    emulator, sink, manager, result = _run_chaos(
+        tmp_path_factory.mktemp("chaos-a")
+    )
+
+    # Nothing lost: every arrival is a replayed request or a dead letter.
+    assert result.lost == 0
+    assert len(result.requests) + len(result.dead_letters) == result.arrivals
+    assert result.retries > 0 and result.throttled > 0
+
+    # The breaker tripped and un-trimmed the broken primary mid-replay.
+    assert manager.un_trimmed and manager.state == "open"
+    assert result.fallbacks >= 5
+    assert all(r.record.ok for r in result.requests if r.used_fallback)
+
+    # Lambda-faithful billing reconciles exactly.
+    emulator.ledger.reconcile(list(emulator.log))
+
+    # The chaos shows up on the scoreboard.
+    report = sink.report()
+    assert any(b.metric == "error_rate" for b in report.breaches)
+
+    # Determinism: a second run from scratch exports identical bytes.
+    _, sink_b, _, _ = _run_chaos(tmp_path_factory.mktemp("chaos-b"))
+    export = json.dumps(report.to_dict(), sort_keys=True)
+    assert export == json.dumps(sink_b.report().to_dict(), sort_keys=True)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    sink.save(RESULTS_DIR / "chaos_dashboard.json")
+    artifact_sink("chaos_dashboard", render_dashboard(report))

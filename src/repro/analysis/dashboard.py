@@ -50,9 +50,20 @@ def _seconds(value: float) -> str:
 #: The headline per-window series charted for the fleet.
 _CHARTS = (
     ("cold-start rate", "cold_start_rate", _pct),
+    ("error rate", "error_rate", _pct),
     ("e2e p95", "e2e_p95", _seconds),
     ("cost / window", "cost_usd", _usd),
 )
+
+
+def _status_breakdown(total: WindowRollup) -> str:
+    """Non-success statuses as ``status:count`` pairs (``-`` when clean)."""
+    parts = [
+        f"{status}:{count}"
+        for status, count in sorted(total.status_counts.items())
+        if status != "success" and count
+    ]
+    return " ".join(parts) if parts else "-"
 
 
 def _totals_row(name: str, total: WindowRollup) -> list[str]:
@@ -64,6 +75,7 @@ def _totals_row(name: str, total: WindowRollup) -> list[str]:
         _seconds(total.e2e.p95),
         _seconds(total.e2e.p99),
         _pct(total.error_rate),
+        _status_breakdown(total),
         _usd(total.cost_usd),
     ]
 
@@ -90,7 +102,7 @@ def render_dashboard(report: FleetReport, *, function: str = FLEET) -> str:
 
     summary = render_table(
         ["scope", "invocations", "cold%", "e2e p50", "e2e p95", "e2e p99",
-         "err%", "cost"],
+         "err%", "failures", "cost"],
         [_totals_row(scope, total)]
         + [
             _totals_row(name, report.overall(name))
@@ -114,7 +126,27 @@ def render_dashboard(report: FleetReport, *, function: str = FLEET) -> str:
     )
     lines.append("")
     lines.append(_render_slos(report))
+    breaker = _render_breaker(report)
+    if breaker:
+        lines.append(breaker)
     return "\n".join(lines)
+
+
+def _render_breaker(report: FleetReport) -> str:
+    """Circuit-breaker state attached by a fallback manager, if any."""
+    state = report.meta.get("fallback")
+    if not isinstance(state, dict):
+        return ""
+    breaker = state.get("breaker", {})
+    line = (
+        f"fallback breaker [{state.get('primary', '?')}]: "
+        f"{breaker.get('state', '?')} — "
+        f"{state.get('fallbacks_triggered', 0)} trigger(s), "
+        f"{state.get('recovered', 0)} recovered"
+    )
+    if state.get("un_trimmed"):
+        line += f", un-trimmed at {breaker.get('opened_at', 0.0):.0f}s"
+    return line
 
 
 def _render_slos(report: FleetReport) -> str:

@@ -378,6 +378,9 @@ def _summarize_export(report) -> dict:
                 "cold_e2e_p99",
             )
         }
+        summary["status_counts"] = dict(sorted(total.status_counts.items()))
+    if report.meta:
+        summary["meta"] = report.meta
     return summary
 
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Generic, Hashable, Sequence, TypeVar
 
+from repro.errors import OracleError
 from repro.obs import get_recorder
 
 __all__ = ["DeltaDebugger", "DDOutcome", "DDTraceStep", "ddmin_keep", "split_partitions"]
@@ -109,6 +110,15 @@ class DeltaDebugger(Generic[T]):
     check_initial:
         Verify the full component set passes the oracle before minimizing
         (a failing baseline means the oracle spec itself is broken).
+    treat_as_failure:
+        Exception types from the oracle that mean "this *candidate* is
+        bad", not "the search is broken".  A debloated candidate can hang
+        (infinite loop where a guard used to be) or crash the probe
+        harness — :class:`~repro.errors.OracleTimeout` /
+        :class:`~repro.errors.OracleError` — and the right response is to
+        record the candidate as failing and keep reducing, exactly as if
+        the oracle had returned ``False``.  The verdict is cached like
+        any other, so the hanging configuration is never probed twice.
     """
 
     def __init__(
@@ -118,11 +128,13 @@ class DeltaDebugger(Generic[T]):
         record_trace: bool = False,
         max_oracle_calls: int | None = None,
         check_initial: bool = True,
+        treat_as_failure: tuple[type[BaseException], ...] = (OracleError,),
     ) -> None:
         self._oracle = oracle
         self._record_trace = record_trace
         self._max_oracle_calls = max_oracle_calls
         self._check_initial = check_initial
+        self._treat_as_failure = tuple(treat_as_failure)
         self._cache: dict[frozenset[T], bool] = {}
         self._calls = 0
         self._cache_hits = 0
@@ -166,7 +178,10 @@ class DeltaDebugger(Generic[T]):
             ):
                 raise _OracleBudgetExhausted()
             self._calls += 1
-            result = bool(self._oracle(candidate))
+            try:
+                result = bool(self._oracle(candidate))
+            except self._treat_as_failure:
+                result = False
             self._cache[key] = result
         if self._record_trace:
             self._step += 1

@@ -10,17 +10,45 @@ oracle set and re-run λ-trim.
 The wrapper is generic over "invokers" — callables ``(event, context) ->
 InvocationOutput`` — so it composes with both bare :class:`LoadedApp`
 instances and functions deployed on the platform emulator.
+
+The paper stops at the one-shot wrapper; :class:`FallbackManager` is the
+production hardening.  "Revisiting Code Debloating with Ground
+Truth-based Evaluation" shows debloaters routinely ship breakage that
+only surfaces under unusual inputs, so a deployment that keeps paying the
+fallback detour on every such input is silently broken *and* slow.  The
+manager counts triggers in a sliding virtual-time window
+(:class:`SlidingWindowBreaker`); once they exceed the threshold it flips
+the circuit and **un-trims** — redeploys the original bundle over the
+primary name via ``update_function`` — so the fleet self-heals without a
+human in the loop.  Every trigger and the flip itself are emitted as
+observability events and counters.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.core.execution import InvocationOutput
+from repro.errors import InvocationError
+from repro.obs import get_recorder
 from repro.vm import exec_cost
 
-__all__ = ["FallbackOutcome", "FallbackWrapper", "TRIGGER_ERRORS", "SETUP_OVERHEAD_S"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.bundle import AppBundle
+    from repro.platform.emulator import LambdaEmulator
+    from repro.platform.logs import InvocationRecord
+
+__all__ = [
+    "FallbackOutcome",
+    "FallbackWrapper",
+    "SlidingWindowBreaker",
+    "ManagedInvocation",
+    "FallbackManager",
+    "TRIGGER_ERRORS",
+    "SETUP_OVERHEAD_S",
+]
 
 # Error types that indicate a removed attribute was accessed.
 TRIGGER_ERRORS = frozenset({"AttributeError", "NameError", "ImportError"})
@@ -62,24 +90,225 @@ class FallbackWrapper:
 
     def invoke(self, event: Any, context: Any = None) -> FallbackOutcome:
         """Invoke the debloated function, falling back on trigger errors."""
-        output = self._primary(event, context)
-        if output.error_type not in TRIGGER_ERRORS:
-            return FallbackOutcome(output=output, used_fallback=False)
+        recorder = get_recorder()
+        with recorder.span("fallback.invoke") as span:
+            output = self._primary(event, context)
+            if output.error_type not in TRIGGER_ERRORS:
+                if span is not None:
+                    span.set_attr("used_fallback", False)
+                return FallbackOutcome(output=output, used_fallback=False)
 
-        # During normal operation the wrapper is free; triggering it charges
-        # the setup/communication overhead before the original invocation.
+            # During normal operation the wrapper is free; triggering it
+            # charges the setup/communication overhead before the original
+            # invocation.
+            self.fallbacks_triggered += 1
+            detail = getattr(output, "error", None) or output.error_type
+            recorder.counter_add("fallback.triggered")
+            recorder.event(
+                "fallback.triggered",
+                {"error_type": output.error_type, "detail": str(detail)},
+            )
+            exec_cost("fallback:setup", time_s=self._setup_overhead_s)
+            original_output = self._original(event, context)
+            if span is not None:
+                span.set_attr("used_fallback", True)
+                span.set_attr("trigger_error", output.error_type)
+            notification = (
+                f"fallback triggered by {output.error_type}: {detail}; "
+                "add this input to the oracle set and re-run lambda-trim"
+            )
+            return FallbackOutcome(
+                output=original_output,
+                used_fallback=True,
+                notification=notification,
+            )
+
+    __call__ = invoke
+
+
+class SlidingWindowBreaker:
+    """Circuit breaker over a sliding window of virtual-time trigger events.
+
+    State machine: ``closed`` (normal) → ``open`` (tripped).  The breaker
+    counts fallback triggers whose timestamps fall inside the trailing
+    ``window_s`` seconds; once ``threshold`` of them accumulate it opens
+    and stays open — un-trimming is one-way until a human re-runs λ-trim
+    with a better oracle set.
+    """
+
+    def __init__(self, *, threshold: int = 5, window_s: float = 300.0):
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1: {threshold}")
+        if window_s <= 0:
+            raise ValueError(f"window_s must be > 0: {window_s}")
+        self.threshold = threshold
+        self.window_s = window_s
+        self.state = "closed"
+        self.opened_at: float | None = None
+        self.total_triggers = 0
+        self._events: deque[float] = deque()
+
+    def record(self, now: float) -> bool:
+        """Register a trigger at virtual time ``now``.
+
+        Returns ``True`` exactly once: on the trigger that flips the
+        breaker from ``closed`` to ``open``.
+        """
+        self.total_triggers += 1
+        cutoff = now - self.window_s
+        while self._events and self._events[0] <= cutoff:
+            self._events.popleft()
+        self._events.append(now)
+        if self.state == "closed" and len(self._events) >= self.threshold:
+            self.state = "open"
+            self.opened_at = now
+            return True
+        return False
+
+    @property
+    def triggers_in_window(self) -> int:
+        return len(self._events)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "state": self.state,
+            "threshold": self.threshold,
+            "window_s": self.window_s,
+            "total_triggers": self.total_triggers,
+            "triggers_in_window": self.triggers_in_window,
+            "opened_at": self.opened_at,
+        }
+
+
+@dataclass
+class ManagedInvocation:
+    """Result of one request through a :class:`FallbackManager`."""
+
+    record: "InvocationRecord"
+    used_fallback: bool = False
+    primary_record: "InvocationRecord | None" = None
+    breaker_state: str = "closed"
+    notification: str | None = None
+
+    @property
+    def value(self) -> Any:
+        return self.record.value
+
+
+class FallbackManager:
+    """Self-healing deployment: trimmed primary, original safety net, breaker.
+
+    Wraps a (primary, fallback) function pair on a
+    :class:`~repro.platform.emulator.LambdaEmulator`.  Trigger errors on
+    the primary are served by the fallback (as in the paper's wrapper);
+    each trigger feeds the :class:`SlidingWindowBreaker`, and when the
+    breaker opens the manager *un-trims*: ``update_function`` swaps the
+    original bundle back in under the primary name, so subsequent cold
+    starts load the full application and the trigger errors stop.
+    """
+
+    def __init__(
+        self,
+        emulator: "LambdaEmulator",
+        primary: str,
+        fallback: str,
+        original_bundle: "AppBundle",
+        *,
+        breaker: SlidingWindowBreaker | None = None,
+    ):
+        self.emulator = emulator
+        self.primary = primary
+        self.fallback = fallback
+        self.original_bundle = original_bundle
+        self.breaker = breaker if breaker is not None else SlidingWindowBreaker()
+        self.fallbacks_triggered = 0
+        self.recovered = 0
+        self.un_trimmed = False
+
+    @property
+    def state(self) -> str:
+        return self.breaker.state
+
+    def is_trigger(self, record: "InvocationRecord") -> bool:
+        """Does this record show the trimmed bundle missing code it needs?"""
+        return record.error_type in TRIGGER_ERRORS
+
+    def record_trigger(self, now: float) -> bool:
+        """Count one fallback trigger; un-trim if it trips the breaker.
+
+        Returns ``True`` on the trigger that flipped the breaker open.
+        """
         self.fallbacks_triggered += 1
-        exec_cost("fallback:setup", time_s=self._setup_overhead_s)
-        original_output = self._original(event, context)
-        detail = getattr(output, "error", None) or output.error_type
-        notification = (
-            f"fallback triggered by {output.error_type}: {detail}; "
-            "add this input to the oracle set and re-run lambda-trim"
+        recorder = get_recorder()
+        recorder.counter_add("fallback.triggered")
+        tripped = self.breaker.record(now)
+        if tripped:
+            self._un_trim(now)
+        return tripped
+
+    def _un_trim(self, now: float) -> None:
+        self.emulator.update_function(self.primary, bundle=self.original_bundle)
+        self.un_trimmed = True
+        recorder = get_recorder()
+        recorder.counter_add("fallback.breaker_trips")
+        recorder.event(
+            "fallback.breaker_open",
+            {
+                "function": self.primary,
+                "at": now,
+                "triggers_in_window": self.breaker.triggers_in_window,
+            },
         )
-        return FallbackOutcome(
-            output=original_output,
+
+    def invoke(self, event: Any, context: Any = None) -> ManagedInvocation:
+        """Invoke the primary; on a trigger, serve the fallback and count it.
+
+        A trimmed bundle can also fail at *init* (module body imports
+        something λ-trim removed) — the emulator raises
+        :class:`~repro.errors.InvocationError` before any record exists.
+        That is just as much a trigger, so it is caught and served by the
+        fallback too.
+        """
+        primary_record: "InvocationRecord | None"
+        try:
+            primary_record = self.emulator.invoke(self.primary, event, context)
+        except InvocationError:
+            primary_record = None
+        else:
+            if not self.is_trigger(primary_record):
+                return ManagedInvocation(
+                    record=primary_record, breaker_state=self.state
+                )
+
+        self.record_trigger(self.emulator.clock.now())
+        exec_cost("fallback:setup", time_s=SETUP_OVERHEAD_S)
+        fallback_record = self.emulator.invoke(self.fallback, event, context)
+        if fallback_record.ok:
+            self.recovered += 1
+            get_recorder().counter_add("fallback.recovered")
+        trigger = (
+            primary_record.error_type if primary_record is not None else "InitError"
+        )
+        return ManagedInvocation(
+            record=fallback_record,
             used_fallback=True,
-            notification=notification,
+            primary_record=primary_record,
+            breaker_state=self.state,
+            notification=(
+                f"fallback triggered by {trigger}; add this input to the "
+                "oracle set and re-run lambda-trim"
+            ),
         )
 
     __call__ = invoke
+
+    def to_dict(self) -> dict[str, Any]:
+        """Breaker + trigger state for telemetry/dashboard export."""
+        return {
+            "primary": self.primary,
+            "fallback": self.fallback,
+            "fallbacks_triggered": self.fallbacks_triggered,
+            "recovered": self.recovered,
+            "un_trimmed": self.un_trimmed,
+            "breaker": self.breaker.to_dict(),
+        }

@@ -281,6 +281,11 @@ class ParallelModuleDebloater:
             worker = slots.get()
             try:
                 return self._probe(worker, dotted, source)
+            except OracleError:
+                # A hanging or probe-crashing candidate (OracleTimeout /
+                # OracleError) is just a failing candidate: report False so
+                # the batch DD keeps reducing instead of aborting the module.
+                return False
             finally:
                 slots.put(worker)
 

@@ -6,14 +6,40 @@ Initialization, and billed Function Execution — with warm instances kept
 alive for a configurable period, forced cold starts via function updates
 (the paper's methodology), REPORT-style execution logs, Eq. 1 billing, and
 an optional SnapStart mode backed by the checkpoint/restore simulator.
+
+Failure semantics ride on the same virtual clock: seeded fault injection
+(:mod:`repro.platform.faults`), intrinsic timeouts/OOM kills, Lambda-
+faithful throttling, client-side retries with backoff
+(:mod:`repro.platform.retry`), and per-record statuses threaded through
+logs, billing, and telemetry.
 """
 
 from repro.platform.clock import VirtualClock
 from repro.platform.emulator import DeployedFunction, LambdaEmulator
+from repro.platform.faults import (
+    ExecCrash,
+    FaultInjector,
+    FaultPlan,
+    FaultRates,
+    Outage,
+)
 from repro.platform.instance import FunctionInstance
-from repro.platform.logs import ExecutionLog, InvocationRecord, LogQuery, StartType
+from repro.platform.logs import (
+    ExecutionLog,
+    InvocationRecord,
+    InvocationStatus,
+    LogQuery,
+    StartType,
+)
 from repro.platform.billing import BillingLedger
 from repro.platform.replay import ReplayResult, TraceReplayer
+from repro.platform.retry import (
+    RETRYABLE_DEFAULT,
+    DeadLetter,
+    RetryOutcome,
+    RetryPolicy,
+    RetrySession,
+)
 from repro.platform.slo import FLEET, SloBreach, SloPolicy, SloRule
 from repro.platform.telemetry import FleetReport, TelemetrySink, WindowRollup
 from repro.platform.tuning import CpuScalingModel, MemoryRecommendation, recommend_memory
@@ -25,11 +51,22 @@ __all__ = [
     "FunctionInstance",
     "ExecutionLog",
     "InvocationRecord",
+    "InvocationStatus",
     "LogQuery",
     "StartType",
     "BillingLedger",
     "ReplayResult",
     "TraceReplayer",
+    "FaultRates",
+    "Outage",
+    "FaultPlan",
+    "FaultInjector",
+    "ExecCrash",
+    "RetryPolicy",
+    "RetrySession",
+    "RetryOutcome",
+    "DeadLetter",
+    "RETRYABLE_DEFAULT",
     "FLEET",
     "SloRule",
     "SloBreach",

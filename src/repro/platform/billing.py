@@ -17,6 +17,8 @@ class FunctionBill:
     snapstart_cache_cost: float = 0.0
     invocations: int = 0
     cold_starts: int = 0
+    #: Requests rejected by concurrency control — counted, never billed.
+    throttles: int = 0
 
     @property
     def snapstart_cost(self) -> float:
@@ -44,6 +46,54 @@ class BillingLedger:
         bill.invocations += 1
         if cold:
             bill.cold_starts += 1
+
+    def charge_throttle(self, function: str) -> None:
+        """Record a throttled request: it appears in the book, costs nothing."""
+        self.bill_for(function).throttles += 1
+
+    def reconcile(self, records) -> None:
+        """Assert the ledger matches per-record statuses *exactly*.
+
+        Every billed record's cost must sum to its function's
+        ``invocation_cost`` (float-identical, since both sides add the
+        same numbers in the same order), billed/throttled counts must
+        match, and no function may appear on one side only.  Raises
+        :class:`AssertionError` on any mismatch — this is the chaos
+        acceptance check, usable from tests and benchmarks alike.
+        """
+        expected: dict[str, dict[str, float]] = {}
+        for record in records:
+            entry = expected.setdefault(
+                record.function,
+                {"cost": 0.0, "invocations": 0, "cold": 0, "throttles": 0},
+            )
+            if record.billed:
+                entry["cost"] += record.cost_usd
+                entry["invocations"] += 1
+                if record.is_cold:
+                    entry["cold"] += 1
+            else:
+                assert record.cost_usd == 0.0, (
+                    f"{record.request_id}: throttled record carries a cost"
+                )
+                entry["throttles"] += 1
+        billed_functions = {
+            name
+            for name, bill in self.bills.items()
+            if bill.invocations or bill.throttles
+        }
+        assert set(expected) == billed_functions, (
+            f"ledger functions {sorted(billed_functions)} != "
+            f"record functions {sorted(expected)}"
+        )
+        for name, entry in expected.items():
+            bill = self.bills[name]
+            assert bill.invocation_cost == entry["cost"], (
+                f"{name}: ledger {bill.invocation_cost} != records {entry['cost']}"
+            )
+            assert bill.invocations == entry["invocations"], name
+            assert bill.cold_starts == entry["cold"], name
+            assert bill.throttles == entry["throttles"], name
 
     def charge_snapstart_restore(self, function: str, cost: float) -> None:
         self.bill_for(function).snapstart_restore_cost += cost

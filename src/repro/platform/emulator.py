@@ -31,8 +31,14 @@ from repro.errors import FunctionNotFound, PlatformError
 from repro.obs import get_recorder
 from repro.platform.billing import BillingLedger
 from repro.platform.clock import VirtualClock
+from repro.platform.faults import FaultInjector, FaultPlan
 from repro.platform.instance import FunctionInstance
-from repro.platform.logs import ExecutionLog, InvocationRecord, StartType
+from repro.platform.logs import (
+    ExecutionLog,
+    InvocationRecord,
+    InvocationStatus,
+    StartType,
+)
 from repro.platform.telemetry import TelemetrySink
 from repro.platform.tuning import CpuScalingModel
 from repro.pricing import AwsLambdaPricing, PricingModel, SnapStartPricing
@@ -53,6 +59,9 @@ class DeployedFunction:
     bundle: AppBundle
     memory_mb: int | None = None  # None = configure to measured footprint
     snapstart: bool = False
+    #: Execution deadline; ``None`` disables the kill (the seed behaviour).
+    #: Exceeding it yields a billed ``timeout`` record, like Lambda.
+    timeout_s: float | None = None
     instances: list[FunctionInstance] = field(default_factory=list)
     snapshot: Checkpoint | None = None
     snapstart_enabled_at: float = 0.0
@@ -86,6 +95,7 @@ class LambdaEmulator:
         criu: CriuSimulator | None = None,
         cpu_scaling: CpuScalingModel | None = None,
         telemetry: TelemetrySink | None = None,
+        faults: FaultInjector | FaultPlan | None = None,
     ):
         self.pricing = pricing if pricing is not None else AwsLambdaPricing()
         self.keep_alive_s = keep_alive_s
@@ -104,6 +114,12 @@ class LambdaEmulator:
         # Optional fleet-telemetry sink: every invocation record is also
         # folded into virtual-time windowed rollups (repro.platform.telemetry).
         self.telemetry = telemetry
+        # Optional seeded chaos: throttles, cold-start and mid-execution
+        # crashes (repro.platform.faults).  None keeps the happy path
+        # fault-free at zero per-invocation cost.
+        if isinstance(faults, FaultPlan):
+            faults = FaultInjector(faults)
+        self.faults = faults
         self.log = ExecutionLog()
         self.ledger = BillingLedger()
         self._functions: dict[str, DeployedFunction] = {}
@@ -118,16 +134,26 @@ class LambdaEmulator:
         name: str | None = None,
         memory_mb: int | None = None,
         snapstart: bool = False,
+        timeout_s: float | None = None,
     ) -> DeployedFunction:
-        """Register a bundle; ``memory_mb=None`` bills the measured peak."""
+        """Register a bundle; ``memory_mb=None`` bills the measured peak.
+
+        An explicit ``memory_mb`` is also the enforcement ceiling: an
+        instance whose measured peak exceeds it is OOM-killed, the way an
+        over-footprint debloated bundle dies on Lambda.  ``timeout_s``
+        bounds each execution; both kills produce billed failure records.
+        """
         function_name = name if name is not None else bundle.name
         if function_name in self._functions:
             raise PlatformError(f"function already deployed: {function_name}")
+        if timeout_s is not None and timeout_s <= 0:
+            raise PlatformError(f"timeout must be positive: {timeout_s}")
         function = DeployedFunction(
             name=function_name,
             bundle=bundle,
             memory_mb=memory_mb,
             snapstart=snapstart,
+            timeout_s=timeout_s,
             snapstart_enabled_at=self.clock.now(),
         )
         self._functions[function_name] = function
@@ -139,14 +165,19 @@ class LambdaEmulator:
         except KeyError:
             raise FunctionNotFound(f"no such function: {name}") from None
 
-    def update_function(self, name: str) -> None:
+    def update_function(self, name: str, *, bundle: AppBundle | None = None) -> None:
         """Update function metadata, discarding warm instances.
 
         This is the paper's methodology for forcing 100 cold starts:
         "we update the function description field after each invocation".
+        Passing *bundle* additionally swaps the deployed code — the
+        mechanism :class:`~repro.core.fallback.FallbackManager` uses to
+        "un-trim" a broken debloated function back to the original.
         """
         function = self.function(name)
         function.generation += 1
+        if bundle is not None:
+            function.bundle = bundle
         function.discard_instances()
         if function.snapstart:
             function.snapshot = None  # a new version re-snapshots
@@ -178,32 +209,70 @@ class LambdaEmulator:
 
         now = self.clock.now()
         self.clock.advance(self.routing_s)
-        instance = function.warm_instance(now, self.keep_alive_s)
 
-        if instance is not None:
-            record = self._run(function, instance, event, context, StartType.WARM, 0, 0, 0, 0)
+        if self.faults is not None and self.faults.throttled(name, now):
+            record = self._throttle_record(function)
         else:
-            record = self._cold_start(function, event, context)
-        self.log.append(record)
-        self.ledger.charge_invocation(name, record.cost_usd, cold=record.is_cold)
-        if self.telemetry is not None:
-            self.telemetry.observe(record)
-        self._emit_telemetry(record)
+            instance = function.warm_instance(now, self.keep_alive_s)
+            if instance is not None:
+                record = self._run(
+                    function, instance, event, context, StartType.WARM, 0, 0, 0, 0
+                )
+            else:
+                record = self._cold_start(function, event, context)
+        self._record_invocation(record)
         return record
+
+    def _record_invocation(
+        self,
+        record: InvocationRecord,
+        *,
+        arrival: float | None = None,
+        emit_obs: bool = True,
+    ) -> None:
+        """Log, bill, and publish one finished invocation record."""
+        self.log.append(record)
+        if record.billed:
+            self.ledger.charge_invocation(
+                record.function, record.cost_usd, cold=record.is_cold
+            )
+        else:
+            self.ledger.charge_throttle(record.function)
+        if self.telemetry is not None:
+            self.telemetry.observe(record, arrival=arrival)
+        if emit_obs:
+            self._emit_telemetry(record)
+
+    def _throttle_record(self, function: DeployedFunction) -> InvocationRecord:
+        """A rejected request: no instance work, nothing billed."""
+        return InvocationRecord(
+            request_id=f"req-{next(self._request_ids):06d}",
+            function=function.name,
+            start_type=StartType.THROTTLED,
+            timestamp=self.clock.now(),
+            value=None,
+            instance_id="-",
+            routing_s=self.routing_s,
+            cost_usd=0.0,
+            error_type="Throttled",
+            status=InvocationStatus.THROTTLED,
+        )
 
     def _emit_telemetry(self, record: InvocationRecord) -> None:
         """Re-emit the REPORT accounting as structured observability data."""
         recorder = get_recorder()
         recorder.counter_add("emulator.invocations")
-        recorder.counter_add(
-            "emulator.cold_starts" if record.is_cold else "emulator.warm_starts"
-        )
+        if record.start_type is not StartType.THROTTLED:
+            recorder.counter_add(
+                "emulator.cold_starts" if record.is_cold else "emulator.warm_starts"
+            )
         recorder.counter_add(
             "emulator.billed_ms", record.billed_duration_s * 1000.0
         )
         recorder.counter_add("emulator.cost_usd", record.cost_usd)
-        if record.error_type is not None:
+        if not record.ok:
             recorder.counter_add("emulator.errors")
+            recorder.counter_add(f"emulator.status.{record.status.value}")
         recorder.gauge_max("emulator.peak_memory_mb", record.peak_memory_mb)
         if recorder.enabled:
             recorder.event(
@@ -222,6 +291,7 @@ class LambdaEmulator:
                     "peak_memory_mb": record.peak_memory_mb,
                     "cost_usd": record.cost_usd,
                     "error_type": record.error_type,
+                    "status": record.status.value,
                 },
             )
 
@@ -258,6 +328,35 @@ class LambdaEmulator:
             self.clock.advance(init_s)
             billed_init_s = init_s
 
+        if self.faults is not None and self.faults.cold_start_crash(
+            function.name, self.clock.now()
+        ):
+            # The instance died during initialization: the init that ran is
+            # billed (Lambda bills failed inits on managed runtimes), the
+            # instance never becomes warm, and no execution happens.
+            instance.shutdown()
+            configured = self._configured_mb(function, instance)
+            billed = billed_init_s
+            return InvocationRecord(
+                request_id=f"req-{next(self._request_ids):06d}",
+                function=function.name,
+                start_type=StartType.COLD,
+                timestamp=self.clock.now(),
+                value=None,
+                instance_id=instance.instance_id,
+                instance_init_s=instance_init_s,
+                transmission_s=transmission_s,
+                init_duration_s=billed_init_s,
+                restore_duration_s=restore_s,
+                routing_s=self.routing_s,
+                billed_duration_s=self.pricing.billed_duration_s(billed),
+                memory_config_mb=self.pricing.clamp_memory_mb(configured),
+                peak_memory_mb=instance.peak_memory_mb,
+                cost_usd=self.pricing.invocation_cost(billed, configured),
+                error_type="InstanceCrash",
+                status=InvocationStatus.CRASHED,
+            )
+
         function.instances.append(instance)
         return self._run(
             function,
@@ -270,6 +369,12 @@ class LambdaEmulator:
             billed_init_s,
             restore_s,
         )
+
+    def _configured_mb(self, function: DeployedFunction, instance: FunctionInstance) -> int:
+        """The billed memory configuration (measured footprint when unset)."""
+        if function.memory_mb is not None:
+            return function.memory_mb
+        return max(int(instance.peak_memory_mb + 0.999), 1)
 
     def _run(
         self,
@@ -285,16 +390,54 @@ class LambdaEmulator:
     ) -> InvocationRecord:
         output = instance.invoke(event, context, at=self.clock.now())
 
-        configured = (
-            function.memory_mb
-            if function.memory_mb is not None
-            else max(int(instance.peak_memory_mb + 0.999), 1)
-        )
+        configured = self._configured_mb(function, instance)
+        clamped_mb = self.pricing.clamp_memory_mb(configured)
         exec_s = output.exec_time_s
         if self.cpu_scaling is not None:
             exec_s *= self.cpu_scaling.duration_factor(
-                self.pricing.clamp_memory_mb(configured), instance.peak_memory_mb
+                clamped_mb, instance.peak_memory_mb
             )
+
+        # Failure semantics: whichever kill fires earliest wins.  An
+        # injected instance crash dies ``fraction`` of the way through;
+        # the configured timeout fires at ``timeout_s``; the memory
+        # ceiling (only enforced for an explicit memory_mb) is observed
+        # at the measured peak, i.e. end of execution.  Timeouts, OOM
+        # kills, and crashes are all billed for the time that ran.
+        value = output.value
+        error_type = output.error_type
+        status = (
+            InvocationStatus.SUCCESS
+            if output.error_type is None
+            else InvocationStatus.ERROR
+        )
+        crash = (
+            self.faults.exec_crash(function.name, self.clock.now())
+            if self.faults is not None
+            else None
+        )
+        crash_at = exec_s * crash.fraction if crash is not None else float("inf")
+        timeout_at = (
+            function.timeout_s
+            if function.timeout_s is not None and exec_s > function.timeout_s
+            else float("inf")
+        )
+        if crash_at < timeout_at and crash_at <= exec_s:
+            exec_s = crash_at
+            value, error_type = None, "InstanceCrash"
+            status = InvocationStatus.CRASHED
+            self._kill_instance(function, instance)
+        elif timeout_at <= exec_s:
+            exec_s = timeout_at
+            value, error_type = None, "TimeoutError"
+            status = InvocationStatus.TIMEOUT
+        elif (
+            function.memory_mb is not None
+            and instance.peak_memory_mb > clamped_mb
+        ):
+            value, error_type = None, "OutOfMemoryError"
+            status = InvocationStatus.OOM
+            self._kill_instance(function, instance)
         self.clock.advance(exec_s)
 
         billed_duration = billed_init_s + exec_s
@@ -305,7 +448,7 @@ class LambdaEmulator:
             function=function.name,
             start_type=start_type,
             timestamp=self.clock.now(),
-            value=output.value,
+            value=value,
             instance_id=instance.instance_id,
             instance_init_s=instance_init_s,
             transmission_s=transmission_s,
@@ -314,11 +457,20 @@ class LambdaEmulator:
             exec_duration_s=exec_s,
             routing_s=self.routing_s,
             billed_duration_s=self.pricing.billed_duration_s(billed_duration),
-            memory_config_mb=self.pricing.clamp_memory_mb(configured),
+            memory_config_mb=clamped_mb,
             peak_memory_mb=instance.peak_memory_mb,
             cost_usd=cost,
-            error_type=output.error_type,
+            error_type=error_type,
+            status=status,
         )
+
+    def _kill_instance(
+        self, function: DeployedFunction, instance: FunctionInstance
+    ) -> None:
+        """Discard one instance (OOM kill or crash): it never serves again."""
+        instance.shutdown()
+        if instance in function.instances:
+            function.instances.remove(instance)
 
     def deploy_with_fallback(
         self,
@@ -344,6 +496,35 @@ class LambdaEmulator:
         return FallbackWrapper(
             primary=lambda event, context: self.invoke(primary_name, event, context),
             original=lambda event, context: self.invoke(fallback_name, event, context),
+        )
+
+    def deploy_managed(
+        self,
+        trimmed: AppBundle,
+        original: AppBundle,
+        *,
+        name: str | None = None,
+        breaker=None,
+        memory_mb: int | None = None,
+        timeout_s: float | None = None,
+    ):
+        """Deploy a debloated bundle behind a self-healing manager.
+
+        Like :meth:`deploy_with_fallback`, but returns a
+        :class:`~repro.core.fallback.FallbackManager`: trigger errors are
+        served by the original *and* counted against a sliding-window
+        circuit breaker that un-trims the primary once they pile up.
+        """
+        from repro.core.fallback import FallbackManager
+
+        primary_name = name if name is not None else trimmed.name
+        fallback_name = f"{primary_name}--fallback"
+        self.deploy(
+            trimmed, name=primary_name, memory_mb=memory_mb, timeout_s=timeout_s
+        )
+        self.deploy(original, name=fallback_name)
+        return FallbackManager(
+            self, primary_name, fallback_name, original, breaker=breaker
         )
 
     # -- SnapStart accounting ----------------------------------------------------

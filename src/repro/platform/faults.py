@@ -1,0 +1,155 @@
+"""Deterministic fault injection for the platform emulator.
+
+Real serverless platforms fail in ways the happy-path lifecycle never
+exercises: instances crash during initialization or mid-execution, and
+request bursts hit concurrency throttles.  "Formal Foundations of
+Serverless Computing" (Jangda et al.) shows that exactly these
+retry-and-reuse semantics are where serverless programs go subtly wrong,
+so a λ-trim deployment claim ("the fallback wrapper recovers") is only
+credible if the emulator can produce those conditions on demand.
+
+A :class:`FaultPlan` declares *rates* (per-decision probabilities, keyed
+per function with a ``"*"`` default) and *outages* (virtual-time windows
+during which every request is throttled).  A :class:`FaultInjector`
+executes the plan with a single seeded RNG consumed in decision order —
+no wall clock, no unseeded randomness — so a replay with the same seed
+and the same arrival sequence reproduces the exact same faults, record
+for record.
+
+When the emulator has no injector configured the fault path is a single
+``is None`` check per invocation: chaos costs nothing unless you ask for
+it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import PlatformError
+
+__all__ = ["FaultRates", "Outage", "FaultPlan", "FaultInjector", "ExecCrash"]
+
+#: Per-function wildcard, mirroring :data:`repro.platform.slo.FLEET`.
+ANY_FUNCTION = "*"
+
+
+@dataclass(frozen=True)
+class FaultRates:
+    """Per-decision fault probabilities for one function (or the default).
+
+    ``cold_start_crash`` kills the instance during Function Initialization
+    (the init that ran is billed, the instance never becomes warm);
+    ``exec_crash`` kills it mid-execution (the partial execution is
+    billed); ``throttle`` rejects the request before any instance work
+    (nothing is billed).
+    """
+
+    cold_start_crash: float = 0.0
+    exec_crash: float = 0.0
+    throttle: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("cold_start_crash", "exec_crash", "throttle"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise PlatformError(
+                    f"fault rate {name} must be in [0, 1], got {value}"
+                )
+
+
+@dataclass(frozen=True)
+class Outage:
+    """A virtual-time window during which every request is throttled.
+
+    ``function`` scopes the outage; the default hits the whole fleet.
+    """
+
+    start_s: float
+    end_s: float
+    function: str = ANY_FUNCTION
+
+    def __post_init__(self) -> None:
+        if self.end_s <= self.start_s:
+            raise PlatformError(
+                f"outage window must have end > start: "
+                f"[{self.start_s}, {self.end_s})"
+            )
+
+    def covers(self, function: str, now: float) -> bool:
+        return (
+            self.start_s <= now < self.end_s
+            and self.function in (ANY_FUNCTION, function)
+        )
+
+
+@dataclass
+class FaultPlan:
+    """A declarative, seeded chaos schedule for one emulator run."""
+
+    seed: int = 0
+    default: FaultRates = field(default_factory=FaultRates)
+    per_function: dict[str, FaultRates] = field(default_factory=dict)
+    outages: tuple[Outage, ...] = ()
+
+    def rates_for(self, function: str) -> FaultRates:
+        return self.per_function.get(function, self.default)
+
+
+@dataclass(frozen=True)
+class ExecCrash:
+    """An injected mid-execution instance crash.
+
+    ``fraction`` is how far through the execution the instance died; the
+    emulator bills the partial duration and discards the instance.
+    """
+
+    fraction: float
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` with one seeded RNG.
+
+    Decisions are drawn in invocation order, so for a fixed plan and a
+    fixed arrival sequence the outcome is bit-for-bit reproducible.  A
+    rate of zero draws nothing, which keeps functions with no configured
+    faults from perturbing the RNG stream of functions that have them.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._rng = random.Random(plan.seed)
+        self.injected: dict[str, int] = {
+            "throttle": 0, "cold_start_crash": 0, "exec_crash": 0,
+        }
+
+    def _count(self, kind: str) -> None:
+        self.injected[kind] += 1
+
+    def throttled(self, function: str, now: float) -> bool:
+        """Should this request be rejected with a throttle?"""
+        for outage in self.plan.outages:
+            if outage.covers(function, now):
+                self._count("throttle")
+                return True
+        rate = self.plan.rates_for(function).throttle
+        if rate > 0.0 and self._rng.random() < rate:
+            self._count("throttle")
+            return True
+        return False
+
+    def cold_start_crash(self, function: str, now: float) -> bool:
+        """Should this cold start die during Function Initialization?"""
+        rate = self.plan.rates_for(function).cold_start_crash
+        if rate > 0.0 and self._rng.random() < rate:
+            self._count("cold_start_crash")
+            return True
+        return False
+
+    def exec_crash(self, function: str, now: float) -> ExecCrash | None:
+        """Should this execution die mid-flight (and how far in)?"""
+        rate = self.plan.rates_for(function).exec_crash
+        if rate > 0.0 and self._rng.random() < rate:
+            self._count("exec_crash")
+            return ExecCrash(fraction=0.1 + 0.8 * self._rng.random())
+        return None

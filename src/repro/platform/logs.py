@@ -27,6 +27,8 @@ from typing import Any, Callable, Iterable, Iterator
 
 __all__ = [
     "StartType",
+    "InvocationStatus",
+    "STATUSES",
     "InvocationRecord",
     "ExecutionLog",
     "LogQuery",
@@ -39,6 +41,31 @@ class StartType(str, enum.Enum):
 
     COLD = "cold"
     WARM = "warm"
+    #: The request was throttled before any instance work happened.
+    THROTTLED = "throttled"
+
+
+class InvocationStatus(str, enum.Enum):
+    """How an invocation ended, Lambda-style.
+
+    ``SUCCESS`` and ``ERROR`` are the application outcomes the paper's
+    oracle distinguishes; the remaining four are *platform* outcomes:
+    the configured ``timeout_s`` fired, the memory ceiling OOM-killed the
+    instance, concurrency control rejected the request, or the instance
+    crashed (injected via :mod:`repro.platform.faults`).  Timeouts and
+    OOM kills are billed, throttles are not — matching AWS billing.
+    """
+
+    SUCCESS = "success"
+    ERROR = "error"
+    TIMEOUT = "timeout"
+    OOM = "oom"
+    THROTTLED = "throttled"
+    CRASHED = "crashed"
+
+
+#: Every status value, in a stable rendering order.
+STATUSES = tuple(status.value for status in InvocationStatus)
 
 
 @dataclass(frozen=True)
@@ -68,6 +95,15 @@ class InvocationRecord:
     peak_memory_mb: float = 0.0
     cost_usd: float = 0.0
     error_type: str | None = None
+    status: InvocationStatus = InvocationStatus.SUCCESS
+
+    def __post_init__(self) -> None:
+        # Normalise: accept plain strings, and derive ERROR for records
+        # built by pre-status code paths that only set ``error_type``.
+        status = InvocationStatus(self.status)
+        if status is InvocationStatus.SUCCESS and self.error_type is not None:
+            status = InvocationStatus.ERROR
+        object.__setattr__(self, "status", status)
 
     @property
     def e2e_s(self) -> float:
@@ -87,7 +123,13 @@ class InvocationRecord:
 
     @property
     def ok(self) -> bool:
-        return self.error_type is None
+        return self.status is InvocationStatus.SUCCESS
+
+    @property
+    def billed(self) -> bool:
+        """Whether the platform charges for this invocation (throttles are
+        the only unbilled outcome; timeouts and OOM kills are billed)."""
+        return self.status is not InvocationStatus.THROTTLED
 
     def report_line(self) -> str:
         """Render like an AWS Lambda REPORT log line."""
@@ -124,6 +166,7 @@ class InvocationRecord:
             "peak_memory_mb": self.peak_memory_mb,
             "cost_usd": self.cost_usd,
             "error_type": self.error_type,
+            "status": self.status.value,
         }
 
     @classmethod
@@ -131,6 +174,8 @@ class InvocationRecord:
         known = {f.name for f in dataclass_fields(cls)}
         payload = {k: v for k, v in data.items() if k in known}
         payload["start_type"] = StartType(payload["start_type"])
+        if "status" in payload:  # pre-status JSONL logs omit the field
+            payload["status"] = InvocationStatus(payload["status"])
         return cls(**payload)
 
 
@@ -217,10 +262,19 @@ class LogQuery:
         return self._extend(lambda r: not r.is_cold)
 
     def ok(self) -> "LogQuery":
-        return self._extend(lambda r: r.error_type is None)
+        return self._extend(lambda r: r.ok)
 
     def failed(self) -> "LogQuery":
-        return self._extend(lambda r: r.error_type is not None)
+        return self._extend(lambda r: not r.ok)
+
+    def with_status(self, *statuses: InvocationStatus | str) -> "LogQuery":
+        """Keep records whose status is one of *statuses*."""
+        wanted = frozenset(InvocationStatus(s) for s in statuses)
+        return self._extend(lambda r: r.status in wanted)
+
+    def billed(self) -> "LogQuery":
+        """Keep records the platform charges for (everything but throttles)."""
+        return self._extend(lambda r: r.billed)
 
     def between(
         self, start: float | None = None, end: float | None = None
@@ -242,6 +296,13 @@ class LogQuery:
 
     def count(self) -> int:
         return len(self.records())
+
+    def status_counts(self) -> dict[str, int]:
+        """Per-status record counts over the matching records."""
+        counts: dict[str, int] = {}
+        for record in self.records():
+            counts[record.status.value] = counts.get(record.status.value, 0) + 1
+        return counts
 
     def values(self, field_name: str) -> list[float]:
         return [float(getattr(r, field_name)) for r in self.records()]
@@ -348,8 +409,25 @@ class ExecutionLog:
         return [
             r
             for r in self.records
-            if not r.is_cold and (function is None or r.function == function)
+            if r.start_type is StartType.WARM
+            and (function is None or r.function == function)
         ]
+
+    def status_counts(self, function: str | None = None) -> dict[str, int]:
+        """Per-status counts, optionally scoped to one function."""
+        query = self.query()
+        if function is not None:
+            query = query.where(function=function)
+        return query.status_counts()
+
+    def error_rate(self, function: str | None = None) -> float:
+        """Fraction of invocations that did not end in ``SUCCESS``."""
+        records = [
+            r for r in self.records if function is None or r.function == function
+        ]
+        if not records:
+            return 0.0
+        return sum(1 for r in records if not r.ok) / len(records)
 
     def total_cost(self, function: str | None = None) -> float:
         return sum(

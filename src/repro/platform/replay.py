@@ -13,18 +13,30 @@ Requests overlap in trace time, but the emulator executes them one at a
 time; the replayer therefore keeps its own trace-time bookkeeping (per-
 instance busy-until and last-served times) instead of the global virtual
 clock, which only ever moves forward.
+
+The replayer is also the client in the failure model: with a
+:class:`~repro.platform.retry.RetryPolicy` it re-drives attempts whose
+status is transient (backoff scheduled on the same trace timeline, via a
+heap of pending attempts), dead-letters requests that exhaust their
+attempts, and — given a :class:`~repro.core.fallback.FallbackManager` —
+serves trigger errors from the original function while feeding the
+manager's circuit breaker.  Every arrival ends as exactly one replayed
+request or one dead letter: nothing is silently lost.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.core.fallback import SETUP_OVERHEAD_S, FallbackManager
 from repro.errors import PlatformError
 from repro.obs import get_recorder
 from repro.platform.emulator import DeployedFunction, LambdaEmulator
 from repro.platform.instance import FunctionInstance
 from repro.platform.logs import InvocationRecord, StartType
+from repro.platform.retry import DeadLetter, RetryPolicy
 
 __all__ = ["ReplayResult", "ReplayedRequest", "TraceReplayer"]
 
@@ -36,6 +48,10 @@ class ReplayedRequest:
     arrival: float
     completion: float
     record: InvocationRecord
+    #: Which attempt (1-based) produced the final record.
+    attempt: int = 1
+    #: Whether the final record came from the fallback function.
+    used_fallback: bool = False
 
     @property
     def is_cold(self) -> bool:
@@ -51,6 +67,14 @@ class ReplayResult:
     """Outcome of replaying one arrival sequence."""
 
     requests: list[ReplayedRequest] = field(default_factory=list)
+    dead_letters: list[DeadLetter] = field(default_factory=list)
+    #: How many arrivals the replay was asked to drive.
+    arrivals: int = 0
+    #: Total attempts served, including retries and fallback invocations.
+    attempts: int = 0
+    retries: int = 0
+    throttled: int = 0
+    fallbacks: int = 0
 
     @property
     def cold_starts(self) -> int:
@@ -58,7 +82,22 @@ class ReplayResult:
 
     @property
     def warm_starts(self) -> int:
-        return len(self.requests) - self.cold_starts
+        return sum(
+            1 for r in self.requests if r.record.start_type is StartType.WARM
+        )
+
+    @property
+    def delivered(self) -> int:
+        """Requests whose final record succeeded."""
+        return sum(1 for r in self.requests if r.record.ok)
+
+    @property
+    def lost(self) -> int:
+        """Arrivals with neither a final outcome nor a dead letter.
+
+        Always zero by construction; exposed so chaos runs can assert it.
+        """
+        return self.arrivals - len(self.requests) - len(self.dead_letters)
 
     @property
     def total_cost(self) -> float:
@@ -94,49 +133,169 @@ class TraceReplayer:
         arrivals: list[float],
         event: Any,
         context: Any = None,
+        *,
+        retry: RetryPolicy | None = None,
+        fallback: FallbackManager | None = None,
     ) -> ReplayResult:
+        """Drive *arrivals* through the function, absorbing failures.
+
+        With a *retry* policy, attempts whose status the policy marks
+        retryable are re-scheduled at ``completion + backoff`` on the
+        trace timeline; a request that fails its final allowed attempt is
+        captured as a :class:`~repro.platform.retry.DeadLetter`.  With a
+        *fallback* manager (for this function), trigger errors are served
+        by the original function and counted against the manager's
+        breaker — which may un-trim the primary mid-replay.
+        """
         if sorted(arrivals) != list(arrivals):
             raise PlatformError("arrivals must be sorted")
         function = self.emulator.function(function_name)
+        fallback_function: DeployedFunction | None = None
+        if fallback is not None:
+            if fallback.emulator is not self.emulator:
+                raise PlatformError(
+                    "fallback manager is bound to a different emulator"
+                )
+            fallback_function = self.emulator.function(fallback.fallback)
+        session = retry.session() if retry is not None else None
         recorder = get_recorder()
 
-        result = ReplayResult()
+        result = ReplayResult(arrivals=len(arrivals))
+        # (time, seq, attempt): initial arrivals plus retry re-drives.
+        # Re-drives always land after the attempt that spawned them, so
+        # pops come out in non-decreasing time order and the warm-instance
+        # bookkeeping stays valid.
+        heap: list[tuple[float, int, int]] = [
+            (t, seq, 1) for seq, t in enumerate(arrivals)
+        ]
+        heapq.heapify(heap)
+        failed_attempts: dict[int, list[InvocationRecord]] = {}
+
         with recorder.span(
             "replay.run", label=function_name, arrivals=len(arrivals)
         ) as span:
-            for arrival in arrivals:
-                instance = self._free_warm_instance(function, arrival)
-                if instance is not None:
-                    record = self._serve_warm(function, instance, event, context)
-                else:
-                    record = self.emulator._cold_start(function, event, context)
-                    self.emulator.log.append(record)
-                    self.emulator.ledger.charge_invocation(
-                        function_name, record.cost_usd, cold=True
-                    )
-                if self.emulator.telemetry is not None:
-                    # Trace-time accounting, not the forward-only virtual
-                    # clock: windows and concurrency follow the arrivals.
-                    self.emulator.telemetry.observe(record, arrival=arrival)
-                completion = arrival + record.e2e_s
-                self._busy_until[record.instance_id] = completion
-                self._last_served[record.instance_id] = completion
-                result.requests.append(
-                    ReplayedRequest(
-                        arrival=arrival, completion=completion, record=record
-                    )
+            while heap:
+                t, seq, attempt = heapq.heappop(heap)
+                arrival = arrivals[seq]
+                record, completion = self._serve_attempt(
+                    function, t, event, context
                 )
+                result.attempts += 1
+                if not record.billed:
+                    result.throttled += 1
+
+                if (
+                    fallback is not None
+                    and fallback.primary == function_name
+                    and fallback.is_trigger(record)
+                ):
+                    # The trimmed bundle is missing code this input needs:
+                    # pay the wrapper detour, serve the original, feed the
+                    # breaker (which may un-trim the primary for everyone).
+                    fallback.record_trigger(t)
+                    fb_record, fb_completion = self._serve_attempt(
+                        fallback_function,
+                        completion + SETUP_OVERHEAD_S,
+                        event,
+                        context,
+                    )
+                    if fb_record.ok:
+                        fallback.recovered += 1
+                    result.attempts += 1
+                    result.fallbacks += 1
+                    failed_attempts.pop(seq, None)
+                    result.requests.append(
+                        ReplayedRequest(
+                            arrival=arrival,
+                            completion=fb_completion,
+                            record=fb_record,
+                            attempt=attempt,
+                            used_fallback=True,
+                        )
+                    )
+                    continue
+
+                if record.ok or session is None:
+                    failed_attempts.pop(seq, None)
+                    result.requests.append(
+                        ReplayedRequest(
+                            arrival=arrival,
+                            completion=completion,
+                            record=record,
+                            attempt=attempt,
+                        )
+                    )
+                    continue
+
+                history = failed_attempts.setdefault(seq, [])
+                history.append(record)
+                if session.should_retry(record, attempt):
+                    delay = session.next_delay_s(attempt)
+                    heapq.heappush(heap, (completion + delay, seq, attempt + 1))
+                    result.retries += 1
+                else:
+                    failed_attempts.pop(seq, None)
+                    result.dead_letters.append(
+                        DeadLetter(
+                            function=function_name,
+                            arrival=arrival,
+                            attempts=tuple(history),
+                        )
+                    )
+
             recorder.counter_add("replay.requests", len(result.requests))
             recorder.counter_add("replay.cold_starts", result.cold_starts)
             recorder.counter_add("replay.warm_starts", result.warm_starts)
             recorder.counter_add("replay.cost_usd", result.total_cost)
             recorder.gauge_max("replay.peak_concurrency", result.peak_concurrency)
+            if result.retries:
+                recorder.counter_add("replay.retries", result.retries)
+            if result.throttled:
+                recorder.counter_add("replay.throttled", result.throttled)
+            if result.fallbacks:
+                recorder.counter_add("replay.fallbacks", result.fallbacks)
+            if result.dead_letters:
+                recorder.counter_add(
+                    "replay.dead_letters", len(result.dead_letters)
+                )
             if span is not None:
                 span.set_attr("cold_starts", result.cold_starts)
                 span.set_attr("warm_starts", result.warm_starts)
                 span.set_attr("peak_concurrency", result.peak_concurrency)
                 span.set_attr("cost_usd", round(result.total_cost, 9))
+                span.set_attr("attempts", result.attempts)
+                span.set_attr("retries", result.retries)
+                span.set_attr("dead_letters", len(result.dead_letters))
         return result
+
+    def _serve_attempt(
+        self,
+        function: DeployedFunction,
+        arrival: float,
+        event: Any,
+        context: Any,
+    ) -> tuple[InvocationRecord, float]:
+        """Serve one attempt at trace time *arrival*; log/bill/observe it."""
+        emulator = self.emulator
+        if emulator.faults is not None and emulator.faults.throttled(
+            function.name, arrival
+        ):
+            record = emulator._throttle_record(function)
+        else:
+            instance = self._free_warm_instance(function, arrival)
+            if instance is not None:
+                record = self._serve_warm(function, instance, event, context)
+            else:
+                record = emulator._cold_start(function, event, context)
+        # Trace-time accounting, not the forward-only virtual clock:
+        # windows and concurrency follow the arrivals.  Replay does not
+        # re-emit per-record obs counters (it reports in aggregate).
+        emulator._record_invocation(record, arrival=arrival, emit_obs=False)
+        completion = arrival + record.e2e_s
+        if record.instance_id != "-":
+            self._busy_until[record.instance_id] = completion
+            self._last_served[record.instance_id] = completion
+        return record, completion
 
     def _free_warm_instance(
         self, function: DeployedFunction, arrival: float
@@ -161,10 +320,6 @@ class TraceReplayer:
         event: Any,
         context: Any,
     ) -> InvocationRecord:
-        emulator = self.emulator
-        record = emulator._run(
+        return self.emulator._run(
             function, instance, event, context, StartType.WARM, 0, 0, 0, 0
         )
-        emulator.log.append(record)
-        emulator.ledger.charge_invocation(function.name, record.cost_usd, cold=False)
-        return record

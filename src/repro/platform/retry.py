@@ -1,0 +1,144 @@
+"""Client-side retries: exponential backoff with seeded jitter.
+
+The emulator's failure model (:mod:`repro.platform.faults` plus the
+intrinsic timeout/OOM/throttle outcomes) makes individual invocations
+fail; this module is the client half that absorbs the *transient* ones.
+A :class:`RetryPolicy` declares which statuses are worth retrying, how
+many attempts a request gets, and how the backoff delay grows; a
+:class:`RetrySession` executes the policy with a seeded RNG over the
+virtual timeline — no wall clock, so a replay with the same seed backs
+off identically every run.
+
+Requests that exhaust their attempts (or the session-wide retry budget)
+are *dead-lettered*, not dropped: :class:`DeadLetter` keeps the full
+attempt history so "zero lost invocations" is a checkable claim, not a
+hope.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import PlatformError
+from repro.platform.logs import InvocationRecord, InvocationStatus
+
+__all__ = [
+    "RetryPolicy",
+    "RetrySession",
+    "RetryOutcome",
+    "DeadLetter",
+    "RETRYABLE_DEFAULT",
+]
+
+#: Statuses that are transient by construction: a throttle clears when the
+#: burst passes, a crashed instance is replaced by the next cold start.
+#: Timeouts and OOMs are *deterministic* for a given bundle and input, so
+#: retrying them by default would just burn the budget.
+RETRYABLE_DEFAULT = frozenset(
+    {InvocationStatus.THROTTLED, InvocationStatus.CRASHED}
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff + jitter, Lambda-client style.
+
+    ``max_attempts`` counts the first try; ``budget`` (optional) caps the
+    *total* retries a session may spend across all requests, so a hard
+    outage cannot multiply load without bound.  ``jitter`` spreads each
+    delay uniformly over ``[delay * (1 - jitter), delay * (1 + jitter)]``.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.2
+    multiplier: float = 2.0
+    max_delay_s: float = 10.0
+    jitter: float = 0.25
+    retryable: frozenset[InvocationStatus] = RETRYABLE_DEFAULT
+    budget: int | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise PlatformError(f"max_attempts must be >= 1: {self.max_attempts}")
+        if self.base_delay_s < 0 or self.max_delay_s < self.base_delay_s:
+            raise PlatformError(
+                f"need 0 <= base_delay_s <= max_delay_s, got "
+                f"{self.base_delay_s}/{self.max_delay_s}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise PlatformError(f"jitter must be in [0, 1]: {self.jitter}")
+        object.__setattr__(
+            self,
+            "retryable",
+            frozenset(InvocationStatus(s) for s in self.retryable),
+        )
+
+    def retries_status(self, status: InvocationStatus) -> bool:
+        return InvocationStatus(status) in self.retryable
+
+    def session(self) -> "RetrySession":
+        return RetrySession(self)
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """One request that failed every attempt it was allowed."""
+
+    function: str
+    arrival: float
+    attempts: tuple[InvocationRecord, ...]
+
+    @property
+    def last(self) -> InvocationRecord:
+        return self.attempts[-1]
+
+
+class RetrySession:
+    """Stateful execution of one policy: seeded jitter + budget tracking."""
+
+    def __init__(self, policy: RetryPolicy):
+        self.policy = policy
+        self.retries_used = 0
+        self._rng = random.Random(policy.seed)
+
+    def should_retry(self, record: InvocationRecord, attempt: int) -> bool:
+        """May attempt ``attempt`` (1-based) be followed by another?"""
+        if not self.policy.retries_status(record.status):
+            return False
+        if attempt >= self.policy.max_attempts:
+            return False
+        if (
+            self.policy.budget is not None
+            and self.retries_used >= self.policy.budget
+        ):
+            return False
+        return True
+
+    def next_delay_s(self, attempt: int) -> float:
+        """Backoff before attempt ``attempt + 1``; consumes budget + RNG."""
+        self.retries_used += 1
+        delay = min(
+            self.policy.base_delay_s * self.policy.multiplier ** (attempt - 1),
+            self.policy.max_delay_s,
+        )
+        if self.policy.jitter > 0.0:
+            spread = self.policy.jitter
+            delay *= 1.0 - spread + 2.0 * spread * self._rng.random()
+        return delay
+
+
+@dataclass
+class RetryOutcome:
+    """Bookkeeping a replay collects while retrying one request."""
+
+    attempts: list[InvocationRecord] = field(default_factory=list)
+
+    @property
+    def final(self) -> InvocationRecord:
+        return self.attempts[-1]
+
+    @property
+    def retries(self) -> int:
+        return max(len(self.attempts) - 1, 0)

@@ -34,7 +34,7 @@ from typing import Any, Iterable
 from repro.errors import PlatformError
 from repro.obs import get_recorder
 from repro.obs.histogram import LogLinearHistogram
-from repro.platform.logs import InvocationRecord
+from repro.platform.logs import InvocationRecord, StartType
 from repro.platform.slo import FLEET, SloBreach, SloPolicy, SloRule, metric_value
 
 __all__ = ["WindowRollup", "TelemetrySink", "FleetReport", "FLEET"]
@@ -61,6 +61,9 @@ class WindowRollup:
     cost_usd: float = 0.0
     billed_s_sum: float = 0.0
     concurrency_peak: int = 0
+    #: Per-status breakdown (status value -> count), e.g. ``{"success":
+    #: 98, "throttled": 2}``.  Sums to ``invocations``.
+    status_counts: dict[str, int] = field(default_factory=dict)
     e2e: LogLinearHistogram = field(default_factory=LogLinearHistogram)
     cold_e2e: LogLinearHistogram = field(default_factory=LogLinearHistogram)
     billed: LogLinearHistogram = field(default_factory=LogLinearHistogram)
@@ -69,13 +72,20 @@ class WindowRollup:
 
     def observe(self, record: InvocationRecord) -> None:
         self.invocations += 1
+        status = record.status.value
+        self.status_counts[status] = self.status_counts.get(status, 0) + 1
+        if not record.ok:
+            self.errors += 1
+        if not record.billed:
+            # Throttled: rejected before any instance work — counted (it
+            # drives the error rate) but kept out of the start-type and
+            # latency accounting, which describe work that actually ran.
+            return
         if record.is_cold:
             self.cold_starts += 1
             self.cold_e2e.record(record.e2e_s)
-        else:
+        elif record.start_type is StartType.WARM:
             self.warm_starts += 1
-        if record.error_type is not None:
-            self.errors += 1
         self.cost_usd += record.cost_usd
         self.billed_s_sum += record.billed_duration_s
         self.e2e.record(record.e2e_s)
@@ -96,6 +106,8 @@ class WindowRollup:
         self.errors += other.errors
         self.cost_usd += other.cost_usd
         self.billed_s_sum += other.billed_s_sum
+        for status, count in other.status_counts.items():
+            self.status_counts[status] = self.status_counts.get(status, 0) + count
         # Peaks in disjoint windows do not overlap, so the merged HWM is
         # the max, not the sum.
         self.concurrency_peak = max(self.concurrency_peak, other.concurrency_peak)
@@ -138,6 +150,7 @@ class WindowRollup:
             "cost_usd": self.cost_usd,
             "billed_s_sum": self.billed_s_sum,
             "concurrency_peak": self.concurrency_peak,
+            "status_counts": dict(sorted(self.status_counts.items())),
             "e2e": self.e2e.to_dict(),
             "cold_e2e": self.cold_e2e.to_dict(),
             "billed": self.billed.to_dict(),
@@ -156,6 +169,10 @@ class WindowRollup:
             cost_usd=float(data["cost_usd"]),
             billed_s_sum=float(data["billed_s_sum"]),
             concurrency_peak=int(data["concurrency_peak"]),
+            status_counts={
+                str(k): int(v)
+                for k, v in data.get("status_counts", {}).items()
+            },
             e2e=LogLinearHistogram.from_dict(data["e2e"]),
             cold_e2e=LogLinearHistogram.from_dict(data["cold_e2e"]),
             billed=LogLinearHistogram.from_dict(data["billed"]),
@@ -202,6 +219,9 @@ class TelemetrySink:
         self.subbuckets = subbuckets
         self.policy = slos if isinstance(slos, SloPolicy) else SloPolicy(list(slos))
         self.breaches: list[SloBreach] = []
+        #: Free-form run metadata exported with the report — e.g. the
+        #: fallback manager's breaker state (see :meth:`set_meta`).
+        self.meta: dict[str, Any] = {}
         self._windows: dict[tuple[str, int], WindowRollup] = {}
         self._evaluated: set[tuple[str, int]] = set()
         # In-flight completion-time heaps for the concurrency HWM.
@@ -336,6 +356,15 @@ class TelemetrySink:
 
     # -- export ------------------------------------------------------------
 
+    def set_meta(self, key: str, value: Any) -> None:
+        """Attach JSON-serializable run metadata to the exported report.
+
+        The canonical use is breaker state: ``sink.set_meta("fallback",
+        manager.to_dict())`` surfaces the circuit breaker on the
+        dashboard.
+        """
+        self.meta[key] = value
+
     def report(self) -> "FleetReport":
         """Finalize outstanding windows and snapshot the full fleet view."""
         self.finalize()
@@ -347,6 +376,7 @@ class TelemetrySink:
             ],
             breaches=list(self.breaches),
             slos=list(self.policy.rules),
+            meta=dict(self.meta),
         )
 
     def save(self, path: Path | str) -> Path:
@@ -365,6 +395,7 @@ class FleetReport:
     windows: list[WindowRollup] = field(default_factory=list)
     breaches: list[SloBreach] = field(default_factory=list)
     slos: list[SloRule] = field(default_factory=list)
+    meta: dict[str, Any] = field(default_factory=dict)
 
     def functions(self) -> list[str]:
         return sorted({w.function for w in self.windows if w.function != FLEET})
@@ -405,6 +436,7 @@ class FleetReport:
             "windows": [w.to_dict() for w in self.windows],
             "breaches": [b.to_dict() for b in self.breaches],
             "slos": [rule.to_dict() for rule in self.slos],
+            "meta": self.meta,
         }
 
     @classmethod
@@ -418,6 +450,7 @@ class FleetReport:
             windows=[WindowRollup.from_dict(w) for w in data.get("windows", [])],
             breaches=[SloBreach.from_dict(b) for b in data.get("breaches", [])],
             slos=[SloRule.from_dict(r) for r in data.get("slos", [])],
+            meta=dict(data.get("meta", {})),
         )
 
     def save(self, path: Path | str) -> Path:

@@ -7,6 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.dd import DeltaDebugger, ddmin_keep, split_partitions
+from repro.errors import OracleError, OracleTimeout
 
 
 class TestSplitPartitions:
@@ -138,3 +139,66 @@ class TestDeltaDebugger:
             components, lambda cand: needed.issubset(set(cand))
         )
         assert set(outcome.minimal) == needed
+
+
+class TestHangingCandidates:
+    """Oracle probes that hang or crash must read as failing candidates.
+
+    A trimmed configuration can deadlock the probe (e.g. a module body
+    that blocks forever once its sibling is removed).  The oracle runner
+    surfaces that as :class:`OracleTimeout`; DD must treat the candidate
+    as failing and keep searching instead of aborting the whole
+    minimisation.
+    """
+
+    def test_timeout_candidates_count_as_failures(self):
+        needed = {1, 3}
+
+        def oracle(cand):
+            if 6 in cand and 1 not in cand:
+                raise OracleTimeout("probe hung after 5s")
+            return needed.issubset(set(cand))
+
+        outcome = ddmin_keep(list(range(8)), oracle)
+        assert set(outcome.minimal) == needed
+
+    def test_oracle_error_candidates_count_as_failures(self):
+        def oracle(cand):
+            if len(cand) < 2:
+                raise OracleError("probe crashed")
+            return 0 in cand
+
+        outcome = ddmin_keep(list(range(8)), oracle)
+        # 1-minimal under "errors fail": removing any single element either
+        # fails the oracle or crashes the probe.
+        assert 0 in outcome.minimal
+        assert len(outcome.minimal) == 2
+
+    def test_hanging_candidate_is_cached_not_reprobed(self):
+        probes: list[tuple[int, ...]] = []
+
+        def oracle(cand):
+            probes.append(tuple(cand))
+            if cand == [0]:
+                raise OracleTimeout("deliberately hanging candidate")
+            return 0 in cand
+
+        debugger = DeltaDebugger(oracle)
+        debugger.minimize(list(range(4)))
+        # The hanging config was probed at most once; the cache answers
+        # any repeat query.
+        assert probes.count((0,)) <= 1
+
+    def test_baseline_timeout_still_rejected(self):
+        def oracle(cand):
+            raise OracleTimeout("everything hangs")
+
+        with pytest.raises(ValueError, match="baseline"):
+            ddmin_keep([1, 2, 3], oracle)
+
+    def test_unexpected_exceptions_propagate(self):
+        def oracle(cand):
+            raise RuntimeError("a genuine bug in the harness")
+
+        with pytest.raises(RuntimeError):
+            ddmin_keep([1, 2, 3], oracle)

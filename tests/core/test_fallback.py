@@ -1,11 +1,17 @@
-"""Tests for the fallback wrapper (Section 5.4)."""
+"""Tests for the fallback wrapper, circuit breaker, and manager."""
 
 from __future__ import annotations
 
 import pytest
 
 from repro.core.execution import InvocationOutput
-from repro.core.fallback import SETUP_OVERHEAD_S, FallbackWrapper
+from repro.core.fallback import (
+    SETUP_OVERHEAD_S,
+    FallbackManager,
+    FallbackWrapper,
+    SlidingWindowBreaker,
+)
+from repro.obs import InMemoryRecorder, use_recorder
 from repro.vm import Meter, metered
 
 
@@ -82,3 +88,155 @@ class TestFallbackWrapper:
         with metered(meter):
             wrapper.invoke({}, None)
         assert meter.time_s == pytest.approx(0.2)
+
+    def test_trigger_emits_obs_span_event_and_counter(self):
+        wrapper = FallbackWrapper(_fails("AttributeError"), _ok("x"))
+        with use_recorder(InMemoryRecorder()) as recorder:
+            wrapper.invoke({}, None)
+            wrapper.invoke({}, None)
+            assert recorder.metrics()["fallback.triggered"] == 2.0
+            events = [e for e in recorder.events if e.name == "fallback.triggered"]
+            assert len(events) == 2
+            assert events[0].attrs["error_type"] == "AttributeError"
+            spans = [s for s in recorder.spans if s.name == "fallback.invoke"]
+            assert all(s.attrs["used_fallback"] for s in spans)
+
+    def test_clean_invoke_emits_no_trigger_telemetry(self):
+        wrapper = FallbackWrapper(_ok("fine"), _ok("x"))
+        with use_recorder(InMemoryRecorder()) as recorder:
+            wrapper.invoke({}, None)
+            assert "fallback.triggered" not in recorder.metrics()
+            [span] = [s for s in recorder.spans if s.name == "fallback.invoke"]
+            assert span.attrs["used_fallback"] is False
+
+
+class TestSlidingWindowBreaker:
+    def test_trips_once_threshold_reached_in_window(self):
+        breaker = SlidingWindowBreaker(threshold=3, window_s=60.0)
+        assert not breaker.record(0.0)
+        assert not breaker.record(10.0)
+        assert breaker.state == "closed"
+        assert breaker.record(20.0)  # third trigger inside 60s flips it
+        assert breaker.state == "open"
+        assert breaker.opened_at == 20.0
+        # Flipping reports True exactly once.
+        assert not breaker.record(21.0)
+
+    def test_old_triggers_slide_out_of_the_window(self):
+        breaker = SlidingWindowBreaker(threshold=3, window_s=60.0)
+        breaker.record(0.0)
+        breaker.record(10.0)
+        # 100s later the first two triggers have aged out: two more are
+        # needed before the third-in-window arrives.
+        assert not breaker.record(100.0)
+        assert breaker.triggers_in_window == 1
+        assert not breaker.record(110.0)
+        assert breaker.record(120.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="threshold"):
+            SlidingWindowBreaker(threshold=0)
+        with pytest.raises(ValueError, match="window_s"):
+            SlidingWindowBreaker(window_s=0.0)
+
+    def test_to_dict(self):
+        breaker = SlidingWindowBreaker(threshold=1, window_s=5.0)
+        breaker.record(3.0)
+        state = breaker.to_dict()
+        assert state["state"] == "open"
+        assert state["total_triggers"] == 1
+        assert state["opened_at"] == 3.0
+
+
+def break_toy_bundle(bundle):
+    """Remove ``view`` from the toy torch root — a bad trim: the handler
+    calls ``torch.view`` so every invocation raises AttributeError."""
+    torch_init = bundle.root / "site-packages" / "torch" / "__init__.py"
+    source = torch_init.read_text(encoding="utf-8")
+    kept = [
+        line
+        for line in source.splitlines(keepends=True)
+        if not line.startswith("view =")
+    ]
+    assert len(kept) < len(source.splitlines())
+    torch_init.write_text("".join(kept), encoding="utf-8")
+    return bundle
+
+
+EVENT = {"x": [1.0, 2.0], "y": [3.0, 4.0]}
+
+
+class TestFallbackManager:
+    def deploy(self, toy_app, tmp_path, **kwargs):
+        from repro.platform import LambdaEmulator
+
+        broken = break_toy_bundle(toy_app.clone(tmp_path / "broken"))
+        emulator = LambdaEmulator()
+        manager = emulator.deploy_managed(broken, toy_app, **kwargs)
+        return emulator, manager
+
+    def test_trigger_served_by_fallback(self, toy_app, tmp_path):
+        emulator, manager = self.deploy(
+            toy_app, tmp_path, breaker=SlidingWindowBreaker(threshold=100)
+        )
+        outcome = manager.invoke(EVENT)
+        assert outcome.used_fallback
+        assert outcome.record.ok
+        assert outcome.record.function == "toy-torch--fallback"
+        assert outcome.primary_record.error_type == "AttributeError"
+        assert "AttributeError" in outcome.notification
+        assert manager.fallbacks_triggered == 1
+        assert manager.recovered == 1
+        assert manager.state == "closed"
+
+    def test_success_passes_through(self, toy_app, tmp_path):
+        from repro.platform import LambdaEmulator
+
+        emulator = LambdaEmulator()
+        manager = emulator.deploy_managed(
+            toy_app.clone(tmp_path / "fine"), toy_app, name="ok-app"
+        )
+        outcome = manager.invoke(EVENT)
+        assert not outcome.used_fallback
+        assert outcome.record.ok
+        assert manager.fallbacks_triggered == 0
+
+    def test_breaker_trip_un_trims_the_primary(self, toy_app, tmp_path):
+        emulator, manager = self.deploy(
+            toy_app, tmp_path, breaker=SlidingWindowBreaker(threshold=3)
+        )
+        with use_recorder(InMemoryRecorder()) as recorder:
+            for _ in range(3):
+                outcome = manager.invoke(EVENT)
+                assert outcome.used_fallback
+            assert manager.un_trimmed
+            assert manager.state == "open"
+            # Un-trimmed: the primary now runs the original bundle, so the
+            # very next invocation succeeds without the fallback detour.
+            healed = manager.invoke(EVENT)
+            assert not healed.used_fallback
+            assert healed.record.ok
+            assert healed.record.function == "toy-torch"
+            assert healed.record.is_cold  # update_function forced a cold start
+            metrics = recorder.metrics()
+            assert metrics["fallback.triggered"] == 3.0
+            assert metrics["fallback.breaker_trips"] == 1.0
+            events = [e for e in recorder.events if e.name == "fallback.breaker_open"]
+            assert len(events) == 1
+            assert events[0].attrs["function"] == "toy-torch"
+
+    def test_state_export_for_dashboard(self, toy_app, tmp_path):
+        emulator, manager = self.deploy(
+            toy_app, tmp_path, breaker=SlidingWindowBreaker(threshold=1)
+        )
+        manager.invoke(EVENT)
+        state = manager.to_dict()
+        assert state["un_trimmed"] is True
+        assert state["breaker"]["state"] == "open"
+        assert state["fallbacks_triggered"] == 1
+        assert state["primary"] == "toy-torch"
+
+    def test_manager_is_callable(self, toy_app, tmp_path):
+        _, manager = self.deploy(toy_app, tmp_path)
+        assert isinstance(manager, FallbackManager)
+        assert manager(EVENT).record.ok

@@ -6,9 +6,15 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.platform import LambdaEmulator
+from repro.platform import (
+    FaultPlan,
+    FaultRates,
+    InvocationStatus,
+    LambdaEmulator,
+)
 from repro.platform.billing import BillingLedger
 from repro.pricing import AwsLambdaPricing
+from repro.pricing.models import PricingModel
 
 EVENT = {"x": [1.0, 2.0], "y": [3.0, 4.0]}
 
@@ -103,3 +109,82 @@ class TestEmulatorBillingInvariants:
             record = emulator.invoke("fn", EVENT, force_cold=force_cold)
             stamps.append(record.timestamp)
         assert stamps == sorted(stamps)
+
+
+class TestChaosBillingInvariants:
+    """Lambda-faithful billing under faults: the ledger must reconcile
+    exactly against the log for every mix of statuses — timeouts, OOMs,
+    and crashes are billed for the time that ran; throttles never are."""
+
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        throttle=st.floats(min_value=0.0, max_value=0.6),
+        exec_crash=st.floats(min_value=0.0, max_value=0.6),
+        cold_start_crash=st.floats(min_value=0.0, max_value=0.4),
+        timeout_s=st.one_of(st.none(), st.just(0.05)),
+        n=st.integers(min_value=1, max_value=25),
+    )
+    def test_ledger_reconciles_for_any_fault_mix(
+        self,
+        seed,
+        throttle,
+        exec_crash,
+        cold_start_crash,
+        timeout_s,
+        n,
+        toy_app_session,
+    ):
+        plan = FaultPlan(
+            seed=seed,
+            default=FaultRates(
+                throttle=throttle,
+                exec_crash=exec_crash,
+                cold_start_crash=cold_start_crash,
+            ),
+        )
+        emulator = LambdaEmulator(faults=plan)
+        emulator.deploy(toy_app_session, name="fn", timeout_s=timeout_s)
+        for _ in range(n):
+            emulator.invoke("fn", EVENT)
+
+        records = list(emulator.log)
+        emulator.ledger.reconcile(records)  # float-identical, raises on drift
+
+        bill = emulator.ledger.bill_for("fn")
+        billed = [r for r in records if r.billed]
+        throttled = [
+            r for r in records if r.status is InvocationStatus.THROTTLED
+        ]
+        assert len(records) == n
+        assert bill.invocations == len(billed)
+        assert bill.throttles == len(throttled)
+        assert bill.invocation_cost == sum(r.cost_usd for r in billed)
+        assert all(r.cost_usd == 0.0 for r in throttled)
+        # Failures that consumed compute cost real money.
+        assert all(
+            r.cost_usd > 0.0
+            for r in billed
+            if r.status is not InvocationStatus.SUCCESS
+        )
+
+    def test_oom_kills_reconcile_too(self, toy_app_session):
+        pricing = PricingModel(
+            name="aws-unfloored",
+            gb_second_price=0.0000162109,
+            billing_granularity_s=0.001,
+            min_memory_mb=1,
+            max_memory_mb=10_240,
+        )
+        emulator = LambdaEmulator(pricing=pricing)
+        emulator.deploy(toy_app_session, name="fn", memory_mb=8)
+        for _ in range(5):
+            record = emulator.invoke("fn", EVENT)
+            assert record.status is InvocationStatus.OOM
+            assert record.cost_usd > 0.0
+        emulator.ledger.reconcile(list(emulator.log))
+        assert emulator.ledger.bill_for("fn").invocations == 5

@@ -1,0 +1,228 @@
+"""The chaos acceptance scenario for the failure-semantics layer.
+
+An Azure-style fleet of 10k+ invocations is replayed through the real
+emulator under a seeded fault plan (throttles + instance crashes) while
+one function runs a deliberately broken trim behind a
+:class:`FallbackManager`.  The claims under test are the headline ones:
+
+* zero lost invocations — every arrival ends as a replayed request or a
+  dead letter with its full attempt history;
+* retries absorb the transient faults;
+* the circuit breaker flips the broken trim back to the original bundle
+  mid-replay and the fleet self-heals;
+* the billing ledger reconciles float-identically against the log;
+* an ``error_rate`` SLO fires on the chaos windows;
+* the same seed produces an identical dashboard export.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.dashboard import render_dashboard
+from repro.core.fallback import SlidingWindowBreaker
+from repro.platform import (
+    FaultPlan,
+    FaultRates,
+    LambdaEmulator,
+    RetryPolicy,
+    SloRule,
+    TelemetrySink,
+    TraceReplayer,
+)
+from repro.workloads.toy import build_toy_torch_app
+from tests.core.test_fallback import break_toy_bundle
+from tests.platform.test_telemetry import fleet_traces
+
+EVENT = {"x": [1.0, 2.0], "y": [3.0, 4.0]}
+
+#: Client policy for the whole fleet: enough attempts to ride out the
+#: fault rates below, fully seeded so reruns back off identically.
+RETRY = RetryPolicy(
+    max_attempts=6, base_delay_s=0.5, max_delay_s=30.0, jitter=0.25, seed=5
+)
+
+MANAGED = "managed-app"
+BREAKER_THRESHOLD = 5
+
+
+def run_chaos(root, traces):
+    """Replay *traces* under faults; the first one drives a broken trim."""
+    original = build_toy_torch_app(root / "toy")
+    broken = break_toy_bundle(original.clone(root / "broken"))
+
+    sink = TelemetrySink(
+        window_s=3600.0,
+        slos=[
+            SloRule(
+                name="error-budget",
+                metric="error_rate",
+                threshold=0.02,
+                description="windowed error rate must stay under 2%",
+            )
+        ],
+    )
+    plan = FaultPlan(
+        seed=23,
+        default=FaultRates(throttle=0.03, exec_crash=0.01),
+        # The safety net itself is kept fault-free: the fallback serving
+        # a trigger must not be lost to an injected crash.
+        per_function={f"{MANAGED}--fallback": FaultRates()},
+    )
+    emulator = LambdaEmulator(telemetry=sink, faults=plan)
+    manager = emulator.deploy_managed(
+        broken,
+        original,
+        name=MANAGED,
+        breaker=SlidingWindowBreaker(
+            threshold=BREAKER_THRESHOLD, window_s=86400.0
+        ),
+    )
+    replayer = TraceReplayer(emulator)
+
+    results = {}
+    managed_trace, *rest = traces
+    results[MANAGED] = replayer.replay(
+        MANAGED,
+        list(managed_trace.timestamps),
+        EVENT,
+        retry=RETRY,
+        fallback=manager,
+    )
+    for index, trace in enumerate(rest):
+        name = f"fn-{index}"
+        emulator.deploy(original, name=name)
+        results[name] = replayer.replay(
+            name, list(trace.timestamps), EVENT, retry=RETRY
+        )
+
+    sink.set_meta("fallback", manager.to_dict())
+    sink.finalize()
+    return emulator, sink, manager, results
+
+
+@pytest.fixture(scope="module")
+def chaos(tmp_path_factory):
+    traces, total = fleet_traces()
+    assert total >= 10_000
+    root = tmp_path_factory.mktemp("chaos")
+    emulator, sink, manager, results = run_chaos(root, traces)
+    return {
+        "emulator": emulator,
+        "sink": sink,
+        "manager": manager,
+        "results": results,
+        "report": sink.report(),
+        "total_arrivals": total,
+    }
+
+
+class TestChaosAcceptance:
+    def test_zero_lost_invocations(self, chaos):
+        results = chaos["results"]
+        assert sum(r.arrivals for r in results.values()) == chaos["total_arrivals"]
+        for name, result in results.items():
+            assert result.lost == 0, name
+            assert (
+                len(result.requests) + len(result.dead_letters)
+                == result.arrivals
+            ), name
+
+    def test_retries_absorb_transients(self, chaos):
+        results = chaos["results"]
+        retries = sum(r.retries for r in results.values())
+        throttled = sum(r.throttled for r in results.values())
+        delivered = sum(r.delivered for r in results.values())
+        arrivals = chaos["total_arrivals"]
+        assert retries > 0 and throttled > 0
+        # The fault rates are ~4%; six attempts each should deliver the
+        # overwhelming majority of the fleet.
+        assert delivered / arrivals > 0.95
+        # Nothing is dead-lettered early: every letter spent all six
+        # attempts on a retryable status.
+        for result in results.values():
+            for letter in result.dead_letters:
+                assert len(letter.attempts) == RETRY.max_attempts
+                assert all(
+                    RETRY.retries_status(r.status) for r in letter.attempts
+                )
+
+    def test_breaker_trips_and_un_trims(self, chaos):
+        manager = chaos["manager"]
+        result = chaos["results"][MANAGED]
+        assert manager.un_trimmed
+        assert manager.state == "open"
+        assert manager.breaker.total_triggers == manager.fallbacks_triggered
+        assert result.fallbacks == manager.fallbacks_triggered
+        assert result.fallbacks >= BREAKER_THRESHOLD
+        # Every trigger was actually recovered by the (fault-free) net.
+        detours = [r for r in result.requests if r.used_fallback]
+        assert len(detours) == result.fallbacks
+        assert all(r.record.ok for r in detours)
+        assert manager.recovered == result.fallbacks
+        # Self-healed: after the un-trim the primary answers directly, so
+        # the detours stop and direct successes dominate.
+        last_detour = max(r.arrival for r in detours)
+        direct_after = [
+            r
+            for r in result.requests
+            if r.arrival > last_detour and not r.used_fallback and r.record.ok
+        ]
+        assert direct_after, "expected direct primary successes post-heal"
+
+    def test_billing_ledger_reconciles(self, chaos):
+        emulator = chaos["emulator"]
+        records = list(emulator.log)
+        emulator.ledger.reconcile(records)  # raises on any drift
+        throttled_attempts = sum(
+            r.throttled for r in chaos["results"].values()
+        )
+        ledger_throttles = sum(
+            emulator.ledger.bill_for(name).throttles
+            for name in {r.function for r in records}
+        )
+        assert ledger_throttles == throttled_attempts
+
+    def test_error_budget_slo_fires(self, chaos):
+        report = chaos["report"]
+        assert report.breaches, "chaos windows must breach the error budget"
+        assert any(b.metric == "error_rate" for b in report.breaches)
+        assert all(b.value > b.threshold for b in report.breaches)
+
+    def test_telemetry_counts_every_status(self, chaos):
+        from repro.platform import FLEET
+
+        report = chaos["report"]
+        total = report.overall(FLEET)
+        counts = total.status_counts
+        assert counts.get("throttled", 0) > 0
+        assert counts.get("crashed", 0) > 0
+        assert counts.get("success", 0) > 0
+        assert sum(counts.values()) == total.invocations
+
+    def test_dashboard_shows_failures_and_breaker(self, chaos):
+        rendered = render_dashboard(chaos["report"])
+        assert "failures" in rendered
+        assert "throttled:" in rendered
+        assert "error rate" in rendered
+        assert f"fallback breaker [{MANAGED}]: open" in rendered
+        assert "un-trimmed at" in rendered
+
+    def test_same_seed_produces_identical_export(self, tmp_path_factory):
+        """Everything — faults, jitter, breaker — is on seeded RNGs and
+        the virtual clock, so a rerun exports the same bytes."""
+        traces, _total = fleet_traces()
+        small = sorted(traces, key=lambda t: t.invocations)[:2]
+
+        def export(label):
+            root = tmp_path_factory.mktemp(f"chaos-{label}")
+            _, sink, _, _ = run_chaos(root, small)
+            return sink.report()
+
+        first, second = export("a"), export("b")
+        assert json.dumps(first.to_dict(), sort_keys=True) == json.dumps(
+            second.to_dict(), sort_keys=True
+        )
+        assert render_dashboard(first) == render_dashboard(second)

@@ -1,0 +1,280 @@
+"""Failure semantics: fault injection, intrinsic kills, status threading.
+
+Covers the deterministic chaos layer (:mod:`repro.platform.faults`), the
+emulator's intrinsic failure modes (timeouts, OOM kills, throttling), and
+the Lambda-faithful billing rules: timeouts/OOMs/crashes are billed for
+the time that ran, throttles are never billed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.platform import (
+    FaultInjector,
+    FaultPlan,
+    FaultRates,
+    InvocationStatus,
+    LambdaEmulator,
+    Outage,
+    StartType,
+)
+from repro.pricing.models import PricingModel
+
+EVENT = {"x": [1.0, 2.0], "y": [3.0, 4.0]}
+
+
+def small_memory_pricing() -> PricingModel:
+    """AWS prices without the 128 MB floor, so tiny ceilings are enforceable."""
+    return PricingModel(
+        name="aws-unfloored",
+        gb_second_price=0.0000162109,
+        billing_granularity_s=0.001,
+        min_memory_mb=1,
+        max_memory_mb=10_240,
+    )
+
+
+def chaos_emulator(toy_app, **rates) -> LambdaEmulator:
+    plan = FaultPlan(seed=7, default=FaultRates(**rates))
+    emu = LambdaEmulator(faults=plan)
+    emu.deploy(toy_app)
+    return emu
+
+
+class TestPlanValidation:
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(PlatformError, match="exec_crash"):
+            FaultRates(exec_crash=1.5)
+        with pytest.raises(PlatformError, match="throttle"):
+            FaultRates(throttle=-0.1)
+
+    def test_outage_window_must_be_ordered(self):
+        with pytest.raises(PlatformError, match="end > start"):
+            Outage(start_s=10.0, end_s=10.0)
+
+    def test_outage_scoping(self):
+        fleet = Outage(start_s=0.0, end_s=10.0)
+        scoped = Outage(start_s=0.0, end_s=10.0, function="api")
+        assert fleet.covers("anything", 5.0)
+        assert not fleet.covers("anything", 10.0)  # half-open window
+        assert scoped.covers("api", 5.0)
+        assert not scoped.covers("etl", 5.0)
+
+    def test_per_function_rates_override_default(self):
+        plan = FaultPlan(
+            default=FaultRates(throttle=0.5),
+            per_function={"api": FaultRates(throttle=0.0)},
+        )
+        assert plan.rates_for("api").throttle == 0.0
+        assert plan.rates_for("etl").throttle == 0.5
+
+
+class TestDeterminism:
+    def test_same_seed_same_decisions(self):
+        plan = FaultPlan(seed=3, default=FaultRates(throttle=0.3, exec_crash=0.2))
+        a, b = FaultInjector(plan), FaultInjector(plan)
+        decisions_a = [
+            (a.throttled("f", t), a.exec_crash("f", t)) for t in range(200)
+        ]
+        decisions_b = [
+            (b.throttled("f", t), b.exec_crash("f", t)) for t in range(200)
+        ]
+        assert decisions_a == decisions_b
+        assert a.injected == b.injected
+        assert a.injected["throttle"] > 0 and a.injected["exec_crash"] > 0
+
+    def test_zero_rates_draw_nothing(self):
+        """Functions without faults must not perturb the RNG stream."""
+        plan = FaultPlan(seed=3, default=FaultRates(exec_crash=0.5))
+        lone = FaultInjector(plan)
+        crashes = [lone.exec_crash("f", 0.0) for _ in range(50)]
+
+        mixed_plan = FaultPlan(
+            seed=3,
+            default=FaultRates(),
+            per_function={"f": FaultRates(exec_crash=0.5)},
+        )
+        mixed = FaultInjector(mixed_plan)
+        interleaved = []
+        for _ in range(50):
+            assert not mixed.throttled("quiet", 0.0)
+            assert not mixed.cold_start_crash("quiet", 0.0)
+            interleaved.append(mixed.exec_crash("f", 0.0))
+        assert crashes == interleaved
+
+    def test_identical_logs_for_identical_seeds(self, toy_app):
+        def run(seed: int):
+            emu = LambdaEmulator(
+                faults=FaultPlan(
+                    seed=seed,
+                    default=FaultRates(throttle=0.2, exec_crash=0.2),
+                )
+            )
+            emu.deploy(toy_app)
+            return [
+                (r.status.value, round(r.cost_usd, 12))
+                for r in (emu.invoke("toy-torch", EVENT) for _ in range(40))
+            ]
+
+        assert run(11) == run(11)
+        assert run(11) != run(12)  # and the seed actually matters
+
+
+class TestThrottling:
+    def test_throttled_record_is_unbilled(self, toy_app):
+        emu = chaos_emulator(toy_app, throttle=1.0)
+        record = emu.invoke("toy-torch", EVENT)
+        assert record.status is InvocationStatus.THROTTLED
+        assert record.start_type is StartType.THROTTLED
+        assert not record.billed and not record.ok
+        assert record.cost_usd == 0.0
+        assert record.exec_duration_s == 0.0
+        bill = emu.ledger.bill_for("toy-torch")
+        assert bill.throttles == 1
+        assert bill.invocations == 0 and bill.invocation_cost == 0.0
+
+    def test_throttles_do_not_count_as_warm_starts(self, toy_app):
+        emu = chaos_emulator(toy_app, throttle=1.0)
+        emu.invoke("toy-torch", EVENT)
+        assert emu.log.warm_starts() == []
+        assert emu.log.cold_starts() == []
+
+    def test_outage_throttles_only_inside_window(self, toy_app):
+        emu = LambdaEmulator(
+            faults=FaultPlan(outages=(Outage(start_s=100.0, end_s=200.0),))
+        )
+        emu.deploy(toy_app)
+        assert emu.invoke("toy-torch", EVENT).ok
+        emu.clock.advance(100.0 - emu.clock.now())
+        assert emu.invoke("toy-torch", EVENT).status is InvocationStatus.THROTTLED
+        emu.clock.advance(200.0 - emu.clock.now())
+        assert emu.invoke("toy-torch", EVENT).ok
+
+
+class TestCrashes:
+    def test_cold_start_crash_bills_init_and_kills_instance(self, toy_app):
+        emu = chaos_emulator(toy_app, cold_start_crash=1.0)
+        record = emu.invoke("toy-torch", EVENT)
+        assert record.status is InvocationStatus.CRASHED
+        assert record.error_type == "InstanceCrash"
+        assert record.is_cold and record.billed
+        assert record.init_duration_s > 0.0
+        assert record.exec_duration_s == 0.0
+        assert record.cost_usd > 0.0  # Lambda bills the failed init
+        assert emu.function("toy-torch").instances == []
+
+    def test_exec_crash_bills_partial_execution(self, toy_app):
+        emu = chaos_emulator(toy_app, exec_crash=1.0)
+        baseline = LambdaEmulator()
+        baseline.deploy(toy_app)
+        healthy = baseline.invoke("toy-torch", EVENT)
+
+        record = emu.invoke("toy-torch", EVENT)
+        assert record.status is InvocationStatus.CRASHED
+        assert record.billed
+        assert 0.0 < record.exec_duration_s < healthy.exec_duration_s
+        # The crashed instance never serves again: next request is cold.
+        assert emu.function("toy-torch").instances == []
+
+    def test_crash_injection_counts(self, toy_app):
+        emu = chaos_emulator(toy_app, exec_crash=1.0)
+        for _ in range(3):
+            emu.invoke("toy-torch", EVENT)
+        assert emu.faults.injected["exec_crash"] == 3
+
+
+class TestIntrinsicKills:
+    def test_timeout_is_billed_and_keeps_instance(self, toy_app):
+        emu = LambdaEmulator()
+        emu.deploy(toy_app, timeout_s=0.02)
+        record = emu.invoke("toy-torch", EVENT)
+        assert record.status is InvocationStatus.TIMEOUT
+        assert record.error_type == "TimeoutError"
+        assert record.exec_duration_s == pytest.approx(0.02)
+        assert record.billed and record.cost_usd > 0.0
+        # A timeout does not kill the instance; the next request is warm
+        # (and times out again — timeouts are deterministic).
+        follow_up = emu.invoke("toy-torch", EVENT)
+        assert follow_up.start_type is StartType.WARM
+        assert follow_up.status is InvocationStatus.TIMEOUT
+
+    def test_timeout_must_be_positive(self, toy_app):
+        emu = LambdaEmulator()
+        with pytest.raises(PlatformError, match="timeout"):
+            emu.deploy(toy_app, timeout_s=0.0)
+
+    def test_oom_kill_on_explicit_memory_ceiling(self, toy_app):
+        emu = LambdaEmulator(pricing=small_memory_pricing())
+        emu.deploy(toy_app, memory_mb=8)
+        record = emu.invoke("toy-torch", EVENT)
+        assert record.status is InvocationStatus.OOM
+        assert record.error_type == "OutOfMemoryError"
+        assert record.peak_memory_mb > record.memory_config_mb
+        assert record.billed and record.cost_usd > 0.0
+        # The killed instance is gone: the next request cold-starts.
+        assert emu.invoke("toy-torch", EVENT).is_cold
+
+    def test_no_oom_when_memory_unset(self, toy_app):
+        """memory_mb=None sizes billing to the footprint — never an OOM."""
+        emu = LambdaEmulator(pricing=small_memory_pricing())
+        emu.deploy(toy_app)
+        assert emu.invoke("toy-torch", EVENT).ok
+
+    def test_injected_crash_beats_later_timeout(self, toy_app):
+        """Kill precedence: the earliest kill wins."""
+        emu = LambdaEmulator(
+            faults=FaultPlan(seed=1, default=FaultRates(exec_crash=1.0))
+        )
+        # Timeout far beyond the execution: only the crash can fire.
+        emu.deploy(toy_app, timeout_s=1000.0)
+        record = emu.invoke("toy-torch", EVENT)
+        assert record.status is InvocationStatus.CRASHED
+
+
+class TestStatusThreading:
+    def test_log_queries_and_error_rate(self, toy_app):
+        emu = chaos_emulator(toy_app, throttle=1.0)
+        emu.invoke("toy-torch", EVENT)
+        emu.faults.plan.default = FaultRates()  # heal the fleet
+        emu.invoke("toy-torch", EVENT)
+        counts = emu.log.status_counts()
+        assert counts[InvocationStatus.THROTTLED] == 1
+        assert counts[InvocationStatus.SUCCESS] == 1
+        assert emu.log.error_rate() == pytest.approx(0.5)
+        assert emu.log.query().billed().count() == 1
+        assert (
+            emu.log.query().with_status(InvocationStatus.THROTTLED).count() == 1
+        )
+
+    def test_record_round_trips_status(self, toy_app):
+        from repro.platform.logs import InvocationRecord
+
+        emu = chaos_emulator(toy_app, throttle=1.0)
+        record = emu.invoke("toy-torch", EVENT)
+        restored = InvocationRecord.from_dict(record.to_dict())
+        assert restored.status is InvocationStatus.THROTTLED
+
+    def test_ledger_reconciles_mixed_statuses(self, toy_app):
+        emu = LambdaEmulator(
+            faults=FaultPlan(
+                seed=5,
+                default=FaultRates(throttle=0.3, exec_crash=0.3),
+            )
+        )
+        emu.deploy(toy_app, timeout_s=0.05)
+        for _ in range(60):
+            emu.invoke("toy-torch", EVENT)
+        statuses = {r.status for r in emu.log}
+        assert InvocationStatus.THROTTLED in statuses
+        assert InvocationStatus.CRASHED in statuses
+        emu.ledger.reconcile(list(emu.log))
+
+    def test_reconcile_detects_tampering(self, toy_app):
+        emu = LambdaEmulator()
+        emu.deploy(toy_app)
+        emu.invoke("toy-torch", EVENT)
+        emu.ledger.bill_for("toy-torch").invocation_cost += 1e-9
+        with pytest.raises(AssertionError):
+            emu.ledger.reconcile(list(emu.log))

@@ -88,6 +88,55 @@ class TestFallbackRoundTrip:
         assert record.value == outcome.value
 
 
+class TestFuzzerFallbackRecovery:
+    def test_every_fuzz_finding_is_recovered_by_the_fallback(self, dna):
+        """Section 5.4 closed loop: every input the fuzzer finds that
+        would trip the safety net IS caught by the deployed wrapper, and
+        the fallback reproduces the original bundle's answer exactly."""
+        from repro.core.fuzzer import OracleFuzzer
+
+        bundle, report = dna
+        fuzz = OracleFuzzer(bundle, report.output).fuzz(budget_per_case=15)
+        triggers = [f for f in fuzz.findings if f.triggers_fallback]
+        assert triggers, "campaign must surface at least one fallback trigger"
+
+        emulator = LambdaEmulator()
+        wrapper = emulator.deploy_with_fallback(report.output, bundle, name="dna")
+        for finding in triggers:
+            outcome = wrapper.invoke(finding.event, finding.context)
+            assert outcome.used_fallback
+            assert outcome.output.ok
+            assert outcome.value == finding.expected["value"]
+            assert outcome.notification is not None
+
+    def test_managed_deployment_self_heals_on_fuzz_triggers(self, dna):
+        """The same findings, replayed against a FallbackManager with a
+        tight breaker: it un-trims and the primary starts answering."""
+        from repro.core.fallback import SlidingWindowBreaker
+        from repro.core.fuzzer import OracleFuzzer
+
+        bundle, report = dna
+        fuzz = OracleFuzzer(bundle, report.output).fuzz(budget_per_case=15)
+        triggers = [f for f in fuzz.findings if f.triggers_fallback]
+        assert triggers
+
+        emulator = LambdaEmulator()
+        manager = emulator.deploy_managed(
+            report.output,
+            bundle,
+            name="dna-managed",
+            breaker=SlidingWindowBreaker(threshold=min(2, len(triggers))),
+        )
+        for finding in triggers[:2]:
+            managed = manager.invoke(finding.event, finding.context)
+            assert managed.used_fallback
+            assert managed.value == finding.expected["value"]
+        assert manager.un_trimmed
+        healed = emulator.invoke("dna-managed", triggers[0].event)
+        assert healed.ok
+        assert healed.value == triggers[0].expected["value"]
+
+
 class TestBaselineAgreement:
     def test_all_optimizers_preserve_behaviour(self, dna, tmp_path):
         """λ-trim, FaaSLight, and Vulture outputs all satisfy the oracle."""
