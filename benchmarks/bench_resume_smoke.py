@@ -1,0 +1,174 @@
+"""Resume smoke: SIGKILL a trim mid-DD, resume it, demand byte-identity.
+
+CI's benchmark-smoke job runs the λ-trim pipeline in a subprocess driver
+(:mod:`repro.core._resume_driver`), SIGKILLs it at a probe boundary inside
+the *last* module's DD search — after the journal has recorded probes but
+before the module's COMMIT — then resumes.  The run must end with
+
+* a byte-identical output bundle versus an uninterrupted baseline run,
+* equal removed-attribute sets per module,
+* zero lost probes (journal hits + live probes == the baseline's count),
+* a bounded re-probe bill: live probes on resume stay under 5% of the
+  baseline's total (everything pre-crash is served from the journal),
+* and no stray temp/backup files in the output tree.
+
+The crashed-and-resumed journal is copied to
+``benchmarks/results/resume_journal.jsonl`` and uploaded as a CI artifact,
+so every smoke run leaves the full probe provenance behind.
+"""
+
+from __future__ import annotations
+
+import filecmp
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.core.journal import LEGACY_BACKUP_SUFFIX, TMP_MARKER, ProbeJournal
+from repro.workloads.toy import build_toy_torch_app
+
+RESULTS_DIR = Path(__file__).parent / "results"
+SRC_ROOT = str(Path(repro.__file__).resolve().parent.parent)
+SENTINEL = "@@LAMBDA_TRIM_RESUME@@"
+
+
+def _driver(args: list[str], *, expect_kill: bool = False) -> dict | None:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_ROOT + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.core._resume_driver", "run", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+    if expect_kill:
+        assert proc.returncode == -signal.SIGKILL, proc.stderr
+        return None
+    assert proc.returncode == 0, proc.stderr
+    for line in proc.stdout.splitlines():
+        if line.startswith(SENTINEL):
+            return json.loads(line[len(SENTINEL):])
+    raise AssertionError(f"driver emitted no summary: {proc.stdout!r}")
+
+
+def _bundles_identical(expected: Path, actual: Path) -> bool:
+    comparison = filecmp.dircmp(expected, actual)
+    stack = [comparison]
+    while stack:
+        node = stack.pop()
+        if node.left_only or node.right_only:
+            return False
+        for name in node.common_files:
+            if (
+                Path(node.left, name).read_bytes()
+                != Path(node.right, name).read_bytes()
+            ):
+                return False
+        stack.extend(node.subdirs.values())
+    return True
+
+
+@pytest.fixture(scope="module")
+def smoke(tmp_path_factory):
+    root = tmp_path_factory.mktemp("resume-smoke")
+    bundle = build_toy_torch_app(root / "toy")
+
+    baseline = _driver(
+        ["--bundle", str(bundle.root), "--output", str(root / "baseline")]
+    )
+    records = len((root / "baseline.journal.jsonl").read_text().splitlines())
+    # Crash two records before the end: inside the last module's DD, after
+    # its probes are journaled but before its COMMIT lands.
+    boundary = records - 2
+    out = root / "crashed"
+    _driver(
+        ["--bundle", str(bundle.root), "--output", str(out),
+         "--crash-after", str(boundary)],
+        expect_kill=True,
+    )
+    resumed = _driver(
+        ["--bundle", str(bundle.root), "--output", str(out), "--resume"]
+    )
+    return {
+        "root": root,
+        "baseline": baseline,
+        "resumed": resumed,
+        "baseline_out": root / "baseline",
+        "out": out,
+        "journal": root / "crashed.journal.jsonl",
+        "boundary": boundary,
+        "records": records,
+    }
+
+
+class TestResumeSmoke:
+    def test_resumed_bundle_is_byte_identical(self, smoke):
+        assert smoke["resumed"]["verify_passed"] is True
+        assert _bundles_identical(smoke["baseline_out"], smoke["out"])
+
+    def test_removed_sets_match_baseline(self, smoke):
+        for module, base in smoke["baseline"]["modules"].items():
+            res = smoke["resumed"]["modules"][module]
+            assert res["removed"] == base["removed"], module
+
+    def test_zero_lost_probes(self, smoke):
+        for module, base in smoke["baseline"]["modules"].items():
+            res = smoke["resumed"]["modules"][module]
+            total = res["oracle_calls"] + res["journal_hits"]
+            assert total == base["oracle_calls"], module
+
+    def test_reprobe_bill_is_bounded(self, smoke):
+        """Live probes on resume stay under 5% of the baseline total: the
+        journal, not the oracle, pays for everything pre-crash."""
+        baseline_total = smoke["baseline"]["oracle_calls"]
+        live_on_resume = sum(
+            res["oracle_calls"]
+            for res in smoke["resumed"]["modules"].values()
+            if not res["resumed"]  # committed modules never re-probe
+        )
+        assert live_on_resume <= 0.05 * baseline_total, (
+            f"{live_on_resume} live re-probes vs {baseline_total} baseline"
+        )
+
+    def test_no_stray_files(self, smoke):
+        strays = [
+            p
+            for pattern in (f"*{LEGACY_BACKUP_SUFFIX}", f"*{TMP_MARKER}*")
+            for p in smoke["out"].rglob(pattern)
+        ]
+        assert strays == []
+
+    def test_journal_artifact_exported(self, smoke, artifact_sink):
+        """Copy the crashed-and-resumed journal for the CI artifact upload
+        and publish a one-paragraph summary of the run."""
+        RESULTS_DIR.mkdir(exist_ok=True)
+        shutil.copyfile(
+            smoke["journal"], RESULTS_DIR / "resume_journal.jsonl"
+        )
+        state = ProbeJournal.replay(RESULTS_DIR / "resume_journal.jsonl")
+        assert state.run_committed
+
+        resumed = smoke["resumed"]
+        artifact_sink(
+            "resume_smoke",
+            "\n".join(
+                [
+                    "kill-and-resume smoke (SIGKILL at journal boundary "
+                    f"{smoke['boundary']}/{smoke['records']})",
+                    "  byte-identical output: yes",
+                    f"  modules adopted from journal: "
+                    f"{sum(1 for r in resumed['modules'].values() if r['resumed'])}",
+                    f"  journaled probes replayed: {resumed['journal_hits']}",
+                    f"  live probes on resume: {resumed['oracle_calls'] - sum(r['oracle_calls'] for r in resumed['modules'].values() if r['resumed'])}",
+                    f"  baseline probes: {smoke['baseline']['oracle_calls']}",
+                ]
+            ),
+        )

@@ -129,7 +129,29 @@ def render_dashboard(report: FleetReport, *, function: str = FLEET) -> str:
     breaker = _render_breaker(report)
     if breaker:
         lines.append(breaker)
+    debloat = _render_debloat(report)
+    if debloat:
+        lines.append(debloat)
     return "\n".join(lines)
+
+
+def _render_debloat(report: FleetReport) -> str:
+    """Debloating provenance attached via DebloatReport.telemetry_meta()."""
+    state = report.meta.get("debloat")
+    if not isinstance(state, dict):
+        return ""
+    line = (
+        f"debloat [{state.get('app', '?')}]: "
+        f"{state.get('attributes_removed', 0)} attribute(s) removed, "
+        f"{state.get('oracle_calls', 0)} oracle call(s), "
+        f"{state.get('flaky_probes', 0)} flaky probe(s)"
+    )
+    if state.get("resumed"):
+        line += (
+            f" — resumed: {state.get('resumed_modules', 0)} module(s), "
+            f"{state.get('journal_hits', 0)} journaled probe(s) replayed"
+        )
+    return line
 
 
 def _render_breaker(report: FleetReport) -> str:

@@ -62,8 +62,20 @@ class Workspace:
             config.granularity,
         )
 
-    def trim(self, app: str, *, config: TrimConfig | None = None) -> DebloatReport:
-        """λ-trim *app* (memoised per configuration)."""
+    def trim(
+        self,
+        app: str,
+        *,
+        config: TrimConfig | None = None,
+        resume: bool = False,
+    ) -> DebloatReport:
+        """λ-trim *app* (memoised per configuration).
+
+        With ``resume=True`` an interrupted run's journal under the
+        workspace is replayed instead of starting over.  Journals are
+        written without per-record fsync here: workspaces are throwaway
+        experiment trees, and the speedup across 21 apps is substantial.
+        """
         cfg = config if config is not None else self.config
         key = self._trim_key(app, cfg)
         if key not in self._reports:
@@ -71,10 +83,12 @@ class Workspace:
                 "" if cfg.use_call_graph else "-nocg"
             ) + ("" if cfg.granularity == "attribute" else f"-{cfg.granularity}")
             target = self.root / "trimmed" / label
-            if target.exists():
+            if target.exists() and not resume:
                 shutil.rmtree(target)
             pipeline = LambdaTrim(cfg)
-            self._reports[key] = pipeline.run(self.bundle(app), target)
+            self._reports[key] = pipeline.run(
+                self.bundle(app), target, resume=resume, journal_fsync=False
+            )
         return self._reports[key]
 
     def trimmed_bundle(self, app: str, *, config: TrimConfig | None = None) -> AppBundle:
@@ -92,6 +106,8 @@ class Workspace:
             max_oracle_calls_per_module=base.max_oracle_calls_per_module,
             local_modules=base.local_modules,
             granularity=base.granularity,
+            verify_journal_probes=base.verify_journal_probes,
+            probe_quorum=base.probe_quorum,
         )
         fields.update(overrides)
         return TrimConfig(**fields)

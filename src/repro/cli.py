@@ -20,6 +20,11 @@ Commands
 
 ``trim --log FILE`` enables continuous debloating (Section 9): the run is
 seeded by the previous run's kept sets and the log is updated in place.
+
+``trim --resume`` replays the write-ahead probe journal of an interrupted
+run (``<output>.journal.jsonl`` by default): committed modules are adopted
+wholesale, torn files are rolled back, and DD continues from the journaled
+probe cache.
 """
 
 from __future__ import annotations
@@ -67,6 +72,15 @@ def build_parser() -> argparse.ArgumentParser:
     trim.add_argument("--log", type=Path, default=None,
                       help="trim log from a previous run (continuous "
                            "debloating); updated in place after the run")
+    trim.add_argument("--resume", action="store_true",
+                      help="resume an interrupted run from its write-ahead "
+                           "probe journal instead of starting over")
+    trim.add_argument("--journal", type=Path, default=None,
+                      help="probe-journal path (default: "
+                           "<output>.journal.jsonl next to the output)")
+    trim.add_argument("--verify-probes", action="store_true",
+                      help="re-check journaled verdicts live and settle "
+                           "disagreements by quorum vote (flaky oracles)")
 
     analyze = commands.add_parser("analyze", help="static analysis + profiling")
     analyze.add_argument("bundle", type=Path)
@@ -171,20 +185,26 @@ def _cmd_trim(args: argparse.Namespace) -> int:
         use_call_graph=not args.no_call_graph,
         max_oracle_calls_per_module=args.budget,
         granularity=args.granularity,
+        verify_journal_probes=args.verify_probes,
     )
     bundle = AppBundle(args.bundle)
+    run_kwargs = {"resume": args.resume, "journal_path": args.journal}
     if args.log is not None:
         from repro.core.incremental import IncrementalTrim, TrimLog
 
         log = TrimLog.load(args.log) if args.log.exists() else None
         trimmer = IncrementalTrim(config, log=log)
-        report = trimmer.run(bundle, args.output)
+        report = trimmer.run(bundle, args.output, **run_kwargs)
         trimmer.updated_log(report).save(args.log)
         seeded = sum(1 for r in report.module_results if r.seeded)
         print(f"continuous debloating: {seeded} module(s) adopted from the log")
     else:
-        report = LambdaTrim(config).run(bundle, args.output)
+        report = LambdaTrim(config).run(bundle, args.output, **run_kwargs)
     print(report.summary())
+    if args.resume and report.resumed:
+        print(f"resumed from journal {report.journal_path}: "
+              f"{report.resumed_modules} module(s) adopted, "
+              f"{report.journal_hits} journaled probe(s) replayed")
     print(f"optimized bundle written to {report.output_root}")
     return 0
 

@@ -16,6 +16,15 @@ from repro.core.cost_model import (
     marginal_monetary_cost,
     rank_modules,
 )
+from repro.core.journal import (
+    JournalState,
+    ProbeJournal,
+    RecoveryReport,
+    atomic_write_text,
+    candidate_hash,
+    default_journal_path,
+    recover_workspace,
+)
 from repro.core.pipeline import DebloatReport, LambdaTrim, TrimConfig
 from repro.core.fallback import FallbackOutcome, FallbackWrapper
 from repro.core.fuzzer import FuzzReport, OracleFuzzer
@@ -40,6 +49,13 @@ __all__ = [
     "ScoringMethod",
     "marginal_monetary_cost",
     "rank_modules",
+    "JournalState",
+    "ProbeJournal",
+    "RecoveryReport",
+    "atomic_write_text",
+    "candidate_hash",
+    "default_journal_path",
+    "recover_workspace",
     "DebloatReport",
     "LambdaTrim",
     "TrimConfig",

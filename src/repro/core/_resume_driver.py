@@ -1,0 +1,126 @@
+"""Subprocess driver for the kill-and-resume crash harness.
+
+Usage (spawned by ``tests/core/test_crash_resume.py`` and
+``benchmarks/bench_resume_smoke.py``)::
+
+    python -m repro.core._resume_driver build-toy <dir>
+    python -m repro.core._resume_driver run --bundle B --output O
+        [--journal J] [--crash-after N] [--resume] [--k K] [--seed S]
+        [--budget N] [--no-call-graph]
+
+``--crash-after N`` installs a post-append hook on the probe journal that
+SIGKILLs this process immediately after the N-th journal append — i.e. at
+an exact probe/commit boundary.  Enumerating N from 1 to the record count
+of an uninterrupted run exercises *every* crash edge deterministically.
+
+On normal completion one JSON summary line (prefixed by a sentinel, same
+protocol as :mod:`repro.core._oracle_child`) lands on stdout with
+everything the harness asserts on: per-module removed sets and probe
+accounting, the verification verdict, and the journal path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import sys
+
+SENTINEL = "@@LAMBDA_TRIM_RESUME@@"
+
+
+def _summary(report) -> dict:
+    modules = {}
+    for result in report.module_results:
+        modules[result.module] = {
+            "removed": sorted(result.removed),
+            "kept": sorted(result.kept),
+            "oracle_calls": result.oracle_calls,
+            "cache_hits": result.cache_hits,
+            "journal_hits": result.journal_hits,
+            "flaky_probes": result.flaky_probes,
+            "resumed": result.resumed,
+            "skipped_reason": result.skipped_reason,
+        }
+    return {
+        "app": report.app,
+        "output_root": str(report.output_root),
+        "verify_passed": report.verify_passed,
+        "resumed": report.resumed,
+        "modules": modules,
+        "oracle_calls": report.oracle_calls,
+        "journal_hits": report.journal_hits,
+        "flaky_probes": report.flaky_probes,
+        "journal_path": str(report.journal_path),
+    }
+
+
+def _cmd_build_toy(args: argparse.Namespace) -> int:
+    from repro.workloads.toy import build_toy_torch_app
+
+    bundle = build_toy_torch_app(args.directory)
+    print(SENTINEL + json.dumps({"root": str(bundle.root), "name": bundle.name}))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.bundle import AppBundle
+    from repro.core import journal as journal_mod
+    from repro.core.pipeline import LambdaTrim, TrimConfig
+
+    if args.crash_after is not None:
+        crash_at = args.crash_after
+
+        def die_at_boundary(count: int) -> None:
+            if count >= crash_at:
+                # SIGKILL: no cleanup, no atexit, no flush — the harshest
+                # crash the journal's durability contract must survive.
+                os.kill(os.getpid(), signal.SIGKILL)
+
+        journal_mod.set_post_append_hook(die_at_boundary)
+
+    config = TrimConfig(
+        k=args.k,
+        seed=args.seed,
+        use_call_graph=not args.no_call_graph,
+        max_oracle_calls_per_module=args.budget,
+        verify_journal_probes=args.verify_probes,
+    )
+    report = LambdaTrim(config).run(
+        AppBundle(args.bundle),
+        args.output,
+        resume=args.resume,
+        journal_path=args.journal,
+    )
+    print(SENTINEL + json.dumps(_summary(report), sort_keys=True))
+    return 0 if report.verify_passed else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro-resume-driver")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    build = commands.add_parser("build-toy")
+    build.add_argument("directory")
+
+    run = commands.add_parser("run")
+    run.add_argument("--bundle", required=True)
+    run.add_argument("--output", required=True)
+    run.add_argument("--journal", default=None)
+    run.add_argument("--crash-after", type=int, default=None)
+    run.add_argument("--resume", action="store_true")
+    run.add_argument("--k", type=int, default=20)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--budget", type=int, default=None)
+    run.add_argument("--no-call-graph", action="store_true")
+    run.add_argument("--verify-probes", action="store_true")
+
+    args = parser.parse_args(argv)
+    if args.command == "build-toy":
+        return _cmd_build_toy(args)
+    return _cmd_run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,7 +22,7 @@ each step for visualisation and testing.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Generic, Hashable, Sequence, TypeVar
+from typing import Callable, Generic, Hashable, Mapping, Sequence, TypeVar
 
 from repro.errors import OracleError
 from repro.obs import get_recorder
@@ -32,6 +32,15 @@ __all__ = ["DeltaDebugger", "DDOutcome", "DDTraceStep", "ddmin_keep", "split_par
 T = TypeVar("T", bound=Hashable)
 
 OracleFn = Callable[[Sequence[T]], bool]
+
+#: Maps a candidate component sequence to its cache key.  The default is
+#: ``frozenset``; the debloater substitutes a content hash so journaled
+#: verdicts survive process restarts (components are re-derived on resume).
+KeyFn = Callable[[Sequence[T]], Hashable]
+
+#: Probe listener ``(key, verdict, granularity)`` invoked after every
+#: *live* oracle run — the write-ahead journal's feed.
+ProbeListener = Callable[[Hashable, bool, int], None]
 
 
 def split_partitions(items: Sequence[T], n: int) -> list[list[T]]:
@@ -76,6 +85,14 @@ class DDOutcome(Generic[T]):
     iterations: int
     trace: list[DDTraceStep] = field(default_factory=list)
     cache_misses: int = 0
+    #: Probes answered from a journal-seeded cache (first lookup of each
+    #: seeded candidate): these were real oracle calls in the run that
+    #: wrote the journal, so ``journal_hits + oracle_calls`` equals the
+    #: uninterrupted run's probe count after a kill-and-resume.
+    journal_hits: int = 0
+    #: Live probes whose verdict disagreed with a journaled/cached verdict
+    #: and were adjudicated by the quorum re-run vote.
+    flaky_probes: int = 0
 
     @property
     def cache_lookups(self) -> int:
@@ -119,6 +136,26 @@ class DeltaDebugger(Generic[T]):
         record the candidate as failing and keep reducing, exactly as if
         the oracle had returned ``False``.  The verdict is cached like
         any other, so the hanging configuration is never probed twice.
+    key_fn:
+        Maps a candidate to its cache key (default ``frozenset``).  The
+        debloater passes a content hash so the cache can be seeded from a
+        write-ahead journal across process restarts.
+    seed_verdicts:
+        Journal-sourced cache (key → verdict) replayed into the search.
+        The first lookup of each seeded key is counted as a *journal hit*
+        and — because it stands in for a real oracle call of the crashed
+        run — consumes ``max_oracle_calls`` budget, so a resumed search
+        truncates at exactly the same point as an uninterrupted one.
+    verify_seeds:
+        Treat seeded verdicts as advisory instead of authoritative: the
+        probe still runs live, and a disagreement triggers the flaky
+        quorum (re-run up to ``quorum`` times, majority vote, ties
+        resolve to *failing* — the safe direction, keeping components).
+    quorum:
+        Total live runs used to adjudicate a seed disagreement.
+    on_probe:
+        ``(key, verdict, granularity)`` listener invoked after every live
+        oracle run — the write-ahead journal's append hook.
     """
 
     def __init__(
@@ -129,15 +166,31 @@ class DeltaDebugger(Generic[T]):
         max_oracle_calls: int | None = None,
         check_initial: bool = True,
         treat_as_failure: tuple[type[BaseException], ...] = (OracleError,),
+        key_fn: KeyFn | None = None,
+        seed_verdicts: Mapping[Hashable, bool] | None = None,
+        verify_seeds: bool = False,
+        quorum: int = 3,
+        on_probe: ProbeListener | None = None,
     ) -> None:
         self._oracle = oracle
         self._record_trace = record_trace
         self._max_oracle_calls = max_oracle_calls
         self._check_initial = check_initial
         self._treat_as_failure = tuple(treat_as_failure)
-        self._cache: dict[frozenset[T], bool] = {}
+        self._key_fn: KeyFn = key_fn if key_fn is not None else frozenset
+        self._verify_seeds = verify_seeds
+        self._quorum = max(quorum, 1)
+        self._on_probe = on_probe
+        self._cache: dict[Hashable, bool] = {}
+        self._seeds: dict[Hashable, bool] = dict(seed_verdicts or {})
+        self._seed_pending: set[Hashable] = set(self._seeds)
+        if not verify_seeds:
+            # Trusted seeds answer lookups directly from the cache.
+            self._cache.update(self._seeds)
         self._calls = 0
         self._cache_hits = 0
+        self._journal_hits = 0
+        self._flaky = 0
         self._trace: list[DDTraceStep] = []
         self._step = 0
 
@@ -163,18 +216,34 @@ class DeltaDebugger(Generic[T]):
         """Distinct configurations tested (and remembered) so far."""
         return len(self._cache)
 
+    @property
+    def journal_hits(self) -> int:
+        """Lookups answered by the journal-seeded cache (first hit each)."""
+        return self._journal_hits
+
+    @property
+    def flaky_probes(self) -> int:
+        """Seed disagreements adjudicated by the quorum vote."""
+        return self._flaky
+
     # -- oracle plumbing ----------------------------------------------------
 
     def _query(self, candidate: Sequence[T], granularity: int, kind: str) -> bool:
-        key = frozenset(candidate)
+        key = self._key_fn(candidate)
         cached = key in self._cache
         if cached:
-            self._cache_hits += 1
+            if key in self._seed_pending:
+                # First lookup of a journaled probe: it stands in for a
+                # real oracle call of the crashed run (budget included).
+                self._seed_pending.discard(key)
+                self._journal_hits += 1
+            else:
+                self._cache_hits += 1
             result = self._cache[key]
         else:
             if (
                 self._max_oracle_calls is not None
-                and self._calls >= self._max_oracle_calls
+                and self._calls + self._journal_hits >= self._max_oracle_calls
             ):
                 raise _OracleBudgetExhausted()
             self._calls += 1
@@ -182,7 +251,10 @@ class DeltaDebugger(Generic[T]):
                 result = bool(self._oracle(candidate))
             except self._treat_as_failure:
                 result = False
+            result = self._reconcile_seed(key, candidate, result)
             self._cache[key] = result
+            if self._on_probe is not None:
+                self._on_probe(key, result, granularity)
         if self._record_trace:
             self._step += 1
             self._trace.append(
@@ -197,6 +269,33 @@ class DeltaDebugger(Generic[T]):
             )
         return result
 
+    def _reconcile_seed(self, key: Hashable, candidate: Sequence[T], live: bool) -> bool:
+        """Adjudicate a live verdict against an advisory seeded verdict.
+
+        Only active with ``verify_seeds=True``.  Agreement adopts the live
+        verdict; disagreement marks the probe flaky and re-runs the oracle
+        up to ``quorum`` times total, deciding by majority over the live
+        runs plus the seeded vote.  A tie resolves to ``False`` — the
+        conservative direction: a wrong "fail" merely keeps a component,
+        a wrong "pass" would remove needed code.
+        """
+        if not self._verify_seeds or key not in self._seeds:
+            return live
+        seed = self._seeds.pop(key)
+        self._seed_pending.discard(key)
+        if live == seed:
+            return live
+        self._flaky += 1
+        votes = [live, seed]
+        for _ in range(self._quorum - 1):
+            self._calls += 1
+            try:
+                votes.append(bool(self._oracle(candidate)))
+            except self._treat_as_failure:
+                votes.append(False)
+        get_recorder().counter_add("dd.flaky_probes")
+        return votes.count(True) > votes.count(False)
+
     # -- the algorithm -------------------------------------------------------
 
     def minimize(self, components: Sequence[T]) -> DDOutcome[T]:
@@ -205,15 +304,21 @@ class DeltaDebugger(Generic[T]):
         if not recorder.enabled:
             return self._minimize(components)
         calls_before, hits_before = self._calls, self._cache_hits
+        journal_before = self._journal_hits
         with recorder.span("dd.minimize", components=len(components)) as span:
             outcome = self._minimize(components)
             if span is not None:
                 span.set_attr("minimal", len(outcome.minimal))
                 span.set_attr("oracle_calls", outcome.oracle_calls)
+                if outcome.journal_hits:
+                    span.set_attr("journal_hits", outcome.journal_hits)
             recorder.counter_add("dd.minimize_runs")
             recorder.counter_add("dd.oracle_calls", self._calls - calls_before)
             recorder.counter_add("dd.cache_hits", self._cache_hits - hits_before)
             recorder.counter_add("dd.cache_misses", self._calls - calls_before)
+            recorder.counter_add(
+                "dd.journal_hits", self._journal_hits - journal_before
+            )
             recorder.counter_add(
                 "dd.components_removed", len(components) - len(outcome.minimal)
             )
@@ -280,6 +385,8 @@ class DeltaDebugger(Generic[T]):
             iterations=iterations,
             trace=list(self._trace),
             cache_misses=self._calls,
+            journal_hits=self._journal_hits,
+            flaky_probes=self._flaky,
         )
         return outcome
 

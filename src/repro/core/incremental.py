@@ -82,9 +82,11 @@ class IncrementalTrim(LambdaTrim):
         super().__init__(config)
         self.log = log
 
-    def run(self, bundle: AppBundle, output_dir: Path | str) -> DebloatReport:
+    def run(
+        self, bundle: AppBundle, output_dir: Path | str, **kwargs
+    ) -> DebloatReport:
         seeds = dict(self.log.kept) if self.log is not None else None
-        report = super().run(bundle, output_dir, seeds=seeds)
+        report = super().run(bundle, output_dir, seeds=seeds, **kwargs)
         return report
 
     def updated_log(self, report: DebloatReport) -> TrimLog:

@@ -29,13 +29,19 @@ import queue
 import shutil
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Generic, Sequence, TypeVar
+from typing import Callable, Generic, Hashable, Mapping, Sequence, TypeVar
 
 from repro.bundle import AppBundle
 from repro.core.ast_transform import rebuild_source
 from repro.core.dd import DDOutcome, split_partitions
 from repro.core.granularity import GRANULARITY_ATTRIBUTE, decompose_module
 from repro.core.debloater import ModuleDebloatResult
+from repro.core.journal import (
+    ProbeJournal,
+    atomic_write_text,
+    candidate_hash,
+    text_sha256,
+)
 from repro.core.oracle import OracleSpec
 from repro.core.subprocess_runner import run_in_subprocess
 from repro.errors import DebloatError, OracleError
@@ -49,19 +55,35 @@ BatchOracleFn = Callable[[list[list[T]]], list[bool]]
 
 
 class BatchDeltaDebugger(Generic[T]):
-    """Algorithm 1 with per-phase batch evaluation."""
+    """Algorithm 1 with per-phase batch evaluation.
+
+    Accepts the same journal plumbing as the sequential
+    :class:`~repro.core.dd.DeltaDebugger`: a ``key_fn`` to key the cache
+    by content hash, journal-sourced ``seed_verdicts`` (always trusted —
+    the quorum adjudication is sequential-only), and an ``on_probe``
+    listener feeding the write-ahead journal.  Journal hits consume the
+    oracle-call budget so a resumed search truncates where the
+    uninterrupted one would.
+    """
 
     def __init__(
         self,
         batch_oracle: BatchOracleFn,
         *,
         max_oracle_calls: int | None = None,
+        key_fn: Callable[[Sequence[T]], Hashable] | None = None,
+        seed_verdicts: Mapping[Hashable, bool] | None = None,
+        on_probe: Callable[[Hashable, bool, int], None] | None = None,
     ):
         self._batch_oracle = batch_oracle
         self._max_calls = max_oracle_calls
-        self._cache: dict[frozenset, bool] = {}
+        self._key_fn = key_fn if key_fn is not None else frozenset
+        self._on_probe = on_probe
+        self._cache: dict[Hashable, bool] = dict(seed_verdicts or {})
+        self._seed_pending: set[Hashable] = set(self._cache)
         self.oracle_calls = 0
         self.cache_hits = 0
+        self.journal_hits = 0
         self.batches = 0
 
     @property
@@ -74,15 +96,21 @@ class BatchDeltaDebugger(Generic[T]):
         """Distinct configurations tested (and remembered) so far."""
         return len(self._cache)
 
-    def _query_batch(self, candidates: list[list[T]]) -> list[bool]:
+    def _query_batch(
+        self, candidates: list[list[T]], granularity: int = 0
+    ) -> list[bool]:
         """Evaluate candidates, consulting the cache; preserves order."""
         fresh: list[list[T]] = []
-        fresh_keys: list[frozenset] = []
-        seen_in_batch: set[frozenset] = set()
+        fresh_keys: list[Hashable] = []
+        seen_in_batch: set[Hashable] = set()
         for candidate in candidates:
-            key = frozenset(candidate)
+            key = self._key_fn(candidate)
             if key in self._cache:
-                self.cache_hits += 1
+                if key in self._seed_pending:
+                    self._seed_pending.discard(key)
+                    self.journal_hits += 1
+                else:
+                    self.cache_hits += 1
             elif key not in seen_in_batch:
                 fresh.append(candidate)
                 fresh_keys.append(key)
@@ -91,7 +119,8 @@ class BatchDeltaDebugger(Generic[T]):
         if fresh:
             if (
                 self._max_calls is not None
-                and self.oracle_calls + len(fresh) > self._max_calls
+                and self.oracle_calls + self.journal_hits + len(fresh)
+                > self._max_calls
             ):
                 raise _BudgetExhausted()
             self.batches += 1
@@ -107,8 +136,10 @@ class BatchDeltaDebugger(Generic[T]):
                 )
             for key, passed in zip(fresh_keys, results):
                 self._cache[key] = bool(passed)
+                if self._on_probe is not None:
+                    self._on_probe(key, bool(passed), granularity)
 
-        return [self._cache[frozenset(c)] for c in candidates]
+        return [self._cache[self._key_fn(c)] for c in candidates]
 
     def minimize(self, components: Sequence[T]) -> DDOutcome[T]:
         recorder = get_recorder()
@@ -124,6 +155,7 @@ class BatchDeltaDebugger(Generic[T]):
             recorder.counter_add("dd.oracle_calls", self.oracle_calls - calls_before)
             recorder.counter_add("dd.cache_hits", self.cache_hits - hits_before)
             recorder.counter_add("dd.cache_misses", self.oracle_calls - calls_before)
+            recorder.counter_add("dd.journal_hits", self.journal_hits)
             recorder.counter_add(
                 "dd.components_removed", len(components) - len(outcome.minimal)
             )
@@ -133,13 +165,13 @@ class BatchDeltaDebugger(Generic[T]):
         candidate = list(components)
         iterations = 0
         try:
-            initial = self._query_batch([candidate])[0]
+            initial = self._query_batch([candidate], 1)[0]
             if not initial:
                 raise ValueError(
                     "oracle rejects the full component set; the baseline "
                     "program does not satisfy the specification"
                 )
-            if candidate and self._query_batch([[]])[0]:
+            if candidate and self._query_batch([[]], len(candidate))[0]:
                 candidate = []
 
             n = 2
@@ -148,7 +180,7 @@ class BatchDeltaDebugger(Generic[T]):
                 n = min(n, len(candidate))
                 partitions = split_partitions(candidate, n)
 
-                verdicts = self._query_batch([list(p) for p in partitions])
+                verdicts = self._query_batch([list(p) for p in partitions], n)
                 winner = next(
                     (i for i, passed in enumerate(verdicts) if passed), None
                 )
@@ -167,7 +199,7 @@ class BatchDeltaDebugger(Generic[T]):
                         ]
                         for i in range(n)
                     ]
-                    verdicts = self._query_batch(complements)
+                    verdicts = self._query_batch(complements, n)
                     winner = next(
                         (i for i, passed in enumerate(verdicts) if passed), None
                     )
@@ -188,6 +220,7 @@ class BatchDeltaDebugger(Generic[T]):
             cache_hits=self.cache_hits,
             iterations=iterations,
             cache_misses=self.oracle_calls,
+            journal_hits=self.journal_hits,
         )
 
 
@@ -217,6 +250,8 @@ class ParallelModuleDebloater:
         workers: int = 4,
         granularity: str = GRANULARITY_ATTRIBUTE,
         max_oracle_calls_per_module: int | None = None,
+        journal: ProbeJournal | None = None,
+        seed: int = 0,
     ):
         if workers < 1:
             raise DebloatError(f"need at least one worker, got {workers}")
@@ -224,6 +259,8 @@ class ParallelModuleDebloater:
         self.workers = workers
         self._granularity = granularity
         self._max_calls = max_oracle_calls_per_module
+        self._journal = journal
+        self._seed = seed
         self.spec = spec if spec is not None else OracleSpec.from_bundle(reference)
 
         self._expected: dict[str, dict] = {}
@@ -248,7 +285,11 @@ class ParallelModuleDebloater:
         return True
 
     def debloat_module(
-        self, dotted: str, protected: set[str] | frozenset[str] = frozenset()
+        self,
+        dotted: str,
+        protected: set[str] | frozenset[str] = frozenset(),
+        *,
+        journal_seeds: Mapping[str, bool] | None = None,
     ) -> ModuleDebloatResult:
         file = self.working.module_file(dotted)
         original_source = file.read_text(encoding="utf-8")
@@ -293,9 +334,25 @@ class ParallelModuleDebloater:
             with ThreadPoolExecutor(max_workers=self.workers) as pool:
                 return list(pool.map(evaluate_one, candidates))
 
+        def component_key(candidate: Sequence) -> str:
+            return candidate_hash(c.key for c in candidate)
+
+        on_probe = None
+        if self._journal is not None:
+            self._journal.module_begin(dotted)
+
+            def on_probe(key, verdict, granularity):
+                self._journal.record_probe(
+                    dotted, key, verdict, granularity=granularity, seed=self._seed
+                )
+
         try:
             debugger = BatchDeltaDebugger(
-                batch_oracle, max_oracle_calls=self._max_calls
+                batch_oracle,
+                max_oracle_calls=self._max_calls,
+                key_fn=component_key,
+                seed_verdicts=journal_seeds,
+                on_probe=on_probe,
             )
             with get_recorder().span(
                 "debloat", label=dotted, workers=self.workers
@@ -309,8 +366,9 @@ class ParallelModuleDebloater:
             shutil.rmtree(clone_root, ignore_errors=True)
 
         final_keep = pinned + list(outcome.minimal)
-        file.write_text(rebuild_source(decomposition, final_keep), encoding="utf-8")
-        return ModuleDebloatResult(
+        final_source = rebuild_source(decomposition, final_keep)
+        atomic_write_text(file, final_source, durable=True)
+        result = ModuleDebloatResult(
             module=dotted,
             file=file,
             attributes_before=decomposition.attribute_count,
@@ -322,6 +380,12 @@ class ParallelModuleDebloater:
             kept=sorted(c.name for c in final_keep),
             oracle_calls=outcome.oracle_calls,
             cache_hits=outcome.cache_hits,
+            journal_hits=outcome.journal_hits,
             dd_iterations=outcome.iterations,
             wall_time_s=time.perf_counter() - wall_before,
         )
+        if self._journal is not None:
+            self._journal.module_commit(
+                dotted, text_sha256(final_source), result.to_dict()
+            )
+        return result

@@ -17,6 +17,7 @@ figures need.
 
 from __future__ import annotations
 
+import shutil
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -26,6 +27,15 @@ from repro.core.callgraph import CallGraph, build_bundle_call_graph, build_call_
 from repro.core.cost_model import ProfileReport, ScoringMethod, rank_modules
 from repro.core.debloater import ModuleDebloater, ModuleDebloatResult
 from repro.core.granularity import GRANULARITY_ATTRIBUTE, GRANULARITY_STATEMENT
+from repro.core.journal import (
+    JOURNAL_VERSION,
+    JournalState,
+    ProbeJournal,
+    default_journal_path,
+    file_sha256,
+    recover_workspace,
+    text_sha256,
+)
 from repro.core.oracle import OracleRunner, OracleSpec
 from repro.core.profiler import profile_bundle
 from repro.core.static_analyzer import analyze_source
@@ -55,12 +65,22 @@ class TrimConfig:
     local_modules: frozenset[str] = frozenset()
     # Section 6.1's design axis: "attribute" (λ-trim) or "statement".
     granularity: str = GRANULARITY_ATTRIBUTE
+    # Flaky-oracle defence: re-check journal-sourced verdicts live and
+    # adjudicate disagreements with a majority vote over ``probe_quorum``
+    # runs.  Off by default — the journal is trusted, which keeps resume
+    # re-probe counts bounded.
+    verify_journal_probes: bool = False
+    probe_quorum: int = 3
 
     def __post_init__(self) -> None:
         if self.k < 0:
             raise DebloatError(f"k must be non-negative, got {self.k}")
         if self.granularity not in (GRANULARITY_ATTRIBUTE, GRANULARITY_STATEMENT):
             raise DebloatError(f"unknown granularity: {self.granularity!r}")
+        if self.probe_quorum < 1:
+            raise DebloatError(
+                f"probe_quorum must be positive, got {self.probe_quorum}"
+            )
 
 
 @dataclass
@@ -77,6 +97,11 @@ class DebloatReport:
     # Post-debloat oracle verdict on the final output bundle; None when the
     # verification stage did not run (e.g. reports built by hand in tests).
     verify_passed: bool | None = None
+    # Write-ahead probe journal backing this run; None for reports built
+    # by hand in tests.
+    journal_path: Path | None = None
+    # True when the run was resumed from an interrupted journal.
+    resumed: bool = False
 
     @property
     def output(self) -> AppBundle:
@@ -94,6 +119,38 @@ class DebloatReport:
     @property
     def attributes_removed(self) -> int:
         return sum(result.removed_count for result in self.module_results)
+
+    @property
+    def journal_hits(self) -> int:
+        """Probes answered from the write-ahead journal instead of live runs."""
+        return sum(result.journal_hits for result in self.module_results)
+
+    @property
+    def flaky_probes(self) -> int:
+        """Live probes that disagreed with a journaled verdict (quorum-voted)."""
+        return sum(result.flaky_probes for result in self.module_results)
+
+    @property
+    def resumed_modules(self) -> int:
+        """Modules reconstructed wholesale from journaled COMMIT records."""
+        return sum(1 for result in self.module_results if result.resumed)
+
+    def telemetry_meta(self) -> dict:
+        """JSON-safe run metadata for ``TelemetrySink.set_meta("debloat", …)``.
+
+        The fleet dashboard renders this as a one-line robustness summary
+        (resume provenance + flaky-probe count) next to the breaker state.
+        """
+        return {
+            "app": self.app,
+            "resumed": self.resumed,
+            "resumed_modules": self.resumed_modules,
+            "journal_hits": self.journal_hits,
+            "flaky_probes": self.flaky_probes,
+            "oracle_calls": self.oracle_calls,
+            "attributes_removed": self.attributes_removed,
+            "verify_passed": self.verify_passed,
+        }
 
     def result_for(self, module: str) -> ModuleDebloatResult | None:
         for result in self.module_results:
@@ -121,6 +178,13 @@ class DebloatReport:
             lines.append(
                 f"  verification: {'passed' if self.verify_passed else 'FAILED'}"
             )
+        if self.resumed:
+            lines.append(
+                f"  resumed: {self.resumed_modules} module(s) from journal, "
+                f"{self.journal_hits} journaled probe(s) replayed"
+            )
+        if self.flaky_probes:
+            lines.append(f"  flaky probes (quorum-voted): {self.flaky_probes}")
         for result in self.module_results:
             lines.append(f"    {result.summary()}")
         return "\n".join(lines)
@@ -175,15 +239,32 @@ class LambdaTrim:
         output_dir: Path | str,
         *,
         seeds: dict[str, list[str]] | None = None,
+        resume: bool = False,
+        journal_path: Path | str | None = None,
+        journal_fsync: bool = True,
     ) -> DebloatReport:
         """Run the full pipeline; the optimized bundle lands in *output_dir*.
 
         ``seeds`` maps module names to the kept attribute sets of a
         previous run (continuous debloating, Section 9); see
         :class:`repro.core.incremental.IncrementalTrim`.
+
+        Every run write-ahead journals its DD probes and per-module
+        commits to ``journal_path`` (default: next to *output_dir*).  With
+        ``resume=True`` a journal left by an interrupted run is replayed:
+        committed modules are adopted wholesale, the workspace is
+        integrity-checked (torn modules rolled back to pristine), and the
+        DD search continues from the journaled probe cache — producing the
+        same output bundle as an uninterrupted run.  ``journal_fsync``
+        trades crash durability for speed (tests / throwaway workspaces).
         """
         wall_start = time.perf_counter()
         output_dir = Path(output_dir)
+        journal_path = (
+            Path(journal_path)
+            if journal_path is not None
+            else default_journal_path(output_dir)
+        )
         recorder = get_recorder()
 
         with recorder.span("pipeline.run", label=bundle.name, k=self.config.k):
@@ -204,7 +285,38 @@ class LambdaTrim:
                     span.set_attr("selected", len(selected))
             recorder.counter_add("pipeline.modules_selected", len(selected))
 
-            working = bundle.clone(output_dir)
+            fingerprint = self._fingerprint(bundle)
+            state: JournalState | None = None
+            if resume:
+                state = self._load_resume_state(
+                    journal_path, fingerprint, selected, output_dir
+                )
+
+            if state is not None:
+                journal = ProbeJournal.open_resume(
+                    journal_path, fsync=journal_fsync
+                )
+                working = AppBundle(output_dir)
+                with recorder.span("recover", label=bundle.name) as span:
+                    recovery = recover_workspace(working, bundle, state)
+                    if span is not None:
+                        span.set_attr("verified", len(recovery.verified))
+                        span.set_attr("rolled_back", len(recovery.rolled_back))
+                        span.set_attr("stale_files", recovery.stale_files_removed)
+                recorder.counter_add(
+                    "pipeline.modules_rolled_back", len(recovery.rolled_back)
+                )
+            else:
+                # Fresh start — also the fallback when a resume request
+                # finds an unusable journal (crash mid-clone, changed plan).
+                if resume and output_dir.exists():
+                    shutil.rmtree(output_dir)
+                journal = ProbeJournal.create(journal_path, fsync=journal_fsync)
+                journal.run_begin(bundle.name, fingerprint)
+                working = bundle.clone(output_dir)
+                journal.workspace_ready()
+                journal.plan(selected)
+
             spec = OracleSpec.from_bundle(bundle)
             runner = OracleRunner(bundle, spec)
             debloater = ModuleDebloater(
@@ -213,39 +325,67 @@ class LambdaTrim:
                 record_trace=self.config.record_trace,
                 max_oracle_calls_per_module=self.config.max_oracle_calls_per_module,
                 granularity=self.config.granularity,
+                journal=journal,
+                seed=self.config.seed,
+                verify_seeds=self.config.verify_journal_probes,
+                quorum=self.config.probe_quorum,
             )
 
-            results: list[ModuleDebloatResult] = []
-            for module in selected:
-                with recorder.span("debloat", label=module) as span:
-                    outcome, graph = self._debloat_one(
-                        working, debloater, graph, module, seeds
-                    )
+            try:
+                results: list[ModuleDebloatResult] = []
+                for module in selected:
+                    commit = state.committed.get(module) if state else None
+                    if commit is not None:
+                        outcome = ModuleDebloatResult.from_dict(commit.result)
+                        outcome.resumed = True
+                        results.append(outcome)
+                        recorder.counter_add("pipeline.modules_resumed")
+                        continue
+                    with recorder.span("debloat", label=module) as span:
+                        outcome, graph = self._debloat_one(
+                            working,
+                            debloater,
+                            graph,
+                            module,
+                            seeds,
+                            journal_seeds=(
+                                state.seeds_for(module) if state else None
+                            ),
+                        )
+                        if span is not None:
+                            span.set_attr("removed", outcome.removed_count)
+                            span.set_attr("oracle_calls", outcome.oracle_calls)
+                            if outcome.journal_hits:
+                                span.set_attr("journal_hits", outcome.journal_hits)
+                            if outcome.skipped:
+                                span.set_attr("skipped", outcome.skipped_reason)
+                    results.append(outcome)
+                recorder.counter_add("pipeline.modules_debloated", len(results))
+                recorder.counter_add(
+                    "pipeline.attributes_removed",
+                    sum(r.removed_count for r in results),
+                )
+
+                # Image size barely changes (only __init__ files shrink);
+                # keep the declared size so unbilled transmission modelling
+                # stays comparable.
+                manifest = working.manifest
+                manifest.external_modules = external
+                working.write_manifest(manifest)
+
+                # Final safety check: the bundle we are about to hand out
+                # must still satisfy the full oracle (DD validated each
+                # module in isolation; this validates their composition).
+                with recorder.span("verify", cases=len(spec)) as span:
+                    verify_passed = runner.check(working).passed
                     if span is not None:
-                        span.set_attr("removed", outcome.removed_count)
-                        span.set_attr("oracle_calls", outcome.oracle_calls)
-                        if outcome.skipped:
-                            span.set_attr("skipped", outcome.skipped_reason)
-                results.append(outcome)
-            recorder.counter_add("pipeline.modules_debloated", len(results))
-            recorder.counter_add(
-                "pipeline.attributes_removed",
-                sum(r.removed_count for r in results),
-            )
+                        span.set_attr("passed", verify_passed)
 
-            # Image size barely changes (only __init__ files shrink); keep the
-            # declared size so unbilled transmission modelling stays comparable.
-            manifest = working.manifest
-            manifest.external_modules = external
-            working.write_manifest(manifest)
-
-            # Final safety check: the bundle we are about to hand out must
-            # still satisfy the full oracle (DD validated each module in
-            # isolation; this validates their composition).
-            with recorder.span("verify", cases=len(spec)) as span:
-                verify_passed = runner.check(working).passed
-                if span is not None:
-                    span.set_attr("passed", verify_passed)
+                journal.run_commit(
+                    self._content_manifest(working, results), verify_passed
+                )
+            finally:
+                journal.close()
 
         return DebloatReport(
             app=bundle.name,
@@ -256,7 +396,71 @@ class LambdaTrim:
             module_results=results,
             wall_time_s=time.perf_counter() - wall_start,
             verify_passed=verify_passed,
+            journal_path=journal_path,
+            resumed=state is not None,
         )
+
+    def _fingerprint(self, bundle: AppBundle) -> dict:
+        """Identity of a run: journal replays only match the same trim.
+
+        The handler source and the config knobs that steer selection and
+        search are enough — a changed bundle or config must not silently
+        adopt another run's probes.
+        """
+        return {
+            "version": JOURNAL_VERSION,
+            "app": bundle.name,
+            "handler_sha256": text_sha256(bundle.handler_source()),
+            "k": self.config.k,
+            "scoring": self.config.scoring.value,
+            "seed": self.config.seed,
+            "use_call_graph": self.config.use_call_graph,
+            "granularity": self.config.granularity,
+            "max_oracle_calls_per_module": self.config.max_oracle_calls_per_module,
+        }
+
+    def _load_resume_state(
+        self,
+        journal_path: Path,
+        fingerprint: dict,
+        selected: list[str],
+        output_dir: Path,
+    ) -> JournalState | None:
+        """Replay the journal if it matches this run; None → fresh start.
+
+        A fingerprint mismatch is an error (the caller asked to resume a
+        *different* trim); an absent/immature journal or a changed module
+        plan silently restarts — there is nothing usable to resume.
+        """
+        if not journal_path.exists():
+            return None
+        state = ProbeJournal.replay(journal_path)
+        if state.fingerprint is not None and state.fingerprint != fingerprint:
+            raise DebloatError(
+                f"cannot resume from {journal_path}: it records a different "
+                "run (bundle or TrimConfig changed); start a fresh trim"
+            )
+        if state.fingerprint is None or not state.workspace_ready:
+            return None  # crashed before the workspace clone finished
+        if not output_dir.exists():
+            return None
+        if state.plan != selected:
+            return None  # ranking changed; journaled probes don't apply
+        return state
+
+    @staticmethod
+    def _content_manifest(
+        working: AppBundle, results: list[ModuleDebloatResult]
+    ) -> dict[str, str]:
+        """module → sha256 of its final file, for every rewritten module."""
+        manifest: dict[str, str] = {}
+        for result in results:
+            if result.skipped:
+                continue
+            manifest[result.module] = file_sha256(
+                working.module_file(result.module)
+            )
+        return manifest
 
     def _debloat_one(
         self,
@@ -265,6 +469,8 @@ class LambdaTrim:
         graph: CallGraph,
         module: str,
         seeds: dict[str, list[str]] | None,
+        *,
+        journal_seeds: dict[str, bool] | None = None,
     ) -> tuple[ModuleDebloatResult, CallGraph]:
         """Debloat one selected module against the current working bundle."""
         # Recompute the whole-program graph against the *current* state
@@ -302,6 +508,7 @@ class LambdaTrim:
                 protected,
                 extra_protected=reexport_protected,
                 seed_keep=seeds.get(module) if seeds else None,
+                journal_seeds=journal_seeds,
             ),
             graph,
         )

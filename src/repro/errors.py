@@ -12,6 +12,7 @@ __all__ = [
     "OracleError",
     "OracleTimeout",
     "DebloatError",
+    "JournalError",
     "AnalysisError",
     "PlatformError",
     "FunctionNotFound",
@@ -43,6 +44,10 @@ class OracleTimeout(OracleError):
 
 class DebloatError(ReproError):
     """Raised when the debloater cannot safely transform a module."""
+
+
+class JournalError(DebloatError):
+    """Raised on an unusable write-ahead probe journal (corrupt or missing)."""
 
 
 class AnalysisError(ReproError):

@@ -1,0 +1,259 @@
+"""Kill-and-resume determinism: SIGKILL at every journal boundary.
+
+The harness runs the λ-trim pipeline in a subprocess driver
+(:mod:`repro.core._resume_driver`) that SIGKILLs itself immediately after
+the N-th journal append, for every N from 1 to the uninterrupted run's
+record count — i.e. at every probe/commit boundary the journal defines.
+After each crash a resumed run must:
+
+* produce a byte-identical output bundle (and equal removed sets);
+* lose zero probes — journal-sourced hits plus live probes add up to the
+  uninterrupted run's probe count;
+* leave no stray temp/backup files.
+"""
+
+from __future__ import annotations
+
+import filecmp
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.core.journal import LEGACY_BACKUP_SUFFIX, TMP_MARKER, ProbeJournal
+from repro.core.pipeline import LambdaTrim, TrimConfig
+from repro.errors import DebloatError
+from repro.workloads.toy import build_toy_torch_app
+
+SRC_ROOT = str(Path(repro.__file__).resolve().parent.parent)
+SENTINEL = "@@LAMBDA_TRIM_RESUME@@"
+
+
+def _driver(args: list[str], *, expect_kill: bool = False) -> dict | None:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_ROOT + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.core._resume_driver", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=120,
+    )
+    if expect_kill:
+        assert proc.returncode == -signal.SIGKILL, proc.stderr
+        return None
+    assert proc.returncode == 0, proc.stderr
+    for line in proc.stdout.splitlines():
+        if line.startswith(SENTINEL):
+            return json.loads(line[len(SENTINEL):])
+    raise AssertionError(f"driver emitted no summary: {proc.stdout!r}")
+
+
+def _assert_bundles_identical(expected: Path, actual: Path) -> None:
+    comparison = filecmp.dircmp(expected, actual)
+    stack = [comparison]
+    while stack:
+        node = stack.pop()
+        assert not node.left_only, f"missing from resume: {node.left_only}"
+        assert not node.right_only, f"extra after resume: {node.right_only}"
+        mismatch = [
+            name
+            for name in node.common_files
+            if Path(node.left, name).read_bytes()
+            != Path(node.right, name).read_bytes()
+        ]
+        assert not mismatch, f"differing files: {mismatch} under {node.right}"
+        stack.extend(node.subdirs.values())
+
+
+def _assert_no_stray_files(root: Path) -> None:
+    strays = [
+        p
+        for pattern in (f"*{LEGACY_BACKUP_SUFFIX}", f"*{TMP_MARKER}*")
+        for p in root.rglob(pattern)
+    ]
+    assert not strays, f"stray artifacts after resume: {strays}"
+
+
+def _assert_zero_lost_probes(baseline: dict, resumed: dict) -> None:
+    """Journal hits + live probes account for every uninterrupted probe."""
+    for module, base in baseline["modules"].items():
+        res = resumed["modules"][module]
+        assert res["removed"] == base["removed"], module
+        total = res["oracle_calls"] + res["journal_hits"]
+        assert total == base["oracle_calls"], (
+            f"{module}: {res['oracle_calls']} live + {res['journal_hits']} "
+            f"journaled != {base['oracle_calls']} uninterrupted"
+        )
+        assert res["cache_hits"] == base["cache_hits"], module
+
+
+@pytest.fixture(scope="module")
+def crash_workspace(tmp_path_factory):
+    """Toy bundle plus one uninterrupted driver run as the baseline."""
+    root = tmp_path_factory.mktemp("crash-resume")
+    bundle = build_toy_torch_app(root / "toy")
+    baseline = _driver(
+        ["run", "--bundle", str(bundle.root), "--output", str(root / "baseline")]
+    )
+    records = len(
+        (root / "baseline.journal.jsonl").read_text().splitlines()
+    )
+    return {
+        "root": root,
+        "bundle": bundle,
+        "baseline": baseline,
+        "baseline_out": root / "baseline",
+        "records": records,
+    }
+
+
+class TestKillAtEveryBoundary:
+    def test_every_crash_point_resumes_byte_identical(self, crash_workspace):
+        ws = crash_workspace
+        root, bundle = ws["root"], ws["bundle"]
+        assert ws["records"] >= 10  # sanity: the plan journals real work
+
+        for boundary in range(1, ws["records"] + 1):
+            out = root / "crash"
+            journal = root / "crash.journal.jsonl"
+            shutil.rmtree(out, ignore_errors=True)
+            journal.unlink(missing_ok=True)
+
+            _driver(
+                [
+                    "run",
+                    "--bundle", str(bundle.root),
+                    "--output", str(out),
+                    "--crash-after", str(boundary),
+                ],
+                expect_kill=True,
+            )
+            assert journal.exists()
+
+            resumed = _driver(
+                [
+                    "run",
+                    "--bundle", str(bundle.root),
+                    "--output", str(out),
+                    "--resume",
+                ]
+            )
+            assert resumed["verify_passed"] is True, f"boundary {boundary}"
+            _assert_bundles_identical(ws["baseline_out"], out)
+            _assert_no_stray_files(out)
+            _assert_zero_lost_probes(ws["baseline"], resumed)
+
+    def test_double_crash_then_resume(self, crash_workspace):
+        """Crashing the *resume* run too must still converge."""
+        ws = crash_workspace
+        root, bundle = ws["root"], ws["bundle"]
+        out = root / "double"
+        mid = ws["records"] // 2
+        _driver(
+            ["run", "--bundle", str(bundle.root), "--output", str(out),
+             "--crash-after", str(mid)],
+            expect_kill=True,
+        )
+        # The resume run is killed a few boundaries further in.
+        _driver(
+            ["run", "--bundle", str(bundle.root), "--output", str(out),
+             "--resume", "--crash-after", "3"],
+            expect_kill=True,
+        )
+        resumed = _driver(
+            ["run", "--bundle", str(bundle.root), "--output", str(out),
+             "--resume"]
+        )
+        assert resumed["verify_passed"] is True
+        _assert_bundles_identical(ws["baseline_out"], out)
+        _assert_no_stray_files(out)
+
+
+class TestResumeSemantics:
+    """In-process resume behaviour (no subprocesses)."""
+
+    def _run(self, bundle, out, **kwargs):
+        config = TrimConfig(max_oracle_calls_per_module=50)
+        return LambdaTrim(config).run(bundle, out, journal_fsync=False, **kwargs)
+
+    def test_fresh_run_journals_and_commits(self, toy_app, tmp_path):
+        report = self._run(toy_app, tmp_path / "out")
+        assert report.journal_path == tmp_path / "out.journal.jsonl"
+        state = ProbeJournal.replay(report.journal_path)
+        assert state.run_committed
+        assert state.verify_passed is True
+        assert set(state.committed) == {
+            r.module for r in report.module_results if not r.skipped
+        }
+
+    def test_resume_without_journal_is_a_fresh_run(self, toy_app, tmp_path):
+        report = self._run(toy_app, tmp_path / "out", resume=True)
+        assert not report.resumed
+        assert report.verify_passed is True
+
+    def test_resume_of_a_completed_run_adopts_every_module(
+        self, toy_app, tmp_path
+    ):
+        first = self._run(toy_app, tmp_path / "out")
+        before = {
+            f: (tmp_path / "out" / f).read_bytes()
+            for f in ("handler.py",)
+        }
+        second = self._run(toy_app, tmp_path / "out", resume=True)
+        assert second.resumed
+        assert second.resumed_modules == len(
+            [r for r in first.module_results if not r.skipped]
+        )
+        assert second.oracle_calls == first.oracle_calls  # adopted, not re-run
+        for name, content in before.items():
+            assert (tmp_path / "out" / name).read_bytes() == content
+
+    def test_resume_with_changed_config_raises(self, toy_app, tmp_path):
+        self._run(toy_app, tmp_path / "out")
+        other = LambdaTrim(TrimConfig(k=1, max_oracle_calls_per_module=50))
+        with pytest.raises(DebloatError):
+            other.run(toy_app, tmp_path / "out", resume=True, journal_fsync=False)
+
+    def test_resume_before_workspace_ready_restarts(self, toy_app, tmp_path):
+        """A crash mid-clone (no workspace_ready record) → fresh start."""
+        out = tmp_path / "out"
+        journal_path = tmp_path / "out.journal.jsonl"
+        config = TrimConfig(max_oracle_calls_per_module=50)
+        fingerprint = LambdaTrim(config)._fingerprint(toy_app)
+        with ProbeJournal.create(journal_path, fsync=False) as journal:
+            journal.run_begin(toy_app.name, fingerprint)
+        (out / "half-clone").mkdir(parents=True)  # partial clone debris
+        report = LambdaTrim(config).run(
+            toy_app, out, resume=True, journal_fsync=False
+        )
+        assert not report.resumed
+        assert report.verify_passed is True
+        assert not (out / "half-clone").exists()
+
+    def test_resumed_modules_marked_in_summary(self, toy_app, tmp_path):
+        self._run(toy_app, tmp_path / "out")
+        report = self._run(toy_app, tmp_path / "out", resume=True)
+        text = report.summary()
+        assert "resumed" in text
+        assert "(resumed from journal)" in text
+
+    def test_workspace_resume_flag(self, tmp_path):
+        from repro.analysis.workspace import Workspace
+
+        ws = Workspace(
+            tmp_path / "ws",
+            config=TrimConfig(k=3, max_oracle_calls_per_module=50),
+        )
+        first = ws.trim("markdown")
+        ws._reports.clear()  # new session against the same workspace tree
+        resumed = ws.trim("markdown", resume=True)
+        assert resumed.resumed
+        assert resumed.journal_path == first.journal_path
+        assert resumed.oracle_calls == first.oracle_calls  # all adopted

@@ -202,3 +202,158 @@ class TestHangingCandidates:
 
         with pytest.raises(RuntimeError):
             ddmin_keep([1, 2, 3], oracle)
+
+
+class TestJournalSeededSearch:
+    """Replaying journaled verdicts into the DD cache (kill-and-resume)."""
+
+    NEEDED = {"tensor", "add"}
+    COMPONENTS = ["tensor", "add", "view", "SGD", "MSELoss"]
+
+    def _oracle(self, cand):
+        return self.NEEDED.issubset(set(cand))
+
+    def _key(self, cand):
+        return frozenset(cand)
+
+    def test_seeded_probes_are_journal_hits_not_oracle_calls(self):
+        journal: dict[frozenset, bool] = {}
+        fresh = DeltaDebugger(
+            self._oracle,
+            on_probe=lambda key, verdict, g: journal.update({key: verdict}),
+        )
+        baseline = fresh.minimize(self.COMPONENTS)
+
+        resumed = DeltaDebugger(self._oracle, seed_verdicts=journal)
+        outcome = resumed.minimize(self.COMPONENTS)
+        assert outcome.minimal == baseline.minimal
+        assert outcome.oracle_calls == 0
+        assert outcome.journal_hits == baseline.oracle_calls
+        assert outcome.cache_hits == baseline.cache_hits
+
+    def test_journal_hits_consume_the_oracle_budget(self):
+        """Budget truncation must land at the same point as the fresh run,
+        or a resumed bounded search would diverge from the original."""
+        journal: dict[frozenset, bool] = {}
+        bounded = DeltaDebugger(
+            self._oracle,
+            max_oracle_calls=4,
+            on_probe=lambda key, verdict, g: journal.update({key: verdict}),
+        )
+        baseline = bounded.minimize(self.COMPONENTS)
+        assert baseline.oracle_calls == 4  # budget exhausted
+
+        resumed = DeltaDebugger(
+            self._oracle, max_oracle_calls=4, seed_verdicts=journal
+        )
+        outcome = resumed.minimize(self.COMPONENTS)
+        assert outcome.minimal == baseline.minimal
+        assert outcome.oracle_calls + outcome.journal_hits == 4
+
+    def test_custom_key_fn_matches_across_instances(self):
+        from repro.core.journal import candidate_hash
+
+        journal: dict[str, bool] = {}
+        first = DeltaDebugger(
+            self._oracle,
+            key_fn=candidate_hash,
+            on_probe=lambda key, verdict, g: journal.update({key: verdict}),
+        )
+        baseline = first.minimize(self.COMPONENTS)
+        second = DeltaDebugger(
+            self._oracle, key_fn=candidate_hash, seed_verdicts=journal
+        )
+        outcome = second.minimize(self.COMPONENTS)
+        assert outcome.minimal == baseline.minimal
+        assert outcome.oracle_calls == 0
+
+    def test_on_probe_sees_only_live_probes(self):
+        live: list[frozenset] = []
+        journal: dict[frozenset, bool] = {}
+        DeltaDebugger(
+            self._oracle,
+            on_probe=lambda key, verdict, g: (
+                live.append(key), journal.update({key: verdict})
+            ),
+        ).minimize(self.COMPONENTS)
+        replayed: list[frozenset] = []
+        DeltaDebugger(
+            self._oracle,
+            seed_verdicts=journal,
+            on_probe=lambda key, verdict, g: replayed.append(key),
+        ).minimize(self.COMPONENTS)
+        assert replayed == []  # everything came from the journal
+
+
+class TestFlakyQuorum:
+    """verify_seeds mode: journaled verdicts are re-checked live and
+    disagreements settled by majority vote (flaky-oracle defence)."""
+
+    def test_agreement_is_silent(self):
+        needed = {"a"}
+        journal: dict[frozenset, bool] = {}
+        DeltaDebugger(
+            lambda c: needed.issubset(set(c)),
+            on_probe=lambda key, verdict, g: journal.update({key: verdict}),
+        ).minimize(["a", "b", "c"])
+        verifier = DeltaDebugger(
+            lambda c: needed.issubset(set(c)),
+            seed_verdicts=journal,
+            verify_seeds=True,
+        )
+        outcome = verifier.minimize(["a", "b", "c"])
+        assert outcome.flaky_probes == 0
+        assert outcome.journal_hits == 0  # verified live, not served
+
+    def test_disagreement_triggers_majority_vote(self):
+        """A stale journaled False for a now-passing candidate is outvoted
+        by quorum live re-runs."""
+        key = frozenset(["a"])
+        seeds = {key: False}  # journal says {a} fails
+        calls: list[tuple] = []
+
+        def oracle(cand):
+            calls.append(tuple(cand))
+            return "a" in cand  # live truth: {a} passes
+
+        debugger = DeltaDebugger(
+            oracle, seed_verdicts=seeds, verify_seeds=True, quorum=3
+        )
+        outcome = debugger.minimize(["a", "b"])
+        assert outcome.minimal == ["a"]
+        assert outcome.flaky_probes == 1
+        # quorum = first live run + (quorum - 1) re-runs of the candidate
+        assert calls.count(("a",)) == 3
+
+    def test_flaky_counter_emitted(self):
+        from repro.obs import InMemoryRecorder, use_recorder
+
+        seeds = {frozenset(["a"]): False}
+        recorder = InMemoryRecorder()
+        with use_recorder(recorder):
+            DeltaDebugger(
+                lambda c: "a" in c, seed_verdicts=seeds, verify_seeds=True
+            ).minimize(["a", "b"])
+        assert recorder.metrics().get("dd.flaky_probes") == 1
+
+    def test_tie_votes_resolve_conservatively_to_false(self):
+        """A tied vote keeps the components (candidate treated as failing)."""
+        # Live runs of {a}: True (first probe), then False, True (re-runs).
+        flip = iter([True, False, True])
+
+        def oracle(cand):
+            if tuple(cand) == ("a",):
+                return next(flip, True)
+            return "a" in cand
+
+        debugger = DeltaDebugger(
+            oracle,
+            seed_verdicts={frozenset(["a"]): False},
+            verify_seeds=True,
+            quorum=3,
+        )
+        outcome = debugger.minimize(["a", "b"])
+        # votes for {a}: live True + seed False + re-runs False, True
+        # -> 2:2 tie -> False: {a} reads as failing, so "b" is kept too.
+        assert outcome.flaky_probes == 1
+        assert outcome.minimal == ["a", "b"]

@@ -125,3 +125,104 @@ class TestRestoreModule:
 
     def test_restore_without_backup_is_noop(self, working):
         assert not restore_module(working.module_file("torch"))
+
+
+class TestAtomicRewrites:
+    """The .bak scheme is gone: rewrites are atomic, commits durable."""
+
+    def test_no_backup_files_during_probes(self, working, runner):
+        """No probe ever materialises a .lambdatrim.orig backup."""
+        file = working.module_file("torch")
+        seen: list[str] = []
+
+        original_check = runner.check
+
+        def watching_check(bundle):
+            seen.extend(
+                p.name
+                for p in file.parent.iterdir()
+                if ".lambdatrim" in p.name
+            )
+            return original_check(bundle)
+
+        runner.check = watching_check
+        ModuleDebloater(working, runner).debloat_module("torch")
+        assert seen == []
+
+    def test_no_stray_files_after_failure(self, working, runner, monkeypatch):
+        calls = 0
+
+        def exploding_check(bundle):
+            nonlocal calls
+            calls += 1
+            if calls > 2:
+                raise RuntimeError("infrastructure failure")
+            return runner.__class__.check(runner, bundle)
+
+        monkeypatch.setattr(runner, "check", exploding_check)
+        with pytest.raises(RuntimeError):
+            ModuleDebloater(working, runner).debloat_module("torch")
+        strays = [
+            p for p in working.root.rglob("*") if ".lambdatrim" in p.name
+        ]
+        assert strays == []
+
+    def test_restore_module_shim_handles_legacy_backups(self, working):
+        """Old interrupted runs left .bak files; the shim still honours them."""
+        file = working.module_file("torch")
+        original = file.read_text()
+        backup_path(file).write_text(original)
+        file.write_text("half-rewritten garbage")
+        assert restore_module(file)
+        assert file.read_text() == original
+
+    def test_result_round_trips_through_journal_dict(self, working, runner):
+        from repro.core.debloater import ModuleDebloatResult
+
+        result = ModuleDebloater(working, runner).debloat_module("torch")
+        clone = ModuleDebloatResult.from_dict(result.to_dict())
+        assert clone.module == result.module
+        assert clone.removed == result.removed
+        assert clone.kept == result.kept
+        assert clone.oracle_calls == result.oracle_calls
+        assert clone.debloat_time_s == result.debloat_time_s
+        assert not clone.resumed  # resumed is stamped by the pipeline
+
+
+class TestJournaledDebloat:
+    def test_probes_and_commit_are_journaled(self, working, runner, tmp_path):
+        from repro.core.journal import ProbeJournal, file_sha256
+
+        path = tmp_path / "j.jsonl"
+        with ProbeJournal.create(path, fsync=False) as journal:
+            journal.run_begin("toy-torch", {})
+            debloater = ModuleDebloater(working, runner, journal=journal)
+            result = debloater.debloat_module("torch")
+        state = ProbeJournal.replay(path)
+        assert len(state.seeds_for("torch")) == result.oracle_calls
+        commit = state.committed["torch"]
+        assert commit.file_sha256 == file_sha256(working.module_file("torch"))
+
+    def test_journal_seeds_replay_without_oracle_calls(
+        self, toy_app, working, runner, tmp_path
+    ):
+        from repro.core.journal import ProbeJournal
+
+        path = tmp_path / "j.jsonl"
+        with ProbeJournal.create(path, fsync=False) as journal:
+            journal.run_begin("toy-torch", {})
+            first = ModuleDebloater(
+                working, runner, journal=journal
+            ).debloat_module("torch")
+        state = ProbeJournal.replay(path)
+
+        fresh = toy_app.clone(toy_app.root.parent / "fresh-working")
+        second = ModuleDebloater(fresh, runner).debloat_module(
+            "torch", journal_seeds=state.seeds_for("torch")
+        )
+        assert second.removed == first.removed
+        assert second.oracle_calls == 0
+        assert second.journal_hits == first.oracle_calls
+        assert fresh.module_file("torch").read_text() == working.module_file(
+            "torch"
+        ).read_text()

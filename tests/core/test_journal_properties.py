@@ -1,0 +1,193 @@
+"""Property tests for journal replay (idempotence, order-insensitivity,
+torn-tail tolerance) and for replaying journaled verdicts into the DD cache.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dd import DeltaDebugger
+from repro.core.journal import ProbeJournal, candidate_hash
+
+# A probe record as (module, candidate-hash, verdict).
+probe_records = st.tuples(
+    st.sampled_from(["alpha", "beta", "gamma"]),
+    st.text(alphabet="abcdef0123456789", min_size=4, max_size=8),
+    st.booleans(),
+)
+
+
+def _write_journal(path, probes):
+    with ProbeJournal.create(path, fsync=False) as journal:
+        journal.run_begin("app", {"k": 1})
+        journal.workspace_ready()
+        for module, candidate, verdict in probes:
+            journal.record_probe(
+                module, candidate, verdict, granularity=1, seed=0
+            )
+    return path
+
+
+class TestReplayProperties:
+    @given(probes=st.lists(probe_records, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_replay_is_idempotent(self, probes, tmp_path_factory):
+        """Replaying the same journal twice yields identical state."""
+        path = _write_journal(
+            tmp_path_factory.mktemp("journal") / "j.jsonl", probes
+        )
+        first = ProbeJournal.replay(path)
+        second = ProbeJournal.replay(path)
+        assert first.probes == second.probes
+        assert first.conflicts == second.conflicts
+        assert first.records == second.records
+
+    @given(probes=st.lists(probe_records, max_size=30), rng=st.randoms())
+    @settings(max_examples=50, deadline=None)
+    def test_probe_replay_is_order_insensitive(
+        self, probes, rng, tmp_path_factory
+    ):
+        """The reconstructed DD cache ignores probe record order."""
+        root = tmp_path_factory.mktemp("journal")
+        ordered = ProbeJournal.replay(_write_journal(root / "a.jsonl", probes))
+        shuffled_probes = list(probes)
+        rng.shuffle(shuffled_probes)
+        shuffled = ProbeJournal.replay(
+            _write_journal(root / "b.jsonl", shuffled_probes)
+        )
+        assert ordered.probes == shuffled.probes
+        assert ordered.conflicts == shuffled.conflicts
+
+    @given(probes=st.lists(probe_records, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_duplicate_records_do_not_change_the_cache(
+        self, probes, tmp_path_factory
+    ):
+        """Appending the same records again is a no-op for the cache."""
+        root = tmp_path_factory.mktemp("journal")
+        once = ProbeJournal.replay(_write_journal(root / "a.jsonl", probes))
+        twice = ProbeJournal.replay(
+            _write_journal(root / "b.jsonl", probes + probes)
+        )
+        assert once.probes == twice.probes
+        assert once.conflicts == twice.conflicts
+
+    @given(probes=st.lists(probe_records, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_unanimous_verdicts_land_conflicts_are_excluded(
+        self, probes, tmp_path_factory
+    ):
+        path = _write_journal(
+            tmp_path_factory.mktemp("journal") / "j.jsonl", probes
+        )
+        state = ProbeJournal.replay(path)
+        verdicts: dict[tuple[str, str], set[bool]] = {}
+        for module, candidate, verdict in probes:
+            verdicts.setdefault((module, candidate), set()).add(verdict)
+        for (module, candidate), seen in verdicts.items():
+            if len(seen) == 1:
+                assert state.probes[module][candidate] == next(iter(seen))
+                assert candidate not in state.conflicts.get(module, set())
+            else:
+                assert candidate not in state.probes.get(module, {})
+                assert candidate in state.conflicts[module]
+
+    @given(
+        probes=st.lists(probe_records, max_size=20),
+        cut=st.integers(min_value=1, max_value=60),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_truncated_tail_never_crashes_replay(
+        self, probes, cut, tmp_path_factory
+    ):
+        """Any byte-level truncation of the file is survivable: at worst
+        the final (torn) record is dropped."""
+        root = tmp_path_factory.mktemp("journal")
+        path = _write_journal(root / "j.jsonl", probes)
+        raw = path.read_bytes()
+        truncated = root / "torn.jsonl"
+        truncated.write_bytes(raw[: max(0, len(raw) - cut)])
+        if not truncated.read_bytes():
+            return  # fully truncated journals are "not found" territory
+        state = ProbeJournal.replay(truncated)
+        # The surviving records are a prefix of the full run's records.
+        full = ProbeJournal.replay(path)
+        assert state.records <= full.records
+        for module, cache in state.probes.items():
+            for candidate, verdict in cache.items():
+                # A verdict in the prefix either survives into the full
+                # replay, or a conflicting record past the cut poisoned
+                # its hash (moved to ``conflicts`` for live re-probing).
+                if candidate in full.conflicts.get(module, set()):
+                    continue
+                assert full.probes[module][candidate] == verdict
+
+    @given(probes=st.lists(probe_records, min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_torn_garbage_tail_is_flagged(self, probes, tmp_path_factory):
+        root = tmp_path_factory.mktemp("journal")
+        path = _write_journal(root / "j.jsonl", probes)
+        with open(path, "ab") as handle:
+            handle.write(b'{"type":"probe","mod')  # mid-append SIGKILL
+        state = ProbeJournal.replay(path)
+        assert state.torn_tail
+        assert state.records == len(probes) + 2  # run_begin + workspace_ready
+
+
+class TestSeededDeltaDebugger:
+    @given(
+        needed=st.sets(
+            st.sampled_from(list("abcdefgh")), min_size=1, max_size=8
+        ).map(sorted),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_seeded_search_matches_fresh_search(self, needed, data):
+        """Seeding a DD run with any prefix of its own probe history does
+        not change the minimization result, and every seeded probe is
+        answered from the journal instead of the oracle."""
+        components = list("abcdefgh")
+        needed_set = set(needed)
+
+        def oracle(candidate):
+            return needed_set.issubset(set(candidate))
+
+        def key_fn(candidate):
+            return candidate_hash(candidate)
+
+        journal: list[tuple[str, bool]] = []
+        fresh = DeltaDebugger(
+            oracle,
+            key_fn=key_fn,
+            on_probe=lambda key, verdict, granularity: journal.append(
+                (key, verdict)
+            ),
+        ).minimize(components)
+
+        prefix = data.draw(
+            st.integers(min_value=0, max_value=len(journal)), label="prefix"
+        )
+        seeds = dict(journal[:prefix])
+        resumed = DeltaDebugger(oracle, key_fn=key_fn, seed_verdicts=seeds)
+        outcome = resumed.minimize(components)
+
+        assert outcome.minimal == fresh.minimal
+        # Zero lost probes: live + journal-sourced == uninterrupted total.
+        assert outcome.oracle_calls + outcome.journal_hits == fresh.oracle_calls
+        assert outcome.journal_hits == len(seeds)
+        assert outcome.cache_hits == fresh.cache_hits
+
+
+class TestJournalLineFormat:
+    @given(probes=st.lists(probe_records, max_size=10))
+    @settings(max_examples=30, deadline=None)
+    def test_every_line_is_standalone_json(self, probes, tmp_path_factory):
+        path = _write_journal(
+            tmp_path_factory.mktemp("journal") / "j.jsonl", probes
+        )
+        for line in path.read_text().splitlines():
+            record = json.loads(line)
+            assert "type" in record

@@ -105,3 +105,92 @@ class TestParallelModuleDebloater:
         debloater.debloat_module("torch.optim")
         leftovers = list(working.root.parent.glob(".parallel-*"))
         assert leftovers == []
+
+
+class TestBatchJournalSeeds:
+    def test_seeded_batch_search_matches_fresh(self):
+        from repro.core.journal import candidate_hash
+
+        needed = {2, 7, 13}
+        oracle = lambda cand: needed.issubset(set(cand))
+
+        def key_fn(cand):
+            return candidate_hash(str(c) for c in cand)
+
+        journal: dict[str, bool] = {}
+        fresh = BatchDeltaDebugger(
+            _batchify(oracle),
+            key_fn=key_fn,
+            on_probe=lambda key, verdict, g: journal.update({key: verdict}),
+        ).minimize(list(range(16)))
+
+        resumed = BatchDeltaDebugger(
+            _batchify(oracle), key_fn=key_fn, seed_verdicts=journal
+        )
+        outcome = resumed.minimize(list(range(16)))
+        assert outcome.minimal == fresh.minimal
+        assert outcome.oracle_calls == 0
+        assert outcome.journal_hits == fresh.oracle_calls
+
+    def test_journal_hits_consume_batch_budget(self):
+        needed = {1, 5}
+        oracle = lambda cand: needed.issubset(set(cand))
+        journal: dict[frozenset, bool] = {}
+        bounded = BatchDeltaDebugger(
+            _batchify(oracle),
+            max_oracle_calls=6,
+            on_probe=lambda key, verdict, g: journal.update({key: verdict}),
+        )
+        baseline = bounded.minimize(list(range(12)))
+        resumed = BatchDeltaDebugger(
+            _batchify(oracle), max_oracle_calls=6, seed_verdicts=journal
+        )
+        outcome = resumed.minimize(list(range(12)))
+        assert outcome.minimal == baseline.minimal
+        assert outcome.oracle_calls + outcome.journal_hits <= 6
+
+
+class TestParallelJournaling:
+    @pytest.fixture()
+    def working(self, toy_app_session, tmp_path):
+        return toy_app_session.clone(tmp_path / "working")
+
+    def test_parallel_debloat_writes_journal(
+        self, toy_app_session, working, tmp_path
+    ):
+        from repro.core.journal import ProbeJournal
+
+        path = tmp_path / "parallel.journal.jsonl"
+        with ProbeJournal.create(path, fsync=False) as journal:
+            journal.run_begin(toy_app_session.name, {})
+            debloater = ParallelModuleDebloater(
+                working, toy_app_session, workers=2, journal=journal
+            )
+            result = debloater.debloat_module("torch")
+        state = ProbeJournal.replay(path)
+        assert "torch" in state.committed
+        assert state.committed["torch"].result["removed"] == sorted(
+            result.removed
+        )
+        assert len(state.seeds_for("torch")) == result.oracle_calls
+
+    def test_parallel_resume_from_journal_seeds(
+        self, toy_app_session, working, tmp_path
+    ):
+        from repro.core.journal import ProbeJournal
+
+        path = tmp_path / "parallel.journal.jsonl"
+        with ProbeJournal.create(path, fsync=False) as journal:
+            journal.run_begin(toy_app_session.name, {})
+            first = ParallelModuleDebloater(
+                working, toy_app_session, workers=2, journal=journal
+            ).debloat_module("torch")
+        state = ProbeJournal.replay(path)
+
+        fresh_working = toy_app_session.clone(tmp_path / "resumed-working")
+        second = ParallelModuleDebloater(
+            fresh_working, toy_app_session, workers=2
+        ).debloat_module("torch", journal_seeds=state.seeds_for("torch"))
+        assert second.removed == first.removed
+        assert second.oracle_calls == 0
+        assert second.journal_hits == first.oracle_calls

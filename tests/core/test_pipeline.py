@@ -133,3 +133,38 @@ class TestGranularityMode:
     def test_invalid_granularity_rejected(self):
         with pytest.raises(DebloatError):
             TrimConfig(granularity="token")
+
+
+class TestDebloatTelemetryMeta:
+    def test_meta_is_json_safe_and_complete(self, toy_app, tmp_path):
+        import json
+
+        report = LambdaTrim().run(toy_app, tmp_path / "out", journal_fsync=False)
+        meta = report.telemetry_meta()
+        json.dumps(meta)  # must be export-safe
+        assert meta["app"] == "toy-torch"
+        assert meta["verify_passed"] is True
+        assert meta["flaky_probes"] == 0
+        assert meta["resumed"] is False
+
+    def test_dashboard_renders_debloat_line(self, toy_app, tmp_path):
+        from repro.analysis.dashboard import _render_debloat
+        from repro.platform.telemetry import FleetReport
+
+        first = LambdaTrim().run(toy_app, tmp_path / "out", journal_fsync=False)
+        resumed = LambdaTrim().run(
+            toy_app, tmp_path / "out", resume=True, journal_fsync=False
+        )
+        fleet = FleetReport(
+            window_s=60.0, meta={"debloat": resumed.telemetry_meta()}
+        )
+        line = _render_debloat(fleet)
+        assert "flaky probe" in line
+        assert "resumed" in line
+        assert str(first.attributes_removed) in line
+
+    def test_dashboard_without_meta_renders_nothing(self):
+        from repro.analysis.dashboard import _render_debloat
+        from repro.platform.telemetry import FleetReport
+
+        assert _render_debloat(FleetReport(window_s=60.0)) == ""

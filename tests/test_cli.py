@@ -143,3 +143,55 @@ class TestObservabilityCommands:
         bad.write_text("{}", encoding="utf-8")
         assert main(["dashboard", str(bad)]) == 2
         assert "not a telemetry export" in capsys.readouterr().err
+
+
+class TestResumeFlag:
+    def test_trim_writes_journal_by_default(self, toy_app, tmp_path, capsys):
+        out = tmp_path / "trimmed"
+        assert main(["trim", str(toy_app.root), "-o", str(out)]) == 0
+        assert (tmp_path / "trimmed.journal.jsonl").exists()
+
+    def test_trim_resume_reports_adopted_modules(self, toy_app, tmp_path, capsys):
+        out = tmp_path / "trimmed"
+        assert main(["trim", str(toy_app.root), "-o", str(out)]) == 0
+        capsys.readouterr()
+        code = main(["trim", str(toy_app.root), "-o", str(out), "--resume"])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "resumed from journal" in stdout
+        assert "module(s) adopted" in stdout
+
+    def test_trim_custom_journal_path(self, toy_app, tmp_path, capsys):
+        out = tmp_path / "trimmed"
+        journal = tmp_path / "elsewhere" / "probes.jsonl"
+        code = main(
+            ["trim", str(toy_app.root), "-o", str(out),
+             "--journal", str(journal)]
+        )
+        assert code == 0
+        assert journal.exists()
+        capsys.readouterr()
+        code = main(
+            ["trim", str(toy_app.root), "-o", str(out),
+             "--journal", str(journal), "--resume"]
+        )
+        assert code == 0
+        assert "resumed from journal" in capsys.readouterr().out
+
+    def test_trim_resume_with_changed_config_errors(
+        self, toy_app, tmp_path, capsys
+    ):
+        out = tmp_path / "trimmed"
+        assert main(["trim", str(toy_app.root), "-o", str(out)]) == 0
+        code = main(
+            ["trim", str(toy_app.root), "-o", str(out), "--resume", "--k", "1"]
+        )
+        assert code == 2
+        assert "different" in capsys.readouterr().err
+
+    def test_trim_verify_probes_flag_accepted(self, toy_app, tmp_path, capsys):
+        out = tmp_path / "trimmed"
+        code = main(
+            ["trim", str(toy_app.root), "-o", str(out), "--verify-probes"]
+        )
+        assert code == 0
