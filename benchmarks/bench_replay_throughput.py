@@ -1,0 +1,132 @@
+"""Fleet replay throughput: the sharded engine vs. its serial baseline.
+
+CI's benchmark-smoke job replays one fixed Azure-style fleet twice —
+inline (``workers=1``) and on a process pool — and gates on the engine's
+core promise: the telemetry export, merged record log, ledger, and
+per-function stats must be **byte-identical** at any worker count.  The
+measured rates land in ``benchmarks/results/BENCH_replay.json``
+(invocations/sec and peak RSS, self + pool children), uploaded as a CI
+artifact so throughput is tracked run over run.
+
+``REPRO_BENCH_INVOCATIONS`` scales the trace; the default is smoke-sized.
+Set it to ``1000000`` to reproduce the paper-scale run — at that size the
+speedup assertion below also arms (smoke-scale runs are dominated by pool
+start-up, so asserting a speedup there would only test the noise).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import resource
+from pathlib import Path
+
+from repro.platform import replay_fleet
+from repro.traces import FleetTrace
+from repro.workloads.toy import build_toy_torch_app
+
+RESULTS_DIR = Path(__file__).parent / "results"
+EVENT = {"x": [1.0, 2.0], "y": [3.0, 4.0]}
+
+INVOCATIONS = int(os.environ.get("REPRO_BENCH_INVOCATIONS", "2500"))
+#: Below this size the pool's start-up cost swamps the replay itself.
+SPEEDUP_GATE_INVOCATIONS = 50_000
+
+
+def _peak_rss_mb() -> dict[str, float]:
+    """Linux ``ru_maxrss`` is kilobytes; children covers the worker pool."""
+    return {
+        "self": round(
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024, 1
+        ),
+        "children": round(
+            resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss / 1024, 1
+        ),
+    }
+
+
+def test_replay_throughput(benchmark, tmp_path_factory, artifact_sink):
+    root = tmp_path_factory.mktemp("fleet-bench")
+    bundle = build_toy_torch_app(root / "toy")
+    trace = FleetTrace.generate_invocations(
+        INVOCATIONS,
+        seed=2025,
+        max_per_function=max(INVOCATIONS // 8, 500),
+    )
+    cpus = os.cpu_count() or 1
+    pool_workers = min(8, max(2, cpus))
+
+    def run(workers: int, tag: str):
+        return replay_fleet(
+            bundle,
+            trace,
+            EVENT,
+            workers=workers,
+            log_dir=root / f"logs-{tag}",
+            merged_log=root / f"merged-{tag}.jsonl",
+            spill_threshold=4096,
+        )
+
+    serial = benchmark.pedantic(
+        lambda: run(1, "serial"), rounds=1, iterations=1
+    )
+    parallel = run(pool_workers, "parallel")
+
+    # The determinism gate: worker count must be unobservable.
+    assert serial.arrivals == trace.invocations
+    assert json.dumps(serial.report.to_dict(), sort_keys=True) == json.dumps(
+        parallel.report.to_dict(), sort_keys=True
+    )
+    assert (
+        (root / "merged-serial.jsonl").read_bytes()
+        == (root / "merged-parallel.jsonl").read_bytes()
+    )
+    assert serial.ledger.total == parallel.ledger.total
+    assert serial.stats == parallel.stats
+
+    speedup = (
+        parallel.throughput / serial.throughput if serial.throughput else 0.0
+    )
+    if cpus >= 2 and trace.invocations >= SPEEDUP_GATE_INVOCATIONS:
+        assert speedup > 1.0, (
+            f"sharding slowed a {trace.invocations}-invocation replay "
+            f"down on {cpus} CPUs: {speedup:.2f}x"
+        )
+
+    payload = {
+        "functions": len(trace),
+        "invocations": trace.invocations,
+        "cpus": cpus,
+        "serial": {
+            "workers": 1,
+            "wall_s": round(serial.wall_s, 3),
+            "invocations_per_s": round(serial.throughput, 1),
+        },
+        "parallel": {
+            "workers": pool_workers,
+            "wall_s": round(parallel.wall_s, 3),
+            "invocations_per_s": round(parallel.throughput, 1),
+        },
+        "speedup": round(speedup, 2),
+        "peak_rss_mb": _peak_rss_mb(),
+        "deterministic": True,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_replay.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+    rss = payload["peak_rss_mb"]
+    artifact_sink(
+        "replay_throughput",
+        "\n".join([
+            f"fleet: {len(trace)} functions, {trace.invocations} invocations "
+            f"({cpus} CPU(s))",
+            f"serial   (1 worker):  {serial.wall_s:8.2f}s  "
+            f"{serial.throughput:10,.0f} inv/s",
+            f"parallel ({pool_workers} workers): {parallel.wall_s:8.2f}s  "
+            f"{parallel.throughput:10,.0f} inv/s",
+            f"speedup: {speedup:.2f}x   peak RSS: {rss['self']}MB self, "
+            f"{rss['children']}MB children",
+        ]),
+    )

@@ -11,6 +11,7 @@ Commands
 ``fuzz``      differential-fuzz an optimized bundle; optionally extend
               the oracle with the findings (Section 5.4)
 ``tune``      recommend a memory configuration (AWS-power-tuning-style)
+``replay``    replay a multi-function fleet trace on the sharded engine
 ``trace``     run the pipeline under a recorder and print the span tree
 ``metrics``   render counters/gauges from a JSON-lines telemetry export
 ``dashboard`` render a fleet-telemetry export (optionally vs. a baseline)
@@ -149,11 +150,60 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--json", action="store_true",
                          help="emit a single JSON object instead of a table")
 
+    replay = commands.add_parser(
+        "replay", help="replay a multi-function fleet trace (sharded engine)"
+    )
+    replay.add_argument("bundle", type=Path, help="application bundle directory")
+    replay.add_argument("--trace", type=Path, default=None,
+                        help="fleet trace JSONL from FleetTrace.save() "
+                             "(default: generate an Azure-style fleet)")
+    replay.add_argument("--functions", type=int, default=None,
+                        help="generate a fleet with this many functions")
+    replay.add_argument("--invocations", type=int, default=None,
+                        help="generate a fleet totalling at least this many "
+                             "invocations")
+    replay.add_argument("--max-per-function", type=int, default=None,
+                        help="drop generated functions busier than this")
+    replay.add_argument("--seed", type=int, default=2025,
+                        help="trace-generation seed (default 2025)")
+    replay.add_argument("--workers", type=int, default=1,
+                        help="replay processes; whole functions are sharded "
+                             "across them (default 1 = inline)")
+    replay.add_argument("--window", type=float, default=3600.0,
+                        help="telemetry window seconds (default 3600)")
+    replay.add_argument("--keep-alive", type=float, default=None,
+                        help="warm keep-alive seconds (default: emulator's)")
+    replay.add_argument("--event", type=str, default=None,
+                        help="JSON event (default: first oracle case)")
+    replay.add_argument("--export", type=Path, default=None,
+                        help="save the merged FleetReport here "
+                             "(renderable with `repro dashboard`)")
+    replay.add_argument("--log-dir", type=Path, default=None,
+                        help="stream per-function record shards to this "
+                             "directory as JSON lines")
+    replay.add_argument("--merged-log", type=Path, default=None,
+                        help="k-way merge the shards into one "
+                             "timestamp-ordered JSONL (requires --log-dir)")
+    replay.add_argument("--spill-threshold", type=int, default=None,
+                        help="spill worker logs to disk every N records "
+                             "(bounded memory; requires --log-dir)")
+    replay.add_argument("--record-detail", action="store_true",
+                        help="emit the per-invocation observability event "
+                             "(slower; off by default for fleet scale)")
+    replay.add_argument("--json", action="store_true",
+                        help="emit the run summary as JSON")
+
     dashboard = commands.add_parser(
         "dashboard", help="render a fleet-telemetry export (tables + sparklines)"
     )
     dashboard.add_argument("export", type=Path,
-                           help="telemetry export from TelemetrySink.save()")
+                           help="telemetry export from TelemetrySink.save(), "
+                                "or a record JSONL log from `repro replay "
+                                "--log-dir/--merged-log` (detected and "
+                                "streamed into windows)")
+    dashboard.add_argument("--window", type=float, default=3600.0,
+                           help="window seconds when reading a record JSONL "
+                                "log (default 3600)")
     dashboard.add_argument("--baseline", type=Path, default=None,
                            help="earlier export to compare against "
                                 "(before/after-debloat view)")
@@ -404,15 +454,113 @@ def _summarize_export(report) -> dict:
     return summary
 
 
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.platform.fleet import replay_fleet
+    from repro.traces import FleetTrace
+
+    bundle = AppBundle(args.bundle)
+    if args.trace is not None:
+        trace = FleetTrace.load(args.trace)
+    elif args.invocations is not None:
+        trace = FleetTrace.generate_invocations(
+            args.invocations,
+            seed=args.seed,
+            max_per_function=args.max_per_function,
+        )
+    else:
+        trace = FleetTrace.generate(
+            args.functions if args.functions is not None else 50,
+            seed=args.seed,
+        )
+        if args.max_per_function is not None:
+            trace = trace.capped(args.max_per_function)
+
+    if args.event is not None:
+        event = json.loads(args.event)
+    else:
+        from repro.core.oracle import OracleSpec
+
+        event = OracleSpec.from_bundle(bundle).cases[0].event
+
+    kwargs: dict = {}
+    if args.keep_alive is not None:
+        kwargs["keep_alive_s"] = args.keep_alive
+    result = replay_fleet(
+        bundle,
+        trace,
+        event,
+        workers=args.workers,
+        window_s=args.window,
+        record_detail=args.record_detail,
+        log_dir=args.log_dir,
+        merged_log=args.merged_log,
+        spill_threshold=args.spill_threshold,
+        **kwargs,
+    )
+    if args.export is not None:
+        result.report.save(args.export)
+
+    if args.json:
+        print(json.dumps({
+            "functions": len(trace),
+            "arrivals": result.arrivals,
+            "delivered": result.delivered,
+            "records": result.records,
+            "status_counts": dict(sorted(result.status_counts().items())),
+            "total_cost_usd": result.total_cost,
+            "workers": result.workers,
+            "wall_s": round(result.wall_s, 3),
+            "throughput_per_s": round(result.throughput, 1),
+        }, indent=2, sort_keys=True))
+    else:
+        print(f"replayed {result.arrivals} arrivals across {len(trace)} "
+              f"function(s) on {result.workers} worker(s) "
+              f"in {result.wall_s:.2f}s ({result.throughput:,.0f}/s)")
+        print(f"delivered {result.delivered}, {result.records} record(s), "
+              f"total cost ${result.total_cost:.6f}")
+        for status, count in sorted(result.status_counts().items()):
+            print(f"  {status:12s} {count}")
+        if args.export is not None:
+            print(f"telemetry export written to {args.export}")
+        if result.merged_log is not None:
+            print(f"merged record log written to {result.merged_log}")
+    return 0
+
+
+def _looks_like_record_log(path: Path) -> bool:
+    """True when *path* starts with an invocation-record JSON line."""
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                data = json.loads(line)
+                return isinstance(data, dict) and "request_id" in data
+    except (OSError, ValueError):
+        return False
+    return False
+
+
+def _load_telemetry(path: Path, window_s: float):
+    from repro.platform.fleet import report_from_log
+    from repro.platform.telemetry import FleetReport
+
+    if _looks_like_record_log(path):
+        return report_from_log(path, window_s=window_s)
+    return FleetReport.load(path)
+
+
 def _cmd_dashboard(args: argparse.Namespace) -> int:
     from repro.analysis.dashboard import render_comparison, render_dashboard
     from repro.platform.slo import FLEET
-    from repro.platform.telemetry import FleetReport
 
     try:
-        report = FleetReport.load(args.export)
+        report = _load_telemetry(args.export, args.window)
         baseline = (
-            FleetReport.load(args.baseline) if args.baseline is not None else None
+            _load_telemetry(args.baseline, args.window)
+            if args.baseline is not None
+            else None
         )
     except (OSError, KeyError, ValueError) as exc:
         print(f"error: cannot read telemetry export: {exc}", file=sys.stderr)
@@ -473,6 +621,7 @@ _HANDLERS = {
     "fuzz": _cmd_fuzz,
     "tune": _cmd_tune,
     "trace": _cmd_trace,
+    "replay": _cmd_replay,
     "metrics": _cmd_metrics,
     "dashboard": _cmd_dashboard,
     "build-app": _cmd_build_app,

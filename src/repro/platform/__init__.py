@@ -23,6 +23,12 @@ from repro.platform.faults import (
     FaultRates,
     Outage,
 )
+from repro.platform.fleet import (
+    FleetReplayResult,
+    FunctionReplayStats,
+    replay_fleet,
+    report_from_log,
+)
 from repro.platform.instance import FunctionInstance
 from repro.platform.logs import (
     ExecutionLog,
@@ -57,6 +63,10 @@ __all__ = [
     "BillingLedger",
     "ReplayResult",
     "TraceReplayer",
+    "replay_fleet",
+    "FleetReplayResult",
+    "FunctionReplayStats",
+    "report_from_log",
     "FaultRates",
     "Outage",
     "FaultPlan",

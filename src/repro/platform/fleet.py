@@ -1,0 +1,493 @@
+"""Fleet-scale trace replay: sharded processes, deterministic merge.
+
+The single-function :class:`~repro.platform.replay.TraceReplayer` drives
+one arrival series through one emulator.  This module scales that to an
+entire multi-function Azure-style fleet (millions of invocations) by
+exploiting the independence already built into the platform model:
+
+* warm-instance state, keep-alive, and instance ids are per-function;
+* the fault injector draws from one seeded RNG *per emulator*, so a
+  fresh emulator per function gives every function its own deterministic
+  fault stream;
+* request ids are per-emulator counters.
+
+Each function is therefore replayed on its **own fresh emulator**, which
+makes every per-function artifact — records, rollups, bills — a pure
+function of ``(bundle, trace, seed)`` and utterly independent of which
+process replayed it, in which order, next to which neighbours.  Shards
+(whole functions, balanced by invocation count) run on a
+``ProcessPoolExecutor``; the parent then merges deterministically:
+
+* **telemetry** — per-function window rollups come back as dicts and the
+  fleet-wide ``"*"`` windows are rebuilt by merging the per-function
+  sketches in sorted-function order (mergeable histograms are exact
+  under merge, so percentiles match a single-sink run).  The fleet
+  ``concurrency_peak`` is the *sum* of per-function peaks — an upper
+  bound on the true interleaved depth, which a sharded run cannot
+  observe;
+* **billing** — per-function bills are float-exact (each was summed in
+  arrival order inside its worker) and the merged ledger lists them in
+  sorted-function order;
+* **logs** — workers stream per-function JSON-lines shards; the merged
+  export is a k-way merge ordered by ``(timestamp, function, position)``.
+
+Exports are byte-identical for the same seed at any worker count —
+``workers=1`` runs the same per-function engine inline and is the serial
+baseline the throughput benchmark compares against.  SLO rules are
+evaluated once, on the merged windows, in the same order a live
+:class:`~repro.platform.telemetry.TelemetrySink` finalizes them.
+
+Not supported here: fallback managers (their breaker couples functions
+through shared mutable state, the one thing sharding forbids) — chaos
+runs that need self-healing keep using ``TraceReplayer`` directly.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.bundle import AppBundle
+from repro.errors import PlatformError
+from repro.obs import get_recorder
+from repro.platform.billing import BillingLedger, FunctionBill
+from repro.platform.emulator import DEFAULT_KEEP_ALIVE_S, LambdaEmulator
+from repro.platform.faults import FaultPlan
+from repro.platform.logs import ExecutionLog, iter_jsonl
+from repro.platform.replay import TraceReplayer
+from repro.platform.retry import RetryPolicy
+from repro.platform.slo import FLEET, SloPolicy, SloRule
+from repro.platform.telemetry import FleetReport, TelemetrySink, WindowRollup
+from repro.traces.fleet import FleetTrace
+
+__all__ = [
+    "FunctionReplayStats",
+    "FleetReplayResult",
+    "replay_fleet",
+    "report_from_log",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class FunctionReplayStats:
+    """One function's replay outcome, as reported by its shard worker."""
+
+    function: str
+    arrivals: int
+    requests: int
+    delivered: int
+    dead_letters: int
+    attempts: int
+    retries: int
+    throttled: int
+    cold_starts: int
+    warm_starts: int
+    #: Total records logged (attempts, including retries and throttles).
+    records: int
+    #: Per-status record counts over the function's full log.
+    status_counts: dict[str, int]
+    cost_usd: float
+    peak_concurrency: int
+
+
+@dataclass
+class FleetReplayResult:
+    """The merged outcome of one fleet replay."""
+
+    report: FleetReport
+    ledger: BillingLedger
+    stats: dict[str, FunctionReplayStats]
+    workers: int
+    wall_s: float
+    #: Per-function JSON-lines log shards (empty without ``log_dir``).
+    log_paths: dict[str, Path] = field(default_factory=dict)
+    merged_log: Path | None = None
+
+    @property
+    def arrivals(self) -> int:
+        return sum(s.arrivals for s in self.stats.values())
+
+    @property
+    def records(self) -> int:
+        return sum(s.records for s in self.stats.values())
+
+    @property
+    def delivered(self) -> int:
+        return sum(s.delivered for s in self.stats.values())
+
+    @property
+    def total_cost(self) -> float:
+        return self.ledger.total
+
+    @property
+    def throughput(self) -> float:
+        """Replayed arrivals per wall-clock second."""
+        return self.arrivals / self.wall_s if self.wall_s > 0 else 0.0
+
+    def status_counts(self) -> dict[str, int]:
+        """Fleet-wide per-status record counts."""
+        totals: dict[str, int] = {}
+        for stats in self.stats.values():
+            for status, count in stats.status_counts.items():
+                totals[status] = totals.get(status, 0) + count
+        return totals
+
+
+def _replay_one(
+    bundle: AppBundle, name: str, timestamps: tuple[float, ...], cfg: dict
+) -> dict:
+    """Replay one function on a fresh emulator; return picklable results."""
+    sink = TelemetrySink(
+        window_s=cfg["window_s"], subbuckets=cfg["subbuckets"]
+    )
+    log_path: Path | None = None
+    if cfg["log_dir"] is not None:
+        log_path = Path(cfg["log_dir"]) / f"{name}.jsonl"
+        if log_path.exists():
+            log_path.unlink()
+        log = ExecutionLog(
+            spill_threshold=cfg["spill_threshold"], spill_path=log_path
+        )
+    else:
+        log = ExecutionLog()
+    emulator = LambdaEmulator(
+        keep_alive_s=cfg["keep_alive_s"],
+        telemetry=sink,
+        faults=cfg["faults"],
+        log=log,
+        record_detail=cfg["record_detail"],
+    )
+    emulator.deploy(bundle, name=name)
+    replayer = TraceReplayer(emulator)
+    result = replayer.replay(
+        name, list(timestamps), cfg["event"], retry=cfg["retry"]
+    )
+    if cfg["verify_ledger"]:
+        emulator.ledger.reconcile(emulator.log)
+    status_counts = emulator.log.status_counts()
+    records = len(emulator.log)
+    if log_path is not None:
+        log.flush_spill()
+    emulator.function(name).discard_instances()
+    bill = emulator.ledger.bill_for(name)
+    return {
+        "function": name,
+        "windows": [w.to_dict() for w in sink.rollups(name)],
+        "bill": {
+            "invocation_cost": bill.invocation_cost,
+            "invocations": bill.invocations,
+            "cold_starts": bill.cold_starts,
+            "throttles": bill.throttles,
+        },
+        "stats": FunctionReplayStats(
+            function=name,
+            arrivals=result.arrivals,
+            requests=len(result.requests),
+            delivered=result.delivered,
+            dead_letters=len(result.dead_letters),
+            attempts=result.attempts,
+            retries=result.retries,
+            throttled=result.throttled,
+            cold_starts=result.cold_starts,
+            warm_starts=result.warm_starts,
+            records=records,
+            status_counts=status_counts,
+            cost_usd=result.total_cost,
+            peak_concurrency=result.peak_concurrency,
+        ),
+        "log_path": str(log_path) if log_path is not None else None,
+    }
+
+
+def _replay_shard(payload: dict) -> list[dict]:
+    """Worker entry point: replay every function in one shard, in order."""
+    bundle = AppBundle(payload["bundle_root"])
+    cfg = payload["cfg"]
+    return [
+        _replay_one(bundle, name, timestamps, cfg)
+        for name, timestamps in payload["functions"]
+    ]
+
+
+def _merge_fleet_window(rollups: list[WindowRollup]) -> WindowRollup:
+    """Rebuild one fleet-wide ``"*"`` window from per-function rollups.
+
+    Callers pass rollups in sorted-function order so histogram merges
+    happen in a deterministic sequence.  The fleet concurrency peak is
+    the sum of per-function peaks: shards cannot observe cross-function
+    interleaving, so this is the documented upper bound.
+    """
+    peak = 0
+    fleet: WindowRollup | None = None
+    for rollup in rollups:
+        data = rollup.to_dict()
+        data["function"] = FLEET
+        copy = WindowRollup.from_dict(data)
+        if fleet is None:
+            fleet = copy
+        else:
+            fleet.merge(copy)
+        peak += rollup.concurrency_peak
+    assert fleet is not None
+    fleet.concurrency_peak = peak
+    return fleet
+
+
+def _merge_report(
+    payloads: list[dict],
+    *,
+    window_s: float,
+    policy: SloPolicy,
+) -> FleetReport:
+    """Merge per-function windows into one report, fleet rollups included."""
+    windows: dict[tuple[int, str], WindowRollup] = {}
+    by_index: dict[int, list[WindowRollup]] = {}
+    for payload in sorted(payloads, key=lambda p: p["function"]):
+        for data in payload["windows"]:
+            rollup = WindowRollup.from_dict(data)
+            index = int(round(rollup.start_s / window_s))
+            windows[(index, rollup.function)] = rollup
+            by_index.setdefault(index, []).append(rollup)
+    for index, group in by_index.items():
+        # group is already in sorted-function order (payloads were sorted)
+        windows[(index, FLEET)] = _merge_fleet_window(group)
+
+    ordered = [windows[key] for key in sorted(windows)]
+    # Evaluate SLOs exactly like TelemetrySink.finalize: each window once,
+    # in (window, function) order, re-emitting breaches as obs events.
+    recorder = get_recorder()
+    breaches = []
+    for rollup in ordered:
+        recorder.counter_add("telemetry.windows_evaluated")
+        for breach in policy.evaluate_window(rollup):
+            breaches.append(breach)
+            recorder.counter_add("telemetry.slo_breaches")
+            recorder.event("slo.breach", breach.to_dict())
+    return FleetReport(
+        window_s=window_s,
+        windows=ordered,
+        breaches=breaches,
+        slos=list(policy.rules),
+        # Deterministic metadata only: worker count and timings must not
+        # leak into the export, or byte-identity across pool sizes breaks.
+        meta={
+            "engine": "fleet-replay",
+            "functions": len(payloads),
+            "fleet_concurrency": "sum-of-function-peaks (upper bound)",
+        },
+    )
+
+
+def _merge_logs(
+    shards: list[tuple[str, Path]], destination: Path
+) -> Path:
+    """K-way merge per-function JSONL shards by (timestamp, function, seq).
+
+    Streams: only one line per shard is resident at any moment, so
+    merging a million-record fleet log needs a few kilobytes of memory.
+    """
+
+    def rows(name: str, path: Path):
+        with path.open("r", encoding="utf-8") as handle:
+            for position, line in enumerate(handle):
+                if not line.strip():
+                    continue
+                timestamp = json.loads(line)["timestamp"]
+                yield (timestamp, name, position, line)
+
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    streams = [rows(name, path) for name, path in sorted(shards)]
+    with destination.open("w", encoding="utf-8") as out:
+        for _, _, _, line in heapq.merge(*streams):
+            out.write(line if line.endswith("\n") else line + "\n")
+    return destination
+
+
+def report_from_log(
+    path: Path | str,
+    *,
+    window_s: float = 3600.0,
+    subbuckets: int = 64,
+    slos: Iterable[SloRule] | SloPolicy = (),
+) -> FleetReport:
+    """Rebuild a :class:`FleetReport` by streaming a record JSON-lines log.
+
+    Records are folded one at a time through a fresh
+    :class:`~repro.platform.telemetry.TelemetrySink`, so a spilled or
+    merged million-record fleet log can be dashboarded without ever
+    materializing the record list.  Arrivals are recovered as
+    ``timestamp - e2e`` (the emulator stamps records at completion),
+    matching the sink's own default.  Records carry emulator-clock
+    timestamps, so windows here are emulator-time — a replay's own
+    report windows by *trace* arrival time instead and will bucket
+    differently; rates, percentiles, and costs still agree.
+    """
+    policy = slos if isinstance(slos, SloPolicy) else SloPolicy(list(slos))
+    sink = TelemetrySink(
+        window_s=window_s, subbuckets=subbuckets, slos=policy
+    )
+    count = 0
+    for record in iter_jsonl(path):
+        sink.observe(record)
+        count += 1
+    if count == 0:
+        raise PlatformError(f"no records in log: {path}")
+    report = sink.report()
+    report.meta = {"engine": "log-replay", "source": Path(path).name}
+    return report
+
+
+def _pool_context(preferred: str):
+    for method in (preferred, "forkserver", "spawn"):
+        try:
+            return multiprocessing.get_context(method)
+        except ValueError:
+            continue
+    return multiprocessing.get_context()
+
+
+def replay_fleet(
+    bundle: AppBundle | Path | str,
+    trace: FleetTrace,
+    event: Any = None,
+    *,
+    workers: int = 1,
+    keep_alive_s: float = DEFAULT_KEEP_ALIVE_S,
+    window_s: float = 3600.0,
+    subbuckets: int = 64,
+    slos: Iterable[SloRule] | SloPolicy = (),
+    retry: RetryPolicy | None = None,
+    faults: FaultPlan | None = None,
+    record_detail: bool = False,
+    log_dir: Path | str | None = None,
+    merged_log: Path | str | None = None,
+    spill_threshold: int | None = None,
+    verify_ledger: bool = True,
+    mp_context: str = "forkserver",
+) -> FleetReplayResult:
+    """Replay a multi-function fleet trace; merge deterministically.
+
+    Every function in *trace* is deployed from *bundle* and replayed on
+    its own fresh emulator (see the module docstring for why that is the
+    determinism unit).  ``workers=1`` replays inline; ``workers>1``
+    distributes whole functions across a process pool, balanced by
+    invocation count.  ``log_dir`` streams each function's records to
+    ``<log_dir>/<function>.jsonl`` (bounded worker memory when
+    ``spill_threshold`` is set); ``merged_log`` additionally k-way merges
+    the shards into one timestamp-ordered export.  ``verify_ledger``
+    float-exactly reconciles each worker's ledger against its records
+    before anything is merged.
+
+    Returns a :class:`FleetReplayResult` whose report, ledger totals,
+    per-function stats, and log bytes are identical for identical
+    ``(bundle, trace, seed)`` inputs at any worker count.
+    """
+    if workers < 1:
+        raise PlatformError(f"need at least one worker: {workers}")
+    if len(trace) == 0:
+        raise PlatformError("fleet trace has no functions")
+    if merged_log is not None and log_dir is None:
+        raise PlatformError("merged_log requires log_dir")
+    if isinstance(faults, FaultPlan) is False and faults is not None:
+        raise PlatformError(
+            "replay_fleet takes a FaultPlan (picklable), not a FaultInjector"
+        )
+    bundle_root = (
+        bundle.root if isinstance(bundle, AppBundle) else Path(bundle)
+    )
+    policy = slos if isinstance(slos, SloPolicy) else SloPolicy(list(slos))
+    if log_dir is not None:
+        Path(log_dir).mkdir(parents=True, exist_ok=True)
+
+    cfg = {
+        "event": event,
+        "keep_alive_s": keep_alive_s,
+        "window_s": float(window_s),
+        "subbuckets": subbuckets,
+        "retry": retry,
+        "faults": faults,
+        "record_detail": record_detail,
+        "log_dir": str(log_dir) if log_dir is not None else None,
+        "spill_threshold": spill_threshold,
+        "verify_ledger": verify_ledger,
+    }
+    shards = trace.partition(workers)
+    payloads = [
+        {
+            "bundle_root": str(bundle_root),
+            "functions": [
+                (t.function_id, t.timestamps) for t in shard
+            ],
+            "cfg": cfg,
+        }
+        for shard in shards
+    ]
+
+    recorder = get_recorder()
+    started = time.perf_counter()
+    with recorder.span(
+        "fleet.replay",
+        label=f"{len(trace)} functions",
+        functions=len(trace),
+        arrivals=trace.invocations,
+        workers=workers,
+    ) as span:
+        if workers == 1 or len(payloads) == 1:
+            shard_results = [_replay_shard(payload) for payload in payloads]
+        else:
+            with ProcessPoolExecutor(
+                max_workers=len(payloads),
+                mp_context=_pool_context(mp_context),
+            ) as pool:
+                shard_results = list(pool.map(_replay_shard, payloads))
+        wall_s = time.perf_counter() - started
+
+        results = [r for shard in shard_results for r in shard]
+        results.sort(key=lambda r: r["function"])
+
+        report = _merge_report(results, window_s=float(window_s), policy=policy)
+        ledger = BillingLedger()
+        stats: dict[str, FunctionReplayStats] = {}
+        log_paths: dict[str, Path] = {}
+        for result in results:
+            name = result["function"]
+            bill = result["bill"]
+            ledger.bills[name] = FunctionBill(
+                function=name,
+                invocation_cost=bill["invocation_cost"],
+                invocations=bill["invocations"],
+                cold_starts=bill["cold_starts"],
+                throttles=bill["throttles"],
+            )
+            stats[name] = result["stats"]
+            if result["log_path"] is not None:
+                log_paths[name] = Path(result["log_path"])
+
+        merged_path: Path | None = None
+        if merged_log is not None:
+            merged_path = _merge_logs(
+                sorted(log_paths.items()), Path(merged_log)
+            )
+
+        recorder.counter_add("fleet.functions", len(results))
+        recorder.counter_add(
+            "fleet.arrivals", sum(s.arrivals for s in stats.values())
+        )
+        if span is not None:
+            span.set_attr("wall_s", round(wall_s, 3))
+            span.set_attr("breaches", len(report.breaches))
+    return FleetReplayResult(
+        report=report,
+        ledger=ledger,
+        stats=stats,
+        workers=workers,
+        wall_s=wall_s,
+        log_paths=log_paths,
+        merged_log=merged_path,
+    )

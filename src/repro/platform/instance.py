@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import itertools
+
 from repro.bundle import AppBundle
 from repro.core.execution import InvocationOutput, LoadedApp
 from repro.errors import InvocationError
@@ -16,19 +18,46 @@ class FunctionInstance:
     needs: creation time, last-use time (for keep-alive), and a busy flag
     (an instance serves one request at a time, so bursts force new cold
     starts).
+
+    Instance ids are numbered per function (``{function}-i00001``, …) via
+    the ``sequence`` counter the owning :class:`DeployedFunction` passes
+    in.  A per-function sequence — rather than a process-global one —
+    makes ids a pure function of that function's arrival history, which
+    is what lets sharded fleet replays produce byte-identical logs no
+    matter how functions are scheduled across worker processes.
     """
 
-    _counter = 0
+    __slots__ = (
+        "instance_id",
+        "function",
+        "app",
+        "created_at",
+        "last_used_at",
+        "busy",
+        "invocations",
+        "alive",
+    )
 
-    def __init__(self, function: str, bundle: AppBundle, created_at: float):
-        FunctionInstance._counter += 1
-        self.instance_id = f"{function}-i{FunctionInstance._counter:05d}"
+    def __init__(
+        self,
+        function: str,
+        bundle: AppBundle,
+        created_at: float,
+        sequence: itertools.count | None = None,
+    ):
+        if sequence is None:
+            sequence = itertools.count(1)
+        self.instance_id = f"{function}-i{next(sequence):05d}"
         self.function = function
         self.app = LoadedApp(bundle)
         self.created_at = created_at
         self.last_used_at = created_at
         self.busy = False
         self.invocations = 0
+        # Cleared on shutdown.  ``app.loaded`` alone cannot tell a killed
+        # instance apart (close() keeps init metrics readable), so pools
+        # that hold direct references check this flag instead.
+        self.alive = True
 
     def initialize(self) -> float:
         """Run Function Initialization; returns the billed init duration."""
@@ -70,6 +99,7 @@ class FunctionInstance:
         return output
 
     def shutdown(self) -> None:
+        self.alive = False
         self.app.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

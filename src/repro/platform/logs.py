@@ -13,17 +13,40 @@ with aggregation specs named the way an Insights query names them
 (``count``, ``sum:field``, ``mean:field``, ``min:``/``max:``,
 ``pNN:field``).  Logs also round-trip through JSON lines so a saved run
 can be re-queried offline.
+
+**Columnar storage.**  Fleet-scale replays log millions of invocations,
+so :class:`ExecutionLog` no longer keeps a Python list of dataclass
+instances.  It is an append-only *columnar* store: numeric fields live in
+``array('d')``/``array('q')`` columns, low-cardinality strings (function,
+instance id, error type) and enums are interned into small tables, and
+regular ``req-NNNNNN`` request ids are packed as integers.  Appending a
+record decomposes it into columns; reading materialises a fresh
+:class:`InvocationRecord` view on demand, so the query/analysis surface
+is unchanged while a stored record costs ~100 bytes instead of the ~500+
+of a dict-backed dataclass.
+
+With a ``spill_threshold``, the oldest rows stream to a JSON-lines spill
+file once the in-memory portion grows past the threshold, which bounds
+resident memory for arbitrarily long replays; iteration and queries
+transparently stream spilled rows back.  Aggregation over a query is a
+single streaming pass — matching records are materialised one at a time,
+never held as a list (custom callable aggregates are the one exception).
 """
 
 from __future__ import annotations
 
-import enum
 import json
 import math
+import shutil
 import statistics
-from dataclasses import dataclass, field, fields as dataclass_fields
+from array import array
+from dataclasses import dataclass, fields as dataclass_fields
 from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator
+
+from repro.errors import PlatformError
+
+import enum
 
 __all__ = [
     "StartType",
@@ -33,6 +56,7 @@ __all__ = [
     "ExecutionLog",
     "LogQuery",
     "GroupedLogQuery",
+    "iter_jsonl",
 ]
 
 
@@ -68,7 +92,7 @@ class InvocationStatus(str, enum.Enum):
 STATUSES = tuple(status.value for status in InvocationStatus)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class InvocationRecord:
     """One invocation's full accounting (an AWS REPORT line, enriched).
 
@@ -100,7 +124,9 @@ class InvocationRecord:
     def __post_init__(self) -> None:
         # Normalise: accept plain strings, and derive ERROR for records
         # built by pre-status code paths that only set ``error_type``.
-        status = InvocationStatus(self.status)
+        status = self.status
+        if status.__class__ is not InvocationStatus:
+            status = InvocationStatus(status)
         if status is InvocationStatus.SUCCESS and self.error_type is not None:
             status = InvocationStatus.ERROR
         object.__setattr__(self, "status", status)
@@ -179,6 +205,19 @@ class InvocationRecord:
         return cls(**payload)
 
 
+def iter_jsonl(path: Path | str) -> Iterator[InvocationRecord]:
+    """Stream records from a JSON-lines log without loading it whole."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for index, line in enumerate(handle):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield InvocationRecord.from_dict(json.loads(line))
+            except (json.JSONDecodeError, KeyError, ValueError) as exc:
+                raise ValueError(f"line {index + 1}: bad record: {exc}") from exc
+
+
 def _percentile(values: list[float], q: float) -> float:
     """Exact order statistic at rank ``floor(q * (n - 1))`` — the same
     convention :class:`~repro.obs.histogram.LogLinearHistogram` sketches."""
@@ -188,28 +227,17 @@ def _percentile(values: list[float], q: float) -> float:
     return ordered[int(math.floor(q * (len(ordered) - 1)))]
 
 
-def _parse_aggregate(spec: str) -> Callable[[list[InvocationRecord]], float]:
-    """Compile an Insights-style spec (``count``, ``sum:cost_usd``,
-    ``mean:e2e_s``, ``p99:e2e_s``...) into an aggregator function."""
+def _parse_spec(spec: str) -> tuple[str, str | None, float]:
+    """Split an Insights-style spec into ``(op, field, quantile)``."""
     if spec == "count":
-        return lambda records: float(len(records))
+        return "count", None, 0.0
     op, _, field_name = spec.partition(":")
     if not field_name:
         raise ValueError(
             f"aggregate spec {spec!r} needs a field, e.g. '{op or 'sum'}:cost_usd'"
         )
-
-    def values(records: list[InvocationRecord]) -> list[float]:
-        return [float(getattr(r, field_name)) for r in records]
-
-    if op == "sum":
-        return lambda records: sum(values(records))
-    if op == "mean":
-        return lambda records: statistics.fmean(values(records)) if records else 0.0
-    if op == "min":
-        return lambda records: min(values(records), default=0.0)
-    if op == "max":
-        return lambda records: max(values(records), default=0.0)
+    if op in ("sum", "mean", "min", "max"):
+        return op, field_name, 0.0
     if op.startswith("p"):
         try:
             q = float(op[1:]) / 100.0
@@ -217,7 +245,7 @@ def _parse_aggregate(spec: str) -> Callable[[list[InvocationRecord]], float]:
             q = -1.0
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"bad percentile in aggregate spec {spec!r}")
-        return lambda records: _percentile(values(records), q)
+        return "quantile", field_name, q
     raise ValueError(
         f"unknown aggregate op {op!r} (count, sum, mean, min, max, pNN)"
     )
@@ -228,7 +256,10 @@ class LogQuery:
 
     Chaining copies the predicate list, never the records, so building up
     a query is cheap; records are only touched by the terminal calls
-    (:meth:`records`, :meth:`count`, :meth:`aggregate`).
+    (:meth:`records`, :meth:`count`, :meth:`aggregate`).  Terminal calls
+    other than :meth:`records`/:meth:`group_by` stream — matching records
+    are materialised one at a time, so querying a spilled multi-million
+    row log never re-loads it into memory.
     """
 
     def __init__(
@@ -241,6 +272,15 @@ class LogQuery:
 
     def _extend(self, predicate: Callable[[InvocationRecord], bool]) -> "LogQuery":
         return LogQuery(self._records, self._predicates + (predicate,))
+
+    def _matching(self) -> Iterator[InvocationRecord]:
+        predicates = self._predicates
+        if not predicates:
+            yield from self._records
+            return
+        for record in self._records:
+            if all(predicate(record) for predicate in predicates):
+                yield record
 
     # -- filters -----------------------------------------------------------
 
@@ -288,34 +328,89 @@ class LogQuery:
     # -- terminals ---------------------------------------------------------
 
     def records(self) -> list[InvocationRecord]:
-        return [
-            r
-            for r in self._records
-            if all(predicate(r) for predicate in self._predicates)
-        ]
+        return list(self._matching())
 
     def count(self) -> int:
-        return len(self.records())
+        return sum(1 for _ in self._matching())
 
     def status_counts(self) -> dict[str, int]:
         """Per-status record counts over the matching records."""
         counts: dict[str, int] = {}
-        for record in self.records():
+        for record in self._matching():
             counts[record.status.value] = counts.get(record.status.value, 0) + 1
         return counts
 
     def values(self, field_name: str) -> list[float]:
-        return [float(getattr(r, field_name)) for r in self.records()]
+        return [float(getattr(r, field_name)) for r in self._matching()]
 
     def aggregate(
         self, **aggs: str | Callable[[list[InvocationRecord]], float]
     ) -> dict[str, float]:
-        """Compute named aggregates over the matching records."""
-        matched = self.records()
+        """Compute named aggregates over the matching records.
+
+        String specs stream in a single pass; percentile and mean specs
+        buffer only the float column they need.  A *callable* spec is
+        handed the full matching record list, so mixing one in falls back
+        to materialising the match set.
+        """
+        if any(callable(spec) for spec in aggs.values()):
+            matched = self.records()
+            result = {}
+            for name, spec in aggs.items():
+                if callable(spec):
+                    result[name] = spec(matched)
+                else:
+                    result[name] = LogQuery(matched).aggregate(**{name: spec})[
+                        name
+                    ]
+            return result
+
+        parsed = {name: _parse_spec(spec) for name, spec in aggs.items()}
+        count = 0
+        sums: dict[str, float] = {}
+        mins: dict[str, float] = {}
+        maxs: dict[str, float] = {}
+        # mean/quantile need the full column (fmean precision, exact order
+        # statistics) — floats only, never record objects.
+        columns: dict[str, list[float]] = {
+            field: []
+            for op, field, _ in parsed.values()
+            if op in ("mean", "quantile")
+        }
+        sum_fields = {f for op, f, _ in parsed.values() if op == "sum"}
+        min_fields = {f for op, f, _ in parsed.values() if op == "min"}
+        max_fields = {f for op, f, _ in parsed.values() if op == "max"}
+
+        for record in self._matching():
+            count += 1
+            for field in sum_fields:
+                sums[field] = sums.get(field, 0.0) + float(getattr(record, field))
+            for field in min_fields:
+                value = float(getattr(record, field))
+                if field not in mins or value < mins[field]:
+                    mins[field] = value
+            for field in max_fields:
+                value = float(getattr(record, field))
+                if field not in maxs or value > maxs[field]:
+                    maxs[field] = value
+            for field, column in columns.items():
+                column.append(float(getattr(record, field)))
+
         result = {}
-        for name, spec in aggs.items():
-            fn = spec if callable(spec) else _parse_aggregate(spec)
-            result[name] = fn(matched)
+        for name, (op, field, q) in parsed.items():
+            if op == "count":
+                result[name] = float(count)
+            elif op == "sum":
+                result[name] = sums.get(field, 0.0)
+            elif op == "mean":
+                column = columns[field]
+                result[name] = statistics.fmean(column) if column else 0.0
+            elif op == "min":
+                result[name] = mins.get(field, 0.0)
+            elif op == "max":
+                result[name] = maxs.get(field, 0.0)
+            else:
+                result[name] = _percentile(columns[field], q)
         return result
 
     def group_by(
@@ -324,7 +419,7 @@ class LogQuery:
         """Partition matching records by a field name or key function."""
         fn = key if callable(key) else (lambda r, _name=key: getattr(r, _name))
         groups: dict[Any, list[InvocationRecord]] = {}
-        for record in self.records():
+        for record in self._matching():
             groups.setdefault(fn(record), []).append(record)
         return GroupedLogQuery(groups)
 
@@ -351,64 +446,299 @@ class GroupedLogQuery:
         return iter(sorted(self.groups, key=str))
 
 
-@dataclass
-class ExecutionLog:
-    """Append-only store of invocation records with analysis helpers."""
+class _StringTable:
+    """Append-only string interner: value -> small int and back."""
 
-    records: list[InvocationRecord] = field(default_factory=list)
+    __slots__ = ("values", "_index")
+
+    def __init__(self) -> None:
+        self.values: list[str] = []
+        self._index: dict[str, int] = {}
+
+    def intern(self, value: str) -> int:
+        index = self._index.get(value)
+        if index is None:
+            index = self._index[value] = len(self.values)
+            self.values.append(value)
+        return index
+
+
+#: Float-valued record fields stored as ``array('d')`` columns, in
+#: :meth:`InvocationRecord.to_dict` order (the spill writer relies on it).
+_FLOAT_COLUMNS = (
+    "timestamp",
+    "instance_init_s",
+    "transmission_s",
+    "init_duration_s",
+    "restore_duration_s",
+    "exec_duration_s",
+    "routing_s",
+    "billed_duration_s",
+    "peak_memory_mb",
+    "cost_usd",
+)
+
+_START_TYPES = tuple(StartType)
+_START_TYPE_INDEX = {member: i for i, member in enumerate(_START_TYPES)}
+_STATUS_TYPES = tuple(InvocationStatus)
+_STATUS_INDEX = {member: i for i, member in enumerate(_STATUS_TYPES)}
+
+
+class ExecutionLog:
+    """Append-only columnar store of invocation records with analysis helpers.
+
+    The public surface is record-shaped — iteration yields
+    :class:`InvocationRecord` views, :meth:`query` starts a LogQuery —
+    but rows live in typed columns (see the module docstring), so a
+    million-invocation replay holds ~100 MB instead of half a gigabyte.
+
+    With ``spill_threshold`` set, every time the in-memory portion
+    reaches the threshold it is appended to ``spill_path`` as JSON lines
+    and dropped, bounding resident memory; iteration streams the spilled
+    prefix back from disk.  Spilling requires JSON-serializable record
+    values (the same contract as :meth:`write_jsonl`).
+    """
+
+    def __init__(
+        self,
+        records: Iterable[InvocationRecord] | None = None,
+        *,
+        spill_threshold: int | None = None,
+        spill_path: Path | str | None = None,
+    ):
+        if spill_threshold is not None:
+            if spill_threshold < 1:
+                raise PlatformError(
+                    f"spill threshold must be positive: {spill_threshold}"
+                )
+            if spill_path is None:
+                raise PlatformError("spill_threshold requires a spill_path")
+        self.spill_threshold = spill_threshold
+        self.spill_path = Path(spill_path) if spill_path is not None else None
+        self._spilled = 0
+        self._reset_columns()
+        if records is not None:
+            for record in records:
+                self.append(record)
+
+    def _reset_columns(self) -> None:
+        self._floats = {name: array("d") for name in _FLOAT_COLUMNS}
+        self._memory_config = array("q")
+        self._start_types = array("b")
+        self._statuses = array("b")
+        self._functions = array("i")
+        self._instances = array("i")
+        self._errors = array("i")  # -1 encodes None
+        self._request_nums = array("q")  # -1 encodes an irregular id
+        self._request_odd: dict[int, str] = {}
+        self._function_table = _StringTable()
+        self._instance_table = _StringTable()
+        self._error_table = _StringTable()
+        self._values: list[Any] = []
+        self._value_cache: dict[Any, Any] = {}
+        self._size = 0
+
+    # -- ingestion ---------------------------------------------------------
 
     def append(self, record: InvocationRecord) -> None:
-        self.records.append(record)
+        floats = self._floats
+        for name in _FLOAT_COLUMNS:
+            floats[name].append(getattr(record, name))
+        self._memory_config.append(record.memory_config_mb)
+        self._start_types.append(_START_TYPE_INDEX[record.start_type])
+        self._statuses.append(_STATUS_INDEX[record.status])
+        self._functions.append(self._function_table.intern(record.function))
+        self._instances.append(self._instance_table.intern(record.instance_id))
+        error = record.error_type
+        self._errors.append(
+            -1 if error is None else self._error_table.intern(error)
+        )
+
+        request_id = record.request_id
+        num = -1
+        if request_id.startswith("req-"):
+            tail = request_id[4:]
+            if tail.isdigit():
+                candidate = int(tail)
+                if f"req-{candidate:06d}" == request_id:
+                    num = candidate
+        self._request_nums.append(num)
+        if num < 0:
+            self._request_odd[self._spilled + self._size] = request_id
+
+        value = record.value
+        if value is not None:
+            # Dedup repeated payloads: hashable values directly, others by
+            # canonical JSON.  Interned values are shared between views.
+            try:
+                value = self._value_cache.setdefault(value, value)
+            except TypeError:
+                try:
+                    key = json.dumps(value, sort_keys=True)
+                except (TypeError, ValueError):
+                    pass
+                else:
+                    value = self._value_cache.setdefault(key, value)
+        self._values.append(value)
+        self._size += 1
+
+        if self.spill_threshold is not None and self._size >= self.spill_threshold:
+            self._spill()
+
+    def _row_dict(self, i: int) -> dict[str, Any]:
+        """The :meth:`InvocationRecord.to_dict` payload, straight from the
+        columns (identical key order, so spilled bytes match)."""
+        floats = self._floats
+        error_index = self._errors[i]
+        return {
+            "request_id": self._request_id(i),
+            "function": self._function_table.values[self._functions[i]],
+            "start_type": _START_TYPES[self._start_types[i]].value,
+            "timestamp": floats["timestamp"][i],
+            "value": self._values[i],
+            "instance_id": self._instance_table.values[self._instances[i]],
+            "instance_init_s": floats["instance_init_s"][i],
+            "transmission_s": floats["transmission_s"][i],
+            "init_duration_s": floats["init_duration_s"][i],
+            "restore_duration_s": floats["restore_duration_s"][i],
+            "exec_duration_s": floats["exec_duration_s"][i],
+            "routing_s": floats["routing_s"][i],
+            "billed_duration_s": floats["billed_duration_s"][i],
+            "memory_config_mb": self._memory_config[i],
+            "peak_memory_mb": floats["peak_memory_mb"][i],
+            "cost_usd": floats["cost_usd"][i],
+            "error_type": (
+                None if error_index < 0 else self._error_table.values[error_index]
+            ),
+            "status": _STATUS_TYPES[self._statuses[i]].value,
+        }
+
+    def _request_id(self, i: int) -> str:
+        num = self._request_nums[i]
+        if num >= 0:
+            return f"req-{num:06d}"
+        return self._request_odd[self._spilled + i]
+
+    def _materialize(self, i: int) -> InvocationRecord:
+        floats = self._floats
+        error_index = self._errors[i]
+        return InvocationRecord(
+            request_id=self._request_id(i),
+            function=self._function_table.values[self._functions[i]],
+            start_type=_START_TYPES[self._start_types[i]],
+            timestamp=floats["timestamp"][i],
+            value=self._values[i],
+            instance_id=self._instance_table.values[self._instances[i]],
+            instance_init_s=floats["instance_init_s"][i],
+            transmission_s=floats["transmission_s"][i],
+            init_duration_s=floats["init_duration_s"][i],
+            restore_duration_s=floats["restore_duration_s"][i],
+            exec_duration_s=floats["exec_duration_s"][i],
+            routing_s=floats["routing_s"][i],
+            billed_duration_s=floats["billed_duration_s"][i],
+            memory_config_mb=self._memory_config[i],
+            peak_memory_mb=floats["peak_memory_mb"][i],
+            cost_usd=floats["cost_usd"][i],
+            error_type=(
+                None if error_index < 0 else self._error_table.values[error_index]
+            ),
+            status=_STATUS_TYPES[self._statuses[i]],
+        )
+
+    def _spill(self) -> None:
+        """Append every in-memory row to the spill file and drop them."""
+        assert self.spill_path is not None
+        self.spill_path.parent.mkdir(parents=True, exist_ok=True)
+        with self.spill_path.open("a", encoding="utf-8") as handle:
+            for i in range(self._size):
+                handle.write(json.dumps(self._row_dict(i)) + "\n")
+        self._spilled += self._size
+        self._reset_columns()
+
+    def flush_spill(self) -> Path:
+        """Push the in-memory tail to the spill file and return its path.
+
+        Afterwards the spill file holds the complete log, byte-identical
+        to :meth:`write_jsonl` — the fleet engine uses this to turn each
+        shard's bounded-memory log into its on-disk per-function shard.
+        """
+        if self.spill_path is None:
+            raise PlatformError("log has no spill_path to flush to")
+        if self._size:
+            self._spill()
+        elif not self.spill_path.exists():
+            self.spill_path.parent.mkdir(parents=True, exist_ok=True)
+            self.spill_path.touch()
+        return self.spill_path
+
+    # -- read side ---------------------------------------------------------
+
+    @property
+    def spilled(self) -> int:
+        """How many rows live in the spill file rather than in memory."""
+        return self._spilled
+
+    @property
+    def records(self) -> list[InvocationRecord]:
+        """Every record, materialised as a list (compatibility surface;
+        prefer iteration or :meth:`query` on large logs)."""
+        return list(self)
 
     def query(self) -> LogQuery:
         """Start a log-insights-style query over the stored records."""
-        return LogQuery(self.records)
+        return LogQuery(self)
 
     def write_jsonl(self, path: Path | str) -> Path:
-        """Persist the log as one JSON object per line."""
+        """Persist the log as one JSON object per line (streaming)."""
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        with path.open("w", encoding="utf-8") as handle:
-            for record in self.records:
-                handle.write(json.dumps(record.to_dict()) + "\n")
+        if self._spilled:
+            assert self.spill_path is not None
+            if path.resolve() == self.spill_path.resolve():
+                raise PlatformError(
+                    "cannot write_jsonl onto the live spill file"
+                )
+            shutil.copyfile(self.spill_path, path)
+            mode = "a"
+        else:
+            mode = "w"
+        with path.open(mode, encoding="utf-8") as handle:
+            for i in range(self._size):
+                handle.write(json.dumps(self._row_dict(i)) + "\n")
         return path
 
     @classmethod
     def load_jsonl(cls, path: Path | str) -> "ExecutionLog":
         """Reconstruct a log saved by :meth:`write_jsonl`."""
         log = cls()
-        for index, line in enumerate(
-            Path(path).read_text(encoding="utf-8").splitlines()
-        ):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                log.append(InvocationRecord.from_dict(json.loads(line)))
-            except (json.JSONDecodeError, KeyError, ValueError) as exc:
-                raise ValueError(f"line {index + 1}: bad record: {exc}") from exc
+        for record in iter_jsonl(path):
+            log.append(record)
         return log
 
     def __len__(self) -> int:
-        return len(self.records)
+        return self._spilled + self._size
 
     def __iter__(self) -> Iterator[InvocationRecord]:
-        return iter(self.records)
+        if self._spilled:
+            assert self.spill_path is not None
+            yield from iter_jsonl(self.spill_path)
+        for i in range(self._size):
+            yield self._materialize(i)
 
     def for_function(self, name: str) -> list[InvocationRecord]:
-        return [r for r in self.records if r.function == name]
+        return [r for r in self if r.function == name]
 
     def cold_starts(self, function: str | None = None) -> list[InvocationRecord]:
         return [
             r
-            for r in self.records
+            for r in self
             if r.is_cold and (function is None or r.function == function)
         ]
 
     def warm_starts(self, function: str | None = None) -> list[InvocationRecord]:
         return [
             r
-            for r in self.records
+            for r in self
             if r.start_type is StartType.WARM
             and (function is None or r.function == function)
         ]
@@ -422,32 +752,31 @@ class ExecutionLog:
 
     def error_rate(self, function: str | None = None) -> float:
         """Fraction of invocations that did not end in ``SUCCESS``."""
-        records = [
-            r for r in self.records if function is None or r.function == function
-        ]
-        if not records:
-            return 0.0
-        return sum(1 for r in records if not r.ok) / len(records)
+        total = errors = 0
+        for r in self:
+            if function is None or r.function == function:
+                total += 1
+                if not r.ok:
+                    errors += 1
+        return errors / total if total else 0.0
 
     def total_cost(self, function: str | None = None) -> float:
+        if function is None and not self._spilled:
+            return sum(self._floats["cost_usd"])
         return sum(
-            r.cost_usd
-            for r in self.records
-            if function is None or r.function == function
+            r.cost_usd for r in self if function is None or r.function == function
         )
 
     def mean_e2e_s(self, function: str | None = None) -> float:
         values = [
-            r.e2e_s
-            for r in self.records
-            if function is None or r.function == function
+            r.e2e_s for r in self if function is None or r.function == function
         ]
         return statistics.fmean(values) if values else 0.0
 
     def mean_billed_s(self, function: str | None = None) -> float:
         values = [
             r.billed_duration_s
-            for r in self.records
+            for r in self
             if function is None or r.function == function
         ]
         return statistics.fmean(values) if values else 0.0
@@ -455,7 +784,7 @@ class ExecutionLog:
     def peak_memory_mb(self, function: str | None = None) -> float:
         values = [
             r.peak_memory_mb
-            for r in self.records
+            for r in self
             if function is None or r.function == function
         ]
         return max(values) if values else 0.0

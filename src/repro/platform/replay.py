@@ -27,6 +27,7 @@ request or one dead letter: nothing is silently lost.
 from __future__ import annotations
 
 import heapq
+import itertools
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -41,7 +42,7 @@ from repro.platform.retry import DeadLetter, RetryPolicy
 __all__ = ["ReplayResult", "ReplayedRequest", "TraceReplayer"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReplayedRequest:
     """One arrival's outcome in trace time."""
 
@@ -123,9 +124,19 @@ class TraceReplayer:
 
     def __init__(self, emulator: LambdaEmulator):
         self.emulator = emulator
-        # trace-time bookkeeping, independent of the global virtual clock
-        self._busy_until: dict[str, float] = {}
-        self._last_served: dict[str, float] = {}
+        # Trace-time warm-pool bookkeeping, independent of the global
+        # virtual clock.  Per function: a heap of (busy-until, seq,
+        # instance) for in-flight instances and a LIFO stack of
+        # (freed-at, instance) for idle ones.  Arrivals are non-decreasing
+        # and every instance with busy-until <= arrival is moved to the
+        # idle stack at each acquire, so the stack is monotone in freed-at
+        # — the top is the most recently used instance, and a stale top
+        # means everything beneath it is stale too.  Acquire and expiry
+        # are therefore O(log instances) instead of a per-arrival linear
+        # scan over the instance list.
+        self._busy: dict[str, list[tuple[float, int, FunctionInstance]]] = {}
+        self._idle: dict[str, list[tuple[float, FunctionInstance]]] = {}
+        self._seq = itertools.count()
 
     def replay(
         self,
@@ -147,8 +158,13 @@ class TraceReplayer:
         by the original function and counted against the manager's
         breaker — which may un-trim the primary mid-replay.
         """
-        if sorted(arrivals) != list(arrivals):
-            raise PlatformError("arrivals must be sorted")
+        # Linear monotonicity scan — sorting a million-arrival copy just
+        # to compare it costs more than the check is worth.
+        previous = float("-inf")
+        for arrival_time in arrivals:
+            if arrival_time < previous:
+                raise PlatformError("arrivals must be sorted")
+            previous = arrival_time
         function = self.emulator.function(function_name)
         fallback_function: DeployedFunction | None = None
         if fallback is not None:
@@ -243,6 +259,9 @@ class TraceReplayer:
                         )
                     )
 
+            # Publish emulator counters batched on the disabled-recorder
+            # fast path before reporting the replay's own aggregates.
+            self.emulator.flush_obs()
             recorder.counter_add("replay.requests", len(result.requests))
             recorder.counter_add("replay.cold_starts", result.cold_starts)
             recorder.counter_add("replay.warm_starts", result.warm_starts)
@@ -277,40 +296,74 @@ class TraceReplayer:
     ) -> tuple[InvocationRecord, float]:
         """Serve one attempt at trace time *arrival*; log/bill/observe it."""
         emulator = self.emulator
+        instance: FunctionInstance | None = None
         if emulator.faults is not None and emulator.faults.throttled(
             function.name, arrival
         ):
             record = emulator._throttle_record(function)
         else:
-            instance = self._free_warm_instance(function, arrival)
+            instance = self._acquire_warm(function, arrival)
             if instance is not None:
                 record = self._serve_warm(function, instance, event, context)
             else:
                 record = emulator._cold_start(function, event, context)
+                # Recover the instance the cold start created (it is the
+                # newest in the list) — unless it crashed before joining.
+                if (
+                    function.instances
+                    and function.instances[-1].instance_id == record.instance_id
+                ):
+                    instance = function.instances[-1]
         # Trace-time accounting, not the forward-only virtual clock:
         # windows and concurrency follow the arrivals.  Replay does not
         # re-emit per-record obs counters (it reports in aggregate).
         emulator._record_invocation(record, arrival=arrival, emit_obs=False)
         completion = arrival + record.e2e_s
-        if record.instance_id != "-":
-            self._busy_until[record.instance_id] = completion
-            self._last_served[record.instance_id] = completion
+        if instance is not None and instance.alive:
+            # Still alive after serving (not OOM-killed / crashed): it is
+            # busy until this request's trace-time completion.
+            heapq.heappush(
+                self._busy.setdefault(function.name, []),
+                (completion, next(self._seq), instance),
+            )
         return record, completion
 
-    def _free_warm_instance(
+    def _acquire_warm(
         self, function: DeployedFunction, arrival: float
     ) -> FunctionInstance | None:
+        """Pop a warm instance free at *arrival*, or None (cold start).
+
+        MRU order: the most recently freed instance serves first, which
+        both matches container-reuse behaviour and lets one stale stack
+        top expire the whole stack at once.
+        """
+        name = function.name
+        idle = self._idle.get(name)
+        if idle is None:
+            idle = self._idle[name] = []
+            # Adopt instances that predate this replayer (e.g. warmed by
+            # direct invokes) as idle-as-of-now.
+            for existing in function.instances:
+                if existing.alive:
+                    idle.append((arrival, existing))
+        busy = self._busy.get(name)
+        if busy:
+            # Everything that completed by this arrival becomes idle; heap
+            # order makes the pushes monotone in freed-at.
+            while busy and busy[0][0] <= arrival:
+                freed_at, _, freed = heapq.heappop(busy)
+                idle.append((freed_at, freed))
         keep_alive = self.emulator.keep_alive_s
-        for instance in function.instances:
-            if not instance.app.loaded:
-                continue
-            if self._busy_until.get(instance.instance_id, 0.0) > arrival:
-                continue  # still serving an earlier overlapping request
-            idle_for = arrival - self._last_served.get(
-                instance.instance_id, arrival
-            )
-            if idle_for <= keep_alive:
-                return instance
+        while idle:
+            freed_at, candidate = idle[-1]
+            if arrival - freed_at > keep_alive:
+                # The freshest idle instance has already expired, so every
+                # older one beneath it has too: drop the whole stack.
+                idle.clear()
+                return None
+            idle.pop()
+            if candidate.alive:  # else killed or un-trimmed: discard
+                return candidate
         return None
 
     def _serve_warm(

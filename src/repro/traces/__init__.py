@@ -11,12 +11,14 @@ cost breakdown.
 """
 
 from repro.traces.azure import AzureTraceGenerator, FunctionTrace
+from repro.traces.fleet import FleetTrace
 from repro.traces.simulator import CostBreakdown, TraceSimulator
 from repro.traces.matching import match_function
 
 __all__ = [
     "AzureTraceGenerator",
     "FunctionTrace",
+    "FleetTrace",
     "CostBreakdown",
     "TraceSimulator",
     "match_function",

@@ -145,6 +145,49 @@ class TestObservabilityCommands:
         assert "not a telemetry export" in capsys.readouterr().err
 
 
+class TestReplayCommand:
+    def test_replay_generated_fleet_end_to_end(self, toy_app, tmp_path, capsys):
+        export = tmp_path / "export.json"
+        merged = tmp_path / "merged.jsonl"
+        code = main([
+            "replay", str(toy_app.root),
+            "--invocations", "120", "--max-per-function", "100",
+            "--seed", "11", "--workers", "2",
+            "--export", str(export),
+            "--log-dir", str(tmp_path / "logs"),
+            "--merged-log", str(merged),
+            "--spill-threshold", "32",
+            "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["arrivals"] >= 120
+        assert payload["delivered"] == payload["arrivals"]
+        assert payload["status_counts"]["success"] == payload["arrivals"]
+        assert payload["workers"] == 2
+
+        # The export renders on the standard dashboard...
+        assert main(["dashboard", str(export)]) == 0
+        assert "fleet telemetry" in capsys.readouterr().out
+        # ...and the merged record log streams into one too.
+        assert main(["dashboard", str(merged)]) == 0
+        assert "fleet telemetry" in capsys.readouterr().out
+
+    def test_replay_saved_trace(self, toy_app, tmp_path, capsys):
+        from repro.traces import FleetTrace
+
+        trace_path = FleetTrace.generate(3, seed=4).save(
+            tmp_path / "trace.jsonl"
+        )
+        code = main([
+            "replay", str(toy_app.root), "--trace", str(trace_path),
+        ])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "3 function(s)" in stdout
+        assert "1 worker(s)" in stdout
+
+
 class TestResumeFlag:
     def test_trim_writes_journal_by_default(self, toy_app, tmp_path, capsys):
         out = tmp_path / "trimmed"
