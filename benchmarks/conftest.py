@@ -18,6 +18,21 @@ from repro.obs import InMemoryRecorder, set_recorder, write_jsonl
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--check-floor",
+        action="store_true",
+        default=False,
+        help="ratchet: fail if throughput regresses >15% below the "
+        "committed floor in benchmarks/results/BENCH_floor.json",
+    )
+
+
+@pytest.fixture(scope="session")
+def check_floor(request):
+    return request.config.getoption("--check-floor")
+
+
 @pytest.fixture(scope="session", autouse=True)
 def obs_export():
     """Record the whole bench session and export it as JSON lines.

@@ -190,6 +190,17 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--record-detail", action="store_true",
                         help="emit the per-invocation observability event "
                              "(slower; off by default for fleet scale)")
+    replay.add_argument("--engine", choices=("auto", "kernel", "reference"),
+                        default="auto",
+                        help="replay engine: auto picks the template kernel "
+                             "when the workload is replayable (default), "
+                             "reference forces real execution; exports are "
+                             "byte-identical either way")
+    replay.add_argument("--min-shard-invocations", type=int, default=None,
+                        help="cap the shard count so each worker gets at "
+                             "least this many invocations (below the "
+                             "break-even point extra workers slow replay "
+                             "down; see benchmarks/results/BENCH_replay.json)")
     replay.add_argument("--json", action="store_true",
                         help="emit the run summary as JSON")
 
@@ -495,6 +506,8 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         log_dir=args.log_dir,
         merged_log=args.merged_log,
         spill_threshold=args.spill_threshold,
+        engine=args.engine,
+        min_shard_invocations=args.min_shard_invocations,
         **kwargs,
     )
     if args.export is not None:

@@ -48,7 +48,11 @@ from repro.platform.retry import (
 )
 from repro.platform.slo import FLEET, SloBreach, SloPolicy, SloRule
 from repro.platform.telemetry import FleetReport, TelemetrySink, WindowRollup
-from repro.platform.tuning import CpuScalingModel, MemoryRecommendation, recommend_memory
+from repro.platform.tuning import (
+    CpuScalingModel,
+    MemoryRecommendation,
+    recommend_memory,
+)
 
 __all__ = [
     "VirtualClock",

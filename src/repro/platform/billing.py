@@ -60,7 +60,16 @@ class BillingLedger:
         match, and no function may appear on one side only.  Raises
         :class:`AssertionError` on any mismatch — this is the chaos
         acceptance check, usable from tests and benchmarks alike.
+        When *records* maintains an incremental ``billing_summary()``
+        (:class:`~repro.platform.logs.ExecutionLog` does), the check runs
+        off those per-function totals in O(functions) instead of
+        materialising every record — same sums, same order, same
+        assertions.
         """
+        summary = getattr(records, "billing_summary", None)
+        if callable(summary):
+            self._reconcile_summary(summary())
+            return
         expected: dict[str, dict[str, float]] = {}
         for record in records:
             entry = expected.setdefault(
@@ -94,6 +103,32 @@ class BillingLedger:
             assert bill.invocations == entry["invocations"], name
             assert bill.cold_starts == entry["cold"], name
             assert bill.throttles == entry["throttles"], name
+
+    def _reconcile_summary(
+        self, expected: dict[str, tuple[float, int, int, int, float]]
+    ) -> None:
+        billed_functions = {
+            name
+            for name, bill in self.bills.items()
+            if bill.invocations or bill.throttles
+        }
+        assert set(expected) == billed_functions, (
+            f"ledger functions {sorted(billed_functions)} != "
+            f"record functions {sorted(expected)}"
+        )
+        for name, (cost, invocations, cold, throttles, throttled_cost) in (
+            expected.items()
+        ):
+            assert throttled_cost == 0.0, (
+                f"{name}: throttled records carry a cost: {throttled_cost}"
+            )
+            bill = self.bills[name]
+            assert bill.invocation_cost == cost, (
+                f"{name}: ledger {bill.invocation_cost} != records {cost}"
+            )
+            assert bill.invocations == invocations, name
+            assert bill.cold_starts == cold, name
+            assert bill.throttles == throttles, name
 
     def charge_snapstart_restore(self, function: str, cost: float) -> None:
         self.bill_for(function).snapstart_restore_cost += cost

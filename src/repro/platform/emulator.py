@@ -72,6 +72,13 @@ class DeployedFunction:
     instance_seq: itertools.count = field(
         default_factory=lambda: itertools.count(1), repr=False
     )
+    #: Deploy-time cache of ``(instance_init_s, transmission_s)``: the
+    #: overhead is a pure function of the bundle manifest and the
+    #: emulator's constants, so it is computed once per deploy (and
+    #: invalidated on a bundle swap) instead of on every cold start.
+    overhead_cache: tuple[float, float] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def warm_instance(self, now: float, keep_alive_s: float) -> FunctionInstance | None:
         for instance in self.instances:
@@ -199,6 +206,7 @@ class LambdaEmulator:
         function.generation += 1
         if bundle is not None:
             function.bundle = bundle
+            function.overhead_cache = None
         function.discard_instances()
         if function.snapstart:
             function.snapshot = None  # a new version re-snapshots
@@ -206,14 +214,25 @@ class LambdaEmulator:
     # -- invocation -----------------------------------------------------------
 
     def platform_overhead_s(self, function: DeployedFunction) -> tuple[float, float]:
-        """(instance init, image transmission) — the unbilled phases."""
+        """(instance init, image transmission) — the unbilled phases.
+
+        Cached on the function after the first call (invalidated when
+        :meth:`update_function` swaps the bundle), so the per-cold-start
+        cost is a tuple unpack.
+        """
+        cached = function.overhead_cache
+        if cached is not None:
+            return cached
         manifest = function.bundle.manifest
         if manifest.platform_overhead_s is not None:
             total = manifest.platform_overhead_s
             instance_init = min(self.instance_init_s, total / 2)
-            return instance_init, total - instance_init
-        transmission = manifest.image_size_mb / self.transmission_mb_per_s
-        return self.instance_init_s, transmission
+            overhead = (instance_init, total - instance_init)
+        else:
+            transmission = manifest.image_size_mb / self.transmission_mb_per_s
+            overhead = (self.instance_init_s, transmission)
+        function.overhead_cache = overhead
+        return overhead
 
     def invoke(
         self,
@@ -328,9 +347,7 @@ class LambdaEmulator:
             recorder.counter_add(
                 "emulator.cold_starts" if record.is_cold else "emulator.warm_starts"
             )
-        recorder.counter_add(
-            "emulator.billed_ms", record.billed_duration_s * 1000.0
-        )
+        recorder.counter_add("emulator.billed_ms", record.billed_duration_s * 1000.0)
         recorder.counter_add("emulator.cost_usd", record.cost_usd)
         if not record.ok:
             recorder.counter_add("emulator.errors")
@@ -454,7 +471,9 @@ class LambdaEmulator:
             restore_s,
         )
 
-    def _configured_mb(self, function: DeployedFunction, instance: FunctionInstance) -> int:
+    def _configured_mb(
+        self, function: DeployedFunction, instance: FunctionInstance
+    ) -> int:
         """The billed memory configuration (measured footprint when unset)."""
         if function.memory_mb is not None:
             return function.memory_mb
@@ -515,10 +534,7 @@ class LambdaEmulator:
             exec_s = timeout_at
             value, error_type = None, "TimeoutError"
             status = InvocationStatus.TIMEOUT
-        elif (
-            function.memory_mb is not None
-            and instance.peak_memory_mb > clamped_mb
-        ):
+        elif function.memory_mb is not None and instance.peak_memory_mb > clamped_mb:
             value, error_type = None, "OutOfMemoryError"
             status = InvocationStatus.OOM
             self._kill_instance(function, instance)

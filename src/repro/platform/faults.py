@@ -53,9 +53,7 @@ class FaultRates:
         for name in ("cold_start_crash", "exec_crash", "throttle"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
-                raise PlatformError(
-                    f"fault rate {name} must be in [0, 1], got {value}"
-                )
+                raise PlatformError(f"fault rate {name} must be in [0, 1], got {value}")
 
 
 @dataclass(frozen=True)

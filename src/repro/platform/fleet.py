@@ -59,6 +59,7 @@ from repro.obs import get_recorder
 from repro.platform.billing import BillingLedger, FunctionBill
 from repro.platform.emulator import DEFAULT_KEEP_ALIVE_S, LambdaEmulator
 from repro.platform.faults import FaultPlan
+from repro.platform.kernel import KernelReplayer, TemplateStore
 from repro.platform.logs import ExecutionLog, iter_jsonl
 from repro.platform.replay import TraceReplayer
 from repro.platform.retry import RetryPolicy
@@ -140,20 +141,25 @@ class FleetReplayResult:
 
 
 def _replay_one(
-    bundle: AppBundle, name: str, timestamps: tuple[float, ...], cfg: dict
+    bundle: AppBundle,
+    name: str,
+    timestamps: tuple[float, ...],
+    cfg: dict,
+    store: TemplateStore | None = None,
 ) -> dict:
     """Replay one function on a fresh emulator; return picklable results."""
+    # Workers never build "*" rollups: the parent rebuilds the fleet
+    # windows deterministically in _merge_report, so per-record fleet
+    # tracking in the worker is pure waste.
     sink = TelemetrySink(
-        window_s=cfg["window_s"], subbuckets=cfg["subbuckets"]
+        window_s=cfg["window_s"], subbuckets=cfg["subbuckets"], track_fleet=False
     )
     log_path: Path | None = None
     if cfg["log_dir"] is not None:
         log_path = Path(cfg["log_dir"]) / f"{name}.jsonl"
         if log_path.exists():
             log_path.unlink()
-        log = ExecutionLog(
-            spill_threshold=cfg["spill_threshold"], spill_path=log_path
-        )
+        log = ExecutionLog(spill_threshold=cfg["spill_threshold"], spill_path=log_path)
     else:
         log = ExecutionLog()
     emulator = LambdaEmulator(
@@ -163,11 +169,30 @@ def _replay_one(
         log=log,
         record_detail=cfg["record_detail"],
     )
-    emulator.deploy(bundle, name=name)
-    replayer = TraceReplayer(emulator)
-    result = replayer.replay(
-        name, list(timestamps), cfg["event"], retry=cfg["retry"]
-    )
+    function = emulator.deploy(bundle, name=name)
+    engine = cfg.get("engine", "auto")
+    use_kernel = False
+    if engine != "reference":
+        replayable = TemplateStore.key_for(function, cfg["event"], None)
+        if replayable is not None:
+            use_kernel = True
+        elif engine == "kernel":
+            raise PlatformError(
+                f"engine='kernel' cannot replay {name!r}: snapstart or a "
+                "non-JSON event needs engine='reference'"
+            )
+    if use_kernel:
+        result = KernelReplayer(emulator, store).replay(
+            name, list(timestamps), cfg["event"], retry=cfg["retry"]
+        )
+        requests = result.requests
+        dead_letters = result.dead_letters
+    else:
+        result = TraceReplayer(emulator).replay(
+            name, list(timestamps), cfg["event"], retry=cfg["retry"]
+        )
+        requests = len(result.requests)
+        dead_letters = len(result.dead_letters)
     if cfg["verify_ledger"]:
         emulator.ledger.reconcile(emulator.log)
     status_counts = emulator.log.status_counts()
@@ -188,9 +213,9 @@ def _replay_one(
         "stats": FunctionReplayStats(
             function=name,
             arrivals=result.arrivals,
-            requests=len(result.requests),
+            requests=requests,
             delivered=result.delivered,
-            dead_letters=len(result.dead_letters),
+            dead_letters=dead_letters,
             attempts=result.attempts,
             retries=result.retries,
             throttled=result.throttled,
@@ -206,11 +231,20 @@ def _replay_one(
 
 
 def _replay_shard(payload: dict) -> list[dict]:
-    """Worker entry point: replay every function in one shard, in order."""
+    """Worker entry point: replay every function in one shard, in order.
+
+    One :class:`~repro.platform.kernel.TemplateStore` spans the shard:
+    every function replays the same ``(bundle, event)`` pair, so the
+    capture cost — one real cold start plus two real warm invocations —
+    is paid once per shard, not once per function.  The store is scoped
+    here, never module-global, so a rebuilt bundle at the same path can
+    never be served stale templates.
+    """
     bundle = AppBundle(payload["bundle_root"])
     cfg = payload["cfg"]
+    store = TemplateStore()
     return [
-        _replay_one(bundle, name, timestamps, cfg)
+        _replay_one(bundle, name, timestamps, cfg, store)
         for name, timestamps in payload["functions"]
     ]
 
@@ -284,9 +318,10 @@ def _merge_report(
     )
 
 
-def _merge_logs(
-    shards: list[tuple[str, Path]], destination: Path
-) -> Path:
+_TIMESTAMP_TAG = '"timestamp": '
+
+
+def _merge_logs(shards: list[tuple[str, Path]], destination: Path) -> Path:
     """K-way merge per-function JSONL shards by (timestamp, function, seq).
 
     Streams: only one line per shard is resident at any moment, so
@@ -298,7 +333,23 @@ def _merge_logs(
             for position, line in enumerate(handle):
                 if not line.strip():
                     continue
-                timestamp = json.loads(line)["timestamp"]
+                # The merge key is the timestamp field alone; shard lines
+                # are json.dumps output, so slice the float straight out
+                # instead of parsing the whole record.  float() of the
+                # dumped repr round-trips exactly; anything surprising
+                # falls back to a full parse.
+                start = line.find(_TIMESTAMP_TAG)
+                timestamp: float | None = None
+                if start >= 0:
+                    start += len(_TIMESTAMP_TAG)
+                    end = line.find(",", start)
+                    if end > start:
+                        try:
+                            timestamp = float(line[start:end])
+                        except ValueError:
+                            timestamp = None
+                if timestamp is None:
+                    timestamp = json.loads(line)["timestamp"]
                 yield (timestamp, name, position, line)
 
     destination.parent.mkdir(parents=True, exist_ok=True)
@@ -329,9 +380,7 @@ def report_from_log(
     differently; rates, percentiles, and costs still agree.
     """
     policy = slos if isinstance(slos, SloPolicy) else SloPolicy(list(slos))
-    sink = TelemetrySink(
-        window_s=window_s, subbuckets=subbuckets, slos=policy
-    )
+    sink = TelemetrySink(window_s=window_s, subbuckets=subbuckets, slos=policy)
     count = 0
     for record in iter_jsonl(path):
         sink.observe(record)
@@ -369,7 +418,9 @@ def replay_fleet(
     merged_log: Path | str | None = None,
     spill_threshold: int | None = None,
     verify_ledger: bool = True,
-    mp_context: str = "forkserver",
+    mp_context: str = "fork",
+    engine: str = "auto",
+    min_shard_invocations: int | None = None,
 ) -> FleetReplayResult:
     """Replay a multi-function fleet trace; merge deterministically.
 
@@ -382,14 +433,39 @@ def replay_fleet(
     ``spill_threshold`` is set); ``merged_log`` additionally k-way merges
     the shards into one timestamp-ordered export.  ``verify_ledger``
     float-exactly reconciles each worker's ledger against its records
-    before anything is merged.
+    before anything is merged (O(functions) via the log's incremental
+    billing summary).
+
+    ``engine`` selects the per-function replay engine: ``"auto"``
+    (default) uses the template :class:`~repro.platform.kernel.
+    KernelReplayer` whenever the workload is replayable and falls back to
+    the reference :class:`~repro.platform.replay.TraceReplayer`
+    otherwise; ``"kernel"`` requires the kernel (raises when it cannot
+    serve); ``"reference"`` forces the reference engine.  Both engines
+    produce byte-identical exports.
+
+    ``min_shard_invocations`` guards against the parallel-slowdown
+    regime: when set, the shard count is capped so every worker receives
+    at least that many invocations — below the break-even point (see
+    ``benchmarks/bench_replay_throughput.py``) process startup dominates
+    and extra workers make the replay *slower*.  The cap never changes
+    the output, only how it is partitioned.
 
     Returns a :class:`FleetReplayResult` whose report, ledger totals,
     per-function stats, and log bytes are identical for identical
-    ``(bundle, trace, seed)`` inputs at any worker count.
+    ``(bundle, trace, seed)`` inputs at any worker count and either
+    engine.
     """
     if workers < 1:
         raise PlatformError(f"need at least one worker: {workers}")
+    if engine not in ("auto", "kernel", "reference"):
+        raise PlatformError(
+            f"unknown engine {engine!r}: expected auto, kernel, or reference"
+        )
+    if min_shard_invocations is not None and min_shard_invocations < 0:
+        raise PlatformError(
+            f"min_shard_invocations must be non-negative: {min_shard_invocations}"
+        )
     if len(trace) == 0:
         raise PlatformError("fleet trace has no functions")
     if merged_log is not None and log_dir is None:
@@ -398,9 +474,7 @@ def replay_fleet(
         raise PlatformError(
             "replay_fleet takes a FaultPlan (picklable), not a FaultInjector"
         )
-    bundle_root = (
-        bundle.root if isinstance(bundle, AppBundle) else Path(bundle)
-    )
+    bundle_root = bundle.root if isinstance(bundle, AppBundle) else Path(bundle)
     policy = slos if isinstance(slos, SloPolicy) else SloPolicy(list(slos))
     if log_dir is not None:
         Path(log_dir).mkdir(parents=True, exist_ok=True)
@@ -416,8 +490,14 @@ def replay_fleet(
         "log_dir": str(log_dir) if log_dir is not None else None,
         "spill_threshold": spill_threshold,
         "verify_ledger": verify_ledger,
+        "engine": engine,
     }
-    shards = trace.partition(workers)
+    effective_workers = workers
+    if min_shard_invocations:
+        effective_workers = min(
+            workers, max(1, trace.invocations // min_shard_invocations)
+        )
+    shards = trace.partition(effective_workers)
     payloads = [
         {
             "bundle_root": str(bundle_root),
@@ -471,14 +551,10 @@ def replay_fleet(
 
         merged_path: Path | None = None
         if merged_log is not None:
-            merged_path = _merge_logs(
-                sorted(log_paths.items()), Path(merged_log)
-            )
+            merged_path = _merge_logs(sorted(log_paths.items()), Path(merged_log))
 
         recorder.counter_add("fleet.functions", len(results))
-        recorder.counter_add(
-            "fleet.arrivals", sum(s.arrivals for s in stats.values())
-        )
+        recorder.counter_add("fleet.arrivals", sum(s.arrivals for s in stats.values()))
         if span is not None:
             span.set_attr("wall_s", round(wall_s, 3))
             span.set_attr("breaches", len(report.breaches))

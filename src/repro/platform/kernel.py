@@ -1,0 +1,1085 @@
+"""The replay kernel: template-capture fast path for trace replay.
+
+:class:`~repro.platform.replay.TraceReplayer` replays every arrival by
+*really* importing and executing the application under the virtual
+meter.  That is the reference semantics, but at fleet scale it is almost
+all redundant work: instances are isolated (each gets private copies of
+its modules via ``isolated_imports``) and the metering is deterministic,
+so every cold start of a function replays the same charge sequence, and
+every warm invocation from the second onwards replays the same charge
+*tape*.  :class:`KernelReplayer` exploits exactly that:
+
+1. **Capture.**  The first cold start and the first two warm
+   invocations of each ``(bundle, event)`` pair run for real, recording
+   the meter's charge sequence (per-event virtual times and memory
+   deltas), the handler's return value, and the error outcome.
+2. **Verify.**  The two warm tapes must match exactly — times, memory,
+   value, error — and the memory deltas must account for the meter's
+   live footprint (a handler that *frees* memory is not replayable from
+   deltas).  Any mismatch disables the template: the function simply
+   keeps running on the reference path, still byte-identical.
+3. **Synthesize.**  Once verified, further invocations never touch an
+   interpreter: the kernel replays the captured charges as the same
+   sequence of float additions against a per-instance simulated meter
+   (running time, live MB, peak MB), feeds the decomposed fields
+   straight into the columnar :class:`~repro.platform.logs.ExecutionLog`
+   (:meth:`~repro.platform.logs.ExecutionLog.append_row`), the billing
+   ledger, and the telemetry sink's row path — no
+   :class:`~repro.platform.logs.InvocationRecord` objects, no enum
+   lookups, no dict churn.
+
+Because ``x + 0.0 == x`` and the charge replay performs the *same
+additions in the same order* as the real meter, every derived float —
+``exec_duration_s`` (a difference of running sums, so it drifts across
+an instance's lifetime!), ``e2e_s``, billed durations, costs — comes out
+bit-identical to the reference engine.  Clock advancement, fault-RNG
+draw order, request-id consumption, and warm-pool decisions (MRU idle
+stack + busy heap, cloned from ``TraceReplayer``) are replicated
+exactly, so logs, ledgers, telemetry, and dead letters are
+byte-identical at any worker count.  The property tests in
+``tests/platform/test_kernel.py`` pin this down across seeds.
+
+Status/billing math that is per-run rather than per-invocation — the
+peak-concurrency sweep — is vectorized with numpy when available
+(:func:`peak_concurrency`); the pure-Python two-pointer sweep is the
+reference and provably computes the same maximum.
+
+What falls back to the reference engine: SnapStart functions, non-JSON
+events, a non-``None`` context, fallback managers, and any workload
+whose capture fails verification.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.errors import PlatformError
+from repro.obs import get_recorder
+from repro.platform.emulator import DeployedFunction, LambdaEmulator
+from repro.platform.instance import FunctionInstance
+from repro.platform.logs import (
+    _START_TYPE_INDEX,
+    _START_TYPES,
+    _STATUS_INDEX,
+    _STATUS_TYPES,
+    InvocationRecord,
+    InvocationStatus,
+    StartType,
+)
+from repro.platform.retry import DeadLetter, RetryPolicy
+
+try:  # numpy is an optional accelerator; pure Python is the reference
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via vectorized=False
+    _np = None
+
+__all__ = ["KernelReplayer", "KernelResult", "TemplateStore", "peak_concurrency"]
+
+_COLD = _START_TYPE_INDEX[StartType.COLD]
+_WARM = _START_TYPE_INDEX[StartType.WARM]
+_THROTTLED_START = _START_TYPE_INDEX[StartType.THROTTLED]
+_S_SUCCESS = _STATUS_INDEX[InvocationStatus.SUCCESS]
+_S_ERROR = _STATUS_INDEX[InvocationStatus.ERROR]
+_S_TIMEOUT = _STATUS_INDEX[InvocationStatus.TIMEOUT]
+_S_OOM = _STATUS_INDEX[InvocationStatus.OOM]
+_S_THROTTLED = _STATUS_INDEX[InvocationStatus.THROTTLED]
+_S_CRASHED = _STATUS_INDEX[InvocationStatus.CRASHED]
+_STATUS_VALUES = tuple(s.value for s in _STATUS_TYPES)
+_INF = float("inf")
+
+
+def peak_concurrency(
+    arrivals: Sequence[float],
+    completions: Sequence[float],
+    *,
+    vectorized: bool | None = None,
+) -> int:
+    """Maximum number of simultaneously in-flight requests.
+
+    Equivalent to the reference edge sweep (sort ``(t, +1)``/``(t, -1)``
+    edges with departures before arrivals at ties, track the running
+    depth): with both arrays sorted, the depth at the i-th arrival is
+    ``i + 1 - |{completions <= arrival}|``, and the maximum over
+    arrivals is the peak.  ``vectorized=None`` uses numpy when
+    installed; ``False`` forces the pure-Python reference sweep.
+    """
+    n = len(arrivals)
+    if n == 0:
+        return 0
+    use_numpy = (_np is not None) if vectorized is None else vectorized
+    if use_numpy:
+        if _np is None:
+            raise PlatformError("numpy is not available for vectorized=True")
+        arr = _np.sort(_np.asarray(arrivals, dtype=float))
+        comp = _np.sort(_np.asarray(completions, dtype=float))
+        depths = _np.arange(1, n + 1) - _np.searchsorted(comp, arr, side="right")
+        return int(depths.max())
+    arr_sorted = sorted(arrivals)
+    comp_sorted = sorted(completions)
+    peak = 0
+    j = 0
+    for i, arrival in enumerate(arr_sorted):
+        while j < n and comp_sorted[j] <= arrival:
+            j += 1
+        depth = i + 1 - j
+        if depth > peak:
+            peak = depth
+    return peak
+
+
+def _value_key(value: Any) -> Any:
+    """Precompute the ExecutionLog interning key for a template value."""
+    if value is None:
+        return None
+    try:
+        hash(value)
+    except TypeError:
+        try:
+            return json.dumps(value, sort_keys=True)
+        except (TypeError, ValueError):
+            return None
+    return value
+
+
+@dataclass
+class _ColdTemplate:
+    """Constants of a cold start: init phase plus the first invocation.
+
+    Cold starts are position-independent — the instance meter always
+    starts at zero, so every float here is a constant, not a tape.
+    """
+
+    init_s: float
+    init_live: float
+    init_peak: float
+    #: Meter state after invocation #1 (seed state for the warm tape).
+    post_t: float
+    post_live: float
+    post_peak: float
+    exec1_s: float
+    value: Any
+    value_key: Any
+    error_type: str | None
+
+
+@dataclass
+class _WarmTemplate:
+    """The verified warm-invocation charge tape.
+
+    ``times``/``mems`` are per-charge-event virtual seconds and MB
+    deltas; replaying them as sequential additions against the
+    instance's running meter state reproduces ``exec_duration_s`` (a
+    difference of running sums) bit-for-bit, including its float drift
+    across the instance's lifetime.
+    """
+
+    times: tuple[float, ...]
+    mems: tuple[float, ...]
+    has_mem: bool
+    value: Any
+    value_key: Any
+    error_type: str | None
+
+
+class _Entry:
+    """Capture state for one ``(bundle root, event)`` pair."""
+
+    __slots__ = ("cold", "warm", "candidate", "disabled")
+
+    def __init__(self) -> None:
+        self.cold: _ColdTemplate | None = None
+        self.warm: _WarmTemplate | None = None
+        #: First warm capture, awaiting confirmation by a second.
+        self.candidate: tuple | None = None
+        #: Set when captures disagree or memory frees make the tape
+        #: unreplayable: this pair runs on the reference path forever.
+        self.disabled = False
+
+    @property
+    def ready(self) -> bool:
+        """Can cold starts be synthesized end to end?
+
+        Requires the *warm* tape too: a synthesized instance has no real
+        interpreter behind it, so it must never need a warm capture.
+        """
+        return self.cold is not None and self.warm is not None and not self.disabled
+
+
+class TemplateStore:
+    """Capture-once template cache, scoped to one replay shard/process.
+
+    Deliberately *not* module-global: a bundle path may be rebuilt with
+    different contents across calls, and a store that outlives the shard
+    would serve stale templates.  The capture cost (one real cold start
+    plus two real warm invocations per function) is paid once per shard.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[Any, _Entry] = {}
+
+    def entry(self, key: Any) -> _Entry:
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = self._entries[key] = _Entry()
+        return entry
+
+    @staticmethod
+    def key_for(
+        function: DeployedFunction, event: Any, context: Any
+    ) -> tuple[str, str] | None:
+        """The template cache key, or None if the kernel cannot serve.
+
+        SnapStart re-checkpoints through the C/R simulator, a context
+        object may carry behaviour, and a non-JSON event cannot be
+        keyed — all three fall back to the reference engine.
+        """
+        if context is not None or function.snapstart:
+            return None
+        try:
+            event_key = json.dumps(event, sort_keys=True)
+        except (TypeError, ValueError):
+            return None
+        return (str(function.bundle.root), event_key)
+
+
+class _Shadow:
+    """A pool entry: simulated meter state, optionally backing a real
+    instance (capture phase) or standing alone (synthesized).
+
+    Lives in ``function.instances`` like a real instance so
+    ``discard_instances`` and kill bookkeeping work unchanged.
+    """
+
+    __slots__ = (
+        "instance_id",
+        "alive",
+        "t",
+        "live",
+        "peak",
+        "invocations",
+        "real",
+        "container",
+    )
+
+    def __init__(
+        self,
+        instance_id: str,
+        t: float = 0.0,
+        live: float = 0.0,
+        peak: float = 0.0,
+        real: FunctionInstance | None = None,
+    ) -> None:
+        self.instance_id = instance_id
+        self.alive = True
+        self.t = t
+        self.live = live
+        self.peak = peak
+        self.invocations = 0
+        self.real = real
+        #: What actually sits in ``function.instances`` for this shadow —
+        #: the shadow itself for kernel-created instances, the wrapped
+        #: real instance for adopted ones.
+        self.container: Any = self
+
+    def is_warm(self, now: float, keep_alive_s: float) -> bool:
+        # Direct emulator.invoke() between kernel replays is not a
+        # supported mix; report not-warm so it cold-starts safely.
+        return False
+
+    def shutdown(self) -> None:
+        self.alive = False
+        if self.real is not None:
+            self.real.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "captured" if self.real is not None else "synth"
+        return f"_Shadow({self.instance_id}, {kind}, used {self.invocations}x)"
+
+
+@dataclass
+class KernelResult:
+    """Aggregate outcome of a kernel replay.
+
+    The counting twin of :class:`~repro.platform.replay.ReplayResult`:
+    same totals, computed incrementally over final outcomes in the same
+    order, without retaining per-request objects.
+    """
+
+    arrivals: int = 0
+    requests: int = 0
+    delivered: int = 0
+    attempts: int = 0
+    retries: int = 0
+    throttled: int = 0
+    fallbacks: int = 0
+    cold_starts: int = 0
+    warm_starts: int = 0
+    total_cost: float = 0.0
+    peak_concurrency: int = 0
+    dead_letter_list: list[DeadLetter] = field(default_factory=list)
+
+    @property
+    def dead_letters(self) -> int:
+        return len(self.dead_letter_list)
+
+    @property
+    def lost(self) -> int:
+        return self.arrivals - self.requests - len(self.dead_letter_list)
+
+
+class KernelReplayer:
+    """Replays one function's arrivals through the template kernel.
+
+    Bound to a single function name per instance (the warm pool is
+    per-function state).  Use :class:`~repro.platform.replay.
+    TraceReplayer` when you need fallback managers or non-replayable
+    workloads; :func:`~repro.platform.fleet.replay_fleet` picks the
+    engine per function automatically.
+    """
+
+    def __init__(
+        self,
+        emulator: LambdaEmulator,
+        store: TemplateStore | None = None,
+        *,
+        vectorized: bool | None = None,
+    ) -> None:
+        self.emulator = emulator
+        self.store = store if store is not None else TemplateStore()
+        self.vectorized = vectorized
+        # Warm-pool bookkeeping cloned from TraceReplayer: a heap of
+        # (busy-until, seq, shadow) and a monotone MRU stack of
+        # (freed-at, shadow); one stale top expires the whole stack.
+        self._busy: list[tuple[float, int, _Shadow]] = []
+        self._idle: list[tuple[float, _Shadow]] = []
+        self._seq = itertools.count()
+        self._adopted = False
+        self._name: str | None = None
+        # Pricing caches keyed on exact float bits: the billed-duration
+        # quantization collapses exec-time drift onto few values.
+        self._clamp_cache: dict[int, int] = {}
+        self._billed_cache: dict[float, float] = {}
+        self._cost_cache: dict[tuple[float, int], float] = {}
+
+    # -- driving -----------------------------------------------------------
+
+    def replay(
+        self,
+        function_name: str,
+        arrivals: list[float],
+        event: Any,
+        context: Any = None,
+        *,
+        retry: RetryPolicy | None = None,
+    ) -> KernelResult:
+        """Drive *arrivals* through the function on the kernel path.
+
+        Semantics — clock, faults, billing, retries, dead letters,
+        telemetry — are byte-identical to
+        :meth:`TraceReplayer.replay <repro.platform.replay.TraceReplayer
+        .replay>` without a fallback manager.
+        """
+        previous = float("-inf")
+        for arrival_time in arrivals:
+            if arrival_time < previous:
+                raise PlatformError("arrivals must be sorted")
+            previous = arrival_time
+        emulator = self.emulator
+        function = emulator.function(function_name)
+        key = TemplateStore.key_for(function, event, context)
+        if key is None:
+            raise PlatformError(
+                f"kernel cannot replay {function_name!r}: snapstart, a "
+                "context object, or a non-JSON event needs the reference "
+                "engine"
+            )
+        if self._name is None:
+            self._name = function_name
+        elif self._name != function_name:
+            raise PlatformError(
+                "a KernelReplayer is bound to one function; create another"
+            )
+
+        self._function = function
+        self._event = event
+        self._context = context
+        self._entry = self.store.entry(key)
+        self._routing = emulator.routing_s
+        instance_init_s, transmission_s = emulator.platform_overhead_s(function)
+        self._overhead = (instance_init_s, transmission_s)
+        self._overhead_sum = instance_init_s + transmission_s
+        self._timeout_s = function.timeout_s
+        self._memory_mb = function.memory_mb
+        self._bill = emulator.ledger.bill_for(function_name)
+        self._log = emulator.log
+        self._sink = emulator.telemetry
+        self._faults = emulator.faults
+        self._clock = emulator.clock
+        self._pricing = emulator.pricing
+        self._request_ids = emulator._request_ids
+
+        session = retry.session() if retry is not None else None
+        recorder = get_recorder()
+        result = KernelResult(arrivals=len(arrivals))
+        arrival_times: list[float] = []
+        completion_times: list[float] = []
+
+        with recorder.span(
+            "replay.run", label=function_name, arrivals=len(arrivals)
+        ) as span:
+            if session is None:
+                serve = self._serve
+                for t in arrivals:
+                    status, start, completion, cost, _ = serve(t, False)
+                    result.attempts += 1
+                    if status == _S_THROTTLED:
+                        result.throttled += 1
+                    result.requests += 1
+                    if status == _S_SUCCESS:
+                        result.delivered += 1
+                    if start == _COLD:
+                        result.cold_starts += 1
+                    elif start == _WARM:
+                        result.warm_starts += 1
+                    result.total_cost += cost
+                    arrival_times.append(t)
+                    completion_times.append(completion)
+            else:
+                self._replay_with_retries(
+                    arrivals, session, result, arrival_times, completion_times
+                )
+
+            emulator.flush_obs()
+            result.peak_concurrency = peak_concurrency(
+                arrival_times, completion_times, vectorized=self.vectorized
+            )
+            recorder.counter_add("replay.requests", result.requests)
+            recorder.counter_add("replay.cold_starts", result.cold_starts)
+            recorder.counter_add("replay.warm_starts", result.warm_starts)
+            recorder.counter_add("replay.cost_usd", result.total_cost)
+            recorder.gauge_max("replay.peak_concurrency", result.peak_concurrency)
+            if result.retries:
+                recorder.counter_add("replay.retries", result.retries)
+            if result.throttled:
+                recorder.counter_add("replay.throttled", result.throttled)
+            if result.dead_letter_list:
+                recorder.counter_add(
+                    "replay.dead_letters", len(result.dead_letter_list)
+                )
+            if span is not None:
+                span.set_attr("cold_starts", result.cold_starts)
+                span.set_attr("warm_starts", result.warm_starts)
+                span.set_attr("peak_concurrency", result.peak_concurrency)
+                span.set_attr("cost_usd", round(result.total_cost, 9))
+                span.set_attr("attempts", result.attempts)
+                span.set_attr("retries", result.retries)
+                span.set_attr("dead_letters", len(result.dead_letter_list))
+        return result
+
+    def _replay_with_retries(
+        self,
+        arrivals: list[float],
+        session,
+        result: KernelResult,
+        arrival_times: list[float],
+        completion_times: list[float],
+    ) -> None:
+        """The retry timeline: a heap of pending attempts, as in the
+        reference engine.  Failed attempts materialise real records (the
+        retry policy and dead letters consume them); successes stay on
+        the record-free fast path."""
+        heap: list[tuple[float, int, int]] = [
+            (t, seq, 1) for seq, t in enumerate(arrivals)
+        ]
+        heapq.heapify(heap)
+        failed_attempts: dict[int, list[InvocationRecord]] = {}
+        while heap:
+            t, seq, attempt = heapq.heappop(heap)
+            status, start, completion, cost, record = self._serve(t, True)
+            result.attempts += 1
+            if status == _S_THROTTLED:
+                result.throttled += 1
+            if status == _S_SUCCESS:
+                failed_attempts.pop(seq, None)
+                result.requests += 1
+                result.delivered += 1
+                if start == _COLD:
+                    result.cold_starts += 1
+                elif start == _WARM:
+                    result.warm_starts += 1
+                result.total_cost += cost
+                arrival_times.append(arrivals[seq])
+                completion_times.append(completion)
+                continue
+            history = failed_attempts.setdefault(seq, [])
+            history.append(record)
+            if session.should_retry(record, attempt):
+                delay = session.next_delay_s(attempt)
+                heapq.heappush(heap, (completion + delay, seq, attempt + 1))
+                result.retries += 1
+            else:
+                failed_attempts.pop(seq, None)
+                result.dead_letter_list.append(
+                    DeadLetter(
+                        function=self._name,
+                        arrival=arrivals[seq],
+                        attempts=tuple(history),
+                    )
+                )
+
+    # -- serving one attempt ----------------------------------------------
+
+    def _serve(
+        self, t: float, want_record: bool
+    ) -> tuple[int, int, float, float, InvocationRecord | None]:
+        """Serve one attempt at trace time *t*.
+
+        Returns ``(status_index, start_index, completion, cost,
+        record)`` — *record* is materialised only for non-success
+        outcomes when *want_record* (the retry path needs them).
+        """
+        faults = self._faults
+        if faults is not None and faults.throttled(self._name, t):
+            return self._emit_throttle(t, want_record)[:5]
+        shadow = self._acquire_warm(t)
+        if shadow is not None:
+            entry = self._entry
+            if entry.warm is not None and not entry.disabled:
+                out = self._synth_warm(shadow, t, want_record)
+            else:
+                out = self._capture_warm(shadow, t, want_record)
+        else:
+            entry = self._entry
+            if entry.ready:
+                out = self._synth_cold(t, want_record)
+            else:
+                out = self._capture_cold(t, want_record)
+        shadow = out[5]
+        if shadow is not None and shadow.alive:
+            heapq.heappush(self._busy, (out[2], next(self._seq), shadow))
+        return out[:5]
+
+    def _acquire_warm(self, t: float) -> _Shadow | None:
+        """The reference engine's MRU warm-pool acquire, over shadows."""
+        idle = self._idle
+        if not self._adopted:
+            self._adopted = True
+            for existing in self._function.instances:
+                if existing.alive:
+                    idle.append((t, self._wrap(existing)))
+        busy = self._busy
+        while busy and busy[0][0] <= t:
+            freed_at, _, freed = heapq.heappop(busy)
+            idle.append((freed_at, freed))
+        keep_alive = self.emulator.keep_alive_s
+        while idle:
+            freed_at, candidate = idle[-1]
+            if t - freed_at > keep_alive:
+                idle.clear()
+                return None
+            idle.pop()
+            if candidate.alive:
+                return candidate
+        return None
+
+    def _wrap(self, instance: FunctionInstance) -> _Shadow:
+        """Adopt a pre-existing real instance into the shadow pool."""
+        meter = instance.app.meter
+        shadow = _Shadow(
+            instance.instance_id,
+            t=meter.time_s,
+            live=meter.live_mb,
+            peak=meter.peak_mb,
+            real=instance,
+        )
+        shadow.invocations = instance.invocations
+        shadow.container = instance
+        return shadow
+
+    def _kill(self, shadow: _Shadow) -> None:
+        shadow.shutdown()
+        instances = self._function.instances
+        if shadow.container in instances:
+            instances.remove(shadow.container)
+
+    # -- capture paths (real execution) ------------------------------------
+
+    def _capture_cold(self, t: float, want_record: bool):
+        function = self._function
+        clock = self._clock
+        instance_init_s, transmission_s = self._overhead
+        clock.advance(self._overhead_sum)
+        instance = FunctionInstance(
+            function.name,
+            function.bundle,
+            created_at=clock.now(),
+            sequence=function.instance_seq,
+        )
+        init_s = instance.initialize()
+        clock.advance(init_s)
+        meter = instance.app.meter
+        faults = self._faults
+        if faults is not None and faults.cold_start_crash(function.name, clock.now()):
+            instance.shutdown()
+            peak = meter.peak_mb
+            return self._emit_cold_crash(
+                t, instance.instance_id, init_s, peak, want_record
+            )
+        shadow = _Shadow(instance.instance_id, real=instance)
+        function.instances.append(shadow)
+        init_live = meter.live_mb
+        init_peak = meter.peak_mb
+        output = instance.invoke(self._event, self._context, at=clock.now())
+        entry = self._entry
+        if entry.cold is None and not entry.disabled:
+            entry.cold = _ColdTemplate(
+                init_s=init_s,
+                init_live=init_live,
+                init_peak=init_peak,
+                post_t=meter.time_s,
+                post_live=meter.live_mb,
+                post_peak=meter.peak_mb,
+                exec1_s=output.exec_time_s,
+                value=output.value,
+                value_key=_value_key(output.value),
+                error_type=output.error_type,
+            )
+        shadow.t = meter.time_s
+        shadow.live = meter.live_mb
+        shadow.peak = meter.peak_mb
+        shadow.invocations = instance.invocations
+        return self._finish_run(
+            shadow,
+            t,
+            _COLD,
+            instance_init_s,
+            transmission_s,
+            init_s,
+            output.exec_time_s,
+            output.value,
+            None,
+            output.error_type,
+            want_record,
+        )
+
+    def _capture_warm(self, shadow: _Shadow, t: float, want_record: bool):
+        instance = shadow.real
+        if instance is None:  # pragma: no cover - ready-gating prevents it
+            raise PlatformError(
+                "kernel invariant violated: synthesized instance asked to "
+                "capture"
+            )
+        meter = instance.app.meter
+        events_before = len(meter.events)
+        live_before = meter.live_mb
+        output = instance.invoke(self._event, self._context, at=self._clock.now())
+        entry = self._entry
+        if entry.warm is None and not entry.disabled:
+            events = meter.events[events_before:]
+            times = tuple(e.time_s for e in events)
+            mems = tuple(e.memory_mb for e in events)
+            # Replaying deltas must reproduce the live footprint; a
+            # handler that frees memory breaks that and stays real.
+            live = live_before
+            for mb in mems:
+                if mb:
+                    live += mb
+            candidate = (times, mems, output.value, output.error_type)
+            if live != meter.live_mb:
+                entry.disabled = True
+            elif entry.candidate is None:
+                entry.candidate = candidate
+            elif entry.candidate == candidate:
+                entry.warm = _WarmTemplate(
+                    times=times,
+                    mems=mems,
+                    has_mem=any(mems),
+                    value=output.value,
+                    value_key=_value_key(output.value),
+                    error_type=output.error_type,
+                )
+            else:
+                entry.disabled = True
+        shadow.t = meter.time_s
+        shadow.live = meter.live_mb
+        shadow.peak = meter.peak_mb
+        shadow.invocations = instance.invocations
+        return self._finish_run(
+            shadow,
+            t,
+            _WARM,
+            0.0,
+            0.0,
+            0.0,
+            output.exec_time_s,
+            output.value,
+            None,
+            output.error_type,
+            want_record,
+        )
+
+    # -- synthesis paths (no interpreter) -----------------------------------
+
+    def _synth_cold(self, t: float, want_record: bool):
+        function = self._function
+        clock = self._clock
+        template = self._entry.cold
+        instance_init_s, transmission_s = self._overhead
+        clock.advance(self._overhead_sum)
+        instance_id = f"{function.name}-i{next(function.instance_seq):05d}"
+        clock.advance(template.init_s)
+        faults = self._faults
+        if faults is not None and faults.cold_start_crash(function.name, clock.now()):
+            return self._emit_cold_crash(
+                t, instance_id, template.init_s, template.init_peak, want_record
+            )
+        shadow = _Shadow(
+            instance_id,
+            t=template.post_t,
+            live=template.post_live,
+            peak=template.post_peak,
+        )
+        shadow.invocations = 1
+        function.instances.append(shadow)
+        return self._finish_run(
+            shadow,
+            t,
+            _COLD,
+            instance_init_s,
+            transmission_s,
+            template.init_s,
+            template.exec1_s,
+            template.value,
+            template.value_key,
+            template.error_type,
+            want_record,
+        )
+
+    def _synth_warm(self, shadow: _Shadow, t: float, want_record: bool):
+        template = self._entry.warm
+        # Replay the charge tape as sequential additions: identical
+        # operations, identical order, identical floats as the meter.
+        running = shadow.t
+        for time_s in template.times:
+            running += time_s
+        exec_raw = running - shadow.t
+        shadow.t = running
+        if template.has_mem:
+            live = shadow.live
+            peak = shadow.peak
+            for mb in template.mems:
+                if mb:
+                    live += mb
+                    if live > peak:
+                        peak = live
+            shadow.live = live
+            shadow.peak = peak
+        shadow.invocations += 1
+        return self._finish_run(
+            shadow,
+            t,
+            _WARM,
+            0.0,
+            0.0,
+            0.0,
+            exec_raw,
+            template.value,
+            template.value_key,
+            template.error_type,
+            want_record,
+        )
+
+    # -- shared post-execution math ----------------------------------------
+
+    def _finish_run(
+        self,
+        shadow: _Shadow,
+        arrival: float,
+        start_index: int,
+        instance_init_s: float,
+        transmission_s: float,
+        billed_init_s: float,
+        exec_raw: float,
+        value: Any,
+        value_key: Any,
+        error_type: str | None,
+        want_record: bool,
+    ):
+        """Everything the reference ``_run`` does after the invocation:
+        memory configuration, CPU scaling, the crash/timeout/OOM ladder,
+        the clock advance, and record emission."""
+        peak = shadow.peak
+        memory_mb = self._memory_mb
+        configured = memory_mb if memory_mb is not None else max(int(peak + 0.999), 1)
+        clamped = self._clamp(configured)
+        exec_s = exec_raw
+        scaling = self.emulator.cpu_scaling
+        if scaling is not None:
+            exec_s *= scaling.duration_factor(clamped, peak)
+        status = _S_SUCCESS if error_type is None else _S_ERROR
+        faults = self._faults
+        crash = (
+            faults.exec_crash(self._name, self._clock.now())
+            if faults is not None
+            else None
+        )
+        crash_at = exec_s * crash.fraction if crash is not None else _INF
+        timeout_s = self._timeout_s
+        timeout_at = (
+            timeout_s if timeout_s is not None and exec_s > timeout_s else _INF
+        )
+        if crash_at < timeout_at and crash_at <= exec_s:
+            exec_s = crash_at
+            value, value_key, error_type = None, None, "InstanceCrash"
+            status = _S_CRASHED
+            self._kill(shadow)
+        elif timeout_at <= exec_s:
+            exec_s = timeout_at
+            value, value_key, error_type = None, None, "TimeoutError"
+            status = _S_TIMEOUT
+        elif memory_mb is not None and peak > clamped:
+            value, value_key, error_type = None, None, "OutOfMemoryError"
+            status = _S_OOM
+            self._kill(shadow)
+        self._clock.advance(exec_s)
+        billed_duration = billed_init_s + exec_s
+        return self._emit(
+            start_index,
+            status,
+            shadow.instance_id,
+            instance_init_s,
+            transmission_s,
+            billed_init_s,
+            exec_s,
+            configured,
+            clamped,
+            peak,
+            value,
+            value_key,
+            error_type,
+            billed_duration,
+            arrival,
+            shadow,
+            want_record,
+        )
+
+    def _emit_cold_crash(
+        self,
+        arrival: float,
+        instance_id: str,
+        billed_init_s: float,
+        peak: float,
+        want_record: bool,
+    ):
+        """A cold start whose instance died during initialization: the
+        init is billed, the instance never joins the pool."""
+        memory_mb = self._memory_mb
+        configured = memory_mb if memory_mb is not None else max(int(peak + 0.999), 1)
+        clamped = self._clamp(configured)
+        instance_init_s, transmission_s = self._overhead
+        return self._emit(
+            _COLD,
+            _S_CRASHED,
+            instance_id,
+            instance_init_s,
+            transmission_s,
+            billed_init_s,
+            0.0,
+            configured,
+            clamped,
+            peak,
+            None,
+            None,
+            "InstanceCrash",
+            billed_init_s,
+            arrival,
+            None,
+            want_record,
+        )
+
+    def _emit_throttle(self, arrival: float, want_record: bool):
+        request_num = next(self._request_ids)
+        timestamp = self._clock.now()
+        routing = self._routing
+        name = self._name
+        self._log.append_row(
+            request_num,
+            name,
+            _THROTTLED_START,
+            _S_THROTTLED,
+            timestamp,
+            None,
+            "-",
+            0.0,
+            0.0,
+            0.0,
+            0.0,
+            0.0,
+            routing,
+            0.0,
+            128,
+            0.0,
+            0.0,
+            "Throttled",
+        )
+        self._bill.throttles += 1
+        sink = self._sink
+        if sink is not None:
+            sink.observe_row(
+                (
+                    name,
+                    _STATUS_VALUES[_S_THROTTLED],
+                    False,
+                    False,
+                    False,
+                    False,
+                    routing,
+                    0.0,
+                    0.0,
+                ),
+                arrival=arrival,
+            )
+        completion = arrival + routing
+        record = None
+        if want_record:
+            record = InvocationRecord(
+                request_id=f"req-{request_num:06d}",
+                function=name,
+                start_type=StartType.THROTTLED,
+                timestamp=timestamp,
+                value=None,
+                instance_id="-",
+                routing_s=routing,
+                cost_usd=0.0,
+                error_type="Throttled",
+                status=InvocationStatus.THROTTLED,
+            )
+        return (_S_THROTTLED, _THROTTLED_START, completion, 0.0, record, None)
+
+    def _emit(
+        self,
+        start_index: int,
+        status_index: int,
+        instance_id: str,
+        instance_init_s: float,
+        transmission_s: float,
+        billed_init_s: float,
+        exec_s: float,
+        configured: int,
+        clamped: int,
+        peak: float,
+        value: Any,
+        value_key: Any,
+        error_type: str | None,
+        billed_duration: float,
+        arrival: float,
+        shadow: _Shadow | None,
+        want_record: bool,
+    ):
+        """Log, bill, and observe one billed invocation — straight into
+        the columnar log and the telemetry row path."""
+        billed_s = self._billed(billed_duration)
+        cost = self._cost(billed_duration, configured)
+        timestamp = self._clock.now()
+        request_num = next(self._request_ids)
+        routing = self._routing
+        name = self._name
+        self._log.append_row(
+            request_num,
+            name,
+            start_index,
+            status_index,
+            timestamp,
+            value,
+            instance_id,
+            instance_init_s,
+            transmission_s,
+            billed_init_s,
+            0.0,
+            exec_s,
+            routing,
+            billed_s,
+            clamped,
+            peak,
+            cost,
+            error_type,
+            value_key=value_key,
+        )
+        bill = self._bill
+        bill.invocation_cost += cost
+        bill.invocations += 1
+        if start_index == _COLD:
+            bill.cold_starts += 1
+        # Same addition order as InvocationRecord.e2e_s.
+        e2e = routing + instance_init_s + transmission_s + billed_init_s + 0.0 + exec_s
+        sink = self._sink
+        if sink is not None:
+            sink.observe_row(
+                (
+                    name,
+                    _STATUS_VALUES[status_index],
+                    status_index == _S_SUCCESS,
+                    True,
+                    start_index == _COLD,
+                    start_index == _WARM,
+                    e2e,
+                    cost,
+                    billed_s,
+                ),
+                arrival=arrival,
+            )
+        completion = arrival + e2e
+        record = None
+        if want_record and status_index != _S_SUCCESS:
+            record = InvocationRecord(
+                request_id=f"req-{request_num:06d}",
+                function=name,
+                start_type=_START_TYPES[start_index],
+                timestamp=timestamp,
+                value=value,
+                instance_id=instance_id,
+                instance_init_s=instance_init_s,
+                transmission_s=transmission_s,
+                init_duration_s=billed_init_s,
+                restore_duration_s=0.0,
+                exec_duration_s=exec_s,
+                routing_s=routing,
+                billed_duration_s=billed_s,
+                memory_config_mb=clamped,
+                peak_memory_mb=peak,
+                cost_usd=cost,
+                error_type=error_type,
+                status=_STATUS_TYPES[status_index],
+            )
+        return (status_index, start_index, completion, cost, record, shadow)
+
+    # -- pricing caches ----------------------------------------------------
+
+    def _clamp(self, configured: int) -> int:
+        clamped = self._clamp_cache.get(configured)
+        if clamped is None:
+            clamped = self._clamp_cache[configured] = (
+                self._pricing.clamp_memory_mb(configured)
+            )
+        return clamped
+
+    def _billed(self, duration_s: float) -> float:
+        billed = self._billed_cache.get(duration_s)
+        if billed is None:
+            billed = self._billed_cache[duration_s] = (
+                self._pricing.billed_duration_s(duration_s)
+            )
+        return billed
+
+    def _cost(self, duration_s: float, configured: int) -> float:
+        key = (duration_s, configured)
+        cost = self._cost_cache.get(key)
+        if cost is None:
+            cost = self._cost_cache[key] = self._pricing.invocation_cost(
+                duration_s, configured
+            )
+        return cost

@@ -246,9 +246,7 @@ def _parse_spec(spec: str) -> tuple[str, str | None, float]:
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"bad percentile in aggregate spec {spec!r}")
         return "quantile", field_name, q
-    raise ValueError(
-        f"unknown aggregate op {op!r} (count, sum, mean, min, max, pNN)"
-    )
+    raise ValueError(f"unknown aggregate op {op!r} (count, sum, mean, min, max, pNN)")
 
 
 class LogQuery:
@@ -482,6 +480,8 @@ _START_TYPES = tuple(StartType)
 _START_TYPE_INDEX = {member: i for i, member in enumerate(_START_TYPES)}
 _STATUS_TYPES = tuple(InvocationStatus)
 _STATUS_INDEX = {member: i for i, member in enumerate(_STATUS_TYPES)}
+_COLD_START = _START_TYPE_INDEX[StartType.COLD]
+_THROTTLED_STATUS = _STATUS_INDEX[InvocationStatus.THROTTLED]
 
 
 class ExecutionLog:
@@ -516,6 +516,13 @@ class ExecutionLog:
         self.spill_threshold = spill_threshold
         self.spill_path = Path(spill_path) if spill_path is not None else None
         self._spilled = 0
+        # Incremental per-function accounting, maintained on every append so
+        # reconciliation and status counts never re-materialise records.
+        # Billing entries are [cost, invocations, cold_starts, throttles,
+        # throttled_cost]; costs accumulate in append order, so the sums are
+        # float-identical to a streaming pass over the records.
+        self._billing: dict[str, list] = {}
+        self._status_totals: dict[str, dict[str, int]] = {}
         self._reset_columns()
         if records is not None:
             for record in records:
@@ -545,14 +552,14 @@ class ExecutionLog:
         for name in _FLOAT_COLUMNS:
             floats[name].append(getattr(record, name))
         self._memory_config.append(record.memory_config_mb)
-        self._start_types.append(_START_TYPE_INDEX[record.start_type])
-        self._statuses.append(_STATUS_INDEX[record.status])
+        status_index = _STATUS_INDEX[record.status]
+        start_index = _START_TYPE_INDEX[record.start_type]
+        self._start_types.append(start_index)
+        self._statuses.append(status_index)
         self._functions.append(self._function_table.intern(record.function))
         self._instances.append(self._instance_table.intern(record.instance_id))
         error = record.error_type
-        self._errors.append(
-            -1 if error is None else self._error_table.intern(error)
-        )
+        self._errors.append(-1 if error is None else self._error_table.intern(error))
 
         request_id = record.request_id
         num = -1
@@ -580,10 +587,108 @@ class ExecutionLog:
                 else:
                     value = self._value_cache.setdefault(key, value)
         self._values.append(value)
+        self._account(record.function, start_index, status_index, record.cost_usd)
         self._size += 1
 
         if self.spill_threshold is not None and self._size >= self.spill_threshold:
             self._spill()
+
+    def append_row(
+        self,
+        request_num: int,
+        function: str,
+        start_index: int,
+        status_index: int,
+        timestamp: float,
+        value: Any,
+        instance_id: str,
+        instance_init_s: float,
+        transmission_s: float,
+        init_duration_s: float,
+        restore_duration_s: float,
+        exec_duration_s: float,
+        routing_s: float,
+        billed_duration_s: float,
+        memory_config_mb: int,
+        peak_memory_mb: float,
+        cost_usd: float,
+        error_type: str | None,
+        value_key: Any = None,
+    ) -> None:
+        """Append one invocation straight into the columns.
+
+        The fast-path twin of :meth:`append` for callers (the replay
+        kernel) that already hold the decomposed fields: no
+        :class:`InvocationRecord` is built, no enum lookups run.
+        ``request_num`` must be the regular ``req-NNNNNN`` integer;
+        ``start_index``/``status_index`` are positions in the module
+        tables (``_START_TYPE_INDEX`` / ``_STATUS_INDEX``).  The stored
+        bytes — spill lines, materialised views, summaries — are
+        identical to appending the equivalent record.  ``value_key``
+        optionally carries a precomputed interning key (the hashable
+        value itself, or its canonical JSON) so repeated payloads dedup
+        without re-serialising.
+        """
+        floats = self._floats
+        floats["timestamp"].append(timestamp)
+        floats["instance_init_s"].append(instance_init_s)
+        floats["transmission_s"].append(transmission_s)
+        floats["init_duration_s"].append(init_duration_s)
+        floats["restore_duration_s"].append(restore_duration_s)
+        floats["exec_duration_s"].append(exec_duration_s)
+        floats["routing_s"].append(routing_s)
+        floats["billed_duration_s"].append(billed_duration_s)
+        floats["peak_memory_mb"].append(peak_memory_mb)
+        floats["cost_usd"].append(cost_usd)
+        self._memory_config.append(memory_config_mb)
+        self._start_types.append(start_index)
+        self._statuses.append(status_index)
+        self._functions.append(self._function_table.intern(function))
+        self._instances.append(self._instance_table.intern(instance_id))
+        self._errors.append(
+            -1 if error_type is None else self._error_table.intern(error_type)
+        )
+        self._request_nums.append(request_num)
+        if value is not None:
+            if value_key is not None:
+                value = self._value_cache.setdefault(value_key, value)
+            else:
+                try:
+                    value = self._value_cache.setdefault(value, value)
+                except TypeError:
+                    try:
+                        key = json.dumps(value, sort_keys=True)
+                    except (TypeError, ValueError):
+                        pass
+                    else:
+                        value = self._value_cache.setdefault(key, value)
+        self._values.append(value)
+        self._account(function, start_index, status_index, cost_usd)
+        self._size += 1
+
+        if self.spill_threshold is not None and self._size >= self.spill_threshold:
+            self._spill()
+
+    def _account(
+        self, function: str, start_index: int, status_index: int, cost: float
+    ) -> None:
+        entry = self._billing.get(function)
+        if entry is None:
+            entry = self._billing[function] = [0.0, 0, 0, 0, 0.0]
+        if status_index != _THROTTLED_STATUS:
+            entry[0] += cost
+            entry[1] += 1
+            if start_index == _COLD_START:
+                entry[2] += 1
+        else:
+            entry[3] += 1
+            if cost:
+                entry[4] += cost
+        counts = self._status_totals.get(function)
+        if counts is None:
+            counts = self._status_totals[function] = {}
+        status = STATUSES[status_index]
+        counts[status] = counts.get(status, 0) + 1
 
     def _row_dict(self, i: int) -> dict[str, Any]:
         """The :meth:`InvocationRecord.to_dict` payload, straight from the
@@ -695,9 +800,7 @@ class ExecutionLog:
         if self._spilled:
             assert self.spill_path is not None
             if path.resolve() == self.spill_path.resolve():
-                raise PlatformError(
-                    "cannot write_jsonl onto the live spill file"
-                )
+                raise PlatformError("cannot write_jsonl onto the live spill file")
             shutil.copyfile(self.spill_path, path)
             mode = "a"
         else:
@@ -744,11 +847,29 @@ class ExecutionLog:
         ]
 
     def status_counts(self, function: str | None = None) -> dict[str, int]:
-        """Per-status counts, optionally scoped to one function."""
-        query = self.query()
+        """Per-status counts, optionally scoped to one function.
+
+        Served from the incremental per-function totals — O(functions),
+        never a pass over the records.
+        """
         if function is not None:
-            query = query.where(function=function)
-        return query.status_counts()
+            return dict(self._status_totals.get(function, {}))
+        totals: dict[str, int] = {}
+        for counts in self._status_totals.values():
+            for status, count in counts.items():
+                totals[status] = totals.get(status, 0) + count
+        return totals
+
+    def billing_summary(self) -> dict[str, tuple[float, int, int, int, float]]:
+        """Per-function billing totals, maintained incrementally on append.
+
+        Maps function name to ``(cost_usd, billed_invocations,
+        cold_starts, throttles, throttled_cost_usd)``.  Costs accumulate
+        in append order, so the float sums are bit-identical to a
+        streaming pass over the records — the ledger reconciler relies
+        on this to verify a multi-million row log in O(functions).
+        """
+        return {name: tuple(entry) for name, entry in self._billing.items()}
 
     def error_rate(self, function: str | None = None) -> float:
         """Fraction of invocations that did not end in ``SUCCESS``."""

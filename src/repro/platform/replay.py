@@ -83,9 +83,7 @@ class ReplayResult:
 
     @property
     def warm_starts(self) -> int:
-        return sum(
-            1 for r in self.requests if r.record.start_type is StartType.WARM
-        )
+        return sum(1 for r in self.requests if r.record.start_type is StartType.WARM)
 
     @property
     def delivered(self) -> int:
@@ -169,33 +167,50 @@ class TraceReplayer:
         fallback_function: DeployedFunction | None = None
         if fallback is not None:
             if fallback.emulator is not self.emulator:
-                raise PlatformError(
-                    "fallback manager is bound to a different emulator"
-                )
+                raise PlatformError("fallback manager is bound to a different emulator")
             fallback_function = self.emulator.function(fallback.fallback)
         session = retry.session() if retry is not None else None
         recorder = get_recorder()
 
         result = ReplayResult(arrivals=len(arrivals))
-        # (time, seq, attempt): initial arrivals plus retry re-drives.
-        # Re-drives always land after the attempt that spawned them, so
-        # pops come out in non-decreasing time order and the warm-instance
-        # bookkeeping stays valid.
-        heap: list[tuple[float, int, int]] = [
-            (t, seq, 1) for seq, t in enumerate(arrivals)
-        ]
-        heapq.heapify(heap)
-        failed_attempts: dict[int, list[InvocationRecord]] = {}
 
         with recorder.span(
             "replay.run", label=function_name, arrivals=len(arrivals)
         ) as span:
+            if session is None and fallback is None:
+                # No retry timeline and no fallback detours: every arrival
+                # is exactly one attempt served in order, so skip the
+                # pending-attempt heap entirely.
+                serve = self._serve_attempt
+                requests_append = result.requests.append
+                for arrival in arrivals:
+                    record, completion = serve(function, arrival, event, context)
+                    result.attempts += 1
+                    if not record.billed:
+                        result.throttled += 1
+                    requests_append(
+                        ReplayedRequest(
+                            arrival=arrival,
+                            completion=completion,
+                            record=record,
+                        )
+                    )
+                return self._finish(result, recorder, span)
+
+            # (time, seq, attempt): initial arrivals plus retry re-drives.
+            # Re-drives always land after the attempt that spawned them, so
+            # pops come out in non-decreasing time order and the
+            # warm-instance bookkeeping stays valid.
+            heap: list[tuple[float, int, int]] = [
+                (t, seq, 1) for seq, t in enumerate(arrivals)
+            ]
+            heapq.heapify(heap)
+            failed_attempts: dict[int, list[InvocationRecord]] = {}
+
             while heap:
                 t, seq, attempt = heapq.heappop(heap)
                 arrival = arrivals[seq]
-                record, completion = self._serve_attempt(
-                    function, t, event, context
-                )
+                record, completion = self._serve_attempt(function, t, event, context)
                 result.attempts += 1
                 if not record.billed:
                     result.throttled += 1
@@ -259,32 +274,34 @@ class TraceReplayer:
                         )
                     )
 
-            # Publish emulator counters batched on the disabled-recorder
-            # fast path before reporting the replay's own aggregates.
-            self.emulator.flush_obs()
-            recorder.counter_add("replay.requests", len(result.requests))
-            recorder.counter_add("replay.cold_starts", result.cold_starts)
-            recorder.counter_add("replay.warm_starts", result.warm_starts)
-            recorder.counter_add("replay.cost_usd", result.total_cost)
-            recorder.gauge_max("replay.peak_concurrency", result.peak_concurrency)
-            if result.retries:
-                recorder.counter_add("replay.retries", result.retries)
-            if result.throttled:
-                recorder.counter_add("replay.throttled", result.throttled)
-            if result.fallbacks:
-                recorder.counter_add("replay.fallbacks", result.fallbacks)
-            if result.dead_letters:
-                recorder.counter_add(
-                    "replay.dead_letters", len(result.dead_letters)
-                )
-            if span is not None:
-                span.set_attr("cold_starts", result.cold_starts)
-                span.set_attr("warm_starts", result.warm_starts)
-                span.set_attr("peak_concurrency", result.peak_concurrency)
-                span.set_attr("cost_usd", round(result.total_cost, 9))
-                span.set_attr("attempts", result.attempts)
-                span.set_attr("retries", result.retries)
-                span.set_attr("dead_letters", len(result.dead_letters))
+            return self._finish(result, recorder, span)
+
+    def _finish(self, result: ReplayResult, recorder, span) -> ReplayResult:
+        """Publish run-level counters once a replay's serving loop is done."""
+        # Publish emulator counters batched on the disabled-recorder
+        # fast path before reporting the replay's own aggregates.
+        self.emulator.flush_obs()
+        recorder.counter_add("replay.requests", len(result.requests))
+        recorder.counter_add("replay.cold_starts", result.cold_starts)
+        recorder.counter_add("replay.warm_starts", result.warm_starts)
+        recorder.counter_add("replay.cost_usd", result.total_cost)
+        recorder.gauge_max("replay.peak_concurrency", result.peak_concurrency)
+        if result.retries:
+            recorder.counter_add("replay.retries", result.retries)
+        if result.throttled:
+            recorder.counter_add("replay.throttled", result.throttled)
+        if result.fallbacks:
+            recorder.counter_add("replay.fallbacks", result.fallbacks)
+        if result.dead_letters:
+            recorder.counter_add("replay.dead_letters", len(result.dead_letters))
+        if span is not None:
+            span.set_attr("cold_starts", result.cold_starts)
+            span.set_attr("warm_starts", result.warm_starts)
+            span.set_attr("peak_concurrency", result.peak_concurrency)
+            span.set_attr("cost_usd", round(result.total_cost, 9))
+            span.set_attr("attempts", result.attempts)
+            span.set_attr("retries", result.retries)
+            span.set_attr("dead_letters", len(result.dead_letters))
         return result
 
     def _serve_attempt(

@@ -35,9 +35,7 @@ __all__ = [
 #: burst passes, a crashed instance is replaced by the next cold start.
 #: Timeouts and OOMs are *deterministic* for a given bundle and input, so
 #: retrying them by default would just burn the budget.
-RETRYABLE_DEFAULT = frozenset(
-    {InvocationStatus.THROTTLED, InvocationStatus.CRASHED}
-)
+RETRYABLE_DEFAULT = frozenset({InvocationStatus.THROTTLED, InvocationStatus.CRASHED})
 
 
 @dataclass(frozen=True)
@@ -109,10 +107,7 @@ class RetrySession:
             return False
         if attempt >= self.policy.max_attempts:
             return False
-        if (
-            self.policy.budget is not None
-            and self.retries_used >= self.policy.budget
-        ):
+        if self.policy.budget is not None and self.retries_used >= self.policy.budget:
             return False
         return True
 

@@ -90,14 +90,10 @@ class SloRule:
                 f"got {self.threshold}"
             )
         if self.min_invocations < 1:
-            raise PlatformError(
-                f"SLO {self.name!r}: min_invocations must be >= 1"
-            )
+            raise PlatformError(f"SLO {self.name!r}: min_invocations must be >= 1")
         # Validate the metric name eagerly: a typo should fail at rule
         # construction, not silently never alarm.
-        if self.metric not in _SCALAR_METRICS and not _PERCENTILE_RE.match(
-            self.metric
-        ):
+        if self.metric not in _SCALAR_METRICS and not _PERCENTILE_RE.match(self.metric):
             metric_value(object(), self.metric)  # raises with the full message
 
     def applies_to(self, rollup: Any) -> bool:

@@ -91,6 +91,39 @@ class WindowRollup:
         self.e2e.record(record.e2e_s)
         self.billed.record(record.billed_duration_s)
 
+    def observe_row(
+        self,
+        status: str,
+        ok: bool,
+        billed: bool,
+        is_cold: bool,
+        is_warm: bool,
+        e2e_s: float,
+        cost_usd: float,
+        billed_s: float,
+    ) -> None:
+        """Fold one invocation from already-decomposed fields.
+
+        The record-free twin of :meth:`observe` for the replay kernel:
+        same branches, same accumulation order, so the resulting rollup
+        is bit-identical to observing the equivalent record.
+        """
+        self.invocations += 1
+        self.status_counts[status] = self.status_counts.get(status, 0) + 1
+        if not ok:
+            self.errors += 1
+        if not billed:
+            return
+        if is_cold:
+            self.cold_starts += 1
+            self.cold_e2e.record(e2e_s)
+        elif is_warm:
+            self.warm_starts += 1
+        self.cost_usd += cost_usd
+        self.billed_s_sum += billed_s
+        self.e2e.record(e2e_s)
+        self.billed.record(billed_s)
+
     def merge(self, other: "WindowRollup") -> None:
         """Fold *other* into this rollup (sliding windows, run totals)."""
         if other.function != self.function:
@@ -212,11 +245,17 @@ class TelemetrySink:
         window_s: float = 60.0,
         subbuckets: int = 64,
         slos: Iterable[SloRule] | SloPolicy = (),
+        track_fleet: bool = True,
     ):
         if window_s <= 0:
             raise PlatformError(f"window must be positive: {window_s}")
         self.window_s = float(window_s)
         self.subbuckets = subbuckets
+        #: Whether to also maintain the fleet-wide ``"*"`` rollups.  Fleet
+        #: replay workers turn this off: the parent rebuilds ``"*"`` from
+        #: the per-function windows during the merge, so per-worker fleet
+        #: rollups are pure overhead.
+        self.track_fleet = track_fleet
         self.policy = slos if isinstance(slos, SloPolicy) else SloPolicy(list(slos))
         self.breaches: list[SloBreach] = []
         #: Free-form run metadata exported with the report — e.g. the
@@ -226,8 +265,9 @@ class TelemetrySink:
         self._evaluated: set[tuple[str, int]] = set()
         # In-flight completion-time heaps for the concurrency HWM.
         self._in_flight: dict[str, list[float]] = {}
-        # Hot-path buffer: (record, explicit arrival or None) pairs.
-        self._pending: list[tuple[InvocationRecord, float | None]] = []
+        # Hot-path buffer: (record-or-row-tuple, explicit arrival or None)
+        # pairs; rows come from observe_row and are plain tuples.
+        self._pending: list[tuple[Any, float | None]] = []
 
     # -- ingestion ---------------------------------------------------------
 
@@ -245,23 +285,56 @@ class TelemetrySink:
         if len(self._pending) >= DRAIN_THRESHOLD:
             self._drain()
 
+    def observe_row(
+        self, row: tuple[str, str, bool, bool, bool, bool, float, float, float],
+        *,
+        arrival: float,
+    ) -> None:
+        """Buffer one already-decomposed invocation (the kernel hot path).
+
+        *row* is ``(function, status_value, ok, billed, is_cold, is_warm,
+        e2e_s, cost_usd, billed_duration_s)`` — everything
+        :meth:`WindowRollup.observe` would have derived from a record.
+        Aggregation order and arithmetic match :meth:`observe` exactly.
+        """
+        self._pending.append((row, arrival))
+        if len(self._pending) >= DRAIN_THRESHOLD:
+            self._drain()
+
     def _drain(self) -> None:
         """Fold every buffered record into its rollups, in publish order."""
         if not self._pending:
             return
         pending, self._pending = self._pending, []
         for record, arrival in pending:
-            self._ingest(record, arrival)
+            if type(record) is tuple:
+                self._ingest_row(record, arrival)
+            else:
+                self._ingest(record, arrival)
 
     def _ingest(self, record: InvocationRecord, arrival: float | None) -> None:
         if arrival is None:
             arrival = record.timestamp - record.e2e_s
         completion = arrival + record.e2e_s
-        for name in (record.function, FLEET):
+        names = (record.function, FLEET) if self.track_fleet else (record.function,)
+        for name in names:
             rollup = self._rollup(name, arrival)
             rollup.observe(record)
             depth = self._track_concurrency(name, arrival, completion)
             rollup.concurrency_peak = max(rollup.concurrency_peak, depth)
+
+    def _ingest_row(self, row: tuple, arrival: float) -> None:
+        function = row[0]
+        completion = arrival + row[6]
+        names = (function, FLEET) if self.track_fleet else (function,)
+        for name in names:
+            rollup = self._rollup(name, arrival)
+            rollup.observe_row(
+                row[1], row[2], row[3], row[4], row[5], row[6], row[7], row[8]
+            )
+            depth = self._track_concurrency(name, arrival, completion)
+            if depth > rollup.concurrency_peak:
+                rollup.concurrency_peak = depth
 
     def _rollup(self, function: str, arrival: float) -> WindowRollup:
         index = int(arrival // self.window_s)
@@ -335,9 +408,7 @@ class TelemetrySink:
             if key[0] == function
         ]
 
-    def sliding(
-        self, function: str = FLEET, *, width: int = 2
-    ) -> list[WindowRollup]:
+    def sliding(self, function: str = FLEET, *, width: int = 2) -> list[WindowRollup]:
         """Sliding windows of *width* tumbling windows, stepping by one.
 
         Implemented by merging the underlying sketches — no records are
@@ -416,9 +487,7 @@ class FleetReport:
             total.merge(window)
         return total
 
-    def series(
-        self, metric: str, function: str = FLEET
-    ) -> list[tuple[float, float]]:
+    def series(self, metric: str, function: str = FLEET) -> list[tuple[float, float]]:
         """(window start, metric value) per window — sparkline fodder."""
         return [
             (w.start_s, metric_value(w, metric)) for w in self.rollups(function)

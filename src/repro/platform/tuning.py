@@ -81,9 +81,7 @@ class MemoryRecommendation:
 
 
 # AWS Lambda Power Tuning's default candidate ladder, extended to 10 GB.
-DEFAULT_CANDIDATES = (
-    128, 256, 512, 1024, 1536, 1769, 2048, 3072, 4096, 5120, 10_240,
-)
+DEFAULT_CANDIDATES = (128, 256, 512, 1024, 1536, 1769, 2048, 3072, 4096, 5120, 10_240)
 
 
 VALID_STRATEGIES = ("cost", "speed", "balanced")
