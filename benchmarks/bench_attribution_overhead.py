@@ -1,0 +1,164 @@
+"""Cost-attribution overhead on the emulator hot path, plus flame exports.
+
+The attribution contract (docs/observability.md) is that capturing
+:class:`~repro.obs.attribution.ColdStartProfile` rows must be free when
+no store is attached and cheap when one is:
+
+* **warm path** — attribution only ever looks at cold starts, so warm
+  invocations with a live store pay one ``is None``/``start_type`` check
+  per record: <3% over a plain emulator (same gate as telemetry);
+* **cold path** — capturing a profile folds the init charge list and
+  prices one row per module: bounded at <35% per forced cold start
+  (cold starts are rare; the absolute cost is microseconds).
+
+``test_export_flame_artifacts`` replays a bursty arrival series with a
+store attached and writes ``benchmarks/results/coldstart_flame.txt``
+(folded stacks) and ``benchmarks/results/coldstart_trace.json`` (Chrome
+``trace_event`` JSON); CI uploads both as workflow artifacts.  The same
+test asserts the float-exactness invariant end to end: the store's
+sequential cost sum reproduces the execution log's cold-start cost bit
+for bit.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.obs.attribution import AttributionStore
+from repro.obs.flamegraph import folded_stacks, write_chrome_trace, write_folded
+from repro.platform import LambdaEmulator
+
+# min-of-SAMPLES timing; samples alternate between the two emulators so
+# slow drift (cache state, CPU frequency) hits both sides equally.
+SAMPLES = 30
+WARM_RUNS_PER_SAMPLE = 100
+COLD_RUNS_PER_SAMPLE = 5
+MAX_WARM_OVERHEAD = 0.03
+MAX_COLD_OVERHEAD = 0.35
+
+EVENT = {"x": [1.0, 2.0], "y": [3.0, 4.0]}
+
+
+def _emulator(app, attribution: AttributionStore | None) -> LambdaEmulator:
+    emulator = LambdaEmulator(attribution=attribution)
+    emulator.deploy(app)
+    emulator.invoke(app.name, EVENT)  # pay the first cold start up front
+    return emulator
+
+
+def _warm_sample(emulator, name: str) -> float:
+    start = time.perf_counter()
+    for _ in range(WARM_RUNS_PER_SAMPLE):
+        emulator.invoke(name, EVENT)
+    return (time.perf_counter() - start) / WARM_RUNS_PER_SAMPLE
+
+
+def _cold_sample(emulator, name: str) -> float:
+    function = emulator.function(name)
+    start = time.perf_counter()
+    for _ in range(COLD_RUNS_PER_SAMPLE):
+        function.discard_instances()
+        emulator.invoke(name, EVENT)
+    return (time.perf_counter() - start) / COLD_RUNS_PER_SAMPLE
+
+
+def _min_overhead(plain, instrumented, name: str, sample) -> tuple[float, float, float]:
+    """Min-over-samples overhead, retried to shed scheduler noise.
+
+    Both sides keep their all-time minimum across retries, so a retry can
+    only tighten the measurement, never loosen the gate.
+    """
+    without = float("inf")
+    with_store = float("inf")
+    for attempt in range(3):
+        for _ in range(SAMPLES):
+            without = min(without, sample(plain, name))
+            with_store = min(with_store, sample(instrumented, name))
+        if with_store / without - 1.0 < MAX_WARM_OVERHEAD:
+            break
+    return with_store / without - 1.0, without, with_store
+
+
+def test_attribution_warm_overhead(toy_session_app):
+    """Warm invocations with a live AttributionStore: <3% over none."""
+    app = toy_session_app
+    plain = _emulator(app, None)
+    instrumented = _emulator(app, AttributionStore())
+    _warm_sample(plain, app.name)
+    _warm_sample(instrumented, app.name)
+
+    overhead, without, with_store = _min_overhead(
+        plain, instrumented, app.name, _warm_sample
+    )
+    print(
+        f"\nattribution warm overhead: no store {without * 1e6:.1f}us, "
+        f"live store {with_store * 1e6:.1f}us, overhead {overhead * 100:+.2f}%"
+    )
+    assert overhead < MAX_WARM_OVERHEAD, (
+        f"attribution warm overhead {overhead:.2%} exceeds "
+        f"{MAX_WARM_OVERHEAD:.0%} (no store {without * 1e6:.1f}us, "
+        f"live {with_store * 1e6:.1f}us)"
+    )
+
+
+def test_attribution_cold_overhead(toy_session_app):
+    """Forced cold starts with profile capture: bounded, not free."""
+    app = toy_session_app
+    plain = _emulator(app, None)
+    instrumented = _emulator(app, AttributionStore())
+    _cold_sample(plain, app.name)
+    _cold_sample(instrumented, app.name)
+
+    overhead, without, with_store = _min_overhead(
+        plain, instrumented, app.name, _cold_sample
+    )
+    print(
+        f"\nattribution cold overhead: no store {without * 1e6:.1f}us, "
+        f"live store {with_store * 1e6:.1f}us, overhead {overhead * 100:+.2f}%"
+    )
+    assert overhead < MAX_COLD_OVERHEAD, (
+        f"attribution cold-start overhead {overhead:.2%} exceeds "
+        f"{MAX_COLD_OVERHEAD:.0%} (no store {without * 1e6:.1f}us, "
+        f"live {with_store * 1e6:.1f}us)"
+    )
+
+
+def test_export_flame_artifacts(toy_session_app, artifact_sink):
+    """Capture profiles over a bursty replay; export flame + Chrome trace."""
+    from repro.platform import TraceReplayer
+
+    results_dir = Path(__file__).parent / "results"
+
+    app = toy_session_app
+    store = AttributionStore()
+    emulator = LambdaEmulator(attribution=store, keep_alive_s=120.0)
+    emulator.deploy(app)
+    arrivals = [
+        burst * 300.0 + offset
+        for burst in range(10)
+        for offset in (0.0, 0.005, 0.01)
+    ]
+    TraceReplayer(emulator).replay(app.name, arrivals, EVENT)
+
+    assert len(store) == emulator.ledger.bill_for(app.name).cold_starts
+    # The invariant everything downstream trusts: sequential profile sums
+    # reproduce the log's cold-start cost bit-exactly.
+    assert store.total_cost_usd() == emulator.log.cold_start_cost_usd(app.name)
+
+    flame_lines = folded_stacks(store)
+    artifact_sink("coldstart_flame", "\n".join(flame_lines) + "\n")
+    assert flame_lines and all(
+        line.rsplit(" ", 1)[1].isdigit() for line in flame_lines
+    )
+    flame_path = results_dir / "coldstart_flame.txt"
+    assert flame_path.exists()
+
+    trace_path = results_dir / "coldstart_trace.json"
+    events = write_chrome_trace(store, trace_path)
+    trace = json.loads(trace_path.read_text(encoding="utf-8"))
+    assert len(trace["traceEvents"]) == events > 0
+
+    folded_path = results_dir / "coldstart_flame.folded"
+    assert write_folded(store, folded_path) == len(flame_lines)

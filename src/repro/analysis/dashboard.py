@@ -15,10 +15,16 @@ run that produced them.
 from __future__ import annotations
 
 from repro.analysis.tables import render_table
+from repro.obs.attribution import AttributionStore, attribution_diff
 from repro.platform.slo import FLEET, metric_value
 from repro.platform.telemetry import FleetReport, WindowRollup
 
-__all__ = ["sparkline", "render_dashboard", "render_comparison"]
+__all__ = [
+    "sparkline",
+    "render_dashboard",
+    "render_comparison",
+    "render_attribution_diff",
+]
 
 _BARS = "▁▂▃▄▅▆▇█"
 
@@ -86,8 +92,19 @@ def _overall(report: FleetReport, function: str) -> WindowRollup | None:
     return report.overall(function)
 
 
-def render_dashboard(report: FleetReport, *, function: str = FLEET) -> str:
-    """One export's fleet view: totals, sparklines, functions, SLOs."""
+def render_dashboard(
+    report: FleetReport,
+    *,
+    function: str = FLEET,
+    profiles: AttributionStore | None = None,
+) -> str:
+    """One export's fleet view: totals, sparklines, functions, SLOs.
+
+    With *profiles* (a cold-start :class:`AttributionStore`, e.g. the
+    merged spool of a ``replay_fleet(..., profile_dir=...)`` run), each
+    breach drills down: exemplar invocation → its costliest modules —
+    the dashboard answers "which import made this window page us".
+    """
     total = _overall(report, function)
     if total is None:
         return "(no telemetry windows recorded)"
@@ -125,7 +142,7 @@ def render_dashboard(report: FleetReport, *, function: str = FLEET) -> str:
         f"high-water {total.concurrency_peak}"
     )
     lines.append("")
-    lines.append(_render_slos(report))
+    lines.append(_render_slos(report, profiles=profiles))
     breaker = _render_breaker(report)
     if breaker:
         lines.append(breaker)
@@ -171,7 +188,9 @@ def _render_breaker(report: FleetReport) -> str:
     return line
 
 
-def _render_slos(report: FleetReport) -> str:
+def _render_slos(
+    report: FleetReport, *, profiles: AttributionStore | None = None
+) -> str:
     if not report.slos:
         return "SLOs: none configured"
     breaches_by_rule: dict[str, int] = {}
@@ -189,8 +208,82 @@ def _render_slos(report: FleetReport) -> str:
     worst = sorted(
         report.breaches, key=lambda b: b.excess_ratio, reverse=True
     )[:3]
-    details = "\n".join("  " + breach.describe() for breach in worst)
-    return table + ("\n" + details if details else "")
+    details: list[str] = []
+    for breach in worst:
+        details.append("  " + breach.describe())
+        details.extend(_render_exemplars(breach, profiles))
+    return table + ("\n" + "\n".join(details) if details else "")
+
+
+def _render_exemplars(breach, profiles: AttributionStore | None) -> list[str]:
+    """Drill one breach down: exemplar invocation → top modules by cost."""
+    lines: list[str] = []
+    for ref in breach.exemplars:
+        line = f"    worst: {ref}"
+        profile = None
+        if profiles is not None and "/" in ref:
+            function, _, request_id = ref.partition("/")
+            profile = profiles.find(function, request_id)
+        if profile is None:
+            lines.append(line)
+            continue
+        top = ", ".join(
+            f"{entry.label} {_usd(entry.usd)}"
+            for entry in profile.top_entries(3)
+            if not entry.synthetic
+        )
+        line += f" — cold start {_usd(profile.cost_usd)}"
+        lines.append(line)
+        if top:
+            lines.append(f"      top modules: {top}")
+    return lines
+
+
+def render_attribution_diff(
+    before: AttributionStore,
+    after: AttributionStore,
+    *,
+    top: int = 10,
+    baseline_label: str = "before",
+    candidate_label: str = "after",
+) -> str:
+    """Dollars saved per dependency: mean per-cold-start attribution delta.
+
+    Both stores are averaged over their own cold-start counts, so a
+    trimmed bundle replayed against a different trace still compares
+    like-for-like (USD per cold start, not per run).
+    """
+    if len(before) == 0 and len(after) == 0:
+        return "(no cold-start profiles in either store)"
+    entries = attribution_diff(before, after)
+    rows = []
+    for entry in entries[:top]:
+        rows.append([
+            entry.label,
+            _usd(entry.usd_before),
+            _usd(entry.usd_after),
+            _usd(entry.usd_saved),
+            f"{entry.time_saved_s * 1000:+.1f}ms",
+        ])
+    table = render_table(
+        [
+            "dependency",
+            f"$/cold {baseline_label}",
+            f"$/cold {candidate_label}",
+            "saved",
+            "time saved",
+        ],
+        rows,
+    )
+    saved = sum(entry.usd_saved for entry in entries)
+    footer = (
+        f"total module cost per cold start: {_usd(saved)} saved "
+        f"({len(before)} {baseline_label} / {len(after)} {candidate_label} "
+        "profiles averaged)"
+    )
+    if len(entries) > top:
+        footer += f"; {len(entries) - top} smaller dependencies not shown"
+    return table + "\n" + footer
 
 
 #: (label, metric, formatter, lower-is-better) rows of the comparison table.

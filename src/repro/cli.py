@@ -12,6 +12,8 @@ Commands
               the oracle with the findings (Section 5.4)
 ``tune``      recommend a memory configuration (AWS-power-tuning-style)
 ``replay``    replay a multi-function fleet trace on the sharded engine
+``profile``   render cold-start cost attribution (flame graphs, dollar
+              tables, before/after-trim diffs)
 ``trace``     run the pipeline under a recorder and print the span tree
 ``metrics``   render counters/gauges from a JSON-lines telemetry export
 ``dashboard`` render a fleet-telemetry export (optionally vs. a baseline)
@@ -201,8 +203,39 @@ def build_parser() -> argparse.ArgumentParser:
                              "least this many invocations (below the "
                              "break-even point extra workers slow replay "
                              "down; see benchmarks/results/BENCH_replay.json)")
+    replay.add_argument("--profile-dir", type=Path, default=None,
+                        help="spool per-function cold-start cost profiles "
+                             "to this directory as JSON lines")
+    replay.add_argument("--merged-profiles", type=Path, default=None,
+                        help="merge the profile spools into one store "
+                             "(requires --profile-dir; renderable with "
+                             "`repro profile`)")
     replay.add_argument("--json", action="store_true",
                         help="emit the run summary as JSON")
+
+    profile = commands.add_parser(
+        "profile",
+        help="cold-start cost attribution: flame graphs and dollar tables",
+    )
+    profile.add_argument("profiles", type=Path,
+                         help="profiles JSONL from `repro replay "
+                              "--profile-dir/--merged-profiles`")
+    profile.add_argument("--flame", type=Path, default=None,
+                         help="write folded stacks (flamegraph.pl / "
+                              "speedscope) to this file")
+    profile.add_argument("--chrome", type=Path, default=None,
+                         help="write a Chrome trace_event JSON "
+                              "(chrome://tracing, Perfetto) to this file")
+    profile.add_argument("--top", type=int, default=10,
+                         help="rows in the top-modules-by-cost table "
+                              "(default 10)")
+    profile.add_argument("--diff", type=Path, default=None,
+                         help="baseline profiles JSONL: render the "
+                              "dollars-saved-per-dependency table instead")
+    profile.add_argument("--function", default=None,
+                         help="scope to one function's cold starts")
+    profile.add_argument("--json", action="store_true",
+                         help="emit the summary as JSON")
 
     dashboard = commands.add_parser(
         "dashboard", help="render a fleet-telemetry export (tables + sparklines)"
@@ -220,6 +253,10 @@ def build_parser() -> argparse.ArgumentParser:
                                 "(before/after-debloat view)")
     dashboard.add_argument("--function", default=None,
                            help="scope to one function (default: fleet-wide)")
+    dashboard.add_argument("--profiles", type=Path, default=None,
+                           help="cold-start profiles JSONL from `repro replay "
+                                "--merged-profiles`: breaches drill down to "
+                                "their exemplars' costliest modules")
     dashboard.add_argument("--json", action="store_true",
                            help="emit the run-level summary as JSON")
 
@@ -398,7 +435,11 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         report = LambdaTrim(config).run(bundle, trim_output)
 
     if args.output is not None:
-        path = write_jsonl(recorder, args.output)
+        try:
+            path = write_jsonl(recorder, args.output)
+        except OSError as exc:
+            print(f"error: cannot write {args.output}: {exc}", file=sys.stderr)
+            return 2
     if args.json:
         from repro.obs import dump_from_recorder
 
@@ -505,6 +546,8 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         record_detail=args.record_detail,
         log_dir=args.log_dir,
         merged_log=args.merged_log,
+        profile_dir=args.profile_dir,
+        merged_profiles=args.merged_profiles,
         spill_threshold=args.spill_threshold,
         engine=args.engine,
         min_shard_invocations=args.min_shard_invocations,
@@ -537,6 +580,84 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             print(f"telemetry export written to {args.export}")
         if result.merged_log is not None:
             print(f"merged record log written to {result.merged_log}")
+        if result.merged_profiles is not None:
+            print(f"merged cold-start profiles written to "
+                  f"{result.merged_profiles} (render with `repro profile`)")
+    return 0
+
+
+def _load_profiles(path: Path):
+    from repro.obs.attribution import AttributionStore
+
+    return AttributionStore.load_jsonl(path)
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.analysis.dashboard import render_attribution_diff
+    from repro.analysis.tables import render_table
+    from repro.obs.attribution import AttributionStore
+    from repro.obs.flamegraph import write_chrome_trace, write_folded
+
+    try:
+        store = _load_profiles(args.profiles)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read {args.profiles}: {exc}", file=sys.stderr)
+        return 2
+    if args.function is not None:
+        scoped = AttributionStore()
+        for profile in store.for_function(args.function):
+            scoped.record(profile)
+        store = scoped
+
+    if args.diff is not None:
+        try:
+            baseline = _load_profiles(args.diff)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read {args.diff}: {exc}", file=sys.stderr)
+            return 2
+        print(render_attribution_diff(baseline, store, top=args.top))
+        return 0
+
+    top = store.top_modules(args.top)
+    if args.json:
+        print(json.dumps({
+            "profiles": len(store),
+            "functions": list(store.functions),
+            "total_cost_usd": store.total_cost_usd(),
+            "top_modules": [
+                {
+                    "module": label,
+                    "time_s": time_s,
+                    "memory_mb": memory_mb,
+                    "usd": usd,
+                    "cold_starts": count,
+                }
+                for label, time_s, memory_mb, usd, count in top
+            ],
+        }, indent=2, sort_keys=True))
+    else:
+        print(f"{len(store)} cold start(s) across "
+              f"{len(store.functions)} function(s), "
+              f"total billed ${store.total_cost_usd():.6f}")
+        if top:
+            print()
+            print(render_table(
+                ["module", "time", "usd", "cold starts"],
+                [
+                    [label, f"{time_s:.3f}s", f"${usd:.3e}", str(count)]
+                    for label, time_s, _, usd, count in top
+                ],
+            ))
+    try:
+        if args.flame is not None:
+            lines = write_folded(store, args.flame)
+            print(f"folded stacks ({lines} line(s)) written to {args.flame}")
+        if args.chrome is not None:
+            events = write_chrome_trace(store, args.chrome)
+            print(f"chrome trace ({events} event(s)) written to {args.chrome}")
+    except OSError as exc:
+        print(f"error: cannot write export: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -578,6 +699,13 @@ def _cmd_dashboard(args: argparse.Namespace) -> int:
     except (OSError, KeyError, ValueError) as exc:
         print(f"error: cannot read telemetry export: {exc}", file=sys.stderr)
         return 2
+    profiles = None
+    if args.profiles is not None:
+        try:
+            profiles = _load_profiles(args.profiles)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read {args.profiles}: {exc}", file=sys.stderr)
+            return 2
     function = args.function if args.function is not None else FLEET
 
     if args.json:
@@ -589,7 +717,7 @@ def _cmd_dashboard(args: argparse.Namespace) -> int:
             }
         print(json.dumps(summary, indent=2, sort_keys=True))
     else:
-        print(render_dashboard(report, function=function))
+        print(render_dashboard(report, function=function, profiles=profiles))
         if baseline is not None:
             print()
             print("== comparison vs. baseline ==")
@@ -635,6 +763,7 @@ _HANDLERS = {
     "tune": _cmd_tune,
     "trace": _cmd_trace,
     "replay": _cmd_replay,
+    "profile": _cmd_profile,
     "metrics": _cmd_metrics,
     "dashboard": _cmd_dashboard,
     "build-app": _cmd_build_app,

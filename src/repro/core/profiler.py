@@ -22,14 +22,21 @@ import importlib
 import importlib.machinery
 import sys
 from dataclasses import dataclass
+from typing import Any
 
 from repro.bundle import AppBundle
 from repro.core.cost_model import ModuleProfile, ProfileReport
 from repro.core.execution import isolated_imports
 from repro.errors import AnalysisError
+from repro.obs.attribution import ColdStartProfile, attribute_cold_start
 from repro.vm import Meter, metered
 
-__all__ = ["ImportTimer", "profile_bundle", "profile_modules"]
+__all__ = [
+    "ImportTimer",
+    "profile_bundle",
+    "profile_modules",
+    "attribution_from_profile",
+]
 
 
 @dataclass
@@ -219,4 +226,43 @@ def profile_modules(bundle: AppBundle, modules: list[str]) -> ProfileReport:
         profiles=profiles,
         total_time_s=meter.time_s,
         total_memory_mb=meter.live_mb,
+    )
+
+
+def attribution_from_profile(
+    report: ProfileReport,
+    *,
+    pricing: Any,
+    memory_config_mb: int = 512,
+    function: str = "profile",
+) -> ColdStartProfile:
+    """Price an offline :class:`ProfileReport` as a hypothetical cold start.
+
+    Bridges the static profiler to the cost-attribution subsystem: the
+    report's modules (first-execution order, *exclusive* costs so nested
+    imports are not double-billed) become priced rows whose sequential
+    USD sum reproduces ``pricing.invocation_cost(total_time_s, mb)``
+    bit-exactly — the same invariant the emulator's live profiles hold.
+    The result feeds the same flame-graph and diff exporters, so "what
+    would trimming this module save" can be answered before any replay.
+    """
+    modules = [
+        (p.module, p.exclusive_time_s, p.exclusive_memory_mb)
+        for p in report.profiles
+    ]
+    billed = pricing.billed_duration_s(report.total_time_s)
+    cost = pricing.invocation_cost(report.total_time_s, memory_config_mb)
+    return attribute_cold_start(
+        function=function,
+        request_id="profile",
+        timestamp=0.0,
+        pricing=pricing,
+        memory_config_mb=int(pricing.clamp_memory_mb(memory_config_mb)),
+        modules=modules,
+        billed_init_s=billed,
+        restore_s=0.0,
+        exec_s=0.0,
+        billed_duration_s=billed,
+        cost_usd=cost,
+        include_exec=False,
     )

@@ -13,7 +13,12 @@ numbers one structured home:
 * **Events** re-emit the emulator's per-invocation REPORT accounting as
   structured records;
 * the **JSON-lines exporter** and **tree renderer** feed the ``repro
-  trace`` / ``repro metrics`` CLI and the CI benchmark-smoke artifact.
+  trace`` / ``repro metrics`` CLI and the CI benchmark-smoke artifact;
+* **Cost attribution** (:mod:`repro.obs.attribution`) turns each cold
+  start's charge list into a :class:`ColdStartProfile` whose per-module
+  dollar rows sum float-exactly to the billed cost, and
+  :mod:`repro.obs.flamegraph` exports those profiles as folded stacks
+  (flamegraph.pl / speedscope) or Chrome ``trace_event`` JSON.
 
 Instrumentation is opt-out: the process-global recorder defaults to a
 :class:`NullRecorder` whose calls are no-ops, so the hot DD loop pays
@@ -21,7 +26,21 @@ nothing unless a tool installs an :class:`InMemoryRecorder` via
 :func:`set_recorder` / :func:`use_recorder`.
 """
 
+from repro.obs.attribution import (
+    AttributionDiffEntry,
+    AttributionEntry,
+    AttributionStore,
+    ColdStartProfile,
+    attribute_cold_start,
+    attribution_diff,
+)
 from repro.obs.export import TelemetryDump, dump_lines, load_jsonl, write_jsonl
+from repro.obs.flamegraph import (
+    chrome_trace,
+    folded_stacks,
+    write_chrome_trace,
+    write_folded,
+)
 from repro.obs.histogram import LogLinearHistogram
 from repro.obs.recorder import (
     InMemoryRecorder,
@@ -53,4 +72,14 @@ __all__ = [
     "render_tree",
     "render_metrics",
     "dump_from_recorder",
+    "AttributionEntry",
+    "AttributionDiffEntry",
+    "AttributionStore",
+    "ColdStartProfile",
+    "attribute_cold_start",
+    "attribution_diff",
+    "folded_stacks",
+    "write_folded",
+    "chrome_trace",
+    "write_chrome_trace",
 ]

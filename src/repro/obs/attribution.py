@@ -1,0 +1,524 @@
+"""Dollar attribution for cold starts: module -> virtual ms, MB, USD.
+
+λ-trim's thesis is that initialization cost is *attributable* — specific
+modules burn specific milliseconds and therefore specific dollars.  The
+virtual meter already records a per-module :class:`~repro.vm.ChargeEvent`
+stream during every emulated cold start; this module folds that stream
+into a compact :class:`ColdStartProfile` whose rows price each module
+with the active :class:`~repro.pricing.models.PricingModel`.
+
+Pricing semantics
+-----------------
+Each profile row carries the *marginal* cost of that row's virtual time:
+with ``c_i`` the cumulative billed duration after row ``i``,
+
+    ``usd_i = pricing.invocation_cost(c_i, mb) - pricing.invocation_cost(c_{i-1}, mb)``
+
+so billing-granularity effects are attributed honestly — under a 100 ms
+granularity the module that crosses a tick boundary pays for the tick,
+and modules inside a tick are free.  Three synthetic rows bracket the
+module rows:
+
+``(request)``
+    The flat per-request fee (``invocation_cost(0, mb)``), charged even
+    when no duration is billed.
+``(restore)``
+    SnapStart restore time.  Restore replaces billed init, so its
+    marginal cost is zero and the module rows above it are zero too.
+``(execution)``
+    The handler's execution phase.
+
+The final row additionally absorbs the float/rounding residue so that a
+plain sequential ``sum(row.usd for row in profile.entries)`` reproduces
+the invocation's billed ``cost_usd`` *bit-exactly* — the invariant the
+dashboard's "dollars saved per dependency" view depends on.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import IO, Any, Iterable, Iterator, Sequence
+
+__all__ = [
+    "REQUEST_ROW",
+    "RESTORE_ROW",
+    "EXECUTION_ROW",
+    "AttributionEntry",
+    "ColdStartProfile",
+    "attribute_cold_start",
+    "AttributionStore",
+    "AttributionDiffEntry",
+    "attribution_diff",
+]
+
+SCHEMA_VERSION = 1
+
+#: Synthetic row labels (parenthesised so they can never collide with a
+#: Python module name).
+REQUEST_ROW = "(request)"
+RESTORE_ROW = "(restore)"
+EXECUTION_ROW = "(execution)"
+
+_SYNTHETIC_ROWS = frozenset({REQUEST_ROW, RESTORE_ROW, EXECUTION_ROW})
+
+#: Iteration bound for the residual fit; converges in 1-2 steps in
+#: practice, the bound only guards against pathological float inputs.
+_FIT_ITERATIONS = 64
+
+
+@dataclass(frozen=True, slots=True)
+class AttributionEntry:
+    """One priced row of a cold-start profile."""
+
+    label: str
+    time_s: float
+    memory_mb: float
+    usd: float
+
+    @property
+    def synthetic(self) -> bool:
+        """True for the bracketing ``(request)``/``(restore)``/``(execution)`` rows."""
+        return self.label in _SYNTHETIC_ROWS
+
+
+@dataclass(frozen=True, slots=True)
+class ColdStartProfile:
+    """Per-module attribution of one cold start's billed cost."""
+
+    function: str
+    request_id: str
+    timestamp: float
+    billed_duration_s: float
+    memory_config_mb: int
+    cost_usd: float
+    entries: tuple[AttributionEntry, ...]
+
+    @property
+    def attributed_usd(self) -> float:
+        """Sequential sum of row costs; equals ``cost_usd`` bit-exactly."""
+        total = 0.0
+        for entry in self.entries:
+            total += entry.usd
+        return total
+
+    @property
+    def init_time_s(self) -> float:
+        """Virtual seconds attributed to module rows (import phase)."""
+        return sum(e.time_s for e in self.entries if not e.synthetic)
+
+    def module_entries(self) -> tuple[AttributionEntry, ...]:
+        return tuple(e for e in self.entries if not e.synthetic)
+
+    def top_entries(self, n: int) -> tuple[AttributionEntry, ...]:
+        """The *n* most expensive rows (by USD, then time, then label)."""
+        ranked = sorted(
+            self.entries, key=lambda e: (-e.usd, -e.time_s, e.label)
+        )
+        return tuple(ranked[: max(n, 0)])
+
+
+def _fit_residual(usd: list[float], target: float) -> None:
+    """Nudge the last row until ``sum(usd)`` equals *target* bit-exactly.
+
+    ``last = target - prefix`` alone is not IEEE-guaranteed to make the
+    sequential sum land on *target* (e.g. prefix ``1e16``, target ``1``),
+    so iterate the correction; each step shrinks the error and the loop
+    settles within a couple of iterations.
+    """
+    if not usd:
+        return
+    for _ in range(_FIT_ITERATIONS):
+        total = 0.0
+        for value in usd:
+            total += value
+        if total == target:
+            return
+        usd[-1] += target - total
+
+
+def attribute_cold_start(
+    *,
+    function: str,
+    request_id: str,
+    timestamp: float,
+    pricing: Any,
+    memory_config_mb: int,
+    modules: Sequence[tuple[str, float, float]],
+    billed_init_s: float,
+    restore_s: float,
+    exec_s: float,
+    billed_duration_s: float,
+    cost_usd: float,
+    include_exec: bool = True,
+) -> ColdStartProfile:
+    """Price one cold start's charge rows against *pricing*.
+
+    *modules* is the aggregated init-phase charge list in first-charge
+    order: ``(label, time_s, memory_mb)`` triples.  ``billed_init_s`` is
+    zero for SnapStart restores (init ran at deploy time), in which case
+    the module rows are informational and carry zero marginal cost.
+    ``include_exec`` is ``False`` for cold starts that crashed before the
+    handler ran.
+    """
+    labels: list[str] = [REQUEST_ROW]
+    times: list[float] = [0.0]
+    mems: list[float] = [0.0]
+    usd: list[float] = [pricing.invocation_cost(0.0, memory_config_mb)]
+
+    cumulative = 0.0
+    previous_cost = usd[0]
+    init_billed = billed_init_s > 0.0
+    for label, time_s, memory_mb in modules:
+        labels.append(label)
+        times.append(time_s)
+        mems.append(memory_mb)
+        if init_billed and time_s > 0.0:
+            cumulative += time_s
+            cost = pricing.invocation_cost(cumulative, memory_config_mb)
+            usd.append(cost - previous_cost)
+            previous_cost = cost
+        else:
+            usd.append(0.0)
+
+    if restore_s > 0.0:
+        labels.append(RESTORE_ROW)
+        times.append(restore_s)
+        mems.append(0.0)
+        usd.append(0.0)
+
+    if include_exec:
+        labels.append(EXECUTION_ROW)
+        times.append(exec_s)
+        mems.append(0.0)
+        usd.append(0.0)
+
+    # The last row absorbs billing-granularity rounding and float residue
+    # so the sequential row sum reproduces the billed cost bit-exactly.
+    _fit_residual(usd, cost_usd)
+
+    entries = tuple(
+        AttributionEntry(label=lb, time_s=t, memory_mb=m, usd=u)
+        for lb, t, m, u in zip(labels, times, mems, usd)
+    )
+    return ColdStartProfile(
+        function=function,
+        request_id=request_id,
+        timestamp=timestamp,
+        billed_duration_s=billed_duration_s,
+        memory_config_mb=memory_config_mb,
+        cost_usd=cost_usd,
+        entries=entries,
+    )
+
+
+class _LabelTable:
+    """Insertion-ordered string interning (mirrors the columnar log's)."""
+
+    __slots__ = ("values", "_index")
+
+    def __init__(self) -> None:
+        self.values: list[str] = []
+        self._index: dict[str, int] = {}
+
+    def intern(self, value: str) -> int:
+        index = self._index.get(value)
+        if index is None:
+            index = len(self.values)
+            self.values.append(value)
+            self._index[value] = index
+        return index
+
+
+class AttributionStore:
+    """Columnar container for cold-start profiles with interned labels.
+
+    Profiles from a whole fleet replay share one label table, so memory
+    stays flat no matter how many cold starts repeat the same modules.
+    The JSONL dump is deterministic given insertion order, which is what
+    makes sharded replay merges byte-identical at any worker count: the
+    parent folds per-function stores in sorted-function order.
+    """
+
+    SCHEMA_VERSION = SCHEMA_VERSION
+
+    def __init__(self) -> None:
+        self._labels = _LabelTable()
+        # (function, request_id, timestamp, billed_s, memory_mb, cost_usd,
+        #  rows) with rows = tuple of (label_index, time_s, memory_mb, usd).
+        self._profiles: list[tuple] = []
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    @property
+    def label_count(self) -> int:
+        return len(self._labels.values)
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, profile: ColdStartProfile) -> None:
+        rows = tuple(
+            (self._labels.intern(e.label), e.time_s, e.memory_mb, e.usd)
+            for e in profile.entries
+        )
+        self._profiles.append(
+            (
+                profile.function,
+                profile.request_id,
+                profile.timestamp,
+                profile.billed_duration_s,
+                profile.memory_config_mb,
+                profile.cost_usd,
+                rows,
+            )
+        )
+
+    def extend(self, other: "AttributionStore") -> None:
+        """Append *other*'s profiles, re-interning labels into this table."""
+        for profile in other:
+            self.record(profile)
+
+    @classmethod
+    def merge(cls, stores: Iterable["AttributionStore"]) -> "AttributionStore":
+        """Fold *stores* in the given order into one store."""
+        merged = cls()
+        for store in stores:
+            merged.extend(store)
+        return merged
+
+    # -- reading -----------------------------------------------------------
+
+    def _materialize(self, raw: tuple) -> ColdStartProfile:
+        function, request_id, timestamp, billed_s, memory_mb, cost_usd, rows = raw
+        values = self._labels.values
+        entries = tuple(
+            AttributionEntry(
+                label=values[index], time_s=t, memory_mb=m, usd=u
+            )
+            for index, t, m, u in rows
+        )
+        return ColdStartProfile(
+            function=function,
+            request_id=request_id,
+            timestamp=timestamp,
+            billed_duration_s=billed_s,
+            memory_config_mb=memory_mb,
+            cost_usd=cost_usd,
+            entries=entries,
+        )
+
+    def __iter__(self) -> Iterator[ColdStartProfile]:
+        for raw in self._profiles:
+            yield self._materialize(raw)
+
+    def for_function(self, function: str) -> Iterator[ColdStartProfile]:
+        for raw in self._profiles:
+            if raw[0] == function:
+                yield self._materialize(raw)
+
+    def find(self, function: str, request_id: str) -> ColdStartProfile | None:
+        """Look up one profile by its invocation identity."""
+        for raw in self._profiles:
+            if raw[0] == function and raw[1] == request_id:
+                return self._materialize(raw)
+        return None
+
+    @property
+    def functions(self) -> tuple[str, ...]:
+        seen: dict[str, None] = {}
+        for raw in self._profiles:
+            seen.setdefault(raw[0], None)
+        return tuple(seen)
+
+    def total_cost_usd(self) -> float:
+        """Sequential sum of profiled cold-start costs, in insertion order."""
+        total = 0.0
+        for raw in self._profiles:
+            total += raw[5]
+        return total
+
+    def totals_by_label(
+        self, *, include_synthetic: bool = True
+    ) -> dict[str, tuple[float, float, float, int]]:
+        """Aggregate ``label -> (time_s, memory_mb, usd, rows)`` over all profiles."""
+        totals: dict[str, list] = {}
+        values = self._labels.values
+        for raw in self._profiles:
+            for index, time_s, memory_mb, usd in raw[6]:
+                label = values[index]
+                if not include_synthetic and label in _SYNTHETIC_ROWS:
+                    continue
+                slot = totals.get(label)
+                if slot is None:
+                    totals[label] = [time_s, memory_mb, usd, 1]
+                else:
+                    slot[0] += time_s
+                    slot[1] += memory_mb
+                    slot[2] += usd
+                    slot[3] += 1
+        return {label: tuple(slot) for label, slot in totals.items()}
+
+    def top_modules(
+        self, n: int, *, include_synthetic: bool = False
+    ) -> list[tuple[str, float, float, float, int]]:
+        """The *n* most expensive labels: ``(label, time_s, mb, usd, rows)``."""
+        totals = self.totals_by_label(include_synthetic=include_synthetic)
+        ranked = sorted(
+            (
+                (label, time_s, memory_mb, usd, count)
+                for label, (time_s, memory_mb, usd, count) in totals.items()
+            ),
+            key=lambda row: (-row[3], -row[1], row[0]),
+        )
+        return ranked[: max(n, 0)]
+
+    # -- serialization -----------------------------------------------------
+
+    def dump_lines(self) -> Iterator[str]:
+        """Yield the JSONL dump, one line per record, no trailing newline."""
+        yield json.dumps(
+            {"type": "meta", "schema": self.SCHEMA_VERSION, "format": "repro-profiles"},
+            sort_keys=True,
+        )
+        yield json.dumps(
+            {"type": "labels", "values": self._labels.values}, sort_keys=True
+        )
+        for raw in self._profiles:
+            function, request_id, timestamp, billed_s, memory_mb, cost_usd, rows = raw
+            yield json.dumps(
+                {
+                    "type": "profile",
+                    "function": function,
+                    "request_id": request_id,
+                    "timestamp": timestamp,
+                    "billed_s": billed_s,
+                    "memory_mb": memory_mb,
+                    "cost_usd": cost_usd,
+                    "rows": [list(row) for row in rows],
+                },
+                sort_keys=True,
+            )
+
+    def write_jsonl(self, path: Any) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            for line in self.dump_lines():
+                handle.write(line)
+                handle.write("\n")
+
+    @classmethod
+    def load_jsonl(cls, source: Any) -> "AttributionStore":
+        """Load a dump from a path or an iterable of lines.
+
+        Raises :class:`ValueError` with a line number on malformed input.
+        """
+        if isinstance(source, (str, bytes)) or hasattr(source, "__fspath__"):
+            with open(source, "r", encoding="utf-8") as handle:
+                return cls._load_lines(handle)
+        return cls._load_lines(source)
+
+    @classmethod
+    def _load_lines(cls, lines: IO[str] | Iterable[str]) -> "AttributionStore":
+        store = cls()
+        labels: list[str] = []
+        for number, line in enumerate(lines, start=1):
+            text = line.strip()
+            if not text:
+                continue
+            try:
+                record = json.loads(text)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"line {number} is not valid JSON: {exc}") from exc
+            if not isinstance(record, dict):
+                raise ValueError(f"line {number}: expected an object")
+            kind = record.get("type")
+            if kind == "labels":
+                labels = [str(v) for v in record.get("values", [])]
+            elif kind == "profile":
+                try:
+                    entries = tuple(
+                        AttributionEntry(
+                            label=labels[int(index)],
+                            time_s=float(time_s),
+                            memory_mb=float(memory_mb),
+                            usd=float(usd),
+                        )
+                        for index, time_s, memory_mb, usd in record["rows"]
+                    )
+                    profile = ColdStartProfile(
+                        function=str(record["function"]),
+                        request_id=str(record["request_id"]),
+                        timestamp=float(record["timestamp"]),
+                        billed_duration_s=float(record["billed_s"]),
+                        memory_config_mb=int(record["memory_mb"]),
+                        cost_usd=float(record["cost_usd"]),
+                        entries=entries,
+                    )
+                except (KeyError, IndexError, TypeError, ValueError) as exc:
+                    raise ValueError(f"line {number}: bad profile: {exc}") from exc
+                store.record(profile)
+            # Unknown record types (including "meta") are ignored so the
+            # format can grow without breaking old readers.
+        return store
+
+
+@dataclass(frozen=True, slots=True)
+class AttributionDiffEntry:
+    """Per-label before/after-trim comparison ("dollars saved per dependency").
+
+    USD values are *per cold start* (label total divided by the number of
+    profiled cold starts on that side), so traces with different cold
+    start counts compare apples to apples.
+    """
+
+    label: str
+    usd_before: float
+    usd_after: float
+    time_before_s: float
+    time_after_s: float
+
+    @property
+    def usd_saved(self) -> float:
+        return self.usd_before - self.usd_after
+
+    @property
+    def time_saved_s(self) -> float:
+        return self.time_before_s - self.time_after_s
+
+
+def attribution_diff(
+    before: AttributionStore,
+    after: AttributionStore,
+    *,
+    include_synthetic: bool = False,
+) -> list[AttributionDiffEntry]:
+    """Compare two stores label-by-label, sorted by dollars saved.
+
+    Labels missing on one side (a dependency the trim removed outright)
+    contribute zero on that side — exactly the "this import no longer
+    costs anything" signal debloating audits need.
+    """
+    n_before = max(len(before), 1)
+    n_after = max(len(after), 1)
+    totals_before = before.totals_by_label(include_synthetic=include_synthetic)
+    totals_after = after.totals_by_label(include_synthetic=include_synthetic)
+    labels: dict[str, None] = {}
+    for label in totals_before:
+        labels.setdefault(label, None)
+    for label in totals_after:
+        labels.setdefault(label, None)
+    rows = []
+    for label in labels:
+        tb = totals_before.get(label, (0.0, 0.0, 0.0, 0))
+        ta = totals_after.get(label, (0.0, 0.0, 0.0, 0))
+        rows.append(
+            AttributionDiffEntry(
+                label=label,
+                usd_before=tb[2] / n_before,
+                usd_after=ta[2] / n_after,
+                time_before_s=tb[0] / n_before,
+                time_after_s=ta[0] / n_after,
+            )
+        )
+    rows.sort(key=lambda row: (-row.usd_saved, -row.time_saved_s, row.label))
+    return rows

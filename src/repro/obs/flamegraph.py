@@ -1,0 +1,176 @@
+"""Flamegraph and Chrome ``trace_event`` exporters for cold-start profiles.
+
+Two interchange formats, both consumed by standard tooling:
+
+folded stacks
+    One line per stack, ``frame;frame value`` — the input format of
+    Brendan Gregg's ``flamegraph.pl`` and of speedscope's "folded" importer.
+    Stacks here are two frames deep (``function;module``) and values are
+    integer virtual microseconds, so the flame width *is* the init bill.
+
+Chrome ``trace_event`` JSON
+    The ``chrome://tracing`` / Perfetto format.  Each profiled cold start
+    becomes a complete ``X`` (duration) event per module on the function's
+    own process track, laid out sequentially in virtual time, with the
+    attributed USD and MB in ``args`` for the inspector panel.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+from repro.obs.attribution import AttributionStore, ColdStartProfile
+
+__all__ = ["folded_stacks", "write_folded", "chrome_trace", "write_chrome_trace"]
+
+_US = 1_000_000.0
+
+
+def _profiles(source: AttributionStore | Iterable[ColdStartProfile]):
+    return iter(source)
+
+
+def folded_stacks(
+    source: AttributionStore | Iterable[ColdStartProfile],
+    *,
+    include_synthetic: bool = True,
+) -> list[str]:
+    """Render profiles as folded stack lines, aggregated and sorted.
+
+    Values are integer virtual microseconds summed over every profiled
+    cold start of the function; zero-weight stacks are dropped (a frame
+    with no time has no width to draw).
+    """
+    weights: dict[str, int] = {}
+    for profile in _profiles(source):
+        for entry in profile.entries:
+            if not include_synthetic and entry.synthetic:
+                continue
+            stack = f"{profile.function};{entry.label}"
+            weight = int(round(entry.time_s * _US))
+            if weight <= 0:
+                continue
+            weights[stack] = weights.get(stack, 0) + weight
+    return [f"{stack} {weight}" for stack, weight in sorted(weights.items())]
+
+
+def write_folded(
+    source: AttributionStore | Iterable[ColdStartProfile],
+    path: Any,
+    *,
+    include_synthetic: bool = True,
+) -> int:
+    """Write folded stacks to *path*; returns the number of stacks written."""
+    lines = folded_stacks(source, include_synthetic=include_synthetic)
+    with open(path, "w", encoding="utf-8") as handle:
+        for line in lines:
+            handle.write(line)
+            handle.write("\n")
+    return len(lines)
+
+
+def chrome_trace(
+    source: AttributionStore | Iterable[ColdStartProfile],
+    *,
+    spans: Iterable[Any] = (),
+) -> dict[str, Any]:
+    """Build a Chrome/Perfetto ``trace_event`` document from profiles.
+
+    Virtual seconds map to trace microseconds.  Each function gets its
+    own ``pid`` track (named via ``process_name`` metadata); each cold
+    start lays its rows out back-to-back starting at the invocation's
+    virtual timestamp.  Optional obs *spans* (wall-clock
+    :class:`~repro.obs.span.Span` objects) are emitted on a dedicated
+    ``pid 0`` track so harness timing can be eyeballed alongside.
+    """
+    events: list[dict[str, Any]] = []
+    pids: dict[str, int] = {}
+
+    def pid_for(function: str) -> int:
+        pid = pids.get(function)
+        if pid is None:
+            pid = len(pids) + 1
+            pids[function] = pid
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": function},
+                }
+            )
+        return pid
+
+    for profile in _profiles(source):
+        pid = pid_for(profile.function)
+        start_us = profile.timestamp * _US
+        total_us = sum(e.time_s for e in profile.entries) * _US
+        events.append(
+            {
+                "name": f"cold start {profile.request_id}",
+                "cat": "cold_start",
+                "ph": "X",
+                "ts": start_us,
+                "dur": total_us,
+                "pid": pid,
+                "tid": 1,
+                "args": {
+                    "cost_usd": profile.cost_usd,
+                    "billed_s": profile.billed_duration_s,
+                    "memory_mb": profile.memory_config_mb,
+                },
+            }
+        )
+        cursor = start_us
+        for entry in profile.entries:
+            dur_us = entry.time_s * _US
+            events.append(
+                {
+                    "name": entry.label,
+                    "cat": "attribution",
+                    "ph": "X",
+                    "ts": cursor,
+                    "dur": dur_us,
+                    "pid": pid,
+                    "tid": 2,
+                    "args": {"usd": entry.usd, "memory_mb": entry.memory_mb},
+                }
+            )
+            cursor += dur_us
+
+    threads: dict[str, int] = {}
+    for span in spans:
+        tid = threads.get(span.thread)
+        if tid is None:
+            tid = len(threads) + 1
+            threads[span.thread] = tid
+        events.append(
+            {
+                "name": span.name,
+                "cat": "obs",
+                "ph": "X",
+                "ts": span.start_s * _US,
+                "dur": max(span.end_s - span.start_s, 0.0) * _US,
+                "pid": 0,
+                "tid": tid,
+                "args": dict(span.attrs),
+            }
+        )
+
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    source: AttributionStore | Iterable[ColdStartProfile],
+    path: Any,
+    *,
+    spans: Iterable[Any] = (),
+) -> int:
+    """Write a ``trace_event`` JSON file; returns the number of events."""
+    document = chrome_trace(source, spans=spans)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+        handle.write("\n")
+    return len(document["traceEvents"])

@@ -29,6 +29,7 @@ from repro.bundle import AppBundle
 from repro.checkpoint import Checkpoint, CriuSimulator
 from repro.errors import FunctionNotFound, PlatformError
 from repro.obs import get_recorder
+from repro.obs.attribution import AttributionStore, attribute_cold_start
 from repro.platform.billing import BillingLedger
 from repro.platform.clock import VirtualClock
 from repro.platform.faults import FaultInjector, FaultPlan
@@ -42,6 +43,7 @@ from repro.platform.logs import (
 from repro.platform.telemetry import TelemetrySink
 from repro.platform.tuning import CpuScalingModel
 from repro.pricing import AwsLambdaPricing, PricingModel, SnapStartPricing
+from repro.vm import aggregate_charges
 
 __all__ = ["LambdaEmulator", "DeployedFunction"]
 
@@ -111,6 +113,7 @@ class LambdaEmulator:
         faults: FaultInjector | FaultPlan | None = None,
         log: ExecutionLog | None = None,
         record_detail: bool = True,
+        attribution: AttributionStore | None = None,
     ):
         self.pricing = pricing if pricing is not None else AwsLambdaPricing()
         self.keep_alive_s = keep_alive_s
@@ -143,6 +146,14 @@ class LambdaEmulator:
         # obs event (a 14-key dict per record) is skipped even when a
         # recorder is active; counters still flow.
         self.record_detail = record_detail
+        # Optional dollar attribution: with a store attached, every cold
+        # start's init-phase charge stream is folded into a priced
+        # ColdStartProfile (repro.obs.attribution).  None (the default)
+        # keeps the capture entirely off the hot path.
+        self.attribution = attribution
+        # (module rows, billed_init_s, include_exec) stashed by
+        # _cold_start for the record finisher to price.
+        self._pending_cold: tuple | None = None
         self._functions: dict[str, DeployedFunction] = {}
         self._request_ids = itertools.count(1)
         # Batched observability counters for the disabled-recorder fast
@@ -271,6 +282,27 @@ class LambdaEmulator:
         emit_obs: bool = True,
     ) -> None:
         """Log, bill, and publish one finished invocation record."""
+        if self.attribution is not None and record.start_type is StartType.COLD:
+            pending = self._pending_cold
+            self._pending_cold = None
+            if pending is not None:
+                modules, billed_init_s, include_exec = pending
+                self.attribution.record(
+                    attribute_cold_start(
+                        function=record.function,
+                        request_id=record.request_id,
+                        timestamp=record.timestamp,
+                        pricing=self.pricing,
+                        memory_config_mb=record.memory_config_mb,
+                        modules=modules,
+                        billed_init_s=billed_init_s,
+                        restore_s=record.restore_duration_s,
+                        exec_s=record.exec_duration_s,
+                        billed_duration_s=record.billed_duration_s,
+                        cost_usd=record.cost_usd,
+                        include_exec=include_exec,
+                    )
+                )
         self.log.append(record)
         if record.billed:
             self.ledger.charge_invocation(
@@ -406,6 +438,13 @@ class LambdaEmulator:
             sequence=function.instance_seq,
         )
         init_s = instance.initialize()  # the real import happens here
+        # Snapshot the init-phase charge stream before the handler runs:
+        # invoke() appends exec-phase events to the same meter.
+        init_modules = (
+            aggregate_charges(instance.app.meter.events)
+            if self.attribution is not None
+            else None
+        )
 
         restore_s = 0.0
         if function.snapstart:
@@ -438,6 +477,8 @@ class LambdaEmulator:
             instance.shutdown()
             configured = self._configured_mb(function, instance)
             billed = billed_init_s
+            if init_modules is not None:
+                self._pending_cold = (init_modules, billed_init_s, False)
             return InvocationRecord(
                 request_id=f"req-{next(self._request_ids):06d}",
                 function=function.name,
@@ -458,6 +499,8 @@ class LambdaEmulator:
                 status=InvocationStatus.CRASHED,
             )
 
+        if init_modules is not None:
+            self._pending_cold = (init_modules, billed_init_s, True)
         function.instances.append(instance)
         return self._run(
             function,

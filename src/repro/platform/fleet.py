@@ -49,13 +49,15 @@ import json
 import multiprocessing
 import time
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterable
 
 from repro.bundle import AppBundle
 from repro.errors import PlatformError
-from repro.obs import get_recorder
+from repro.obs import InMemoryRecorder, get_recorder, use_recorder
+from repro.obs.attribution import AttributionStore
 from repro.platform.billing import BillingLedger, FunctionBill
 from repro.platform.emulator import DEFAULT_KEEP_ALIVE_S, LambdaEmulator
 from repro.platform.faults import FaultPlan
@@ -109,6 +111,10 @@ class FleetReplayResult:
     #: Per-function JSON-lines log shards (empty without ``log_dir``).
     log_paths: dict[str, Path] = field(default_factory=dict)
     merged_log: Path | None = None
+    #: Per-function cold-start profile spools (empty without
+    #: ``profile_dir``) and their deterministic merge.
+    profile_paths: dict[str, Path] = field(default_factory=dict)
+    merged_profiles: Path | None = None
 
     @property
     def arrivals(self) -> int:
@@ -148,6 +154,34 @@ def _replay_one(
     store: TemplateStore | None = None,
 ) -> dict:
     """Replay one function on a fresh emulator; return picklable results."""
+    # Cross-process obs: when the parent had a live recorder at
+    # replay_fleet() time, each function replays under its own
+    # InMemoryRecorder and ships the counter/gauge totals back for the
+    # parent to fold in sorted-function order.  Spans and events stay in
+    # the worker — they carry wall-clock times, which must never leak
+    # into a deterministic merge.
+    shard_recorder = InMemoryRecorder() if cfg.get("spool_obs") else None
+    scope = (
+        use_recorder(shard_recorder) if shard_recorder is not None else nullcontext()
+    )
+    with scope:
+        payload = _replay_one_inner(bundle, name, timestamps, cfg, store)
+    if shard_recorder is not None:
+        registry = shard_recorder.registry
+        payload["obs"] = {
+            "counters": {c.name: c.value for c in registry.counters()},
+            "gauges": {g.name: g.value for g in registry.gauges()},
+        }
+    return payload
+
+
+def _replay_one_inner(
+    bundle: AppBundle,
+    name: str,
+    timestamps: tuple[float, ...],
+    cfg: dict,
+    store: TemplateStore | None = None,
+) -> dict:
     # Workers never build "*" rollups: the parent rebuilds the fleet
     # windows deterministically in _merge_report, so per-record fleet
     # tracking in the worker is pure waste.
@@ -162,12 +196,18 @@ def _replay_one(
         log = ExecutionLog(spill_threshold=cfg["spill_threshold"], spill_path=log_path)
     else:
         log = ExecutionLog()
+    profile_path: Path | None = None
+    attribution: AttributionStore | None = None
+    if cfg.get("profile_dir") is not None:
+        attribution = AttributionStore()
+        profile_path = Path(cfg["profile_dir"]) / f"{name}.profiles.jsonl"
     emulator = LambdaEmulator(
         keep_alive_s=cfg["keep_alive_s"],
         telemetry=sink,
         faults=cfg["faults"],
         log=log,
         record_detail=cfg["record_detail"],
+        attribution=attribution,
     )
     function = emulator.deploy(bundle, name=name)
     engine = cfg.get("engine", "auto")
@@ -199,6 +239,8 @@ def _replay_one(
     records = len(emulator.log)
     if log_path is not None:
         log.flush_spill()
+    if attribution is not None and profile_path is not None:
+        attribution.write_jsonl(profile_path)
     emulator.function(name).discard_instances()
     bill = emulator.ledger.bill_for(name)
     return {
@@ -227,6 +269,7 @@ def _replay_one(
             peak_concurrency=result.peak_concurrency,
         ),
         "log_path": str(log_path) if log_path is not None else None,
+        "profile_path": str(profile_path) if profile_path is not None else None,
     }
 
 
@@ -416,6 +459,8 @@ def replay_fleet(
     record_detail: bool = False,
     log_dir: Path | str | None = None,
     merged_log: Path | str | None = None,
+    profile_dir: Path | str | None = None,
+    merged_profiles: Path | str | None = None,
     spill_threshold: int | None = None,
     verify_ledger: bool = True,
     mp_context: str = "fork",
@@ -444,6 +489,16 @@ def replay_fleet(
     serve); ``"reference"`` forces the reference engine.  Both engines
     produce byte-identical exports.
 
+    ``profile_dir`` enables dollar attribution: each worker captures a
+    :class:`~repro.obs.attribution.ColdStartProfile` per cold start and
+    spools them to ``<profile_dir>/<function>.profiles.jsonl``;
+    ``merged_profiles`` additionally folds the spools into one store in
+    sorted-function order, so the merged file is byte-identical at any
+    worker count.  When the caller has a live obs recorder, workers
+    replay under their own in-memory recorders and the parent folds the
+    counter/gauge totals back in sorted-function order — fleet counter
+    totals match a single-process run regardless of sharding.
+
     ``min_shard_invocations`` guards against the parallel-slowdown
     regime: when set, the shard count is capped so every worker receives
     at least that many invocations — below the break-even point (see
@@ -470,6 +525,8 @@ def replay_fleet(
         raise PlatformError("fleet trace has no functions")
     if merged_log is not None and log_dir is None:
         raise PlatformError("merged_log requires log_dir")
+    if merged_profiles is not None and profile_dir is None:
+        raise PlatformError("merged_profiles requires profile_dir")
     if isinstance(faults, FaultPlan) is False and faults is not None:
         raise PlatformError(
             "replay_fleet takes a FaultPlan (picklable), not a FaultInjector"
@@ -478,6 +535,8 @@ def replay_fleet(
     policy = slos if isinstance(slos, SloPolicy) else SloPolicy(list(slos))
     if log_dir is not None:
         Path(log_dir).mkdir(parents=True, exist_ok=True)
+    if profile_dir is not None:
+        Path(profile_dir).mkdir(parents=True, exist_ok=True)
 
     cfg = {
         "event": event,
@@ -488,9 +547,13 @@ def replay_fleet(
         "faults": faults,
         "record_detail": record_detail,
         "log_dir": str(log_dir) if log_dir is not None else None,
+        "profile_dir": str(profile_dir) if profile_dir is not None else None,
         "spill_threshold": spill_threshold,
         "verify_ledger": verify_ledger,
         "engine": engine,
+        # Captured at call time: workers spool obs counters only when the
+        # caller actually has a live recorder to fold them into.
+        "spool_obs": get_recorder().enabled,
     }
     effective_workers = workers
     if min_shard_invocations:
@@ -531,10 +594,23 @@ def replay_fleet(
         results = [r for shard in shard_results for r in shard]
         results.sort(key=lambda r: r["function"])
 
+        # Fold worker obs counters back into the caller's recorder in
+        # sorted-function order (results are sorted above): totals are
+        # identical at any worker count.
+        for result in results:
+            obs = result.get("obs")
+            if not obs:
+                continue
+            for counter_name, value in obs["counters"].items():
+                recorder.counter_add(counter_name, value)
+            for gauge_name, value in obs["gauges"].items():
+                recorder.gauge_max(gauge_name, value)
+
         report = _merge_report(results, window_s=float(window_s), policy=policy)
         ledger = BillingLedger()
         stats: dict[str, FunctionReplayStats] = {}
         log_paths: dict[str, Path] = {}
+        profile_paths: dict[str, Path] = {}
         for result in results:
             name = result["function"]
             bill = result["bill"]
@@ -548,10 +624,24 @@ def replay_fleet(
             stats[name] = result["stats"]
             if result["log_path"] is not None:
                 log_paths[name] = Path(result["log_path"])
+            if result["profile_path"] is not None:
+                profile_paths[name] = Path(result["profile_path"])
 
         merged_path: Path | None = None
         if merged_log is not None:
             merged_path = _merge_logs(sorted(log_paths.items()), Path(merged_log))
+
+        merged_profiles_path: Path | None = None
+        if merged_profiles is not None:
+            # Sorted-function fold: the merged spool is byte-identical at
+            # any worker count because each shard file already is.
+            merged_store = AttributionStore.merge(
+                AttributionStore.load_jsonl(path)
+                for _, path in sorted(profile_paths.items())
+            )
+            merged_profiles_path = Path(merged_profiles)
+            merged_profiles_path.parent.mkdir(parents=True, exist_ok=True)
+            merged_store.write_jsonl(merged_profiles_path)
 
         recorder.counter_add("fleet.functions", len(results))
         recorder.counter_add("fleet.arrivals", sum(s.arrivals for s in stats.values()))
@@ -566,4 +656,6 @@ def replay_fleet(
         wall_s=wall_s,
         log_paths=log_paths,
         merged_log=merged_path,
+        profile_paths=profile_paths,
+        merged_profiles=merged_profiles_path,
     )

@@ -71,6 +71,8 @@ from repro.platform.logs import (
     StartType,
 )
 from repro.platform.retry import DeadLetter, RetryPolicy
+from repro.obs.attribution import attribute_cold_start
+from repro.vm import aggregate_charges
 
 try:  # numpy is an optional accelerator; pure Python is the reference
     import numpy as _np
@@ -164,6 +166,11 @@ class _ColdTemplate:
     value: Any
     value_key: Any
     error_type: str | None
+    #: Aggregated init-phase charge rows ``(label, time_s, memory_mb)``,
+    #: captured once per template when dollar attribution is enabled —
+    #: synthesized cold starts reuse them so profiles stay identical to
+    #: the reference engine's without touching an interpreter.
+    modules: tuple = ()
 
 
 @dataclass
@@ -364,6 +371,10 @@ class KernelReplayer:
         self._clamp_cache: dict[int, int] = {}
         self._billed_cache: dict[float, float] = {}
         self._cost_cache: dict[tuple[float, int], float] = {}
+        #: (module rows, include_exec) stashed by the cold paths for
+        #: _emit to price; None outside a cold start or when attribution
+        #: is off.
+        self._cold_pending: tuple | None = None
 
     # -- driving -----------------------------------------------------------
 
@@ -421,6 +432,7 @@ class KernelReplayer:
         self._clock = emulator.clock
         self._pricing = emulator.pricing
         self._request_ids = emulator._request_ids
+        self._attribution = emulator.attribution
 
         session = retry.session() if retry is not None else None
         recorder = get_recorder()
@@ -622,10 +634,19 @@ class KernelReplayer:
         init_s = instance.initialize()
         clock.advance(init_s)
         meter = instance.app.meter
+        # Aggregate the init charge stream before invoke() appends exec
+        # events; captured once per template, reused by every synthesis.
+        modules = (
+            tuple(aggregate_charges(meter.events))
+            if self._attribution is not None
+            else None
+        )
         faults = self._faults
         if faults is not None and faults.cold_start_crash(function.name, clock.now()):
             instance.shutdown()
             peak = meter.peak_mb
+            if modules is not None:
+                self._cold_pending = (modules, False)
             return self._emit_cold_crash(
                 t, instance.instance_id, init_s, peak, want_record
             )
@@ -647,7 +668,10 @@ class KernelReplayer:
                 value=output.value,
                 value_key=_value_key(output.value),
                 error_type=output.error_type,
+                modules=modules if modules is not None else (),
             )
+        if modules is not None:
+            self._cold_pending = (modules, True)
         shadow.t = meter.time_s
         shadow.live = meter.live_mb
         shadow.peak = meter.peak_mb
@@ -734,9 +758,13 @@ class KernelReplayer:
         clock.advance(template.init_s)
         faults = self._faults
         if faults is not None and faults.cold_start_crash(function.name, clock.now()):
+            if self._attribution is not None:
+                self._cold_pending = (template.modules, False)
             return self._emit_cold_crash(
                 t, instance_id, template.init_s, template.init_peak, want_record
             )
+        if self._attribution is not None:
+            self._cold_pending = (template.modules, True)
         shadow = _Shadow(
             instance_id,
             t=template.post_t,
@@ -940,6 +968,7 @@ class KernelReplayer:
                     routing,
                     0.0,
                     0.0,
+                    request_num,
                 ),
                 arrival=arrival,
             )
@@ -988,6 +1017,27 @@ class KernelReplayer:
         request_num = next(self._request_ids)
         routing = self._routing
         name = self._name
+        if self._attribution is not None and start_index == _COLD:
+            pending = self._cold_pending
+            self._cold_pending = None
+            if pending is not None:
+                modules, include_exec = pending
+                self._attribution.record(
+                    attribute_cold_start(
+                        function=name,
+                        request_id=f"req-{request_num:06d}",
+                        timestamp=timestamp,
+                        pricing=self._pricing,
+                        memory_config_mb=clamped,
+                        modules=modules,
+                        billed_init_s=billed_init_s,
+                        restore_s=0.0,
+                        exec_s=exec_s,
+                        billed_duration_s=billed_s,
+                        cost_usd=cost,
+                        include_exec=include_exec,
+                    )
+                )
         self._log.append_row(
             request_num,
             name,
@@ -1029,6 +1079,7 @@ class KernelReplayer:
                     e2e,
                     cost,
                     billed_s,
+                    request_num,
                 ),
                 arrival=arrival,
             )

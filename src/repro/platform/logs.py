@@ -523,6 +523,10 @@ class ExecutionLog:
         # float-identical to a streaming pass over the records.
         self._billing: dict[str, list] = {}
         self._status_totals: dict[str, dict[str, int]] = {}
+        # Per-function cold-start cost, accumulated in append order — the
+        # float-exact target a cold-start AttributionStore recorded by the
+        # same run must sum to (see cold_start_cost_usd).
+        self._cold_costs: dict[str, float] = {}
         self._reset_columns()
         if records is not None:
             for record in records:
@@ -680,6 +684,9 @@ class ExecutionLog:
             entry[1] += 1
             if start_index == _COLD_START:
                 entry[2] += 1
+                self._cold_costs[function] = (
+                    self._cold_costs.get(function, 0.0) + cost
+                )
         else:
             entry[3] += 1
             if cost:
@@ -870,6 +877,26 @@ class ExecutionLog:
         on this to verify a multi-million row log in O(functions).
         """
         return {name: tuple(entry) for name, entry in self._billing.items()}
+
+    def cold_start_cost_usd(self, function: str | None = None) -> float:
+        """Billed cost of cold-start records, accumulated in append order.
+
+        The attribution cross-check: for any one function, an
+        :class:`~repro.obs.attribution.AttributionStore` recorded by the
+        same run sums (:meth:`~repro.obs.attribution.AttributionStore.
+        total_cost_usd`) to exactly this value, bit for bit — profiles
+        and records are appended in the same order, and each profile's
+        rows sum to its record's ``cost_usd`` bit-exactly.  With
+        ``function=None`` the per-function totals are combined in sorted
+        order (deterministic, but a different addition order than a
+        single interleaved stream).
+        """
+        if function is not None:
+            return self._cold_costs.get(function, 0.0)
+        total = 0.0
+        for name in sorted(self._cold_costs):
+            total += self._cold_costs[name]
+        return total
 
     def error_rate(self, function: str | None = None) -> float:
         """Fraction of invocations that did not end in ``SUCCESS``."""

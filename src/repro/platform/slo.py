@@ -117,6 +117,9 @@ class SloRule:
             window_end_s=rollup.end_s,
             value=value,
             threshold=self.threshold,
+            exemplars=tuple(
+                ref for _, ref in getattr(rollup, "exemplars", ()) or ()
+            ),
         )
 
     def to_dict(self) -> dict[str, Any]:
@@ -152,6 +155,10 @@ class SloBreach:
     window_end_s: float
     value: float
     threshold: float
+    #: Worst offending invocations of the breached window as
+    #: ``"function/request-id"`` references, slowest first — the handle
+    #: the dashboard's drill-down panel resolves to cost profiles.
+    exemplars: tuple[str, ...] = ()
 
     @property
     def excess_ratio(self) -> float:
@@ -177,6 +184,7 @@ class SloBreach:
             "window_end_s": self.window_end_s,
             "value": self.value,
             "threshold": self.threshold,
+            "exemplars": list(self.exemplars),
         }
 
     @classmethod
@@ -189,6 +197,7 @@ class SloBreach:
             window_end_s=float(data["window_end_s"]),
             value=float(data["value"]),
             threshold=float(data["threshold"]),
+            exemplars=tuple(str(ref) for ref in data.get("exemplars", ())),
         )
 
 

@@ -37,9 +37,18 @@ from repro.obs.histogram import LogLinearHistogram
 from repro.platform.logs import InvocationRecord, StartType
 from repro.platform.slo import FLEET, SloBreach, SloPolicy, SloRule, metric_value
 
-__all__ = ["WindowRollup", "TelemetrySink", "FleetReport", "FLEET"]
+__all__ = ["WindowRollup", "TelemetrySink", "FleetReport", "FLEET", "EXEMPLAR_K"]
 
 SCHEMA_VERSION = 1
+
+#: Worst-invocation exemplars retained per window (the drill-down trail
+#: from an SLO breach back to concrete request ids).
+EXEMPLAR_K = 3
+
+
+def _exemplar_order(item: tuple[float, str]) -> tuple[float, str]:
+    """Slowest first; ties broken by reference string for determinism."""
+    return (-item[0], item[1])
 
 
 @dataclass
@@ -67,8 +76,19 @@ class WindowRollup:
     e2e: LogLinearHistogram = field(default_factory=LogLinearHistogram)
     cold_e2e: LogLinearHistogram = field(default_factory=LogLinearHistogram)
     billed: LogLinearHistogram = field(default_factory=LogLinearHistogram)
+    #: The :data:`EXEMPLAR_K` slowest billed invocations of the window as
+    #: ``(e2e_s, "function/request-id")`` pairs, slowest first.  These are
+    #: the ids an SLO breach carries so the dashboard can drill from an
+    #: alarm to the offending invocations and their cost profiles.
+    exemplars: list[tuple[float, str]] = field(default_factory=list)
 
     # -- accumulation ------------------------------------------------------
+
+    def _push_exemplar(self, e2e_s: float, ref: str) -> None:
+        exemplars = self.exemplars
+        exemplars.append((e2e_s, ref))
+        exemplars.sort(key=_exemplar_order)
+        del exemplars[EXEMPLAR_K:]
 
     def observe(self, record: InvocationRecord) -> None:
         self.invocations += 1
@@ -88,8 +108,12 @@ class WindowRollup:
             self.warm_starts += 1
         self.cost_usd += record.cost_usd
         self.billed_s_sum += record.billed_duration_s
-        self.e2e.record(record.e2e_s)
+        e2e_s = record.e2e_s
+        self.e2e.record(e2e_s)
         self.billed.record(record.billed_duration_s)
+        exemplars = self.exemplars
+        if len(exemplars) < EXEMPLAR_K or e2e_s > exemplars[-1][0]:
+            self._push_exemplar(e2e_s, f"{record.function}/{record.request_id}")
 
     def observe_row(
         self,
@@ -101,6 +125,8 @@ class WindowRollup:
         e2e_s: float,
         cost_usd: float,
         billed_s: float,
+        function: str = "",
+        request_num: int = -1,
     ) -> None:
         """Fold one invocation from already-decomposed fields.
 
@@ -123,6 +149,12 @@ class WindowRollup:
         self.billed_s_sum += billed_s
         self.e2e.record(e2e_s)
         self.billed.record(billed_s)
+        if request_num >= 0:
+            exemplars = self.exemplars
+            if len(exemplars) < EXEMPLAR_K or e2e_s > exemplars[-1][0]:
+                # The ref string is only built on top-K entry, keeping the
+                # kernel's record-free hot path free of formatting.
+                self._push_exemplar(e2e_s, f"{function}/req-{request_num:06d}")
 
     def merge(self, other: "WindowRollup") -> None:
         """Fold *other* into this rollup (sliding windows, run totals)."""
@@ -147,6 +179,10 @@ class WindowRollup:
         self.e2e.merge(other.e2e)
         self.cold_e2e.merge(other.cold_e2e)
         self.billed.merge(other.billed)
+        if other.exemplars:
+            combined = self.exemplars + other.exemplars
+            combined.sort(key=_exemplar_order)
+            self.exemplars = combined[:EXEMPLAR_K]
 
     # -- derived metrics ---------------------------------------------------
 
@@ -187,6 +223,7 @@ class WindowRollup:
             "e2e": self.e2e.to_dict(),
             "cold_e2e": self.cold_e2e.to_dict(),
             "billed": self.billed.to_dict(),
+            "exemplars": [[e2e_s, ref] for e2e_s, ref in self.exemplars],
         }
 
     @classmethod
@@ -209,6 +246,10 @@ class WindowRollup:
             e2e=LogLinearHistogram.from_dict(data["e2e"]),
             cold_e2e=LogLinearHistogram.from_dict(data["cold_e2e"]),
             billed=LogLinearHistogram.from_dict(data["billed"]),
+            exemplars=[
+                (float(e2e_s), str(ref))
+                for e2e_s, ref in data.get("exemplars", [])
+            ],
         )
 
 
@@ -286,16 +327,19 @@ class TelemetrySink:
             self._drain()
 
     def observe_row(
-        self, row: tuple[str, str, bool, bool, bool, bool, float, float, float],
+        self,
+        row: tuple,
         *,
         arrival: float,
     ) -> None:
         """Buffer one already-decomposed invocation (the kernel hot path).
 
         *row* is ``(function, status_value, ok, billed, is_cold, is_warm,
-        e2e_s, cost_usd, billed_duration_s)`` — everything
+        e2e_s, cost_usd, billed_duration_s[, request_num])`` — everything
         :meth:`WindowRollup.observe` would have derived from a record.
-        Aggregation order and arithmetic match :meth:`observe` exactly.
+        The optional trailing ``request_num`` feeds window exemplars; a
+        9-element row skips them.  Aggregation order and arithmetic match
+        :meth:`observe` exactly.
         """
         self._pending.append((row, arrival))
         if len(self._pending) >= DRAIN_THRESHOLD:
@@ -326,11 +370,21 @@ class TelemetrySink:
     def _ingest_row(self, row: tuple, arrival: float) -> None:
         function = row[0]
         completion = arrival + row[6]
+        request_num = row[9] if len(row) > 9 else -1
         names = (function, FLEET) if self.track_fleet else (function,)
         for name in names:
             rollup = self._rollup(name, arrival)
             rollup.observe_row(
-                row[1], row[2], row[3], row[4], row[5], row[6], row[7], row[8]
+                row[1],
+                row[2],
+                row[3],
+                row[4],
+                row[5],
+                row[6],
+                row[7],
+                row[8],
+                function,
+                request_num,
             )
             depth = self._track_concurrency(name, arrival, completion)
             if depth > rollup.concurrency_peak:

@@ -42,6 +42,7 @@ __all__ = [
     "MemoryLedger",
     "Meter",
     "MeterSnapshot",
+    "aggregate_charges",
     "metered",
     "push_meter",
     "pop_meter",
@@ -195,6 +196,12 @@ class Meter:
     def events_for(self, label: str) -> list[ChargeEvent]:
         return [e for e in self.events if e.label == label]
 
+    def charges_by_label(
+        self, category: str | None = None
+    ) -> list[tuple[str, float, float]]:
+        """Aggregate recorded events by label, in first-charge order."""
+        return aggregate_charges(self.events, category=category)
+
     # -- charging ----------------------------------------------------------
 
     def charge(self, event: ChargeEvent) -> None:
@@ -211,6 +218,33 @@ class Meter:
             f"Meter({self.name!r}, time={self._time_s:.3f}s, "
             f"live={self.live_mb:.1f}MB, peak={self.peak_mb:.1f}MB)"
         )
+
+
+def aggregate_charges(
+    events: list[ChargeEvent] | tuple[ChargeEvent, ...],
+    category: str | None = None,
+) -> list[tuple[str, float, float]]:
+    """Fold a charge stream into ``(label, time_s, memory_mb)`` rows.
+
+    Rows appear in first-charge order — the order modules actually began
+    charging, which is what cost attribution and flamegraphs render.
+    Repeated charges under one label (a module body plus its attribute
+    constructions) accumulate into a single row.
+    """
+    index: dict[str, int] = {}
+    rows: list[list] = []
+    for event in events:
+        if category is not None and event.category != category:
+            continue
+        slot = index.get(event.label)
+        if slot is None:
+            index[event.label] = len(rows)
+            rows.append([event.label, event.time_s, event.memory_mb])
+        else:
+            row = rows[slot]
+            row[1] += event.time_s
+            row[2] += event.memory_mb
+    return [(label, time_s, memory_mb) for label, time_s, memory_mb in rows]
 
 
 class _MeterState(threading.local):

@@ -1,0 +1,260 @@
+"""Cost attribution: float-exact dollar rows, store round-trips, diffs.
+
+The invariant everything downstream trusts (dashboard drill-down,
+dollars-saved diffs, CI artifacts): a profile's sequential row sum
+reproduces the invocation's billed ``cost_usd`` bit-exactly, under every
+pricing model, including the hostile float cases.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.attribution import (
+    EXECUTION_ROW,
+    REQUEST_ROW,
+    RESTORE_ROW,
+    AttributionStore,
+    attribute_cold_start,
+    attribution_diff,
+)
+from repro.pricing.models import (
+    AwsLambdaPricing,
+    AzureFunctionsPricing,
+    GcpCloudRunPricing,
+    PricingModel,
+)
+
+MODULES = [
+    ("numpy", 0.41, 60.0),
+    ("numpy.linalg", 0.0, 0.0),  # zero-cost module: priced at $0
+    ("pandas", 0.93, 120.0),
+    ("boto3", 0.27, 30.0),
+]
+
+
+def _profile(pricing, modules=MODULES, *, restore_s=0.0, snapstart=False,
+             include_exec=True, exec_s=0.05, memory_mb=512):
+    init_s = sum(t for _, t, _ in modules)
+    billed_init = 0.0 if snapstart else init_s
+    total = billed_init + exec_s
+    billed = pricing.billed_duration_s(total)
+    cost = pricing.invocation_cost(total, memory_mb)
+    return attribute_cold_start(
+        function="api",
+        request_id="req-000001",
+        timestamp=12.5,
+        pricing=pricing,
+        memory_config_mb=int(pricing.clamp_memory_mb(memory_mb)),
+        modules=modules,
+        billed_init_s=billed_init,
+        restore_s=restore_s,
+        exec_s=exec_s,
+        billed_duration_s=billed,
+        cost_usd=cost,
+        include_exec=include_exec,
+    ), cost
+
+
+PRICINGS = [
+    pytest.param(AwsLambdaPricing(), id="aws"),
+    pytest.param(AwsLambdaPricing(request_price=2e-7), id="aws-request-fee"),
+    pytest.param(GcpCloudRunPricing(), id="gcp-100ms-granularity"),
+    pytest.param(AzureFunctionsPricing(), id="azure-1s-granularity"),
+]
+
+
+class TestFloatExactness:
+    @pytest.mark.parametrize("pricing", PRICINGS)
+    def test_rows_sum_bit_exactly_to_billed_cost(self, pricing):
+        profile, cost = _profile(pricing)
+        assert profile.attributed_usd == cost
+        assert sum(e.usd for e in profile.entries) == cost
+
+    @pytest.mark.parametrize("pricing", PRICINGS)
+    def test_request_row_carries_the_flat_fee(self, pricing):
+        profile, _ = _profile(pricing)
+        request = profile.entries[0]
+        assert request.label == REQUEST_ROW
+        assert request.synthetic
+        assert request.usd == pricing.invocation_cost(0.0, 512)
+
+    def test_zero_time_module_is_free(self):
+        profile, _ = _profile(AwsLambdaPricing())
+        by_label = {e.label: e for e in profile.entries}
+        assert by_label["numpy.linalg"].usd == 0.0
+
+    def test_coarse_granularity_attributes_the_tick_crosser(self):
+        """Under 1s granularity the module crossing the tick pays for it."""
+        profile, cost = _profile(AzureFunctionsPricing())
+        assert profile.attributed_usd == cost
+        # numpy (0.41s cumulative) opens the first 1s tick and pandas
+        # (1.34s cumulative) opens the second; boto3 (1.61s) stays inside
+        # pandas's tick and is free.
+        by_label = {e.label: e for e in profile.module_entries()}
+        assert by_label["numpy"].usd > 0.0
+        assert by_label["pandas"].usd > 0.0
+        assert by_label["boto3"].usd == 0.0
+
+    def test_snapstart_module_rows_are_informational(self):
+        profile, cost = _profile(
+            AwsLambdaPricing(), restore_s=0.2, snapstart=True
+        )
+        assert profile.attributed_usd == cost
+        assert all(e.usd == 0.0 for e in profile.module_entries())
+        labels = [e.label for e in profile.entries]
+        assert RESTORE_ROW in labels
+
+    def test_cold_crash_has_no_execution_row(self):
+        profile, cost = _profile(
+            AwsLambdaPricing(), include_exec=False, exec_s=0.0
+        )
+        labels = [e.label for e in profile.entries]
+        assert EXECUTION_ROW not in labels
+        assert profile.attributed_usd == cost
+
+    def test_residual_fit_survives_hostile_floats(self):
+        """last = target - prefix is not IEEE-sufficient; the fit iterates."""
+
+        pricing = PricingModel(
+            name="hostile",
+            gb_second_price=1e16,
+            billing_granularity_s=0.001,
+            min_memory_mb=128,
+            max_memory_mb=10_240,
+        )
+        modules = [("big", 1.0, 0.0), ("tiny", 1e-9, 0.0)]
+        init_s = 1.0 + 1e-9
+        cost = pricing.invocation_cost(init_s, 512)
+        profile = attribute_cold_start(
+            function="f", request_id="r", timestamp=0.0, pricing=pricing,
+            memory_config_mb=512, modules=modules, billed_init_s=init_s,
+            restore_s=0.0, exec_s=0.0,
+            billed_duration_s=pricing.billed_duration_s(init_s),
+            cost_usd=cost, include_exec=False,
+        )
+        assert profile.attributed_usd == cost
+
+    def test_top_entries_rank_by_usd(self):
+        profile, _ = _profile(AwsLambdaPricing())
+        top = profile.top_entries(2)
+        assert len(top) == 2
+        assert top[0].usd >= top[1].usd
+
+
+class TestAttributionStore:
+    def _store(self, count=3):
+        store = AttributionStore()
+        pricing = AwsLambdaPricing(request_price=2e-7)
+        for i in range(count):
+            profile, _ = _profile(pricing)
+            profile = type(profile)(
+                function=f"fn-{i % 2}",
+                request_id=f"req-{i:06d}",
+                timestamp=float(i),
+                billed_duration_s=profile.billed_duration_s,
+                memory_config_mb=profile.memory_config_mb,
+                cost_usd=profile.cost_usd,
+                entries=profile.entries,
+            )
+            store.record(profile)
+        return store
+
+    def test_labels_are_interned_once(self):
+        store = self._store(50)
+        assert len(store) == 50
+        # 4 modules + (request) + (execution), shared across all profiles.
+        assert store.label_count == 6
+
+    def test_round_trip_is_byte_identical(self, tmp_path):
+        store = self._store()
+        path = tmp_path / "profiles.jsonl"
+        store.write_jsonl(path)
+        reloaded = AttributionStore.load_jsonl(path)
+        assert list(reloaded.dump_lines()) == list(store.dump_lines())
+        assert reloaded.total_cost_usd() == store.total_cost_usd()
+
+    def test_find_and_for_function(self):
+        store = self._store()
+        assert store.find("fn-1", "req-000001") is not None
+        assert store.find("fn-1", "req-999999") is None
+        assert len(list(store.for_function("fn-0"))) == 2
+        assert store.functions == ("fn-0", "fn-1")
+
+    def test_merge_preserves_insertion_order(self, tmp_path):
+        a, b = self._store(2), self._store(1)
+        merged = AttributionStore.merge([a, b])
+        assert len(merged) == 3
+        assert [p.request_id for p in merged] == [
+            "req-000000", "req-000001", "req-000000"
+        ]
+        assert list(merged.dump_lines()) == list(
+            AttributionStore.merge([a, b]).dump_lines()
+        )
+
+    def test_top_modules_excludes_synthetic_rows(self):
+        store = self._store()
+        labels = [label for label, *_ in store.top_modules(10)]
+        assert REQUEST_ROW not in labels
+        assert EXECUTION_ROW not in labels
+        assert "pandas" in labels
+
+    def test_load_reports_bad_json_with_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "labels", "values": []}\n{nope\n')
+        with pytest.raises(ValueError, match="line 2 is not valid JSON"):
+            AttributionStore.load_jsonl(path)
+
+    def test_load_reports_bad_profile_with_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"type": "labels", "values": []}\n'
+            '{"type": "profile", "function": "f"}\n'
+        )
+        with pytest.raises(ValueError, match="line 2: bad profile"):
+            AttributionStore.load_jsonl(path)
+
+    def test_unknown_record_types_are_ignored(self):
+        store = self._store(1)
+        lines = list(store.dump_lines()) + [json.dumps({"type": "future"})]
+        assert len(AttributionStore.load_jsonl(lines)) == 1
+
+
+class TestAttributionDiff:
+    def test_removed_dependency_reads_as_savings(self):
+        pricing = AwsLambdaPricing()
+        before = AttributionStore()
+        before.record(_profile(pricing)[0])
+        after = AttributionStore()
+        after.record(_profile(pricing, modules=[("numpy", 0.41, 60.0)])[0])
+
+        entries = attribution_diff(before, after)
+        by_label = {e.label: e for e in entries}
+        assert by_label["pandas"].usd_after == 0.0
+        assert by_label["pandas"].usd_saved > 0.0
+        assert by_label["pandas"].time_saved_s == pytest.approx(0.93)
+        # Sorted by dollars saved: pandas was the most expensive removal.
+        assert entries[0].label == "pandas"
+
+    def test_diff_is_per_cold_start_mean(self):
+        pricing = AwsLambdaPricing()
+        before = AttributionStore()
+        for _ in range(4):
+            before.record(_profile(pricing)[0])
+        once = AttributionStore()
+        once.record(_profile(pricing)[0])
+        assert attribution_diff(before, once) == attribution_diff(once, once)
+
+    def test_synthetic_rows_are_opt_in(self):
+        pricing = AwsLambdaPricing(request_price=2e-7)
+        store = AttributionStore()
+        store.record(_profile(pricing)[0])
+        labels = {e.label for e in attribution_diff(store, store)}
+        assert REQUEST_ROW not in labels
+        withsyn = {
+            e.label
+            for e in attribution_diff(store, store, include_synthetic=True)
+        }
+        assert REQUEST_ROW in withsyn

@@ -1,0 +1,127 @@
+"""Flamegraph and Chrome trace exporters over cold-start profiles."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.attribution import (
+    AttributionEntry,
+    AttributionStore,
+    ColdStartProfile,
+)
+from repro.obs.flamegraph import (
+    chrome_trace,
+    folded_stacks,
+    write_chrome_trace,
+    write_folded,
+)
+from repro.obs.span import Span
+
+
+def _profile(function="api", request_id="req-000001", timestamp=10.0,
+             entries=None):
+    if entries is None:
+        entries = (
+            AttributionEntry("(request)", 0.0, 0.0, 2e-7),
+            AttributionEntry("numpy", 0.25, 60.0, 4e-6),
+            AttributionEntry("pandas", 0.5, 120.0, 8e-6),
+            AttributionEntry("(execution)", 0.05, 0.0, 8e-7),
+        )
+    return ColdStartProfile(
+        function=function,
+        request_id=request_id,
+        timestamp=timestamp,
+        billed_duration_s=0.8,
+        memory_config_mb=512,
+        cost_usd=sum(e.usd for e in entries),
+        entries=tuple(entries),
+    )
+
+
+class TestFoldedStacks:
+    def test_two_frame_stacks_with_microsecond_weights(self):
+        lines = folded_stacks([_profile()])
+        assert "api;numpy 250000" in lines
+        assert "api;pandas 500000" in lines
+        # Zero-duration rows have no width to draw.
+        assert not any(line.startswith("api;(request)") for line in lines)
+
+    def test_aggregates_across_cold_starts(self):
+        store = AttributionStore()
+        store.record(_profile(request_id="req-000001"))
+        store.record(_profile(request_id="req-000002"))
+        lines = folded_stacks(store)
+        assert "api;numpy 500000" in lines
+
+    def test_synthetic_rows_can_be_excluded(self):
+        lines = folded_stacks([_profile()], include_synthetic=False)
+        assert lines == ["api;numpy 250000", "api;pandas 500000"]
+
+    def test_output_is_sorted_and_parseable(self):
+        lines = folded_stacks([_profile("b"), _profile("a")])
+        assert lines == sorted(lines)
+        for line in lines:
+            stack, weight = line.rsplit(" ", 1)
+            assert ";" in stack
+            assert int(weight) > 0
+
+    def test_write_folded_reports_line_count(self, tmp_path):
+        path = tmp_path / "flame.folded"
+        count = write_folded([_profile()], path)
+        written = path.read_text(encoding="utf-8").splitlines()
+        assert len(written) == count == 3
+
+    def test_unicode_module_labels_round_trip(self, tmp_path):
+        profile = _profile(entries=(
+            AttributionEntry("pakke.mødule", 0.1, 1.0, 1e-7),
+        ))
+        path = tmp_path / "flame.folded"
+        write_folded([profile], path)
+        assert "pakke.mødule" in path.read_text(encoding="utf-8")
+
+
+class TestChromeTrace:
+    def test_per_function_process_tracks(self):
+        doc = chrome_trace([_profile("api"), _profile("worker")])
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert [m["args"]["name"] for m in meta] == ["api", "worker"]
+        assert len({m["pid"] for m in meta}) == 2
+
+    def test_rows_lay_out_sequentially_in_virtual_time(self):
+        doc = chrome_trace([_profile(timestamp=10.0)])
+        rows = [
+            e for e in doc["traceEvents"] if e.get("cat") == "attribution"
+        ]
+        assert [r["name"] for r in rows] == [
+            "(request)", "numpy", "pandas", "(execution)"
+        ]
+        assert rows[0]["ts"] == 10.0 * 1e6
+        assert rows[2]["ts"] == rows[1]["ts"] + rows[1]["dur"]
+        assert rows[1]["args"]["usd"] == 4e-6
+
+    def test_cold_start_envelope_carries_billing_args(self):
+        doc = chrome_trace([_profile()])
+        envelope = next(
+            e for e in doc["traceEvents"] if e.get("cat") == "cold_start"
+        )
+        assert envelope["args"]["memory_mb"] == 512
+        assert envelope["args"]["cost_usd"] > 0
+
+    def test_obs_spans_land_on_pid_zero(self):
+        span = Span(
+            name="fleet.replay", span_id=1, start_s=1.0, end_s=2.5,
+            thread="MainThread", attrs={"workers": 4},
+        )
+        doc = chrome_trace([_profile()], spans=[span])
+        obs = [e for e in doc["traceEvents"] if e.get("cat") == "obs"]
+        assert len(obs) == 1
+        assert obs[0]["pid"] == 0
+        assert obs[0]["dur"] == 1.5e6
+        assert obs[0]["args"] == {"workers": 4}
+
+    def test_written_file_is_valid_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        events = write_chrome_trace([_profile()], path)
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        assert doc["displayTimeUnit"] == "ms"
+        assert len(doc["traceEvents"]) == events

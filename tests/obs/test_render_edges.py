@@ -1,0 +1,89 @@
+"""Edge cases for obs/render.py: empty, deep, unicode, and zero inputs."""
+
+from __future__ import annotations
+
+from repro.obs import InMemoryRecorder, render_metrics, render_tree
+from repro.obs.render import dump_from_recorder
+
+
+class TestEmptyRecorder:
+    def test_render_tree_reports_no_spans(self):
+        assert render_tree(InMemoryRecorder()) == "(no spans recorded)"
+
+    def test_render_metrics_reports_no_metrics(self):
+        assert render_metrics(InMemoryRecorder()) == "(no metrics recorded)"
+
+    def test_empty_dump_round_trips(self):
+        dump = dump_from_recorder(InMemoryRecorder())
+        assert dump.spans == []
+        assert render_tree(dump) == "(no spans recorded)"
+
+
+class TestDeepNesting:
+    def test_fifty_levels_render_one_line_each(self):
+        recorder = InMemoryRecorder()
+
+        def descend(depth: int) -> None:
+            if depth == 0:
+                return
+            with recorder.span(f"level-{depth}"):
+                descend(depth - 1)
+
+        descend(50)
+        tree = render_tree(recorder)
+        lines = tree.splitlines()
+        assert len(lines) == 50
+        assert lines[0].startswith("level-50")
+        # Each level indents further than its parent.
+        assert lines[-1].index("└─") > lines[1].index("└─")
+
+    def test_sibling_connectors_distinguish_last_child(self):
+        recorder = InMemoryRecorder()
+        with recorder.span("root"):
+            with recorder.span("first"):
+                pass
+            with recorder.span("second"):
+                pass
+        tree = render_tree(recorder)
+        assert "├─ first" in tree
+        assert "└─ second" in tree
+
+
+class TestUnicodeNames:
+    def test_unicode_span_names_render(self):
+        recorder = InMemoryRecorder()
+        with recorder.span("データ処理", label="ünïcode"):
+            pass
+        tree = render_tree(recorder)
+        assert "データ処理" in tree
+        assert "[ünïcode]" in tree
+
+    def test_unicode_metric_names_align(self):
+        recorder = InMemoryRecorder()
+        recorder.counter_add("opérations.réussies", 3)
+        recorder.gauge_max("pic.mémoire", 7.5)
+        table = render_metrics(recorder)
+        assert "opérations.réussies" in table
+        assert "pic.mémoire" in table
+
+
+class TestZeroValues:
+    def test_zero_valued_counter_is_listed(self):
+        recorder = InMemoryRecorder()
+        recorder.counter_add("nothing.happened", 0)
+        table = render_metrics(recorder)
+        assert "nothing.happened" in table
+        assert table != "(no metrics recorded)"
+
+    def test_zero_valued_gauge_is_listed(self):
+        recorder = InMemoryRecorder()
+        recorder.gauge_max("peak.zero", 0.0)
+        assert "peak.zero" in render_metrics(recorder)
+
+    def test_zero_duration_span_renders(self):
+        recorder = InMemoryRecorder()
+        with recorder.span("instant"):
+            pass
+        tree = render_tree(recorder)
+        assert tree.startswith("instant")
+        assert "s" in tree  # a duration is still printed

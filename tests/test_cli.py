@@ -144,6 +144,52 @@ class TestObservabilityCommands:
         assert main(["dashboard", str(bad)]) == 2
         assert "not a telemetry export" in capsys.readouterr().err
 
+    def test_dashboard_rejects_corrupt_profiles(self, tmp_path, capsys):
+        from repro.platform import TelemetrySink
+        from repro.platform.logs import InvocationRecord, StartType
+
+        sink = TelemetrySink(window_s=60.0)
+        sink.observe(InvocationRecord(
+            request_id="r1", function="api", start_type=StartType.WARM,
+            timestamp=1.0, value=None, instance_id="i0",
+            exec_duration_s=0.1, billed_duration_s=0.1, cost_usd=1e-6,
+        ))
+        export = sink.save(tmp_path / "export.json")
+        bad = tmp_path / "bad.profiles.jsonl"
+        bad.write_text("{torn", encoding="utf-8")
+        assert main(["dashboard", str(export), "--profiles", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "line 1" in err
+
+    def test_trace_unwritable_output_is_one_line_error(
+        self, toy_app, tmp_path, capsys
+    ):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("", encoding="utf-8")
+        out = blocker / "telemetry.jsonl"  # parent is a file: unwritable
+        code = main([
+            "trace", str(toy_app.root),
+            "--trim-output", str(tmp_path / "trimmed"),
+            "-o", str(out),
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: cannot write")
+        assert "Traceback" not in err
+
+    def test_metrics_rejects_corrupt_export(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "span"\n', encoding="utf-8")
+        assert main(["metrics", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: cannot read")
+        assert "Traceback" not in err
+
+    def test_metrics_rejects_missing_file(self, tmp_path, capsys):
+        assert main(["metrics", str(tmp_path / "nope.jsonl")]) == 2
+        assert "error: cannot read" in capsys.readouterr().err
+
 
 class TestReplayCommand:
     def test_replay_generated_fleet_end_to_end(self, toy_app, tmp_path, capsys):
@@ -186,6 +232,128 @@ class TestReplayCommand:
         stdout = capsys.readouterr().out
         assert "3 function(s)" in stdout
         assert "1 worker(s)" in stdout
+
+
+class TestProfileCommand:
+    @pytest.fixture(scope="class")
+    def merged(self, tmp_path_factory):
+        """Replay the toy fleet with profiling on; yield the merged dump."""
+        from repro.workloads.toy import build_toy_torch_app
+
+        root = tmp_path_factory.mktemp("profile-cli")
+        bundle = build_toy_torch_app(root / "toy")
+        merged = root / "merged.profiles.jsonl"
+        code = main([
+            "replay", str(bundle.root),
+            "--invocations", "60", "--max-per-function", "30",
+            "--seed", "7", "--workers", "2",
+            "--profile-dir", str(root / "profiles"),
+            "--merged-profiles", str(merged),
+        ])
+        assert code == 0
+        assert merged.exists()
+        return merged
+
+    def test_summary_table_lists_modules(self, merged, capsys):
+        assert main(["profile", str(merged), "--top", "5"]) == 0
+        stdout = capsys.readouterr().out
+        assert "cold start(s)" in stdout
+        assert "total billed $" in stdout
+        assert "module" in stdout
+        assert "torch" in stdout
+
+    def test_flame_and_chrome_exports_parse(self, merged, tmp_path, capsys):
+        flame = tmp_path / "flame.folded"
+        chrome = tmp_path / "trace.json"
+        code = main([
+            "profile", str(merged),
+            "--flame", str(flame), "--chrome", str(chrome),
+        ])
+        assert code == 0
+        for line in flame.read_text(encoding="utf-8").splitlines():
+            stack, weight = line.rsplit(" ", 1)
+            assert ";" in stack and int(weight) > 0
+        doc = json.loads(chrome.read_text(encoding="utf-8"))
+        assert doc["traceEvents"]
+        assert any(e.get("cat") == "attribution" for e in doc["traceEvents"])
+
+    def test_json_summary(self, merged, capsys):
+        assert main(["profile", str(merged), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["profiles"] > 0
+        assert payload["functions"]
+        assert payload["total_cost_usd"] > 0
+        assert payload["top_modules"]
+
+    def test_diff_renders_dollars_saved_table(self, merged, capsys):
+        code = main(["profile", str(merged), "--diff", str(merged)])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "dependency" in stdout
+        assert "saved" in stdout
+
+    def test_function_scope_filters_profiles(self, merged, capsys):
+        assert main(["profile", str(merged), "--function", "nope",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["profiles"] == 0
+
+    def test_rejects_corrupt_profiles(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n", encoding="utf-8")
+        assert main(["profile", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: cannot read")
+        assert "Traceback" not in err
+
+    def test_rejects_missing_file(self, tmp_path, capsys):
+        assert main(["profile", str(tmp_path / "nope.jsonl")]) == 2
+        assert "error: cannot read" in capsys.readouterr().err
+
+    def test_unwritable_export_is_one_line_error(self, merged, tmp_path,
+                                                 capsys):
+        flame = tmp_path / "missing-dir" / "flame.folded"
+        assert main(["profile", str(merged), "--flame", str(flame)]) == 2
+        assert "error: cannot write" in capsys.readouterr().err
+
+
+@pytest.mark.slow
+class TestProfileAllApplications:
+    """Acceptance: flame/Chrome exports parse for the full 21-app fleet."""
+
+    def test_twenty_one_app_run_exports_parse(self, tmp_path, capsys):
+        from repro.obs.attribution import AttributionStore
+        from repro.platform import LambdaEmulator
+        from repro.workloads.apps import APP_NAMES, app_definition, build_app
+
+        store = AttributionStore()
+        emulator = LambdaEmulator(attribution=store)
+        for app in APP_NAMES:
+            bundle = build_app(app, tmp_path / "apps" / app)
+            emulator.deploy(bundle, name=app)
+            case = app_definition(app).oracle[0]
+            record = emulator.invoke(app, case["event"], case.get("context"))
+            assert record.start_type.value == "cold"
+        assert len(store) == len(APP_NAMES)
+        assert store.total_cost_usd() == emulator.log.cold_start_cost_usd()
+
+        profiles = tmp_path / "fleet.profiles.jsonl"
+        store.write_jsonl(profiles)
+        flame = tmp_path / "fleet.folded"
+        chrome = tmp_path / "fleet.trace.json"
+        code = main([
+            "profile", str(profiles),
+            "--flame", str(flame), "--chrome", str(chrome), "--top", "10",
+        ])
+        assert code == 0
+        assert "21 cold start(s) across 21 function(s)" in (
+            capsys.readouterr().out
+        )
+        folded = flame.read_text(encoding="utf-8").splitlines()
+        assert len({line.split(";", 1)[0] for line in folded}) == 21
+        doc = json.loads(chrome.read_text(encoding="utf-8"))
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert len(meta) == 21
 
 
 class TestResumeFlag:
