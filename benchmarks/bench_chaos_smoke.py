@@ -29,6 +29,8 @@ from repro.core.fallback import SlidingWindowBreaker
 from repro.platform import (
     FaultPlan,
     FaultRates,
+    HostConfig,
+    HostFault,
     LambdaEmulator,
     RetryPolicy,
     SloRule,
@@ -134,3 +136,84 @@ def test_chaos_smoke(tmp_path_factory, artifact_sink):
     RESULTS_DIR.mkdir(exist_ok=True)
     sink.save(RESULTS_DIR / "chaos_dashboard.json")
     artifact_sink("chaos_dashboard", render_dashboard(report))
+
+
+def _run_host_chaos(root: Path):
+    """The smoke trace on memory-constrained hosts with host faults.
+
+    Four copies of the toy app contend for one small host (memory-pressure
+    evictions), a second host crashes mid-replay and a third is reclaimed
+    as spot capacity (instance losses + in-flight kills).
+    """
+    original = build_toy_torch_app(root / "toy")
+    sink = TelemetrySink(window_s=3600.0)
+    emulator = LambdaEmulator(
+        telemetry=sink,
+        faults=FaultPlan(
+            seed=23,
+            host_faults=(
+                HostFault(at_s=600.0, kind="crash", host=1),
+                HostFault(at_s=1800.0, kind="spot", host=2),
+            ),
+        ),
+        # 48 MB reservations on 96 MB hosts: two residents per host, so
+        # four functions split across host-0 and host-1 and contend for
+        # what survives the faults.
+        hosts=HostConfig(count=3, memory_mb=96.0),
+    )
+    names = [f"{NAME}-{i}" for i in range(4)]
+    for name in names:
+        emulator.deploy(original, name=name, memory_mb=48)
+        assert emulator.invoke(name, EVENT).ok  # pre-place before faults
+    retry = RetryPolicy(max_attempts=6, base_delay_s=0.5, seed=5)
+    replayer = TraceReplayer(emulator)
+    timestamps = _smoke_trace()
+    results = {
+        name: replayer.replay(name, timestamps, EVENT, retry=retry)
+        for name in names
+    }
+    sink.finalize()
+    return emulator, sink, results
+
+
+def test_chaos_hosts_smoke(tmp_path_factory, artifact_sink):
+    emulator, sink, results = _run_host_chaos(
+        tmp_path_factory.mktemp("chaos-hosts-a")
+    )
+
+    # Nothing lost, despite losing two of the three hosts.
+    for name, result in results.items():
+        assert result.lost == 0, name
+        assert (
+            len(result.requests) + len(result.dead_letters)
+            == result.arrivals
+        ), name
+
+    # The host layer actually exercised every failure mode.
+    pool = emulator.hosts
+    assert pool.evictions > 0
+    assert pool.host_crashes == 1 and pool.spot_reclaims == 1
+    assert pool.instances_lost > 0
+
+    # Lambda-faithful billing reconciles exactly, evictions included.
+    emulator.ledger.reconcile(list(emulator.log))
+
+    # Host telemetry reached the tumbling windows.
+    report = sink.report()
+    rollups = report.rollups()
+    assert sum(w.evictions for w in rollups) > 0
+    assert sum(w.host_losses for w in rollups) > 0
+    assert max(w.host_util_peak for w in rollups) > 0.0
+
+    # Determinism: a second run from scratch exports identical bytes.
+    sink.set_meta("hosts", pool.stats_dict())
+    emulator_b, sink_b, _ = _run_host_chaos(
+        tmp_path_factory.mktemp("chaos-hosts-b")
+    )
+    sink_b.set_meta("hosts", emulator_b.hosts.stats_dict())
+    export = json.dumps(sink.report().to_dict(), sort_keys=True)
+    assert export == json.dumps(sink_b.report().to_dict(), sort_keys=True)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    sink.save(RESULTS_DIR / "chaos_hosts_dashboard.json")
+    artifact_sink("chaos_hosts_dashboard", render_dashboard(sink.report()))

@@ -149,7 +149,32 @@ def render_dashboard(
     debloat = _render_debloat(report)
     if debloat:
         lines.append(debloat)
+    hosts = _render_hosts(report)
+    if hosts:
+        lines.append(hosts)
+    dead = report.meta.get("dead_letters")
+    if isinstance(dead, int):
+        lines.append(f"dead letters: {dead}")
     return "\n".join(lines)
+
+
+def _render_hosts(report: FleetReport) -> str:
+    """Host-pool counters attached by ``replay_fleet(..., hosts=...)``."""
+    state = report.meta.get("hosts")
+    if not isinstance(state, dict):
+        return ""
+    return (
+        f"hosts [{state.get('placement', '?')}]: "
+        f"{state.get('hosts_per_function', state.get('hosts', '?'))} x "
+        f"{state.get('memory_mb', 0):.0f}MB per function — "
+        f"{state.get('placements', 0)} placement(s), "
+        f"{state.get('evictions', 0)} eviction(s), "
+        f"{state.get('host_crashes', 0)} crash(es), "
+        f"{state.get('spot_reclaims', 0)} spot reclaim(s), "
+        f"{state.get('instances_lost', 0)} instance(s) lost, "
+        f"{state.get('capacity_throttles', 0)} capacity throttle(s), "
+        f"peak util {state.get('peak_util', 0.0):.0%}"
+    )
 
 
 def _render_debloat(report: FleetReport) -> str:

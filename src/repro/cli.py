@@ -210,6 +210,26 @@ def build_parser() -> argparse.ArgumentParser:
                         help="merge the profile spools into one store "
                              "(requires --profile-dir; renderable with "
                              "`repro profile`)")
+    replay.add_argument("--hosts", type=int, default=None,
+                        help="place instances on this many memory-constrained "
+                             "hosts per function (default: unconstrained)")
+    replay.add_argument("--host-memory-mb", type=float, default=512.0,
+                        help="memory per host in MB (default 512; "
+                             "requires --hosts)")
+    replay.add_argument("--placement",
+                        choices=("first-fit", "best-fit", "spread"),
+                        default="first-fit",
+                        help="bin-packing policy for --hosts (default "
+                             "first-fit)")
+    replay.add_argument("--fault-plan", type=Path, default=None,
+                        help="JSON FaultPlan file (FaultPlan.to_json); "
+                             "includes host crash/spot faults")
+    replay.add_argument("--retry-attempts", type=int, default=None,
+                        help="client-side retry attempts per request "
+                             "(default: no retries)")
+    replay.add_argument("--dead-letters", type=Path, default=None,
+                        help="write dead-lettered requests (full attempt "
+                             "history) to this JSONL file")
     replay.add_argument("--json", action="store_true",
                         help="emit the run summary as JSON")
 
@@ -534,6 +554,32 @@ def _cmd_replay(args: argparse.Namespace) -> int:
 
         event = OracleSpec.from_bundle(bundle).cases[0].event
 
+    faults = None
+    if args.fault_plan is not None:
+        from repro.platform.faults import FaultPlan
+
+        try:
+            plan_text = args.fault_plan.read_text(encoding="utf-8")
+        except OSError as exc:
+            print(f"error: cannot read {args.fault_plan}: {exc}", file=sys.stderr)
+            return 2
+        # Malformed plans raise PlatformError -> one-line error, exit 2.
+        faults = FaultPlan.from_json(plan_text)
+    hosts = None
+    if args.hosts is not None:
+        from repro.platform.hosts import HostConfig
+
+        hosts = HostConfig(
+            count=args.hosts,
+            memory_mb=args.host_memory_mb,
+            placement=args.placement,
+        )
+    retry = None
+    if args.retry_attempts is not None:
+        from repro.platform.retry import RetryPolicy
+
+        retry = RetryPolicy(max_attempts=args.retry_attempts)
+
     kwargs: dict = {}
     if args.keep_alive is not None:
         kwargs["keep_alive_s"] = args.keep_alive
@@ -543,6 +589,10 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         event,
         workers=args.workers,
         window_s=args.window,
+        retry=retry,
+        faults=faults,
+        hosts=hosts,
+        dead_letters=args.dead_letters,
         record_detail=args.record_detail,
         log_dir=args.log_dir,
         merged_log=args.merged_log,
@@ -557,7 +607,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         result.report.save(args.export)
 
     if args.json:
-        print(json.dumps({
+        summary = {
             "functions": len(trace),
             "arrivals": result.arrivals,
             "delivered": result.delivered,
@@ -567,7 +617,12 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             "workers": result.workers,
             "wall_s": round(result.wall_s, 3),
             "throughput_per_s": round(result.throughput, 1),
-        }, indent=2, sort_keys=True))
+        }
+        if "hosts" in result.report.meta:
+            summary["hosts"] = result.report.meta["hosts"]
+        if "dead_letters" in result.report.meta:
+            summary["dead_letters"] = result.report.meta["dead_letters"]
+        print(json.dumps(summary, indent=2, sort_keys=True))
     else:
         print(f"replayed {result.arrivals} arrivals across {len(trace)} "
               f"function(s) on {result.workers} worker(s) "
@@ -576,6 +631,18 @@ def _cmd_replay(args: argparse.Namespace) -> int:
               f"total cost ${result.total_cost:.6f}")
         for status, count in sorted(result.status_counts().items()):
             print(f"  {status:12s} {count}")
+        hosts_meta = result.report.meta.get("hosts")
+        if hosts_meta is not None:
+            print(f"hosts [{hosts_meta['placement']}]: "
+                  f"{hosts_meta['hosts_per_function']} x "
+                  f"{hosts_meta['memory_mb']:.0f}MB per function — "
+                  f"{hosts_meta['placements']} placement(s), "
+                  f"{hosts_meta['evictions']} eviction(s), "
+                  f"{hosts_meta['instances_lost']} instance(s) lost, "
+                  f"{hosts_meta['capacity_throttles']} capacity throttle(s)")
+        if result.dead_letters is not None:
+            print(f"{result.report.meta.get('dead_letters', 0)} dead "
+                  f"letter(s) written to {result.dead_letters}")
         if args.export is not None:
             print(f"telemetry export written to {args.export}")
         if result.merged_log is not None:

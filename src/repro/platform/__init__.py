@@ -12,6 +12,11 @@ Failure semantics ride on the same virtual clock: seeded fault injection
 faithful throttling, client-side retries with backoff
 (:mod:`repro.platform.retry`), and per-record statuses threaded through
 logs, billing, and telemetry.
+
+Host failure domains (:mod:`repro.platform.hosts`) add the physical
+substrate: instances bin-packed onto memory-constrained hosts, LRU
+eviction under pressure, and seeded host crash / spot-reclamation
+faults.
 """
 
 from repro.platform.clock import VirtualClock
@@ -21,7 +26,14 @@ from repro.platform.faults import (
     FaultInjector,
     FaultPlan,
     FaultRates,
+    HostFault,
     Outage,
+)
+from repro.platform.hosts import (
+    PLACEMENT_POLICIES,
+    Host,
+    HostConfig,
+    HostPool,
 )
 from repro.platform.fleet import (
     FleetReplayResult,
@@ -76,6 +88,11 @@ __all__ = [
     "FaultPlan",
     "FaultInjector",
     "ExecCrash",
+    "HostFault",
+    "Host",
+    "HostConfig",
+    "HostPool",
+    "PLACEMENT_POLICIES",
     "RetryPolicy",
     "RetrySession",
     "RetryOutcome",

@@ -33,6 +33,7 @@ from repro.obs.attribution import AttributionStore, attribute_cold_start
 from repro.platform.billing import BillingLedger
 from repro.platform.clock import VirtualClock
 from repro.platform.faults import FaultInjector, FaultPlan
+from repro.platform.hosts import HostConfig, HostPool
 from repro.platform.instance import FunctionInstance
 from repro.platform.logs import (
     ExecutionLog,
@@ -111,6 +112,7 @@ class LambdaEmulator:
         cpu_scaling: CpuScalingModel | None = None,
         telemetry: TelemetrySink | None = None,
         faults: FaultInjector | FaultPlan | None = None,
+        hosts: HostPool | HostConfig | None = None,
         log: ExecutionLog | None = None,
         record_detail: bool = True,
         attribution: AttributionStore | None = None,
@@ -138,6 +140,22 @@ class LambdaEmulator:
         if isinstance(faults, FaultPlan):
             faults = FaultInjector(faults)
         self.faults = faults
+        # Optional host layer (repro.platform.hosts): instances bin-pack
+        # onto memory-constrained hosts, memory pressure evicts LRU warm
+        # instances, and the fault plan's host_faults execute against the
+        # pool.  A bare HostConfig is expanded here so the pool picks up
+        # this emulator's telemetry sink and the plan's fault schedule.
+        if isinstance(hosts, HostConfig):
+            plan = self.faults.plan if self.faults is not None else None
+            hosts = HostPool(
+                hosts,
+                host_faults=plan.host_faults if plan is not None else (),
+                seed=plan.seed if plan is not None else 0,
+                telemetry=self.telemetry,
+            )
+        elif hosts is not None and hosts.telemetry is None:
+            hosts.telemetry = self.telemetry
+        self.hosts = hosts
         # An injected log lets fleet replays choose columnar spill-to-disk
         # settings; the default is an unbounded in-memory columnar store.
         self.log = log if log is not None else ExecutionLog()
@@ -219,6 +237,8 @@ class LambdaEmulator:
             function.bundle = bundle
             function.overhead_cache = None
         function.discard_instances()
+        if self.hosts is not None:
+            self.hosts.evacuate(name)
         if function.snapstart:
             function.snapshot = None  # a new version re-snapshots
 
@@ -261,16 +281,52 @@ class LambdaEmulator:
         now = self.clock.now()
         self.clock.advance(self.routing_s)
 
+        hosts = self.hosts
+        if hosts is not None:
+            hosts.advance(now)
+        served: FunctionInstance | None = None
         if self.faults is not None and self.faults.throttled(name, now):
             record = self._throttle_record(function)
         else:
             instance = function.warm_instance(now, self.keep_alive_s)
             if instance is not None:
                 record = self._run(
-                    function, instance, event, context, StartType.WARM, 0, 0, 0, 0
+                    function,
+                    instance,
+                    event,
+                    context,
+                    StartType.WARM,
+                    0,
+                    0,
+                    0,
+                    0,
+                    arrival=now,
                 )
+                served = instance
             else:
-                record = self._cold_start(function, event, context)
+                placement = (
+                    hosts.admit(name, now, memory_mb=function.memory_mb)
+                    if hosts is not None
+                    else None
+                )
+                if hosts is not None and placement is None:
+                    record = self._throttle_record(
+                        function, error="CapacityExhausted"
+                    )
+                else:
+                    record = self._cold_start(
+                        function, event, context, arrival=now, placement=placement
+                    )
+                    if (
+                        function.instances
+                        and function.instances[-1].instance_id == record.instance_id
+                    ):
+                        served = function.instances[-1]
+        if hosts is not None and served is not None:
+            hosts.adjust(served.instance_id, record.peak_memory_mb, now)
+            hosts.observe_footprint(name, record.peak_memory_mb)
+            if served.alive:
+                hosts.record_use(served.instance_id, now + record.e2e_s)
         self._record_invocation(record)
         return record
 
@@ -315,8 +371,15 @@ class LambdaEmulator:
         if emit_obs:
             self._emit_telemetry(record)
 
-    def _throttle_record(self, function: DeployedFunction) -> InvocationRecord:
-        """A rejected request: no instance work, nothing billed."""
+    def _throttle_record(
+        self, function: DeployedFunction, *, error: str = "Throttled"
+    ) -> InvocationRecord:
+        """A rejected request: no instance work, nothing billed.
+
+        ``error="CapacityExhausted"`` marks a host-pool capacity throttle
+        (no host could take the instance); both flavours share the
+        THROTTLED status, so retry policies treat them alike.
+        """
         return InvocationRecord(
             request_id=f"req-{next(self._request_ids):06d}",
             function=function.name,
@@ -326,7 +389,7 @@ class LambdaEmulator:
             instance_id="-",
             routing_s=self.routing_s,
             cost_usd=0.0,
-            error_type="Throttled",
+            error_type=error,
             status=InvocationStatus.THROTTLED,
         )
 
@@ -426,7 +489,13 @@ class LambdaEmulator:
         self._obs_pending = 0
 
     def _cold_start(
-        self, function: DeployedFunction, event: Any, context: Any
+        self,
+        function: DeployedFunction,
+        event: Any,
+        context: Any,
+        *,
+        arrival: float | None = None,
+        placement=None,
     ) -> InvocationRecord:
         instance_init_s, transmission_s = self.platform_overhead_s(function)
         self.clock.advance(instance_init_s + transmission_s)
@@ -475,6 +544,8 @@ class LambdaEmulator:
             # billed (Lambda bills failed inits on managed runtimes), the
             # instance never becomes warm, and no execution happens.
             instance.shutdown()
+            if placement is not None:
+                self.hosts.cancel(placement)
             configured = self._configured_mb(function, instance)
             billed = billed_init_s
             if init_modules is not None:
@@ -502,6 +573,8 @@ class LambdaEmulator:
         if init_modules is not None:
             self._pending_cold = (init_modules, billed_init_s, True)
         function.instances.append(instance)
+        if placement is not None:
+            self.hosts.bind(placement, instance, function.instances)
         return self._run(
             function,
             instance,
@@ -512,6 +585,7 @@ class LambdaEmulator:
             transmission_s,
             billed_init_s,
             restore_s,
+            arrival=arrival,
         )
 
     def _configured_mb(
@@ -533,6 +607,8 @@ class LambdaEmulator:
         transmission_s: float,
         billed_init_s: float,
         restore_s: float,
+        *,
+        arrival: float | None = None,
     ) -> InvocationRecord:
         output = instance.invoke(event, context, at=self.clock.now())
 
@@ -546,10 +622,14 @@ class LambdaEmulator:
 
         # Failure semantics: whichever kill fires earliest wins.  An
         # injected instance crash dies ``fraction`` of the way through;
-        # the configured timeout fires at ``timeout_s``; the memory
-        # ceiling (only enforced for an explicit memory_mb) is observed
-        # at the measured peak, i.e. end of execution.  Timeouts, OOM
-        # kills, and crashes are all billed for the time that ran.
+        # a scheduled crash of the serving *host* truncates the execution
+        # at the crash instant (clamped into the exec window — a crash
+        # landing in the routing/init phases kills at offset zero); the
+        # configured timeout fires at ``timeout_s``; the memory ceiling
+        # (only enforced for an explicit memory_mb) is observed at the
+        # measured peak, i.e. end of execution.  Timeouts, OOM kills, and
+        # crashes are all billed for the time that ran.  On ties the host
+        # crash wins: the machine disappearing subsumes a process crash.
         value = output.value
         error_type = output.error_type
         status = (
@@ -563,16 +643,34 @@ class LambdaEmulator:
             else None
         )
         crash_at = exec_s * crash.fraction if crash is not None else float("inf")
+        host_at = float("inf")
+        if self.hosts is not None and arrival is not None:
+            host_crash = self.hosts.crash_time(instance.instance_id)
+            if host_crash is not None:
+                offset = host_crash - (
+                    arrival
+                    + self.routing_s
+                    + instance_init_s
+                    + transmission_s
+                    + billed_init_s
+                    + restore_s
+                )
+                host_at = offset if offset > 0.0 else 0.0
+        kill_at = host_at if host_at <= crash_at else crash_at
         timeout_at = (
             function.timeout_s
             if function.timeout_s is not None and exec_s > function.timeout_s
             else float("inf")
         )
-        if crash_at < timeout_at and crash_at <= exec_s:
-            exec_s = crash_at
-            value, error_type = None, "InstanceCrash"
+        if kill_at < timeout_at and kill_at <= exec_s:
+            exec_s = kill_at
+            host_killed = host_at <= crash_at
+            value = None
+            error_type = "HostCrash" if host_killed else "InstanceCrash"
             status = InvocationStatus.CRASHED
             self._kill_instance(function, instance)
+            if host_killed:
+                self.hosts.lost_in_flight(function.name, arrival)
         elif timeout_at <= exec_s:
             exec_s = timeout_at
             value, error_type = None, "TimeoutError"
@@ -614,6 +712,8 @@ class LambdaEmulator:
         instance.shutdown()
         if instance in function.instances:
             function.instances.remove(instance)
+        if self.hosts is not None:
+            self.hosts.release(instance.instance_id)
 
     def deploy_with_fallback(
         self,

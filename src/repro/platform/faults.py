@@ -23,12 +23,21 @@ it.
 
 from __future__ import annotations
 
+import json
 import random
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.errors import PlatformError
 
-__all__ = ["FaultRates", "Outage", "FaultPlan", "FaultInjector", "ExecCrash"]
+__all__ = [
+    "FaultRates",
+    "Outage",
+    "HostFault",
+    "FaultPlan",
+    "FaultInjector",
+    "ExecCrash",
+]
 
 #: Per-function wildcard, mirroring :data:`repro.platform.slo.FLEET`.
 ANY_FUNCTION = "*"
@@ -81,6 +90,37 @@ class Outage:
         )
 
 
+#: Kinds of scheduled host loss (see :mod:`repro.platform.hosts`).
+HOST_FAULT_KINDS = ("crash", "spot")
+
+
+@dataclass(frozen=True)
+class HostFault:
+    """One scheduled host loss, executed by a ``HostPool``.
+
+    ``kind="crash"`` kills the host abruptly at ``at_s`` (in-flight
+    invocations die mid-execution); ``kind="spot"`` models a spot
+    reclamation with a drain notice (warm instances are evicted,
+    in-flight invocations finish).  ``host`` pins a host index; ``None``
+    lets the pool pick one with its own seeded RNG at construction, so
+    the choice never perturbs the :class:`FaultInjector` stream.
+    """
+
+    at_s: float
+    kind: str = "crash"
+    host: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in HOST_FAULT_KINDS:
+            raise PlatformError(
+                f"host fault kind must be one of {HOST_FAULT_KINDS}: {self.kind!r}"
+            )
+        if self.at_s < 0:
+            raise PlatformError(f"host fault at_s must be >= 0: {self.at_s}")
+        if self.host is not None and self.host < 0:
+            raise PlatformError(f"host fault host index must be >= 0: {self.host}")
+
+
 @dataclass
 class FaultPlan:
     """A declarative, seeded chaos schedule for one emulator run."""
@@ -89,9 +129,91 @@ class FaultPlan:
     default: FaultRates = field(default_factory=FaultRates)
     per_function: dict[str, FaultRates] = field(default_factory=dict)
     outages: tuple[Outage, ...] = ()
+    host_faults: tuple[HostFault, ...] = ()
 
     def rates_for(self, function: str) -> FaultRates:
         return self.per_function.get(function, self.default)
+
+    # -- serialization --------------------------------------------------
+    # Chaos configs should be reproducible artifacts, not code-only
+    # constructions: ``to_json`` / ``from_json`` round-trip every field
+    # (rates, outages, host faults) so ``repro replay --fault-plan FILE``
+    # can load the exact schedule a previous run used.
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "default": _rates_to_dict(self.default),
+            "per_function": {
+                name: _rates_to_dict(rates)
+                for name, rates in sorted(self.per_function.items())
+            },
+            "outages": [
+                {"start_s": o.start_s, "end_s": o.end_s, "function": o.function}
+                for o in self.outages
+            ],
+            "host_faults": [
+                {"at_s": f.at_s, "kind": f.kind, "host": f.host}
+                for f in self.host_faults
+            ],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "FaultPlan":
+        if not isinstance(data, dict):
+            raise PlatformError(
+                f"fault plan must be a JSON object, got {type(data).__name__}"
+            )
+        known = {"seed", "default", "per_function", "outages", "host_faults"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise PlatformError(f"fault plan has unknown keys: {', '.join(unknown)}")
+        try:
+            return cls(
+                seed=int(data.get("seed", 0)),
+                default=_rates_from_dict(data.get("default", {})),
+                per_function={
+                    str(name): _rates_from_dict(rates)
+                    for name, rates in dict(data.get("per_function", {})).items()
+                },
+                outages=tuple(
+                    Outage(**dict(entry)) for entry in data.get("outages", [])
+                ),
+                host_faults=tuple(
+                    HostFault(**dict(entry)) for entry in data.get("host_faults", [])
+                ),
+            )
+        except PlatformError:
+            raise
+        except (TypeError, ValueError) as exc:
+            raise PlatformError(f"malformed fault plan: {exc}") from exc
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise PlatformError(f"fault plan is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+
+def _rates_to_dict(rates: FaultRates) -> dict[str, float]:
+    return {
+        "cold_start_crash": rates.cold_start_crash,
+        "exec_crash": rates.exec_crash,
+        "throttle": rates.throttle,
+    }
+
+
+def _rates_from_dict(data: Any) -> FaultRates:
+    if not isinstance(data, dict):
+        raise PlatformError(
+            f"fault rates must be a JSON object, got {type(data).__name__}"
+        )
+    return FaultRates(**{str(k): v for k, v in data.items()})
 
 
 @dataclass(frozen=True)

@@ -61,6 +61,7 @@ from repro.obs.attribution import AttributionStore
 from repro.platform.billing import BillingLedger, FunctionBill
 from repro.platform.emulator import DEFAULT_KEEP_ALIVE_S, LambdaEmulator
 from repro.platform.faults import FaultPlan
+from repro.platform.hosts import HostConfig
 from repro.platform.kernel import KernelReplayer, TemplateStore
 from repro.platform.logs import ExecutionLog, iter_jsonl
 from repro.platform.replay import TraceReplayer
@@ -115,6 +116,11 @@ class FleetReplayResult:
     #: ``profile_dir``) and their deterministic merge.
     profile_paths: dict[str, Path] = field(default_factory=dict)
     merged_profiles: Path | None = None
+    #: Dead-letter JSONL export (``None`` unless ``dead_letters`` was
+    #: passed) and per-function host-pool stats (``None`` without
+    #: ``hosts``).
+    dead_letters: Path | None = None
+    host_stats: dict[str, dict[str, Any]] | None = None
 
     @property
     def arrivals(self) -> int:
@@ -205,6 +211,11 @@ def _replay_one_inner(
         keep_alive_s=cfg["keep_alive_s"],
         telemetry=sink,
         faults=cfg["faults"],
+        # Each function gets its own HostPool built from the shared
+        # HostConfig: host state is per-function, like warm instances, so
+        # placement decisions are a pure function of (trace, seed) and
+        # byte-identity holds at any worker count.
+        hosts=cfg.get("hosts"),
         log=log,
         record_detail=cfg["record_detail"],
         attribution=attribution,
@@ -227,12 +238,14 @@ def _replay_one_inner(
         )
         requests = result.requests
         dead_letters = result.dead_letters
+        dead_letter_list = result.dead_letter_list
     else:
         result = TraceReplayer(emulator).replay(
             name, list(timestamps), cfg["event"], retry=cfg["retry"]
         )
         requests = len(result.requests)
         dead_letters = len(result.dead_letters)
+        dead_letter_list = result.dead_letters
     if cfg["verify_ledger"]:
         emulator.ledger.reconcile(emulator.log)
     status_counts = emulator.log.status_counts()
@@ -270,6 +283,14 @@ def _replay_one_inner(
         ),
         "log_path": str(log_path) if log_path is not None else None,
         "profile_path": str(profile_path) if profile_path is not None else None,
+        "hosts": (
+            emulator.hosts.stats_dict() if emulator.hosts is not None else None
+        ),
+        "dead_letters": (
+            [dl.to_dict() for dl in dead_letter_list]
+            if cfg.get("dead_letters")
+            else None
+        ),
     }
 
 
@@ -456,6 +477,8 @@ def replay_fleet(
     slos: Iterable[SloRule] | SloPolicy = (),
     retry: RetryPolicy | None = None,
     faults: FaultPlan | None = None,
+    hosts: HostConfig | None = None,
+    dead_letters: Path | str | None = None,
     record_detail: bool = False,
     log_dir: Path | str | None = None,
     merged_log: Path | str | None = None,
@@ -499,6 +522,21 @@ def replay_fleet(
     counter/gauge totals back in sorted-function order — fleet counter
     totals match a single-process run regardless of sharding.
 
+    ``hosts`` places every instance on a bin-packed pool of
+    memory-constrained hosts (see :mod:`repro.platform.hosts`).  The pool
+    is **per function**, mirroring warm-instance state: each worker
+    builds its own ``HostPool`` from the shared config, so placement,
+    eviction, and host-fault decisions depend only on that function's
+    arrival history and the plan seed — never on which process replayed
+    it.  The trade-off is that functions do not contend for the same
+    hosts; ``hosts.count`` is hosts *per function*, and fleet-wide
+    utilization in ``meta["hosts"]`` aggregates per-function pools.
+    Host faults ride in on ``faults.host_faults``.
+
+    ``dead_letters`` streams every dead-lettered request (with its full
+    attempt history) to one JSON-lines file, in sorted-function order —
+    byte-identical at any worker count.
+
     ``min_shard_invocations`` guards against the parallel-slowdown
     regime: when set, the shard count is capped so every worker receives
     at least that many invocations — below the break-even point (see
@@ -531,6 +569,10 @@ def replay_fleet(
         raise PlatformError(
             "replay_fleet takes a FaultPlan (picklable), not a FaultInjector"
         )
+    if hosts is not None and not isinstance(hosts, HostConfig):
+        raise PlatformError(
+            "replay_fleet takes a HostConfig (picklable), not a HostPool"
+        )
     bundle_root = bundle.root if isinstance(bundle, AppBundle) else Path(bundle)
     policy = slos if isinstance(slos, SloPolicy) else SloPolicy(list(slos))
     if log_dir is not None:
@@ -545,6 +587,8 @@ def replay_fleet(
         "subbuckets": subbuckets,
         "retry": retry,
         "faults": faults,
+        "hosts": hosts,
+        "dead_letters": dead_letters is not None,
         "record_detail": record_detail,
         "log_dir": str(log_dir) if log_dir is not None else None,
         "profile_dir": str(profile_dir) if profile_dir is not None else None,
@@ -607,6 +651,52 @@ def replay_fleet(
                 recorder.gauge_max(gauge_name, value)
 
         report = _merge_report(results, window_s=float(window_s), policy=policy)
+        host_stats: dict[str, dict[str, Any]] | None = None
+        if hosts is not None:
+            # Aggregate per-function pools in sorted-function order.
+            # Counters sum; utilization peaks max (pools are disjoint, so
+            # the fleet peak is the worst single pool, not a sum).
+            host_stats = {}
+            totals: dict[str, Any] = {
+                "hosts_per_function": hosts.count,
+                "memory_mb": hosts.memory_mb,
+                "placement": hosts.placement,
+                "placements": 0,
+                "evictions": 0,
+                "host_crashes": 0,
+                "spot_reclaims": 0,
+                "instances_lost": 0,
+                "capacity_throttles": 0,
+                "peak_util": 0.0,
+            }
+            for result in results:
+                pool_stats = result["hosts"]
+                host_stats[result["function"]] = pool_stats
+                for key in (
+                    "placements",
+                    "evictions",
+                    "host_crashes",
+                    "spot_reclaims",
+                    "instances_lost",
+                    "capacity_throttles",
+                ):
+                    totals[key] += pool_stats[key]
+                if pool_stats["peak_util"] > totals["peak_util"]:
+                    totals["peak_util"] = pool_stats["peak_util"]
+            report.meta["hosts"] = totals
+        dead_letters_path: Path | None = None
+        if dead_letters is not None:
+            # Sorted-function order (results are sorted above): the JSONL
+            # export is byte-identical at any worker count.
+            dead_letters_path = Path(dead_letters)
+            dead_letters_path.parent.mkdir(parents=True, exist_ok=True)
+            total_dead = 0
+            with dead_letters_path.open("w", encoding="utf-8") as out:
+                for result in results:
+                    for letter in result["dead_letters"] or ():
+                        out.write(json.dumps(letter) + "\n")
+                        total_dead += 1
+            report.meta["dead_letters"] = total_dead
         ledger = BillingLedger()
         stats: dict[str, FunctionReplayStats] = {}
         log_paths: dict[str, Path] = {}
@@ -658,4 +748,6 @@ def replay_fleet(
         merged_log=merged_path,
         profile_paths=profile_paths,
         merged_profiles=merged_profiles_path,
+        dead_letters=dead_letters_path,
+        host_stats=host_stats,
     )

@@ -36,6 +36,7 @@ class FunctionInstance:
         "busy",
         "invocations",
         "alive",
+        "host_id",
     )
 
     def __init__(
@@ -58,6 +59,9 @@ class FunctionInstance:
         # instance apart (close() keeps init metrics readable), so pools
         # that hold direct references check this flag instead.
         self.alive = True
+        # Set by HostPool.bind when a host layer is active; None means
+        # the instance runs on the legacy unconstrained substrate.
+        self.host_id: str | None = None
 
     def initialize(self) -> float:
         """Run Function Initialization; returns the billed init duration."""

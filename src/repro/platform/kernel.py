@@ -46,7 +46,13 @@ reference and provably computes the same maximum.
 
 What falls back to the reference engine: SnapStart functions, non-JSON
 events, a non-``None`` context, fallback managers, and any workload
-whose capture fails verification.
+whose capture fails verification.  The host layer
+(:mod:`repro.platform.hosts`) never invalidates a template — placement,
+eviction, and host loss operate on pool state *outside* the captured
+meter tapes — so host chaos runs on the kernel path with the same pool
+hooks, in the same order, as the reference engine; if a workload's
+template is invalid for any of the reasons above, the usual reference
+fallback carries the host semantics unchanged.
 """
 
 from __future__ import annotations
@@ -270,6 +276,7 @@ class _Shadow:
         "invocations",
         "real",
         "container",
+        "host_id",
     )
 
     def __init__(
@@ -287,6 +294,10 @@ class _Shadow:
         self.peak = peak
         self.invocations = 0
         self.real = real
+        # Host the pool placed this shadow on (None without a host layer);
+        # mirrors FunctionInstance.host_id so kernel and reference engines
+        # carry identical placement state.
+        self.host_id: str | None = None
         #: What actually sits in ``function.instances`` for this shadow —
         #: the shadow itself for kernel-created instances, the wrapped
         #: real instance for adopted ones.
@@ -358,6 +369,7 @@ class KernelReplayer:
         self.emulator = emulator
         self.store = store if store is not None else TemplateStore()
         self.vectorized = vectorized
+        self._hosts = emulator.hosts
         # Warm-pool bookkeeping cloned from TraceReplayer: a heap of
         # (busy-until, seq, shadow) and a monotone MRU stack of
         # (freed-at, shadow); one stale top expires the whole stack.
@@ -429,6 +441,7 @@ class KernelReplayer:
         self._log = emulator.log
         self._sink = emulator.telemetry
         self._faults = emulator.faults
+        self._hosts = emulator.hosts
         self._clock = emulator.clock
         self._pricing = emulator.pricing
         self._request_ids = emulator._request_ids
@@ -554,6 +567,11 @@ class KernelReplayer:
         record)`` — *record* is materialised only for non-success
         outcomes when *want_record* (the retry path needs them).
         """
+        hosts = self._hosts
+        if hosts is not None:
+            # Same serve ordering as the reference engine: due host faults
+            # fire first, then the throttle draw, then warm acquisition.
+            hosts.advance(t)
         faults = self._faults
         if faults is not None and faults.throttled(self._name, t):
             return self._emit_throttle(t, want_record)[:5]
@@ -565,14 +583,28 @@ class KernelReplayer:
             else:
                 out = self._capture_warm(shadow, t, want_record)
         else:
+            placement = (
+                hosts.admit(self._name, t, memory_mb=self._memory_mb)
+                if hosts is not None
+                else None
+            )
+            if hosts is not None and placement is None:
+                return self._emit_throttle(
+                    t, want_record, error="CapacityExhausted"
+                )[:5]
             entry = self._entry
             if entry.ready:
-                out = self._synth_cold(t, want_record)
+                out = self._synth_cold(t, want_record, placement)
             else:
-                out = self._capture_cold(t, want_record)
+                out = self._capture_cold(t, want_record, placement)
         shadow = out[5]
+        if hosts is not None and shadow is not None:
+            hosts.adjust(shadow.instance_id, shadow.peak, t)
+            hosts.observe_footprint(self._name, shadow.peak)
         if shadow is not None and shadow.alive:
             heapq.heappush(self._busy, (out[2], next(self._seq), shadow))
+            if hosts is not None:
+                hosts.record_use(shadow.instance_id, out[2])
         return out[:5]
 
     def _acquire_warm(self, t: float) -> _Shadow | None:
@@ -591,6 +623,13 @@ class KernelReplayer:
         while idle:
             freed_at, candidate = idle[-1]
             if t - freed_at > keep_alive:
+                # Keep-alive expiry frees host memory, mirroring the
+                # reference engine; retire() guards ``alive``, so a shadow
+                # the pool already evicted is never double-killed.
+                hosts = self._hosts
+                if hosts is not None:
+                    for _, stale in idle:
+                        hosts.retire(stale.instance_id)
                 idle.clear()
                 return None
             idle.pop()
@@ -610,6 +649,7 @@ class KernelReplayer:
         )
         shadow.invocations = instance.invocations
         shadow.container = instance
+        shadow.host_id = instance.host_id
         return shadow
 
     def _kill(self, shadow: _Shadow) -> None:
@@ -617,10 +657,12 @@ class KernelReplayer:
         instances = self._function.instances
         if shadow.container in instances:
             instances.remove(shadow.container)
+        if self._hosts is not None:
+            self._hosts.release(shadow.instance_id)
 
     # -- capture paths (real execution) ------------------------------------
 
-    def _capture_cold(self, t: float, want_record: bool):
+    def _capture_cold(self, t: float, want_record: bool, placement=None):
         function = self._function
         clock = self._clock
         instance_init_s, transmission_s = self._overhead
@@ -644,6 +686,8 @@ class KernelReplayer:
         faults = self._faults
         if faults is not None and faults.cold_start_crash(function.name, clock.now()):
             instance.shutdown()
+            if placement is not None:
+                self._hosts.cancel(placement)
             peak = meter.peak_mb
             if modules is not None:
                 self._cold_pending = (modules, False)
@@ -652,6 +696,8 @@ class KernelReplayer:
             )
         shadow = _Shadow(instance.instance_id, real=instance)
         function.instances.append(shadow)
+        if placement is not None:
+            self._hosts.bind(placement, shadow, function.instances)
         init_live = meter.live_mb
         init_peak = meter.peak_mb
         output = instance.invoke(self._event, self._context, at=clock.now())
@@ -748,7 +794,7 @@ class KernelReplayer:
 
     # -- synthesis paths (no interpreter) -----------------------------------
 
-    def _synth_cold(self, t: float, want_record: bool):
+    def _synth_cold(self, t: float, want_record: bool, placement=None):
         function = self._function
         clock = self._clock
         template = self._entry.cold
@@ -758,6 +804,8 @@ class KernelReplayer:
         clock.advance(template.init_s)
         faults = self._faults
         if faults is not None and faults.cold_start_crash(function.name, clock.now()):
+            if placement is not None:
+                self._hosts.cancel(placement)
             if self._attribution is not None:
                 self._cold_pending = (template.modules, False)
             return self._emit_cold_crash(
@@ -773,6 +821,8 @@ class KernelReplayer:
         )
         shadow.invocations = 1
         function.instances.append(shadow)
+        if placement is not None:
+            self._hosts.bind(placement, shadow, function.instances)
         return self._finish_run(
             shadow,
             t,
@@ -856,15 +906,37 @@ class KernelReplayer:
             else None
         )
         crash_at = exec_s * crash.fraction if crash is not None else _INF
+        # Host-crash truncation, replicated float-for-float from the
+        # reference _run: the offset into the exec window is computed with
+        # the same addition order, and ties go to the host.
+        host_at = _INF
+        hosts = self._hosts
+        if hosts is not None:
+            host_crash = hosts.crash_time(shadow.instance_id)
+            if host_crash is not None:
+                offset = host_crash - (
+                    arrival
+                    + self._routing
+                    + instance_init_s
+                    + transmission_s
+                    + billed_init_s
+                    + 0.0
+                )
+                host_at = offset if offset > 0.0 else 0.0
+        kill_at = host_at if host_at <= crash_at else crash_at
         timeout_s = self._timeout_s
         timeout_at = (
             timeout_s if timeout_s is not None and exec_s > timeout_s else _INF
         )
-        if crash_at < timeout_at and crash_at <= exec_s:
-            exec_s = crash_at
-            value, value_key, error_type = None, None, "InstanceCrash"
+        if kill_at < timeout_at and kill_at <= exec_s:
+            exec_s = kill_at
+            host_killed = host_at <= crash_at
+            value, value_key = None, None
+            error_type = "HostCrash" if host_killed else "InstanceCrash"
             status = _S_CRASHED
             self._kill(shadow)
+            if host_killed:
+                hosts.lost_in_flight(self._name, arrival)
         elif timeout_at <= exec_s:
             exec_s = timeout_at
             value, value_key, error_type = None, None, "TimeoutError"
@@ -929,7 +1001,9 @@ class KernelReplayer:
             want_record,
         )
 
-    def _emit_throttle(self, arrival: float, want_record: bool):
+    def _emit_throttle(
+        self, arrival: float, want_record: bool, error: str = "Throttled"
+    ):
         request_num = next(self._request_ids)
         timestamp = self._clock.now()
         routing = self._routing
@@ -952,7 +1026,7 @@ class KernelReplayer:
             128,
             0.0,
             0.0,
-            "Throttled",
+            error,
         )
         self._bill.throttles += 1
         sink = self._sink
@@ -984,7 +1058,7 @@ class KernelReplayer:
                 instance_id="-",
                 routing_s=routing,
                 cost_usd=0.0,
-                error_type="Throttled",
+                error_type=error,
                 status=InvocationStatus.THROTTLED,
             )
         return (_S_THROTTLED, _THROTTLED_START, completion, 0.0, record, None)

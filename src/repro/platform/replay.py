@@ -313,6 +313,12 @@ class TraceReplayer:
     ) -> tuple[InvocationRecord, float]:
         """Serve one attempt at trace time *arrival*; log/bill/observe it."""
         emulator = self.emulator
+        hosts = emulator.hosts
+        if hosts is not None:
+            # Fire host faults due by this arrival before any serving
+            # decision — identical ordering in the kernel replayer keeps
+            # the engines byte-for-byte interchangeable.
+            hosts.advance(arrival)
         instance: FunctionInstance | None = None
         if emulator.faults is not None and emulator.faults.throttled(
             function.name, arrival
@@ -321,21 +327,42 @@ class TraceReplayer:
         else:
             instance = self._acquire_warm(function, arrival)
             if instance is not None:
-                record = self._serve_warm(function, instance, event, context)
+                record = self._serve_warm(function, instance, event, context, arrival)
             else:
-                record = emulator._cold_start(function, event, context)
-                # Recover the instance the cold start created (it is the
-                # newest in the list) — unless it crashed before joining.
-                if (
-                    function.instances
-                    and function.instances[-1].instance_id == record.instance_id
-                ):
-                    instance = function.instances[-1]
+                placement = (
+                    hosts.admit(function.name, arrival, memory_mb=function.memory_mb)
+                    if hosts is not None
+                    else None
+                )
+                if hosts is not None and placement is None:
+                    # No host can take a new instance and nothing idle is
+                    # left to evict: the request bounces as a (retryable,
+                    # unbilled) capacity throttle.
+                    record = emulator._throttle_record(
+                        function, error="CapacityExhausted"
+                    )
+                else:
+                    record = emulator._cold_start(
+                        function, event, context, arrival=arrival, placement=placement
+                    )
+                    # Recover the instance the cold start created (it is the
+                    # newest in the list) — unless it crashed before joining.
+                    if (
+                        function.instances
+                        and function.instances[-1].instance_id == record.instance_id
+                    ):
+                        instance = function.instances[-1]
         # Trace-time accounting, not the forward-only virtual clock:
         # windows and concurrency follow the arrivals.  Replay does not
         # re-emit per-record obs counters (it reports in aggregate).
         emulator._record_invocation(record, arrival=arrival, emit_obs=False)
         completion = arrival + record.e2e_s
+        if hosts is not None and instance is not None:
+            # True the reservation up to the measured peak (may evict idle
+            # neighbours under pressure) and remember the footprint for
+            # future placements of this function.
+            hosts.adjust(instance.instance_id, record.peak_memory_mb, arrival)
+            hosts.observe_footprint(function.name, record.peak_memory_mb)
         if instance is not None and instance.alive:
             # Still alive after serving (not OOM-killed / crashed): it is
             # busy until this request's trace-time completion.
@@ -343,6 +370,8 @@ class TraceReplayer:
                 self._busy.setdefault(function.name, []),
                 (completion, next(self._seq), instance),
             )
+            if hosts is not None:
+                hosts.record_use(instance.instance_id, completion)
         return record, completion
 
     def _acquire_warm(
@@ -375,7 +404,15 @@ class TraceReplayer:
             freed_at, candidate = idle[-1]
             if arrival - freed_at > keep_alive:
                 # The freshest idle instance has already expired, so every
-                # older one beneath it has too: drop the whole stack.
+                # older one beneath it has too: drop the whole stack.  With
+                # a host pool attached, expiry actually frees host memory:
+                # pool-placed instances are shut down and their slots
+                # released (retire guards ``alive``, so an instance the
+                # pool already evicted is never double-killed).
+                hosts = self.emulator.hosts
+                if hosts is not None:
+                    for _, stale in idle:
+                        hosts.retire(stale.instance_id)
                 idle.clear()
                 return None
             idle.pop()
@@ -389,7 +426,9 @@ class TraceReplayer:
         instance: FunctionInstance,
         event: Any,
         context: Any,
+        arrival: float | None = None,
     ) -> InvocationRecord:
         return self.emulator._run(
-            function, instance, event, context, StartType.WARM, 0, 0, 0, 0
+            function, instance, event, context, StartType.WARM, 0, 0, 0, 0,
+            arrival=arrival,
         )

@@ -92,6 +92,14 @@ class DeadLetter:
     def last(self) -> InvocationRecord:
         return self.attempts[-1]
 
+    def to_dict(self) -> dict:
+        """JSON-safe dict with a stable field order (JSONL export)."""
+        return {
+            "function": self.function,
+            "arrival": self.arrival,
+            "attempts": [record.to_dict() for record in self.attempts],
+        }
+
 
 class RetrySession:
     """Stateful execution of one policy: seeded jitter + budget tracking."""

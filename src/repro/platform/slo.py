@@ -37,6 +37,9 @@ _SCALAR_METRICS = frozenset({
     "cost_usd",
     "billed_s_sum",
     "concurrency_peak",
+    "evictions",
+    "host_losses",
+    "host_util_peak",
     "cold_start_rate",
     "error_rate",
     "cost_per_1k",

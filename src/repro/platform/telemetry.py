@@ -70,6 +70,14 @@ class WindowRollup:
     cost_usd: float = 0.0
     billed_s_sum: float = 0.0
     concurrency_peak: int = 0
+    #: Host-layer counters (zero when replay runs without a
+    #: :class:`~repro.platform.hosts.HostPool`): warm instances evicted
+    #: under memory pressure, instances destroyed by host crash/spot
+    #: reclamation, and the pool-utilization high-water mark observed at
+    #: host events in this window.
+    evictions: int = 0
+    host_losses: int = 0
+    host_util_peak: float = 0.0
     #: Per-status breakdown (status value -> count), e.g. ``{"success":
     #: 98, "throttled": 2}``.  Sums to ``invocations``.
     status_counts: dict[str, int] = field(default_factory=dict)
@@ -176,6 +184,9 @@ class WindowRollup:
         # Peaks in disjoint windows do not overlap, so the merged HWM is
         # the max, not the sum.
         self.concurrency_peak = max(self.concurrency_peak, other.concurrency_peak)
+        self.evictions += other.evictions
+        self.host_losses += other.host_losses
+        self.host_util_peak = max(self.host_util_peak, other.host_util_peak)
         self.e2e.merge(other.e2e)
         self.cold_e2e.merge(other.cold_e2e)
         self.billed.merge(other.billed)
@@ -219,6 +230,9 @@ class WindowRollup:
             "cost_usd": self.cost_usd,
             "billed_s_sum": self.billed_s_sum,
             "concurrency_peak": self.concurrency_peak,
+            "evictions": self.evictions,
+            "host_losses": self.host_losses,
+            "host_util_peak": self.host_util_peak,
             "status_counts": dict(sorted(self.status_counts.items())),
             "e2e": self.e2e.to_dict(),
             "cold_e2e": self.cold_e2e.to_dict(),
@@ -239,6 +253,9 @@ class WindowRollup:
             cost_usd=float(data["cost_usd"]),
             billed_s_sum=float(data["billed_s_sum"]),
             concurrency_peak=int(data["concurrency_peak"]),
+            evictions=int(data.get("evictions", 0)),
+            host_losses=int(data.get("host_losses", 0)),
+            host_util_peak=float(data.get("host_util_peak", 0.0)),
             status_counts={
                 str(k): int(v)
                 for k, v in data.get("status_counts", {}).items()
@@ -256,6 +273,10 @@ class WindowRollup:
 #: Pending records are folded into rollups once this many accumulate, so
 #: buffered memory stays bounded no matter how long a run streams.
 DRAIN_THRESHOLD = 50_000
+
+#: Sentinel tagging a buffered host event so ``_drain`` can tell it apart
+#: from an ``observe_row`` invocation tuple.
+_HOST_EVENT = object()
 
 
 class TelemetrySink:
@@ -345,6 +366,22 @@ class TelemetrySink:
         if len(self._pending) >= DRAIN_THRESHOLD:
             self._drain()
 
+    def observe_host(
+        self, function: str, kind: str, util: float, *, arrival: float
+    ) -> None:
+        """Buffer one host-layer event for *function*'s windows.
+
+        *kind* is ``"placement"`` (utilization sample only),
+        ``"eviction"`` (memory pressure reclaimed a warm instance), or
+        ``"host_loss"`` (a crash or spot reclamation destroyed an
+        instance).  Events are attributed to the affected instance's
+        function so per-worker sinks in a sharded fleet replay merge
+        identically to a single live sink.
+        """
+        self._pending.append(((_HOST_EVENT, function, kind, util), arrival))
+        if len(self._pending) >= DRAIN_THRESHOLD:
+            self._drain()
+
     def _drain(self) -> None:
         """Fold every buffered record into its rollups, in publish order."""
         if not self._pending:
@@ -352,7 +389,10 @@ class TelemetrySink:
         pending, self._pending = self._pending, []
         for record, arrival in pending:
             if type(record) is tuple:
-                self._ingest_row(record, arrival)
+                if record[0] is _HOST_EVENT:
+                    self._ingest_host(record[1], record[2], record[3], arrival)
+                else:
+                    self._ingest_row(record, arrival)
             else:
                 self._ingest(record, arrival)
 
@@ -389,6 +429,19 @@ class TelemetrySink:
             depth = self._track_concurrency(name, arrival, completion)
             if depth > rollup.concurrency_peak:
                 rollup.concurrency_peak = depth
+
+    def _ingest_host(
+        self, function: str, kind: str, util: float, arrival: float
+    ) -> None:
+        names = (function, FLEET) if self.track_fleet else (function,)
+        for name in names:
+            rollup = self._rollup(name, arrival)
+            if kind == "eviction":
+                rollup.evictions += 1
+            elif kind == "host_loss":
+                rollup.host_losses += 1
+            if util > rollup.host_util_peak:
+                rollup.host_util_peak = util
 
     def _rollup(self, function: str, arrival: float) -> WindowRollup:
         index = int(arrival // self.window_s)

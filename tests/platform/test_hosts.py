@@ -1,0 +1,436 @@
+"""Unit and property tests for the host failure-domain layer."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PlatformError
+from repro.platform import (
+    FaultInjector,
+    FaultPlan,
+    FaultRates,
+    HostConfig,
+    HostFault,
+    HostPool,
+    InvocationStatus,
+    LambdaEmulator,
+    RetryPolicy,
+    TelemetrySink,
+    TraceReplayer,
+)
+from repro.platform.instance import FunctionInstance
+from repro.platform.kernel import KernelReplayer
+
+EVENT = {"x": [1.0, 2.0], "y": [3.0, 4.0]}
+
+
+class FakeInstance:
+    """The minimal duck the pool needs: id, alive, shutdown, host_id."""
+
+    def __init__(self, instance_id: str):
+        self.instance_id = instance_id
+        self.alive = True
+        self.host_id = None
+
+    def shutdown(self) -> None:
+        self.alive = False
+
+
+def place(pool: HostPool, function: str, instance_id: str, now: float,
+          *, memory_mb: float | None = None):
+    placement = pool.admit(function, now, memory_mb=memory_mb)
+    if placement is None:
+        return None
+    instance = FakeInstance(instance_id)
+    pool.bind(placement, instance)
+    return instance
+
+
+class TestHostConfig:
+    def test_validates(self):
+        with pytest.raises(PlatformError):
+            HostConfig(count=0, memory_mb=256.0)
+        with pytest.raises(PlatformError):
+            HostConfig(count=1, memory_mb=0.0)
+        with pytest.raises(PlatformError):
+            HostConfig(count=1, memory_mb=256.0, placement="worst-fit")
+        with pytest.raises(PlatformError):
+            HostConfig(count=1, memory_mb=256.0, default_reserve_mb=0.0)
+
+    def test_host_fault_validates(self):
+        with pytest.raises(PlatformError):
+            HostFault(at_s=-1.0)
+        with pytest.raises(PlatformError):
+            HostFault(at_s=0.0, kind="meteor")
+        with pytest.raises(PlatformError):
+            HostFault(at_s=0.0, host=-2)
+
+
+class TestPlacement:
+    def test_first_fit_scans_in_id_order(self):
+        pool = HostPool(HostConfig(count=3, memory_mb=100.0))
+        a = place(pool, "f", "i1", 0.0, memory_mb=60.0)
+        b = place(pool, "f", "i2", 0.0, memory_mb=60.0)
+        assert a.host_id == "host-000"
+        # 60 no longer fits on host-000 (40 free), so first fit is host-001.
+        assert b.host_id == "host-001"
+
+    def test_best_fit_picks_tightest(self):
+        pool = HostPool(HostConfig(count=3, memory_mb=100.0, placement="best-fit"))
+        place(pool, "f", "i1", 0.0, memory_mb=70.0)   # host-000: 30 free
+        place(pool, "f", "i2", 0.0, memory_mb=40.0)   # host-001: 60 free
+        c = place(pool, "f", "i3", 0.0, memory_mb=25.0)
+        assert c.host_id == "host-000"  # 30 free beats 60 and 100
+
+    def test_spread_picks_emptiest(self):
+        pool = HostPool(HostConfig(count=2, memory_mb=100.0, placement="spread"))
+        a = place(pool, "f", "i1", 0.0, memory_mb=10.0)
+        b = place(pool, "f", "i2", 0.0, memory_mb=10.0)
+        assert a.host_id == "host-000"
+        assert b.host_id == "host-001"
+
+    def test_reservation_prefers_declared_then_footprint(self):
+        pool = HostPool(HostConfig(count=1, memory_mb=512.0,
+                                   default_reserve_mb=64.0))
+        assert pool.reserve_for("f", 200.0) == 200.0
+        assert pool.reserve_for("f", None) == 64.0
+        pool.observe_footprint("f", 33.2)
+        assert pool.reserve_for("f", None) == 34.0  # ceil of the peak
+
+
+class TestEvictionAndThrottle:
+    def test_evicts_lru_idle_when_full(self):
+        pool = HostPool(HostConfig(count=1, memory_mb=100.0))
+        a = place(pool, "f", "a", 0.0, memory_mb=40.0)
+        b = place(pool, "f", "b", 1.0, memory_mb=40.0)
+        pool.record_use("a", 5.0)
+        pool.record_use("b", 3.0)
+        # At t=10 both are idle; b (busy_until 3.0) is least recent.
+        c = place(pool, "f", "c", 10.0, memory_mb=40.0)
+        assert c is not None
+        assert pool.evictions == 1
+        assert not b.alive and a.alive
+
+    def test_throttles_when_nothing_idle(self):
+        pool = HostPool(HostConfig(count=1, memory_mb=100.0))
+        place(pool, "f", "a", 0.0, memory_mb=60.0)
+        pool.record_use("a", 100.0)  # busy until 100
+        assert pool.admit("f", 10.0, memory_mb=60.0) is None
+        assert pool.capacity_throttles == 1
+        assert pool.evictions == 0
+
+    def test_adjust_growth_evicts_idle_neighbours(self):
+        pool = HostPool(HostConfig(count=1, memory_mb=100.0))
+        a = place(pool, "f", "a", 0.0, memory_mb=40.0)
+        b = place(pool, "f", "b", 1.0, memory_mb=40.0)
+        pool.record_use("a", 2.0)
+        # b's measured peak grows past its reservation; a is idle -> evicted.
+        pool.adjust("b", 70.0, 5.0)
+        assert not a.alive and b.alive
+        assert pool.evictions == 1
+
+    def test_cancel_returns_reservation(self):
+        pool = HostPool(HostConfig(count=1, memory_mb=100.0))
+        placement = pool.admit("f", 0.0, memory_mb=80.0)
+        assert pool.util() == pytest.approx(0.8)
+        pool.cancel(placement)
+        assert pool.util() == 0.0
+
+    def test_retire_frees_slot_and_ignores_strangers(self):
+        pool = HostPool(HostConfig(count=1, memory_mb=100.0))
+        a = place(pool, "f", "a", 0.0, memory_mb=40.0)
+        assert pool.retire("a") is True
+        assert not a.alive and pool.util() == 0.0
+        assert pool.retire("not-placed") is False
+
+
+class TestHostFaults:
+    def test_crash_kills_residents_and_capacity(self):
+        pool = HostPool(
+            HostConfig(count=2, memory_mb=100.0),
+            host_faults=(HostFault(at_s=10.0, kind="crash", host=0),),
+        )
+        a = place(pool, "f", "a", 0.0, memory_mb=40.0)
+        assert pool.crash_time("a") == 10.0
+        pool.advance(10.0)
+        assert not a.alive
+        assert pool.host_crashes == 1 and pool.instances_lost == 1
+        assert not pool.hosts[0].alive
+        # Dead hosts accept no further placements.
+        b = place(pool, "f", "b", 11.0, memory_mb=40.0)
+        assert b.host_id == "host-001"
+
+    def test_spot_drains_but_never_sets_crash_time(self):
+        pool = HostPool(
+            HostConfig(count=1, memory_mb=100.0),
+            host_faults=(HostFault(at_s=10.0, kind="spot", host=0),),
+        )
+        a = place(pool, "f", "a", 0.0, memory_mb=40.0)
+        assert pool.crash_time("a") is None  # spot never truncates in-flight
+        pool.advance(10.0)
+        assert not a.alive
+        assert pool.spot_reclaims == 1 and pool.host_crashes == 0
+
+    def test_unpinned_targets_resolve_deterministically(self):
+        faults = (HostFault(at_s=5.0), HostFault(at_s=7.0))
+        pools = [
+            HostPool(HostConfig(count=8, memory_mb=64.0),
+                     host_faults=faults, seed=42)
+            for _ in range(2)
+        ]
+        assert [h.crash_at for h in pools[0].hosts] == [
+            h.crash_at for h in pools[1].hosts
+        ]
+
+    def test_out_of_range_target_raises(self):
+        with pytest.raises(PlatformError):
+            HostPool(
+                HostConfig(count=2, memory_mb=64.0),
+                host_faults=(HostFault(at_s=1.0, host=7),),
+            )
+
+
+class TestFaultPlanJson:
+    def test_round_trips(self):
+        plan = FaultPlan(
+            seed=9,
+            default=FaultRates(throttle=0.1, exec_crash=0.05),
+            per_function={"fn": FaultRates(cold_start_crash=0.2)},
+            host_faults=(
+                HostFault(at_s=30.0, kind="crash", host=1),
+                HostFault(at_s=60.0, kind="spot"),
+            ),
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_round_trips_empty(self):
+        assert FaultPlan.from_json(FaultPlan().to_json()) == FaultPlan()
+
+    def test_malformed_json_is_one_error(self):
+        with pytest.raises(PlatformError, match="not valid JSON"):
+            FaultPlan.from_json("{nope")
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(PlatformError, match="unknown keys"):
+            FaultPlan.from_json(json.dumps({"seed": 1, "chaos_level": 11}))
+
+    def test_bad_field_is_wrapped(self):
+        text = json.dumps(
+            {"host_faults": [{"at_s": 5.0, "kind": "meteor"}]}
+        )
+        with pytest.raises(PlatformError):
+            FaultPlan.from_json(text)
+
+
+class TestEmulatorHosts:
+    """Shared-pool behaviour through the real emulator."""
+
+    def _emulator(self, bundle, names, *, fn_memory_mb=None, **pool_kwargs):
+        emulator = LambdaEmulator(hosts=HostConfig(**pool_kwargs))
+        for name in names:
+            emulator.deploy(bundle, name=name, memory_mb=fn_memory_mb)
+        return emulator
+
+    def test_instances_carry_host_ids(self, toy_app_session):
+        emulator = self._emulator(
+            toy_app_session, ["fn"], count=2, memory_mb=512.0
+        )
+        record = emulator.invoke("fn", EVENT)
+        assert record.ok
+        instance = emulator.function("fn").instances[0]
+        assert instance.host_id == "host-000"
+
+    def test_memory_pressure_evicts_and_forces_cold_starts(
+        self, toy_app_session
+    ):
+        # Probe the footprint, then size one host to hold two functions'
+        # instances but not three: the third deploy's cold start evicts
+        # the LRU warm instance, whose next invocation cold-starts again.
+        probe = LambdaEmulator()
+        probe.deploy(toy_app_session, name="probe")
+        peak = probe.invoke("probe", EVENT).peak_memory_mb
+        names = ["fn-a", "fn-b", "fn-c"]
+        emulator = self._emulator(
+            toy_app_session,
+            names,
+            count=1,
+            memory_mb=peak * 2.5,
+            default_reserve_mb=1.0,
+        )
+        for name in names:
+            assert emulator.invoke(name, EVENT).ok
+        assert emulator.hosts.evictions >= 1
+        # The evicted function's next invocation is a real cold start,
+        # visible in billing like any other.
+        cold_again = [
+            emulator.invoke(name, EVENT).is_cold for name in names
+        ]
+        assert any(cold_again)
+        emulator.ledger.reconcile(list(emulator.log))
+
+    def test_capacity_exhaustion_throttles_unbilled(self, toy_app_session):
+        # Declared memory exceeds the host: nothing ever fits.
+        emulator2 = LambdaEmulator(hosts=HostConfig(count=1, memory_mb=64.0))
+        emulator2.deploy(toy_app_session, name="fn", memory_mb=128)
+        record = emulator2.invoke("fn", EVENT)
+        assert record.status is InvocationStatus.THROTTLED
+        assert record.error_type == "CapacityExhausted"
+        assert not record.billed and record.cost_usd == 0.0
+        emulator2.ledger.reconcile(list(emulator2.log))
+
+    def test_update_function_evacuates_pool(self, toy_app_session):
+        emulator = self._emulator(
+            toy_app_session, ["fn"], count=1, memory_mb=512.0
+        )
+        emulator.invoke("fn", EVENT)
+        assert emulator.hosts.util() > 0.0
+        emulator.update_function("fn")
+        assert emulator.hosts.util() == 0.0
+
+
+class TestEngineParity:
+    """Reference and kernel engines under host chaos: identical bytes."""
+
+    def _replay(self, bundle, engine: str):
+        plan = FaultPlan(
+            seed=7,
+            host_faults=(
+                HostFault(at_s=40.0, kind="crash", host=0),
+                HostFault(at_s=90.0, kind="spot", host=1),
+            ),
+        )
+        sink = TelemetrySink(window_s=30.0)
+        emulator = LambdaEmulator(
+            keep_alive_s=120.0,
+            telemetry=sink,
+            faults=FaultInjector(plan),
+            hosts=HostConfig(count=3, memory_mb=256.0),
+        )
+        emulator.deploy(bundle, name="fn")
+        timestamps = sorted(b * 10.0 for b in range(20) for _ in range(10))
+        retry = RetryPolicy(max_attempts=3, seed=5)
+        if engine == "reference":
+            result = TraceReplayer(emulator).replay(
+                "fn", timestamps, EVENT, retry=retry
+            )
+            lost = result.lost
+        else:
+            result = KernelReplayer(emulator).replay(
+                "fn", timestamps, EVENT, retry=retry
+            )
+            lost = result.lost
+        emulator.ledger.reconcile(emulator.log)
+        lines = [
+            json.dumps(r.to_dict(), sort_keys=True) for r in emulator.log
+        ]
+        return (
+            lost,
+            lines,
+            emulator.hosts.stats_dict(),
+            [w.to_dict() for w in sink.rollups("fn")],
+            emulator.ledger.total,
+        )
+
+    def test_byte_identical_under_host_chaos(self, toy_app_session):
+        ref = self._replay(toy_app_session, "reference")
+        kern = self._replay(toy_app_session, "kernel")
+        assert ref == kern
+        lost, _, stats, rollups, _ = ref
+        assert lost == 0
+        assert stats["instances_lost"] > 0
+        assert sum(w["host_losses"] for w in rollups) > 0
+
+
+class TestHostChaosProperties:
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        crash_at=st.floats(min_value=0.0, max_value=400.0),
+        spot_at=st.floats(min_value=0.0, max_value=400.0),
+        throttle=st.floats(min_value=0.0, max_value=0.3),
+        exec_crash=st.floats(min_value=0.0, max_value=0.3),
+        n=st.integers(min_value=1, max_value=40),
+    )
+    def test_ledger_reconciles_under_host_chaos(
+        self, seed, crash_at, spot_at, throttle, exec_crash, n,
+        toy_app_session,
+    ):
+        """Float-exact billing no matter how hosts crash or drain."""
+        plan = FaultPlan(
+            seed=seed,
+            default=FaultRates(throttle=throttle, exec_crash=exec_crash),
+            host_faults=(
+                HostFault(at_s=crash_at, kind="crash"),
+                HostFault(at_s=spot_at, kind="spot"),
+            ),
+        )
+        emulator = LambdaEmulator(
+            faults=plan, hosts=HostConfig(count=2, memory_mb=192.0)
+        )
+        emulator.deploy(toy_app_session, name="fn")
+        timestamps = [i * 10.0 for i in range(n)]
+        TraceReplayer(emulator).replay("fn", timestamps, EVENT)
+        emulator.ledger.reconcile(emulator.log)  # raises on any drift
+
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        keep_alive=st.floats(min_value=5.0, max_value=60.0),
+        gap=st.floats(min_value=1.0, max_value=90.0),
+        fault_at=st.floats(min_value=0.0, max_value=300.0),
+    )
+    def test_no_instance_is_ever_killed_twice(
+        self, seed, keep_alive, gap, fault_at, toy_app_session
+    ):
+        """Eviction, keep-alive expiry, and host loss never overlap: every
+        shutdown() call finds the instance alive."""
+        double_kills: list[str] = []
+        original_shutdown = FunctionInstance.shutdown
+
+        def spying_shutdown(instance):
+            if not instance.alive:
+                double_kills.append(instance.instance_id)
+            original_shutdown(instance)
+
+        FunctionInstance.shutdown = spying_shutdown
+        try:
+            plan = FaultPlan(
+                seed=seed,
+                host_faults=(
+                    HostFault(at_s=fault_at, kind="spot"),
+                    HostFault(at_s=fault_at + 50.0, kind="crash"),
+                ),
+            )
+            emulator = LambdaEmulator(
+                keep_alive_s=keep_alive,
+                faults=plan,
+                hosts=HostConfig(
+                    count=2, memory_mb=128.0, default_reserve_mb=8.0
+                ),
+            )
+            names = ["fn-a", "fn-b", "fn-c"]
+            for name in names:
+                emulator.deploy(toy_app_session, name=name)
+            timestamps = [i * gap for i in range(12)]
+            for name in names:
+                TraceReplayer(emulator).replay(name, timestamps, EVENT)
+            for name in names:
+                emulator.update_function(name)
+        finally:
+            FunctionInstance.shutdown = original_shutdown
+        assert double_kills == []
+        # Consistency: every pool entry left is a live instance.
+        for entry in emulator.hosts._entries.values():
+            assert entry.instance.alive
