@@ -1,0 +1,153 @@
+"""Replay-resume smoke: SIGKILL a 10k-invocation fleet replay, resume it.
+
+CI's benchmark-smoke job runs a checkpointed fleet replay in a
+subprocess driver (:mod:`repro.platform._replay_resume_driver`),
+SIGKILLs it at a mid-run checkpoint boundary, then resumes with
+``--resume``.  The resumed run must end with
+
+* merged exports (record log, dead letters, cold-start profiles,
+  dashboard report) **byte-identical** to an uninterrupted same-seed
+  baseline,
+* a bounded re-execution bill: re-executed invocations stay under 5% of
+  the trace (the checkpoint, not the emulator, pays for everything
+  pre-crash),
+* stale atomic-write debris from the kill swept by the resume, and no
+  temp files left anywhere afterwards.
+
+A one-paragraph summary lands in ``benchmarks/results/resume_replay.txt``
+and is uploaded as the ``resume-replay`` CI artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.core.journal import TMP_MARKER
+
+RESULTS_DIR = Path(__file__).parent / "results"
+SRC_ROOT = str(Path(repro.__file__).resolve().parent.parent)
+SENTINEL = "@@LAMBDA_TRIM_REPLAY_RESUME@@"
+
+INVOCATIONS = 10_000
+MAX_PER_FUNCTION = 4_000
+EVERY = 250
+
+
+def _driver(args: list[str], *, expect_kill: bool = False) -> dict | None:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_ROOT + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.platform._replay_resume_driver", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+    if expect_kill:
+        assert proc.returncode == -signal.SIGKILL, proc.stderr
+        return None
+    assert proc.returncode == 0, proc.stderr
+    for line in proc.stdout.splitlines():
+        if line.startswith(SENTINEL):
+            return json.loads(line[len(SENTINEL):])
+    raise AssertionError(f"driver emitted no summary: {proc.stdout!r}")
+
+
+def _run_args(bundle: str, out: Path, cks: Path, **options) -> list[str]:
+    args = [
+        "run", "--bundle", bundle, "--out", str(out),
+        "--invocations", str(INVOCATIONS),
+        "--max-per-function", str(MAX_PER_FUNCTION),
+        "--checkpoint-dir", str(cks), "--checkpoint-every", str(EVERY),
+    ]
+    for flag, value in options.items():
+        name = "--" + flag.replace("_", "-")
+        if value is True:
+            args.append(name)
+        elif value is not None:
+            args += [name, str(value)]
+    return args
+
+
+@pytest.fixture(scope="module")
+def smoke(tmp_path_factory):
+    root = tmp_path_factory.mktemp("resume-replay")
+    bundle = _driver(["build-toy", str(root / "toy")])["root"]
+
+    baseline = _driver(
+        _run_args(bundle, root / "baseline", root / "baseline-cks")
+    )
+    assert baseline["resumed_shards"] == 0
+
+    out = root / "crashed"
+    cks = root / "crashed-cks"
+    boundary = baseline["boundaries"] // 2
+    _driver(
+        _run_args(bundle, out, cks, kill_at=boundary), expect_kill=True
+    )
+    # Plant debris a torn atomic write would leave; resume must sweep it.
+    debris = cks / f"planted{TMP_MARKER}deadbeef"
+    debris.write_text("torn")
+    resumed = _driver(_run_args(bundle, out, cks, resume=True))
+    return {
+        "root": root,
+        "baseline": baseline,
+        "resumed": resumed,
+        "out": out,
+        "cks": cks,
+        "debris": debris,
+        "boundary": boundary,
+    }
+
+
+class TestReplayResumeSmoke:
+    def test_exports_are_byte_identical(self, smoke):
+        assert smoke["resumed"]["artifacts"] == smoke["baseline"]["artifacts"]
+        assert smoke["resumed"]["resumed_shards"] >= 1
+
+    def test_reexecution_bill_is_bounded(self, smoke):
+        reexecuted = smoke["resumed"]["reexecuted_invocations"]
+        arrivals = smoke["baseline"]["arrivals"]
+        assert reexecuted <= 0.05 * arrivals, (
+            f"{reexecuted} re-executed invocations vs {arrivals} arrivals"
+        )
+
+    def test_stale_debris_is_swept(self, smoke):
+        assert not smoke["debris"].exists()
+        strays = [
+            p
+            for tree in (smoke["cks"], smoke["out"])
+            for p in tree.rglob(f"*{TMP_MARKER}*")
+        ]
+        assert strays == []
+
+    def test_summary_artifact_exported(self, smoke, artifact_sink):
+        baseline, resumed = smoke["baseline"], smoke["resumed"]
+        reexecuted = resumed["reexecuted_invocations"]
+        artifact_sink(
+            "resume_replay",
+            "\n".join(
+                [
+                    "fleet replay kill-and-resume smoke (SIGKILL at "
+                    f"checkpoint boundary {smoke['boundary']}/"
+                    f"{baseline['boundaries']})",
+                    f"  invocations replayed: {baseline['arrivals']}",
+                    "  byte-identical exports after resume: yes",
+                    f"  shards resumed: {resumed['resumed_shards']}",
+                    f"  invocations re-executed: {reexecuted} "
+                    f"({100.0 * reexecuted / baseline['arrivals']:.2f}% "
+                    "of the trace; bound 5%)",
+                    f"  checkpoint interval: {EVERY} invocations",
+                    f"  total cost delta: "
+                    f"{abs(resumed['total_cost_usd'] - baseline['total_cost_usd']):.3e} USD",
+                ]
+            ),
+        )

@@ -155,6 +155,13 @@ def render_dashboard(
     dead = report.meta.get("dead_letters")
     if isinstance(dead, int):
         lines.append(f"dead letters: {dead}")
+    resume = report.meta.get("resume")
+    if isinstance(resume, dict):
+        lines.append(
+            f"checkpointed replay: {resume.get('resumed_shards', 0)} shard(s) "
+            f"resumed, {resume.get('reexecuted_invocations', 0)} "
+            f"invocation(s) re-executed"
+        )
     return "\n".join(lines)
 
 

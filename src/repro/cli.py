@@ -230,6 +230,17 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--dead-letters", type=Path, default=None,
                         help="write dead-lettered requests (full attempt "
                              "history) to this JSONL file")
+    replay.add_argument("--checkpoint-dir", type=Path, default=None,
+                        help="snapshot engine state here so a killed replay "
+                             "can be resumed (workers that die mid-run are "
+                             "resumed automatically)")
+    replay.add_argument("--checkpoint-every", type=int, default=None,
+                        help="invocations between checkpoints (default 1000; "
+                             "requires --checkpoint-dir)")
+    replay.add_argument("--resume", action="store_true",
+                        help="resume a killed replay from --checkpoint-dir; "
+                             "exports are byte-identical to an uninterrupted "
+                             "run")
     replay.add_argument("--json", action="store_true",
                         help="emit the run summary as JSON")
 
@@ -601,6 +612,9 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         spill_threshold=args.spill_threshold,
         engine=args.engine,
         min_shard_invocations=args.min_shard_invocations,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
         **kwargs,
     )
     if args.export is not None:
@@ -622,6 +636,8 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             summary["hosts"] = result.report.meta["hosts"]
         if "dead_letters" in result.report.meta:
             summary["dead_letters"] = result.report.meta["dead_letters"]
+        if "resume" in result.report.meta:
+            summary["resume"] = result.report.meta["resume"]
         print(json.dumps(summary, indent=2, sort_keys=True))
     else:
         print(f"replayed {result.arrivals} arrivals across {len(trace)} "
@@ -643,6 +659,11 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         if result.dead_letters is not None:
             print(f"{result.report.meta.get('dead_letters', 0)} dead "
                   f"letter(s) written to {result.dead_letters}")
+        resume_meta = result.report.meta.get("resume")
+        if resume_meta is not None:
+            print(f"checkpointed: {resume_meta['resumed_shards']} shard(s) "
+                  f"resumed, {resume_meta['reexecuted_invocations']} "
+                  f"invocation(s) re-executed")
         if args.export is not None:
             print(f"telemetry export written to {args.export}")
         if result.merged_log is not None:

@@ -48,6 +48,7 @@ __all__ = [
     "JournalState",
     "ModuleCommit",
     "RecoveryReport",
+    "atomic_write_lines",
     "atomic_write_text",
     "candidate_hash",
     "cleanup_stale_artifacts",
@@ -122,6 +123,39 @@ def atomic_write_text(path: Path, text: str, *, durable: bool = True) -> None:
     try:
         with os.fdopen(fd, "w", encoding="utf-8") as handle:
             handle.write(text)
+            if durable:
+                handle.flush()
+                os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    if durable:
+        _fsync_dir(path.parent)
+
+
+def atomic_write_lines(
+    path: Path, lines: Iterable[str], *, durable: bool = True
+) -> None:
+    """Stream *lines* (no trailing newlines) to *path* atomically.
+
+    The streaming twin of :func:`atomic_write_text` for exports too large
+    to join in memory (merged record logs, dead-letter spools): lines are
+    written to a temp file in the destination directory, fsync'd, then
+    renamed over *path* — readers never observe a torn or partial export.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + TMP_MARKER
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            for line in lines:
+                handle.write(line)
+                handle.write("\n")
             if durable:
                 handle.flush()
                 os.fsync(handle.fileno())

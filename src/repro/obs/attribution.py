@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
+from pathlib import Path
 from typing import IO, Any, Iterable, Iterator, Sequence
 
 __all__ = [
@@ -287,6 +288,59 @@ class AttributionStore:
             merged.extend(store)
         return merged
 
+    # -- checkpointing -----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-safe full contents (label table + columnar profiles)."""
+        return {
+            "labels": list(self._labels.values),
+            "profiles": [
+                [
+                    function,
+                    request_id,
+                    timestamp,
+                    billed_s,
+                    memory_mb,
+                    cost_usd,
+                    [list(row) for row in rows],
+                ]
+                for (
+                    function,
+                    request_id,
+                    timestamp,
+                    billed_s,
+                    memory_mb,
+                    cost_usd,
+                    rows,
+                ) in self._profiles
+            ],
+        }
+
+    def restore(self, state: dict) -> None:
+        self._labels = _LabelTable()
+        for label in state["labels"]:
+            self._labels.intern(label)
+        self._profiles = [
+            (
+                function,
+                request_id,
+                timestamp,
+                billed_s,
+                memory_mb,
+                cost_usd,
+                tuple(tuple(row) for row in rows),
+            )
+            for (
+                function,
+                request_id,
+                timestamp,
+                billed_s,
+                memory_mb,
+                cost_usd,
+                rows,
+            ) in state["profiles"]
+        ]
+
     # -- reading -----------------------------------------------------------
 
     def _materialize(self, raw: tuple) -> ColdStartProfile:
@@ -401,10 +455,10 @@ class AttributionStore:
             )
 
     def write_jsonl(self, path: Any) -> None:
-        with open(path, "w", encoding="utf-8") as handle:
-            for line in self.dump_lines():
-                handle.write(line)
-                handle.write("\n")
+        from repro.core.journal import atomic_write_lines
+
+        # Atomic: a crash mid-export never leaves a torn profile dump.
+        atomic_write_lines(Path(path), self.dump_lines())
 
     @classmethod
     def load_jsonl(cls, source: Any) -> "AttributionStore":

@@ -1,0 +1,175 @@
+"""Subprocess driver for the fleet kill-and-resume crash harness.
+
+Usage (spawned by ``tests/platform/test_replay_crash_resume.py`` and
+``benchmarks/bench_resume_replay_smoke.py``)::
+
+    python -m repro.platform._replay_resume_driver build-toy <dir>
+    python -m repro.platform._replay_resume_driver run --bundle B --out O
+        [--workers N] [--engine E] [--checkpoint-dir D]
+        [--checkpoint-every N] [--resume] [--kill-at N] [--kill-flag P]
+        [--invocations N] [--max-per-function N] [--seed S] [--plain]
+
+``--kill-at N`` installs a post-checkpoint hook that SIGKILLs the
+process at the N-th durable checkpoint/done write — i.e. at an exact
+resume boundary.  With ``--kill-flag`` the kill fires **once** across
+the whole process tree (the flag file is created with ``O_EXCL``), which
+is how the multi-worker supervisor test kills exactly one pool worker:
+the hook is inherited by fork, every worker counts its own writes, and
+the first to reach the boundary wins the flag and dies.  Without a flag
+the kill is unconditional past N — the single-process "dead parent"
+case.
+
+Unless ``--plain`` is passed, the replay runs under retries, execution
+faults, a host crash, and cold-start attribution, so a checkpoint must
+carry every RNG and running float sum to reproduce the baseline.  On
+normal completion one JSON summary line (prefixed by a sentinel) lands
+on stdout with resume accounting, a boundary count, and the SHA-256 of
+every merged export — the bytes the harness asserts are identical to an
+uninterrupted same-seed run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import sys
+from pathlib import Path
+
+SENTINEL = "@@LAMBDA_TRIM_REPLAY_RESUME@@"
+
+EVENT = {"x": [1.0, 2.0], "y": [3.0, 4.0]}
+
+ARTIFACTS = ("merged.jsonl", "dead.jsonl", "profiles.jsonl", "report.json")
+
+# Process-wide tally of durable checkpoint/done writes, kept by a
+# counting hook so the harness can enumerate every kill boundary.
+_boundaries = 0
+
+
+def _cmd_build_toy(args: argparse.Namespace) -> int:
+    from repro.workloads.toy import build_toy_torch_app
+
+    bundle = build_toy_torch_app(args.directory)
+    print(SENTINEL + json.dumps({"root": str(bundle.root), "name": bundle.name}))
+    return 0
+
+
+def _install_hook(kill_at: int | None, flag: str | None) -> None:
+    from repro.platform import checkpoint
+
+    def at_boundary(count: int) -> None:
+        global _boundaries
+        _boundaries = count
+        if kill_at is None or count < kill_at:
+            return
+        if flag is not None:
+            try:
+                fd = os.open(flag, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                return
+            os.close(fd)
+        # SIGKILL: no cleanup, no atexit, no flush — the harshest crash
+        # the checkpoint durability contract must survive.
+        os.kill(os.getpid(), signal.SIGKILL)
+
+    checkpoint.set_post_checkpoint_hook(at_boundary)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.bundle import AppBundle
+    from repro.core.journal import file_sha256
+    from repro.platform.faults import FaultPlan, FaultRates, HostFault
+    from repro.platform.fleet import replay_fleet
+    from repro.platform.hosts import HostConfig
+    from repro.platform.retry import RetryPolicy
+    from repro.traces.fleet import FleetTrace
+
+    _install_hook(args.kill_at, args.kill_flag)
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    trace = FleetTrace.generate_invocations(
+        args.invocations,
+        seed=args.seed,
+        duration_s=600.0,
+        max_per_function=args.max_per_function,
+    )
+    retry = faults = hosts = None
+    if not args.plain:
+        retry = RetryPolicy(max_attempts=3, base_delay_s=0.05, jitter=0.3, seed=11)
+        # exec_crash high enough that some requests exhaust all three
+        # attempts: the dead-letter export is part of the byte-identity
+        # contract and must survive a kill too.
+        faults = FaultPlan(
+            seed=7,
+            default=FaultRates(throttle=0.05, exec_crash=0.35),
+            host_faults=(HostFault(kind="crash", at_s=40.0),),
+        )
+        hosts = HostConfig(count=3, memory_mb=4096.0)
+    result = replay_fleet(
+        AppBundle(args.bundle),
+        trace,
+        EVENT,
+        workers=args.workers,
+        retry=retry,
+        faults=faults,
+        hosts=hosts,
+        dead_letters=out / "dead.jsonl",
+        log_dir=out / "logs",
+        merged_log=out / "merged.jsonl",
+        profile_dir=out / "profiles",
+        merged_profiles=out / "profiles.jsonl",
+        spill_threshold=16,
+        engine=args.engine,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
+    )
+    result.report.save(out / "report.json")
+    summary = {
+        "arrivals": result.arrivals,
+        "delivered": result.delivered,
+        "records": result.records,
+        "status_counts": dict(sorted(result.status_counts().items())),
+        "total_cost_usd": result.total_cost,
+        "resumed_shards": result.resumed_shards,
+        "reexecuted_invocations": result.reexecuted_invocations,
+        "boundaries": _boundaries,
+        "artifacts": {name: file_sha256(out / name) for name in ARTIFACTS},
+    }
+    print(SENTINEL + json.dumps(summary, sort_keys=True))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro-replay-resume-driver")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    build = commands.add_parser("build-toy")
+    build.add_argument("directory")
+
+    run = commands.add_parser("run")
+    run.add_argument("--bundle", required=True)
+    run.add_argument("--out", required=True)
+    run.add_argument("--workers", type=int, default=1)
+    run.add_argument("--engine", default="auto")
+    run.add_argument("--checkpoint-dir", default=None)
+    run.add_argument("--checkpoint-every", type=int, default=None)
+    run.add_argument("--resume", action="store_true")
+    run.add_argument("--kill-at", type=int, default=None)
+    run.add_argument("--kill-flag", default=None)
+    run.add_argument("--invocations", type=int, default=100)
+    run.add_argument("--max-per-function", type=int, default=60)
+    run.add_argument("--seed", type=int, default=5)
+    run.add_argument("--plain", action="store_true")
+
+    args = parser.parse_args(argv)
+    if args.command == "build-toy":
+        return _cmd_build_toy(args)
+    return _cmd_run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

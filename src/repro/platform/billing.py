@@ -51,6 +51,28 @@ class BillingLedger:
         """Record a throttled request: it appears in the book, costs nothing."""
         self.bill_for(function).throttles += 1
 
+    # -- checkpointing -----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-safe per-function bill state (floats round-trip exactly)."""
+        return {
+            name: {
+                "invocation_cost": bill.invocation_cost,
+                "snapstart_restore_cost": bill.snapstart_restore_cost,
+                "snapstart_cache_cost": bill.snapstart_cache_cost,
+                "invocations": bill.invocations,
+                "cold_starts": bill.cold_starts,
+                "throttles": bill.throttles,
+            }
+            for name, bill in self.bills.items()
+        }
+
+    def restore(self, state: dict) -> None:
+        self.bills = {
+            name: FunctionBill(function=name, **fields)
+            for name, fields in state.items()
+        }
+
     def reconcile(self, records) -> None:
         """Assert the ledger matches per-record statuses *exactly*.
 

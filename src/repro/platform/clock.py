@@ -34,5 +34,14 @@ class VirtualClock:
             self._now = timestamp
         return self._now
 
+    # -- checkpointing -----------------------------------------------------
+
+    def snapshot(self) -> float:
+        """Current instant, JSON-safe (floats round-trip bit-exactly)."""
+        return self._now
+
+    def restore(self, state: float) -> None:
+        self._now = float(state)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"VirtualClock(t={self._now:.3f}s)"

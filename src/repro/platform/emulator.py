@@ -21,7 +21,6 @@ Lambda:
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -31,6 +30,7 @@ from repro.errors import FunctionNotFound, PlatformError
 from repro.obs import get_recorder
 from repro.obs.attribution import AttributionStore, attribute_cold_start
 from repro.platform.billing import BillingLedger
+from repro.platform.checkpoint import SerialCounter
 from repro.platform.clock import VirtualClock
 from repro.platform.faults import FaultInjector, FaultPlan
 from repro.platform.hosts import HostConfig, HostPool
@@ -72,8 +72,8 @@ class DeployedFunction:
     #: Per-function instance-id sequence.  Ids depend only on this
     #: function's own cold-start history, so a fleet replay that shards
     #: functions across processes logs identical ids at any worker count.
-    instance_seq: itertools.count = field(
-        default_factory=lambda: itertools.count(1), repr=False
+    instance_seq: SerialCounter = field(
+        default_factory=lambda: SerialCounter(1), repr=False
     )
     #: Deploy-time cache of ``(instance_init_s, transmission_s)``: the
     #: overhead is a pure function of the bundle manifest and the
@@ -173,7 +173,7 @@ class LambdaEmulator:
         # _cold_start for the record finisher to price.
         self._pending_cold: tuple | None = None
         self._functions: dict[str, DeployedFunction] = {}
-        self._request_ids = itertools.count(1)
+        self._request_ids = SerialCounter(1)
         # Batched observability counters for the disabled-recorder fast
         # path: _emit_telemetry folds into these plain floats/dicts and
         # flush_obs() publishes the totals in one burst.
@@ -290,16 +290,19 @@ class LambdaEmulator:
         else:
             instance = function.warm_instance(now, self.keep_alive_s)
             if instance is not None:
+                # Float zeros: warm records must carry the same field types
+                # as cold ones, or exports that serialize the record object
+                # directly (dead letters) differ from the columnar log.
                 record = self._run(
                     function,
                     instance,
                     event,
                     context,
                     StartType.WARM,
-                    0,
-                    0,
-                    0,
-                    0,
+                    0.0,
+                    0.0,
+                    0.0,
+                    0.0,
                     arrival=now,
                 )
                 served = instance

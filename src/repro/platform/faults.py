@@ -246,6 +246,23 @@ class FaultInjector:
     def _count(self, kind: str) -> None:
         self.injected[kind] += 1
 
+    # -- checkpointing -----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-safe RNG position + injection counters."""
+        from repro.platform.checkpoint import rng_state_to_json
+
+        return {
+            "rng": rng_state_to_json(self._rng.getstate()),
+            "injected": dict(self.injected),
+        }
+
+    def restore(self, state: dict) -> None:
+        from repro.platform.checkpoint import rng_state_from_json
+
+        self._rng.setstate(rng_state_from_json(state["rng"]))
+        self.injected = {k: int(v) for k, v in state["injected"].items()}
+
     def throttled(self, function: str, now: float) -> bool:
         """Should this request be rejected with a throttle?"""
         for outage in self.plan.outages:

@@ -37,6 +37,16 @@ baseline the throughput benchmark compares against.  SLO rules are
 evaluated once, on the merged windows, in the same order a live
 :class:`~repro.platform.telemetry.TelemetrySink` finalizes them.
 
+With ``checkpoint_dir`` set the fleet replay is **kill-and-resume
+safe**: workers snapshot their engine state every ``checkpoint_every``
+served attempts (see :mod:`repro.platform.checkpoint`), the parent
+supervises the pool and automatically resumes shards whose worker dies
+mid-replay, and a crashed *parent* can be resumed with ``resume=True``.
+Because each function's checkpoint pins every RNG, counter, and running
+float sum, the merged exports are byte-identical to an uninterrupted
+same-seed run no matter where the kill landed — the only cost is
+re-executing the invocations since the dead shard's last checkpoint.
+
 Not supported here: fallback managers (their breaker couples functions
 through shared mutable state, the one thing sharding forbids) — chaos
 runs that need self-healing keep using ``TraceReplayer`` directly.
@@ -48,24 +58,27 @@ import heapq
 import json
 import multiprocessing
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import nullcontext
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Any, Iterable
 
 from repro.bundle import AppBundle
+from repro.core.journal import atomic_write_lines
 from repro.errors import PlatformError
 from repro.obs import InMemoryRecorder, get_recorder, use_recorder
 from repro.obs.attribution import AttributionStore
 from repro.platform.billing import BillingLedger, FunctionBill
+from repro.platform.checkpoint import ReplayCheckpoint, sweep_stale
 from repro.platform.emulator import DEFAULT_KEEP_ALIVE_S, LambdaEmulator
 from repro.platform.faults import FaultPlan
 from repro.platform.hosts import HostConfig
 from repro.platform.kernel import KernelReplayer, TemplateStore
-from repro.platform.logs import ExecutionLog, iter_jsonl
+from repro.platform.logs import ExecutionLog, InvocationRecord, iter_jsonl
 from repro.platform.replay import TraceReplayer
-from repro.platform.retry import RetryPolicy
+from repro.platform.retry import DeadLetter, RetryPolicy
 from repro.platform.slo import FLEET, SloPolicy, SloRule
 from repro.platform.telemetry import FleetReport, TelemetrySink, WindowRollup
 from repro.traces.fleet import FleetTrace
@@ -121,6 +134,12 @@ class FleetReplayResult:
     #: ``hosts``).
     dead_letters: Path | None = None
     host_stats: dict[str, dict[str, Any]] | None = None
+    #: Shard executions that adopted on-disk checkpoint state (supervisor
+    #: restarts plus ``resume=True`` adoptions) and the invocations that
+    #: had to run twice because they landed past a dead worker's last
+    #: checkpoint.  Both zero on an uninterrupted run.
+    resumed_shards: int = 0
+    reexecuted_invocations: int = 0
 
     @property
     def arrivals(self) -> int:
@@ -181,6 +200,15 @@ def _replay_one(
     return payload
 
 
+def _count_rows(path: Path) -> int:
+    """Rows in a JSONL file, counting a torn final line as one row."""
+    data = path.read_bytes()
+    rows = data.count(b"\n")
+    if data and not data.endswith(b"\n"):
+        rows += 1
+    return rows
+
+
 def _replay_one_inner(
     bundle: AppBundle,
     name: str,
@@ -188,6 +216,41 @@ def _replay_one_inner(
     cfg: dict,
     store: TemplateStore | None = None,
 ) -> dict:
+    checkpoint: ReplayCheckpoint | None = None
+    resume_state: dict | None = None
+    if cfg.get("checkpoint_dir") is not None:
+        checkpoint = ReplayCheckpoint(
+            Path(cfg["checkpoint_dir"]), name, every=cfg.get("checkpoint_every")
+        )
+    resuming = checkpoint is not None and bool(cfg.get("resume"))
+    if resuming:
+        done = checkpoint.load_done()
+        if done is not None:
+            # The function finished before the crash: its spill and
+            # profile exports were durable before the done marker was
+            # written, so the recorded payload is adopted wholesale
+            # instead of replaying anything.
+            checkpoint.clear()
+            payload = dict(done)
+            payload["stats"] = FunctionReplayStats(**payload["stats"])
+            if payload.get("dead_letters"):
+                # Re-canonicalize: the done file stores JSON with sorted
+                # keys, but the export contract is ``DeadLetter.to_dict``
+                # field order — byte-identical to an uninterrupted run.
+                payload["dead_letters"] = [
+                    DeadLetter(
+                        function=item["function"],
+                        arrival=float(item["arrival"]),
+                        attempts=tuple(
+                            InvocationRecord.from_dict(record)
+                            for record in item["attempts"]
+                        ),
+                    ).to_dict()
+                    for item in payload["dead_letters"]
+                ]
+            payload["resumed"] = True
+            return payload
+        resume_state = checkpoint.load()
     # Workers never build "*" rollups: the parent rebuilds the fleet
     # windows deterministically in _merge_report, so per-record fleet
     # tracking in the worker is pure waste.
@@ -195,9 +258,16 @@ def _replay_one_inner(
         window_s=cfg["window_s"], subbuckets=cfg["subbuckets"], track_fleet=False
     )
     log_path: Path | None = None
+    reexecuted_orphan = 0
     if cfg["log_dir"] is not None:
         log_path = Path(cfg["log_dir"]) / f"{name}.jsonl"
-        if log_path.exists():
+        # On resume the spill is the journal being resumed: the engine
+        # truncates it to the checkpoint watermark.  A spill with no
+        # checkpoint means the worker died before its first snapshot —
+        # every row it wrote is about to run again.
+        if log_path.exists() and resume_state is None:
+            if resuming:
+                reexecuted_orphan = _count_rows(log_path)
             log_path.unlink()
         log = ExecutionLog(spill_threshold=cfg["spill_threshold"], spill_path=log_path)
     else:
@@ -234,14 +304,24 @@ def _replay_one_inner(
             )
     if use_kernel:
         result = KernelReplayer(emulator, store).replay(
-            name, list(timestamps), cfg["event"], retry=cfg["retry"]
+            name,
+            list(timestamps),
+            cfg["event"],
+            retry=cfg["retry"],
+            checkpoint=checkpoint,
+            resume_state=resume_state,
         )
         requests = result.requests
         dead_letters = result.dead_letters
         dead_letter_list = result.dead_letter_list
     else:
         result = TraceReplayer(emulator).replay(
-            name, list(timestamps), cfg["event"], retry=cfg["retry"]
+            name,
+            list(timestamps),
+            cfg["event"],
+            retry=cfg["retry"],
+            checkpoint=checkpoint,
+            resume_state=resume_state,
         )
         requests = len(result.requests)
         dead_letters = len(result.dead_letters)
@@ -256,7 +336,7 @@ def _replay_one_inner(
         attribution.write_jsonl(profile_path)
     emulator.function(name).discard_instances()
     bill = emulator.ledger.bill_for(name)
-    return {
+    payload = {
         "function": name,
         "windows": [w.to_dict() for w in sink.rollups(name)],
         "bill": {
@@ -291,7 +371,18 @@ def _replay_one_inner(
             if cfg.get("dead_letters")
             else None
         ),
+        "resumed": resume_state is not None,
+        "reexecuted": result.reexecuted + reexecuted_orphan,
     }
+    if checkpoint is not None:
+        # Durable completion marker: written only after the spill and the
+        # profile spool above, so a resume that finds it can trust every
+        # export it names.  A crash between those writes and this one
+        # leaves the mid-trace ckpt in place and the function resumes.
+        done_payload = dict(payload)
+        done_payload["stats"] = asdict(payload["stats"])
+        checkpoint.write_done(done_payload)
+    return payload
 
 
 def _replay_shard(payload: dict) -> list[dict]:
@@ -418,9 +509,13 @@ def _merge_logs(shards: list[tuple[str, Path]], destination: Path) -> Path:
 
     destination.parent.mkdir(parents=True, exist_ok=True)
     streams = [rows(name, path) for name, path in sorted(shards)]
-    with destination.open("w", encoding="utf-8") as out:
-        for _, _, _, line in heapq.merge(*streams):
-            out.write(line if line.endswith("\n") else line + "\n")
+    # Atomic replace: a crash mid-merge leaves the previous export (or
+    # nothing) in place, never a torn half-merge, and the streaming
+    # generator keeps the memory bound of the plain-write version.
+    atomic_write_lines(
+        destination,
+        (line.rstrip("\n") for _, _, _, line in heapq.merge(*streams)),
+    )
     return destination
 
 
@@ -465,6 +560,68 @@ def _pool_context(preferred: str):
     return multiprocessing.get_context()
 
 
+def _run_shards_supervised(
+    payloads: list[dict],
+    cfg: dict,
+    mp_context: str,
+) -> tuple[list[list[dict]], int]:
+    """Run every shard on a process pool, resuming shards whose worker dies.
+
+    A SIGKILLed/OOM-killed worker surfaces as :class:`BrokenProcessPool`
+    on its future (the pool is unusable afterwards).  Completed shards
+    are kept; the dead ones are resubmitted on a fresh pool with
+    ``resume`` set, so each restart continues from the shard's last
+    on-disk checkpoint instead of starting over.  Genuine exceptions
+    raised *by* a shard (not worker death) propagate unchanged — a
+    deterministic error would only recur.  Returns the per-shard results
+    in submission order plus the number of shard resumptions.
+    """
+    pending: dict[int, dict] = dict(enumerate(payloads))
+    results: dict[int, list[dict]] = {}
+    resumed = 0
+    budget = 3 * len(payloads)
+    while pending:
+        with ProcessPoolExecutor(
+            max_workers=len(pending),
+            mp_context=_pool_context(mp_context),
+        ) as pool:
+            futures = {
+                pool.submit(_replay_shard, payload): index
+                for index, payload in pending.items()
+            }
+            # Drain every future even after the pool breaks: shards that
+            # finished before the crash keep their results and are never
+            # re-run.
+            for future in as_completed(futures):
+                index = futures[future]
+                try:
+                    results[index] = future.result()
+                except BrokenProcessPool:
+                    continue
+                pending.pop(index)
+        if not pending:
+            break
+        if cfg.get("checkpoint_dir") is None:
+            raise PlatformError(
+                f"{len(pending)} replay worker(s) died and no checkpoint_dir "
+                "is set; pass checkpoint_dir= to make fleet replay resumable"
+            )
+        resumed += len(pending)
+        if resumed > budget:
+            raise PlatformError(
+                f"replay workers kept dying ({resumed} shard restarts); "
+                "giving up — checkpoints remain on disk for a manual resume"
+            )
+        # A breaking pool terminates its other workers too, so any of
+        # them may have died mid-atomic-write: sweep the temp debris the
+        # same way an explicit --resume entry does.
+        sweep_stale(Path(cfg["checkpoint_dir"]))
+        # cfg is the one dict shared by every payload: flipping it here
+        # makes all resubmitted shards resume from their checkpoints.
+        cfg["resume"] = True
+    return [results[index] for index in range(len(payloads))], resumed
+
+
 def replay_fleet(
     bundle: AppBundle | Path | str,
     trace: FleetTrace,
@@ -489,6 +646,9 @@ def replay_fleet(
     mp_context: str = "fork",
     engine: str = "auto",
     min_shard_invocations: int | None = None,
+    checkpoint_dir: Path | str | None = None,
+    checkpoint_every: int | None = None,
+    resume: bool = False,
 ) -> FleetReplayResult:
     """Replay a multi-function fleet trace; merge deterministically.
 
@@ -537,6 +697,19 @@ def replay_fleet(
     attempt history) to one JSON-lines file, in sorted-function order —
     byte-identical at any worker count.
 
+    ``checkpoint_dir`` turns the replay into a kill-and-resume run: each
+    worker snapshots its engine state to ``<checkpoint_dir>/<function>.
+    ckpt.json`` every ``checkpoint_every`` served attempts (default 1000)
+    and drops a ``.done.json`` payload when a function completes.  The
+    parent supervises the pool: a worker killed mid-shard (SIGKILL, OOM,
+    spot loss) is detected and its shard resubmitted with resume
+    semantics, so only the invocations since the last checkpoint run
+    twice.  ``resume=True`` does the same after the *parent* died —
+    completed functions are adopted from their done payloads, partial
+    ones continue from their checkpoints, and stale atomic-write temp
+    debris is swept first.  Either way the merged exports stay
+    byte-identical to an uninterrupted same-seed run.
+
     ``min_shard_invocations`` guards against the parallel-slowdown
     regime: when set, the shard count is capped so every worker receives
     at least that many invocations — below the break-even point (see
@@ -573,12 +746,22 @@ def replay_fleet(
         raise PlatformError(
             "replay_fleet takes a HostConfig (picklable), not a HostPool"
         )
+    if checkpoint_every is not None and checkpoint_dir is None:
+        raise PlatformError("checkpoint_every requires checkpoint_dir")
+    if resume and checkpoint_dir is None:
+        raise PlatformError("resume requires checkpoint_dir")
+    if checkpoint_dir is not None and checkpoint_every is None:
+        checkpoint_every = 1000
     bundle_root = bundle.root if isinstance(bundle, AppBundle) else Path(bundle)
     policy = slos if isinstance(slos, SloPolicy) else SloPolicy(list(slos))
     if log_dir is not None:
         Path(log_dir).mkdir(parents=True, exist_ok=True)
     if profile_dir is not None:
         Path(profile_dir).mkdir(parents=True, exist_ok=True)
+    if checkpoint_dir is not None:
+        Path(checkpoint_dir).mkdir(parents=True, exist_ok=True)
+        if resume:
+            sweep_stale(Path(checkpoint_dir))
 
     cfg = {
         "event": event,
@@ -595,6 +778,9 @@ def replay_fleet(
         "spill_threshold": spill_threshold,
         "verify_ledger": verify_ledger,
         "engine": engine,
+        "checkpoint_dir": str(checkpoint_dir) if checkpoint_dir is not None else None,
+        "checkpoint_every": checkpoint_every,
+        "resume": resume,
         # Captured at call time: workers spool obs counters only when the
         # caller actually has a live recorder to fold them into.
         "spool_obs": get_recorder().enabled,
@@ -627,16 +813,30 @@ def replay_fleet(
     ) as span:
         if workers == 1 or len(payloads) == 1:
             shard_results = [_replay_shard(payload) for payload in payloads]
+            supervisor_resumes = 0
         else:
-            with ProcessPoolExecutor(
-                max_workers=len(payloads),
-                mp_context=_pool_context(mp_context),
-            ) as pool:
-                shard_results = list(pool.map(_replay_shard, payloads))
+            shard_results, supervisor_resumes = _run_shards_supervised(
+                payloads, cfg, mp_context
+            )
         wall_s = time.perf_counter() - started
 
         results = [r for shard in shard_results for r in shard]
         results.sort(key=lambda r: r["function"])
+
+        # Resume accounting: supervisor restarts, plus — when the caller
+        # asked to resume a crashed parent — every shard that actually
+        # adopted on-disk state.  Purely informational; never exported
+        # (FleetReport.save drops meta["resume"] to keep dashboards
+        # byte-identical across crash histories).
+        reexecuted_invocations = sum(r.get("reexecuted", 0) for r in results)
+        resumed_shards = supervisor_resumes
+        if resume:
+            adopted = {r["function"] for r in results if r.get("resumed")}
+            resumed_shards += sum(
+                1
+                for payload in payloads
+                if any(fn in adopted for fn, _ in payload["functions"])
+            )
 
         # Fold worker obs counters back into the caller's recorder in
         # sorted-function order (results are sorted above): totals are
@@ -651,6 +851,11 @@ def replay_fleet(
                 recorder.gauge_max(gauge_name, value)
 
         report = _merge_report(results, window_s=float(window_s), policy=policy)
+        if checkpoint_dir is not None:
+            report.meta["resume"] = {
+                "resumed_shards": resumed_shards,
+                "reexecuted_invocations": reexecuted_invocations,
+            }
         host_stats: dict[str, dict[str, Any]] | None = None
         if hosts is not None:
             # Aggregate per-function pools in sorted-function order.
@@ -690,13 +895,13 @@ def replay_fleet(
             # export is byte-identical at any worker count.
             dead_letters_path = Path(dead_letters)
             dead_letters_path.parent.mkdir(parents=True, exist_ok=True)
-            total_dead = 0
-            with dead_letters_path.open("w", encoding="utf-8") as out:
-                for result in results:
-                    for letter in result["dead_letters"] or ():
-                        out.write(json.dumps(letter) + "\n")
-                        total_dead += 1
-            report.meta["dead_letters"] = total_dead
+            letters = [
+                json.dumps(letter)
+                for result in results
+                for letter in result["dead_letters"] or ()
+            ]
+            atomic_write_lines(dead_letters_path, letters)
+            report.meta["dead_letters"] = len(letters)
         ledger = BillingLedger()
         stats: dict[str, FunctionReplayStats] = {}
         log_paths: dict[str, Path] = {}
@@ -750,4 +955,6 @@ def replay_fleet(
         merged_profiles=merged_profiles_path,
         dead_letters=dead_letters_path,
         host_stats=host_stats,
+        resumed_shards=resumed_shards,
+        reexecuted_invocations=reexecuted_invocations,
     )

@@ -53,13 +53,13 @@ the per-shard host-pool caveat).
 
 from __future__ import annotations
 
-import itertools
 import random
 from dataclasses import dataclass
 from math import ceil, inf
 from typing import TYPE_CHECKING, Any
 
 from repro.errors import PlatformError
+from repro.platform.checkpoint import SerialCounter
 from repro.platform.faults import HostFault
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -195,7 +195,7 @@ class HostPool:
         self._fault_pos = 0
         self._entries: dict[str, _Entry] = {}
         self._footprints: dict[str, float] = {}
-        self._seq = itertools.count()
+        self._seq = SerialCounter()
         self._capacity_mb = config.memory_mb * config.count
         self._used_mb = 0.0
         # Counters surfaced via stats_dict() / the dashboard hosts panel.
@@ -230,6 +230,107 @@ class HostPool:
             "capacity_throttles": self.capacity_throttles,
             "peak_util": self.peak_util,
         }
+
+    # ------------------------------------------------------------------
+    # checkpointing
+
+    def snapshot(self) -> dict:
+        """JSON-safe dynamic pool state for kill-and-resume replay.
+
+        Static structure — host count/capacity, the resolved fault
+        schedule, and each host's ``crash_at`` — is re-derived identically
+        at construction from (config, host_faults, seed), so only the
+        mutable side is captured: per-host occupancy/liveness, placement
+        entries (by instance id; the instance objects themselves are
+        re-bound by the engine on restore), footprints, the fault cursor,
+        and the counters.  Non-finite floats (``busy_until`` starts at
+        ``-inf``) are encoded as strings.
+        """
+
+        def _num(value: float) -> float | str:
+            return value if value == value and abs(value) != inf else repr(value)
+
+        return {
+            "hosts": [[host.used_mb, host.alive] for host in self.hosts],
+            "entries": [
+                [
+                    instance_id,
+                    entry.function,
+                    entry.host.index,
+                    entry.reserved_mb,
+                    _num(entry.busy_until),
+                    entry.seq,
+                ]
+                for instance_id, entry in self._entries.items()
+            ],
+            "footprints": dict(self._footprints),
+            "fault_pos": self._fault_pos,
+            "seq": self._seq.value,
+            "used_mb": self._used_mb,
+            "capacity_mb": self._capacity_mb,
+            "placements": self.placements,
+            "evictions": self.evictions,
+            "host_crashes": self.host_crashes,
+            "spot_reclaims": self.spot_reclaims,
+            "instances_lost": self.instances_lost,
+            "capacity_throttles": self.capacity_throttles,
+            "peak_util": self.peak_util,
+        }
+
+    def restore(
+        self,
+        state: dict,
+        instances: dict[str, Any],
+        owners: dict[str, list | None],
+    ) -> None:
+        """Adopt a :meth:`snapshot` into this freshly constructed pool.
+
+        *instances* maps instance id to the restored instance object for
+        every placed entry; *owners* maps instance id to the
+        ``function.instances`` list the instance lives in (``None`` for
+        unowned).  The pool must have been built with the same config,
+        fault schedule, and seed as the snapshotting one.
+        """
+
+        def _denum(value: Any) -> float:
+            return float(value)
+
+        for host, (used_mb, alive) in zip(self.hosts, state["hosts"]):
+            host.used_mb = float(used_mb)
+            host.alive = bool(alive)
+            host.entries = {}
+        self._entries = {}
+        for instance_id, function, host_index, reserved, busy, seq in state[
+            "entries"
+        ]:
+            instance = instances[instance_id]
+            host = self.hosts[int(host_index)]
+            entry = _Entry(
+                instance,
+                function,
+                host,
+                float(reserved),
+                _denum(busy),
+                int(seq),
+                owners.get(instance_id),
+            )
+            self._entries[instance_id] = entry
+            host.entries[instance_id] = entry
+            instance.host_id = host.host_id
+        self._footprints = {
+            name: float(mb) for name, mb in state["footprints"].items()
+        }
+        self._fault_pos = int(state["fault_pos"])
+        self._seq.value = int(state["seq"])
+        self._used_mb = float(state["used_mb"])
+        self._capacity_mb = float(state["capacity_mb"])
+        self.placements = int(state["placements"])
+        self.evictions = int(state["evictions"])
+        self.host_crashes = int(state["host_crashes"])
+        self.spot_reclaims = int(state["spot_reclaims"])
+        self.instances_lost = int(state["instances_lost"])
+        self.capacity_throttles = int(state["capacity_throttles"])
+        self.peak_util = float(state["peak_util"])
 
     def _emit(self, function: str, kind: str, arrival: float) -> None:
         util = self.util()

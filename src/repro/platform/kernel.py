@@ -58,13 +58,18 @@ fallback carries the host semantics unchanged.
 from __future__ import annotations
 
 import heapq
-import itertools
 import json
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
-from repro.errors import PlatformError
+from repro.errors import CheckpointError, PlatformError
 from repro.obs import get_recorder
+from repro.platform.checkpoint import (
+    ReplayCheckpoint,
+    SerialCounter,
+    restore_platform_state,
+    snapshot_platform_state,
+)
 from repro.platform.emulator import DeployedFunction, LambdaEmulator
 from repro.platform.instance import FunctionInstance
 from repro.platform.logs import (
@@ -339,6 +344,9 @@ class KernelResult:
     total_cost: float = 0.0
     peak_concurrency: int = 0
     dead_letter_list: list[DeadLetter] = field(default_factory=list)
+    #: Attempts re-served after a crash-resume because they fell past the
+    #: last checkpoint's durable watermark (0 on uninterrupted runs).
+    reexecuted: int = 0
 
     @property
     def dead_letters(self) -> int:
@@ -375,7 +383,7 @@ class KernelReplayer:
         # (freed-at, shadow); one stale top expires the whole stack.
         self._busy: list[tuple[float, int, _Shadow]] = []
         self._idle: list[tuple[float, _Shadow]] = []
-        self._seq = itertools.count()
+        self._seq = SerialCounter()
         self._adopted = False
         self._name: str | None = None
         # Pricing caches keyed on exact float bits: the billed-duration
@@ -398,6 +406,8 @@ class KernelReplayer:
         context: Any = None,
         *,
         retry: RetryPolicy | None = None,
+        checkpoint: ReplayCheckpoint | None = None,
+        resume_state: dict | None = None,
     ) -> KernelResult:
         """Drive *arrivals* through the function on the kernel path.
 
@@ -405,6 +415,17 @@ class KernelReplayer:
         telemetry — are byte-identical to
         :meth:`TraceReplayer.replay <repro.platform.replay.TraceReplayer
         .replay>` without a fallback manager.
+
+        With a *checkpoint*, the full replay state is snapshotted every
+        ``checkpoint.every`` served attempts once the template is ready
+        (capture-phase attempts run real instances, which only the
+        reference snapshot format covers — the kernel waits for
+        synthesis before its first write).  Passing a loaded snapshot
+        back as *resume_state* continues exactly where it was taken:
+        the fresh shard's empty :class:`TemplateStore` is repopulated by
+        re-capturing the (bundle, event) templates on a scratch instance
+        outside the clock, and every pool shadow resumes as a pure
+        synthesized meter.
         """
         previous = float("-inf")
         for arrival_time in arrivals:
@@ -452,13 +473,22 @@ class KernelReplayer:
         result = KernelResult(arrivals=len(arrivals))
         arrival_times: list[float] = []
         completion_times: list[float] = []
+        start_index = 0
+        heap: list[tuple[float, int, int]] | None = None
+        failed_attempts: dict[int, list[InvocationRecord]] = {}
+        if resume_state is not None:
+            start_index, heap, failed_attempts = self._restore_state(
+                arrivals, session, result, arrival_times, completion_times,
+                resume_state,
+            )
 
         with recorder.span(
             "replay.run", label=function_name, arrivals=len(arrivals)
         ) as span:
             if session is None:
                 serve = self._serve
-                for t in arrivals:
+                for index in range(start_index, len(arrivals)):
+                    t = arrivals[index]
                     status, start, completion, cost, _ = serve(t, False)
                     result.attempts += 1
                     if status == _S_THROTTLED:
@@ -473,9 +503,22 @@ class KernelReplayer:
                     result.total_cost += cost
                     arrival_times.append(t)
                     completion_times.append(completion)
+                    if (
+                        checkpoint is not None
+                        and checkpoint.tick()
+                        and self._entry.ready
+                    ):
+                        checkpoint.write(
+                            self._snapshot_state(
+                                result, None, index + 1, None, None,
+                                arrival_times, completion_times,
+                            )
+                        )
             else:
                 self._replay_with_retries(
-                    arrivals, session, result, arrival_times, completion_times
+                    arrivals, session, result, arrival_times, completion_times,
+                    checkpoint=checkpoint, heap=heap,
+                    failed_attempts=failed_attempts,
                 )
 
             emulator.flush_obs()
@@ -512,16 +555,20 @@ class KernelReplayer:
         result: KernelResult,
         arrival_times: list[float],
         completion_times: list[float],
+        *,
+        checkpoint: ReplayCheckpoint | None = None,
+        heap: list[tuple[float, int, int]] | None = None,
+        failed_attempts: dict[int, list[InvocationRecord]] | None = None,
     ) -> None:
         """The retry timeline: a heap of pending attempts, as in the
         reference engine.  Failed attempts materialise real records (the
         retry policy and dead letters consume them); successes stay on
         the record-free fast path."""
-        heap: list[tuple[float, int, int]] = [
-            (t, seq, 1) for seq, t in enumerate(arrivals)
-        ]
-        heapq.heapify(heap)
-        failed_attempts: dict[int, list[InvocationRecord]] = {}
+        if heap is None:
+            heap = [(t, seq, 1) for seq, t in enumerate(arrivals)]
+            heapq.heapify(heap)
+        if failed_attempts is None:
+            failed_attempts = {}
         while heap:
             t, seq, attempt = heapq.heappop(heap)
             status, start, completion, cost, record = self._serve(t, True)
@@ -539,22 +586,348 @@ class KernelReplayer:
                 result.total_cost += cost
                 arrival_times.append(arrivals[seq])
                 completion_times.append(completion)
-                continue
-            history = failed_attempts.setdefault(seq, [])
-            history.append(record)
-            if session.should_retry(record, attempt):
-                delay = session.next_delay_s(attempt)
-                heapq.heappush(heap, (completion + delay, seq, attempt + 1))
-                result.retries += 1
             else:
-                failed_attempts.pop(seq, None)
-                result.dead_letter_list.append(
-                    DeadLetter(
-                        function=self._name,
-                        arrival=arrivals[seq],
-                        attempts=tuple(history),
+                history = failed_attempts.setdefault(seq, [])
+                history.append(record)
+                if session.should_retry(record, attempt):
+                    delay = session.next_delay_s(attempt)
+                    heapq.heappush(heap, (completion + delay, seq, attempt + 1))
+                    result.retries += 1
+                else:
+                    failed_attempts.pop(seq, None)
+                    result.dead_letter_list.append(
+                        DeadLetter(
+                            function=self._name,
+                            arrival=arrivals[seq],
+                            attempts=tuple(history),
+                        )
+                    )
+            if (
+                checkpoint is not None
+                and checkpoint.tick()
+                and self._entry.ready
+            ):
+                checkpoint.write(
+                    self._snapshot_state(
+                        result, session, None, heap, failed_attempts,
+                        arrival_times, completion_times,
                     )
                 )
+
+    # -- checkpointing -----------------------------------------------------
+
+    def _snapshot_state(
+        self,
+        result: KernelResult,
+        session,
+        cursor: int | None,
+        heap: list[tuple[float, int, int]] | None,
+        failed_attempts: dict[int, list[InvocationRecord]] | None,
+        arrival_times: list[float],
+        completion_times: list[float],
+    ) -> dict:
+        """Everything needed to resume this kernel replay, JSON-safe.
+
+        Only taken once the template is ready, so every shadow —
+        including capture-phase ones still backed by a real instance —
+        serializes as a pure simulated meter: once synthesis is on, the
+        real interpreter behind an adopted shadow is never consulted
+        again, and ``_kill`` tolerates ``real=None``.
+        """
+        by_container: dict[int, _Shadow] = {}
+        for _, _, shadow in self._busy:
+            by_container[id(shadow.container)] = shadow
+        for _, shadow in self._idle:
+            by_container[id(shadow.container)] = shadow
+        items = []
+        seen: set[str] = set()
+        for element in self._function.instances:
+            shadow = (
+                element
+                if isinstance(element, _Shadow)
+                else by_container.get(id(element))
+            )
+            if shadow is None:
+                # An adopted real instance the pool already dropped (idle
+                # expiry without a host layer): never serves again, but
+                # list membership is behaviour, so keep a pure stand-in.
+                shadow = self._wrap(element)
+            seen.add(shadow.instance_id)
+            items.append(self._shadow_state(shadow, owned=True))
+        for _, _, shadow in self._busy:
+            if shadow.instance_id not in seen:
+                seen.add(shadow.instance_id)
+                items.append(self._shadow_state(shadow, owned=False))
+        for _, shadow in self._idle:
+            if shadow.instance_id not in seen:
+                seen.add(shadow.instance_id)
+                items.append(self._shadow_state(shadow, owned=False))
+        hosts = self._hosts
+        return {
+            "engine": "kernel",
+            "function": self._name,
+            "arrivals": result.arrivals,
+            "mode": "fast" if session is None else "retry",
+            "cursor": cursor,
+            "heap": [[t, seq, attempt] for t, seq, attempt in heap]
+            if heap is not None
+            else None,
+            "failed": {
+                str(seq): [record.to_dict() for record in records]
+                for seq, records in failed_attempts.items()
+            }
+            if failed_attempts is not None
+            else None,
+            "session": session.snapshot() if session is not None else None,
+            "platform": snapshot_platform_state(self.emulator, self._function),
+            "hosts": hosts.snapshot() if hosts is not None else None,
+            "instances": items,
+            "pool": {
+                "busy": [
+                    [until, seq, shadow.instance_id]
+                    for until, seq, shadow in self._busy
+                ],
+                "idle": [
+                    [freed_at, shadow.instance_id]
+                    for freed_at, shadow in self._idle
+                ],
+                "seq": self._seq.value,
+            },
+            "times": {
+                "arrivals": list(arrival_times),
+                "completions": list(completion_times),
+            },
+            "result": {
+                "requests": result.requests,
+                "delivered": result.delivered,
+                "attempts": result.attempts,
+                "retries": result.retries,
+                "throttled": result.throttled,
+                "fallbacks": result.fallbacks,
+                "cold_starts": result.cold_starts,
+                "warm_starts": result.warm_starts,
+                "total_cost": result.total_cost,
+                "dead_letters": [
+                    dl.to_dict() for dl in result.dead_letter_list
+                ],
+            },
+        }
+
+    @staticmethod
+    def _shadow_state(shadow: _Shadow, *, owned: bool) -> dict:
+        return {
+            "instance_id": shadow.instance_id,
+            "owned": owned,
+            "alive": shadow.alive,
+            "t": shadow.t,
+            "live": shadow.live,
+            "peak": shadow.peak,
+            "invocations": shadow.invocations,
+            "host_id": shadow.host_id,
+        }
+
+    @staticmethod
+    def _shadow_from_state(item: dict) -> _Shadow:
+        shadow = _Shadow(
+            item["instance_id"],
+            t=float(item["t"]),
+            live=float(item["live"]),
+            peak=float(item["peak"]),
+        )
+        shadow.invocations = int(item["invocations"])
+        shadow.alive = bool(item["alive"])
+        shadow.host_id = item["host_id"]
+        return shadow
+
+    def _restore_state(
+        self,
+        arrivals: list[float],
+        session,
+        result: KernelResult,
+        arrival_times: list[float],
+        completion_times: list[float],
+        state: dict,
+    ) -> tuple[int, list[tuple[float, int, int]] | None, dict]:
+        """Adopt a :meth:`_snapshot_state` dict; returns the loop cursor."""
+        if state.get("engine") != "kernel":
+            raise CheckpointError(
+                f"checkpoint was written by the {state.get('engine')!r} "
+                "engine; cannot resume with the KernelReplayer"
+            )
+        if state.get("function") != self._name:
+            raise CheckpointError(
+                f"checkpoint is for {state.get('function')!r}, "
+                f"not {self._name!r}"
+            )
+        if state.get("arrivals") != len(arrivals):
+            raise CheckpointError(
+                f"checkpoint covers {state.get('arrivals')} arrivals but the "
+                f"trace has {len(arrivals)}: trace changed since the snapshot"
+            )
+        mode = "fast" if session is None else "retry"
+        if state.get("mode") != mode:
+            raise CheckpointError(
+                "retry configuration changed since the checkpoint was written"
+            )
+        emulator = self.emulator
+        result.reexecuted = restore_platform_state(
+            emulator, self._function, state["platform"]
+        )
+        # The ledger restore replaced every FunctionBill object; re-bind
+        # the incremental reference _emit charges against.
+        self._bill = emulator.ledger.bill_for(self._name)
+        if not self._entry.ready:
+            self._recapture_templates()
+
+        by_id: dict[str, _Shadow] = {}
+        owners: dict[str, list | None] = {}
+        self._function.instances.clear()
+        for item in state["instances"]:
+            shadow = self._shadow_from_state(item)
+            by_id[shadow.instance_id] = shadow
+            if item["owned"]:
+                self._function.instances.append(shadow)
+                owners[shadow.instance_id] = self._function.instances
+            else:
+                owners[shadow.instance_id] = None
+
+        hosts = self._hosts
+        if hosts is not None:
+            if state["hosts"] is None:
+                raise CheckpointError(
+                    "checkpoint has no host-pool state but a host pool is "
+                    "configured"
+                )
+            hosts.restore(state["hosts"], by_id, owners)
+        elif state["hosts"] is not None:
+            raise CheckpointError(
+                "checkpoint carries host-pool state but no host pool is "
+                "configured"
+            )
+
+        pool = state["pool"]
+        self._seq.value = int(pool["seq"])
+        self._busy = [
+            (float(until), int(seq), by_id[iid]) for until, seq, iid in pool["busy"]
+        ]
+        heapq.heapify(self._busy)
+        self._idle = [
+            (float(freed_at), by_id[iid]) for freed_at, iid in pool["idle"]
+        ]
+        # The snapshotting run already adopted whatever predated it.
+        self._adopted = True
+
+        res = state["result"]
+        result.requests = int(res["requests"])
+        result.delivered = int(res["delivered"])
+        result.attempts = int(res["attempts"])
+        result.retries = int(res["retries"])
+        result.throttled = int(res["throttled"])
+        result.fallbacks = int(res["fallbacks"])
+        result.cold_starts = int(res["cold_starts"])
+        result.warm_starts = int(res["warm_starts"])
+        result.total_cost = float(res["total_cost"])
+        result.dead_letter_list = [
+            DeadLetter(
+                function=item["function"],
+                arrival=float(item["arrival"]),
+                attempts=tuple(
+                    InvocationRecord.from_dict(record)
+                    for record in item["attempts"]
+                ),
+            )
+            for item in res["dead_letters"]
+        ]
+        arrival_times.extend(float(t) for t in state["times"]["arrivals"])
+        completion_times.extend(float(t) for t in state["times"]["completions"])
+
+        if session is not None:
+            session.restore(state["session"])
+        failed = {
+            int(seq): [InvocationRecord.from_dict(record) for record in records]
+            for seq, records in (state["failed"] or {}).items()
+        }
+        start_index = int(state["cursor"]) if state["cursor"] is not None else 0
+        heap = None
+        if state["heap"] is not None:
+            heap = [(float(t), int(s), int(a)) for t, s, a in state["heap"]]
+            heapq.heapify(heap)
+        return start_index, heap, failed
+
+    def _recapture_templates(self) -> None:
+        """Rebuild the (bundle, event) templates on a scratch instance.
+
+        Templates are a pure function of the bundle manifest and the
+        event — deterministic virtual metering is the repo's premise —
+        so a resumed shard, whose per-process :class:`TemplateStore`
+        starts empty, re-derives them without touching any replay state:
+        the scratch instance runs outside the clock, faults, hosts, log,
+        and ledger, exactly one real cold start plus two real warm
+        invocations, mirroring the capture paths.
+        """
+        entry = self._entry
+        function = self._function
+        instance = FunctionInstance(function.name, function.bundle, created_at=0.0)
+        try:
+            init_s = instance.initialize()
+            meter = instance.app.meter
+            modules = (
+                tuple(aggregate_charges(meter.events))
+                if self._attribution is not None
+                else None
+            )
+            init_live = meter.live_mb
+            init_peak = meter.peak_mb
+            output = instance.invoke(self._event, self._context, at=0.0)
+            if entry.cold is None and not entry.disabled:
+                entry.cold = _ColdTemplate(
+                    init_s=init_s,
+                    init_live=init_live,
+                    init_peak=init_peak,
+                    post_t=meter.time_s,
+                    post_live=meter.live_mb,
+                    post_peak=meter.peak_mb,
+                    exec1_s=output.exec_time_s,
+                    value=output.value,
+                    value_key=_value_key(output.value),
+                    error_type=output.error_type,
+                    modules=modules if modules is not None else (),
+                )
+            while entry.warm is None and not entry.disabled:
+                events_before = len(meter.events)
+                live_before = meter.live_mb
+                output = instance.invoke(self._event, self._context, at=0.0)
+                events = meter.events[events_before:]
+                times = tuple(e.time_s for e in events)
+                mems = tuple(e.memory_mb for e in events)
+                live = live_before
+                for mb in mems:
+                    if mb:
+                        live += mb
+                candidate = (times, mems, output.value, output.error_type)
+                if live != meter.live_mb:
+                    entry.disabled = True
+                elif entry.candidate is None:
+                    entry.candidate = candidate
+                elif entry.candidate == candidate:
+                    entry.warm = _WarmTemplate(
+                        times=times,
+                        mems=mems,
+                        has_mem=any(mems),
+                        value=output.value,
+                        value_key=_value_key(output.value),
+                        error_type=output.error_type,
+                    )
+                else:
+                    entry.disabled = True
+        finally:
+            instance.shutdown()
+        if not entry.ready:
+            raise CheckpointError(
+                f"template recapture failed for {function.name!r}: the "
+                "checkpoint was written on the kernel path but the bundle "
+                "no longer verifies"
+            )
 
     # -- serving one attempt ----------------------------------------------
 
@@ -576,6 +949,7 @@ class KernelReplayer:
         if faults is not None and faults.throttled(self._name, t):
             return self._emit_throttle(t, want_record)[:5]
         shadow = self._acquire_warm(t)
+        warm_attempt = shadow is not None
         if shadow is not None:
             entry = self._entry
             if entry.warm is not None and not entry.disabled:
@@ -598,7 +972,16 @@ class KernelReplayer:
             else:
                 out = self._capture_cold(t, want_record, placement)
         shadow = out[5]
-        if hosts is not None and shadow is not None:
+        # The reference engine only feeds the footprint tracker when the
+        # served instance is still owned by the function: a cold start
+        # whose instance crashed mid-execution was already discarded and
+        # never reports a peak (warm crashes do — the instance served
+        # from the pool before dying).
+        if (
+            hosts is not None
+            and shadow is not None
+            and (warm_attempt or shadow.alive)
+        ):
             hosts.adjust(shadow.instance_id, shadow.peak, t)
             hosts.observe_footprint(self._name, shadow.peak)
         if shadow is not None and shadow.alive:

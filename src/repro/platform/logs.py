@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import json
 import math
+import os
 import shutil
 import statistics
 from array import array
@@ -782,6 +783,69 @@ class ExecutionLog:
             self.spill_path.parent.mkdir(parents=True, exist_ok=True)
             self.spill_path.touch()
         return self.spill_path
+
+    # -- checkpointing -----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Durable JSON-safe state for kill-and-resume replay.
+
+        A spill-backed log pushes its in-memory tail to disk and fsyncs
+        the spill first, so the recorded byte offset is a crash-safe
+        watermark: on restore, anything past it (rows appended after this
+        snapshot, including a torn final line) is truncated and
+        re-executed.  A memory-only log snapshots just its incremental
+        aggregates — row payloads are not retained across a resume, which
+        the fleet path never needs (reconciliation and status counts run
+        off the aggregates).
+        """
+        state: dict[str, Any] = {
+            "rows": self._spilled + self._size,
+            "billing": {k: list(v) for k, v in self._billing.items()},
+            "status_totals": {
+                k: dict(v) for k, v in self._status_totals.items()
+            },
+            "cold_costs": dict(self._cold_costs),
+        }
+        if self.spill_path is not None:
+            self.flush_spill()
+            with self.spill_path.open("rb") as handle:
+                os.fsync(handle.fileno())
+            state["offset"] = self.spill_path.stat().st_size
+        else:
+            state["offset"] = None
+        return state
+
+    def restore(self, state: dict) -> int:
+        """Adopt a :meth:`snapshot`; returns re-executed row count.
+
+        The log must be freshly constructed (same ``spill_path`` shape as
+        the snapshotting run).  Spill rows past the snapshot watermark
+        are truncated — they will be re-executed and re-appended.
+        """
+        if (state["offset"] is None) != (self.spill_path is None):
+            raise PlatformError(
+                "checkpointed log and resumed log disagree on spill backing"
+            )
+        reexecuted = 0
+        if self.spill_path is not None:
+            from repro.platform.checkpoint import truncate_spill
+
+            reexecuted = truncate_spill(self.spill_path, state["offset"])
+        self._reset_columns()
+        self._spilled = int(state["rows"])
+        self._billing = {
+            name: [float(entry[0]), int(entry[1]), int(entry[2]),
+                   int(entry[3]), float(entry[4])]
+            for name, entry in state["billing"].items()
+        }
+        self._status_totals = {
+            name: {status: int(count) for status, count in counts.items()}
+            for name, counts in state["status_totals"].items()
+        }
+        self._cold_costs = {
+            name: float(cost) for name, cost in state["cold_costs"].items()
+        }
+        return reexecuted
 
     # -- read side ---------------------------------------------------------
 

@@ -27,13 +27,18 @@ request or one dead letter: nothing is silently lost.
 from __future__ import annotations
 
 import heapq
-import itertools
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.core.fallback import SETUP_OVERHEAD_S, FallbackManager
-from repro.errors import PlatformError
+from repro.errors import CheckpointError, PlatformError
 from repro.obs import get_recorder
+from repro.platform.checkpoint import (
+    ReplayCheckpoint,
+    SerialCounter,
+    restore_platform_state,
+    snapshot_platform_state,
+)
 from repro.platform.emulator import DeployedFunction, LambdaEmulator
 from repro.platform.instance import FunctionInstance
 from repro.platform.logs import InvocationRecord, StartType
@@ -76,6 +81,9 @@ class ReplayResult:
     retries: int = 0
     throttled: int = 0
     fallbacks: int = 0
+    #: Attempts re-served after a crash-resume because they fell past the
+    #: last checkpoint's durable watermark (0 on uninterrupted runs).
+    reexecuted: int = 0
 
     @property
     def cold_starts(self) -> int:
@@ -134,7 +142,7 @@ class TraceReplayer:
         # scan over the instance list.
         self._busy: dict[str, list[tuple[float, int, FunctionInstance]]] = {}
         self._idle: dict[str, list[tuple[float, FunctionInstance]]] = {}
-        self._seq = itertools.count()
+        self._seq = SerialCounter()
 
     def replay(
         self,
@@ -145,6 +153,8 @@ class TraceReplayer:
         *,
         retry: RetryPolicy | None = None,
         fallback: FallbackManager | None = None,
+        checkpoint: ReplayCheckpoint | None = None,
+        resume_state: dict | None = None,
     ) -> ReplayResult:
         """Drive *arrivals* through the function, absorbing failures.
 
@@ -155,6 +165,15 @@ class TraceReplayer:
         *fallback* manager (for this function), trigger errors are served
         by the original function and counted against the manager's
         breaker — which may un-trim the primary mid-replay.
+
+        With a *checkpoint*, the full replay state (platform, warm pool,
+        retry timeline, accumulated result) is snapshotted every
+        ``checkpoint.every`` served attempts; passing a loaded snapshot
+        back as *resume_state* continues exactly where the snapshot was
+        taken, byte-identical to an uninterrupted run.  Checkpointing
+        assumes this replayer serves exactly one function per replayer
+        (the fleet layout) and does not compose with *fallback* — breaker
+        state is not snapshotted.
         """
         # Linear monotonicity scan — sorting a million-arrival copy just
         # to compare it costs more than the check is worth.
@@ -172,7 +191,21 @@ class TraceReplayer:
         session = retry.session() if retry is not None else None
         recorder = get_recorder()
 
+        if (checkpoint is not None or resume_state is not None) and (
+            fallback is not None
+        ):
+            raise CheckpointError(
+                "checkpointed replay does not compose with fallback managers"
+            )
+
         result = ReplayResult(arrivals=len(arrivals))
+        start_index = 0
+        heap: list[tuple[float, int, int]] | None = None
+        failed_attempts: dict[int, list[InvocationRecord]] = {}
+        if resume_state is not None:
+            start_index, heap, failed_attempts = self._restore_state(
+                function, arrivals, session, result, resume_state
+            )
 
         with recorder.span(
             "replay.run", label=function_name, arrivals=len(arrivals)
@@ -183,7 +216,8 @@ class TraceReplayer:
                 # pending-attempt heap entirely.
                 serve = self._serve_attempt
                 requests_append = result.requests.append
-                for arrival in arrivals:
+                for index in range(start_index, len(arrivals)):
+                    arrival = arrivals[index]
                     record, completion = serve(function, arrival, event, context)
                     result.attempts += 1
                     if not record.billed:
@@ -195,17 +229,21 @@ class TraceReplayer:
                             record=record,
                         )
                     )
+                    if checkpoint is not None and checkpoint.tick():
+                        checkpoint.write(
+                            self._snapshot_state(
+                                function, result, None, index + 1, None, None
+                            )
+                        )
                 return self._finish(result, recorder, span)
 
-            # (time, seq, attempt): initial arrivals plus retry re-drives.
-            # Re-drives always land after the attempt that spawned them, so
-            # pops come out in non-decreasing time order and the
-            # warm-instance bookkeeping stays valid.
-            heap: list[tuple[float, int, int]] = [
-                (t, seq, 1) for seq, t in enumerate(arrivals)
-            ]
-            heapq.heapify(heap)
-            failed_attempts: dict[int, list[InvocationRecord]] = {}
+            if heap is None:
+                # (time, seq, attempt): initial arrivals plus retry
+                # re-drives.  Re-drives always land after the attempt that
+                # spawned them, so pops come out in non-decreasing time
+                # order and the warm-instance bookkeeping stays valid.
+                heap = [(t, seq, 1) for seq, t in enumerate(arrivals)]
+                heapq.heapify(heap)
 
             while heap:
                 t, seq, attempt = heapq.heappop(heap)
@@ -244,9 +282,7 @@ class TraceReplayer:
                             used_fallback=True,
                         )
                     )
-                    continue
-
-                if record.ok or session is None:
+                elif record.ok or session is None:
                     failed_attempts.pop(seq, None)
                     result.requests.append(
                         ReplayedRequest(
@@ -256,25 +292,285 @@ class TraceReplayer:
                             attempt=attempt,
                         )
                     )
-                    continue
-
-                history = failed_attempts.setdefault(seq, [])
-                history.append(record)
-                if session.should_retry(record, attempt):
-                    delay = session.next_delay_s(attempt)
-                    heapq.heappush(heap, (completion + delay, seq, attempt + 1))
-                    result.retries += 1
                 else:
-                    failed_attempts.pop(seq, None)
-                    result.dead_letters.append(
-                        DeadLetter(
-                            function=function_name,
-                            arrival=arrival,
-                            attempts=tuple(history),
+                    history = failed_attempts.setdefault(seq, [])
+                    history.append(record)
+                    if session.should_retry(record, attempt):
+                        delay = session.next_delay_s(attempt)
+                        heapq.heappush(heap, (completion + delay, seq, attempt + 1))
+                        result.retries += 1
+                    else:
+                        failed_attempts.pop(seq, None)
+                        result.dead_letters.append(
+                            DeadLetter(
+                                function=function_name,
+                                arrival=arrival,
+                                attempts=tuple(history),
+                            )
+                        )
+
+                if checkpoint is not None and checkpoint.tick():
+                    checkpoint.write(
+                        self._snapshot_state(
+                            function, result, session, None, heap, failed_attempts
                         )
                     )
 
             return self._finish(result, recorder, span)
+
+    # -- checkpointing -----------------------------------------------------
+
+    def _snapshot_state(
+        self,
+        function: DeployedFunction,
+        result: ReplayResult,
+        session,
+        cursor: int | None,
+        heap: list[tuple[float, int, int]] | None,
+        failed_attempts: dict[int, list[InvocationRecord]] | None,
+    ) -> dict:
+        """Everything needed to resume this replay, as one JSON-safe dict.
+
+        Taken at a loop boundary: no attempt is in flight, the emulator's
+        pending-cold stash is consumed, and the log's spill offset marks
+        exactly the rows already durable.
+        """
+        name = function.name
+        busy = self._busy.get(name, [])
+        idle = self._idle.get(name, [])
+        instances = []
+        seen: set[str] = set()
+        # Owned instances first (list order is behaviour: the cold-start
+        # recovery check reads ``function.instances[-1]``), then any pool
+        # entry that was already dropped from the owner list but still
+        # sits in the busy heap / idle stack awaiting lazy discard.
+        for inst in function.instances:
+            seen.add(inst.instance_id)
+            instances.append(self._instance_state(inst, owned=True))
+        for _, _, inst in busy:
+            if inst.instance_id not in seen:
+                seen.add(inst.instance_id)
+                instances.append(self._instance_state(inst, owned=False))
+        for _, inst in idle:
+            if inst.instance_id not in seen:
+                seen.add(inst.instance_id)
+                instances.append(self._instance_state(inst, owned=False))
+        hosts = self.emulator.hosts
+        return {
+            "engine": "reference",
+            "function": name,
+            "arrivals": result.arrivals,
+            "mode": "fast" if session is None else "retry",
+            "cursor": cursor,
+            "heap": [[t, seq, attempt] for t, seq, attempt in heap]
+            if heap is not None
+            else None,
+            "failed": {
+                str(seq): [record.to_dict() for record in records]
+                for seq, records in failed_attempts.items()
+            }
+            if failed_attempts is not None
+            else None,
+            "session": session.snapshot() if session is not None else None,
+            "platform": snapshot_platform_state(self.emulator, function),
+            "hosts": hosts.snapshot() if hosts is not None else None,
+            "instances": instances,
+            "pool": {
+                "busy": [[until, seq, inst.instance_id] for until, seq, inst in busy],
+                "idle": [[freed_at, inst.instance_id] for freed_at, inst in idle],
+                "seq": self._seq.value,
+                "adopted": name in self._idle,
+            },
+            "result": {
+                "attempts": result.attempts,
+                "retries": result.retries,
+                "throttled": result.throttled,
+                "fallbacks": result.fallbacks,
+                "requests": [
+                    [r.arrival, r.completion, r.attempt, r.record.to_dict()]
+                    for r in result.requests
+                ],
+                "dead_letters": [dl.to_dict() for dl in result.dead_letters],
+            },
+        }
+
+    @staticmethod
+    def _instance_state(instance: FunctionInstance, *, owned: bool) -> dict:
+        app = instance.app
+        meter = app.meter
+        return {
+            "instance_id": instance.instance_id,
+            "owned": owned,
+            "created_at": instance.created_at,
+            "last_used_at": instance.last_used_at,
+            "invocations": instance.invocations,
+            "alive": instance.alive,
+            "host_id": instance.host_id,
+            "meter": {
+                "time_s": meter._time_s,
+                "live_mb": meter.ledger._live_mb,
+                "peak_mb": meter.ledger._peak_mb,
+                "allocations": dict(meter.ledger._allocations),
+                "init_time_s": app.init_time_s,
+                "init_memory_mb": app.init_memory_mb,
+            }
+            if instance.alive
+            else None,
+        }
+
+    def _restore_state(
+        self,
+        function: DeployedFunction,
+        arrivals: list[float],
+        session,
+        result: ReplayResult,
+        state: dict,
+    ) -> tuple[int, list[tuple[float, int, int]] | None, dict]:
+        """Adopt a :meth:`_snapshot_state` dict; returns the loop cursor."""
+        if state.get("engine") != "reference":
+            raise CheckpointError(
+                f"checkpoint was written by the {state.get('engine')!r} engine; "
+                "cannot resume with the reference TraceReplayer"
+            )
+        if state.get("function") != function.name:
+            raise CheckpointError(
+                f"checkpoint is for {state.get('function')!r}, "
+                f"not {function.name!r}"
+            )
+        if state.get("arrivals") != len(arrivals):
+            raise CheckpointError(
+                f"checkpoint covers {state.get('arrivals')} arrivals but the "
+                f"trace has {len(arrivals)}: trace changed since the snapshot"
+            )
+        mode = "fast" if session is None else "retry"
+        if state.get("mode") != mode:
+            raise CheckpointError(
+                "retry configuration changed since the checkpoint was written"
+            )
+        emulator = self.emulator
+        result.reexecuted = restore_platform_state(
+            emulator, function, state["platform"]
+        )
+
+        by_id: dict[str, FunctionInstance] = {}
+        owners: dict[str, list | None] = {}
+        function.instances.clear()
+        for item in state["instances"]:
+            instance = self._instance_from_state(function, item)
+            by_id[instance.instance_id] = instance
+            if item["owned"]:
+                function.instances.append(instance)
+                owners[instance.instance_id] = function.instances
+            else:
+                owners[instance.instance_id] = None
+
+        hosts = emulator.hosts
+        if hosts is not None:
+            if state["hosts"] is None:
+                raise CheckpointError(
+                    "checkpoint has no host-pool state but a host pool is "
+                    "configured"
+                )
+            hosts.restore(state["hosts"], by_id, owners)
+        elif state["hosts"] is not None:
+            raise CheckpointError(
+                "checkpoint carries host-pool state but no host pool is "
+                "configured"
+            )
+
+        pool = state["pool"]
+        name = function.name
+        self._seq.value = int(pool["seq"])
+        busy = [
+            (float(until), int(seq), by_id[iid]) for until, seq, iid in pool["busy"]
+        ]
+        heapq.heapify(busy)
+        self._busy[name] = busy
+        if pool["adopted"]:
+            # Pre-seeding the idle stack (even empty) suppresses the lazy
+            # re-adoption of ``function.instances`` in _acquire_warm.
+            self._idle[name] = [
+                (float(freed_at), by_id[iid]) for freed_at, iid in pool["idle"]
+            ]
+
+        res = state["result"]
+        result.attempts = int(res["attempts"])
+        result.retries = int(res["retries"])
+        result.throttled = int(res["throttled"])
+        result.fallbacks = int(res["fallbacks"])
+        result.requests = [
+            ReplayedRequest(
+                arrival=float(arrival),
+                completion=float(completion),
+                record=InvocationRecord.from_dict(record),
+                attempt=int(attempt),
+            )
+            for arrival, completion, attempt, record in res["requests"]
+        ]
+        result.dead_letters = [
+            DeadLetter(
+                function=item["function"],
+                arrival=float(item["arrival"]),
+                attempts=tuple(
+                    InvocationRecord.from_dict(record)
+                    for record in item["attempts"]
+                ),
+            )
+            for item in res["dead_letters"]
+        ]
+
+        if session is not None:
+            session.restore(state["session"])
+        failed = {
+            int(seq): [InvocationRecord.from_dict(record) for record in records]
+            for seq, records in (state["failed"] or {}).items()
+        }
+        start_index = int(state["cursor"]) if state["cursor"] is not None else 0
+        heap = None
+        if state["heap"] is not None:
+            heap = [(float(t), int(s), int(a)) for t, s, a in state["heap"]]
+            heapq.heapify(heap)
+        return start_index, heap, failed
+
+    def _instance_from_state(
+        self, function: DeployedFunction, item: dict
+    ) -> FunctionInstance:
+        """Rebuild one warm (or lazily-discarded dead) instance.
+
+        Alive instances re-run Function Initialization for real — handlers
+        are assumed stateless across invocations, the repo-wide serverless
+        contract — and then have their metered state pinned back to the
+        snapshot so every subsequent charge continues bit-exactly.  Dead
+        instances (awaiting lazy discard in the pool) skip the re-init.
+        """
+        instance = FunctionInstance(
+            function.name, function.bundle, float(item["created_at"])
+        )
+        instance.instance_id = item["instance_id"]
+        instance.last_used_at = float(item["last_used_at"])
+        instance.invocations = int(item["invocations"])
+        instance.host_id = item["host_id"]
+        if item["alive"]:
+            instance.app.load()
+            if instance.app.init_error is not None:
+                raise CheckpointError(
+                    f"{instance.instance_id}: re-initialization failed on "
+                    f"resume: {instance.app.init_error}"
+                )
+            meter_state = item["meter"]
+            meter = instance.app.meter
+            meter._time_s = float(meter_state["time_s"])
+            meter.ledger._allocations = {
+                label: float(mb)
+                for label, mb in meter_state["allocations"].items()
+            }
+            meter.ledger._live_mb = float(meter_state["live_mb"])
+            meter.ledger._peak_mb = float(meter_state["peak_mb"])
+            instance.app._init_time_s = float(meter_state["init_time_s"])
+            instance.app._init_memory_mb = float(meter_state["init_memory_mb"])
+        else:
+            instance.alive = False
+        return instance
 
     def _finish(self, result: ReplayResult, recorder, span) -> ReplayResult:
         """Publish run-level counters once a replay's serving loop is done."""
@@ -428,7 +724,18 @@ class TraceReplayer:
         context: Any,
         arrival: float | None = None,
     ) -> InvocationRecord:
+        # Float zeros: warm records must carry the same field types as
+        # cold ones, or exports that serialize the record object directly
+        # (dead letters) differ byte-wise from the kernel engine's.
         return self.emulator._run(
-            function, instance, event, context, StartType.WARM, 0, 0, 0, 0,
+            function,
+            instance,
+            event,
+            context,
+            StartType.WARM,
+            0.0,
+            0.0,
+            0.0,
+            0.0,
             arrival=arrival,
         )

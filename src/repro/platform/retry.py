@@ -131,6 +131,23 @@ class RetrySession:
             delay *= 1.0 - spread + 2.0 * spread * self._rng.random()
         return delay
 
+    # -- checkpointing -----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-safe jitter-RNG position + budget consumption."""
+        from repro.platform.checkpoint import rng_state_to_json
+
+        return {
+            "retries_used": self.retries_used,
+            "rng": rng_state_to_json(self._rng.getstate()),
+        }
+
+    def restore(self, state: dict) -> None:
+        from repro.platform.checkpoint import rng_state_from_json
+
+        self.retries_used = int(state["retries_used"])
+        self._rng.setstate(rng_state_from_json(state["rng"]))
+
 
 @dataclass
 class RetryOutcome:

@@ -493,6 +493,53 @@ class TelemetrySink:
         self.breaches.extend(fresh)
         return fresh
 
+    # -- checkpointing -----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-safe full sink state for kill-and-resume replay.
+
+        Drains the hot-path buffer first, so the snapshot is exactly the
+        folded state; :class:`WindowRollup` round-trips through
+        ``to_dict``/``from_dict`` losslessly (``sliding`` relies on that
+        as a deep copy), and the in-flight completion heaps are plain
+        float lists.
+        """
+        self._drain()
+        return {
+            "windows": [
+                [name, index, rollup.to_dict()]
+                for (name, index), rollup in self._windows.items()
+            ],
+            "evaluated": sorted([name, index] for name, index in self._evaluated),
+            "in_flight": {
+                name: list(heap) for name, heap in self._in_flight.items()
+            },
+            "breaches": [breach.to_dict() for breach in self.breaches],
+            "meta": dict(self.meta),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Adopt a :meth:`snapshot` into this (freshly built) sink.
+
+        The sink must be configured like the snapshotting one (same
+        window shape, subbuckets, SLO policy); only dynamic state is
+        carried over.
+        """
+        self._pending = []
+        self._windows = {
+            (name, int(index)): WindowRollup.from_dict(data)
+            for name, index, data in state["windows"]
+        }
+        self._evaluated = {
+            (name, int(index)) for name, index in state["evaluated"]
+        }
+        self._in_flight = {
+            name: [float(t) for t in heap]
+            for name, heap in state["in_flight"].items()
+        }
+        self.breaches = [SloBreach.from_dict(b) for b in state["breaches"]]
+        self.meta = dict(state["meta"])
+
     # -- queries -----------------------------------------------------------
 
     @property
@@ -630,11 +677,22 @@ class FleetReport:
         )
 
     def save(self, path: Path | str) -> Path:
+        """Atomically persist the report (fsync + rename, never torn).
+
+        The volatile ``meta["resume"]`` counters (how a particular run
+        was supervised — resumed shards, re-executed invocations) are
+        excluded from the file: like worker counts and wall timings, they
+        must not leak into the export, which stays byte-identical between
+        a crashed-and-resumed replay and an uninterrupted one.  They
+        remain on the in-memory report for the CLI/dashboard to print.
+        """
+        from repro.core.journal import atomic_write_text
+
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(
-            json.dumps(self.to_dict(), sort_keys=True) + "\n", encoding="utf-8"
-        )
+        data = self.to_dict()
+        data["meta"] = {k: v for k, v in self.meta.items() if k != "resume"}
+        atomic_write_text(path, json.dumps(data, sort_keys=True) + "\n")
         return path
 
     @classmethod

@@ -165,7 +165,11 @@ class FleetTrace:
     @classmethod
     def load(cls, path: Path | str) -> "FleetTrace":
         traces = []
-        with Path(path).open("r", encoding="utf-8") as handle:
+        try:
+            handle = Path(path).open("r", encoding="utf-8")
+        except OSError as exc:
+            raise TraceError(f"cannot read trace {path}: {exc}") from exc
+        with handle:
             for index, line in enumerate(handle):
                 line = line.strip()
                 if not line:
@@ -183,7 +187,12 @@ class FleetTrace:
                             ),
                         )
                     )
-                except (json.JSONDecodeError, KeyError, ValueError) as exc:
+                except (
+                    json.JSONDecodeError,
+                    KeyError,
+                    TypeError,
+                    ValueError,
+                ) as exc:
                     raise TraceError(
                         f"{path} line {index + 1}: bad trace: {exc}"
                     ) from exc

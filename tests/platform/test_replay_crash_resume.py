@@ -1,0 +1,180 @@
+"""Kill-and-resume fleet replay: SIGKILL at every checkpoint boundary.
+
+The harness runs checkpointed fleet replays in a subprocess driver
+(:mod:`repro.platform._replay_resume_driver`) that SIGKILLs itself at
+the N-th durable checkpoint/done write, for every N from 1 to the
+uninterrupted run's boundary count.  After each kill a ``--resume`` run
+must produce merged exports (record log, dead letters, profiles,
+dashboard report) **byte-identical** to the uninterrupted same-seed
+baseline, re-execute at most one checkpoint interval of invocations per
+killed shard, and leave no atomic-write temp debris behind.
+
+The same contract is asserted for the multi-process supervisor: a pool
+worker killed mid-shard is detected via ``BrokenProcessPool`` and its
+shard resumed automatically, inside a single ``replay_fleet`` call.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.core.journal import TMP_MARKER
+
+SRC_ROOT = str(Path(repro.__file__).resolve().parent.parent)
+SENTINEL = "@@LAMBDA_TRIM_REPLAY_RESUME@@"
+EVERY = 12
+
+
+def _driver(args: list[str], *, expect_kill: bool = False) -> dict | None:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_ROOT + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.platform._replay_resume_driver", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=180,
+    )
+    if expect_kill:
+        assert proc.returncode == -signal.SIGKILL, proc.stderr
+        return None
+    assert proc.returncode == 0, proc.stderr
+    for line in proc.stdout.splitlines():
+        if line.startswith(SENTINEL):
+            return json.loads(line[len(SENTINEL):])
+    raise AssertionError(f"driver emitted no summary: {proc.stdout!r}")
+
+
+def _run_args(ws, out: Path, cks: Path | None, **options) -> list[str]:
+    args = [
+        "run", "--bundle", str(ws["bundle"]), "--out", str(out),
+        "--checkpoint-every", str(EVERY),
+    ]
+    if cks is not None:
+        args += ["--checkpoint-dir", str(cks)]
+    for flag, value in options.items():
+        name = "--" + flag.replace("_", "-")
+        if value is True:
+            args.append(name)
+        elif value is not None:
+            args += [name, str(value)]
+    return args
+
+
+def _assert_no_stray_tmp(root: Path) -> None:
+    strays = list(root.rglob(f"*{TMP_MARKER}*"))
+    assert not strays, f"stray atomic-write debris: {strays}"
+
+
+@pytest.fixture(scope="module")
+def crash_workspace(tmp_path_factory):
+    """Toy bundle plus one uninterrupted checkpointed run per engine."""
+    root = tmp_path_factory.mktemp("replay-crash")
+    build = _driver(["build-toy", str(root / "toy")])
+    ws = {"root": root, "bundle": build["root"], "baselines": {}}
+    for engine in ("auto", "reference"):
+        out = root / f"baseline-{engine}"
+        baseline = _driver(
+            _run_args(ws, out, root / f"baseline-{engine}-cks", engine=engine)
+        )
+        assert baseline["resumed_shards"] == 0
+        assert baseline["reexecuted_invocations"] == 0
+        ws["baselines"][engine] = baseline
+    # Both engines must already agree, or byte-identity below is vacuous.
+    assert (
+        ws["baselines"]["auto"]["artifacts"]
+        == ws["baselines"]["reference"]["artifacts"]
+    )
+    return ws
+
+
+class TestKillAtEveryBoundary:
+    @pytest.mark.parametrize("engine", ["auto", "reference"])
+    def test_every_boundary_resumes_byte_identical(self, crash_workspace, engine):
+        ws = crash_workspace
+        baseline = ws["baselines"][engine]
+        assert baseline["boundaries"] >= 10  # sanity: real checkpoint work
+        out = ws["root"] / f"crash-{engine}"
+        cks = ws["root"] / f"crash-{engine}-cks"
+
+        for boundary in range(1, baseline["boundaries"] + 1):
+            shutil.rmtree(out, ignore_errors=True)
+            shutil.rmtree(cks, ignore_errors=True)
+            _driver(
+                _run_args(ws, out, cks, engine=engine, kill_at=boundary),
+                expect_kill=True,
+            )
+            resumed = _driver(
+                _run_args(ws, out, cks, engine=engine, resume=True)
+            )
+            assert resumed["artifacts"] == baseline["artifacts"], (
+                f"boundary {boundary}: exports differ after resume"
+            )
+            assert resumed["resumed_shards"] >= 1, f"boundary {boundary}"
+            # Single shard, one kill: at most one interval re-executes.
+            assert resumed["reexecuted_invocations"] <= EVERY, (
+                f"boundary {boundary}: {resumed['reexecuted_invocations']} "
+                f"re-executed > interval {EVERY}"
+            )
+            _assert_no_stray_tmp(cks)
+            _assert_no_stray_tmp(out)
+
+    def test_double_crash_then_resume(self, crash_workspace):
+        """Killing the *resume* run too must still converge."""
+        ws = crash_workspace
+        baseline = ws["baselines"]["auto"]
+        out = ws["root"] / "double"
+        cks = ws["root"] / "double-cks"
+        _driver(
+            _run_args(ws, out, cks, kill_at=baseline["boundaries"] // 2),
+            expect_kill=True,
+        )
+        _driver(
+            _run_args(ws, out, cks, resume=True, kill_at=2),
+            expect_kill=True,
+        )
+        resumed = _driver(_run_args(ws, out, cks, resume=True))
+        assert resumed["artifacts"] == baseline["artifacts"]
+        _assert_no_stray_tmp(cks)
+
+    def test_kill_before_any_checkpoint_restarts_cleanly(self, crash_workspace):
+        """SIGKILL at the very first boundary: orphan spills are re-run."""
+        ws = crash_workspace
+        baseline = ws["baselines"]["auto"]
+        out = ws["root"] / "first"
+        cks = ws["root"] / "first-cks"
+        _driver(_run_args(ws, out, cks, kill_at=1), expect_kill=True)
+        resumed = _driver(_run_args(ws, out, cks, resume=True))
+        assert resumed["artifacts"] == baseline["artifacts"]
+
+
+class TestWorkerFailureSupervision:
+    def test_sigkilled_worker_is_resumed_automatically(self, crash_workspace):
+        """One replay_fleet call survives a pool worker dying mid-shard."""
+        ws = crash_workspace
+        baseline = ws["baselines"]["auto"]
+        out = ws["root"] / "super"
+        cks = ws["root"] / "super-cks"
+        flag = ws["root"] / "super.kill"
+        result = _driver(
+            _run_args(ws, out, cks, workers=2, kill_at=3, kill_flag=flag)
+        )
+        assert flag.exists(), "no worker was killed"
+        assert result["artifacts"] == baseline["artifacts"]
+        assert result["resumed_shards"] >= 1
+        # A pool break resumes every unfinished shard; each re-executes at
+        # most one interval.
+        assert (
+            result["reexecuted_invocations"]
+            <= EVERY * result["resumed_shards"]
+        )
+        _assert_no_stray_tmp(cks)

@@ -1,0 +1,185 @@
+"""Property tests: checkpoint snapshots restore to state-identical twins.
+
+Kill-and-resume replay (:mod:`repro.platform.checkpoint`) is only sound
+if every snapshotted component is *behaviorally* indistinguishable after
+a restore: feeding the same suffix of events to the original object and
+to a freshly built twin restored from a JSON-round-tripped snapshot must
+leave both in byte-identical snapshot states.  Hypothesis drives random
+prefix/suffix splits over the three stateful cores — the percentile
+sketch, the telemetry sink, and the host pool.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.histogram import LogLinearHistogram
+from repro.platform.hosts import HostConfig, HostPool
+from repro.platform.logs import InvocationRecord, InvocationStatus, StartType
+from repro.platform.telemetry import TelemetrySink
+
+SETTINGS = settings(max_examples=25, deadline=None)
+
+
+def _canon(state: dict) -> str:
+    return json.dumps(state, sort_keys=True)
+
+
+# -- percentile sketch -----------------------------------------------------
+
+_VALUES = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    max_size=60,
+)
+
+
+class TestHistogramRoundTrip:
+    @SETTINGS
+    @given(values=_VALUES, split=st.integers(min_value=0, max_value=60))
+    def test_restore_then_suffix_matches(self, values, split):
+        prefix, suffix = values[:split], values[split:]
+        original = LogLinearHistogram()
+        for value in prefix:
+            original.record(value)
+        restored = LogLinearHistogram.from_dict(
+            json.loads(json.dumps(original.to_dict()))
+        )
+        for value in suffix:
+            original.record(value)
+            restored.record(value)
+        assert _canon(restored.to_dict()) == _canon(original.to_dict())
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert restored.quantile(q) == original.quantile(q)
+
+
+# -- telemetry sink --------------------------------------------------------
+
+_OBSERVATIONS = st.lists(
+    st.tuples(
+        st.sampled_from(["fn-a", "fn-b", "fn-c"]),
+        st.booleans(),  # cold start
+        st.booleans(),  # success
+        st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=1e-3, allow_nan=False),
+    ),
+    max_size=50,
+)
+
+
+def _record(i: int, fn: str, cold: bool, ok: bool, e2e: float, cost: float):
+    return InvocationRecord(
+        request_id=f"req-{i:06d}",
+        function=fn,
+        start_type=StartType.COLD if cold else StartType.WARM,
+        timestamp=10.0 * i + e2e,
+        value=None,
+        instance_id="inst-0001",
+        exec_duration_s=e2e,
+        billed_duration_s=e2e,
+        cost_usd=cost,
+        status=InvocationStatus.SUCCESS if ok else InvocationStatus.CRASHED,
+    )
+
+
+class TestTelemetrySinkRoundTrip:
+    @SETTINGS
+    @given(observations=_OBSERVATIONS, split=st.integers(min_value=0, max_value=50))
+    def test_restore_then_suffix_matches(self, observations, split):
+        original = TelemetrySink(window_s=30.0, subbuckets=16)
+        for i, fields in enumerate(observations[:split]):
+            original.observe(_record(i, *fields), arrival=10.0 * i)
+        restored = TelemetrySink(window_s=30.0, subbuckets=16)
+        restored.restore(json.loads(json.dumps(original.snapshot())))
+        for i, fields in enumerate(observations[split:], start=split):
+            record = _record(i, *fields)
+            original.observe(record, arrival=10.0 * i)
+            restored.observe(record, arrival=10.0 * i)
+        assert _canon(restored.snapshot()) == _canon(original.snapshot())
+        assert [w.to_dict() for w in restored.rollups()] == [
+            w.to_dict() for w in original.rollups()
+        ]
+
+
+# -- host pool -------------------------------------------------------------
+
+
+class _Instance:
+    """Minimal stand-in with the attributes the pool touches."""
+
+    def __init__(self, instance_id: str, alive: bool = True):
+        self.instance_id = instance_id
+        self.alive = alive
+        self.host_id = None
+
+    def shutdown(self):
+        self.alive = False
+
+
+_OPS = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=0, max_value=10),
+        st.floats(min_value=0.0, max_value=300.0, allow_nan=False),
+    ),
+    max_size=40,
+)
+
+
+def _apply(pool, ops, live, next_id, clock):
+    """Run an op sequence; deterministic given (ops, live ids, next_id)."""
+    for code, a, mb in ops:
+        clock += 1.0
+        if code == 0:
+            placement = pool.admit(f"fn-{a % 3}", clock)
+            if placement is not None:
+                instance = _Instance(f"inst-{next_id:04d}")
+                next_id += 1
+                pool.bind(placement, instance)
+                live.append(instance)
+        elif code == 5:
+            pool.observe_footprint(f"fn-{a % 3}", 32.0 + mb)
+        elif live:
+            target = live[a % len(live)].instance_id
+            if code == 1:
+                pool.record_use(target, clock + mb)
+            elif code == 2:
+                pool.adjust(target, 64.0 + mb, clock)
+            elif code == 3:
+                pool.release(target)
+            else:
+                pool.retire(target)
+    return next_id, clock
+
+
+class TestHostPoolRoundTrip:
+    @SETTINGS
+    @given(prefix=_OPS, suffix=_OPS)
+    def test_restore_then_suffix_matches(self, prefix, suffix):
+        config = HostConfig(count=2, memory_mb=512.0)
+        original = HostPool(config, seed=3)
+        live = []
+        next_id, clock = _apply(original, prefix, live, 0, 0.0)
+
+        state = json.loads(json.dumps(original.snapshot()))
+        restored = HostPool(config, seed=3)
+        # Clone the instance registry: the twins must not share mutable
+        # instance objects, or a retire on one side leaks to the other.
+        clones = {
+            inst.instance_id: _Instance(inst.instance_id, alive=inst.alive)
+            for inst in live
+        }
+        restored.restore(
+            state,
+            instances=clones,
+            owners={iid: None for iid in clones},
+        )
+        assert _canon(restored.snapshot()) == _canon(original.snapshot())
+
+        live_restored = [clones[inst.instance_id] for inst in live]
+        _apply(original, suffix, live, next_id, clock)
+        _apply(restored, suffix, live_restored, next_id, clock)
+        assert _canon(restored.snapshot()) == _canon(original.snapshot())
+        assert restored.util() == original.util()

@@ -233,6 +233,60 @@ class TestReplayCommand:
         assert "3 function(s)" in stdout
         assert "1 worker(s)" in stdout
 
+    def test_replay_missing_trace_is_a_one_line_error(
+        self, toy_app, tmp_path, capsys
+    ):
+        code = main([
+            "replay", str(toy_app.root),
+            "--trace", str(tmp_path / "nope.jsonl"),
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: cannot read trace")
+        assert "Traceback" not in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_replay_truncated_trace_is_a_one_line_error(
+        self, toy_app, tmp_path, capsys
+    ):
+        from repro.traces import FleetTrace
+
+        trace_path = FleetTrace.generate(3, seed=4).save(
+            tmp_path / "trace.jsonl"
+        )
+        text = trace_path.read_text(encoding="utf-8")
+        # Tear the tail mid-record, as a crashed writer would.
+        trace_path.write_text(text[: len(text) - 10], encoding="utf-8")
+        code = main([
+            "replay", str(toy_app.root), "--trace", str(trace_path),
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "bad trace" in err
+        assert "Traceback" not in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_replay_checkpointed_reports_resume_accounting(
+        self, toy_app, tmp_path, capsys
+    ):
+        code = main([
+            "replay", str(toy_app.root),
+            "--invocations", "40", "--max-per-function", "30",
+            "--seed", "11",
+            "--checkpoint-dir", str(tmp_path / "cks"),
+            "--checkpoint-every", "10",
+        ])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "0 shard(s) resumed" in stdout
+        assert "0 invocation(s) re-executed" in stdout
+
+    def test_replay_resume_requires_checkpoint_dir(self, toy_app, capsys):
+        code = main(["replay", str(toy_app.root), "--resume"])
+        assert code == 2
+        assert "checkpoint_dir" in capsys.readouterr().err
+
 
 class TestProfileCommand:
     @pytest.fixture(scope="class")

@@ -110,6 +110,24 @@ class TestPersistence:
         with pytest.raises(TraceError, match="line 1"):
             FleetTrace.load(path)
 
+    def test_load_missing_file_is_trace_error(self, tmp_path):
+        with pytest.raises(TraceError, match="cannot read trace"):
+            FleetTrace.load(tmp_path / "nope.jsonl")
+
+    def test_load_truncated_record_is_trace_error(self, tmp_path):
+        fleet = FleetTrace.generate(3, seed=7)
+        path = fleet.save(tmp_path / "trace.jsonl")
+        text = path.read_text(encoding="utf-8")
+        path.write_text(text[: len(text) - 10], encoding="utf-8")
+        with pytest.raises(TraceError, match="bad trace"):
+            FleetTrace.load(path)
+
+    def test_load_non_object_line_is_trace_error(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("[1, 2, 3]\n", encoding="utf-8")
+        with pytest.raises(TraceError, match="line 1"):
+            FleetTrace.load(path)
+
     def test_load_skips_blank_lines(self, tmp_path):
         fleet = FleetTrace.generate(3, seed=7)
         path = fleet.save(tmp_path / "trace.jsonl")
