@@ -38,20 +38,33 @@ EVENT = {"x": [1.0, 2.0], "y": [3.0, 4.0]}
 
 INVOCATIONS = int(os.environ.get("REPRO_BENCH_INVOCATIONS", "50000"))
 #: Below this size the pool's start-up cost swamps the replay itself.
-SPEEDUP_GATE_INVOCATIONS = 50_000
+#: Break-even is ``startup_s * serial_rate``; the vector engine roughly
+#: halved the serial wall, doubling the trace size where sharding pays.
+SPEEDUP_GATE_INVOCATIONS = 100_000
 #: --check-floor tolerance: fail when more than 15% below the floor.
 FLOOR_TOLERANCE = 0.85
 
 
-def _peak_rss_mb() -> dict[str, float]:
-    """Linux ``ru_maxrss`` is kilobytes; children covers the worker pool."""
+def _peak_rss_mb(parallel_workers: list[float]) -> dict[str, object]:
+    """Linux ``ru_maxrss`` is kilobytes; children covers the worker pool.
+
+    ``RUSAGE_CHILDREN`` only folds a worker in once the parent reaps it,
+    so it must be read *after* the pool's shutdown join — and even then
+    it is just the single largest reaped child ever.  The honest
+    per-worker picture is the ``worker_peak_rss_mb`` list each shard
+    process measured on itself right before exiting (the parallel run's
+    breakdown below); the aggregate is kept for continuity and as a
+    cross-check (it must be at least the largest worker's peak).
+    """
+    children = round(
+        resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss / 1024, 1
+    )
     return {
         "self": round(
             resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024, 1
         ),
-        "children": round(
-            resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss / 1024, 1
-        ),
+        "children": children,
+        "workers": parallel_workers,
     }
 
 
@@ -146,7 +159,7 @@ def test_replay_throughput(benchmark, tmp_path_factory, artifact_sink, check_flo
         },
         "speedup": round(speedup, 2),
         "break_even_shard_invocations": break_even,
-        "peak_rss_mb": _peak_rss_mb(),
+        "peak_rss_mb": _peak_rss_mb(parallel.worker_peak_rss_mb),
         "deterministic": True,
     }
     RESULTS_DIR.mkdir(exist_ok=True)
@@ -165,7 +178,8 @@ def test_replay_throughput(benchmark, tmp_path_factory, artifact_sink, check_flo
             f"parallel ({pool_workers} workers): {parallel.wall_s:8.2f}s  "
             f"{parallel.throughput:10,.0f} inv/s",
             f"speedup: {speedup:.2f}x   peak RSS: {rss['self']}MB self, "
-            f"{rss['children']}MB children",
+            f"{rss['children']}MB children "
+            f"(per worker: {rss['workers']})",
             f"break-even shard size: {break_even} invocations/worker "
             "(smaller shards lose to process startup)",
         ]),

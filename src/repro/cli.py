@@ -192,10 +192,13 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--record-detail", action="store_true",
                         help="emit the per-invocation observability event "
                              "(slower; off by default for fleet scale)")
-    replay.add_argument("--engine", choices=("auto", "kernel", "reference"),
+    replay.add_argument("--engine",
+                        choices=("auto", "kernel", "vector", "reference"),
                         default="auto",
-                        help="replay engine: auto picks the template kernel "
-                             "when the workload is replayable (default), "
+                        help="replay engine: auto picks the numpy batch "
+                             "engine (or the scalar template kernel without "
+                             "numpy) when the workload is replayable "
+                             "(default), vector/kernel require that engine, "
                              "reference forces real execution; exports are "
                              "byte-identical either way")
     replay.add_argument("--min-shard-invocations", type=int, default=None,

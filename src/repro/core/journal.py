@@ -48,6 +48,7 @@ __all__ = [
     "JournalState",
     "ModuleCommit",
     "RecoveryReport",
+    "atomic_write_bytes",
     "atomic_write_lines",
     "atomic_write_text",
     "candidate_hash",
@@ -123,6 +124,34 @@ def atomic_write_text(path: Path, text: str, *, durable: bool = True) -> None:
     try:
         with os.fdopen(fd, "w", encoding="utf-8") as handle:
             handle.write(text)
+            if durable:
+                handle.flush()
+                os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    if durable:
+        _fsync_dir(path.parent)
+
+
+def atomic_write_bytes(path: Path, data: bytes, *, durable: bool = True) -> None:
+    """Binary twin of :func:`atomic_write_text`: same temp + fsync + rename.
+
+    Used for already-encoded payloads (merged record logs assembled as
+    UTF-8 byte lines) where a text-mode handle would force a redundant
+    decode/encode round trip over the whole export.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + TMP_MARKER
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
             if durable:
                 handle.flush()
                 os.fsync(handle.fileno())

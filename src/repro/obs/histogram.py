@@ -22,12 +22,22 @@ statistics on random and heavy-tailed samples.
 from __future__ import annotations
 
 import math
-from typing import Any, Iterator
+from typing import Any, Iterable, Iterator
+
+try:  # numpy is an optional [perf] extra; the scalar path needs nothing.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    _np = None
 
 __all__ = ["LogLinearHistogram"]
 
 #: Quantiles the telemetry layer reports by default.
 STANDARD_QUANTILES = (0.50, 0.90, 0.95, 0.99, 0.999)
+
+#: At or below this many values ``observe_many`` folds with an inlined
+#: scalar sweep: a dozen numpy kernel launches cost more than walking a
+#: short list, and the scalar fold *is* the reference semantics.
+_SMALL_BATCH = 128
 
 
 class LogLinearHistogram:
@@ -93,6 +103,119 @@ class LogLinearHistogram:
             return
         index = self._index(value)
         self._buckets[index] = self._buckets.get(index, 0) + count
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        """Bulk-record *values*, bit-identical to sequential :meth:`record` calls.
+
+        Bucket indices are computed array-at-a-time (frexp + truncation,
+        mirroring :meth:`_index`) and folded in via per-bucket counts, but
+        every order-dependent float accumulation — ``_sum`` and the
+        tie-keeping ``min``/``max`` folds — stays a sequential walk in
+        value order, so the resulting sketch state matches N individual
+        ``record`` calls bit for bit.  Unlike ``record``, validation runs
+        up front: a non-finite or negative value raises before any state
+        changes.  Without numpy this degrades to the sequential loop.
+        """
+        if _np is None:
+            for value in values:
+                self.record(value)
+            return
+        if isinstance(values, list) and len(values) <= _SMALL_BATCH:
+            self._observe_small(values)
+            return
+        arr = _np.asarray(values, dtype=_np.float64).reshape(-1)
+        n = int(arr.size)
+        if n == 0:
+            return
+        if not _np.all(_np.isfinite(arr)) or _np.any(arr < 0):
+            bad = next(v for v in arr.tolist() if v < 0 or not math.isfinite(v))
+            raise ValueError(f"cannot record {bad!r}: need a finite value >= 0")
+        # cumsum is a strict left fold, so seeding it with the running sum
+        # reproduces n sequential ``+=`` additions bit for bit.  min/max
+        # are exact, except that the scalar fold keeps the *first* zero's
+        # sign on a ±0.0 tie — recovered via argmax when it matters.
+        self._sum = float(
+            _np.cumsum(_np.concatenate(((self._sum,), arr)))[-1]
+        )
+        lo = float(arr.min())
+        if lo < self._min:
+            if lo == 0.0:
+                lo = float(arr[int(_np.argmax(arr == 0.0))])
+            self._min = lo
+        hi = float(arr.max())
+        if hi > self._max:
+            if hi == 0.0:
+                hi = float(arr[int(_np.argmax(arr == 0.0))])
+            self._max = hi
+        self._count += n
+        small = arr < self.min_trackable
+        zero = int(small.sum())
+        if zero:
+            self._zero += zero
+            arr = arr[~small]
+            if not arr.size:
+                return
+        _, exponent = _np.frexp(arr)
+        tier = exponent.astype(_np.int64) - 1
+        ratio = arr / _np.ldexp(1.0, tier.astype(_np.int32))
+        m = self.subbuckets
+        sub = _np.minimum(m - 1, _np.maximum(0, ((ratio - 1.0) * m).astype(_np.int64)))
+        unique, first, counts = _np.unique(
+            tier * m + sub, return_index=True, return_counts=True
+        )
+        # New keys enter the dict in first-occurrence order, matching the
+        # insertion order N sequential record() calls would produce.
+        buckets = self._buckets
+        for position in _np.argsort(first, kind="stable").tolist():
+            index = int(unique[position])
+            buckets[index] = buckets.get(index, 0) + int(counts[position])
+
+    def _observe_small(self, values: list) -> None:
+        """Inlined scalar fold for short batches — the reference semantics.
+
+        Same state transitions as one :meth:`record` per value (strict
+        ``<``/``>`` comparisons reproduce ``min``/``max`` first-on-tie
+        behaviour, including ±0.0 sign keeping), with validation still up
+        front so a bad value raises before any state changes.
+        """
+        for value in values:
+            if value < 0 or not math.isfinite(value):
+                raise ValueError(
+                    f"cannot record {value!r}: need a finite value >= 0"
+                )
+        total = self._sum
+        lo = self._min
+        hi = self._max
+        zero = self._zero
+        threshold = self.min_trackable
+        m = self.subbuckets
+        top = m - 1
+        buckets = self._buckets
+        get = buckets.get
+        frexp = math.frexp
+        ldexp = math.ldexp
+        for value in values:
+            total += value
+            if value < lo:
+                lo = value
+            if value > hi:
+                hi = value
+            if value < threshold:
+                zero += 1
+                continue
+            tier = frexp(value)[1] - 1
+            sub = int((value / ldexp(1.0, tier) - 1.0) * m)
+            if sub < 0:
+                sub = 0
+            elif sub > top:
+                sub = top
+            index = tier * m + sub
+            buckets[index] = get(index, 0) + 1
+        self._count += len(values)
+        self._sum = total
+        self._min = lo
+        self._max = hi
+        self._zero = zero
 
     def merge(self, other: "LogLinearHistogram") -> None:
         """Fold *other* into this histogram (same resolution required)."""

@@ -65,6 +65,7 @@ from repro.platform.tuning import (
     MemoryRecommendation,
     recommend_memory,
 )
+from repro.platform.vector import VectorReplayer
 
 __all__ = [
     "VirtualClock",
@@ -79,6 +80,7 @@ __all__ = [
     "BillingLedger",
     "ReplayResult",
     "TraceReplayer",
+    "VectorReplayer",
     "replay_fleet",
     "FleetReplayResult",
     "FunctionReplayStats",

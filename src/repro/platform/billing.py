@@ -28,6 +28,60 @@ class FunctionBill:
     def total(self) -> float:
         return self.invocation_cost + self.snapstart_cost
 
+    def charge_batch(
+        self,
+        statuses,
+        costs,
+        *,
+        success_status: int,
+        throttled_status: int,
+        cold_starts: int,
+        throttles: int,
+    ) -> tuple[int, int]:
+        """Fold one emission batch into the bill, in row order.
+
+        The bulk twin of :meth:`BillingLedger.charge_invocation` /
+        :meth:`~BillingLedger.charge_throttle` for the vector replay
+        engine: ``invocation_cost`` stays a sequential float fold (its
+        addition order is observable in exports), while the int counters
+        take segment aggregates.  Returns ``(billed, delivered)`` —
+        non-throttled and successful row counts — so the caller can
+        update its own tallies without a second pass.
+        """
+        total = self.invocation_cost
+        billed = 0
+        delivered = 0
+        for status, cost in zip(statuses, costs):
+            if status != throttled_status:
+                total += cost
+                billed += 1
+                if status == success_status:
+                    delivered += 1
+        self.invocation_cost = total
+        self.invocations += billed
+        self.cold_starts += cold_starts
+        self.throttles += throttles
+        return billed, delivered
+
+    def charge_block(
+        self,
+        *,
+        invocation_cost: float,
+        invocations: int,
+        cold_starts: int,
+    ) -> None:
+        """Fold an all-billed columnar block into the bill.
+
+        The chain-path twin of :meth:`charge_batch`: no row in the block
+        is throttled, so the caller — which holds the cost column as an
+        array — continues the sequential ``invocation_cost`` fold itself
+        (a seeded ``cumsum`` is bit-identical to the per-row loop) and
+        hands over the finished value with the segment's int aggregates.
+        """
+        self.invocation_cost = invocation_cost
+        self.invocations += invocations
+        self.cold_starts += cold_starts
+
 
 @dataclass
 class BillingLedger:

@@ -57,6 +57,7 @@ from __future__ import annotations
 import heapq
 import json
 import multiprocessing
+import resource
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
@@ -66,7 +67,7 @@ from pathlib import Path
 from typing import Any, Iterable
 
 from repro.bundle import AppBundle
-from repro.core.journal import atomic_write_lines
+from repro.core.journal import atomic_write_bytes, atomic_write_lines
 from repro.errors import PlatformError
 from repro.obs import InMemoryRecorder, get_recorder, use_recorder
 from repro.obs.attribution import AttributionStore
@@ -81,6 +82,7 @@ from repro.platform.replay import TraceReplayer
 from repro.platform.retry import DeadLetter, RetryPolicy
 from repro.platform.slo import FLEET, SloPolicy, SloRule
 from repro.platform.telemetry import FleetReport, TelemetrySink, WindowRollup
+from repro.platform.vector import HAVE_NUMPY, VectorReplayer, _np
 from repro.traces.fleet import FleetTrace
 
 __all__ = [
@@ -140,6 +142,12 @@ class FleetReplayResult:
     #: checkpoint.  Both zero on an uninterrupted run.
     resumed_shards: int = 0
     reexecuted_invocations: int = 0
+    #: Peak RSS (MB) of whichever process replayed each shard, in shard
+    #: submission order — the pool workers, or this process itself on the
+    #: inline ``workers=1`` path.  ``RUSAGE_CHILDREN`` in the parent only
+    #: reflects reaped workers, so the benchmark's per-worker breakdown
+    #: comes from here.  Informational only; never exported.
+    worker_peak_rss_mb: list[float] = field(default_factory=list)
 
     @property
     def arrivals(self) -> int:
@@ -297,13 +305,20 @@ def _replay_one_inner(
         replayable = TemplateStore.key_for(function, cfg["event"], None)
         if replayable is not None:
             use_kernel = True
-        elif engine == "kernel":
+        elif engine in ("kernel", "vector"):
             raise PlatformError(
-                f"engine='kernel' cannot replay {name!r}: snapstart or a "
+                f"engine={engine!r} cannot replay {name!r}: snapstart or a "
                 "non-JSON event needs engine='reference'"
             )
     if use_kernel:
-        result = KernelReplayer(emulator, store).replay(
+        # auto prefers the batch engine when numpy is importable; it
+        # falls back to the scalar kernel loop per run when the workload
+        # does not qualify, so exports are identical either way.
+        if engine == "kernel" or not HAVE_NUMPY:
+            engine_cls = KernelReplayer
+        else:
+            engine_cls = VectorReplayer
+        result = engine_cls(emulator, store).replay(
             name,
             list(timestamps),
             cfg["event"],
@@ -385,7 +400,7 @@ def _replay_one_inner(
     return payload
 
 
-def _replay_shard(payload: dict) -> list[dict]:
+def _replay_shard(payload: dict) -> dict:
     """Worker entry point: replay every function in one shard, in order.
 
     One :class:`~repro.platform.kernel.TemplateStore` spans the shard:
@@ -394,14 +409,28 @@ def _replay_shard(payload: dict) -> list[dict]:
     is paid once per shard, not once per function.  The store is scoped
     here, never module-global, so a rebuilt bundle at the same path can
     never be served stale templates.
+
+    ``worker_peak_rss_mb`` is this process's own ``ru_maxrss`` sampled
+    *after* the shard replayed — ``RUSAGE_CHILDREN`` in the parent only
+    folds a worker in once it is reaped at pool shutdown, so per-worker
+    peaks must ride back with the results.  On the inline ``workers=1``
+    path the "worker" is the caller's process; the value is still the
+    honest peak of whoever did the replay.  Purely informational: it
+    feeds :attr:`FleetReplayResult.worker_peak_rss_mb` and never touches
+    an export.
     """
     bundle = AppBundle(payload["bundle_root"])
     cfg = payload["cfg"]
     store = TemplateStore()
-    return [
+    results = [
         _replay_one(bundle, name, timestamps, cfg, store)
         for name, timestamps in payload["functions"]
     ]
+    peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return {
+        "functions": results,
+        "worker_peak_rss_mb": round(peak_kb / 1024, 1),
+    }
 
 
 def _merge_fleet_window(rollups: list[WindowRollup]) -> WindowRollup:
@@ -474,41 +503,106 @@ def _merge_report(
 
 
 _TIMESTAMP_TAG = '"timestamp": '
+_TIMESTAMP_TAG_BYTES = _TIMESTAMP_TAG.encode("ascii")
+
+#: Above this combined shard size the merge streams line-at-a-time instead
+#: of sorting in memory (the in-memory path holds every line at once).
+_MERGE_IN_MEMORY_BYTES = 256 * 1024 * 1024
+
+
+def _line_timestamp(line: str) -> float:
+    """The merge key, sliced straight out of a ``json.dumps`` spill line.
+
+    ``float()`` of the dumped repr round-trips exactly; anything
+    surprising falls back to a full parse.
+    """
+    start = line.find(_TIMESTAMP_TAG)
+    if start >= 0:
+        start += len(_TIMESTAMP_TAG)
+        end = line.find(",", start)
+        if end > start:
+            try:
+                return float(line[start:end])
+            except ValueError:
+                pass
+    return json.loads(line)["timestamp"]
+
+
+def _line_timestamps_bytes(lines: list[bytes]) -> list[float]:
+    """Merge keys for undecoded byte lines, sliced like :func:`_line_timestamp`.
+
+    With numpy the raw repr slices convert to float64 in one C call —
+    ``astype`` parses with the same correct rounding as Python's
+    ``float()``, so the keys (and therefore the stable sort order) match
+    the text path bit for bit.  Lines whose slice does not parse fall
+    back to a full ``json.loads`` (it accepts bytes directly).
+    """
+    tag = _TIMESTAMP_TAG_BYTES
+    tag_len = len(tag)
+    raw: list[bytes] = []
+    for line in lines:
+        start = line.find(tag)
+        end = line.find(b",", start + tag_len) if start >= 0 else -1
+        raw.append(line[start + tag_len : end] if start >= 0 and end > 0 else b"")
+    if _np is not None:
+        try:
+            return _np.asarray(raw, dtype="S").astype(_np.float64).tolist()
+        except ValueError:
+            pass
+    keys: list[float] = []
+    for line, slice_ in zip(lines, raw):
+        try:
+            keys.append(float(slice_.decode("ascii")))
+        except (UnicodeDecodeError, ValueError):
+            keys.append(json.loads(line)["timestamp"])
+    return keys
 
 
 def _merge_logs(shards: list[tuple[str, Path]], destination: Path) -> Path:
     """K-way merge per-function JSONL shards by (timestamp, function, seq).
 
-    Streams: only one line per shard is resident at any moment, so
-    merging a million-record fleet log needs a few kilobytes of memory.
+    Small merges (combined shards under ~256 MB) sort in memory: shard
+    lines arrive already in (function, position) order, so one *stable*
+    sort on the timestamp alone reproduces the full merge key.  Larger
+    merges stream through :func:`heapq.merge` with one resident line per
+    shard.  Both paths write the same bytes.
     """
+    ordered = sorted(shards)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    total = sum(path.stat().st_size for _, path in ordered)
+    if total <= _MERGE_IN_MEMORY_BYTES:
+        # Bytes end to end: shards were written as UTF-8, the merged
+        # export is the same lines reordered, so decoding 100+ MB just to
+        # re-encode it is pure overhead.
+        lines: list[bytes] = []
+        for _, path in ordered:
+            for line in path.read_bytes().splitlines(keepends=True):
+                if not line.strip():
+                    continue
+                if not line.endswith(b"\n"):
+                    line += b"\n"
+                lines.append(line)
+        keys = _line_timestamps_bytes(lines)
+        if _np is not None:
+            order = _np.argsort(_np.asarray(keys), kind="stable").tolist()
+        else:
+            order = [
+                i
+                for _, i in sorted(
+                    zip(keys, range(len(lines))), key=lambda p: p[0]
+                )
+            ]
+        atomic_write_bytes(destination, b"".join(map(lines.__getitem__, order)))
+        return destination
 
     def rows(name: str, path: Path):
         with path.open("r", encoding="utf-8") as handle:
             for position, line in enumerate(handle):
                 if not line.strip():
                     continue
-                # The merge key is the timestamp field alone; shard lines
-                # are json.dumps output, so slice the float straight out
-                # instead of parsing the whole record.  float() of the
-                # dumped repr round-trips exactly; anything surprising
-                # falls back to a full parse.
-                start = line.find(_TIMESTAMP_TAG)
-                timestamp: float | None = None
-                if start >= 0:
-                    start += len(_TIMESTAMP_TAG)
-                    end = line.find(",", start)
-                    if end > start:
-                        try:
-                            timestamp = float(line[start:end])
-                        except ValueError:
-                            timestamp = None
-                if timestamp is None:
-                    timestamp = json.loads(line)["timestamp"]
-                yield (timestamp, name, position, line)
+                yield (_line_timestamp(line), name, position, line)
 
-    destination.parent.mkdir(parents=True, exist_ok=True)
-    streams = [rows(name, path) for name, path in sorted(shards)]
+    streams = [rows(name, path) for name, path in ordered]
     # Atomic replace: a crash mid-merge leaves the previous export (or
     # nothing) in place, never a torn half-merge, and the streaming
     # generator keeps the memory bound of the plain-write version.
@@ -564,7 +658,7 @@ def _run_shards_supervised(
     payloads: list[dict],
     cfg: dict,
     mp_context: str,
-) -> tuple[list[list[dict]], int]:
+) -> tuple[list[dict], int]:
     """Run every shard on a process pool, resuming shards whose worker dies.
 
     A SIGKILLed/OOM-killed worker surfaces as :class:`BrokenProcessPool`
@@ -665,12 +759,15 @@ def replay_fleet(
     billing summary).
 
     ``engine`` selects the per-function replay engine: ``"auto"``
-    (default) uses the template :class:`~repro.platform.kernel.
-    KernelReplayer` whenever the workload is replayable and falls back to
-    the reference :class:`~repro.platform.replay.TraceReplayer`
-    otherwise; ``"kernel"`` requires the kernel (raises when it cannot
-    serve); ``"reference"`` forces the reference engine.  Both engines
-    produce byte-identical exports.
+    (default) uses the batch :class:`~repro.platform.vector.
+    VectorReplayer` when numpy is importable (the scalar template
+    :class:`~repro.platform.kernel.KernelReplayer` otherwise) whenever
+    the workload is replayable, and falls back to the reference
+    :class:`~repro.platform.replay.TraceReplayer` for the rest;
+    ``"vector"`` and ``"kernel"`` require their engine (raising when it
+    cannot serve — ``"vector"`` additionally requires numpy);
+    ``"reference"`` forces the reference engine.  All engines produce
+    byte-identical exports.
 
     ``profile_dir`` enables dollar attribution: each worker captures a
     :class:`~repro.obs.attribution.ColdStartProfile` per cold start and
@@ -724,9 +821,15 @@ def replay_fleet(
     """
     if workers < 1:
         raise PlatformError(f"need at least one worker: {workers}")
-    if engine not in ("auto", "kernel", "reference"):
+    if engine not in ("auto", "kernel", "vector", "reference"):
         raise PlatformError(
-            f"unknown engine {engine!r}: expected auto, kernel, or reference"
+            f"unknown engine {engine!r}: expected auto, kernel, vector, or "
+            "reference"
+        )
+    if engine == "vector" and not HAVE_NUMPY:
+        raise PlatformError(
+            "engine='vector' needs numpy (install the [perf] extra); "
+            "engine='auto' degrades to the scalar kernel without it"
         )
     if min_shard_invocations is not None and min_shard_invocations < 0:
         raise PlatformError(
@@ -820,7 +923,8 @@ def replay_fleet(
             )
         wall_s = time.perf_counter() - started
 
-        results = [r for shard in shard_results for r in shard]
+        worker_peaks = [shard["worker_peak_rss_mb"] for shard in shard_results]
+        results = [r for shard in shard_results for r in shard["functions"]]
         results.sort(key=lambda r: r["function"])
 
         # Resume accounting: supervisor restarts, plus — when the caller
@@ -957,4 +1061,5 @@ def replay_fleet(
         host_stats=host_stats,
         resumed_shards=resumed_shards,
         reexecuted_invocations=reexecuted_invocations,
+        worker_peak_rss_mb=worker_peaks,
     )

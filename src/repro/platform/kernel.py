@@ -206,7 +206,7 @@ class _WarmTemplate:
 class _Entry:
     """Capture state for one ``(bundle root, event)`` pair."""
 
-    __slots__ = ("cold", "warm", "candidate", "disabled")
+    __slots__ = ("cold", "warm", "candidate", "disabled", "drift")
 
     def __init__(self) -> None:
         self.cold: _ColdTemplate | None = None
@@ -216,6 +216,9 @@ class _Entry:
         #: Set when captures disagree or memory frees make the tape
         #: unreplayable: this pair runs on the reference path forever.
         self.disabled = False
+        #: Lazily built per-template drift tables, owned by the vector
+        #: engine (:mod:`repro.platform.vector`); None until it runs.
+        self.drift: Any = None
 
     @property
     def ready(self) -> bool:
@@ -486,34 +489,10 @@ class KernelReplayer:
             "replay.run", label=function_name, arrivals=len(arrivals)
         ) as span:
             if session is None:
-                serve = self._serve
-                for index in range(start_index, len(arrivals)):
-                    t = arrivals[index]
-                    status, start, completion, cost, _ = serve(t, False)
-                    result.attempts += 1
-                    if status == _S_THROTTLED:
-                        result.throttled += 1
-                    result.requests += 1
-                    if status == _S_SUCCESS:
-                        result.delivered += 1
-                    if start == _COLD:
-                        result.cold_starts += 1
-                    elif start == _WARM:
-                        result.warm_starts += 1
-                    result.total_cost += cost
-                    arrival_times.append(t)
-                    completion_times.append(completion)
-                    if (
-                        checkpoint is not None
-                        and checkpoint.tick()
-                        and self._entry.ready
-                    ):
-                        checkpoint.write(
-                            self._snapshot_state(
-                                result, None, index + 1, None, None,
-                                arrival_times, completion_times,
-                            )
-                        )
+                self._run_fast(
+                    arrivals, start_index, result, arrival_times,
+                    completion_times, checkpoint,
+                )
             else:
                 self._replay_with_retries(
                     arrivals, session, result, arrival_times, completion_times,
@@ -547,6 +526,50 @@ class KernelReplayer:
                 span.set_attr("retries", result.retries)
                 span.set_attr("dead_letters", len(result.dead_letter_list))
         return result
+
+    def _run_fast(
+        self,
+        arrivals: list[float],
+        start_index: int,
+        result: KernelResult,
+        arrival_times: list[float],
+        completion_times: list[float],
+        checkpoint: ReplayCheckpoint | None,
+    ) -> None:
+        """The retry-free serve loop: one attempt per arrival, in order.
+
+        Extracted so engine subclasses (the vector engine) can override
+        just the loop while inheriting validation, binding, the retry
+        timeline, and the finalization/accounting epilogue.
+        """
+        serve = self._serve
+        for index in range(start_index, len(arrivals)):
+            t = arrivals[index]
+            status, start, completion, cost, _ = serve(t, False)
+            result.attempts += 1
+            if status == _S_THROTTLED:
+                result.throttled += 1
+            result.requests += 1
+            if status == _S_SUCCESS:
+                result.delivered += 1
+            if start == _COLD:
+                result.cold_starts += 1
+            elif start == _WARM:
+                result.warm_starts += 1
+            result.total_cost += cost
+            arrival_times.append(t)
+            completion_times.append(completion)
+            if (
+                checkpoint is not None
+                and checkpoint.tick()
+                and self._entry.ready
+            ):
+                checkpoint.write(
+                    self._snapshot_state(
+                        result, None, index + 1, None, None,
+                        arrival_times, completion_times,
+                    )
+                )
 
     def _replay_with_retries(
         self,

@@ -41,11 +41,17 @@ import os
 import shutil
 import statistics
 from array import array
+from itertools import repeat
 from dataclasses import dataclass, fields as dataclass_fields
 from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator
 
 from repro.errors import PlatformError
+
+try:  # optional [perf] extra: only append_columns (vector engine) needs it
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    _np = None
 
 import enum
 
@@ -484,6 +490,43 @@ _STATUS_INDEX = {member: i for i, member in enumerate(_STATUS_TYPES)}
 _COLD_START = _START_TYPE_INDEX[StartType.COLD]
 _THROTTLED_STATUS = _STATUS_INDEX[InvocationStatus.THROTTLED]
 
+#: Pre-encoded JSON fragments for the enum-valued spill fields.
+_START_JSON = tuple(json.dumps(member.value) for member in _START_TYPES)
+_STATUS_JSON = tuple(json.dumps(member.value) for member in _STATUS_TYPES)
+
+def _repr_column(column) -> list[str]:
+    """``repr`` strings for one float column, deduplicated when repeats win.
+
+    Spill columns repeat heavily (routing is constant, restore is all
+    zero, billed durations quantize to the ms grid), so repr-per-distinct
+    plus a C gather beats repr-per-row.  Distinctness is decided on the
+    raw IEEE bit patterns — ``np.unique`` on the values would conflate
+    ``-0.0`` with ``0.0`` and change the rendered sign.  High-cardinality
+    columns (timestamps) fall through to the plain repr sweep.
+    """
+    if _np is not None and len(column) >= 256:
+        bits = _np.frombuffer(column, dtype=_np.int64)
+        unique, inverse = _np.unique(bits, return_inverse=True)
+        if len(unique) <= len(column) // 2:
+            table = _np.asarray(
+                [repr(v) for v in unique.view(_np.float64).tolist()],
+                dtype=object,
+            )
+            return table[inverse].tolist()
+    return list(map(repr, column))
+
+
+#: One spill line with every field pre-rendered; keys mirror json.dumps of
+#: :meth:`ExecutionLog._row_dict` exactly (order, separators, spacing).
+_ROW_TEMPLATE = (
+    '{"request_id": %s, "function": %s, "start_type": %s, "timestamp": %s'
+    ', "value": %s, "instance_id": %s, "instance_init_s": %s'
+    ', "transmission_s": %s, "init_duration_s": %s, "restore_duration_s": %s'
+    ', "exec_duration_s": %s, "routing_s": %s, "billed_duration_s": %s'
+    ', "memory_config_mb": %d, "peak_memory_mb": %s, "cost_usd": %s'
+    ', "error_type": %s, "status": %s}\n'
+)
+
 
 class ExecutionLog:
     """Append-only columnar store of invocation records with analysis helpers.
@@ -674,6 +717,238 @@ class ExecutionLog:
         if self.spill_threshold is not None and self._size >= self.spill_threshold:
             self._spill()
 
+    def append_rows(
+        self,
+        function: str,
+        routing_s: float,
+        request_nums: Iterable[int],
+        start_indices: Iterable[int],
+        status_indices: Iterable[int],
+        timestamps: Iterable[float],
+        values: Iterable[Any],
+        value_keys: Iterable[Any],
+        instance_ids: Iterable[str],
+        instance_init_s: Iterable[float],
+        transmission_s: Iterable[float],
+        init_duration_s: Iterable[float],
+        exec_duration_s: Iterable[float],
+        billed_duration_s: Iterable[float],
+        memory_config_mb: Iterable[int],
+        peak_memory_mb: Iterable[float],
+        cost_usd: Iterable[float],
+        error_types: Iterable[str | None],
+    ) -> None:
+        """Append one function's batch of invocations column-at-a-time.
+
+        The bulk twin of :meth:`append_row` for the vector replay engine:
+        typed columns extend in C (one call per column instead of one per
+        cell), string/value interning runs through list comprehensions,
+        and the per-function accounting folds in a single tight loop —
+        with costs still accumulated strictly in row order, so billing
+        sums stay bit-identical to N sequential ``append_row`` calls.
+        ``routing_s`` is constant across the batch (one function, one
+        platform config); ``restore_duration_s`` is always zero on this
+        path (SnapStart functions never reach the batch kernel).  Rows,
+        materialised views, and fully flushed spill bytes are identical
+        to the sequential path; only *when* a spill happens may shift to
+        batch boundaries, which is why the vector engine refuses mid-run
+        checkpoints (their spill watermarks assume row granularity).
+        """
+        request_nums = list(request_nums)
+        n = len(request_nums)
+        if n == 0:
+            return
+        floats = self._floats
+        floats["timestamp"].extend(timestamps)
+        floats["instance_init_s"].extend(instance_init_s)
+        floats["transmission_s"].extend(transmission_s)
+        floats["init_duration_s"].extend(init_duration_s)
+        floats["restore_duration_s"].frombytes(bytes(8 * n))  # all 0.0
+        floats["exec_duration_s"].extend(exec_duration_s)
+        floats["routing_s"].extend(repeat(routing_s, n))
+        floats["billed_duration_s"].extend(billed_duration_s)
+        floats["peak_memory_mb"].extend(peak_memory_mb)
+        cost_column = floats["cost_usd"]
+        start = len(cost_column)
+        cost_column.extend(cost_usd)
+        self._memory_config.extend(memory_config_mb)
+        starts_column = self._start_types
+        statuses_column = self._statuses
+        starts_column.extend(start_indices)
+        statuses_column.extend(status_indices)
+        self._functions.extend(repeat(self._function_table.intern(function), n))
+        intern_instance = self._instance_table.intern
+        self._instances.extend([intern_instance(i) for i in instance_ids])
+        intern_error = self._error_table.intern
+        self._errors.extend(
+            [-1 if e is None else intern_error(e) for e in error_types]
+        )
+        self._request_nums.extend(request_nums)
+        cache = self._value_cache
+        self._values.extend(
+            [
+                v if v is None else cache.setdefault(k, v)
+                for v, k in zip(values, value_keys)
+            ]
+        )
+
+        entry = self._billing.get(function)
+        if entry is None:
+            entry = self._billing[function] = [0.0, 0, 0, 0, 0.0]
+        counts = self._status_totals.get(function)
+        if counts is None:
+            counts = self._status_totals[function] = {}
+        cold_cost = self._cold_costs.get(function, 0.0)
+        billed_cost = entry[0]
+        billed_count = entry[1]
+        cold_count = entry[2]
+        batch_cold_start = cold_count
+        for i in range(start, start + n):
+            status_index = statuses_column[i]
+            if status_index != _THROTTLED_STATUS:
+                cost = cost_column[i]
+                billed_cost += cost
+                billed_count += 1
+                if starts_column[i] == _COLD_START:
+                    cold_count += 1
+                    cold_cost += cost
+            else:
+                entry[3] += 1
+                if cost_column[i]:
+                    entry[4] += cost_column[i]
+            status = STATUSES[status_index]
+            counts[status] = counts.get(status, 0) + 1
+        entry[0] = billed_cost
+        entry[1] = billed_count
+        entry[2] = cold_count
+        if cold_count != batch_cold_start or function in self._cold_costs:
+            self._cold_costs[function] = cold_cost
+        self._size += n
+
+        if self.spill_threshold is not None and self._size >= self.spill_threshold:
+            self._spill()
+
+    def append_columns(
+        self,
+        function: str,
+        routing_s: float,
+        rid_start: int,
+        *,
+        start_types,
+        status_indices,
+        timestamps,
+        instance_runs,
+        value_runs,
+        error_runs,
+        instance_init_s,
+        transmission_s,
+        init_duration_s,
+        exec_duration_s,
+        billed_duration_s,
+        memory_config_mb,
+        peak_memory_mb,
+        cost_usd,
+    ) -> None:
+        """Append one function's batch straight from numpy arrays.
+
+        The zero-copy twin of :meth:`append_rows` for the vector chain
+        path: float/int columns land via ``frombytes`` of the arrays'
+        native little-endian buffers (typed columns and numpy share the
+        same C layout), repetitive string-ish columns arrive run-length
+        encoded — ``instance_runs`` as ``(instance_id, count)`` pairs,
+        ``value_runs`` as ``(value, value_key, count)``, ``error_runs``
+        as ``(error_type_or_None, count)`` — and the accounting folds
+        run as seeded ``cumsum`` left-folds, bit-identical to the
+        sequential loop.  Every request id is regular: row *i* is
+        ``req-{rid_start + i}``.  No row may be throttled (the chain
+        path never buffers throttles); ``restore_duration_s`` is zero as
+        on :meth:`append_rows`.
+        """
+        n = int(len(timestamps))
+        if n == 0:
+            return
+        floats = self._floats
+        floats["timestamp"].frombytes(timestamps.tobytes())
+        floats["instance_init_s"].frombytes(instance_init_s.tobytes())
+        floats["transmission_s"].frombytes(transmission_s.tobytes())
+        floats["init_duration_s"].frombytes(init_duration_s.tobytes())
+        floats["restore_duration_s"].frombytes(bytes(8 * n))  # all 0.0
+        floats["exec_duration_s"].frombytes(exec_duration_s.tobytes())
+        floats["routing_s"].extend(repeat(routing_s, n))
+        floats["billed_duration_s"].frombytes(billed_duration_s.tobytes())
+        floats["peak_memory_mb"].frombytes(peak_memory_mb.tobytes())
+        floats["cost_usd"].frombytes(cost_usd.tobytes())
+        self._memory_config.frombytes(memory_config_mb.tobytes())
+        self._start_types.frombytes(start_types.tobytes())
+        self._statuses.frombytes(status_indices.tobytes())
+        function_index = self._function_table.intern(function)
+        self._functions.extend(array("i", (function_index,)) * n)
+        instances_column = self._instances
+        intern_instance = self._instance_table.intern
+        for instance_id, count in instance_runs:
+            index = intern_instance(instance_id)
+            if count == 1:
+                instances_column.append(index)
+            else:
+                instances_column.extend(array("i", (index,)) * count)
+        errors_column = self._errors
+        intern_error = self._error_table.intern
+        for error, count in error_runs:
+            index = -1 if error is None else intern_error(error)
+            if count == 1:
+                errors_column.append(index)
+            else:
+                errors_column.extend(array("i", (index,)) * count)
+        self._request_nums.frombytes(
+            _np.arange(rid_start, rid_start + n, dtype=_np.int64).tobytes()
+        )
+        cache = self._value_cache
+        values_column = self._values
+        for value, value_key, count in value_runs:
+            if value is not None:
+                value = cache.setdefault(value_key, value)
+            if count == 1:
+                values_column.append(value)
+            else:
+                values_column.extend([value] * count)
+
+        entry = self._billing.get(function)
+        if entry is None:
+            entry = self._billing[function] = [0.0, 0, 0, 0, 0.0]
+        counts = self._status_totals.get(function)
+        if counts is None:
+            counts = self._status_totals[function] = {}
+        entry[0] = float(
+            _np.cumsum(_np.concatenate(((entry[0],), cost_usd)))[-1]
+        )
+        entry[1] += n
+        cold_mask = start_types == _COLD_START
+        cold_n = int(cold_mask.sum())
+        entry[2] += cold_n
+        if cold_n:
+            self._cold_costs[function] = float(
+                _np.cumsum(
+                    _np.concatenate(
+                        (
+                            (self._cold_costs.get(function, 0.0),),
+                            cost_usd[cold_mask],
+                        )
+                    )
+                )[-1]
+            )
+        unique, first, unique_counts = _np.unique(
+            status_indices, return_index=True, return_counts=True
+        )
+        for position in _np.argsort(first, kind="stable").tolist():
+            status = STATUSES[int(unique[position])]
+            counts[status] = counts.get(status, 0) + int(
+                unique_counts[position]
+            )
+        self._size += n
+
+        if self.spill_threshold is not None and self._size >= self.spill_threshold:
+            self._spill()
+
     def _account(
         self, function: str, start_index: int, status_index: int, cost: float
     ) -> None:
@@ -758,13 +1033,105 @@ class ExecutionLog:
             status=_STATUS_TYPES[self._statuses[i]],
         )
 
+    def _render_lines(self) -> list[str] | None:
+        """Every in-memory row as its spill line (trailing newline included).
+
+        Byte-identical to ``json.dumps(self._row_dict(i)) + "\\n"`` but an
+        order of magnitude cheaper: strings encode once per interned table
+        entry, enum fragments come from module tables, and the numeric
+        fields go through ``repr`` — exactly what the C encoder emits for
+        finite floats and ints.  Returns ``None`` when any float column
+        holds a non-finite value or a record value refuses to serialize;
+        callers then fall back to the general per-row encoder (which spells
+        infinities the ``json`` way).  Soundness of the finiteness probe:
+        IEEE addition propagates NaN, and an infinity only cancels into
+        NaN, so a non-finite member always leaves ``sum()`` non-finite.
+        A finite-but-overflowing sum merely wastes the fast path.
+        """
+        floats = self._floats
+        for column in floats.values():
+            total = sum(column)
+            if total - total != 0.0:
+                return None
+        fn_json = [json.dumps(v) for v in self._function_table.values]
+        inst_json = [json.dumps(v) for v in self._instance_table.values]
+        err_json = [json.dumps(v) for v in self._error_table.values]
+        value_json: dict[int, str] = {}
+        values_col = []
+        vappend = values_col.append
+        vget = value_json.get
+        for value in self._values:
+            if value is None:
+                vappend("null")
+                continue
+            key = id(value)
+            vj = vget(key)
+            if vj is None:
+                try:
+                    vj = value_json[key] = json.dumps(value)
+                except (TypeError, ValueError):
+                    return None
+            vappend(vj)
+        odd = self._request_odd
+        spilled = self._spilled
+        if not odd:
+            # No odd ids anywhere in the log: every num is regular.
+            rid_col = list(map('"req-%06d"'.__mod__, self._request_nums))
+        else:
+            rid_col = [
+                f'"req-{num:06d}"' if num >= 0 else json.dumps(odd[spilled + i])
+                for i, num in enumerate(self._request_nums)
+            ]
+        # Column-at-a-time assembly: one repr sweep per float column (the
+        # dominant cost, unavoidable — it is what the C encoder would do
+        # row-wise) and table lookups mapped per column, then a single
+        # %-format per row over precomputed fragments.
+        return list(
+            map(
+                _ROW_TEMPLATE.__mod__,
+                zip(
+                    rid_col,
+                    map(fn_json.__getitem__, self._functions),
+                    map(_START_JSON.__getitem__, self._start_types),
+                    map(repr, floats["timestamp"]),
+                    values_col,
+                    map(inst_json.__getitem__, self._instances),
+                    _repr_column(floats["instance_init_s"]),
+                    _repr_column(floats["transmission_s"]),
+                    _repr_column(floats["init_duration_s"]),
+                    _repr_column(floats["restore_duration_s"]),
+                    _repr_column(floats["exec_duration_s"]),
+                    _repr_column(floats["routing_s"]),
+                    _repr_column(floats["billed_duration_s"]),
+                    self._memory_config,
+                    _repr_column(floats["peak_memory_mb"]),
+                    _repr_column(floats["cost_usd"]),
+                    ("null" if e < 0 else err_json[e] for e in self._errors),
+                    map(_STATUS_JSON.__getitem__, self._statuses),
+                )
+            )
+        )
+
+    def _render_payload(self) -> bytes:
+        """Every in-memory row as one encoded UTF-8 chunk.
+
+        Rendering to bytes once and writing through a binary handle skips
+        the TextIOWrapper encode pass over the whole block — the bytes on
+        disk are identical (UTF-8, ``\\n`` line ends on every platform).
+        """
+        lines = self._render_lines()
+        if lines is None:
+            lines = [
+                json.dumps(self._row_dict(i)) + "\n" for i in range(self._size)
+            ]
+        return "".join(lines).encode("utf-8")
+
     def _spill(self) -> None:
         """Append every in-memory row to the spill file and drop them."""
         assert self.spill_path is not None
         self.spill_path.parent.mkdir(parents=True, exist_ok=True)
-        with self.spill_path.open("a", encoding="utf-8") as handle:
-            for i in range(self._size):
-                handle.write(json.dumps(self._row_dict(i)) + "\n")
+        with self.spill_path.open("ab") as handle:
+            handle.write(self._render_payload())
         self._spilled += self._size
         self._reset_columns()
 
@@ -873,12 +1240,11 @@ class ExecutionLog:
             if path.resolve() == self.spill_path.resolve():
                 raise PlatformError("cannot write_jsonl onto the live spill file")
             shutil.copyfile(self.spill_path, path)
-            mode = "a"
+            mode = "ab"
         else:
-            mode = "w"
-        with path.open(mode, encoding="utf-8") as handle:
-            for i in range(self._size):
-                handle.write(json.dumps(self._row_dict(i)) + "\n")
+            mode = "wb"
+        with path.open(mode) as handle:
+            handle.write(self._render_payload())
         return path
 
     @classmethod

@@ -29,13 +29,18 @@ import heapq
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Iterable
+from typing import Any, Iterable, Sequence
 
 from repro.errors import PlatformError
 from repro.obs import get_recorder
 from repro.obs.histogram import LogLinearHistogram
 from repro.platform.logs import InvocationRecord, StartType
 from repro.platform.slo import FLEET, SloBreach, SloPolicy, SloRule, metric_value
+
+try:  # optional [perf] extra: observe_columns needs it, observe_rows doesn't
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    _np = None
 
 __all__ = ["WindowRollup", "TelemetrySink", "FleetReport", "FLEET", "EXEMPLAR_K"]
 
@@ -274,6 +279,11 @@ class WindowRollup:
 #: buffered memory stays bounded no matter how long a run streams.
 DRAIN_THRESHOLD = 50_000
 
+#: Columnar (function, window) runs at or below this many rows fold via
+#: the plain-Python row sweep — a dozen numpy kernel launches cost more
+#: than looping a handful of rows (see ``_ingest_cols_small``).
+_SMALL_RUN = 128
+
 #: Sentinel tagging a buffered host event so ``_drain`` can tell it apart
 #: from an ``observe_row`` invocation tuple.
 _HOST_EVENT = object()
@@ -365,6 +375,345 @@ class TelemetrySink:
         self._pending.append((row, arrival))
         if len(self._pending) >= DRAIN_THRESHOLD:
             self._drain()
+
+    def observe_rows(
+        self,
+        rows: Sequence[tuple],
+        *,
+        arrivals: Sequence[float],
+    ) -> None:
+        """Fold many already-decomposed rows at once (the vector-engine path).
+
+        Equivalent to one :meth:`observe_row` call per row followed by a
+        drain, but maximal runs of rows sharing a (function, window) are
+        aggregated in bulk: histogram inserts go through
+        :meth:`~repro.obs.histogram.LogLinearHistogram.observe_many`,
+        while every order-dependent float accumulation (``cost_usd``,
+        ``billed_s_sum``, the sketches' ``_sum``) stays a sequential fold
+        in row order, so sink state is bit-identical to the per-row path.
+        Rows must arrive in non-decreasing arrival order, like every
+        other publisher.  The hot-path buffer is drained first so
+        previously buffered records keep their publish order.
+        """
+        if len(rows) != len(arrivals):
+            raise PlatformError(
+                f"observe_rows needs one arrival per row: "
+                f"{len(rows)} rows vs {len(arrivals)} arrivals"
+            )
+        if not rows:
+            return
+        self._drain()
+        window_s = self.window_s
+        n = len(rows)
+        start = 0
+        while start < n:
+            function = rows[start][0]
+            index = int(arrivals[start] // window_s)
+            end = start + 1
+            while (
+                end < n
+                and rows[end][0] == function
+                and int(arrivals[end] // window_s) == index
+            ):
+                end += 1
+            self._ingest_run(rows, arrivals, start, end)
+            start = end
+
+    def _ingest_run(
+        self,
+        rows: Sequence[tuple],
+        arrivals: Sequence[float],
+        start: int,
+        end: int,
+    ) -> None:
+        """Fold rows[start:end] — one (function, window) run — in bulk."""
+        function = rows[start][0]
+        names = (function, FLEET) if self.track_fleet else (function,)
+        for name in names:
+            rollup = self._rollup(name, arrivals[start])
+            heap = self._in_flight.setdefault(name, [])
+            status_counts = rollup.status_counts
+            exemplars = rollup.exemplars
+            errors = 0
+            cold = 0
+            warm = 0
+            cost = rollup.cost_usd
+            billed_sum = rollup.billed_s_sum
+            peak = rollup.concurrency_peak
+            e2e_values: list[float] = []
+            cold_values: list[float] = []
+            billed_values: list[float] = []
+            for i in range(start, end):
+                row = rows[i]
+                arrival = arrivals[i]
+                status = row[1]
+                status_counts[status] = status_counts.get(status, 0) + 1
+                if not row[2]:
+                    errors += 1
+                e2e_s = row[6]
+                if row[3]:
+                    if row[4]:
+                        cold += 1
+                        cold_values.append(e2e_s)
+                    elif row[5]:
+                        warm += 1
+                    cost += row[7]
+                    billed_sum += row[8]
+                    e2e_values.append(e2e_s)
+                    billed_values.append(row[8])
+                    request_num = row[9] if len(row) > 9 else -1
+                    if request_num >= 0 and (
+                        len(exemplars) < EXEMPLAR_K or e2e_s > exemplars[-1][0]
+                    ):
+                        rollup._push_exemplar(
+                            e2e_s, f"{function}/req-{request_num:06d}"
+                        )
+                completion = arrival + e2e_s
+                while heap and heap[0] <= arrival:
+                    heapq.heappop(heap)
+                heapq.heappush(heap, completion)
+                depth = len(heap)
+                if depth > peak:
+                    peak = depth
+            rollup.invocations += end - start
+            rollup.errors += errors
+            rollup.cold_starts += cold
+            rollup.warm_starts += warm
+            rollup.cost_usd = cost
+            rollup.billed_s_sum = billed_sum
+            rollup.concurrency_peak = peak
+            if e2e_values:
+                rollup.e2e.observe_many(e2e_values)
+                rollup.billed.observe_many(billed_values)
+            if cold_values:
+                rollup.cold_e2e.observe_many(cold_values)
+
+    def observe_columns(
+        self,
+        function: str,
+        *,
+        statuses,
+        status_names: Sequence[str],
+        ok,
+        is_cold,
+        e2e,
+        cost,
+        billed_s,
+        arrivals,
+        rid_start: int,
+    ) -> None:
+        """Fold one all-billed columnar batch — the vector chain path.
+
+        Arguments are parallel numpy arrays in serve order: ``statuses``
+        indexes into ``status_names``, ``ok``/``is_cold`` are bool masks
+        (every row is billed and non-throttled, so ``is_warm`` is exactly
+        ``~is_cold``), and row *i* carries request number
+        ``rid_start + i``.  State after the call is bit-identical to one
+        :meth:`observe_row` per row: order-dependent float folds
+        (``cost_usd``, ``billed_s_sum``, histogram ``_sum``) run as
+        seeded ``cumsum`` left-folds, counters and bucket counts come
+        from array aggregates, and the concurrency heap is replaced by
+        its surviving multiset (pop/push order inside one batch is
+        unobservable — only pops-by-value and depth are).  Requires
+        numpy; callers fall back to :meth:`observe_rows` without it.
+        """
+        if _np is None:  # pragma: no cover - vector engine requires numpy
+            raise PlatformError("observe_columns requires numpy")
+        n = int(len(e2e))
+        if n == 0:
+            return
+        self._drain()
+        window_s = self.window_s
+        widx = _np.floor_divide(arrivals, window_s).astype(_np.int64)
+        bounds = (_np.flatnonzero(widx[1:] != widx[:-1]) + 1).tolist()
+        edges = [0, *bounds, n]
+        for run in range(len(edges) - 1):
+            a, b = edges[run], edges[run + 1]
+            if b - a <= _SMALL_RUN:
+                self._ingest_cols_small(
+                    function, status_names, statuses, ok, is_cold, e2e,
+                    cost, billed_s, arrivals, rid_start, a, b,
+                )
+            else:
+                self._ingest_cols(
+                    function, status_names, statuses, ok, is_cold, e2e,
+                    cost, billed_s, arrivals, rid_start, a, b,
+                )
+
+    def _ingest_cols_small(
+        self, function, status_names, statuses, ok, is_cold, e2e, cost,
+        billed_s, arrivals, rid_start, a, b,
+    ) -> None:
+        """Row-loop twin of :meth:`_ingest_cols` for short runs.
+
+        Fleet traces cut batches into many small (function, window) runs;
+        below ``_SMALL_RUN`` rows the fixed cost of a dozen numpy
+        kernels exceeds a plain Python sweep.  This is the reference
+        per-row fold verbatim (same arithmetic, same order), so the
+        resulting sink state is bit-identical to both the scalar path
+        and :meth:`_ingest_cols`.
+        """
+        m = b - a
+        st_l = statuses[a:b].tolist()
+        ok_l = ok[a:b].tolist()
+        cold_l = is_cold[a:b].tolist()
+        e2e_l = e2e[a:b].tolist()
+        cost_l = cost[a:b].tolist()
+        bill_l = billed_s[a:b].tolist()
+        arr_l = arrivals[a:b].tolist()
+        rid0 = rid_start + a
+        names = (function, FLEET) if self.track_fleet else (function,)
+        for name in names:
+            rollup = self._rollup(name, arr_l[0])
+            heap = self._in_flight.setdefault(name, [])
+            status_counts = rollup.status_counts
+            exemplars = rollup.exemplars
+            errors = 0
+            cold = 0
+            cost_acc = rollup.cost_usd
+            billed_sum = rollup.billed_s_sum
+            peak = rollup.concurrency_peak
+            cold_values: list[float] = []
+            for i in range(m):
+                status = status_names[st_l[i]]
+                status_counts[status] = status_counts.get(status, 0) + 1
+                if not ok_l[i]:
+                    errors += 1
+                e2e_s = e2e_l[i]
+                if cold_l[i]:
+                    cold += 1
+                    cold_values.append(e2e_s)
+                cost_acc += cost_l[i]
+                billed_sum += bill_l[i]
+                if len(exemplars) < EXEMPLAR_K or e2e_s > exemplars[-1][0]:
+                    rollup._push_exemplar(
+                        e2e_s, f"{function}/req-{rid0 + i:06d}"
+                    )
+                arrival = arr_l[i]
+                while heap and heap[0] <= arrival:
+                    heapq.heappop(heap)
+                heapq.heappush(heap, arrival + e2e_s)
+                depth = len(heap)
+                if depth > peak:
+                    peak = depth
+            rollup.invocations += m
+            rollup.errors += errors
+            rollup.cold_starts += cold
+            rollup.warm_starts += m - cold
+            rollup.cost_usd = cost_acc
+            rollup.billed_s_sum = billed_sum
+            rollup.concurrency_peak = peak
+            rollup.e2e.observe_many(e2e_l)
+            rollup.billed.observe_many(bill_l)
+            if cold_values:
+                rollup.cold_e2e.observe_many(cold_values)
+
+    def _ingest_cols(
+        self, function, status_names, statuses, ok, is_cold, e2e, cost,
+        billed_s, arrivals, rid_start, a, b,
+    ) -> None:
+        """Fold columns[a:b] — one (function, window) run — in bulk."""
+        m = b - a
+        arr_sl = arrivals[a:b]
+        e2e_sl = e2e[a:b]
+        comp_sl = arr_sl + e2e_sl
+        cold_sl = is_cold[a:b]
+        uq, first, cnts = _np.unique(
+            statuses[a:b], return_index=True, return_counts=True
+        )
+        status_pairs = [
+            (status_names[int(uq[p])], int(cnts[p]))
+            for p in _np.argsort(first, kind="stable").tolist()
+        ]
+        errors = m - int(ok[a:b].sum())
+        cold_n = int(cold_sl.sum())
+        cold_vals = e2e_sl[cold_sl] if cold_n else None
+        bill_sl = billed_s[a:b]
+        cost_sl = cost[a:b]
+        # A zero-e2e row completes *at* its arrival, entangling pop order
+        # with same-instant arrivals — the closed form below assumes
+        # every completion lands strictly after its arrival.
+        zero_e2e = bool((e2e_sl == 0.0).any())
+        arrival0 = float(arr_sl[0])
+        names = (function, FLEET) if self.track_fleet else (function,)
+        for name in names:
+            rollup = self._rollup(name, arrival0)
+            status_counts = rollup.status_counts
+            for status, cnt in status_pairs:
+                status_counts[status] = status_counts.get(status, 0) + cnt
+            rollup.invocations += m
+            rollup.errors += errors
+            rollup.cold_starts += cold_n
+            rollup.warm_starts += m - cold_n
+            rollup.cost_usd = float(
+                _np.cumsum(_np.concatenate(((rollup.cost_usd,), cost_sl)))[-1]
+            )
+            rollup.billed_s_sum = float(
+                _np.cumsum(
+                    _np.concatenate(((rollup.billed_s_sum,), bill_sl))
+                )[-1]
+            )
+            rollup.e2e.observe_many(e2e_sl)
+            rollup.billed.observe_many(bill_sl)
+            if cold_vals is not None:
+                rollup.cold_e2e.observe_many(cold_vals)
+            exemplars = rollup.exemplars
+            index = 0
+            while index < m and len(exemplars) < EXEMPLAR_K:
+                rollup._push_exemplar(
+                    float(e2e_sl[index]),
+                    f"{function}/req-{rid_start + a + index:06d}",
+                )
+                index += 1
+            if index < m:
+                # The K-th slowest only ever rises, so rows at or below
+                # the *entry* threshold can never displace an exemplar.
+                candidates = (
+                    _np.flatnonzero(e2e_sl[index:] > exemplars[-1][0]) + index
+                )
+                for i in candidates.tolist():
+                    value = float(e2e_sl[i])
+                    if value > exemplars[-1][0]:
+                        rollup._push_exemplar(
+                            value, f"{function}/req-{rid_start + a + i:06d}"
+                        )
+            heap = self._in_flight.setdefault(name, [])
+            if zero_e2e:
+                peak = rollup.concurrency_peak
+                for i in range(m):
+                    arrival = arr_sl[i]
+                    while heap and heap[0] <= arrival:
+                        heapq.heappop(heap)
+                    heapq.heappush(heap, float(comp_sl[i]))
+                    depth = len(heap)
+                    if depth > peak:
+                        peak = depth
+                rollup.concurrency_peak = peak
+            else:
+                len_heap = len(heap)
+                if len_heap:
+                    carry = _np.sort(_np.asarray(heap))
+                    heap_pops = _np.searchsorted(carry, arr_sl, side="right")
+                else:
+                    heap_pops = 0
+                own_pops = _np.searchsorted(
+                    _np.sort(comp_sl), arr_sl, side="right"
+                )
+                depth = (len_heap - heap_pops) + (
+                    _np.arange(1, m + 1) - own_pops
+                )
+                peak = int(depth.max())
+                if peak > rollup.concurrency_peak:
+                    rollup.concurrency_peak = peak
+                t_last = arr_sl[m - 1]
+                survivors: list[float] = []
+                if len_heap:
+                    survivors += carry[carry > t_last].tolist()
+                head = comp_sl[:-1]
+                survivors += head[head > t_last].tolist()
+                survivors.append(float(comp_sl[m - 1]))
+                survivors.sort()
+                heap[:] = survivors
 
     def observe_host(
         self, function: str, kind: str, util: float, *, arrival: float

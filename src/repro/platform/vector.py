@@ -1,0 +1,1102 @@
+"""The vector replay engine: batch emission over the template kernel.
+
+:class:`~repro.platform.kernel.KernelReplayer` already collapses each
+invocation to a handful of float additions, but it still pays the full
+per-event toll — a ``_serve`` call chain, one ``append_row``, one
+``observe_row``, one billing update — once per arrival.  At fleet scale
+that per-event overhead *is* the replay time.  :class:`VectorReplayer`
+pays it once per batch instead: it drives the same capture phase on the
+scalar path, then switches to a tight loop that only makes the decisions
+that genuinely depend on the previous invocation (the warm-pool MRU
+stack + busy heap, the clock fold, fault-outage checks) and defers
+everything else — logging, billing, telemetry — to bulk, column-at-a-
+time flushes.  On the throttle-free path each row is just a *spec
+index* into per-*j* numpy outcome tables (built array-at-a-time by
+:meth:`VectorReplayer._extend_spec_cols`), gathered into full columns
+at flush time and emitted through :meth:`ExecutionLog.append_columns`,
+:meth:`TelemetrySink.observe_columns` (numpy-bucketed histograms via
+``Histogram.observe_many``), and :meth:`FunctionBill.charge_block`;
+runs that can throttle keep the row-tuple loop through
+:meth:`ExecutionLog.append_rows` / :meth:`TelemetrySink.observe_rows`.
+
+**Equivalence argument.**  Byte-identity with the reference engine holds
+for the same reason the kernel's does — identical float operations in
+identical order — plus two observations this module leans on:
+
+1. *Shared drift sequences.*  Every synthesized instance of a template
+   lives on one float-drift sequence: ``W[0]`` is the cold template's
+   post-exec meter time and ``W[j]`` folds the warm tape onto
+   ``W[j-1]`` with the meter's own addition order.  An instance about to
+   serve its ``j+1``-th invocation has ``t == W[j]`` exactly, so its
+   exec time ``W[j+1] - W[j]``, billed duration, cost, status ladder,
+   and e2e are pure functions of ``j`` — computed once per *j* into an
+   outcome table instead of once per invocation (the "array-at-a-time
+   status/billing math").  The same holds for live/peak memory.
+2. *Order-dependent sums stay sequential.*  The clock, the per-function
+   billing sums, the telemetry histogram ``_sum`` folds, and the log's
+   accounting folds are sequential float additions whose order is
+   observable; the bulk paths keep them as loops in serve order and
+   vectorize only the order-free work (bucket indices, column extends,
+   interning, counters).
+
+**Fallback matrix.**  The batch path engages only when the whole run is
+homogeneous: numpy importable, no checkpoint/resume, no host layer, no
+CPU scaling, and no exec/cold-crash fault rates for the function
+(outage- and rate-based *throttles* are fine — the injector is consulted
+per serve, preserving RNG draw order and injection counters).  Retry
+sessions use the inherited scalar timeline.  Timeout and OOM ladders are
+batched (they are per-*j* outcomes, not events).  Anything else —
+including a pool whose adopted instances fail the drift consistency
+check — falls back to the scalar kernel mid-run, which is itself
+byte-identical, so every export (merged logs, ledgers, telemetry, dead
+letters, attribution profiles, checkpoints taken on the fallback path)
+matches the reference engine at any worker count.  The parity suite in
+``tests/platform/test_vector.py`` pins this down.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.obs.attribution import attribute_cold_start
+from repro.platform.faults import ANY_FUNCTION
+from repro.platform.kernel import (
+    _COLD,
+    _INF,
+    _S_ERROR,
+    _S_OOM,
+    _S_SUCCESS,
+    _S_THROTTLED,
+    _S_TIMEOUT,
+    _STATUS_VALUES,
+    _THROTTLED_START,
+    _WARM,
+    KernelReplayer,
+    _Shadow,
+)
+
+try:  # numpy is an optional [perf] extra; without it we run the scalar kernel
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    _np = None
+
+#: True when the vector engine can actually engage its batch path.
+HAVE_NUMPY = _np is not None
+
+__all__ = ["VectorReplayer", "HAVE_NUMPY"]
+
+#: Emit in bounded chunks so a single huge function keeps RSS flat; flush
+#: boundaries are unobservable (sums continue their sequential folds).
+_FLUSH_ROWS = 131072
+
+
+class _DriftTables:
+    """Per-template meter drift: state after the j-th serve of an instance.
+
+    ``t[j]``/``live[j]``/``peak[j]`` are the meter fields any synthesized
+    instance holds once it has served ``j + 1`` invocations (one cold
+    plus ``j`` warm), computed with the meter's own sequential folds so
+    the floats are bit-identical to per-instance replay.  Cached on
+    ``_Entry.drift`` — the tables are pure template math, shared by every
+    replayer that serves the same (bundle, event) pair.
+    """
+
+    __slots__ = ("t", "live", "peak")
+
+    def __init__(self, cold) -> None:
+        self.t = [cold.post_t]
+        self.live = [cold.post_live]
+        self.peak = [cold.post_peak]
+
+    def extend(self, upto: int, warm) -> None:
+        """Grow the tables so index *upto* is valid."""
+        t = self.t
+        if len(t) > upto:
+            return
+        live = self.live
+        peak = self.peak
+        times = warm.times
+        mems = warm.mems
+        has_mem = warm.has_mem
+        while len(t) <= upto:
+            # Same fold as _synth_warm: the tape as sequential additions.
+            running = t[-1]
+            for time_s in times:
+                running += time_s
+            t.append(running)
+            if has_mem:
+                lv = live[-1]
+                pk = peak[-1]
+                for mb in mems:
+                    if mb:
+                        lv += mb
+                        if lv > pk:
+                            pk = lv
+                live.append(lv)
+                peak.append(pk)
+            else:
+                live.append(live[-1])
+                peak.append(peak[-1])
+
+    def extend_array(self, upto: int, warm) -> None:
+        """Vectorized :meth:`extend`: the same sequential folds as numpy
+        prefix scans.
+
+        ``cumsum`` is a strict left fold, so seeding it with the last
+        table entry and tiling the tape reproduces the scalar loop's
+        additions bit for bit; every L-th prefix is a table entry.  The
+        memory fold includes the tape's zero entries the scalar loop
+        skips — adding ``±0.0`` is a no-op here because the running
+        live value can never be ``-0.0`` (it starts ``>= 0`` and
+        ``a + (-a)`` rounds to ``+0.0``), and the running max only
+        moves on strict increase.
+        """
+        t = self.t
+        need = upto + 1 - len(t)
+        if need <= 0:
+            return
+        times = warm.times
+        count = len(times)
+        if count:
+            folded = _np.cumsum(
+                _np.concatenate(
+                    ((t[-1],), _np.tile(_np.asarray(times), need))
+                )
+            )
+            t.extend(folded[count::count].tolist())
+        else:
+            t.extend([t[-1]] * need)
+        live = self.live
+        peak = self.peak
+        if warm.has_mem and len(warm.mems):
+            mems = _np.asarray(warm.mems)
+            width = len(warm.mems)
+            lv = _np.cumsum(
+                _np.concatenate(((live[-1],), _np.tile(mems, need)))
+            )
+            pk = _np.maximum.accumulate(
+                _np.concatenate(((peak[-1],), lv[1:]))
+            )
+            live.extend(lv[width::width].tolist())
+            peak.extend(pk[width::width].tolist())
+        else:
+            live.extend([live[-1]] * need)
+            peak.extend([peak[-1]] * need)
+
+
+class VectorReplayer(KernelReplayer):
+    """Kernel replayer with a batched, bulk-emitting serve loop.
+
+    Drop-in for :class:`KernelReplayer` — same constructor, same
+    :meth:`replay` contract, byte-identical outputs.  Only the retry-free
+    serve loop is overridden; validation, binding, retries, checkpoints,
+    and the finalization epilogue are inherited.
+    """
+
+    def _run_fast(
+        self, arrivals, start_index, result, arrival_times, completion_times,
+        checkpoint,
+    ) -> None:
+        if (
+            _np is None
+            or checkpoint is not None
+            or start_index != 0
+            or not self._batch_safe()
+        ):
+            super()._run_fast(
+                arrivals, start_index, result, arrival_times,
+                completion_times, checkpoint,
+            )
+            return
+        # Capture phase on the scalar path: real cold + two verified warm
+        # runs (plus anything served before the template is ready).
+        entry = self._entry
+        serve = self._serve
+        n = len(arrivals)
+        index = 0
+        while index < n and not entry.ready:
+            t = arrivals[index]
+            status, start, completion, cost, _ = serve(t, False)
+            result.attempts += 1
+            if status == _S_THROTTLED:
+                result.throttled += 1
+            result.requests += 1
+            if status == _S_SUCCESS:
+                result.delivered += 1
+            if start == _COLD:
+                result.cold_starts += 1
+            elif start == _WARM:
+                result.warm_starts += 1
+            result.total_cost += cost
+            arrival_times.append(t)
+            completion_times.append(completion)
+            index += 1
+        if index == n:
+            return
+        if not self._pool_consistent():
+            super()._run_fast(
+                arrivals, index, result, arrival_times, completion_times, None
+            )
+            return
+        self._run_batch(arrivals, index, result, arrival_times, completion_times)
+
+    # -- qualification ------------------------------------------------------
+
+    def _batch_safe(self) -> bool:
+        """Is the whole run homogeneous enough to batch?
+
+        Hosts and CPU scaling thread per-invocation state through the
+        serve; exec/cold-crash faults draw RNG inside it.  Throttle
+        rates and outages are fine: the injector is consulted per serve
+        on the batch path too, preserving draws and counters exactly.
+        """
+        if self._hosts is not None or self.emulator.cpu_scaling is not None:
+            return False
+        faults = self._faults
+        if faults is not None:
+            rates = faults.plan.rates_for(self._name)
+            if rates.exec_crash != 0.0 or rates.cold_start_crash != 0.0:
+                return False
+        return True
+
+    def _pool_consistent(self) -> bool:
+        """Every live pool instance must sit exactly on the drift sequence.
+
+        Capture-phase shadows always do (the meter performed the same
+        folds the tables replay), but an instance adopted from direct
+        ``emulator.invoke()`` calls may carry foreign history — e.g. a
+        different event's charge tape.  Any mismatch sends the whole run
+        to the scalar kernel.  Read-only: safe to call before adoption.
+        """
+        entry = self._entry
+        drift = entry.drift
+        if drift is None:
+            drift = entry.drift = _DriftTables(entry.cold)
+        warm = entry.warm
+        t_table = drift.t
+        live_table = drift.live
+        peak_table = drift.peak
+
+        def on_drift(invocations: int, t: float, live: float, peak: float) -> bool:
+            if invocations < 1:
+                return False
+            drift.extend(invocations - 1, warm)
+            k = invocations - 1
+            return (
+                t == t_table[k]
+                and live == live_table[k]
+                and peak == peak_table[k]
+            )
+
+        for _, _, shadow in self._busy:
+            if not on_drift(shadow.invocations, shadow.t, shadow.live, shadow.peak):
+                return False
+        for _, shadow in self._idle:
+            if shadow.alive and not on_drift(
+                shadow.invocations, shadow.t, shadow.live, shadow.peak
+            ):
+                return False
+        if not self._adopted:
+            for instance in self._function.instances:
+                if not instance.alive:
+                    continue
+                meter = instance.app.meter
+                if not on_drift(
+                    instance.invocations, meter.time_s, meter.live_mb,
+                    meter.peak_mb,
+                ):
+                    return False
+        return True
+
+    # -- outcome tables -----------------------------------------------------
+
+    def _cold_spec(self):
+        """The cold-start outcome: every synthesized cold is identical up
+        to its timestamp, request id, and instance id."""
+        template = self._entry.cold
+        name = self._name
+        routing = self._routing
+        instance_init_s, transmission_s = self._overhead
+        init_s = template.init_s
+        peak = template.post_peak
+        memory_mb = self._memory_mb
+        configured = memory_mb if memory_mb is not None else max(int(peak + 0.999), 1)
+        clamped = self._clamp(configured)
+        exec_s = template.exec1_s
+        value = template.value
+        value_key = template.value_key
+        error_type = template.error_type
+        status = _S_SUCCESS if error_type is None else _S_ERROR
+        kill = False
+        timeout_s = self._timeout_s
+        timeout_at = (
+            timeout_s if timeout_s is not None and exec_s > timeout_s else _INF
+        )
+        if timeout_at <= exec_s:
+            exec_s = timeout_at
+            value, value_key, error_type = None, None, "TimeoutError"
+            status = _S_TIMEOUT
+        elif memory_mb is not None and peak > clamped:
+            value, value_key, error_type = None, None, "OutOfMemoryError"
+            status = _S_OOM
+            kill = True
+        billed_duration = init_s + exec_s
+        billed_s = self._billed(billed_duration)
+        cost = self._cost(billed_duration, configured)
+        # Same addition order as InvocationRecord.e2e_s.
+        e2e = routing + instance_init_s + transmission_s + init_s + 0.0 + exec_s
+        variant = (
+            _COLD, status, value, value_key, instance_init_s, transmission_s,
+            init_s, exec_s, billed_s, clamped, peak, cost, error_type,
+        )
+        vrow = (
+            name, _STATUS_VALUES[status], status == _S_SUCCESS, True, True,
+            False, e2e, cost, billed_s,
+        )
+        return exec_s, e2e, kill, variant, vrow, clamped, billed_s, cost
+
+    def _extend_specs(self, upto: int) -> None:
+        """Grow the warm outcome table so index *upto* is valid.
+
+        Entry *j* is the full billed outcome of an instance's serve when
+        it has already run *j* invocations: exec time off the drift
+        sequence, the timeout/OOM ladder, billed duration, cost, e2e,
+        and the prebuilt log/telemetry row constants.
+        """
+        entry = self._entry
+        drift = entry.drift
+        template = entry.warm
+        drift.extend(upto, template)
+        specs = self._warm_specs
+        w = drift.t
+        peaks = drift.peak
+        name = self._name
+        routing = self._routing
+        memory_mb = self._memory_mb
+        timeout_s = self._timeout_s
+        j = len(specs)
+        while j <= upto:
+            exec_s = w[j] - w[j - 1]
+            peak = peaks[j]
+            configured = (
+                memory_mb if memory_mb is not None else max(int(peak + 0.999), 1)
+            )
+            clamped = self._clamp(configured)
+            value = template.value
+            value_key = template.value_key
+            error_type = template.error_type
+            status = _S_SUCCESS if error_type is None else _S_ERROR
+            kill = False
+            timeout_at = (
+                timeout_s
+                if timeout_s is not None and exec_s > timeout_s
+                else _INF
+            )
+            if timeout_at <= exec_s:
+                exec_s = timeout_at
+                value, value_key, error_type = None, None, "TimeoutError"
+                status = _S_TIMEOUT
+            elif memory_mb is not None and peak > clamped:
+                value, value_key, error_type = None, None, "OutOfMemoryError"
+                status = _S_OOM
+                kill = True
+            billed_duration = 0.0 + exec_s
+            billed_s = self._billed(billed_duration)
+            cost = self._cost(billed_duration, configured)
+            e2e = routing + 0.0 + 0.0 + 0.0 + 0.0 + exec_s
+            variant = (
+                _WARM, status, value, value_key, 0.0, 0.0, 0.0, exec_s,
+                billed_s, clamped, peak, cost, error_type,
+            )
+            vrow = (
+                name, _STATUS_VALUES[status], status == _S_SUCCESS, True,
+                False, True, e2e, cost, billed_s,
+            )
+            specs.append((exec_s, e2e, kill, variant, vrow))
+            j += 1
+
+    # -- columnar outcome tables --------------------------------------------
+
+    def _init_spec_cols(self, cold_spec) -> None:
+        """Seed the per-*j* outcome columns with the cold outcome at 0.
+
+        Index 0 is the cold start and index ``j >= 1`` the warm outcome
+        after *j* prior serves (a warm instance always has at least the
+        cold behind it), so a per-row spec-index list gathers every log
+        and telemetry column with one fancy-index per column at flush
+        time.  ``value``/``value_key``/``error_type`` collapse to a tiny
+        class table — which branch of the outcome ladder fired — that
+        run-length encodes for :meth:`ExecutionLog.append_columns`.
+        """
+        (
+            cold_exec, cold_e2e, cold_kill, variant, _vrow,
+            cold_clamped, cold_billed_s, cold_cost,
+        ) = cold_spec
+        template = self._entry.warm
+        self._sc_exec = [cold_exec]
+        self._sc_e2e = [cold_e2e]
+        self._sc_status = [variant[1]]
+        self._sc_billed = [cold_billed_s]
+        self._sc_cost = [cold_cost]
+        self._sc_peak = [variant[10]]
+        self._sc_clamped = [cold_clamped]
+        self._sc_cls = [0]
+        self._cls_values = [
+            (variant[2], variant[3]),
+            (template.value, template.value_key),
+            (None, None),
+            (None, None),
+        ]
+        self._cls_errors = [
+            variant[12], template.error_type, "TimeoutError",
+            "OutOfMemoryError",
+        ]
+        self._warm_specs = [(cold_exec, cold_e2e, cold_kill)]
+
+    def _extend_spec_cols(self, upto: int) -> None:
+        """Vectorized :meth:`_extend_specs` twin feeding the column table.
+
+        The whole ladder runs array-at-a-time: exec times are exact
+        ``diff``\\ s of the drift sequence, the timeout/OOM masks select
+        statuses, and billed duration / cost go through the *scalar*
+        pricing caches once per unique duration (numpy's ``round`` is
+        not Python's correctly-rounded one) and scatter back.  Grows
+        with doubling headroom so repeated one-past-the-end requests
+        stay amortized-vectorized.
+        """
+        specs = self._warm_specs
+        j0 = len(specs)
+        upto = max(upto, 2 * j0)
+        entry = self._entry
+        drift = entry.drift
+        template = entry.warm
+        drift.extend_array(upto, template)
+        w = _np.asarray(drift.t[j0 - 1 : upto + 1])
+        exec_new = _np.diff(w)
+        peaks = _np.asarray(drift.peak[j0 : upto + 1])
+        count = upto + 1 - j0
+        timeout_s = self._timeout_s
+        memory_mb = self._memory_mb
+        base_status = (
+            _S_SUCCESS if template.error_type is None else _S_ERROR
+        )
+        status = _np.full(count, base_status, dtype=_np.int64)
+        cls = _np.full(count, 1, dtype=_np.int64)
+        kill = None
+        tmask = None
+        if timeout_s is not None:
+            tmask = exec_new > timeout_s
+            if tmask.any():
+                exec_new = _np.where(tmask, timeout_s, exec_new)
+                status[tmask] = _S_TIMEOUT
+                cls[tmask] = 2
+            else:
+                tmask = None
+        if memory_mb is not None:
+            configured = memory_mb
+            clamped_const = self._clamp(configured)
+            omask = peaks > clamped_const
+            if tmask is not None:
+                omask &= ~tmask
+            if omask.any():
+                status[omask] = _S_OOM
+                cls[omask] = 3
+                kill = omask
+            clamped = _np.full(count, clamped_const, dtype=_np.int64)
+            du, dinv = _np.unique(exec_new, return_inverse=True)
+            durations = du.tolist()
+            billed = _np.asarray([self._billed(d) for d in durations])[dinv]
+            cost = _np.asarray(
+                [self._cost(d, configured) for d in durations]
+            )[dinv]
+        else:
+            conf = _np.maximum((peaks + 0.999).astype(_np.int64), 1)
+            cu, cinv = _np.unique(conf, return_inverse=True)
+            clamped = _np.asarray(
+                [self._clamp(c) for c in cu.tolist()], dtype=_np.int64
+            )[cinv]
+            du, dinv = _np.unique(exec_new, return_inverse=True)
+            durations = du.tolist()
+            billed = _np.asarray([self._billed(d) for d in durations])[dinv]
+            width = len(cu)
+            pu, pinv = _np.unique(dinv * width + cinv, return_inverse=True)
+            cost = _np.asarray(
+                [
+                    self._cost(durations[p // width], int(cu[p % width]))
+                    for p in pu.tolist()
+                ]
+            )[pinv]
+        # Same addition order as the scalar spec builder:
+        # ((((routing + 0.0) + 0.0) + 0.0) + 0.0) + exec_s.
+        base = self._routing + 0.0 + 0.0 + 0.0 + 0.0
+        e2e = base + exec_new
+        execs = exec_new.tolist()
+        e2es = e2e.tolist()
+        kills = [False] * count if kill is None else kill.tolist()
+        self._sc_exec += execs
+        self._sc_e2e += e2es
+        self._sc_status += status.tolist()
+        self._sc_billed += billed.tolist()
+        self._sc_cost += cost.tolist()
+        self._sc_peak += peaks.tolist()
+        self._sc_clamped += clamped.tolist()
+        self._sc_cls += cls.tolist()
+        specs.extend(zip(execs, e2es, kills))
+
+    # -- the batch loop -----------------------------------------------------
+
+    def _run_batch(
+        self, arrivals, index, result, arrival_times, completion_times
+    ) -> None:
+        """Dispatch: the columnar loop unless throttles can fire.
+
+        Rate throttles and outages must consult the fault injector per
+        serve (RNG draw order and injection counters are observable), and
+        throttled rows break the all-billed contract of the columnar
+        emitters — so those runs take the row-tuple loop instead.  Both
+        loops produce byte-identical exports.
+        """
+        faults = self._faults
+        if faults is not None:
+            plan = faults.plan
+            name = self._name
+            if plan.rates_for(name).throttle != 0.0 or any(
+                outage.function in (ANY_FUNCTION, name)
+                for outage in plan.outages
+            ):
+                self._run_batch_rows(
+                    arrivals, index, result, arrival_times, completion_times
+                )
+                return
+        self._run_batch_cols(
+            arrivals, index, result, arrival_times, completion_times
+        )
+
+    def _run_batch_cols(
+        self, arrivals, index, result, arrival_times, completion_times
+    ) -> None:
+        """The columnar serve loop: one spec index and timestamp per row.
+
+        Identical pool/clock/id decisions to :meth:`_run_batch_rows`,
+        but per-row emission shrinks to three list appends (spec index,
+        timestamp, completion) plus run-length tracking of the serving
+        instance; everything else gathers from the outcome columns at
+        flush time.
+        """
+        entry = self._entry
+        name = self._name
+        function = self._function
+        clock = self._clock
+        keep_alive = self.emulator.keep_alive_s
+        instance_seq = function.instance_seq
+        instances = function.instances
+        attribution = self._attribution
+        pricing = self._pricing
+        busy = self._busy
+        idle = self._idle
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        wrap = self._wrap
+        kill_shadow = self._kill
+
+        cold = entry.cold
+        cold_spec = self._cold_spec()
+        (
+            cold_exec, cold_e2e, cold_kill, _variant, _vrow,
+            cold_clamped, cold_billed_s, cold_cost,
+        ) = cold_spec
+        self._init_spec_cols(cold_spec)
+        specs = self._warm_specs
+        extend_specs = self._extend_spec_cols
+        cold_init_s = cold.init_s
+        cold_modules = cold.modules
+        post_t = cold.post_t
+        post_live = cold.post_live
+        post_peak = cold.post_peak
+        overhead_sum = self._overhead_sum
+
+        now = clock.now()
+        seq = self._seq.value
+        ids = self._request_ids
+        rid_base = ids.value
+        adopted = self._adopted
+
+        idx_list: list = []
+        ts_list: list = []
+        comps: list = []
+        inst_runs: list = []
+        run_iid = None
+        run_count = 0
+        cold_n = warm_n = 0
+        flushed = index
+        n = len(arrivals)
+        spec_len = len(specs)
+
+        if not adopted and index < n:
+            # Inlined _acquire_warm adoption, hoisted out of the loop: it
+            # can only trigger on the first arrival.
+            adopted = True
+            t0 = arrivals[index]
+            for existing in instances:
+                if existing.alive:
+                    idle.append((t0, wrap(existing)))
+
+        for i, t in enumerate(arrivals[index:] if index else arrivals, index):
+            while busy and busy[0][0] <= t:
+                freed = heappop(busy)
+                idle.append((freed[0], freed[2]))
+            shadow = None
+            while idle:
+                freed_at, candidate = idle[-1]
+                if t - freed_at > keep_alive:
+                    idle.clear()
+                    break
+                idle.pop()
+                if candidate.alive:
+                    shadow = candidate
+                    break
+            if shadow is not None:
+                j = shadow.invocations
+                shadow.invocations = j + 1
+                if j >= spec_len:
+                    extend_specs(j)
+                    spec_len = len(specs)
+                exec_eff, e2e, kill = specs[j]
+                now += exec_eff
+                idx_list.append(j)
+                ts_list.append(now)
+                comps.append(t + e2e)
+                warm_n += 1
+                iid = shadow.instance_id
+                if kill:
+                    kill_shadow(shadow)
+                else:
+                    heappush(busy, (t + e2e, seq, shadow))
+                    seq += 1
+            else:
+                now += overhead_sum
+                iid = f"{name}-i{next(instance_seq):05d}"
+                now += cold_init_s
+                now += cold_exec
+                if attribution is not None:
+                    rid = rid_base + len(idx_list)
+                    attribution.record(
+                        attribute_cold_start(
+                            function=name,
+                            request_id=f"req-{rid:06d}",
+                            timestamp=now,
+                            pricing=pricing,
+                            memory_config_mb=cold_clamped,
+                            modules=cold_modules,
+                            billed_init_s=cold_init_s,
+                            restore_s=0.0,
+                            exec_s=cold_exec,
+                            billed_duration_s=cold_billed_s,
+                            cost_usd=cold_cost,
+                            include_exec=True,
+                        )
+                    )
+                idx_list.append(0)
+                ts_list.append(now)
+                comps.append(t + cold_e2e)
+                cold_n += 1
+                if not cold_kill:
+                    shadow = _Shadow(
+                        iid, t=post_t, live=post_live, peak=post_peak
+                    )
+                    shadow.invocations = 1
+                    instances.append(shadow)
+                    heappush(busy, (t + cold_e2e, seq, shadow))
+                    seq += 1
+            if iid is run_iid:
+                run_count += 1
+            else:
+                if run_count:
+                    inst_runs.append((run_iid, run_count))
+                run_iid = iid
+                run_count = 1
+            if len(idx_list) >= _FLUSH_ROWS:
+                inst_runs.append((run_iid, run_count))
+                run_iid = None
+                run_count = 0
+                self._flush_cols(
+                    result, idx_list, ts_list, comps, inst_runs,
+                    arrivals[flushed:i + 1], rid_base, cold_n, warm_n,
+                    arrival_times, completion_times,
+                )
+                rid_base += len(idx_list)
+                ids.value = rid_base
+                flushed = i + 1
+                idx_list = []
+                ts_list = []
+                comps = []
+                inst_runs = []
+                cold_n = warm_n = 0
+
+        if idx_list:
+            inst_runs.append((run_iid, run_count))
+            self._flush_cols(
+                result, idx_list, ts_list, comps, inst_runs,
+                arrivals[flushed:n], rid_base, cold_n, warm_n,
+                arrival_times, completion_times,
+            )
+            rid_base += len(idx_list)
+            ids.value = rid_base
+
+        self._write_back(now, seq, adopted)
+
+    def _flush_cols(
+        self, result, idx_list, ts_list, comps, inst_runs, served, rid_base,
+        cold_n, warm_n, arrival_times, completion_times,
+    ) -> None:
+        """Gather one chunk's columns from the outcome tables and bulk-emit.
+
+        One fancy-index per column turns the per-row spec indices into
+        full log/telemetry columns; the order-dependent float folds
+        (billing, total cost, sketch sums) continue as seeded ``cumsum``
+        left-folds inside the columnar emitters.
+        """
+        count = len(idx_list)
+        idx = _np.asarray(idx_list, dtype=_np.intp)
+        e2e = _np.asarray(self._sc_e2e)[idx]
+        status = _np.asarray(self._sc_status, dtype=_np.int8)[idx]
+        billed = _np.asarray(self._sc_billed)[idx]
+        cost = _np.asarray(self._sc_cost)[idx]
+        peak = _np.asarray(self._sc_peak)[idx]
+        clamped = _np.asarray(self._sc_clamped, dtype=_np.int64)[idx]
+        exec_col = _np.asarray(self._sc_exec)[idx]
+        cold_mask = idx == 0
+        starts = _np.where(
+            cold_mask, _np.int8(_COLD), _np.int8(_WARM)
+        ).astype(_np.int8)
+        instance_init_s, transmission_s = self._overhead
+        iinit = _np.where(cold_mask, instance_init_s, 0.0)
+        trans = _np.where(cold_mask, transmission_s, 0.0)
+        init = _np.where(cold_mask, self._entry.cold.init_s, 0.0)
+        cls = _np.asarray(self._sc_cls, dtype=_np.int64)[idx]
+        bounds = (_np.flatnonzero(cls[1:] != cls[:-1]) + 1).tolist()
+        edges = [0, *bounds, count]
+        cls_values = self._cls_values
+        cls_errors = self._cls_errors
+        value_runs = []
+        error_runs = []
+        for run in range(len(edges) - 1):
+            a, b = edges[run], edges[run + 1]
+            which = int(cls[a])
+            value, value_key = cls_values[which]
+            value_runs.append((value, value_key, b - a))
+            error_runs.append((cls_errors[which], b - a))
+        self._log.append_columns(
+            self._name,
+            self._routing,
+            rid_base,
+            start_types=starts,
+            status_indices=status,
+            timestamps=_np.asarray(ts_list),
+            instance_runs=inst_runs,
+            value_runs=value_runs,
+            error_runs=error_runs,
+            instance_init_s=iinit,
+            transmission_s=trans,
+            init_duration_s=init,
+            exec_duration_s=exec_col,
+            billed_duration_s=billed,
+            memory_config_mb=clamped,
+            peak_memory_mb=peak,
+            cost_usd=cost,
+        )
+        bill = self._bill
+        bill.charge_block(
+            invocation_cost=float(
+                _np.cumsum(
+                    _np.concatenate(((bill.invocation_cost,), cost))
+                )[-1]
+            ),
+            invocations=count,
+            cold_starts=cold_n,
+        )
+        result.total_cost = float(
+            _np.cumsum(_np.concatenate(((result.total_cost,), cost)))[-1]
+        )
+        result.attempts += count
+        result.requests += count
+        result.delivered += int((status == _S_SUCCESS).sum())
+        result.cold_starts += cold_n
+        result.warm_starts += warm_n
+        sink = self._sink
+        if sink is not None:
+            sink.observe_columns(
+                self._name,
+                statuses=status,
+                status_names=_STATUS_VALUES,
+                ok=status == _S_SUCCESS,
+                is_cold=cold_mask,
+                e2e=e2e,
+                cost=cost,
+                billed_s=billed,
+                arrivals=_np.asarray(served),
+                rid_start=rid_base,
+            )
+        arrival_times.extend(served)
+        completion_times.extend(comps)
+
+    def _write_back(self, now: float, seq: int, adopted: bool) -> None:
+        """Deferred state write-backs: the local folds are authoritative."""
+        self._clock._now = now
+        self._seq.value = seq
+        self._adopted = adopted
+        drift = self._entry.drift
+        t_table = drift.t
+        live_table = drift.live
+        peak_table = drift.peak
+        for _, _, shadow in self._busy:
+            k = shadow.invocations - 1
+            shadow.t = t_table[k]
+            shadow.live = live_table[k]
+            shadow.peak = peak_table[k]
+        for _, shadow in self._idle:
+            if shadow.alive:
+                k = shadow.invocations - 1
+                shadow.t = t_table[k]
+                shadow.live = live_table[k]
+                shadow.peak = peak_table[k]
+
+    def _run_batch_rows(
+        self, arrivals, index, result, arrival_times, completion_times
+    ) -> None:
+        entry = self._entry
+        name = self._name
+        function = self._function
+        clock = self._clock
+        routing = self._routing
+        keep_alive = self.emulator.keep_alive_s
+        instance_seq = function.instance_seq
+        instances = function.instances
+        attribution = self._attribution
+        pricing = self._pricing
+        busy = self._busy
+        idle = self._idle
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        wrap = self._wrap
+        kill_shadow = self._kill
+
+        self._warm_specs = specs = [None]
+        extend_specs = self._extend_specs
+        cold = entry.cold
+        (
+            cold_exec, cold_e2e, cold_kill, cold_variant, cold_vrow,
+            cold_clamped, cold_billed_s, cold_cost,
+        ) = self._cold_spec()
+        cold_init_s = cold.init_s
+        cold_modules = cold.modules
+        post_t = cold.post_t
+        post_live = cold.post_live
+        post_peak = cold.post_peak
+        overhead_sum = self._overhead_sum
+
+        throttle_variant = (
+            _THROTTLED_START, _S_THROTTLED, None, None, 0.0, 0.0, 0.0, 0.0,
+            0.0, 128, 0.0, 0.0, "Throttled",
+        )
+        throttle_vrow = (
+            name, _STATUS_VALUES[_S_THROTTLED], False, False, False, False,
+            routing, 0.0, 0.0,
+        )
+
+        faults = self._faults
+        check_throttle = None
+        if faults is not None:
+            plan = faults.plan
+            # Zero throttle rate and no covering outage means throttled()
+            # is a side-effect-free False: safe to skip entirely.
+            if plan.rates_for(name).throttle != 0.0 or any(
+                outage.function in (ANY_FUNCTION, name)
+                for outage in plan.outages
+            ):
+                check_throttle = faults.throttled
+
+        now = clock.now()
+        seq = self._seq.value
+        ids = self._request_ids
+        rid_base = ids.value
+        adopted = self._adopted
+
+        variants: list = []
+        vrows: list = []
+        ts_list: list = []
+        iid_list: list = []
+        comps: list = []
+        cold_n = warm_n = throttled_n = 0
+        flushed = index
+        n = len(arrivals)
+
+        for i in range(index, n):
+            t = arrivals[i]
+            if check_throttle is not None and check_throttle(name, t):
+                variants.append(throttle_variant)
+                vrows.append(throttle_vrow)
+                ts_list.append(now)
+                iid_list.append("-")
+                comps.append(t + routing)
+                throttled_n += 1
+            else:
+                # Inlined _acquire_warm (host layer excluded by
+                # qualification): MRU idle stack fed from the busy heap,
+                # one stale top expiring the whole stack.
+                if not adopted:
+                    adopted = True
+                    for existing in instances:
+                        if existing.alive:
+                            idle.append((t, wrap(existing)))
+                while busy and busy[0][0] <= t:
+                    freed = heappop(busy)
+                    idle.append((freed[0], freed[2]))
+                shadow = None
+                while idle:
+                    freed_at, candidate = idle[-1]
+                    if t - freed_at > keep_alive:
+                        idle.clear()
+                        break
+                    idle.pop()
+                    if candidate.alive:
+                        shadow = candidate
+                        break
+                if shadow is not None:
+                    j = shadow.invocations
+                    shadow.invocations = j + 1
+                    if j >= len(specs):
+                        extend_specs(j)
+                    exec_eff, e2e, kill, variant, vrow = specs[j]
+                    now += exec_eff
+                    variants.append(variant)
+                    vrows.append(vrow)
+                    ts_list.append(now)
+                    iid_list.append(shadow.instance_id)
+                    comps.append(t + e2e)
+                    warm_n += 1
+                    if kill:
+                        kill_shadow(shadow)
+                    else:
+                        heappush(busy, (t + e2e, seq, shadow))
+                        seq += 1
+                else:
+                    now += overhead_sum
+                    iid = f"{name}-i{next(instance_seq):05d}"
+                    now += cold_init_s
+                    now += cold_exec
+                    if attribution is not None:
+                        rid = rid_base + len(variants)
+                        attribution.record(
+                            attribute_cold_start(
+                                function=name,
+                                request_id=f"req-{rid:06d}",
+                                timestamp=now,
+                                pricing=pricing,
+                                memory_config_mb=cold_clamped,
+                                modules=cold_modules,
+                                billed_init_s=cold_init_s,
+                                restore_s=0.0,
+                                exec_s=cold_exec,
+                                billed_duration_s=cold_billed_s,
+                                cost_usd=cold_cost,
+                                include_exec=True,
+                            )
+                        )
+                    variants.append(cold_variant)
+                    vrows.append(cold_vrow)
+                    ts_list.append(now)
+                    iid_list.append(iid)
+                    comps.append(t + cold_e2e)
+                    cold_n += 1
+                    if not cold_kill:
+                        shadow = _Shadow(
+                            iid, t=post_t, live=post_live, peak=post_peak
+                        )
+                        shadow.invocations = 1
+                        instances.append(shadow)
+                        heappush(busy, (t + cold_e2e, seq, shadow))
+                        seq += 1
+            if len(variants) >= _FLUSH_ROWS:
+                self._flush(
+                    result, variants, vrows, ts_list, iid_list, comps,
+                    arrivals[flushed:i + 1], rid_base, cold_n, warm_n,
+                    throttled_n, arrival_times, completion_times,
+                )
+                rid_base += len(variants)
+                ids.value = rid_base
+                flushed = i + 1
+                variants = []
+                vrows = []
+                ts_list = []
+                iid_list = []
+                comps = []
+                cold_n = warm_n = throttled_n = 0
+
+        if variants:
+            self._flush(
+                result, variants, vrows, ts_list, iid_list, comps,
+                arrivals[flushed:n], rid_base, cold_n, warm_n, throttled_n,
+                arrival_times, completion_times,
+            )
+            rid_base += len(variants)
+            ids.value = rid_base
+
+        self._write_back(now, seq, adopted)
+
+    def _flush(
+        self, result, variants, vrows, ts_list, iid_list, comps, served,
+        rid_base, cold_n, warm_n, throttled_n, arrival_times,
+        completion_times,
+    ) -> None:
+        """Bulk-emit one chunk of serves in serve order."""
+        count = len(variants)
+        request_nums = list(range(rid_base, rid_base + count))
+        cols = list(zip(*variants))
+        self._log.append_rows(
+            self._name,
+            self._routing,
+            request_nums,
+            cols[0],   # start_indices
+            cols[1],   # status_indices
+            ts_list,
+            cols[2],   # values
+            cols[3],   # value_keys
+            iid_list,
+            cols[4],   # instance_init_s
+            cols[5],   # transmission_s
+            cols[6],   # init_duration_s
+            cols[7],   # exec_duration_s
+            cols[8],   # billed_duration_s
+            cols[9],   # memory_config_mb
+            cols[10],  # peak_memory_mb
+            cols[11],  # cost_usd
+            cols[12],  # error_types
+        )
+        # Billing and result sums continue their sequential folds in serve
+        # order; only the int counters are segment aggregates.
+        _, delivered = self._bill.charge_batch(
+            cols[1],
+            cols[11],
+            success_status=_S_SUCCESS,
+            throttled_status=_S_THROTTLED,
+            cold_starts=cold_n,
+            throttles=throttled_n,
+        )
+        total_cost = result.total_cost
+        for status_index, cost in zip(cols[1], cols[11]):
+            if status_index != _S_THROTTLED:
+                total_cost += cost
+        result.total_cost = total_cost
+        result.attempts += count
+        result.requests += count
+        result.delivered += delivered
+        result.throttled += throttled_n
+        result.cold_starts += cold_n
+        result.warm_starts += warm_n
+        sink = self._sink
+        if sink is not None:
+            rows = [vrow + (rid,) for vrow, rid in zip(vrows, request_nums)]
+            sink.observe_rows(rows, arrivals=served)
+        arrival_times.extend(served)
+        completion_times.extend(comps)

@@ -90,6 +90,52 @@ class FleetTrace:
             total += trace.invocations
         return cls(traces=tuple(traces))
 
+    @classmethod
+    def stream_invocations(
+        cls,
+        target: int,
+        *,
+        seed: int = 2025,
+        duration_s: float = DAY_S,
+        max_per_function: int | None = None,
+        batch_functions: int = 256,
+    ):
+        """The streaming twin of :meth:`generate_invocations`.
+
+        Yields the *same* population — identical deterministic walk,
+        identical skip rule — as successive :class:`FleetTrace` batches
+        of at most *batch_functions* functions, so a 10M-invocation day
+        replays with bounded RSS: only one batch of timestamp tuples is
+        alive at a time instead of the whole O(target) fleet.
+        Concatenating every batch's traces reproduces
+        ``generate_invocations(target, ...)`` exactly.
+        """
+        if target <= 0:
+            raise TraceError(f"need a positive invocation target: {target}")
+        if batch_functions < 1:
+            raise TraceError(
+                f"need a positive batch size: {batch_functions}"
+            )
+        generator = AzureTraceGenerator(seed=seed, duration_s=duration_s)
+        batch: list[FunctionTrace] = []
+        total = 0
+        index = 0
+        while total < target:
+            trace = generator.generate_function(index)
+            index += 1
+            if (
+                max_per_function is not None
+                and trace.invocations > max_per_function
+            ):
+                continue
+            batch.append(trace)
+            total += trace.invocations
+            if len(batch) >= batch_functions:
+                yield cls(traces=tuple(batch))
+                batch = []
+        if batch:
+            yield cls(traces=tuple(batch))
+
     # -- views -------------------------------------------------------------
 
     @property
@@ -111,6 +157,18 @@ class FleetTrace:
             if trace.function_id == name:
                 return trace
         raise TraceError(f"no such function in fleet trace: {name}")
+
+    def iter_batches(self, n: int):
+        """Yield the fleet as successive chunks of at most *n* functions.
+
+        Each chunk is itself a :class:`FleetTrace` (replayable directly by
+        :func:`~repro.platform.fleet.replay_fleet`), in fleet order, so
+        ``[t for b in trace.iter_batches(n) for t in b] == list(trace)``.
+        """
+        if n < 1:
+            raise TraceError(f"need a positive batch size: {n}")
+        for start in range(0, len(self.traces), n):
+            yield FleetTrace(traces=self.traces[start:start + n])
 
     def capped(self, max_per_function: int) -> "FleetTrace":
         """Drop functions busier than *max_per_function* invocations."""

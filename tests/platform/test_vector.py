@@ -1,0 +1,287 @@
+"""The vector batch engine must be unobservable except in wall-clock time.
+
+Same contract as ``tests/platform/test_kernel.py``, one engine up the
+stack: for any replayable workload the batch-emitting
+:class:`~repro.platform.vector.VectorReplayer` produces **byte-identical**
+exports — logs, ledgers, telemetry, stats — to both the reference
+:class:`~repro.platform.replay.TraceReplayer` and the scalar
+:class:`~repro.platform.kernel.KernelReplayer`, across seeds, under
+throttle faults (the one fault class the batch path serves natively),
+under chaos that forces the scalar fallback, under warm-pool churn, and
+regardless of worker count.  Plus: heterogeneous runs (hosts, crash
+faults) quietly fall back rather than diverge, and ``engine='vector'``
+without numpy is rejected up front.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.platform import LambdaEmulator, replay_fleet
+from repro.platform.faults import FaultPlan, FaultRates
+from repro.platform.hosts import HostConfig
+from repro.platform.kernel import KernelReplayer
+from repro.platform.replay import TraceReplayer
+from repro.platform.retry import RetryPolicy
+from repro.platform.vector import HAVE_NUMPY, VectorReplayer
+from repro.traces import FleetTrace
+from repro.workloads.toy import build_toy_torch_app
+
+from .test_kernel import EVENT, _fleet_exports, build_fat_app
+
+needs_numpy = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="engine='vector' requires numpy"
+)
+
+
+class TestVectorVsReferenceFleet:
+    """Property: the batch engine is unobservable in every export."""
+
+    @needs_numpy
+    @pytest.mark.parametrize("seed", [3, 11, 2025])
+    def test_exports_byte_identical_across_seeds(self, tmp_path, seed):
+        bundle = build_toy_torch_app(tmp_path / "toy")
+        trace = FleetTrace.generate_invocations(
+            300, seed=seed, max_per_function=200
+        )
+        vector = _fleet_exports(bundle, trace, tmp_path, "vector")
+        reference = _fleet_exports(bundle, trace, tmp_path, "reference")
+        assert vector["log"] == reference["log"]
+        assert vector["report"] == reference["report"]
+        assert vector["ledger"] == reference["ledger"]
+        assert vector["stats"] == reference["stats"]
+
+    @needs_numpy
+    def test_vector_matches_kernel_exactly(self, tmp_path):
+        # Transitivity check: both fast engines agree with each other,
+        # not just each separately with the reference.
+        bundle = build_toy_torch_app(tmp_path / "toy")
+        trace = FleetTrace.generate_invocations(
+            300, seed=11, max_per_function=200
+        )
+        vector = _fleet_exports(bundle, trace, tmp_path, "vector")
+        kernel = _fleet_exports(bundle, trace, tmp_path, "kernel")
+        assert vector == kernel
+
+    @needs_numpy
+    def test_throttle_faults_byte_identical_on_batch_path(self, tmp_path):
+        # Throttle-only rates keep the run batch-safe (no RNG draws
+        # inside the serve), so this exercises the throttle-capable
+        # row loop — not the scalar fallback — under real injections.
+        bundle = build_toy_torch_app(tmp_path / "toy")
+        trace = FleetTrace.generate_invocations(
+            300, seed=21, max_per_function=200
+        )
+        plan = FaultPlan(seed=23, default=FaultRates(throttle=0.10))
+        vector = _fleet_exports(bundle, trace, tmp_path, "vector", faults=plan)
+        reference = _fleet_exports(
+            bundle, trace, tmp_path, "reference", faults=plan
+        )
+        assert vector["log"] == reference["log"]
+        assert vector["report"] == reference["report"]
+        assert vector["ledger"] == reference["ledger"]
+        assert vector["stats"] == reference["stats"]
+        assert vector["status_counts"].get("throttled", 0) > 0
+
+    @needs_numpy
+    def test_chaos_with_retries_byte_identical(self, tmp_path):
+        # Crash rates force the scalar fallback inside the vector
+        # engine; the fallback must still be byte-identical end to end.
+        bundle = build_toy_torch_app(tmp_path / "toy")
+        trace = FleetTrace.generate_invocations(
+            300, seed=21, max_per_function=200
+        )
+        plan = FaultPlan(
+            seed=23,
+            default=FaultRates(
+                throttle=0.08, exec_crash=0.04, cold_start_crash=0.03
+            ),
+        )
+        retry = RetryPolicy(max_attempts=3, seed=5)
+        vector = _fleet_exports(
+            bundle, trace, tmp_path, "vector", faults=plan, retry=retry
+        )
+        reference = _fleet_exports(
+            bundle, trace, tmp_path, "reference", faults=plan, retry=retry
+        )
+        assert vector["log"] == reference["log"]
+        assert vector["report"] == reference["report"]
+        assert vector["ledger"] == reference["ledger"]
+        assert vector["stats"] == reference["stats"]
+        counts = vector["status_counts"]
+        assert sum(counts.values()) > counts.get("success", 0)
+
+    @needs_numpy
+    def test_hosts_fleet_falls_back_byte_identical(self, tmp_path):
+        # A host pool threads per-invocation placement state through the
+        # serve, so the batch path must disqualify itself — and the
+        # scalar fallback must still match the reference.
+        bundle = build_toy_torch_app(tmp_path / "toy")
+        trace = FleetTrace.generate_invocations(
+            200, seed=9, max_per_function=120
+        )
+        hosts = HostConfig(count=3, memory_mb=1024.0)
+        vector = _fleet_exports(bundle, trace, tmp_path, "vector", hosts=hosts)
+        reference = _fleet_exports(
+            bundle, trace, tmp_path, "reference", hosts=hosts
+        )
+        assert vector["log"] == reference["log"]
+        assert vector["report"] == reference["report"]
+        assert vector["ledger"] == reference["ledger"]
+
+    @needs_numpy
+    def test_worker_count_unobservable_with_vector(self, tmp_path):
+        bundle = build_toy_torch_app(tmp_path / "toy")
+        trace = FleetTrace.generate_invocations(
+            400, seed=7, max_per_function=300
+        )
+        exports = {}
+        for workers in (1, 8):
+            result = replay_fleet(
+                bundle,
+                trace,
+                EVENT,
+                engine="vector",
+                workers=workers,
+                log_dir=tmp_path / f"logs-{workers}",
+                merged_log=tmp_path / f"merged-{workers}.jsonl",
+            )
+            exports[workers] = (
+                (tmp_path / f"merged-{workers}.jsonl").read_bytes(),
+                json.dumps(result.report.to_dict(), sort_keys=True),
+                result.ledger.total,
+            )
+        assert exports[1] == exports[8]
+
+
+class TestVectorVsReferenceDirect:
+    """Record-level identity on a bare emulator, including kill paths."""
+
+    def _run(self, tmp_path, engine_cls, arrivals, **deploy):
+        emulator = LambdaEmulator(
+            keep_alive_s=deploy.pop("keep_alive_s", 60.0),
+            faults=deploy.pop("faults", None),
+        )
+        builder = deploy.pop("builder", build_toy_torch_app)
+        retry = deploy.pop("retry", None)
+        bundle = builder(tmp_path / f"app-{engine_cls.__name__}")
+        emulator.deploy(bundle, name="fn", **deploy)
+        if engine_cls is TraceReplayer:
+            replayer = TraceReplayer(emulator)
+        else:
+            replayer = engine_cls(emulator, None)
+        replayer.replay("fn", list(arrivals), EVENT, retry=retry)
+        return emulator
+
+    def _assert_identical(self, ref, vec):
+        assert ref.log.records == vec.log.records
+        assert ref.log.status_counts() == vec.log.status_counts()
+        assert ref.log.billing_summary() == vec.log.billing_summary()
+        assert ref.ledger.total == vec.ledger.total
+        assert dict(ref.ledger.bills) == dict(vec.ledger.bills)
+
+    def test_plain_replay_identical(self, tmp_path):
+        arrivals = [i * 0.25 for i in range(60)]
+        ref = self._run(tmp_path, TraceReplayer, arrivals)
+        vec = self._run(tmp_path, VectorReplayer, arrivals)
+        self._assert_identical(ref, vec)
+        assert vec.log.status_counts().get("success", 0) > 0
+
+    def test_vector_matches_scalar_kernel_directly(self, tmp_path):
+        arrivals = [i * 0.25 for i in range(60)]
+        ker = self._run(tmp_path, KernelReplayer, arrivals)
+        vec = self._run(tmp_path, VectorReplayer, arrivals)
+        self._assert_identical(ker, vec)
+
+    def test_timeout_kills_identical(self, tmp_path):
+        # A timeout below the toy app's exec duration: every invocation
+        # is killed; the timeout ladder is per-spec math on the batch
+        # path, so the kill columns must still match row for row.
+        arrivals = [i * 0.25 for i in range(40)]
+        ref = self._run(tmp_path, TraceReplayer, arrivals, timeout_s=1e-6)
+        vec = self._run(tmp_path, VectorReplayer, arrivals, timeout_s=1e-6)
+        self._assert_identical(ref, vec)
+        assert ref.log.status_counts().get("timeout", 0) == len(arrivals)
+
+    def test_oom_kills_identical(self, tmp_path):
+        arrivals = [i * 0.25 for i in range(40)]
+        ref = self._run(
+            tmp_path, TraceReplayer, arrivals, memory_mb=150, builder=build_fat_app
+        )
+        vec = self._run(
+            tmp_path, VectorReplayer, arrivals, memory_mb=150, builder=build_fat_app
+        )
+        self._assert_identical(ref, vec)
+        assert ref.log.status_counts().get("oom", 0) > 0
+
+    def test_warm_pool_churn_identical(self, tmp_path):
+        # Dense bursts grow the warm pool; the gaps between bursts
+        # exceed keep-alive, so the whole pool expires and re-colds.
+        # MRU reuse, expiry sweeps, and instance-id sequencing (the RLE
+        # instance runs on the batch path) must all match exactly.
+        arrivals = []
+        for burst in range(8):
+            base = burst * 300.0
+            arrivals.extend(base + i * 0.05 for i in range(40))
+        ref = self._run(tmp_path, TraceReplayer, arrivals, keep_alive_s=30.0)
+        vec = self._run(tmp_path, VectorReplayer, arrivals, keep_alive_s=30.0)
+        self._assert_identical(ref, vec)
+        assert len(ref.log.cold_starts()) > 8  # pool grew per burst
+        assert len(ref.log.warm_starts()) > 0
+
+
+class TestVectorEngineSelection:
+    """Engine plumbing: selection, rejection, and the no-numpy gate."""
+
+    def _trace(self, n=10):
+        return FleetTrace.generate_invocations(n, seed=1, max_per_function=5)
+
+    @needs_numpy
+    def test_fleet_engine_vector_rejects_non_json_event(self, tmp_path):
+        bundle = build_toy_torch_app(tmp_path / "toy")
+        with pytest.raises(PlatformError, match="engine='vector'"):
+            replay_fleet(
+                bundle,
+                self._trace(),
+                dict(EVENT, tag={1, 2}),
+                engine="vector",
+                workers=1,
+            )
+
+    def test_fleet_engine_vector_needs_numpy(self, tmp_path, monkeypatch):
+        import repro.platform.fleet as fleet_mod
+
+        monkeypatch.setattr(fleet_mod, "HAVE_NUMPY", False)
+        bundle = build_toy_torch_app(tmp_path / "toy")
+        with pytest.raises(PlatformError, match="numpy"):
+            replay_fleet(
+                bundle, self._trace(), EVENT, engine="vector", workers=1
+            )
+
+    def test_fleet_engine_auto_degrades_without_numpy(
+        self, tmp_path, monkeypatch
+    ):
+        # auto must quietly run the scalar kernel when numpy is absent —
+        # same exports, no error.
+        import repro.platform.fleet as fleet_mod
+
+        monkeypatch.setattr(fleet_mod, "HAVE_NUMPY", False)
+        bundle = build_toy_torch_app(tmp_path / "toy")
+        trace = FleetTrace.generate_invocations(
+            40, seed=1, max_per_function=20
+        )
+        result = replay_fleet(bundle, trace, EVENT, engine="auto", workers=1)
+        assert result.delivered == result.arrivals
+
+    def test_replayer_is_bound_to_one_function(self, tmp_path):
+        emulator = LambdaEmulator()
+        bundle = build_toy_torch_app(tmp_path / "toy")
+        emulator.deploy(bundle, name="a")
+        emulator.deploy(bundle, name="b")
+        replayer = VectorReplayer(emulator)
+        replayer.replay("a", [0.0], EVENT)
+        with pytest.raises(PlatformError, match="bound"):
+            replayer.replay("b", [0.0], EVENT)

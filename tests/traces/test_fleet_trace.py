@@ -135,3 +135,40 @@ class TestPersistence:
             path.read_text(encoding="utf-8") + "\n\n", encoding="utf-8"
         )
         assert len(FleetTrace.load(path)) == 3
+
+
+class TestStreaming:
+    def test_stream_reproduces_generate_invocations(self):
+        whole = FleetTrace.generate_invocations(
+            2000, seed=11, max_per_function=400
+        )
+        streamed = [
+            t
+            for batch in FleetTrace.stream_invocations(
+                2000, seed=11, max_per_function=400, batch_functions=7
+            )
+            for t in batch
+        ]
+        assert tuple(streamed) == whole.traces
+
+    def test_batches_respect_size_bound(self):
+        batches = list(
+            FleetTrace.stream_invocations(1500, seed=3, batch_functions=4)
+        )
+        assert all(len(b) <= 4 for b in batches)
+        assert sum(len(b) for b in batches) >= len(batches)  # none empty
+        assert all(len(b) == 4 for b in batches[:-1])  # only the tail is short
+
+    def test_stream_rejects_bad_arguments(self):
+        with pytest.raises(TraceError, match="positive invocation target"):
+            next(FleetTrace.stream_invocations(0))
+        with pytest.raises(TraceError, match="positive batch size"):
+            next(FleetTrace.stream_invocations(10, batch_functions=0))
+
+    def test_iter_batches_reassembles_fleet(self):
+        fleet = FleetTrace.generate(10, seed=5)
+        chunks = list(fleet.iter_batches(3))
+        assert [len(c) for c in chunks] == [3, 3, 3, 1]
+        assert tuple(t for c in chunks for t in c) == fleet.traces
+        with pytest.raises(TraceError, match="positive batch size"):
+            next(fleet.iter_batches(0))
